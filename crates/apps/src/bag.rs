@@ -1,0 +1,231 @@
+//! The "Bag" application (Figure 2b): a bag-of-tasks parallel program.
+//!
+//! "The application is iterative, with computation being divided into a set
+//! of possibly differently-sized tasks. Each worker process repeatedly
+//! requests and obtains tasks from the server, performs the associated
+//! computations, returns the results to the server, and requests
+//! additional tasks. This method of work distribution allows the
+//! application to exploit varying amounts of parallelism, and to perform
+//! relatively crude load-balancing on arbitrarily-shaped tasks."
+//!
+//! [`BagOfTasks::run`] executes that pull-based scheduling for a given
+//! worker count and adds a per-worker communication term that grows with
+//! the number of peers — which makes *total* bandwidth grow quadratically,
+//! as the Figure 2b `communication` tag declares. The measured running
+//! times become the `performance` data points of the exported bundle.
+
+use harmony_sim::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// The bag-of-tasks application model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BagOfTasks {
+    /// Task sizes in reference-machine seconds.
+    pub tasks: Vec<f64>,
+    /// Per-worker communication seconds per peer: each worker spends
+    /// `exchange_seconds × (workers − 1)` communicating over the run.
+    pub exchange_seconds: f64,
+    /// Per-worker memory requirement (MB), exported in the bundle.
+    pub memory_mb: f64,
+}
+
+/// The outcome of one run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BagRun {
+    /// Wall-clock completion time (seconds).
+    pub makespan: f64,
+    /// Per-worker busy time (compute only).
+    pub worker_busy: Vec<f64>,
+    /// Number of tasks executed (all of them).
+    pub tasks_done: usize,
+}
+
+impl BagRun {
+    /// Load-balance quality: min busy / max busy (1.0 is perfect).
+    pub fn balance(&self) -> f64 {
+        let max = self.worker_busy.iter().cloned().fold(0.0f64, f64::max);
+        let min = self.worker_busy.iter().cloned().fold(f64::INFINITY, f64::min);
+        if max <= 0.0 {
+            1.0
+        } else {
+            min / max
+        }
+    }
+}
+
+impl BagOfTasks {
+    /// A bag with `n_tasks` tasks of mean size `mean_seconds`, sizes
+    /// perturbed ±50 % (arbitrarily-shaped tasks), and the given exchange
+    /// cost.
+    pub fn generate(n_tasks: usize, mean_seconds: f64, exchange_seconds: f64, seed: u64) -> Self {
+        let mut rng = SimRng::seed(seed);
+        let tasks = (0..n_tasks).map(|_| rng.perturb(mean_seconds, 0.5)).collect();
+        BagOfTasks { tasks, exchange_seconds, memory_mb: 32.0 }
+    }
+
+    /// The paper-scale bag used by the Figure 4 experiment: ≈ 1000 total
+    /// reference seconds with an exchange cost that makes five workers the
+    /// sweet spot (Figure 4b's "five nodes rather than six").
+    pub fn fig4(seed: u64) -> Self {
+        BagOfTasks::generate(100, 10.0, 40.0, seed)
+    }
+
+    /// Total computation across all tasks (reference seconds).
+    pub fn total_work(&self) -> f64 {
+        self.tasks.iter().sum()
+    }
+
+    /// Runs the bag on `workers` identical nodes of the given `speed`
+    /// (relative to the reference machine) with pull-based scheduling:
+    /// each free worker takes the next task.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `workers` is zero or `speed` is not positive.
+    pub fn run(&self, workers: usize, speed: f64) -> BagRun {
+        assert!(workers > 0, "need at least one worker");
+        assert!(speed > 0.0, "speed must be positive");
+        let mut finish = vec![0.0f64; workers];
+        let mut busy = vec![0.0f64; workers];
+        for &task in &self.tasks {
+            // The worker that frees up first pulls the task.
+            let w = finish
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .map(|(i, _)| i)
+                .expect("workers > 0");
+            let dt = task / speed;
+            finish[w] += dt;
+            busy[w] += dt;
+        }
+        let comm = self.exchange_seconds * (workers.saturating_sub(1)) as f64;
+        let makespan =
+            finish.iter().cloned().fold(0.0f64, f64::max) + comm;
+        BagRun { makespan, worker_busy: busy, tasks_done: self.tasks.len() }
+    }
+
+    /// Measures the running-time curve over the given worker counts — the
+    /// data points of the `performance` tag.
+    pub fn curve(&self, workers: &[usize], speed: f64) -> Vec<(f64, f64)> {
+        workers.iter().map(|&w| (w as f64, self.run(w, speed).makespan)).collect()
+    }
+
+    /// The worker count with the smallest measured makespan.
+    pub fn best_workers(&self, choices: &[usize], speed: f64) -> usize {
+        choices
+            .iter()
+            .copied()
+            .min_by(|&a, &b| {
+                self.run(a, speed)
+                    .makespan
+                    .partial_cmp(&self.run(b, speed).makespan)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .unwrap_or(1)
+    }
+
+    /// Exports the Figure 2b bundle for this bag: variable parallelism over
+    /// `choices`, per-worker seconds dividing the total work, quadratic
+    /// total communication, and the measured performance curve.
+    pub fn to_bundle(&self, app: &str, choices: &[usize], speed: f64) -> String {
+        let total = self.total_work();
+        let choice_list =
+            choices.iter().map(usize::to_string).collect::<Vec<_>>().join(" ");
+        let points = self
+            .curve(choices, speed)
+            .into_iter()
+            .map(|(w, t)| format!("{{{} {:.0}}}", w as usize, t))
+            .collect::<Vec<_>>()
+            .join(" ");
+        format!(
+            "harmonyBundle {app}:1 config {{\n\
+               {{run\n\
+                 {{variable workerNodes {{{choice_list}}}}}\n\
+                 {{node worker {{replicate workerNodes}} {{dedicated 1}} \
+                   {{seconds {{{total:.0} / workerNodes}}}} {{memory {mem:.0}}}}}\n\
+                 {{communication {{{ex:.2} * workerNodes * workerNodes}}}}\n\
+                 {{performance {points}}}}}\n\
+             }}",
+            mem = self.memory_mb,
+            ex = self.exchange_seconds / 8.0, // Mbit/s-equivalent volume knob
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harmony_rsl::schema::parse_bundle_script;
+
+    #[test]
+    fn all_work_is_done_and_balanced() {
+        let bag = BagOfTasks::generate(200, 5.0, 0.0, 1);
+        let run = bag.run(8, 1.0);
+        assert_eq!(run.tasks_done, 200);
+        let busy: f64 = run.worker_busy.iter().sum();
+        assert!((busy - bag.total_work()).abs() < 1e-6);
+        // Pull scheduling balances arbitrarily-shaped tasks well.
+        assert!(run.balance() > 0.9, "balance {}", run.balance());
+    }
+
+    #[test]
+    fn makespan_shrinks_with_workers_without_comm() {
+        let bag = BagOfTasks::generate(100, 10.0, 0.0, 2);
+        let m1 = bag.run(1, 1.0).makespan;
+        let m4 = bag.run(4, 1.0).makespan;
+        let m8 = bag.run(8, 1.0).makespan;
+        assert!(m4 < m1 / 3.0, "{m1} -> {m4}");
+        assert!(m8 < m4, "{m4} -> {m8}");
+        // One worker equals total work exactly.
+        assert!((m1 - bag.total_work()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn speed_scales_compute() {
+        let bag = BagOfTasks::generate(50, 10.0, 0.0, 3);
+        let slow = bag.run(4, 0.5).makespan;
+        let fast = bag.run(4, 2.0).makespan;
+        assert!((slow / fast - 4.0).abs() < 0.01, "{slow} vs {fast}");
+    }
+
+    #[test]
+    fn fig4_curve_bottoms_at_five_workers() {
+        let bag = BagOfTasks::fig4(7);
+        let best = bag.best_workers(&[1, 2, 3, 4, 5, 6, 7, 8], 1.0);
+        assert_eq!(best, 5, "curve: {:?}", bag.curve(&[1, 2, 3, 4, 5, 6, 7, 8], 1.0));
+        // Communication makes 8 workers worse than 5.
+        let m5 = bag.run(5, 1.0).makespan;
+        let m8 = bag.run(8, 1.0).makespan;
+        assert!(m8 > m5);
+    }
+
+    #[test]
+    fn exported_bundle_parses_with_expected_structure() {
+        let bag = BagOfTasks::fig4(1);
+        let text = bag.to_bundle("bag", &[1, 2, 3, 4, 5, 6, 7, 8], 1.0);
+        let spec = parse_bundle_script(&text).unwrap();
+        let opt = &spec.options[0];
+        assert_eq!(opt.variables[0].choices.len(), 8);
+        assert!(opt.performance.is_some());
+        assert!(opt.communication.is_some());
+        // Total seconds constant across worker counts.
+        let mut env = harmony_rsl::expr::MapEnv::new();
+        env.set("workerNodes", harmony_rsl::Value::Int(4));
+        let per_node = opt.nodes[0].seconds().unwrap().amount(&env).unwrap();
+        assert!((per_node * 4.0 - bag.total_work()).abs() < 4.0);
+    }
+
+    #[test]
+    fn generate_is_deterministic() {
+        let a = BagOfTasks::generate(10, 1.0, 0.5, 9);
+        let b = BagOfTasks::generate(10, 1.0, 0.5, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_panics() {
+        BagOfTasks::fig4(1).run(0, 1.0);
+    }
+}

@@ -1,0 +1,149 @@
+//! An information server with a tunable buffer size — the §5 example of a
+//! *persistent* Harmony application: "if an application exports an option
+//! to change its buffer size, it needs to periodically read the Harmony
+//! variable that indicates the current buffer size (as determined by the
+//! Harmony controller), and then update its own state to this size."
+//!
+//! The server's hit ratio follows a saturating curve in its buffer size;
+//! Harmony trades that memory against other applications' needs through
+//! the ordinary bundle mechanism (a `variable` axis over buffer sizes).
+
+use serde::{Deserialize, Serialize};
+
+/// The information-server application model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InfoServer {
+    /// Size of the hot document set (MB): a buffer this large gets ~all
+    /// hits.
+    pub working_set_mb: f64,
+    /// Seconds to serve a request that hits the buffer.
+    pub hit_seconds: f64,
+    /// Seconds to serve a request that misses (disk fetch).
+    pub miss_seconds: f64,
+    /// Requests per second offered.
+    pub request_rate: f64,
+}
+
+impl Default for InfoServer {
+    fn default() -> Self {
+        InfoServer {
+            working_set_mb: 64.0,
+            hit_seconds: 0.002,
+            miss_seconds: 0.030,
+            request_rate: 50.0,
+        }
+    }
+}
+
+impl InfoServer {
+    /// Hit ratio for a buffer of `mb` megabytes: a saturating curve
+    /// (`mb / (mb + ws/4)`), 0 for an empty buffer, → 1 as the buffer
+    /// covers the working set.
+    pub fn hit_ratio(&self, mb: f64) -> f64 {
+        let mb = mb.max(0.0);
+        mb / (mb + self.working_set_mb / 4.0)
+    }
+
+    /// Mean service seconds per request at buffer size `mb`.
+    pub fn service_seconds(&self, mb: f64) -> f64 {
+        let h = self.hit_ratio(mb);
+        h * self.hit_seconds + (1.0 - h) * self.miss_seconds
+    }
+
+    /// CPU seconds per second of wall time (utilization of one reference
+    /// machine) at buffer size `mb`.
+    pub fn cpu_load(&self, mb: f64) -> f64 {
+        self.request_rate * self.service_seconds(mb)
+    }
+
+    /// Exports the bundle: one option per buffer size, each consuming the
+    /// buffer's memory and the matching CPU seconds per (100-second
+    /// accounting window), with an explicit response-time model.
+    pub fn to_bundle(&self, app: &str, buffer_sizes_mb: &[u32]) -> String {
+        let options = buffer_sizes_mb
+            .iter()
+            .map(|&mb| {
+                let cpu = self.cpu_load(f64::from(mb)) * 100.0;
+                let rt = self.service_seconds(f64::from(mb)) * 1000.0; // ms, as the model value
+                format!(
+                    "  {{buf{mb}\n    {{node server {{seconds {cpu:.1}}} {{memory {mb}}}}}\n    {{performance {{{rt:.3}}}}}}}",
+                )
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        format!("harmonyBundle {app}:1 buffer {{\n{options}\n}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harmony_core::{Controller, ControllerConfig};
+    use harmony_resources::Cluster;
+    use harmony_rsl::schema::parse_bundle_script;
+
+    #[test]
+    fn hit_ratio_saturates() {
+        let s = InfoServer::default();
+        assert_eq!(s.hit_ratio(0.0), 0.0);
+        assert!(s.hit_ratio(16.0) < s.hit_ratio(64.0));
+        assert!(s.hit_ratio(64.0) < s.hit_ratio(256.0));
+        assert!(s.hit_ratio(10_000.0) > 0.99);
+        assert_eq!(s.hit_ratio(-5.0), 0.0, "negative sizes clamp");
+    }
+
+    #[test]
+    fn bigger_buffers_mean_faster_service_with_diminishing_returns() {
+        let s = InfoServer::default();
+        let t8 = s.service_seconds(8.0);
+        let t64 = s.service_seconds(64.0);
+        let t256 = s.service_seconds(256.0);
+        assert!(t8 > t64 && t64 > t256);
+        // Diminishing returns: the first step saves more than the second.
+        assert!((t8 - t64) > (t64 - t256));
+    }
+
+    #[test]
+    fn bundle_parses_with_one_option_per_size() {
+        let s = InfoServer::default();
+        let text = s.to_bundle("infoserv", &[8, 16, 32, 64, 128]);
+        let spec = parse_bundle_script(&text).unwrap();
+        assert_eq!(spec.options.len(), 5);
+        assert_eq!(spec.option_names(), vec!["buf8", "buf16", "buf32", "buf64", "buf128"]);
+        for opt in &spec.options {
+            assert!(opt.performance.is_some());
+            assert!(opt.nodes[0].memory().is_some());
+        }
+    }
+
+    #[test]
+    fn harmony_grows_the_buffer_when_memory_is_free_and_shrinks_under_pressure() {
+        let s = InfoServer::default();
+        let bundle_text = s.to_bundle("infoserv", &[8, 16, 32, 64, 128]);
+        let cluster = Cluster::from_rsl(
+            "harmonyNode server {speed 1.0} {memory 160}",
+        )
+        .unwrap();
+        let mut ctl = Controller::new(cluster, ControllerConfig::default());
+        let (id, _) = ctl.register(parse_bundle_script(&bundle_text).unwrap()).unwrap();
+        // Alone, the biggest buffer wins (fastest service).
+        assert_eq!(ctl.choice(&id, "buffer").unwrap().option, "buf128");
+
+        // A memory-hungry application arrives; only 32 MB remain, so the
+        // controller must shrink the info server's buffer to admit it.
+        let hog = parse_bundle_script(
+            "harmonyBundle hog:1 b { {o {node n {seconds 1} {memory 96}}} }",
+        )
+        .unwrap();
+        let (hog_id, _) = ctl.register(hog).unwrap();
+        assert!(ctl.choice(&hog_id, "b").is_some(), "hog admitted");
+        let buf = &ctl.choice(&id, "buffer").unwrap().option;
+        assert!(
+            ["buf8", "buf16", "buf32", "buf64"].contains(&buf.as_str()),
+            "shrunk to {buf}"
+        );
+        // Departure: the buffer re-grows.
+        ctl.end(&hog_id).unwrap();
+        assert_eq!(ctl.choice(&id, "buffer").unwrap().option, "buf128");
+    }
+}

@@ -1,0 +1,26 @@
+//! # Harmony apps
+//!
+//! The "harmonized" applications of "Exposing Application Alternatives":
+//!
+//! * [`SimpleParallel`] — Figure 2a's fixed four-worker application;
+//! * [`BagOfTasks`] — Figure 2b's variable-parallelism bag of tasks, with
+//!   pull-based crude load balancing, a communication term that grows
+//!   quadratically in total, and measured `performance` curves;
+//! * [`InfoServer`] — the §5 persistent application with a tunable
+//!   buffer-size knob;
+//! * [`run_fig4`] — the Figure 4 online-reconfiguration experiment: jobs
+//!   arriving on an eight-processor cluster, the first getting five nodes
+//!   (not six), later ones settling into equal partitions.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod bag;
+mod fig4;
+mod info_server;
+mod simple;
+
+pub use bag::{BagOfTasks, BagRun};
+pub use fig4::{run_fig4, Fig4Config, Fig4Result, TimelineEntry};
+pub use info_server::InfoServer;
+pub use simple::SimpleParallel;

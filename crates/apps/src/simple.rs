@@ -1,0 +1,96 @@
+//! The "Simple" application (Figure 2a): a generic parallel application
+//! that runs on exactly four processors, 300 reference seconds and 32 MB
+//! per worker, with whole-application communication and no choices to
+//! make. Its only knob is *whether* it runs — it exists to exercise the
+//! fixed-requirement path of the interface.
+
+use serde::{Deserialize, Serialize};
+
+/// The Figure 2a application.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimpleParallel {
+    /// Number of workers (the paper's listing: 4).
+    pub workers: u32,
+    /// Reference CPU seconds per worker.
+    pub seconds_per_worker: f64,
+    /// Memory per worker (MB).
+    pub memory_mb: f64,
+    /// Total communication over the run (MB), endpoint-less — the system
+    /// assumes full connectivity.
+    pub communication_mb: f64,
+}
+
+impl Default for SimpleParallel {
+    fn default() -> Self {
+        SimpleParallel {
+            workers: 4,
+            seconds_per_worker: 300.0,
+            memory_mb: 32.0,
+            communication_mb: 100.0,
+        }
+    }
+}
+
+impl SimpleParallel {
+    /// Wall time on `speed`-relative nodes with a link of `mbps` carrying
+    /// the communication: compute and transfer overlap worker-parallel
+    /// compute, so the run ends at the max of the two.
+    pub fn wall_time(&self, speed: f64, mbps: f64) -> f64 {
+        let compute = if speed > 0.0 { self.seconds_per_worker / speed } else { f64::INFINITY };
+        let transfer =
+            if mbps > 0.0 { self.communication_mb * 8.0 / mbps } else { f64::INFINITY };
+        compute.max(transfer)
+    }
+
+    /// Exports the Figure 2a bundle.
+    pub fn to_bundle(&self, app: &str) -> String {
+        format!(
+            "harmonyBundle {app}:1 config {{\n\
+               {{fixed\n\
+                 {{node worker {{replicate {}}} {{seconds {:.0}}} {{memory {:.0}}}}}\n\
+                 {{communication {:.0}}}}}\n\
+             }}",
+            self.workers, self.seconds_per_worker, self.memory_mb, self.communication_mb
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harmony_rsl::schema::parse_bundle_script;
+
+    #[test]
+    fn default_matches_the_listing() {
+        let s = SimpleParallel::default();
+        assert_eq!(s.workers, 4);
+        assert_eq!(s.seconds_per_worker, 300.0);
+        assert_eq!(s.memory_mb, 32.0);
+    }
+
+    #[test]
+    fn wall_time_is_max_of_compute_and_transfer() {
+        let s = SimpleParallel::default();
+        // Fast link: compute-bound.
+        assert_eq!(s.wall_time(1.0, 320.0), 300.0);
+        // Fast CPU, slow link: transfer-bound (100 MB × 8 / 4 Mbps = 200 s
+        // vs 30 s compute).
+        assert_eq!(s.wall_time(10.0, 4.0), 200.0);
+        assert!(s.wall_time(0.0, 320.0).is_infinite());
+        assert!(s.wall_time(1.0, 0.0).is_infinite());
+    }
+
+    #[test]
+    fn bundle_round_trips_through_the_parser() {
+        let s = SimpleParallel::default();
+        let spec = parse_bundle_script(&s.to_bundle("simple")).unwrap();
+        let opt = &spec.options[0];
+        assert_eq!(
+            opt.nodes[0].count,
+            harmony_rsl::schema::CountSpec::Replicate(4)
+        );
+        let env = harmony_rsl::expr::MapEnv::new();
+        assert_eq!(opt.nodes[0].seconds().unwrap().amount(&env).unwrap(), 300.0);
+        assert_eq!(opt.communication.as_ref().unwrap().amount(&env).unwrap(), 100.0);
+    }
+}

@@ -1,0 +1,94 @@
+//! Application-level integration: every harmonized application from the
+//! crate registered against one controller, competing for the same
+//! cluster.
+
+use harmony_apps::{BagOfTasks, InfoServer, SimpleParallel};
+use harmony_core::{Controller, ControllerConfig};
+use harmony_resources::Cluster;
+use harmony_rsl::schema::parse_bundle_script;
+
+#[test]
+fn all_three_application_kinds_share_one_cluster() {
+    let cluster =
+        Cluster::from_rsl(&harmony_rsl::listings::sp2_cluster(8)).unwrap();
+    let mut ctl = Controller::new(cluster, ControllerConfig::default());
+
+    // The info server arrives first and takes a big buffer.
+    let info = InfoServer::default();
+    let (info_id, _) = ctl
+        .register(parse_bundle_script(&info.to_bundle("infoserv", &[8, 32, 128])).unwrap())
+        .unwrap();
+    assert_eq!(ctl.choice(&info_id, "buffer").unwrap().option, "buf128");
+
+    // The fixed four-worker Simple application places on distinct nodes.
+    let simple = SimpleParallel::default();
+    let (simple_id, _) = ctl
+        .register(parse_bundle_script(&simple.to_bundle("simple")).unwrap())
+        .unwrap();
+    let simple_alloc = &ctl.choice(&simple_id, "config").unwrap().alloc;
+    assert_eq!(simple_alloc.distinct_nodes(), 4);
+
+    // The dedicated bag takes what space-shared capacity remains. The
+    // info server and Simple occupy shared nodes; the bag's dedicated
+    // workers need idle ones.
+    let bag = BagOfTasks::fig4(3);
+    let (bag_id, _) = ctl
+        .register(
+            parse_bundle_script(&bag.to_bundle("bag", &[1, 2, 3, 4, 5, 6, 7, 8], 1.0))
+                .unwrap(),
+        )
+        .unwrap();
+    let bag_choice = ctl.choice(&bag_id, "config").unwrap();
+    let bag_nodes: Vec<_> = bag_choice.alloc.nodes.iter().map(|n| &n.node).collect();
+    // Dedicated workers landed on nodes nobody else uses.
+    for n in &bag_nodes {
+        let state = ctl.cluster().node(n).unwrap();
+        assert_eq!(state.tasks, 1);
+        assert_eq!(state.exclusive, 1);
+    }
+
+    // Everyone is placed; the objective is finite.
+    assert_eq!(ctl.predicted_response_times().len(), 3);
+    assert!(ctl.objective_score().is_finite());
+
+    // Drain in arbitrary order; capacity returns exactly.
+    let total = ctl.cluster().total_memory();
+    ctl.end(&simple_id).unwrap();
+    ctl.end(&bag_id).unwrap();
+    ctl.end(&info_id).unwrap();
+    assert_eq!(ctl.cluster().total_free_memory(), total);
+    assert_eq!(ctl.cluster().total_tasks(), 0);
+}
+
+#[test]
+fn bag_departure_lets_the_info_server_regrow_its_buffer() {
+    // A 2-node cluster with modest memory forces real competition.
+    let cluster = Cluster::from_rsl(
+        "harmonyNode a {speed 1.0} {memory 160}\nharmonyNode b {speed 1.0} {memory 64}",
+    )
+    .unwrap();
+    let mut ctl = Controller::new(cluster, ControllerConfig::default());
+    let info = InfoServer::default();
+    let (info_id, _) = ctl
+        .register(
+            parse_bundle_script(&info.to_bundle("infoserv", &[8, 32, 64, 128])).unwrap(),
+        )
+        .unwrap();
+    assert_eq!(ctl.choice(&info_id, "buffer").unwrap().option, "buf128");
+
+    // A memory hog arrives (needs 140 MB somewhere).
+    let hog = parse_bundle_script(
+        "harmonyBundle hog:1 b { {o {node n {seconds 5} {memory 140}}} }",
+    )
+    .unwrap();
+    let (hog_id, _) = ctl.register(hog).unwrap();
+    let shrunk = ctl.choice(&info_id, "buffer").unwrap().option.clone();
+    assert_ne!(shrunk, "buf128", "buffer shrank to admit the hog");
+
+    ctl.end(&hog_id).unwrap();
+    assert_eq!(
+        ctl.choice(&info_id, "buffer").unwrap().option,
+        "buf128",
+        "buffer regrew after departure"
+    );
+}

@@ -1,0 +1,58 @@
+//! Criterion bench: adaptation-controller decision latency.
+//!
+//! §5 argues the event-driven controller only needs to react "on the order
+//! of seconds"; this measures how many registrations/re-evaluations per
+//! second the Rust controller actually sustains as the system grows.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use harmony_core::{Controller, ControllerConfig};
+use harmony_resources::Cluster;
+use harmony_rsl::listings::{sp2_cluster, FIG2B_BAG};
+use harmony_rsl::schema::parse_bundle_script;
+
+fn controller_with(napps: usize, nodes: usize) -> Controller {
+    let cluster = Cluster::from_rsl(&sp2_cluster(nodes)).unwrap();
+    let mut ctl = Controller::new(cluster, ControllerConfig::default());
+    for _ in 0..napps {
+        ctl.register(parse_bundle_script(FIG2B_BAG).unwrap()).unwrap();
+    }
+    ctl
+}
+
+fn bench_controller(c: &mut Criterion) {
+    let spec = parse_bundle_script(FIG2B_BAG).unwrap();
+    let mut group = c.benchmark_group("register arrival");
+    for napps in [0usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(napps),
+            &napps,
+            |b, &napps| {
+                b.iter_batched(
+                    || controller_with(napps, 16),
+                    |mut ctl| {
+                        ctl.register(black_box(spec.clone())).unwrap();
+                        ctl
+                    },
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("periodic reevaluate");
+    for napps in [2usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(napps),
+            &napps,
+            |b, &napps| {
+                let mut ctl = controller_with(napps, 16);
+                b.iter(|| ctl.reevaluate().unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_controller);
+criterion_main!(benches);

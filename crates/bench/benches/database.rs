@@ -1,0 +1,56 @@
+//! Criterion bench: the Tornadito stand-in — query execution and buffer
+//! pool behaviour at the paper's workload shape.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use harmony_db::{BufferPool, CostModel, JoinQuery, PageId, QueryEngine};
+
+fn bench_queries(c: &mut Criterion) {
+    // Test-scale relations keep criterion iterations fast; the figure
+    // binary runs the full 100k-tuple configuration.
+    let engine = QueryEngine::wisconsin(10_000, 1);
+    let q = JoinQuery::ten_percent(10_000, 1_000, 5_000);
+
+    c.bench_function("hash join 10% x 10% (cold cache)", |b| {
+        b.iter_batched(
+            || BufferPool::with_megabytes(24.0),
+            |mut pool| engine.execute_hash(black_box(&q), &mut pool),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+
+    let mut warm = BufferPool::with_megabytes(64.0);
+    engine.execute_hash(&q, &mut warm);
+    c.bench_function("hash join 10% x 10% (warm cache)", |b| {
+        b.iter(|| engine.execute_hash(black_box(&q), &mut warm))
+    });
+
+    let (_, stats) = engine.execute_hash(&q, &mut warm);
+    let model = CostModel::default();
+    c.bench_function("cost model pricing", |b| {
+        b.iter(|| {
+            (
+                model.query_shipping(black_box(&stats)),
+                model.data_shipping(black_box(&stats)),
+            )
+        })
+    });
+}
+
+fn bench_bufferpool(c: &mut Criterion) {
+    c.bench_function("buffer pool access (hit)", |b| {
+        let mut pool = BufferPool::new(1024);
+        pool.access(PageId::new("r", 7));
+        b.iter(|| pool.access(black_box(PageId::new("r", 7))))
+    });
+    c.bench_function("buffer pool access (miss+evict)", |b| {
+        let mut pool = BufferPool::new(64);
+        let mut i = 0usize;
+        b.iter(|| {
+            i += 1;
+            pool.access(black_box(PageId::new("r", i)))
+        })
+    });
+}
+
+criterion_group!(benches, bench_queries, bench_bufferpool);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion bench: requirement matching across cluster sizes and
+//! strategies (§4.1's first-fit and its alternatives).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use harmony_resources::{Cluster, Matcher, Strategy};
+use harmony_rsl::expr::MapEnv;
+use harmony_rsl::listings::{sp2_cluster, FIG2A_SIMPLE};
+use harmony_rsl::schema::parse_bundle_script;
+
+fn bench_matching(c: &mut Criterion) {
+    let bundle = parse_bundle_script(FIG2A_SIMPLE).unwrap();
+    let vars = MapEnv::new();
+    let mut group = c.benchmark_group("match fig2a");
+    for nodes in [8usize, 32, 128] {
+        let cluster = Cluster::from_rsl(&sp2_cluster(nodes)).unwrap();
+        group.bench_with_input(BenchmarkId::new("first-fit", nodes), &cluster, |b, cl| {
+            b.iter(|| {
+                Matcher::new(Strategy::FirstFit)
+                    .match_option(black_box(cl), &bundle.options[0], &vars)
+                    .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("best-fit", nodes), &cluster, |b, cl| {
+            b.iter(|| {
+                Matcher::new(Strategy::BestFit)
+                    .match_option(black_box(cl), &bundle.options[0], &vars)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+
+    // Commit/release cycle cost.
+    let cluster = Cluster::from_rsl(&sp2_cluster(32)).unwrap();
+    let alloc = Matcher::default()
+        .match_option(&cluster, &bundle.options[0], &vars)
+        .unwrap();
+    c.bench_function("commit+release", |b| {
+        let mut cl = cluster.clone();
+        b.iter(|| {
+            cl.commit(black_box(&alloc)).unwrap();
+            cl.release(black_box(&alloc)).unwrap();
+        })
+    });
+}
+
+criterion_group!(benches, bench_matching);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion bench: RSL parsing and expression evaluation throughput.
+//!
+//! The paper accepts TCL-level performance because "updates in Harmony are
+//! on the order of seconds, not micro-seconds" — this bench documents how
+//! far under that bar the Rust implementation sits.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use harmony_rsl::expr::{eval, parse_expr, MapEnv};
+use harmony_rsl::listings::{sp2_cluster, FIG2B_BAG, FIG3_DBCLIENT};
+use harmony_rsl::schema::{parse_bundle_script, parse_statements};
+use harmony_rsl::Value;
+
+fn bench_parse(c: &mut Criterion) {
+    c.bench_function("parse fig3 bundle", |b| {
+        b.iter(|| parse_bundle_script(black_box(FIG3_DBCLIENT)).unwrap())
+    });
+    c.bench_function("parse fig2b bundle", |b| {
+        b.iter(|| parse_bundle_script(black_box(FIG2B_BAG)).unwrap())
+    });
+    let cluster64 = sp2_cluster(64);
+    c.bench_function("parse 64-node cluster declaration", |b| {
+        b.iter(|| parse_statements(black_box(&cluster64)).unwrap())
+    });
+}
+
+fn bench_expr(c: &mut Criterion) {
+    let src = "44 + (client.memory > 24 ? 24 : client.memory) - 17";
+    c.bench_function("parse fig3 bandwidth expression", |b| {
+        b.iter(|| parse_expr(black_box(src)).unwrap())
+    });
+    let expr = parse_expr(src).unwrap();
+    let mut env = MapEnv::new();
+    env.set("client.memory", Value::Int(20));
+    c.bench_function("eval fig3 bandwidth expression", |b| {
+        b.iter(|| eval(black_box(&expr), &env).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_parse, bench_expr);
+criterion_main!(benches);

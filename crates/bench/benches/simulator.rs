@@ -1,0 +1,55 @@
+//! Criterion bench: discrete-event engine and processor-sharing server
+//! throughput — the substrate that replaces the paper's SP-2 wall clock.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use harmony_sim::{PsServer, Sim};
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("sim schedule+next (1k events)", |b| {
+        b.iter(|| {
+            let mut sim: Sim<u32> = Sim::new();
+            for i in 0..1000u32 {
+                sim.schedule(((i * 7919) % 1000) as f64, i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, e)) = sim.next() {
+                sum += u64::from(e);
+            }
+            black_box(sum)
+        })
+    });
+}
+
+fn bench_ps_server(c: &mut Criterion) {
+    c.bench_function("ps server add/complete cycle", |b| {
+        let mut s = PsServer::new(1.0);
+        let mut id = 0u64;
+        let mut t = 0.0;
+        b.iter(|| {
+            id += 1;
+            s.add(t, id, 1.0);
+            let (done_at, j) = s.next_completion(t).unwrap();
+            t = done_at;
+            s.remove(t, j);
+        })
+    });
+
+    c.bench_function("ps server with 100 concurrent jobs", |b| {
+        b.iter(|| {
+            let mut s = PsServer::new(1.0);
+            for i in 0..100 {
+                s.add(i as f64 * 0.01, i, 10.0);
+            }
+            let mut t = 1.0;
+            for _ in 0..100 {
+                let (done_at, j) = s.next_completion(t).unwrap();
+                t = done_at;
+                s.remove(t, j);
+            }
+            black_box(t)
+        })
+    });
+}
+
+criterion_group!(benches, bench_event_queue, bench_ps_server);
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! Ablation: frictional switching costs (§3, requirement five).
+//!
+//! "This frictional cost is certainly not negligible, and must be
+//! considered when Harmony makes re-allocation decisions." A rival job
+//! repeatedly arrives and departs; each adaptation of the long-running bag
+//! costs `friction` seconds of re-layout. With friction ignored
+//! (weight 0) the controller thrashes; with friction respected it only
+//! switches when the gain outweighs the cost.
+
+use harmony_bench::{check, write_artifact, Table};
+use harmony_core::{Controller, ControllerConfig};
+use harmony_resources::Cluster;
+use harmony_rsl::schema::parse_bundle_script;
+
+/// A bag bundle whose reconfiguration costs `friction` reference-seconds.
+fn bundle(friction: f64) -> String {
+    format!(
+        "harmonyBundle bag:1 config {{\n\
+           {{run\n\
+             {{variable workerNodes {{1 2 4 8}}}}\n\
+             {{node worker {{replicate workerNodes}} {{seconds {{1200 / workerNodes}}}} {{memory 32}}}}\n\
+             {{performance {{1 1200}} {{2 620}} {{4 340}} {{8 230}}}}\n\
+             {{friction {friction}}}}}\n\
+         }}"
+    )
+}
+
+/// A short rival that only mildly benefits from more nodes: evicting the
+/// incumbent buys little.
+fn rival() -> String {
+    "harmonyBundle rival:1 config {\n\
+       {run\n\
+         {variable workerNodes {1 2}}\n\
+         {node worker {replicate workerNodes} {seconds {100 / workerNodes}} {memory 32}}\n\
+         {performance {1 100} {2 95}}}\n\
+     }"
+    .to_string()
+}
+
+fn run(friction_weight: f64, friction_seconds: f64, cycles: usize) -> (u32, f64) {
+    let cluster = Cluster::from_rsl(&harmony_rsl::listings::sp2_cluster(8)).unwrap();
+    let config = ControllerConfig { friction_weight, ..Default::default() };
+    let mut ctl = Controller::new(cluster, config);
+    let (bag, _) = ctl.register(parse_bundle_script(&bundle(friction_seconds)).unwrap()).unwrap();
+    let mut t = 0.0;
+    for _ in 0..cycles {
+        t += 50.0;
+        ctl.set_time(t);
+        let (r, _) = ctl.register(parse_bundle_script(&rival()).unwrap()).unwrap();
+        t += 50.0;
+        ctl.set_time(t);
+        ctl.end(&r).unwrap();
+    }
+    let reconfigs = ctl
+        .app(&bag)
+        .and_then(|a| a.bundle("config"))
+        .map(|b| b.reconfig_count)
+        .unwrap_or(0);
+    let friction_paid = reconfigs as f64 * friction_seconds;
+    (reconfigs, friction_paid)
+}
+
+fn main() {
+    println!("Ablation — frictional reconfiguration cost\n");
+    const FRICTION_SECONDS: f64 = 120.0;
+    const CYCLES: usize = 10;
+    let mut table = Table::new(vec![
+        "friction weight",
+        "bag reconfigurations",
+        "friction paid (s)",
+    ]);
+    let mut by_weight = Vec::new();
+    for weight in [0.0, 1.0, 5.0] {
+        let (reconfigs, paid) = run(weight, FRICTION_SECONDS, CYCLES);
+        table.row(vec![
+            format!("{weight}"),
+            reconfigs.to_string(),
+            format!("{paid:.0}"),
+        ]);
+        by_weight.push((weight, reconfigs, paid));
+    }
+    println!("{}", table.render());
+
+    let zero = by_weight[0].1;
+    let one = by_weight[1].1;
+    let five = by_weight[2].1;
+    let mut ok = true;
+    ok &= check(
+        &format!("ignoring friction thrashes: {zero} reconfigs over {CYCLES} rival cycles"),
+        zero >= CYCLES as u32,
+    );
+    ok &= check(
+        &format!("respecting friction dampens switching ({one} ≤ {zero})"),
+        one <= zero,
+    );
+    ok &= check(
+        &format!("heavy friction pins the configuration ({five} ≤ {one})"),
+        five <= one,
+    );
+    ok &= check("heavy friction nearly eliminates switching", five <= 2);
+
+    let path = write_artifact("ablation_friction.csv", &table.to_csv());
+    println!("\nwrote {}", path.display());
+    if !ok {
+        std::process::exit(1);
+    }
+}

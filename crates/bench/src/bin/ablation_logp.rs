@@ -1,0 +1,94 @@
+//! Ablation: bandwidth-only communication model vs the LogP refinement.
+//!
+//! §3.4: "a better way of modeling communication costs is by CPU occupancy
+//! on either end (for protocol processing, copying), plus wire time
+//! \[LogP\]… If this occupancy is significant, cycles on all worker
+//! processes would need to be parameterized based on the amount of
+//! communication." This bench quantifies when the refinement matters: as
+//! message size shrinks, per-message occupancy dominates and the
+//! bandwidth-only model underestimates badly.
+
+use harmony_bench::{check, write_artifact, Table};
+use harmony_predict::{
+    DefaultModel, LogPParams, Prediction, PredictionContext, Predictor,
+};
+use harmony_resources::{Cluster, Matcher};
+use harmony_rsl::expr::MapEnv;
+use harmony_rsl::schema::parse_bundle_script;
+
+fn predict(comm_mb: f64, message_bytes: f64) -> (Prediction, Prediction) {
+    let cluster = Cluster::from_rsl(&harmony_rsl::listings::sp2_cluster(2)).unwrap();
+    let script = format!(
+        "harmonyBundle a b {{ {{o {{node x {{seconds 10}}}} {{node y {{seconds 10}}}} {{communication {comm_mb}}}}} }}"
+    );
+    let bundle = parse_bundle_script(&script).unwrap();
+    let opt = &bundle.options[0];
+    let alloc = Matcher::default().match_option(&cluster, opt, &MapEnv::new()).unwrap();
+    let ctx = PredictionContext::hypothetical(&cluster, &alloc, opt);
+    let bw = DefaultModel::new().predict(&ctx).unwrap();
+    let mut params = LogPParams::sp2_switch();
+    params.message_bytes = message_bytes;
+    let logp = DefaultModel::with_logp(params).predict(&ctx).unwrap();
+    (bw, logp)
+}
+
+fn main() {
+    println!("Ablation — bandwidth-only vs LogP communication model\n");
+    let mut table = Table::new(vec![
+        "transfer (MB)",
+        "message size",
+        "bandwidth model (s)",
+        "LogP model (s)",
+        "LogP/bandwidth",
+    ]);
+    let mut ratios = Vec::new();
+    for &mb in &[10.0, 100.0] {
+        for &msg in &[64.0, 1024.0, 8192.0, 65536.0] {
+            let (bw, logp) = predict(mb, msg);
+            let ratio = logp.response_time / bw.response_time;
+            table.row(vec![
+                format!("{mb:.0}"),
+                format!("{msg:.0} B"),
+                format!("{:.2}", bw.response_time),
+                format!("{:.2}", logp.response_time),
+                format!("{ratio:.2}"),
+            ]);
+            ratios.push((mb, msg, ratio, logp.cpu_time - bw.cpu_time));
+        }
+    }
+    println!("{}", table.render());
+
+    let mut ok = true;
+    let small = ratios.iter().find(|(mb, msg, ..)| *mb == 100.0 && *msg == 64.0).unwrap();
+    let large =
+        ratios.iter().find(|(mb, msg, ..)| *mb == 100.0 && *msg == 65536.0).unwrap();
+    ok &= check(
+        &format!(
+            "tiny messages inflate cost well beyond wire time (×{:.2} at 64 B)",
+            small.2
+        ),
+        small.2 > 1.5,
+    );
+    ok &= check(
+        &format!("large messages approach the bandwidth model (×{:.2} at 64 KB)", large.2),
+        large.2 < 1.15,
+    );
+    ok &= check(
+        "occupancy charges CPU, not just wire time (the §3.4 point)",
+        ratios.iter().all(|(_, _, _, occ)| *occ > 0.0),
+    );
+    ok &= check(
+        "occupancy shrinks monotonically with message size",
+        ratios.windows(2).filter(|w| w[0].0 == w[1].0).all(|w| w[1].3 <= w[0].3 + 1e-9),
+    );
+
+    let mut csv = String::from("transfer_mb,message_bytes,ratio,occupancy_s\n");
+    for (mb, msg, ratio, occ) in &ratios {
+        csv.push_str(&format!("{mb},{msg},{ratio:.4},{occ:.4}\n"));
+    }
+    let path = write_artifact("ablation_logp.csv", &csv);
+    println!("\nwrote {}", path.display());
+    if !ok {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,121 @@
+//! Ablation: matching strategy (first-fit vs best-fit vs worst-fit).
+//!
+//! §4.1: "Our current approach uses a simple first-fit allocation strategy.
+//! In the future, we plan to extend the matching to use more sophisticated
+//! policies that try to avoid fragmentation." This bench quantifies that
+//! gap: a stream of memory-hungry jobs lands on a heterogeneous cluster,
+//! and we measure how many place successfully and how fragmented free
+//! memory ends up under each strategy.
+
+use harmony_bench::{check, write_artifact, Table};
+use harmony_resources::{fragmentation, Cluster, Matcher, Strategy};
+use harmony_rsl::expr::MapEnv;
+use harmony_rsl::schema::{parse_bundle_script, NodeDecl};
+use harmony_sim::SimRng;
+
+fn cluster() -> Cluster {
+    let mut c = Cluster::new();
+    // Heterogeneous memory: a few big nodes, many small ones.
+    for (i, mem) in [512.0, 512.0, 256.0, 128.0, 128.0, 64.0, 64.0, 64.0]
+        .into_iter()
+        .enumerate()
+    {
+        c.add_node(NodeDecl::new(format!("n{i}"), 1.0, mem)).unwrap();
+    }
+    c
+}
+
+fn job_script(mem: f64) -> String {
+    format!("harmonyBundle j b {{ {{o {{node w {{seconds 10}} {{memory {mem:.0}}}}}}} }}")
+}
+
+fn run(strategy: Strategy, seed: u64) -> (usize, usize, f64) {
+    let mut cluster = cluster();
+    let matcher = Matcher::new(strategy);
+    let mut rng = SimRng::seed(seed);
+    let mut placed = 0;
+    let mut refused = 0;
+    // Phase 1: small jobs trickle in and some leave, shredding memory.
+    let mut allocs = Vec::new();
+    for _ in 0..40 {
+        let mem = rng.uniform(16.0, 96.0);
+        let spec = parse_bundle_script(&job_script(mem)).unwrap();
+        if let Ok(a) = matcher.match_option(&cluster, &spec.options[0], &MapEnv::new()) {
+            cluster.commit(&a).unwrap();
+            allocs.push(a);
+        }
+        if allocs.len() > 6 && rng.chance(0.5) {
+            let idx = rng.uniform_int(0, allocs.len() as i64 - 1) as usize;
+            let a = allocs.swap_remove(idx);
+            cluster.release(&a).unwrap();
+        }
+    }
+    let frag = fragmentation(&cluster).external_fragmentation;
+    // Phase 2: big jobs arrive; fragmentation decides who fits.
+    for _ in 0..10 {
+        let mem = rng.uniform(128.0, 384.0);
+        let spec = parse_bundle_script(&job_script(mem)).unwrap();
+        match matcher.match_option(&cluster, &spec.options[0], &MapEnv::new()) {
+            Ok(a) => {
+                cluster.commit(&a).unwrap();
+                placed += 1;
+            }
+            Err(_) => refused += 1,
+        }
+    }
+    (placed, refused, frag)
+}
+
+fn main() {
+    println!("Ablation — matching strategy (paper default: first-fit)\n");
+    let mut table =
+        Table::new(vec!["strategy", "big jobs placed", "refused", "fragmentation after churn"]);
+    let mut totals = Vec::new();
+    for (name, strategy) in [
+        ("first-fit", Strategy::FirstFit),
+        ("best-fit", Strategy::BestFit),
+        ("worst-fit", Strategy::WorstFit),
+    ] {
+        let mut placed_total = 0usize;
+        let mut refused_total = 0usize;
+        let mut frag_sum = 0.0;
+        const SEEDS: u64 = 20;
+        for seed in 0..SEEDS {
+            let (p, r, f) = run(strategy, seed);
+            placed_total += p;
+            refused_total += r;
+            frag_sum += f;
+        }
+        table.row(vec![
+            name.to_string(),
+            placed_total.to_string(),
+            refused_total.to_string(),
+            format!("{:.3}", frag_sum / SEEDS as f64),
+        ]);
+        totals.push((name, placed_total, frag_sum / SEEDS as f64));
+    }
+    println!("{}", table.render());
+
+    let ff = totals.iter().find(|(n, ..)| *n == "first-fit").unwrap();
+    let bf = totals.iter().find(|(n, ..)| *n == "best-fit").unwrap();
+    let mut ok = true;
+    ok &= check(
+        &format!(
+            "best-fit places at least as many big jobs as first-fit ({} vs {})",
+            bf.1, ff.1
+        ),
+        bf.1 >= ff.1,
+    );
+    ok &= check(
+        &format!(
+            "best-fit leaves less (or equal) fragmentation ({:.3} vs {:.3})",
+            bf.2, ff.2
+        ),
+        bf.2 <= ff.2 + 0.02,
+    );
+    let path = write_artifact("ablation_matching.csv", &table.to_csv());
+    println!("\nwrote {}", path.display());
+    if !ok {
+        std::process::exit(1);
+    }
+}

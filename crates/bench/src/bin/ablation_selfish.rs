@@ -1,0 +1,76 @@
+//! Ablation: centralized coordination vs per-application selfish
+//! adaptation — the paper's core argument (§1) and its contrast with
+//! AppLes (§7): "Harmony differs from AppLes in that we try to optimize
+//! resource allocation between applications, whereas AppLes lets each
+//! application adapt itself independently."
+
+use harmony_bench::{check, write_artifact, Table};
+use harmony_core::{Controller, ControllerConfig};
+use harmony_resources::Cluster;
+use harmony_rsl::schema::parse_bundle_script;
+
+fn run(napps: usize, selfish: bool) -> (f64, Vec<i64>) {
+    let cluster = Cluster::from_rsl(&harmony_rsl::listings::sp2_cluster(8)).unwrap();
+    let config = ControllerConfig { selfish, ..Default::default() };
+    let mut ctl = Controller::new(cluster, config);
+    let mut ids = Vec::new();
+    for _ in 0..napps {
+        let (id, _) = ctl
+            .register(parse_bundle_script(harmony_rsl::listings::FIG2B_BAG).unwrap())
+            .unwrap();
+        ids.push(id);
+    }
+    let workers: Vec<i64> = ids
+        .iter()
+        .map(|id| ctl.choice(id, "config").map(|c| c.vars[0].1).unwrap_or(0))
+        .collect();
+    // Score both variants with the *system* objective (selfish mode scores
+    // only itself during optimization, but we judge the outcome globally).
+    (ctl.objective_score(), workers)
+}
+
+fn main() {
+    println!("Ablation — centralized coordination vs selfish adaptation\n");
+    let mut table = Table::new(vec![
+        "jobs",
+        "policy",
+        "chosen workers",
+        "system objective (s)",
+    ]);
+    let mut ok = true;
+    for napps in [1usize, 2, 3, 4] {
+        let (central_score, central_w) = run(napps, false);
+        let (selfish_score, selfish_w) = run(napps, true);
+        table.row(vec![
+            napps.to_string(),
+            "centralized".into(),
+            format!("{central_w:?}"),
+            format!("{central_score:.0}"),
+        ]);
+        table.row(vec![
+            napps.to_string(),
+            "selfish".into(),
+            format!("{selfish_w:?}"),
+            format!("{selfish_score:.0}"),
+        ]);
+        ok &= check(
+            &format!(
+                "{napps} job(s): centralized ≤ selfish on the system objective \
+                 ({central_score:.0} vs {selfish_score:.0})"
+            ),
+            central_score <= selfish_score + 1e-6,
+        );
+        if napps >= 2 {
+            ok &= check(
+                &format!("{napps} job(s): centralized strictly better"),
+                central_score < selfish_score - 1.0,
+            );
+        }
+    }
+    println!("{}", table.render());
+    let path = write_artifact("ablation_selfish.csv", &table.to_csv());
+    println!("wrote {}", path.display());
+    if !ok {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,131 @@
+//! Extension experiment: the QS/DS crossover curve.
+//!
+//! Figure 7 shows one trajectory (1→2→3 clients). This sweep maps the
+//! whole space: steady-state mean response time versus client count for
+//! always-QS, always-DS, and the Harmony controller — making the crossover
+//! the paper's rule hard-codes visible as data, alongside a closed-form
+//! queueing *bound* (`harmony_predict::InteractiveModel`, which conservatively
+//! charges the whole demand to the shared server and therefore upper-bounds
+//! the simulated pipeline).
+
+use harmony_bench::{check, write_artifact, Table};
+use harmony_core::ControllerConfig;
+use harmony_db::{run_fig7, CostModel, Fig7Config, Fig7Result, WherePolicy, WorkloadConfig};
+use harmony_predict::InteractiveModel;
+
+fn run(clients: usize, policy: WherePolicy) -> Fig7Result {
+    run_fig7(&Fig7Config {
+        n_clients: clients,
+        arrival_spacing: 0.0, // everyone starts immediately: steady state
+        duration: 240.0,
+        tuples: 10_000,
+        workload: WorkloadConfig { tuples: 10_000, selectivity: 0.1, drift: 0.02 },
+        think_time: 1.0,
+        cost: CostModel { per_op_seconds: 950e-6, ..CostModel::default() },
+        policy,
+        ..Default::default()
+    })
+}
+
+fn steady_mean(r: &Fig7Result) -> f64 {
+    // Skip the warmup third.
+    r.mean_response_in(80.0, 240.0).unwrap_or(f64::NAN)
+}
+
+fn main() {
+    println!("Crossover sweep — steady-state response time vs client count\n");
+    let mut table = Table::new(vec![
+        "clients",
+        "always-QS",
+        "always-DS",
+        "harmony",
+        "harmony mode",
+        "MVA bound (QS)",
+    ]);
+    let mut qs_curve = Vec::new();
+    let mut ds_curve = Vec::new();
+    let mut harmony_curve = Vec::new();
+    let mut modes = Vec::new();
+    // Calibrate the closed-form model from the 1-client measurement.
+    let mut mva_service = 0.0;
+    for k in 1..=6usize {
+        let qs = steady_mean(&run(k, WherePolicy::AlwaysQs));
+        let ds = steady_mean(&run(k, WherePolicy::AlwaysDs));
+        let h = run(k, WherePolicy::Harmony(ControllerConfig::default()));
+        let hm = steady_mean(&h);
+        // Which mode did harmony settle on (last recorded mode, client 1)?
+        let mode = h
+            .trace
+            .series("client1.mode")
+            .last()
+            .map(|(_, v)| if *v == 1.0 { "DS" } else { "QS" })
+            .unwrap_or("?");
+        if k == 1 {
+            mva_service = qs - 1.0; // subtract client-side second(s)
+        }
+        let mva = InteractiveModel::new(mva_service.max(0.1), 1.0).response_time(k as u32)
+            + (qs - mva_service).max(0.0);
+        table.row(vec![
+            k.to_string(),
+            format!("{qs:.2}"),
+            format!("{ds:.2}"),
+            format!("{hm:.2}"),
+            mode.to_string(),
+            format!("{mva:.2}"),
+        ]);
+        qs_curve.push(qs);
+        ds_curve.push(ds);
+        harmony_curve.push(hm);
+        modes.push(mode.to_string());
+    }
+    println!("{}", table.render());
+
+    println!("shape criteria:");
+    let mut ok = true;
+    ok &= check(
+        "QS response grows monotonically with clients",
+        qs_curve.windows(2).all(|w| w[1] > w[0] * 0.98),
+    );
+    let ds_spread = ds_curve.iter().cloned().fold(f64::MIN, f64::max)
+        / ds_curve.iter().cloned().fold(f64::MAX, f64::min);
+    ok &= check(
+        &format!("DS response is nearly flat across client counts (spread ×{ds_spread:.2})"),
+        ds_spread < 1.6,
+    );
+    let crossover = qs_curve.iter().zip(&ds_curve).position(|(q, d)| q > d);
+    ok &= check(
+        &format!(
+            "curves cross between 2 and 4 clients (at {})",
+            crossover.map(|i| (i + 1).to_string()).unwrap_or_else(|| "never".into())
+        ),
+        crossover.map(|i| (1..=3).contains(&i)).unwrap_or(false),
+    );
+    ok &= check(
+        "harmony tracks the lower envelope (within 20%)",
+        qs_curve
+            .iter()
+            .zip(&ds_curve)
+            .zip(&harmony_curve)
+            .all(|((q, d), h)| *h <= q.min(*d) * 1.2),
+    );
+    ok &= check(
+        "harmony picks QS below the crossover and DS above it",
+        modes.first().map(String::as_str) == Some("QS")
+            && modes.last().map(String::as_str) == Some("DS"),
+    );
+
+    let mut csv = String::from("clients,always_qs,always_ds,harmony,mode\n");
+    for (i, ((q, d), (h, m))) in qs_curve
+        .iter()
+        .zip(&ds_curve)
+        .zip(harmony_curve.iter().zip(&modes))
+        .enumerate()
+    {
+        csv.push_str(&format!("{},{q:.4},{d:.4},{h:.4},{m}\n", i + 1));
+    }
+    let path = write_artifact("crossover_sweep.csv", &csv);
+    println!("\nwrote {}", path.display());
+    if !ok {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,96 @@
+//! Figure 4: online reconfiguration.
+//!
+//! (a) the parallel application's performance curve; (b) the
+//! eight-processor configurations Harmony chooses as jobs arrive and
+//! depart. Shape criteria (from the paper's caption): the first job gets
+//! **five nodes, not six**; multiple instances get **equal partitions**
+//! rather than some large and some small; departures let survivors
+//! re-expand.
+
+use harmony_apps::{run_fig4, Fig4Config};
+use harmony_bench::{check, write_artifact, Table};
+
+fn main() {
+    let cfg = Fig4Config::default();
+    let r = run_fig4(&cfg);
+
+    println!("Figure 4(a) — running time vs workers (measured bag-of-tasks)\n");
+    let mut curve = Table::new(vec!["workers", "seconds", "speedup"]);
+    let t1 = r.curve[0].1;
+    for (w, t) in &r.curve {
+        curve.row(vec![
+            format!("{}", *w as u32),
+            format!("{t:.0}"),
+            format!("{:.2}", t1 / t),
+        ]);
+    }
+    println!("{}", curve.render());
+
+    println!("Figure 4(b) — configurations chosen online\n");
+    let mut timeline = Table::new(vec!["time", "event", "configuration"]);
+    for e in &r.timeline {
+        let cfgs = e
+            .configs
+            .iter()
+            .map(|(id, w)| format!("{id}={w}"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        timeline.row(vec![format!("{:.0}", e.time), e.event.clone(), cfgs]);
+    }
+    println!("{}", timeline.render());
+
+    println!("decision log:");
+    for d in &r.decisions {
+        println!(
+            "  t={:>5.0}s {} {}: {} -> {}",
+            d.time,
+            d.instance,
+            d.bundle,
+            d.from.as_deref().unwrap_or("-"),
+            d.to
+        );
+    }
+
+    println!("\nshape criteria vs the paper:");
+    let mut ok = true;
+    let best = r
+        .curve
+        .iter()
+        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .map(|(w, _)| *w as u32)
+        .unwrap();
+    ok &= check("curve bottoms at five workers (paper: 5, not 6)", best == 5);
+    ok &= check(
+        "first job configured at five nodes",
+        r.timeline[0].workers() == vec![5],
+    );
+    ok &= check(
+        "two jobs: equal partitions (4+4)",
+        r.timeline[1].workers() == vec![4, 4],
+    );
+    let mut w3 = r.timeline[2].workers();
+    w3.sort_unstable();
+    ok &= check(
+        "three jobs: near-equal partitions using all 8 processors",
+        w3.iter().sum::<u32>() == 8 && w3[2] - w3[0] <= 1,
+    );
+    ok &= check(
+        "departure: survivors re-expand to 4+4",
+        r.timeline[3].workers() == vec![4, 4],
+    );
+
+    let mut csv = String::from("series,x,y\n");
+    for (w, t) in &r.curve {
+        csv.push_str(&format!("fig4a_curve,{w},{t:.1}\n"));
+    }
+    for e in &r.timeline {
+        for (i, w) in e.workers().iter().enumerate() {
+            csv.push_str(&format!("fig4b_job{},{:.0},{w}\n", i + 1, e.time));
+        }
+    }
+    let path = write_artifact("fig4_reconfig.csv", &csv);
+    println!("\nwrote {}", path.display());
+    if !ok {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,65 @@
+//! Extension experiment: controller decision latency vs system size.
+//!
+//! §3.1 justifies a scripting-language controller because "updates in
+//! Harmony are on the order of seconds, not micro-seconds". This binary
+//! measures arrival placement and full re-evaluation latency as the
+//! cluster and population grow, verifying the Rust controller keeps
+//! orders of magnitude of headroom under that budget.
+
+use std::time::Instant;
+
+use harmony_bench::{check, write_artifact, Table};
+use harmony_core::{Controller, ControllerConfig};
+use harmony_resources::Cluster;
+use harmony_rsl::listings::{sp2_cluster, FIG2B_BAG};
+use harmony_rsl::schema::parse_bundle_script;
+
+fn main() {
+    println!("Scalability — controller latency vs population and cluster size\n");
+    let mut table = Table::new(vec![
+        "nodes",
+        "apps",
+        "placement (ms)",
+        "reevaluate (ms)",
+        "decisions",
+    ]);
+    let spec = parse_bundle_script(FIG2B_BAG).unwrap();
+    let mut worst_reeval_ms: f64 = 0.0;
+    for (nodes, napps) in [(8usize, 2usize), (16, 4), (32, 8), (64, 12)] {
+        let cluster = Cluster::from_rsl(&sp2_cluster(nodes)).unwrap();
+        let mut ctl = Controller::new(cluster, ControllerConfig::default());
+        let t0 = Instant::now();
+        for i in 0..napps {
+            ctl.set_time(i as f64);
+            ctl.register(spec.clone()).unwrap();
+        }
+        let place_ms = t0.elapsed().as_secs_f64() * 1e3 / napps as f64;
+        let t0 = Instant::now();
+        ctl.set_time(1e6);
+        ctl.reevaluate().unwrap();
+        let reeval_ms = t0.elapsed().as_secs_f64() * 1e3;
+        worst_reeval_ms = worst_reeval_ms.max(reeval_ms);
+        table.row(vec![
+            nodes.to_string(),
+            napps.to_string(),
+            format!("{place_ms:.2}"),
+            format!("{reeval_ms:.2}"),
+            ctl.decisions().len().to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+
+    let mut ok = true;
+    ok &= check(
+        &format!(
+            "worst full re-evaluation ({worst_reeval_ms:.1} ms) sits under the \
+             paper's seconds-scale budget"
+        ),
+        worst_reeval_ms < 2000.0,
+    );
+    let path = write_artifact("scalability.csv", &table.to_csv());
+    println!("\nwrote {}", path.display());
+    if !ok {
+        std::process::exit(1);
+    }
+}

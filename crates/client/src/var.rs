@@ -1,0 +1,79 @@
+//! Harmony variable handles.
+
+use std::sync::Arc;
+
+use harmony_rsl::Value;
+use parking_lot::Mutex;
+
+/// A handle to a Harmony variable — the Rust rendering of the paper's
+/// "pointer to the variable returned by `harmony_add_variable()`". The
+/// client's poll loop writes updates into the shared cell; the application
+/// reads the current value whenever it reaches a natural reconfiguration
+/// point.
+///
+/// Handles are cheap to clone and safe to read from any thread.
+#[derive(Debug, Clone)]
+pub struct HarmonyVar {
+    name: String,
+    cell: Arc<Mutex<Value>>,
+}
+
+impl HarmonyVar {
+    pub(crate) fn new(name: String, cell: Arc<Mutex<Value>>) -> Self {
+        HarmonyVar { name, cell }
+    }
+
+    /// The variable's instance-relative namespace path.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The current value (a clone of the cell's contents).
+    pub fn get(&self) -> Value {
+        self.cell.lock().clone()
+    }
+
+    /// The current value as a string, when it is one.
+    pub fn as_str(&self) -> Option<String> {
+        self.cell.lock().as_str().map(str::to_owned)
+    }
+
+    /// The current value as an integer, when convertible.
+    pub fn as_i64(&self) -> Option<i64> {
+        self.cell.lock().as_i64().ok()
+    }
+
+    /// The current value as a float, when convertible.
+    pub fn as_f64(&self) -> Option<f64> {
+        self.cell.lock().as_f64().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handle_reads_shared_cell() {
+        let cell = Arc::new(Mutex::new(Value::Int(1)));
+        let var = HarmonyVar::new("config".into(), Arc::clone(&cell));
+        assert_eq!(var.get(), Value::Int(1));
+        *cell.lock() = Value::Str("DS".into());
+        assert_eq!(var.as_str().as_deref(), Some("DS"));
+        assert_eq!(var.name(), "config");
+        // Clones observe the same cell.
+        let clone = var.clone();
+        *cell.lock() = Value::Float(2.5);
+        assert_eq!(clone.as_f64(), Some(2.5));
+        assert_eq!(clone.as_i64(), Some(2));
+    }
+
+    #[test]
+    fn conversions_fail_gracefully() {
+        let cell = Arc::new(Mutex::new(Value::Str("DS".into())));
+        let var = HarmonyVar::new("x".into(), cell);
+        assert_eq!(var.as_i64(), None);
+        assert_eq!(var.as_f64(), None);
+        assert_eq!(var.as_str().as_deref(), Some("DS"));
+    }
+}

@@ -1,0 +1,173 @@
+//! Candidate enumeration: the discrete configuration points of a bundle.
+//!
+//! Options are "a way of allowing Harmony to locate an individual
+//! application in n-dimensional space" (§3). A bundle's candidate set is
+//! the cross product of its options, each option's `variable` axes, and the
+//! controller's elastic-memory steps.
+
+use harmony_rsl::expr::MapEnv;
+use harmony_rsl::schema::{BundleSpec, OptionSpec};
+use harmony_rsl::Value;
+use serde::{Deserialize, Serialize};
+
+/// One candidate configuration point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Candidate {
+    /// The option name.
+    pub option: String,
+    /// Variable bindings, sorted by name.
+    pub vars: Vec<(String, i64)>,
+    /// Extra megabytes for elastic memory requirements.
+    pub elastic_extra: f64,
+}
+
+impl Candidate {
+    /// The variable environment this candidate induces.
+    pub fn env(&self) -> MapEnv {
+        let mut env = MapEnv::new();
+        for (k, v) in &self.vars {
+            env.set(k.clone(), Value::Int(*v));
+        }
+        env
+    }
+
+    /// A short label like `DS+7MB` or `run[workerNodes=4]`.
+    pub fn label(&self) -> String {
+        let mut s = self.option.clone();
+        if !self.vars.is_empty() {
+            let vars = self
+                .vars
+                .iter()
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect::<Vec<_>>()
+                .join(",");
+            s.push_str(&format!("[{vars}]"));
+        }
+        if self.elastic_extra > 0.0 {
+            s.push_str(&format!("+{:.0}MB", self.elastic_extra));
+        }
+        s
+    }
+}
+
+/// Enumerates every variable assignment of `opt` (cartesian product of its
+/// `variable` tags), in definition order.
+pub fn variable_assignments(opt: &OptionSpec) -> Vec<Vec<(String, i64)>> {
+    let mut out: Vec<Vec<(String, i64)>> = vec![Vec::new()];
+    for var in &opt.variables {
+        let mut next = Vec::with_capacity(out.len() * var.choices.len());
+        for assignment in &out {
+            for &choice in &var.choices {
+                let mut a = assignment.clone();
+                a.push((var.name.clone(), choice));
+                next.push(a);
+            }
+        }
+        out = next;
+    }
+    for a in &mut out {
+        a.sort();
+    }
+    out
+}
+
+/// True when any node requirement of `opt` has an elastic (`>=`) memory
+/// tag, i.e. elastic-extra steps beyond zero are meaningful.
+pub fn has_elastic_memory(opt: &OptionSpec) -> bool {
+    opt.nodes.iter().any(|n| n.memory().map(|m| m.is_elastic()).unwrap_or(false))
+}
+
+/// Enumerates all candidates of `bundle`: for each option, each variable
+/// assignment; options with elastic memory additionally fan out over
+/// `elastic_steps` (a `0.0` step is always included first).
+pub fn enumerate(bundle: &BundleSpec, elastic_steps: &[f64]) -> Vec<Candidate> {
+    let mut out = Vec::new();
+    for opt in &bundle.options {
+        let extras: Vec<f64> = if has_elastic_memory(opt) {
+            let mut steps = vec![0.0];
+            for &s in elastic_steps {
+                if s > 0.0 && !steps.iter().any(|x| (x - s).abs() < 1e-9) {
+                    steps.push(s);
+                }
+            }
+            steps
+        } else {
+            vec![0.0]
+        };
+        for vars in variable_assignments(opt) {
+            for &extra in &extras {
+                out.push(Candidate {
+                    option: opt.name.clone(),
+                    vars: vars.clone(),
+                    elastic_extra: extra,
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harmony_rsl::expr::Env;
+    use harmony_rsl::listings::{FIG2B_BAG, FIG3_DBCLIENT};
+    use harmony_rsl::schema::parse_bundle_script;
+
+    #[test]
+    fn fig2b_enumerates_worker_counts() {
+        let bundle = parse_bundle_script(FIG2B_BAG).unwrap();
+        let cands = enumerate(&bundle, &[]);
+        assert_eq!(cands.len(), 4);
+        let workers: Vec<i64> = cands.iter().map(|c| c.vars[0].1).collect();
+        assert_eq!(workers, vec![1, 2, 4, 8]);
+        assert_eq!(cands[2].label(), "run[workerNodes=4]");
+    }
+
+    #[test]
+    fn fig3_enumerates_options_with_elastic_fanout() {
+        let bundle = parse_bundle_script(FIG3_DBCLIENT).unwrap();
+        // QS is not elastic; DS is (client memory >=17).
+        let cands = enumerate(&bundle, &[7.0, 15.0]);
+        let qs: Vec<_> = cands.iter().filter(|c| c.option == "QS").collect();
+        let ds: Vec<_> = cands.iter().filter(|c| c.option == "DS").collect();
+        assert_eq!(qs.len(), 1);
+        assert_eq!(ds.len(), 3); // 0, 7, 15 MB extra
+        assert_eq!(ds[1].label(), "DS+7MB");
+    }
+
+    #[test]
+    fn candidate_env_binds_vars() {
+        let c = Candidate {
+            option: "run".into(),
+            vars: vec![("workerNodes".into(), 8)],
+            elastic_extra: 0.0,
+        };
+        assert_eq!(c.env().lookup("workerNodes"), Some(Value::Int(8)));
+    }
+
+    #[test]
+    fn multi_variable_cross_product() {
+        let bundle = parse_bundle_script(
+            "harmonyBundle a b { {o {variable x {1 2}} {variable y {10 20 30}} {node n {seconds 1}}} }",
+        )
+        .unwrap();
+        let assignments = variable_assignments(&bundle.options[0]);
+        assert_eq!(assignments.len(), 6);
+        // Sorted bindings inside each assignment.
+        for a in &assignments {
+            assert_eq!(a[0].0, "x");
+            assert_eq!(a[1].0, "y");
+        }
+    }
+
+    #[test]
+    fn duplicate_elastic_steps_are_deduplicated() {
+        let bundle = parse_bundle_script(
+            "harmonyBundle a b { {o {node n {memory >=16} {seconds 1}}} }",
+        )
+        .unwrap();
+        let cands = enumerate(&bundle, &[8.0, 8.0, 0.0]);
+        assert_eq!(cands.len(), 2); // 0 and 8
+    }
+}

@@ -1,0 +1,1215 @@
+//! The Harmony adaptation controller.
+//!
+//! "The adaptation controller is the heart of the system. The controller
+//! must gather relevant information about both the applications and the
+//! environment, project the effects of proposed changes on the system, and
+//! weigh competing costs and expected benefits of making various changes"
+//! (§2).
+//!
+//! The controller keeps the cluster state, the registered application
+//! instances with their bundles, the shared namespace, and the metric
+//! registry. Its optimization policy (§4.3) is greedy: one bundle at a
+//! time, in the order bundles were defined, evaluating every candidate
+//! configuration against the objective function; after placing a new
+//! application it re-evaluates the options of existing applications. In
+//! addition, *coordinated pairwise moves* implement the paper's motivating
+//! §1 scenario — "a centralized decision-maker could infer that
+//! reconfiguring the first application to only six nodes will improve
+//! overall efficiency and throughput" — by jointly re-choosing two bundles
+//! when no single-bundle move helps (e.g. shrinking a running job to admit
+//! a newcomer).
+
+use std::collections::BTreeMap;
+
+use harmony_metrics::{MetricBus, MetricEvent, MetricRegistry};
+use harmony_ns::{HPath, InstanceRegistry, Namespace};
+use harmony_predict::{model_for_option, PredictionContext};
+use harmony_resources::{Allocation, Cluster, Matcher};
+use harmony_rsl::schema::{BundleSpec, OptionSpec};
+use harmony_rsl::Value;
+use serde::{Deserialize, Serialize};
+
+use crate::app::{AppInstance, BundleState, ChosenConfig, InstanceId};
+use crate::candidates::{enumerate, Candidate};
+use crate::error::CoreError;
+use crate::feedback::{calibration_factor, FeedbackConfig};
+use crate::objective::Objective;
+
+/// Which search policy drives option selection.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum OptimizerKind {
+    /// The paper's policy: optimize one bundle at a time, greedily, in
+    /// definition order (§4.3), plus coordinated pairwise moves.
+    Greedy,
+    /// Exhaustive search over the joint configuration space of all
+    /// bundles, bounded by the contained limit. "The space of possible
+    /// option combinations in any moderately large system will be so large
+    /// that we will not be able to evaluate all combinations" — this
+    /// exists to measure how far greedy falls from optimal on small
+    /// systems.
+    Exhaustive {
+        /// Maximum number of joint configurations to evaluate.
+        limit: u64,
+    },
+    /// Simulated annealing over the joint space (the direction the Active
+    /// Harmony project later took).
+    Annealing {
+        /// Number of proposal steps.
+        steps: u32,
+        /// Initial temperature in objective units (seconds).
+        initial_temperature: f64,
+        /// RNG seed for reproducibility.
+        seed: u64,
+    },
+}
+
+impl Default for OptimizerKind {
+    fn default() -> Self {
+        OptimizerKind::Greedy
+    }
+}
+
+/// Controller configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ControllerConfig {
+    /// Node-selection strategy for the matcher.
+    pub matcher: Matcher,
+    /// The objective function (lower is better).
+    pub objective: Objective,
+    /// Search policy.
+    pub optimizer: OptimizerKind,
+    /// Weight on frictional switching costs: the new option's `friction`
+    /// seconds are added to the switching application's predicted response
+    /// time, scaled by this weight. `0.0` ignores friction (ablation).
+    pub friction_weight: f64,
+    /// Elastic memory steps (extra MB) to explore for options with `>=`
+    /// memory tags.
+    pub elastic_steps: Vec<f64>,
+    /// Re-evaluate existing applications after a new one arrives (§4.3).
+    pub reevaluate_on_arrival: bool,
+    /// Honor `granularity` declarations (skip bundles that switched too
+    /// recently).
+    pub respect_granularity: bool,
+    /// Enable coordinated pairwise moves (jointly re-choosing two bundles
+    /// when single moves are stuck) — the §1 admission scenario.
+    pub coordinated_moves: bool,
+    /// Ablation: each application optimizes only its own response time
+    /// (the AppLes contrast from §7) instead of the system objective.
+    /// Selfish applications never shrink for others, so coordinated moves
+    /// are disabled too.
+    pub selfish: bool,
+    /// When set, measured `response_time` metrics calibrate predictions:
+    /// each application's predicted response times are scaled by
+    /// `measured / predicted-at-current-config` (see [`crate::feedback`]).
+    pub feedback: Option<FeedbackConfig>,
+}
+
+impl Default for ControllerConfig {
+    fn default() -> Self {
+        ControllerConfig {
+            matcher: Matcher::default(),
+            objective: Objective::default(),
+            optimizer: OptimizerKind::Greedy,
+            friction_weight: 1.0,
+            elastic_steps: vec![7.0, 15.0, 30.0],
+            reevaluate_on_arrival: true,
+            respect_granularity: true,
+            coordinated_moves: true,
+            selfish: false,
+            feedback: None,
+        }
+    }
+}
+
+/// A record of one applied reconfiguration decision.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecisionRecord {
+    /// Controller-clock time of the decision.
+    pub time: f64,
+    /// The application instance affected.
+    pub instance: InstanceId,
+    /// The bundle affected.
+    pub bundle: String,
+    /// Label of the previous configuration (`None` for the initial
+    /// placement).
+    pub from: Option<String>,
+    /// Label of the new configuration.
+    pub to: String,
+    /// Objective score before the change.
+    pub objective_before: f64,
+    /// Objective score after the change.
+    pub objective_after: f64,
+}
+
+/// A hypothetical substitution of one bundle's configuration during
+/// evaluation.
+struct Replace<'a> {
+    id: &'a InstanceId,
+    bundle: &'a str,
+    opt: &'a OptionSpec,
+    cfg: &'a ChosenConfig,
+    /// Extra seconds added to this app's predicted response time (friction
+    /// of switching into the hypothetical configuration).
+    penalty: f64,
+}
+
+#[derive(Debug)]
+struct EvaluatedCandidate {
+    candidate: Candidate,
+    alloc: Allocation,
+    score: f64,
+    predicted: f64,
+}
+
+/// The adaptation controller.
+#[derive(Debug)]
+pub struct Controller {
+    pub(crate) config: ControllerConfig,
+    pub(crate) cluster: Cluster,
+    pub(crate) apps: BTreeMap<InstanceId, AppInstance>,
+    pub(crate) arrival_order: Vec<InstanceId>,
+    registry: InstanceRegistry,
+    namespace: Namespace<Value>,
+    pub(crate) metrics: MetricRegistry,
+    bus: std::sync::Arc<MetricBus>,
+    pending_vars: BTreeMap<InstanceId, Vec<(HPath, Value)>>,
+    now: f64,
+    decisions: Vec<DecisionRecord>,
+}
+
+impl Controller {
+    /// Creates a controller over a cluster.
+    pub fn new(cluster: Cluster, config: ControllerConfig) -> Self {
+        Controller {
+            config,
+            cluster,
+            apps: BTreeMap::new(),
+            arrival_order: Vec::new(),
+            registry: InstanceRegistry::new(),
+            namespace: Namespace::new(),
+            metrics: MetricRegistry::new(),
+            bus: std::sync::Arc::new(MetricBus::new()),
+            pending_vars: BTreeMap::new(),
+            now: 0.0,
+            decisions: Vec::new(),
+        }
+    }
+
+    /// The controller clock (seconds). The embedding (simulation or wall
+    /// clock) advances it with [`Controller::set_time`].
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Advances the controller clock. Time never moves backwards; earlier
+    /// values are ignored.
+    pub fn set_time(&mut self, now: f64) {
+        if now > self.now {
+            self.now = now;
+        }
+    }
+
+    /// The cluster (read-only).
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// The shared namespace (read-only).
+    pub fn namespace(&self) -> &Namespace<Value> {
+        &self.namespace
+    }
+
+    /// The metric registry (clonable handle).
+    pub fn metrics(&self) -> &MetricRegistry {
+        &self.metrics
+    }
+
+    /// The metric event bus (Figure 1's "data … flow into the metric
+    /// interface, and on to both the adaptation controller and individual
+    /// applications"): subscribers receive every reported metric plus a
+    /// `controller.decision` event per applied reconfiguration.
+    pub fn metric_bus(&self) -> std::sync::Arc<MetricBus> {
+        std::sync::Arc::clone(&self.bus)
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ControllerConfig {
+        &self.config
+    }
+
+    /// All decisions applied so far, oldest first.
+    pub fn decisions(&self) -> &[DecisionRecord] {
+        &self.decisions
+    }
+
+    /// Registered instances in arrival order.
+    pub fn instances(&self) -> Vec<InstanceId> {
+        self.arrival_order.clone()
+    }
+
+    /// Looks up an application instance.
+    pub fn app(&self, id: &InstanceId) -> Option<&AppInstance> {
+        self.apps.get(id)
+    }
+
+    /// The current configuration of a bundle, if one has been applied.
+    pub fn choice(&self, id: &InstanceId, bundle: &str) -> Option<&ChosenConfig> {
+        self.apps.get(id)?.bundle(bundle)?.current.as_ref()
+    }
+
+    /// Registers a new application instance with a system-chosen id
+    /// (`harmony_startup`).
+    pub fn startup(&mut self, app: &str) -> InstanceId {
+        let id = InstanceId::new(app, self.registry.allocate(app));
+        self.apps.insert(id.clone(), AppInstance::new(id.clone(), self.now));
+        self.arrival_order.push(id.clone());
+        self.pending_vars.insert(id.clone(), Vec::new());
+        self.metrics.inc_counter("controller.startups");
+        id
+    }
+
+    /// Adds a bundle to a registered instance (`harmony_bundle_setup`),
+    /// chooses its initial configuration, and — per §4.3 — re-evaluates
+    /// the options of existing applications. When the bundle cannot be
+    /// placed directly and coordinated moves are enabled, the controller
+    /// tries shrinking one existing application to make room (§1).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownInstance`] for unregistered ids and
+    /// [`CoreError::Unplaceable`] when no candidate fits even after
+    /// coordinated admission.
+    pub fn add_bundle(
+        &mut self,
+        id: &InstanceId,
+        spec: BundleSpec,
+    ) -> Result<Vec<DecisionRecord>, CoreError> {
+        let app = self
+            .apps
+            .get_mut(id)
+            .ok_or_else(|| CoreError::UnknownInstance { name: id.to_string() })?;
+        let bundle_name = spec.name.clone();
+        app.bundles.push(BundleState::new(spec));
+        let mut records = Vec::new();
+
+        let direct = self.optimize_bundle(id.clone(), bundle_name.clone(), true);
+        let mut unplaced_reason = None;
+        match direct {
+            Ok(Some(r)) => records.push(r),
+            Ok(None) => {}
+            Err(CoreError::Unplaceable { reason, .. })
+                if self.config.coordinated_moves && !self.config.selfish =>
+            {
+                unplaced_reason = Some(reason);
+            }
+            Err(e) => return Err(e),
+        }
+
+        if self.config.coordinated_moves && !self.config.selfish {
+            let others: Vec<(InstanceId, String)> = self.all_pairs_excluding(id, &bundle_name);
+            for (oid, obundle) in others {
+                if let Some(rs) =
+                    self.pairwise_step((oid, obundle), (id.clone(), bundle_name.clone()))?
+                {
+                    records.extend(rs);
+                }
+            }
+        }
+
+        if self.choice(id, &bundle_name).is_none() {
+            if let Some(reason) = unplaced_reason {
+                return Err(CoreError::Unplaceable { bundle: bundle_name, reason });
+            }
+        }
+
+        if self.config.reevaluate_on_arrival {
+            records.extend(self.reevaluate_excluding(Some(id))?);
+        }
+        Ok(records)
+    }
+
+    /// One-call registration: startup plus bundle setup.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Controller::add_bundle`]. On
+    /// [`CoreError::Unplaceable`] the instance remains registered with no
+    /// configuration (it can retry on a later re-evaluation).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use harmony_core::{Controller, ControllerConfig};
+    /// use harmony_resources::Cluster;
+    /// use harmony_rsl::schema::parse_bundle_script;
+    ///
+    /// let cluster = Cluster::from_rsl(&harmony_rsl::listings::sp2_cluster(8))?;
+    /// let mut controller = Controller::new(cluster, ControllerConfig::default());
+    /// let spec = parse_bundle_script(harmony_rsl::listings::FIG2B_BAG)?;
+    /// let (id, decisions) = controller.register(spec)?;
+    /// assert_eq!(id.to_string(), "bag.1");
+    /// assert!(!decisions.is_empty());
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn register(
+        &mut self,
+        spec: BundleSpec,
+    ) -> Result<(InstanceId, Vec<DecisionRecord>), CoreError> {
+        let id = self.startup(&spec.app.clone());
+        let records = self.add_bundle(&id, spec)?;
+        Ok((id, records))
+    }
+
+    /// Removes an application (`harmony_end`), releases its resources, and
+    /// re-evaluates the remaining applications.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownInstance`] for unregistered ids.
+    pub fn end(&mut self, id: &InstanceId) -> Result<Vec<DecisionRecord>, CoreError> {
+        let app = self
+            .apps
+            .remove(id)
+            .ok_or_else(|| CoreError::UnknownInstance { name: id.to_string() })?;
+        for bundle in &app.bundles {
+            if let Some(cfg) = &bundle.current {
+                self.cluster.release(&cfg.alloc)?;
+            }
+        }
+        self.arrival_order.retain(|x| x != id);
+        self.pending_vars.remove(id);
+        self.namespace.remove_subtree(&instance_path(id));
+        self.metrics.remove_prefix(&id.to_string());
+        self.metrics.inc_counter("controller.ends");
+        self.reevaluate()
+    }
+
+    /// Re-evaluates every bundle of every application in arrival order,
+    /// applying improving switches (the periodic pass of §4.3), followed by
+    /// a round of coordinated pairwise moves.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors; placement failures of *candidates*
+    /// are not errors (the candidate is skipped).
+    pub fn reevaluate(&mut self) -> Result<Vec<DecisionRecord>, CoreError> {
+        self.reevaluate_excluding(None)
+    }
+
+    fn all_pairs_excluding(
+        &self,
+        skip_id: &InstanceId,
+        skip_bundle: &str,
+    ) -> Vec<(InstanceId, String)> {
+        let mut out = Vec::new();
+        for id in &self.arrival_order {
+            let Some(app) = self.apps.get(id) else { continue };
+            for b in &app.bundles {
+                if id == skip_id && b.spec.name == skip_bundle {
+                    continue;
+                }
+                out.push((id.clone(), b.spec.name.clone()));
+            }
+        }
+        out
+    }
+
+    fn reevaluate_excluding(
+        &mut self,
+        skip: Option<&InstanceId>,
+    ) -> Result<Vec<DecisionRecord>, CoreError> {
+        self.metrics.inc_counter("controller.reevals");
+        let mut records = Vec::new();
+        let order = self.arrival_order.clone();
+        for id in &order {
+            if Some(id) == skip {
+                continue;
+            }
+            let Some(app) = self.apps.get(id) else { continue };
+            let bundle_names: Vec<String> =
+                app.bundles.iter().map(|b| b.spec.name.clone()).collect();
+            for bundle in bundle_names {
+                if let Some(r) = self.optimize_bundle(id.clone(), bundle, false)? {
+                    records.push(r);
+                }
+            }
+        }
+        if self.config.coordinated_moves && !self.config.selfish {
+            // One round of pairwise moves over all ordered pairs.
+            let pairs: Vec<(InstanceId, String)> = {
+                let mut v = Vec::new();
+                for id in &order {
+                    let Some(app) = self.apps.get(id) else { continue };
+                    for b in &app.bundles {
+                        v.push((id.clone(), b.spec.name.clone()));
+                    }
+                }
+                v
+            };
+            for i in 0..pairs.len() {
+                for j in (i + 1)..pairs.len() {
+                    if let Some(rs) =
+                        self.pairwise_step(pairs[i].clone(), pairs[j].clone())?
+                    {
+                        records.extend(rs);
+                    }
+                }
+            }
+        }
+        self.metrics.set_gauge("controller.objective", self.objective_score());
+        Ok(records)
+    }
+
+    /// Predicted response time per application (max over its bundles), in
+    /// arrival order. Applications with no applied configuration are
+    /// omitted.
+    pub fn predicted_response_times(&self) -> Vec<(InstanceId, f64)> {
+        let mut out = Vec::new();
+        for id in &self.arrival_order {
+            if let Some(rt) = self.app_response_time(&self.cluster, id, &[]) {
+                out.push((id.clone(), rt));
+            }
+        }
+        out
+    }
+
+    /// The current objective score over all applications.
+    pub fn objective_score(&self) -> f64 {
+        let rts: Vec<f64> =
+            self.predicted_response_times().into_iter().map(|(_, rt)| rt).collect();
+        self.config.objective.score(&rts)
+    }
+
+    /// Drains the buffered variable updates for one instance (the polling
+    /// path of §5: the application asks and receives everything written
+    /// since its last poll).
+    pub fn take_pending_vars(&mut self, id: &InstanceId) -> Vec<(HPath, Value)> {
+        self.pending_vars.get_mut(id).map(std::mem::take).unwrap_or_default()
+    }
+
+    /// Drains the buffered variable updates (the server side of
+    /// `flushPendingVars`): per instance, the namespace paths written since
+    /// the last flush with their values.
+    pub fn flush_pending_vars(&mut self) -> Vec<(InstanceId, Vec<(HPath, Value)>)> {
+        let mut out = Vec::new();
+        for (id, vars) in self.pending_vars.iter_mut() {
+            if !vars.is_empty() {
+                out.push((id.clone(), std::mem::take(vars)));
+            }
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Internal: evaluation and application of choices.
+    // ------------------------------------------------------------------
+
+    /// The measured-feedback factor for one application: how far reality
+    /// has diverged from the prediction of its *current* configuration.
+    fn feedback_factor(&self, id: &InstanceId) -> f64 {
+        let Some(cfg) = &self.config.feedback else { return 1.0 };
+        let Some(app) = self.apps.get(id) else { return 1.0 };
+        let predicted = app
+            .bundles
+            .iter()
+            .filter_map(|b| b.current.as_ref().map(|c| c.predicted))
+            .fold(0.0f64, f64::max);
+        calibration_factor(&self.metrics, id, predicted, cfg)
+    }
+
+    /// Response time of app `id` on `cluster`, with `replaces` overriding
+    /// stored choices. Returns `None` when no bundle of the app has a
+    /// configuration.
+    fn app_response_time(
+        &self,
+        cluster: &Cluster,
+        id: &InstanceId,
+        replaces: &[Replace<'_>],
+    ) -> Option<f64> {
+        let app = self.apps.get(id)?;
+        let factor = self.feedback_factor(id);
+        let mut worst: Option<f64> = None;
+        for bundle in &app.bundles {
+            let replace = replaces
+                .iter()
+                .find(|r| r.id == id && r.bundle == bundle.spec.name);
+            let (opt, cfg, penalty): (&OptionSpec, &ChosenConfig, f64) = match replace {
+                Some(r) => (r.opt, r.cfg, r.penalty),
+                None => {
+                    let Some(cfg) = &bundle.current else { continue };
+                    let Some(opt) = bundle.spec.option(&cfg.option) else { continue };
+                    (opt, cfg, 0.0)
+                }
+            };
+            let ctx = PredictionContext::committed(cluster, &cfg.alloc, opt);
+            let model = model_for_option(opt);
+            let rt = match model.predict(&ctx) {
+                Ok(p) => p.response_time * factor + penalty,
+                Err(_) => f64::INFINITY,
+            };
+            worst = Some(worst.map_or(rt, |w: f64| w.max(rt)));
+        }
+        worst
+    }
+
+    /// Scores the whole system on `cluster` with `replaces` overriding
+    /// bundle choices. In selfish mode only `focus`'s response time counts.
+    fn system_score(
+        &self,
+        cluster: &Cluster,
+        replaces: &[Replace<'_>],
+        focus: &InstanceId,
+    ) -> f64 {
+        let mut rts = Vec::new();
+        for id in &self.arrival_order {
+            if self.config.selfish && id != focus {
+                continue;
+            }
+            if let Some(rt) = self.app_response_time(cluster, id, replaces) {
+                rts.push(rt);
+            }
+        }
+        self.config.objective.score(&rts)
+    }
+
+    /// The friction (seconds) of moving `bundle` to `cand`, zero when the
+    /// candidate equals the incumbent or there is no incumbent.
+    fn friction_of(
+        &self,
+        bundle: &BundleState,
+        cand: &Candidate,
+        opt: &OptionSpec,
+        alloc: &Allocation,
+    ) -> f64 {
+        let switching = bundle
+            .current
+            .as_ref()
+            .map(|cur| !same_point(cur, cand))
+            .unwrap_or(false);
+        if !switching {
+            return 0.0;
+        }
+        let seconds = match &opt.friction {
+            Some(tag) => tag.amount(&alloc.env()).unwrap_or(0.0),
+            None => 0.0,
+        };
+        seconds * self.config.friction_weight
+    }
+
+    /// Evaluates one candidate for `(id, bundle)`: clones the cluster,
+    /// swaps the allocation, and scores the system. Returns `None` when the
+    /// candidate cannot be placed.
+    fn evaluate_candidate(
+        &self,
+        id: &InstanceId,
+        bundle_name: &str,
+        cand: &Candidate,
+    ) -> Result<Option<EvaluatedCandidate>, CoreError> {
+        let app = self
+            .apps
+            .get(id)
+            .ok_or_else(|| CoreError::UnknownInstance { name: id.to_string() })?;
+        let bundle = app
+            .bundle(bundle_name)
+            .ok_or_else(|| CoreError::UnknownBundle { name: bundle_name.to_string() })?;
+        let opt = bundle
+            .spec
+            .option(&cand.option)
+            .ok_or_else(|| CoreError::UnknownBundle { name: cand.option.clone() })?;
+
+        let mut tentative = self.cluster.clone();
+        if let Some(cur) = &bundle.current {
+            tentative.release(&cur.alloc)?;
+        }
+        let matcher = Matcher {
+            strategy: self.config.matcher.strategy,
+            elastic_extra: cand.elastic_extra,
+        };
+        let alloc = match matcher.match_option(&tentative, opt, &cand.env()) {
+            Ok(a) => a,
+            Err(harmony_resources::ResourceError::NoMatch { .. }) => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        tentative.commit(&alloc)?;
+
+        let penalty = self.friction_of(bundle, cand, opt, &alloc);
+        let cfg = hypothetical_config(cand, alloc.clone(), self.now);
+        let replaces =
+            [Replace { id, bundle: bundle_name, opt, cfg: &cfg, penalty }];
+        let score = self.system_score(&tentative, &replaces, id);
+        let predicted =
+            self.app_response_time(&tentative, id, &replaces).unwrap_or(f64::INFINITY);
+        Ok(Some(EvaluatedCandidate { candidate: cand.clone(), alloc, score, predicted }))
+    }
+
+    /// Greedy optimization of one bundle: evaluate all candidates, apply
+    /// the best if it beats the incumbent. `initial` marks the first
+    /// placement of a new bundle (granularity does not apply, and failure
+    /// to place anything is an error).
+    fn optimize_bundle(
+        &mut self,
+        id: InstanceId,
+        bundle_name: String,
+        initial: bool,
+    ) -> Result<Option<DecisionRecord>, CoreError> {
+        let app = self
+            .apps
+            .get(&id)
+            .ok_or_else(|| CoreError::UnknownInstance { name: id.to_string() })?;
+        let bundle = app
+            .bundle(&bundle_name)
+            .ok_or_else(|| CoreError::UnknownBundle { name: bundle_name.clone() })?;
+        if !initial && self.config.respect_granularity && bundle.switch_blocked_at(self.now)
+        {
+            return Ok(None);
+        }
+        let spec = bundle.spec.clone();
+        let current = bundle.current.clone();
+
+        let before = self.objective_score();
+        let mut best: Option<EvaluatedCandidate> = None;
+        let mut last_reason = String::from("no candidates");
+        for cand in enumerate(&spec, &self.config.elastic_steps) {
+            match self.evaluate_candidate(&id, &bundle_name, &cand)? {
+                Some(eval) => {
+                    let better = match &best {
+                        None => true,
+                        Some(b) => eval.score < b.score - 1e-9,
+                    };
+                    if better {
+                        best = Some(eval);
+                    }
+                }
+                None => {
+                    last_reason = format!("candidate `{}` does not fit", cand.label());
+                }
+            }
+        }
+
+        let Some(best) = best else {
+            if initial && current.is_none() {
+                return Err(CoreError::Unplaceable {
+                    bundle: bundle_name,
+                    reason: last_reason,
+                });
+            }
+            return Ok(None);
+        };
+
+        // Keep the incumbent unless the best candidate is a strict
+        // improvement (or this is the initial placement).
+        if let Some(cur) = &current {
+            if same_point(cur, &best.candidate) {
+                return Ok(None);
+            }
+            if best.score >= before - 1e-9 {
+                return Ok(None);
+            }
+        }
+
+        Ok(Some(self.commit_choice(
+            &id,
+            &bundle_name,
+            &best.candidate,
+            best.alloc,
+            best.predicted,
+            before,
+        )?))
+    }
+
+    /// One coordinated move: jointly re-choose bundles `a` and `b`,
+    /// applying the best joint candidate when it strictly improves the
+    /// system objective. Respects granularity for both sides.
+    fn pairwise_step(
+        &mut self,
+        a: (InstanceId, String),
+        b: (InstanceId, String),
+    ) -> Result<Option<Vec<DecisionRecord>>, CoreError> {
+        let get = |c: &Self, pair: &(InstanceId, String)| -> Option<(BundleSpec, Option<ChosenConfig>, bool)> {
+            let app = c.apps.get(&pair.0)?;
+            let bundle = app.bundle(&pair.1)?;
+            Some((
+                bundle.spec.clone(),
+                bundle.current.clone(),
+                c.config.respect_granularity && bundle.switch_blocked_at(c.now),
+            ))
+        };
+        let Some((spec_a, cur_a, blocked_a)) = get(self, &a) else { return Ok(None) };
+        let Some((spec_b, cur_b, blocked_b)) = get(self, &b) else { return Ok(None) };
+        if blocked_a || blocked_b {
+            return Ok(None);
+        }
+
+        let before = self.objective_score();
+        // Count unplaced bundles: a joint move that places a previously
+        // unplaced bundle is an improvement even at equal objective.
+        let unplaced_before = (cur_a.is_none() as u32) + (cur_b.is_none() as u32);
+
+        let cands_a = enumerate(&spec_a, &self.config.elastic_steps);
+        let cands_b = enumerate(&spec_b, &self.config.elastic_steps);
+        let mut best: Option<(f64, Candidate, Allocation, f64, Candidate, Allocation, f64)> =
+            None;
+        for ca in &cands_a {
+            let Some(opt_a) = spec_a.option(&ca.option) else { continue };
+            for cb in &cands_b {
+                let Some(opt_b) = spec_b.option(&cb.option) else { continue };
+                let mut tentative = self.cluster.clone();
+                if let Some(cur) = &cur_a {
+                    tentative.release(&cur.alloc)?;
+                }
+                if let Some(cur) = &cur_b {
+                    tentative.release(&cur.alloc)?;
+                }
+                let matcher_a = Matcher {
+                    strategy: self.config.matcher.strategy,
+                    elastic_extra: ca.elastic_extra,
+                };
+                let Ok(alloc_a) = matcher_a.match_option(&tentative, opt_a, &ca.env())
+                else {
+                    continue;
+                };
+                tentative.commit(&alloc_a)?;
+                let matcher_b = Matcher {
+                    strategy: self.config.matcher.strategy,
+                    elastic_extra: cb.elastic_extra,
+                };
+                let Ok(alloc_b) = matcher_b.match_option(&tentative, opt_b, &cb.env())
+                else {
+                    continue;
+                };
+                tentative.commit(&alloc_b)?;
+
+                let app_a = self.apps.get(&a.0).expect("validated");
+                let bundle_a = app_a.bundle(&a.1).expect("validated");
+                let app_b = self.apps.get(&b.0).expect("validated");
+                let bundle_b = app_b.bundle(&b.1).expect("validated");
+                let pen_a = self.friction_of(bundle_a, ca, opt_a, &alloc_a);
+                let pen_b = self.friction_of(bundle_b, cb, opt_b, &alloc_b);
+                let cfg_a = hypothetical_config(ca, alloc_a.clone(), self.now);
+                let cfg_b = hypothetical_config(cb, alloc_b.clone(), self.now);
+                let replaces = [
+                    Replace { id: &a.0, bundle: &a.1, opt: opt_a, cfg: &cfg_a, penalty: pen_a },
+                    Replace { id: &b.0, bundle: &b.1, opt: opt_b, cfg: &cfg_b, penalty: pen_b },
+                ];
+                let score = self.system_score(&tentative, &replaces, &b.0);
+                let rt_a = self
+                    .app_response_time(&tentative, &a.0, &replaces)
+                    .unwrap_or(f64::INFINITY);
+                let rt_b = self
+                    .app_response_time(&tentative, &b.0, &replaces)
+                    .unwrap_or(f64::INFINITY);
+                let better = match &best {
+                    None => true,
+                    Some((s, ..)) => score < *s - 1e-9,
+                };
+                if better {
+                    best = Some((score, ca.clone(), alloc_a, rt_a, cb.clone(), alloc_b, rt_b));
+                }
+            }
+        }
+
+        let Some((score, ca, alloc_a, rt_a, cb, alloc_b, rt_b)) = best else {
+            return Ok(None);
+        };
+        let places_new = unplaced_before > 0
+            && (cur_a.is_some() || spec_a.option(&ca.option).is_some())
+            && (cur_b.is_some() || spec_b.option(&cb.option).is_some());
+        let improves = score < before - 1e-9 || (places_new && score.is_finite());
+        if !improves {
+            return Ok(None);
+        }
+        // Skip when the joint best is exactly the incumbent pair.
+        let same_a = cur_a.as_ref().map(|c| same_point(c, &ca)).unwrap_or(false);
+        let same_b = cur_b.as_ref().map(|c| same_point(c, &cb)).unwrap_or(false);
+        if same_a && same_b {
+            return Ok(None);
+        }
+
+        let mut records = Vec::new();
+        if !same_a {
+            records.push(self.commit_choice(&a.0, &a.1, &ca, alloc_a, rt_a, before)?);
+        }
+        if !same_b {
+            records.push(self.commit_choice(&b.0, &b.1, &cb, alloc_b, rt_b, before)?);
+        }
+        Ok(Some(records))
+    }
+
+    /// Releases the incumbent (if any), commits the new allocation, updates
+    /// app state and namespace, and records the decision.
+    fn commit_choice(
+        &mut self,
+        id: &InstanceId,
+        bundle_name: &str,
+        cand: &Candidate,
+        alloc: Allocation,
+        predicted: f64,
+        objective_before: f64,
+    ) -> Result<DecisionRecord, CoreError> {
+        let current = self
+            .apps
+            .get(id)
+            .and_then(|a| a.bundle(bundle_name))
+            .and_then(|b| b.current.clone());
+        if let Some(cur) = &current {
+            self.cluster.release(&cur.alloc)?;
+        }
+        self.cluster.commit(&alloc)?;
+        let cfg = ChosenConfig {
+            option: cand.option.clone(),
+            vars: cand.vars.clone(),
+            elastic_extra: cand.elastic_extra,
+            alloc,
+            predicted,
+            chosen_at: self.now,
+        };
+        let mut record = DecisionRecord {
+            time: self.now,
+            instance: id.clone(),
+            bundle: bundle_name.to_string(),
+            from: current.as_ref().map(ChosenConfig::label),
+            to: cfg.label(),
+            objective_before,
+            objective_after: 0.0,
+        };
+        self.apply_choice(id, bundle_name, cfg, current.is_some());
+        record.objective_after = self.objective_score();
+        self.metrics.inc_counter("controller.decisions");
+        self.bus.publish(MetricEvent::new(
+            format!("controller.decision.{}.{}", record.instance, record.bundle),
+            record.time,
+            record.objective_after,
+        ));
+        self.decisions.push(record.clone());
+        Ok(record)
+    }
+
+    /// Writes a new configuration into the app state and the namespace,
+    /// buffering variable updates for the application to poll.
+    fn apply_choice(
+        &mut self,
+        id: &InstanceId,
+        bundle_name: &str,
+        cfg: ChosenConfig,
+        is_switch: bool,
+    ) {
+        // Namespace writes: the chosen option under the bundle path, the
+        // variables, and each requirement's granted resources.
+        let base = instance_path(id).child(bundle_name).expect("bundle name is a component");
+        let mut writes: Vec<(HPath, Value)> =
+            vec![(base.clone(), Value::Str(cfg.option.clone()))];
+        let opt_path = base.child(&cfg.option).expect("option name is a component");
+        for (name, v) in &cfg.vars {
+            if let Ok(p) = opt_path.child(name) {
+                writes.push((p, Value::Int(*v)));
+            }
+        }
+        let mut seen: Vec<&str> = Vec::new();
+        for n in &cfg.alloc.nodes {
+            if seen.contains(&n.req.as_str()) {
+                continue;
+            }
+            seen.push(&n.req);
+            if let Ok(req_path) = opt_path.child(&n.req) {
+                let entries = [
+                    ("memory", Value::Float(n.memory)),
+                    ("seconds", Value::Float(n.seconds)),
+                    ("node", Value::Str(n.node.clone())),
+                    ("count", Value::Int(cfg.alloc.bindings(&n.req).len() as i64)),
+                ];
+                for (tag, v) in entries {
+                    if let Ok(p) = req_path.child(tag) {
+                        writes.push((p, v));
+                    }
+                }
+            }
+        }
+        for (p, v) in &writes {
+            self.namespace.set(p.clone(), v.clone());
+        }
+        if let Some(buf) = self.pending_vars.get_mut(id) {
+            buf.extend(writes);
+        }
+
+        let app = self.apps.get_mut(id).expect("caller validated instance");
+        let bundle = app.bundle_mut(bundle_name).expect("caller validated bundle");
+        if is_switch {
+            bundle.reconfig_count += 1;
+        }
+        bundle.current = Some(cfg);
+    }
+
+    // Accessors used by the optimizer module (same crate).
+    pub(crate) fn arrival_order_internal(&self) -> &[InstanceId] {
+        &self.arrival_order
+    }
+
+    pub(crate) fn app_internal(&self, id: &InstanceId) -> Option<&AppInstance> {
+        self.apps.get(id)
+    }
+
+    pub(crate) fn force_choice(
+        &mut self,
+        id: &InstanceId,
+        bundle_name: &str,
+        cand: &Candidate,
+        alloc: Allocation,
+        predicted: f64,
+    ) -> Result<Option<DecisionRecord>, CoreError> {
+        let app = self
+            .apps
+            .get(id)
+            .ok_or_else(|| CoreError::UnknownInstance { name: id.to_string() })?;
+        let bundle = app
+            .bundle(bundle_name)
+            .ok_or_else(|| CoreError::UnknownBundle { name: bundle_name.to_string() })?;
+        if let Some(cur) = &bundle.current {
+            // Skip only when both the configuration point AND the concrete
+            // allocation are unchanged; the same point on different nodes
+            // is still a re-placement that must be committed.
+            if same_point(cur, cand) && cur.alloc == alloc {
+                return Ok(None);
+            }
+        }
+        let before = self.objective_score();
+        Ok(Some(self.commit_choice(id, bundle_name, cand, alloc, predicted, before)?))
+    }
+}
+
+fn same_point(cur: &ChosenConfig, cand: &Candidate) -> bool {
+    cur.option == cand.option
+        && cur.vars == cand.vars
+        && (cur.elastic_extra - cand.elastic_extra).abs() < 1e-9
+}
+
+fn hypothetical_config(cand: &Candidate, alloc: Allocation, now: f64) -> ChosenConfig {
+    ChosenConfig {
+        option: cand.option.clone(),
+        vars: cand.vars.clone(),
+        elastic_extra: cand.elastic_extra,
+        alloc,
+        predicted: 0.0,
+        chosen_at: now,
+    }
+}
+
+/// Namespace path of an instance: `app.id`.
+fn instance_path(id: &InstanceId) -> HPath {
+    HPath::from_components([id.app.as_str(), &id.id.to_string()])
+        .expect("app names and ids are valid components")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harmony_rsl::listings::{sp2_cluster, FIG2A_SIMPLE, FIG2B_BAG};
+    use harmony_rsl::schema::parse_bundle_script;
+
+    fn sp2(n: usize) -> Cluster {
+        Cluster::from_rsl(&sp2_cluster(n)).unwrap()
+    }
+
+    fn bag_spec() -> BundleSpec {
+        parse_bundle_script(FIG2B_BAG).unwrap()
+    }
+
+    #[test]
+    fn startup_assigns_instance_ids() {
+        let mut c = Controller::new(sp2(4), ControllerConfig::default());
+        let a = c.startup("DBclient");
+        let b = c.startup("DBclient");
+        assert_eq!(a, InstanceId::new("DBclient", 1));
+        assert_eq!(b, InstanceId::new("DBclient", 2));
+        assert_eq!(c.instances(), vec![a, b]);
+    }
+
+    #[test]
+    fn registering_bag_on_idle_cluster_takes_all_eight_workers() {
+        // With no competition, the explicit performance model says 8
+        // workers is fastest (230 s).
+        let mut c = Controller::new(sp2(8), ControllerConfig::default());
+        let (id, records) = c.register(bag_spec()).unwrap();
+        assert!(!records.is_empty());
+        let choice = c.choice(&id, "config").unwrap();
+        assert_eq!(choice.vars, vec![("workerNodes".to_string(), 8)]);
+        assert_eq!(choice.predicted, 230.0);
+        assert_eq!(c.cluster().total_tasks(), 8);
+    }
+
+    #[test]
+    fn second_bag_forces_equal_partitions() {
+        let mut c = Controller::new(sp2(8), ControllerConfig::default());
+        let (a, _) = c.register(bag_spec()).unwrap();
+        let (b, _) = c.register(bag_spec()).unwrap();
+        let wa = c.choice(&a, "config").unwrap().vars[0].1;
+        let wb = c.choice(&b, "config").unwrap().vars[0].1;
+        // Equal partitions as in Figure 4b, on distinct node sets.
+        assert_eq!((wa, wb), (4, 4), "got {wa}+{wb}");
+        assert_eq!(c.objective_score(), 340.0);
+        let na = &c.choice(&a, "config").unwrap().alloc;
+        let nb = &c.choice(&b, "config").unwrap().alloc;
+        for n in &na.nodes {
+            assert!(nb.nodes.iter().all(|m| m.node != n.node), "disjoint node sets");
+        }
+    }
+
+    #[test]
+    fn unplaceable_initial_bundle_errors() {
+        let mut c = Controller::new(sp2(2), ControllerConfig::default());
+        let spec = parse_bundle_script(FIG2A_SIMPLE).unwrap(); // needs 4 nodes
+        let err = c.register(spec).unwrap_err();
+        assert!(matches!(err, CoreError::Unplaceable { .. }));
+    }
+
+    #[test]
+    fn end_releases_resources_and_reexpands_survivors() {
+        let mut c = Controller::new(sp2(8), ControllerConfig::default());
+        let (a, _) = c.register(bag_spec()).unwrap();
+        let (b, _) = c.register(bag_spec()).unwrap();
+        assert_eq!(c.choice(&a, "config").unwrap().vars[0].1, 4);
+        let records = c.end(&b).unwrap();
+        // The survivor should re-expand to 8 workers.
+        assert_eq!(c.choice(&a, "config").unwrap().vars[0].1, 8);
+        assert!(records.iter().any(|r| r.instance == a));
+        assert_eq!(c.cluster().total_tasks(), 8);
+        assert!(c.app(&b).is_none());
+        assert!(matches!(c.end(&b), Err(CoreError::UnknownInstance { .. })));
+    }
+
+    #[test]
+    fn granularity_delays_reconfiguration() {
+        let spec = parse_bundle_script(
+            "harmonyBundle bag:1 config {\n\
+               {run\n\
+                 {variable workerNodes {1 2 4 8}}\n\
+                 {node worker {replicate workerNodes} {seconds {1200 / workerNodes}} {memory 32}}\n\
+                 {performance {1 1200} {2 620} {4 340} {8 230}}\n\
+                 {granularity 100}}\n\
+             }",
+        )
+        .unwrap();
+        let mut c = Controller::new(sp2(8), ControllerConfig::default());
+        let (a, _) = c.register(spec.clone()).unwrap();
+        assert_eq!(c.choice(&a, "config").unwrap().vars[0].1, 8);
+        // A second app arrives shortly after: the first app's granularity
+        // (100 s) blocks the coordinated shrink.
+        c.set_time(10.0);
+        let (b, _) = c.register(spec.clone()).unwrap();
+        assert_eq!(c.choice(&a, "config").unwrap().vars[0].1, 8, "blocked by granularity");
+        // After the granularity window, a re-evaluation rebalances.
+        c.set_time(200.0);
+        c.reevaluate().unwrap();
+        let wa = c.choice(&a, "config").unwrap().vars[0].1;
+        let wb = c.choice(&b, "config").unwrap().vars[0].1;
+        assert!(wa + wb <= 8, "rebalanced to {wa}+{wb}");
+        assert!(wa >= 2 && wb >= 2, "rebalanced to {wa}+{wb}");
+    }
+
+    #[test]
+    fn namespace_records_choices() {
+        let mut c = Controller::new(sp2(8), ControllerConfig::default());
+        let (id, _) = c.register(bag_spec()).unwrap();
+        let ns = c.namespace();
+        let opt_path: HPath = format!("bag.{}.config", id.id).parse().unwrap();
+        assert_eq!(ns.get(&opt_path), Some(&Value::Str("run".into())));
+        let var_path: HPath =
+            format!("bag.{}.config.run.workerNodes", id.id).parse().unwrap();
+        assert_eq!(ns.get(&var_path), Some(&Value::Int(8)));
+        let mem_path: HPath =
+            format!("bag.{}.config.run.worker.memory", id.id).parse().unwrap();
+        assert_eq!(ns.get(&mem_path), Some(&Value::Float(32.0)));
+    }
+
+    #[test]
+    fn pending_vars_flush_once() {
+        let mut c = Controller::new(sp2(8), ControllerConfig::default());
+        let (id, _) = c.register(bag_spec()).unwrap();
+        let flushed = c.flush_pending_vars();
+        assert_eq!(flushed.len(), 1);
+        assert_eq!(flushed[0].0, id);
+        assert!(!flushed[0].1.is_empty());
+        assert!(c.flush_pending_vars().is_empty(), "second flush is empty");
+    }
+
+    #[test]
+    fn selfish_mode_overallocates() {
+        // Selfish: each bag takes as many workers as fit, ignoring the
+        // other's slowdown (the AppLes contrast).
+        let cfg = ControllerConfig {
+            selfish: true,
+            reevaluate_on_arrival: false,
+            ..Default::default()
+        };
+        let mut c = Controller::new(sp2(8), cfg);
+        let (a, _) = c.register(bag_spec()).unwrap();
+        let (_b, _) = c.register(bag_spec()).unwrap();
+        let wa = c.choice(&a, "config").unwrap().vars[0].1;
+        assert_eq!(wa, 8, "selfish first app grabs everything");
+        // Centralized (default) does better on the system objective.
+        let mut c2 = Controller::new(sp2(8), ControllerConfig::default());
+        c2.register(bag_spec()).unwrap();
+        c2.register(bag_spec()).unwrap();
+        assert!(c2.objective_score() <= c.objective_score());
+    }
+
+    #[test]
+    fn decisions_are_recorded() {
+        let mut c = Controller::new(sp2(8), ControllerConfig::default());
+        let (id, _) = c.register(bag_spec()).unwrap();
+        assert!(!c.decisions().is_empty());
+        let d = &c.decisions()[0];
+        assert_eq!(d.instance, id);
+        assert_eq!(d.bundle, "config");
+        assert_eq!(d.from, None);
+        assert_eq!(d.to, "run[workerNodes=8]");
+        assert!(d.objective_after > 0.0);
+    }
+
+    #[test]
+    fn clock_never_goes_backwards() {
+        let mut c = Controller::new(sp2(2), ControllerConfig::default());
+        c.set_time(10.0);
+        c.set_time(5.0);
+        assert_eq!(c.now(), 10.0);
+    }
+
+    #[test]
+    fn dedicated_bag_space_shares() {
+        // The same bag with a dedicated tag: workers refuse co-residency,
+        // so two bags partition the cluster 4+4 with zero contention.
+        let spec = parse_bundle_script(
+            "harmonyBundle bag:1 config {\n\
+               {run\n\
+                 {variable workerNodes {1 2 4 8}}\n\
+                 {node worker {replicate workerNodes} {dedicated 1} {seconds {1200 / workerNodes}} {memory 32}}\n\
+                 {performance {1 1200} {2 620} {4 340} {8 230}}}\n\
+             }",
+        )
+        .unwrap();
+        let mut c = Controller::new(sp2(8), ControllerConfig::default());
+        let (a, _) = c.register(spec.clone()).unwrap();
+        assert_eq!(c.choice(&a, "config").unwrap().vars[0].1, 8);
+        let (b, _) = c.register(spec).unwrap();
+        let wa = c.choice(&a, "config").unwrap().vars[0].1;
+        let wb = c.choice(&b, "config").unwrap().vars[0].1;
+        assert_eq!((wa, wb), (4, 4), "got {wa}+{wb}");
+        // Every node hosts at most one task.
+        for n in c.cluster().nodes() {
+            assert!(n.tasks <= 1);
+            assert_eq!(n.exclusive, n.tasks);
+        }
+    }
+
+    #[test]
+    fn coordinated_moves_can_be_disabled() {
+        let cfg = ControllerConfig { coordinated_moves: false, ..Default::default() };
+        let mut c = Controller::new(sp2(8), cfg);
+        let (a, _) = c.register(bag_spec()).unwrap();
+        let (b, _) = c.register(bag_spec()).unwrap();
+        let wa = c.choice(&a, "config").unwrap().vars[0].1;
+        let wb = c.choice(&b, "config").unwrap().vars[0].1;
+        // Without coordination, greedy gets stuck stacking both at 8.
+        assert_eq!((wa, wb), (8, 8));
+        assert!(c.objective_score() > 340.0);
+    }
+}

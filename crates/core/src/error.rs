@@ -1,0 +1,110 @@
+//! Error type for the adaptation controller.
+
+use std::fmt;
+
+/// Errors from controller operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// An RSL parse or evaluation error.
+    Rsl(String),
+    /// A resource-layer error (matching, commit, release).
+    Resource(String),
+    /// A prediction error.
+    Predict(String),
+    /// The referenced application instance is not registered.
+    UnknownInstance {
+        /// The instance name (`app.id`).
+        name: String,
+    },
+    /// The referenced bundle is not part of the instance.
+    UnknownBundle {
+        /// The bundle name.
+        name: String,
+    },
+    /// No candidate configuration of a bundle could be placed on the
+    /// cluster.
+    Unplaceable {
+        /// The bundle that could not be placed.
+        bundle: String,
+        /// Why the last candidate failed.
+        reason: String,
+    },
+    /// The exhaustive optimizer's search space exceeded its bound.
+    SearchSpaceTooLarge {
+        /// Number of joint configurations that would need evaluation.
+        size: u64,
+        /// The configured bound.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Rsl(m) => write!(f, "rsl error: {m}"),
+            CoreError::Resource(m) => write!(f, "resource error: {m}"),
+            CoreError::Predict(m) => write!(f, "prediction error: {m}"),
+            CoreError::UnknownInstance { name } => {
+                write!(f, "unknown application instance `{name}`")
+            }
+            CoreError::UnknownBundle { name } => write!(f, "unknown bundle `{name}`"),
+            CoreError::Unplaceable { bundle, reason } => {
+                write!(f, "bundle `{bundle}` cannot be placed: {reason}")
+            }
+            CoreError::SearchSpaceTooLarge { size, limit } => {
+                write!(f, "search space of {size} joint configurations exceeds limit {limit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<harmony_rsl::RslError> for CoreError {
+    fn from(e: harmony_rsl::RslError) -> Self {
+        CoreError::Rsl(e.to_string())
+    }
+}
+
+impl From<harmony_resources::ResourceError> for CoreError {
+    fn from(e: harmony_resources::ResourceError) -> Self {
+        CoreError::Resource(e.to_string())
+    }
+}
+
+impl From<harmony_predict::PredictError> for CoreError {
+    fn from(e: harmony_predict::PredictError) -> Self {
+        CoreError::Predict(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_nonempty() {
+        let cases = vec![
+            CoreError::Rsl("x".into()),
+            CoreError::Resource("y".into()),
+            CoreError::Predict("z".into()),
+            CoreError::UnknownInstance { name: "a.1".into() },
+            CoreError::UnknownBundle { name: "where".into() },
+            CoreError::Unplaceable { bundle: "where".into(), reason: "full".into() },
+            CoreError::SearchSpaceTooLarge { size: 1000, limit: 100 },
+        ];
+        for e in cases {
+            assert!(!e.to_string().is_empty());
+            let _: &dyn std::error::Error = &e;
+        }
+    }
+
+    #[test]
+    fn conversions() {
+        let _: CoreError = harmony_rsl::RslError::DivideByZero.into();
+        let _: CoreError =
+            harmony_resources::ResourceError::UnknownNode { name: "n".into() }.into();
+        let _: CoreError =
+            harmony_predict::PredictError::MissingData { what: "w".into() }.into();
+    }
+}

@@ -1,0 +1,286 @@
+//! The controller's event interface.
+//!
+//! "The Harmony process is an event driven system that waits for
+//! application and performance events. When an event happens, it triggers
+//! the automatic application adaptation system, and each of the option
+//! bundles for each application gets re-evaluated" (§5).
+
+use harmony_rsl::schema::{parse_bundle_script, LinkDecl, NodeDecl};
+use serde::{Deserialize, Serialize};
+
+use crate::app::InstanceId;
+use crate::controller::{Controller, DecisionRecord};
+use crate::error::CoreError;
+
+/// An event delivered to the Harmony process.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum HarmonyEvent {
+    /// An application registered (`harmony_startup`).
+    Startup {
+        /// Application name.
+        app: String,
+    },
+    /// An application sent a bundle (`harmony_bundle_setup`); the payload
+    /// is RSL text.
+    BundleSetup {
+        /// The registered instance.
+        instance: InstanceId,
+        /// RSL script containing one `harmonyBundle` statement.
+        script: String,
+    },
+    /// An application is terminating (`harmony_end`).
+    AppEnded {
+        /// The departing instance.
+        instance: InstanceId,
+    },
+    /// A performance measurement arrived through the metric interface.
+    MetricReport {
+        /// Dotted metric name.
+        name: String,
+        /// Timestamp (controller clock, seconds).
+        time: f64,
+        /// Sampled value.
+        value: f64,
+    },
+    /// The periodic re-evaluation timer fired.
+    Periodic,
+    /// A node joined the metacomputer.
+    NodeJoined(NodeDecl),
+    /// A link was published.
+    LinkJoined(LinkDecl),
+    /// A node left; applications running on it are displaced and
+    /// re-placed.
+    NodeLeft {
+        /// The departing node's name.
+        name: String,
+    },
+}
+
+/// What handling an event produced.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EventOutcome {
+    /// A new instance was registered.
+    Registered(InstanceId),
+    /// Zero or more reconfiguration decisions were applied.
+    Decisions(Vec<DecisionRecord>),
+    /// The event was absorbed with no decisions.
+    Quiet,
+}
+
+impl Controller {
+    /// Handles one event, possibly triggering adaptation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates RSL parse errors from `BundleSetup` scripts and
+    /// controller errors from registration/placement.
+    pub fn handle_event(&mut self, event: HarmonyEvent) -> Result<EventOutcome, CoreError> {
+        match event {
+            HarmonyEvent::Startup { app } => {
+                Ok(EventOutcome::Registered(self.startup(&app)))
+            }
+            HarmonyEvent::BundleSetup { instance, script } => {
+                let spec = parse_bundle_script(&script)?;
+                Ok(EventOutcome::Decisions(self.add_bundle(&instance, spec)?))
+            }
+            HarmonyEvent::AppEnded { instance } => {
+                Ok(EventOutcome::Decisions(self.end(&instance)?))
+            }
+            HarmonyEvent::MetricReport { name, time, value } => {
+                self.metrics.record(&name, time, value);
+                self.metric_bus().publish(
+                    harmony_metrics::MetricEvent::new(name, time, value),
+                );
+                Ok(EventOutcome::Quiet)
+            }
+            HarmonyEvent::Periodic => Ok(EventOutcome::Decisions(self.reevaluate()?)),
+            HarmonyEvent::NodeJoined(decl) => {
+                self.cluster.add_node(decl)?;
+                Ok(EventOutcome::Decisions(self.reevaluate()?))
+            }
+            HarmonyEvent::LinkJoined(decl) => {
+                self.cluster.add_link(decl)?;
+                Ok(EventOutcome::Decisions(self.reevaluate()?))
+            }
+            HarmonyEvent::NodeLeft { name } => {
+                Ok(EventOutcome::Decisions(self.evict_node(&name)?))
+            }
+        }
+    }
+
+    /// Removes a node from the cluster, displacing every configuration
+    /// whose allocation touched it, then re-places the displaced bundles.
+    ///
+    /// # Errors
+    ///
+    /// Propagates re-placement errors; a displaced bundle that no longer
+    /// fits anywhere is left unconfigured (not an error — it may fit after
+    /// other departures).
+    pub fn evict_node(&mut self, name: &str) -> Result<Vec<DecisionRecord>, CoreError> {
+        // Find affected (instance, bundle) pairs and release their
+        // allocations *before* removing the node so capacity is restored
+        // exactly.
+        let mut displaced: Vec<(InstanceId, String)> = Vec::new();
+        let ids: Vec<InstanceId> = self.arrival_order.clone();
+        for id in &ids {
+            let Some(app) = self.apps.get(id) else { continue };
+            let touched: Vec<String> = app
+                .bundles
+                .iter()
+                .filter(|b| {
+                    b.current
+                        .as_ref()
+                        .map(|c| c.alloc.nodes.iter().any(|n| n.node == name))
+                        .unwrap_or(false)
+                })
+                .map(|b| b.spec.name.clone())
+                .collect();
+            for bundle in touched {
+                displaced.push((id.clone(), bundle));
+            }
+        }
+        for (id, bundle) in &displaced {
+            let Some(app) = self.apps.get_mut(id) else { continue };
+            if let Some(state) = app.bundle_mut(bundle) {
+                if let Some(cfg) = state.current.take() {
+                    // Ignore missing-node errors: the node is leaving.
+                    let _ = self.cluster.release(&cfg.alloc);
+                }
+            }
+        }
+        self.cluster.remove_node(name);
+        self.metrics.inc_counter("controller.evictions");
+        // Re-place everything (displaced bundles have no incumbent, so any
+        // feasible candidate wins).
+        self.reevaluate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::ControllerConfig;
+    use harmony_resources::Cluster;
+    use harmony_rsl::listings::{sp2_cluster, FIG2B_BAG};
+
+    fn controller(nodes: usize) -> Controller {
+        Controller::new(
+            Cluster::from_rsl(&sp2_cluster(nodes)).unwrap(),
+            ControllerConfig::default(),
+        )
+    }
+
+    #[test]
+    fn startup_and_bundle_events_register_and_place() {
+        let mut c = controller(8);
+        let outcome = c.handle_event(HarmonyEvent::Startup { app: "bag".into() }).unwrap();
+        let EventOutcome::Registered(id) = outcome else { panic!("expected id") };
+        let outcome = c
+            .handle_event(HarmonyEvent::BundleSetup {
+                instance: id.clone(),
+                script: FIG2B_BAG.into(),
+            })
+            .unwrap();
+        let EventOutcome::Decisions(ds) = outcome else { panic!("expected decisions") };
+        assert_eq!(ds.len(), 1);
+        assert!(c.choice(&id, "config").is_some());
+    }
+
+    #[test]
+    fn metric_report_records_quietly() {
+        let mut c = controller(2);
+        let rx = c.metric_bus().subscribe();
+        let outcome = c
+            .handle_event(HarmonyEvent::MetricReport {
+                name: "bag.1.rt".into(),
+                time: 1.0,
+                value: 12.0,
+            })
+            .unwrap();
+        assert_eq!(outcome, EventOutcome::Quiet);
+        assert_eq!(c.metrics().series("bag.1.rt").unwrap().len(), 1);
+        // The bus fanned the report out to subscribers.
+        let ev = rx.try_recv().unwrap();
+        assert_eq!(ev.name, "bag.1.rt");
+        assert_eq!(ev.value, 12.0);
+    }
+
+    #[test]
+    fn decisions_are_published_on_the_bus() {
+        let mut c = controller(8);
+        let rx = c.metric_bus().subscribe();
+        c.register(harmony_rsl::schema::parse_bundle_script(FIG2B_BAG).unwrap()).unwrap();
+        let events: Vec<_> = rx.try_iter().collect();
+        assert!(
+            events.iter().any(|e| e.name.starts_with("controller.decision.bag.1")),
+            "got {events:?}"
+        );
+    }
+
+    #[test]
+    fn node_arrival_triggers_expansion() {
+        let mut c = controller(4);
+        let (id, _) = c
+            .register(harmony_rsl::schema::parse_bundle_script(FIG2B_BAG).unwrap())
+            .unwrap();
+        assert_eq!(c.choice(&id, "config").unwrap().vars[0].1, 4);
+        // Four more nodes join (and links to the existing mesh).
+        for i in 4..8 {
+            let name = format!("node{i:02}");
+            c.handle_event(HarmonyEvent::NodeJoined(
+                harmony_rsl::schema::NodeDecl::new(name.clone(), 1.0, 256.0),
+            ))
+            .unwrap();
+            for j in 0..i {
+                c.handle_event(HarmonyEvent::LinkJoined(harmony_rsl::schema::LinkDecl::new(
+                    format!("node{j:02}"),
+                    name.clone(),
+                    320.0,
+                )))
+                .unwrap();
+            }
+        }
+        assert_eq!(c.choice(&id, "config").unwrap().vars[0].1, 8, "expanded onto new nodes");
+    }
+
+    #[test]
+    fn node_departure_displaces_and_replaces() {
+        let mut c = controller(8);
+        let (id, _) = c
+            .register(harmony_rsl::schema::parse_bundle_script(FIG2B_BAG).unwrap())
+            .unwrap();
+        assert_eq!(c.choice(&id, "config").unwrap().vars[0].1, 8);
+        let outcome =
+            c.handle_event(HarmonyEvent::NodeLeft { name: "node00".into() }).unwrap();
+        let EventOutcome::Decisions(ds) = outcome else { panic!() };
+        assert!(!ds.is_empty());
+        let choice = c.choice(&id, "config").unwrap();
+        // 7 nodes remain: best feasible worker count is 4.
+        assert_eq!(choice.vars[0].1, 4);
+        assert!(choice.alloc.nodes.iter().all(|n| n.node != "node00"));
+        // Capacity counters stayed consistent.
+        assert_eq!(c.cluster().total_tasks(), 4);
+    }
+
+    #[test]
+    fn periodic_event_reevaluates() {
+        let mut c = controller(8);
+        c.register(harmony_rsl::schema::parse_bundle_script(FIG2B_BAG).unwrap()).unwrap();
+        let before = c.metrics().counter("controller.reevals");
+        c.handle_event(HarmonyEvent::Periodic).unwrap();
+        assert_eq!(c.metrics().counter("controller.reevals"), before + 1);
+    }
+
+    #[test]
+    fn bad_bundle_script_is_an_error() {
+        let mut c = controller(2);
+        let id = c.startup("x");
+        let err = c
+            .handle_event(HarmonyEvent::BundleSetup {
+                instance: id,
+                script: "this is not rsl {".into(),
+            })
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Rsl(_)));
+    }
+}

@@ -1,0 +1,133 @@
+//! Measured-performance feedback: calibrating predictions with the metric
+//! interface.
+//!
+//! §2: the controller "must gather relevant information about both the
+//! applications and the environment" — not just static bundle numbers.
+//! When applications report actual response times (metric
+//! `<app>.<id>.response_time`), the controller can compare them with its
+//! predictions and derive a per-instance *calibration factor* that scales
+//! future predictions, absorbing model error the same way Active Harmony's
+//! later online tuners did.
+
+use harmony_metrics::MetricRegistry;
+use serde::{Deserialize, Serialize};
+
+use crate::app::InstanceId;
+
+/// The metric suffix the calibration consumes.
+pub const RESPONSE_TIME_METRIC: &str = "response_time";
+
+/// Configuration for measured feedback.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FeedbackConfig {
+    /// Minimum samples before a factor is trusted.
+    pub min_samples: usize,
+    /// Clamp on the correction factor (guards against transient spikes
+    /// and clock mixups): factors land in `[1/limit, limit]`.
+    pub limit: f64,
+    /// EWMA smoothing for the measured series (weight on recent samples).
+    pub alpha: f64,
+}
+
+impl Default for FeedbackConfig {
+    fn default() -> Self {
+        FeedbackConfig { min_samples: 3, limit: 10.0, alpha: 0.3 }
+    }
+}
+
+/// Computes the calibration factor for one instance: smoothed measured
+/// response time divided by `predicted`, clamped; `1.0` when there is not
+/// enough data or no meaningful prediction.
+pub fn calibration_factor(
+    metrics: &MetricRegistry,
+    id: &InstanceId,
+    predicted: f64,
+    config: &FeedbackConfig,
+) -> f64 {
+    if !(predicted.is_finite()) || predicted <= 0.0 {
+        return 1.0;
+    }
+    let name = format!("{id}.{RESPONSE_TIME_METRIC}");
+    let Some(series) = metrics.series(&name) else { return 1.0 };
+    if (series.len() as usize) < config.min_samples {
+        return 1.0;
+    }
+    let Some(measured) = series.ewma(config.alpha) else { return 1.0 };
+    if measured <= 0.0 {
+        return 1.0;
+    }
+    let limit = config.limit.max(1.0);
+    (measured / predicted).clamp(1.0 / limit, limit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id() -> InstanceId {
+        InstanceId::new("DBclient", 1)
+    }
+
+    fn registry_with(samples: &[f64]) -> MetricRegistry {
+        let reg = MetricRegistry::new();
+        for (i, v) in samples.iter().enumerate() {
+            reg.record("DBclient.1.response_time", i as f64, *v);
+        }
+        reg
+    }
+
+    #[test]
+    fn no_data_means_no_correction() {
+        let reg = MetricRegistry::new();
+        assert_eq!(calibration_factor(&reg, &id(), 10.0, &FeedbackConfig::default()), 1.0);
+    }
+
+    #[test]
+    fn too_few_samples_means_no_correction() {
+        let reg = registry_with(&[20.0, 20.0]);
+        assert_eq!(calibration_factor(&reg, &id(), 10.0, &FeedbackConfig::default()), 1.0);
+    }
+
+    #[test]
+    fn underestimating_model_gets_scaled_up() {
+        // The model says 10 s; reality is consistently ~20 s.
+        let reg = registry_with(&[20.0, 20.0, 20.0, 20.0]);
+        let f = calibration_factor(&reg, &id(), 10.0, &FeedbackConfig::default());
+        assert!((f - 2.0).abs() < 1e-9, "factor {f}");
+    }
+
+    #[test]
+    fn overestimating_model_gets_scaled_down() {
+        let reg = registry_with(&[5.0, 5.0, 5.0, 5.0]);
+        let f = calibration_factor(&reg, &id(), 10.0, &FeedbackConfig::default());
+        assert!((f - 0.5).abs() < 1e-9, "factor {f}");
+    }
+
+    #[test]
+    fn factor_is_clamped() {
+        let reg = registry_with(&[1e6, 1e6, 1e6, 1e6]);
+        let cfg = FeedbackConfig::default();
+        assert_eq!(calibration_factor(&reg, &id(), 0.001, &cfg), cfg.limit);
+        let reg = registry_with(&[1e-9, 1e-9, 1e-9, 1e-9]);
+        assert_eq!(calibration_factor(&reg, &id(), 1e9, &cfg), 1.0 / cfg.limit);
+    }
+
+    #[test]
+    fn ewma_tracks_regime_changes() {
+        // Old samples say 10 s, recent say 40 s: the factor leans recent.
+        let mut samples = vec![10.0; 10];
+        samples.extend(vec![40.0; 10]);
+        let reg = registry_with(&samples);
+        let f = calibration_factor(&reg, &id(), 10.0, &FeedbackConfig::default());
+        assert!(f > 3.0, "factor {f} should lean toward the recent regime");
+    }
+
+    #[test]
+    fn degenerate_predictions_are_ignored() {
+        let reg = registry_with(&[10.0; 5]);
+        let cfg = FeedbackConfig::default();
+        assert_eq!(calibration_factor(&reg, &id(), 0.0, &cfg), 1.0);
+        assert_eq!(calibration_factor(&reg, &id(), f64::INFINITY, &cfg), 1.0);
+        assert_eq!(calibration_factor(&reg, &id(), -5.0, &cfg), 1.0);
+    }
+}

@@ -1,0 +1,40 @@
+//! # Harmony core — the adaptation controller
+//!
+//! The primary contribution of "Exposing Application Alternatives"
+//! (Keleher, Hollingsworth, Perković — ICDCS 1999): a centralized resource
+//! manager to which applications export *tuning options* (bundles of
+//! mutually exclusive configuration alternatives), and which chooses among
+//! them to optimize a system-wide objective function.
+//!
+//! * [`Controller`] — registers applications, matches their bundles to the
+//!   cluster, predicts performance, and applies the greedy
+//!   one-bundle-at-a-time policy of §4.3 (with exhaustive and
+//!   simulated-annealing joint optimizers for comparison in
+//!   [`optimizer`]).
+//! * [`Objective`] — the "single variable that represents the overall
+//!   behavior of the system": min-average-completion-time by default.
+//! * [`HarmonyEvent`] — the event-driven interface of the prototype (§5).
+//! * Frictional costs, `granularity` rate limits, and elastic (`>=`)
+//!   memory grants are all honored during candidate evaluation.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod app;
+mod candidates;
+mod controller;
+mod error;
+mod events;
+pub mod feedback;
+pub mod optimizer;
+mod objective;
+mod snapshot;
+
+pub use app::{AppInstance, BundleState, ChosenConfig, InstanceId};
+pub use candidates::{enumerate as enumerate_candidates, has_elastic_memory, variable_assignments, Candidate};
+pub use controller::{Controller, ControllerConfig, DecisionRecord, OptimizerKind};
+pub use error::CoreError;
+pub use feedback::FeedbackConfig;
+pub use events::{EventOutcome, HarmonyEvent};
+pub use objective::Objective;
+pub use snapshot::{AppSnapshot, NodeSnapshot, SystemSnapshot};

@@ -1,0 +1,216 @@
+//! System snapshots: a serializable summary of the controller's state.
+//!
+//! The adaptation controller "accumulates detailed performance and resource
+//! information into a single place" (§1); a [`SystemSnapshot`] is that
+//! place, frozen — used by the `status` protocol verb, the experiment
+//! binaries, and operators debugging a live Harmony process.
+
+use serde::{Deserialize, Serialize};
+
+use crate::controller::Controller;
+
+/// One application's summary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppSnapshot {
+    /// Instance name (`DBclient.66`).
+    pub instance: String,
+    /// Arrival time (controller clock).
+    pub arrived_at: f64,
+    /// Per-bundle state: `(bundle, configuration label, predicted seconds,
+    /// reconfiguration count)`. Unplaced bundles report `"-"` and
+    /// infinity.
+    pub bundles: Vec<(String, String, f64, u32)>,
+}
+
+/// One node's summary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeSnapshot {
+    /// Node name.
+    pub name: String,
+    /// Speed relative to the reference machine.
+    pub speed: f64,
+    /// Free / total memory (MB).
+    pub free_memory: f64,
+    /// Total memory (MB).
+    pub total_memory: f64,
+    /// Assigned tasks.
+    pub tasks: u32,
+    /// Exclusive (dedicated) holds.
+    pub exclusive: u32,
+}
+
+/// A frozen summary of the whole system.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemSnapshot {
+    /// Controller clock at snapshot time.
+    pub time: f64,
+    /// Current objective score (lower is better).
+    pub objective: f64,
+    /// The objective function's name.
+    pub objective_name: String,
+    /// Applications in arrival order.
+    pub apps: Vec<AppSnapshot>,
+    /// Cluster nodes in name order.
+    pub nodes: Vec<NodeSnapshot>,
+    /// Total decisions applied since startup.
+    pub decisions: usize,
+}
+
+impl SystemSnapshot {
+    /// Captures the controller's current state.
+    pub fn capture(ctl: &Controller) -> Self {
+        let apps = ctl
+            .instances()
+            .into_iter()
+            .filter_map(|id| {
+                let app = ctl.app(&id)?;
+                Some(AppSnapshot {
+                    instance: id.to_string(),
+                    arrived_at: app.arrived_at,
+                    bundles: app
+                        .bundles
+                        .iter()
+                        .map(|b| match &b.current {
+                            Some(c) => (
+                                b.spec.name.clone(),
+                                c.label(),
+                                c.predicted,
+                                b.reconfig_count,
+                            ),
+                            None => (
+                                b.spec.name.clone(),
+                                "-".to_string(),
+                                f64::INFINITY,
+                                b.reconfig_count,
+                            ),
+                        })
+                        .collect(),
+                })
+            })
+            .collect();
+        let nodes = ctl
+            .cluster()
+            .nodes()
+            .map(|n| NodeSnapshot {
+                name: n.decl.name.clone(),
+                speed: n.decl.speed,
+                free_memory: n.free_memory,
+                total_memory: n.decl.memory,
+                tasks: n.tasks,
+                exclusive: n.exclusive,
+            })
+            .collect();
+        SystemSnapshot {
+            time: ctl.now(),
+            objective: ctl.objective_score(),
+            objective_name: ctl.config().objective.name().to_string(),
+            apps,
+            nodes,
+            decisions: ctl.decisions().len(),
+        }
+    }
+
+    /// Serializes to JSON (used by the `status` wire verb).
+    ///
+    /// # Errors
+    ///
+    /// Serialization errors from `serde_json` (practically unreachable for
+    /// this type).
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string(self)
+    }
+
+    /// Parses from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Deserialization errors on malformed input.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Total tasks across nodes.
+    pub fn total_tasks(&self) -> u32 {
+        self.nodes.iter().map(|n| n.tasks).sum()
+    }
+
+    /// Overall memory utilization in `[0, 1]`.
+    pub fn memory_utilization(&self) -> f64 {
+        let total: f64 = self.nodes.iter().map(|n| n.total_memory).sum();
+        let free: f64 = self.nodes.iter().map(|n| n.free_memory).sum();
+        if total <= 0.0 {
+            0.0
+        } else {
+            (total - free) / total
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::ControllerConfig;
+    use harmony_resources::Cluster;
+    use harmony_rsl::schema::parse_bundle_script;
+
+    fn controller() -> Controller {
+        let cluster =
+            Cluster::from_rsl(&harmony_rsl::listings::sp2_cluster(8)).unwrap();
+        let mut ctl = Controller::new(cluster, ControllerConfig::default());
+        ctl.set_time(12.5);
+        ctl.register(parse_bundle_script(harmony_rsl::listings::FIG2B_BAG).unwrap())
+            .unwrap();
+        ctl
+    }
+
+    #[test]
+    fn capture_reflects_controller_state() {
+        let ctl = controller();
+        let snap = SystemSnapshot::capture(&ctl);
+        assert_eq!(snap.time, 12.5);
+        assert_eq!(snap.objective, 230.0);
+        assert_eq!(snap.objective_name, "min-avg-completion");
+        assert_eq!(snap.apps.len(), 1);
+        assert_eq!(snap.apps[0].instance, "bag.1");
+        assert_eq!(snap.apps[0].bundles[0].1, "run[workerNodes=8]");
+        assert_eq!(snap.nodes.len(), 8);
+        assert_eq!(snap.total_tasks(), 8);
+        assert!(snap.memory_utilization() > 0.0);
+        assert_eq!(snap.decisions, ctl.decisions().len());
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let snap = SystemSnapshot::capture(&controller());
+        let json = snap.to_json().unwrap();
+        let back = SystemSnapshot::from_json(&json).unwrap();
+        assert_eq!(snap, back);
+        assert!(SystemSnapshot::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn unplaced_bundles_show_dash_and_infinity() {
+        let cluster =
+            Cluster::from_rsl(&harmony_rsl::listings::sp2_cluster(2)).unwrap();
+        let mut ctl = Controller::new(cluster, ControllerConfig::default());
+        // A 4-node bundle on a 2-node cluster cannot place.
+        let _ = ctl.register(
+            parse_bundle_script(harmony_rsl::listings::FIG2A_SIMPLE).unwrap(),
+        );
+        let snap = SystemSnapshot::capture(&ctl);
+        assert_eq!(snap.apps.len(), 1);
+        assert_eq!(snap.apps[0].bundles[0].1, "-");
+        assert!(snap.apps[0].bundles[0].2.is_infinite());
+    }
+
+    #[test]
+    fn empty_system_snapshot() {
+        let cluster = Cluster::new();
+        let ctl = Controller::new(cluster, ControllerConfig::default());
+        let snap = SystemSnapshot::capture(&ctl);
+        assert_eq!(snap.objective, 0.0);
+        assert!(snap.apps.is_empty());
+        assert!(snap.nodes.is_empty());
+        assert_eq!(snap.memory_utilization(), 0.0);
+    }
+}

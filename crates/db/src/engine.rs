@@ -1,0 +1,272 @@
+//! Query execution: the §6 workload over Wisconsin relations.
+//!
+//! "Each client ran the same workload, a set of similar, but randomly
+//! perturbed join queries over two instances of the Wisconsin benchmark
+//! relations… In each query, tuples from both relations are selected on an
+//! indexed attribute (10% selectivity) and then joined on a unique
+//! attribute."
+//!
+//! [`QueryEngine`] holds the relations and their indexes;
+//! [`QueryEngine::execute_hash`] runs indexed selections through a caller
+//! -supplied buffer pool followed by a hash join on `unique1`, returning
+//! both the result and the operation counts the cost model converts into
+//! reference-machine seconds.
+
+use std::collections::HashMap;
+use std::ops::Range;
+
+use serde::{Deserialize, Serialize};
+
+use crate::bufferpool::{BufferPool, PageId};
+use crate::index::BTreeIndex;
+use crate::relation::Relation;
+
+/// The benchmark query: select a `unique2` range from each relation, join
+/// the selections on `unique1`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JoinQuery {
+    /// `unique2` range selected from relation 1.
+    pub r1_range: Range<i64>,
+    /// `unique2` range selected from relation 2.
+    pub r2_range: Range<i64>,
+}
+
+impl JoinQuery {
+    /// A 10 %-selectivity query starting at `lo` over relations of `n`
+    /// tuples (the paper's configuration).
+    pub fn ten_percent(n: usize, lo1: i64, lo2: i64) -> Self {
+        let span = (n as i64) / 10;
+        JoinQuery { r1_range: lo1..lo1 + span, r2_range: lo2..lo2 + span }
+    }
+}
+
+/// Operation counts from one execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct QueryStats {
+    /// Tuples selected from relation 1.
+    pub selected1: u64,
+    /// Tuples selected from relation 2.
+    pub selected2: u64,
+    /// Join result tuples.
+    pub results: u64,
+    /// Tuples read through the selections.
+    pub tuples_scanned: u64,
+    /// Hash-table inserts (build side).
+    pub hash_builds: u64,
+    /// Hash-table probes.
+    pub hash_probes: u64,
+    /// Distinct page accesses issued to the buffer pool.
+    pub page_accesses: u64,
+    /// Pool hits among those.
+    pub cache_hits: u64,
+    /// Pool misses (pages that had to be fetched).
+    pub cache_misses: u64,
+}
+
+impl QueryStats {
+    /// Total "CPU operations" — the unit the cost model prices.
+    pub fn cpu_ops(&self) -> u64 {
+        self.tuples_scanned + self.hash_builds + self.hash_probes + self.results
+    }
+}
+
+/// The two-relation engine.
+#[derive(Debug, Clone)]
+pub struct QueryEngine {
+    r1: Relation,
+    r2: Relation,
+    idx1: BTreeIndex,
+    idx2: BTreeIndex,
+}
+
+impl QueryEngine {
+    /// Builds an engine over two fresh Wisconsin relations of `n` tuples
+    /// each, with clustered `unique2` indexes (the paper's setup).
+    pub fn wisconsin(n: usize, seed: u64) -> Self {
+        let r1 = Relation::wisconsin("wisc1", n, seed);
+        let r2 = Relation::wisconsin("wisc2", n, seed.wrapping_add(1));
+        let idx1 = BTreeIndex::build(&r1, "unique2");
+        let idx2 = BTreeIndex::build(&r2, "unique2");
+        QueryEngine { r1, r2, idx1, idx2 }
+    }
+
+    /// Relation 1.
+    pub fn r1(&self) -> &Relation {
+        &self.r1
+    }
+
+    /// Relation 2.
+    pub fn r2(&self) -> &Relation {
+        &self.r2
+    }
+
+    /// Number of tuples per relation.
+    pub fn len(&self) -> usize {
+        self.r1.len()
+    }
+
+    /// True when the relations are empty.
+    pub fn is_empty(&self) -> bool {
+        self.r1.is_empty()
+    }
+
+    fn select(
+        relation: &Relation,
+        index: &BTreeIndex,
+        range: Range<i64>,
+        pool: &mut BufferPool,
+        stats: &mut QueryStats,
+    ) -> Vec<usize> {
+        let positions = index.range(range);
+        // Touch each distinct page through the pool, in order (the
+        // selection is clustered, so this is a contiguous sweep).
+        let mut last_page = usize::MAX;
+        for &pos in &positions {
+            let page = relation.page_of(pos);
+            if page != last_page {
+                stats.page_accesses += 1;
+                if pool.access(PageId::new(relation.name.clone(), page)) {
+                    stats.cache_hits += 1;
+                } else {
+                    stats.cache_misses += 1;
+                }
+                last_page = page;
+            }
+            stats.tuples_scanned += 1;
+        }
+        positions
+    }
+
+    /// Executes the query with a hash join (build on the relation-1
+    /// selection, probe with relation 2), reading pages through `pool`.
+    /// Returns matching position pairs `(pos1, pos2)` and the stats.
+    pub fn execute_hash(
+        &self,
+        q: &JoinQuery,
+        pool: &mut BufferPool,
+    ) -> (Vec<(usize, usize)>, QueryStats) {
+        let mut stats = QueryStats::default();
+        let sel1 = Self::select(&self.r1, &self.idx1, q.r1_range.clone(), pool, &mut stats);
+        let sel2 = Self::select(&self.r2, &self.idx2, q.r2_range.clone(), pool, &mut stats);
+        stats.selected1 = sel1.len() as u64;
+        stats.selected2 = sel2.len() as u64;
+
+        let mut table: HashMap<i64, usize> = HashMap::with_capacity(sel1.len());
+        for &pos in &sel1 {
+            let key = self.r1.get(pos).expect("selected position").unique1;
+            table.insert(key, pos);
+            stats.hash_builds += 1;
+        }
+        let mut out = Vec::new();
+        for &pos in &sel2 {
+            let key = self.r2.get(pos).expect("selected position").unique1;
+            stats.hash_probes += 1;
+            if let Some(&p1) = table.get(&key) {
+                out.push((p1, pos));
+                stats.results += 1;
+            }
+        }
+        (out, stats)
+    }
+
+    /// Nested-loop oracle for correctness testing (no pool, no stats).
+    pub fn execute_nested_loop(&self, q: &JoinQuery) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for (p1, t1) in self.r1.tuples().iter().enumerate() {
+            if !q.r1_range.contains(&t1.unique2) {
+                continue;
+            }
+            for (p2, t2) in self.r2.tuples().iter().enumerate() {
+                if q.r2_range.contains(&t2.unique2) && t1.unique1 == t2.unique1 {
+                    out.push((p1, p2));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> QueryEngine {
+        QueryEngine::wisconsin(2000, 42)
+    }
+
+    #[test]
+    fn hash_join_matches_nested_loop_oracle() {
+        let e = engine();
+        let q = JoinQuery::ten_percent(2000, 100, 400);
+        let mut pool = BufferPool::new(10_000);
+        let (mut hash, _) = e.execute_hash(&q, &mut pool);
+        let mut oracle = e.execute_nested_loop(&q);
+        hash.sort_unstable();
+        oracle.sort_unstable();
+        assert_eq!(hash, oracle);
+        assert!(!hash.is_empty(), "10% × 10% of 2000 should usually match something");
+    }
+
+    #[test]
+    fn join_on_unique_attribute_has_expected_cardinality() {
+        let e = QueryEngine::wisconsin(10_000, 7);
+        let q = JoinQuery::ten_percent(10_000, 0, 0);
+        let mut pool = BufferPool::new(100_000);
+        let (out, stats) = e.execute_hash(&q, &mut pool);
+        assert_eq!(stats.selected1, 1000);
+        assert_eq!(stats.selected2, 1000);
+        // Expected matches: 1000 × (1000/10000) = 100, binomial spread.
+        assert!((50..200).contains(&out.len()), "got {}", out.len());
+        assert_eq!(stats.results, out.len() as u64);
+        assert_eq!(stats.cpu_ops(), 2000 + 1000 + 1000 + stats.results);
+    }
+
+    #[test]
+    fn clustered_selection_touches_contiguous_pages() {
+        let e = engine();
+        let q = JoinQuery { r1_range: 0..390, r2_range: 0..0 };
+        let mut pool = BufferPool::new(10_000);
+        let (_, stats) = e.execute_hash(&q, &mut pool);
+        // 390 tuples at 39/page = exactly 10 pages.
+        assert_eq!(stats.page_accesses, 10);
+        assert_eq!(stats.cache_misses, 10);
+        assert_eq!(stats.tuples_scanned, 390);
+    }
+
+    #[test]
+    fn warm_cache_hits() {
+        let e = engine();
+        let q = JoinQuery::ten_percent(2000, 0, 0);
+        let mut pool = BufferPool::new(10_000);
+        let (_, cold) = e.execute_hash(&q, &mut pool);
+        let (_, warm) = e.execute_hash(&q, &mut pool);
+        assert!(cold.cache_misses > 0);
+        assert_eq!(warm.cache_misses, 0);
+        assert_eq!(warm.cache_hits, warm.page_accesses);
+    }
+
+    #[test]
+    fn empty_ranges_produce_empty_results() {
+        let e = engine();
+        let q = JoinQuery { r1_range: 0..0, r2_range: 0..0 };
+        let mut pool = BufferPool::new(16);
+        let (out, stats) = e.execute_hash(&q, &mut pool);
+        assert!(out.is_empty());
+        assert_eq!(stats.cpu_ops(), 0);
+    }
+
+    #[test]
+    fn results_actually_join_on_unique1() {
+        let e = engine();
+        let q = JoinQuery::ten_percent(2000, 50, 900);
+        let mut pool = BufferPool::new(10_000);
+        let (out, _) = e.execute_hash(&q, &mut pool);
+        for (p1, p2) in out {
+            let t1 = e.r1().get(p1).unwrap();
+            let t2 = e.r2().get(p2).unwrap();
+            assert_eq!(t1.unique1, t2.unique1);
+            assert!(q.r1_range.contains(&t1.unique2));
+            assert!(q.r2_range.contains(&t2.unique2));
+        }
+    }
+}

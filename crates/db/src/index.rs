@@ -1,0 +1,115 @@
+//! B-tree indexes over relation attributes.
+
+use std::collections::BTreeMap;
+use std::ops::Range;
+
+use serde::{Deserialize, Serialize};
+
+use crate::relation::Relation;
+
+/// A secondary index mapping attribute values to tuple positions.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct BTreeIndex {
+    /// Indexed attribute name.
+    pub attr: String,
+    map: BTreeMap<i64, Vec<usize>>,
+}
+
+impl BTreeIndex {
+    /// Builds an index on `attr` over `relation`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `attr` is not an integer attribute of the Wisconsin
+    /// tuple (a schema bug, not a runtime condition).
+    pub fn build(relation: &Relation, attr: &str) -> Self {
+        let mut map: BTreeMap<i64, Vec<usize>> = BTreeMap::new();
+        for (pos, t) in relation.tuples().iter().enumerate() {
+            let key = t
+                .attr(attr)
+                .unwrap_or_else(|| panic!("`{attr}` is not an integer attribute"));
+            map.entry(key).or_default().push(pos);
+        }
+        BTreeIndex { attr: attr.to_owned(), map }
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct_keys(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Tuple positions with `key` exactly.
+    pub fn lookup(&self, key: i64) -> &[usize] {
+        self.map.get(&key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Tuple positions with keys in `range`, in key order.
+    pub fn range(&self, range: Range<i64>) -> Vec<usize> {
+        self.map.range(range).flat_map(|(_, v)| v.iter().copied()).collect()
+    }
+
+    /// Number of tuples with keys in `range` (no materialization).
+    pub fn count_range(&self, range: Range<i64>) -> usize {
+        self.map.range(range).map(|(_, v)| v.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel() -> Relation {
+        Relation::wisconsin("w", 1000, 3)
+    }
+
+    #[test]
+    fn unique_index_has_one_position_per_key() {
+        let r = rel();
+        let idx = BTreeIndex::build(&r, "unique1");
+        assert_eq!(idx.distinct_keys(), 1000);
+        for k in [0i64, 17, 999] {
+            let pos = idx.lookup(k);
+            assert_eq!(pos.len(), 1);
+            assert_eq!(r.get(pos[0]).unwrap().unique1, k);
+        }
+        assert!(idx.lookup(5000).is_empty());
+    }
+
+    #[test]
+    fn clustered_range_is_contiguous() {
+        let r = rel();
+        let idx = BTreeIndex::build(&r, "unique2");
+        let pos = idx.range(100..200);
+        assert_eq!(pos, (100..200).collect::<Vec<_>>());
+        assert_eq!(idx.count_range(100..200), 100);
+    }
+
+    #[test]
+    fn unclustered_range_is_scattered() {
+        let r = rel();
+        let idx = BTreeIndex::build(&r, "unique1");
+        let pos = idx.range(0..100);
+        assert_eq!(pos.len(), 100);
+        // Positions are scattered, values ordered.
+        let vals: Vec<i64> = pos.iter().map(|&p| r.get(p).unwrap().unique1).collect();
+        let mut sorted = vals.clone();
+        sorted.sort_unstable();
+        assert_eq!(vals, sorted);
+        assert_ne!(pos, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn low_cardinality_attribute() {
+        let r = rel();
+        let idx = BTreeIndex::build(&r, "ten");
+        assert_eq!(idx.distinct_keys(), 10);
+        assert_eq!(idx.lookup(3).len(), 100);
+        assert_eq!(idx.count_range(0..10), 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "not an integer attribute")]
+    fn bad_attribute_panics() {
+        let _ = BTreeIndex::build(&rel(), "stringu1");
+    }
+}

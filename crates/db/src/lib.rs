@@ -1,0 +1,66 @@
+//! # Harmony DB — the Tornadito stand-in
+//!
+//! A miniature client/server relational engine reproducing the evaluation
+//! substrate of "Exposing Application Alternatives" §6: Tornadito, a
+//! relational engine on the SHORE storage manager, running randomly
+//! perturbed join queries over two 100 000 × 208-byte Wisconsin relations.
+//!
+//! * [`Relation`] / [`Tuple`] — page-organized Wisconsin storage;
+//! * [`BTreeIndex`] — the indexed 10 %-selectivity selections;
+//! * [`BufferPool`] — LRU caching (server shared cache and per-client DS
+//!   caches sized by Harmony's memory grants);
+//! * [`QueryEngine`] — indexed-selection + hash-join execution with a
+//!   nested-loop oracle;
+//! * [`CostModel`] — operation counts → reference-machine seconds for the
+//!   query-shipping and data-shipping modes;
+//! * [`run_fig7`] — the Figure 7 experiment: clients arriving every
+//!   200 s, queries flowing through processor-sharing stations, and a
+//!   pluggable [`WherePolicy`] (the paper's client-count rule or the full
+//!   Harmony controller).
+//!
+//! # Examples
+//!
+//! ```
+//! use harmony_db::{BufferPool, CostModel, JoinQuery, QueryEngine};
+//!
+//! // The paper's query at 1/10 scale: 10% selections, join on unique1.
+//! let engine = QueryEngine::wisconsin(10_000, 1);
+//! let mut cache = BufferPool::with_megabytes(24.0);
+//! let (rows, stats) = engine.execute_hash(
+//!     &JoinQuery::ten_percent(10_000, 1_000, 5_000),
+//!     &mut cache,
+//! );
+//! assert_eq!(stats.selected1, 1_000);
+//! assert_eq!(rows.len() as u64, stats.results);
+//!
+//! // Price it for both shipping modes.
+//! let model = CostModel::default();
+//! let qs = model.query_shipping(&stats);
+//! let ds = model.data_shipping(&stats);
+//! assert!(qs.server_seconds > ds.server_seconds);
+//! assert!(ds.client_seconds > qs.client_seconds);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod bufferpool;
+mod cost;
+mod engine;
+mod fig7;
+mod index;
+pub mod ops;
+mod relation;
+mod tuple;
+mod workload;
+
+pub use bufferpool::{BufferPool, CacheStats, PageId};
+pub use cost::{CostModel, ResourceProfile};
+pub use engine::{JoinQuery, QueryEngine, QueryStats};
+pub use fig7::{
+    dbclient_bundle, run_fig7, Fig7Config, Fig7Result, Mode, QueryRecord, WherePolicy,
+};
+pub use index::BTreeIndex;
+pub use relation::{PageNo, Relation, PAGE_BYTES, TUPLES_PER_PAGE};
+pub use tuple::{wisconsin_string, Tuple, TUPLE_BYTES};
+pub use workload::{Workload, WorkloadConfig};

@@ -1,0 +1,151 @@
+//! Relations: page-organized tuple storage plus the Wisconsin generator.
+
+use harmony_sim::SimRng;
+use serde::{Deserialize, Serialize};
+
+use crate::tuple::{Tuple, TUPLE_BYTES};
+
+/// Storage page size in bytes (SHORE used 8 KB pages).
+pub const PAGE_BYTES: usize = 8192;
+
+/// Tuples per page.
+pub const TUPLES_PER_PAGE: usize = PAGE_BYTES / TUPLE_BYTES; // 39
+
+/// A page identifier within one relation.
+pub type PageNo = usize;
+
+/// An in-memory relation with page-granular addressing.
+///
+/// Tuples are stored in `unique2` order (the benchmark's clustered
+/// attribute), `TUPLES_PER_PAGE` per page, so range selections on
+/// `unique2` touch contiguous pages.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Relation {
+    /// Relation name (e.g. `wisc1`).
+    pub name: String,
+    tuples: Vec<Tuple>,
+}
+
+impl Relation {
+    /// Generates a Wisconsin relation of `n` tuples: `unique2` sequential,
+    /// `unique1` a seeded random permutation of `0..n`.
+    pub fn wisconsin(name: impl Into<String>, n: usize, seed: u64) -> Self {
+        let mut unique1: Vec<i64> = (0..n as i64).collect();
+        let mut rng = SimRng::seed(seed);
+        rng.shuffle(&mut unique1);
+        let tuples = unique1
+            .into_iter()
+            .enumerate()
+            .map(|(u2, u1)| Tuple::new(u1, u2 as i64))
+            .collect();
+        Relation { name: name.into(), tuples }
+    }
+
+    /// Builds a relation from explicit tuples (tests).
+    pub fn from_tuples(name: impl Into<String>, tuples: Vec<Tuple>) -> Self {
+        Relation { name: name.into(), tuples }
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True when the relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Number of pages.
+    pub fn pages(&self) -> usize {
+        self.tuples.len().div_ceil(TUPLES_PER_PAGE)
+    }
+
+    /// Total size in bytes.
+    pub fn bytes(&self) -> usize {
+        self.tuples.len() * TUPLE_BYTES
+    }
+
+    /// Total size in megabytes.
+    pub fn megabytes(&self) -> f64 {
+        self.bytes() as f64 / 1e6
+    }
+
+    /// The tuple at position `i` (in `unique2` order).
+    pub fn get(&self, i: usize) -> Option<&Tuple> {
+        self.tuples.get(i)
+    }
+
+    /// All tuples (in `unique2` order).
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// The page number holding tuple position `i`.
+    pub fn page_of(&self, i: usize) -> PageNo {
+        i / TUPLES_PER_PAGE
+    }
+
+    /// Tuple positions stored in page `p`.
+    pub fn page_range(&self, p: PageNo) -> std::ops::Range<usize> {
+        let start = p * TUPLES_PER_PAGE;
+        let end = ((p + 1) * TUPLES_PER_PAGE).min(self.tuples.len());
+        start..end.max(start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_produces_permutation() {
+        let r = Relation::wisconsin("w", 1000, 1);
+        assert_eq!(r.len(), 1000);
+        let mut u1: Vec<i64> = r.tuples().iter().map(|t| t.unique1).collect();
+        u1.sort_unstable();
+        assert_eq!(u1, (0..1000).collect::<Vec<_>>());
+        // unique2 sequential.
+        for (i, t) in r.tuples().iter().enumerate() {
+            assert_eq!(t.unique2, i as i64);
+        }
+    }
+
+    #[test]
+    fn generator_is_seed_deterministic() {
+        let a = Relation::wisconsin("a", 500, 9);
+        let b = Relation::wisconsin("b", 500, 9);
+        assert_eq!(a.tuples(), b.tuples());
+        let c = Relation::wisconsin("c", 500, 10);
+        assert_ne!(a.tuples(), c.tuples());
+    }
+
+    #[test]
+    fn paper_relation_size() {
+        // 100,000 × 208-byte tuples ≈ 20.8 MB, 39 tuples/page.
+        let r = Relation::wisconsin("w", 100_000, 1);
+        assert_eq!(TUPLES_PER_PAGE, 39);
+        assert_eq!(r.pages(), 100_000usize.div_ceil(39));
+        assert!((r.megabytes() - 20.8).abs() < 0.01);
+    }
+
+    #[test]
+    fn page_addressing() {
+        let r = Relation::wisconsin("w", 100, 1);
+        assert_eq!(r.pages(), 3);
+        assert_eq!(r.page_of(0), 0);
+        assert_eq!(r.page_of(38), 0);
+        assert_eq!(r.page_of(39), 1);
+        assert_eq!(r.page_range(0), 0..39);
+        assert_eq!(r.page_range(2), 78..100);
+        assert_eq!(r.page_range(3), 117..117); // out of range: empty
+    }
+
+    #[test]
+    fn empty_relation() {
+        let r = Relation::from_tuples("e", vec![]);
+        assert!(r.is_empty());
+        assert_eq!(r.pages(), 0);
+        assert!(r.get(0).is_none());
+    }
+}

@@ -1,0 +1,151 @@
+//! Wisconsin benchmark tuples.
+//!
+//! The paper's workload (§6) joins "two instances of the Wisconsin
+//! benchmark relations, each of which contains 100,000 208-byte tuples".
+//! The classic Wisconsin tuple has thirteen integer attributes and three
+//! 52-byte strings, totalling 208 bytes.
+
+use serde::{Deserialize, Serialize};
+
+/// Size of one Wisconsin tuple in bytes (13 × 4-byte ints + 3 × 52-byte
+/// strings).
+pub const TUPLE_BYTES: usize = 208;
+
+/// One Wisconsin benchmark tuple.
+///
+/// `unique1` is a random permutation of `0..n` (candidate key, scattered);
+/// `unique2` is sequential `0..n` (candidate key, clustered). The small
+/// attributes are derived modulo fields used for selectivity control.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Tuple {
+    /// Random permutation of `0..n` — the join attribute in §6.
+    pub unique1: i64,
+    /// Sequential `0..n` — the clustered selection attribute.
+    pub unique2: i64,
+    /// `unique1 mod 2`.
+    pub two: i64,
+    /// `unique1 mod 4`.
+    pub four: i64,
+    /// `unique1 mod 10`.
+    pub ten: i64,
+    /// `unique1 mod 20`.
+    pub twenty: i64,
+    /// `unique1 mod 100` — 1% selectivity attribute.
+    pub one_percent: i64,
+    /// `unique1 mod 10` scaled — 10% selectivity attribute.
+    pub ten_percent: i64,
+    /// `unique1 mod 5` — 20% selectivity attribute.
+    pub twenty_percent: i64,
+    /// `unique1 mod 2` — 50% selectivity attribute.
+    pub fifty_percent: i64,
+    /// Copy of `unique1` (the benchmark's `unique3`).
+    pub unique3: i64,
+    /// `unique1 mod 100` on even values.
+    pub even_one_percent: i64,
+    /// `unique1 mod 100` on odd values.
+    pub odd_one_percent: i64,
+    /// 52-byte string derived from `unique1`.
+    pub stringu1: String,
+    /// 52-byte string derived from `unique2`.
+    pub stringu2: String,
+    /// Constant-ish 52-byte filler string.
+    pub string4: String,
+}
+
+/// Builds the benchmark's 52-character string for a value: a 7-character
+/// base-26 encoding padded with `x`.
+pub fn wisconsin_string(value: i64) -> String {
+    let mut chars = ['A'; 7];
+    let mut v = value.unsigned_abs();
+    for c in chars.iter_mut().rev() {
+        *c = (b'A' + (v % 26) as u8) as char;
+        v /= 26;
+    }
+    let mut s: String = chars.iter().collect();
+    s.push_str(&"x".repeat(45));
+    s
+}
+
+impl Tuple {
+    /// Builds the tuple for `(unique1, unique2)`.
+    pub fn new(unique1: i64, unique2: i64) -> Self {
+        let one_pct = unique1 % 100;
+        Tuple {
+            unique1,
+            unique2,
+            two: unique1 % 2,
+            four: unique1 % 4,
+            ten: unique1 % 10,
+            twenty: unique1 % 20,
+            one_percent: one_pct,
+            ten_percent: unique1 % 10,
+            twenty_percent: unique1 % 5,
+            fifty_percent: unique1 % 2,
+            unique3: unique1,
+            even_one_percent: one_pct * 2 % 100,
+            odd_one_percent: (one_pct * 2 + 1) % 100,
+            stringu1: wisconsin_string(unique1),
+            stringu2: wisconsin_string(unique2),
+            string4: wisconsin_string(4),
+        }
+    }
+
+    /// The value of the named attribute, for generic predicates. String
+    /// attributes are not addressable this way.
+    pub fn attr(&self, name: &str) -> Option<i64> {
+        Some(match name {
+            "unique1" => self.unique1,
+            "unique2" => self.unique2,
+            "two" => self.two,
+            "four" => self.four,
+            "ten" => self.ten,
+            "twenty" => self.twenty,
+            "onePercent" => self.one_percent,
+            "tenPercent" => self.ten_percent,
+            "twentyPercent" => self.twenty_percent,
+            "fiftyPercent" => self.fifty_percent,
+            "unique3" => self.unique3,
+            "evenOnePercent" => self.even_one_percent,
+            "oddOnePercent" => self.odd_one_percent,
+            _ => return None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_are_52_bytes_and_tuple_is_208() {
+        let s = wisconsin_string(12345);
+        assert_eq!(s.len(), 52);
+        // 13 ints × 4 + 3 strings × 52 = 52 + 156 = 208.
+        assert_eq!(13 * 4 + 3 * 52, TUPLE_BYTES);
+    }
+
+    #[test]
+    fn string_encoding_is_injective_for_small_values() {
+        let mut seen = std::collections::HashSet::new();
+        for v in 0..1000 {
+            assert!(seen.insert(wisconsin_string(v)), "collision at {v}");
+        }
+    }
+
+    #[test]
+    fn derived_attributes() {
+        let t = Tuple::new(123, 7);
+        assert_eq!(t.two, 1);
+        assert_eq!(t.four, 3);
+        assert_eq!(t.ten, 3);
+        assert_eq!(t.twenty, 3);
+        assert_eq!(t.one_percent, 23);
+        assert_eq!(t.fifty_percent, 1);
+        assert_eq!(t.unique3, 123);
+        assert_eq!(t.attr("unique1"), Some(123));
+        assert_eq!(t.attr("unique2"), Some(7));
+        assert_eq!(t.attr("tenPercent"), Some(3));
+        assert_eq!(t.attr("stringu1"), None);
+        assert_eq!(t.attr("nope"), None);
+    }
+}

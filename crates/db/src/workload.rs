@@ -1,0 +1,126 @@
+//! The §6 client workload: similar, randomly perturbed join queries.
+//!
+//! Each client owns a "home" region of the two relations and issues
+//! 10 %-selectivity queries whose ranges drift around it — similar enough
+//! for caches to pay off, perturbed enough that they are never identical
+//! ("such query sets often arise in large databases that have multiple end
+//! users (bank branches, ATMs), and in query refinement").
+
+use harmony_sim::SimRng;
+use serde::{Deserialize, Serialize};
+
+use crate::engine::JoinQuery;
+
+/// Workload parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadConfig {
+    /// Tuples per relation.
+    pub tuples: usize,
+    /// Selectivity of each range selection (the paper uses 0.10).
+    pub selectivity: f64,
+    /// Fractional drift of the range start per query (cache-friendliness
+    /// knob): each query's start moves uniformly within ± this fraction of
+    /// the relation around the client's home position.
+    pub drift: f64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig { tuples: 100_000, selectivity: 0.10, drift: 0.02 }
+    }
+}
+
+/// A per-client stream of perturbed queries.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    config: WorkloadConfig,
+    home1: i64,
+    home2: i64,
+    rng: SimRng,
+    issued: u64,
+}
+
+impl Workload {
+    /// Creates client `client_id`'s stream. Clients get different homes
+    /// from the same base seed so their ranges overlap partially (the
+    /// cooperative-caching precondition) without being identical.
+    pub fn new(config: WorkloadConfig, client_id: usize, seed: u64) -> Self {
+        let mut rng = SimRng::seed(seed.wrapping_add((client_id as u64).wrapping_mul(7919)));
+        let n = config.tuples as i64;
+        let span = (config.selectivity * config.tuples as f64) as i64;
+        let max_lo = (n - span).max(1);
+        // Homes cluster in the same half of the relation so clients share
+        // pages at the server.
+        let home1 = rng.uniform_int(0, max_lo / 2);
+        let home2 = rng.uniform_int(0, max_lo / 2);
+        Workload { config, home1, home2, rng, issued: 0 }
+    }
+
+    /// Number of queries issued so far.
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    /// Produces the next query.
+    pub fn next_query(&mut self) -> JoinQuery {
+        let n = self.config.tuples as i64;
+        let span = ((self.config.selectivity * self.config.tuples as f64) as i64).max(1);
+        let drift = ((self.config.drift * self.config.tuples as f64) as i64).max(1);
+        let clamp = |lo: i64| lo.clamp(0, (n - span).max(0));
+        let lo1 = clamp(self.home1 + self.rng.uniform_int(-drift, drift));
+        let lo2 = clamp(self.home2 + self.rng.uniform_int(-drift, drift));
+        self.issued += 1;
+        JoinQuery { r1_range: lo1..lo1 + span, r2_range: lo2..lo2 + span }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queries_have_requested_selectivity() {
+        let cfg = WorkloadConfig { tuples: 10_000, selectivity: 0.1, drift: 0.02 };
+        let mut w = Workload::new(cfg, 0, 1);
+        for _ in 0..50 {
+            let q = w.next_query();
+            assert_eq!(q.r1_range.end - q.r1_range.start, 1000);
+            assert_eq!(q.r2_range.end - q.r2_range.start, 1000);
+            assert!(q.r1_range.start >= 0 && q.r1_range.end <= 10_000);
+        }
+        assert_eq!(w.issued(), 50);
+    }
+
+    #[test]
+    fn queries_are_perturbed_but_similar() {
+        let cfg = WorkloadConfig { tuples: 10_000, selectivity: 0.1, drift: 0.02 };
+        let mut w = Workload::new(cfg, 0, 1);
+        let qs: Vec<JoinQuery> = (0..20).map(|_| w.next_query()).collect();
+        // Not all identical.
+        assert!(qs.iter().any(|q| q.r1_range != qs[0].r1_range));
+        // But all within the drift band of each other (≤ 2 × 2% × 10000).
+        let lo_min = qs.iter().map(|q| q.r1_range.start).min().unwrap();
+        let lo_max = qs.iter().map(|q| q.r1_range.start).max().unwrap();
+        assert!(lo_max - lo_min <= 400, "drift band violated: {}", lo_max - lo_min);
+    }
+
+    #[test]
+    fn clients_overlap_but_differ() {
+        let cfg = WorkloadConfig { tuples: 10_000, selectivity: 0.1, drift: 0.02 };
+        let a = Workload::new(cfg, 0, 1);
+        let b = Workload::new(cfg, 1, 1);
+        assert_ne!((a.home1, a.home2), (b.home1, b.home2));
+        // Homes are in the first half, so 10% ranges can share pages.
+        assert!(a.home1 <= 4500 && b.home1 <= 4500);
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let cfg = WorkloadConfig { tuples: 10_000, selectivity: 0.1, drift: 0.02 };
+        let mut a = Workload::new(cfg, 2, 9);
+        let mut b = Workload::new(cfg, 2, 9);
+        for _ in 0..10 {
+            assert_eq!(a.next_query(), b.next_query());
+        }
+    }
+}

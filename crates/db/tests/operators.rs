@@ -1,0 +1,116 @@
+//! Relational-operator integration: composed query plans over Wisconsin
+//! data, cross-checked between access paths.
+
+use harmony_db::ops::{
+    aggregate, index_nested_loop_join, index_scan, project, scan, Aggregate, Predicate,
+};
+use harmony_db::{BTreeIndex, BufferPool, Relation};
+
+fn rel(n: usize) -> Relation {
+    Relation::wisconsin("w", n, 11)
+}
+
+#[test]
+fn wisconsin_query_1_style_selection_and_aggregate() {
+    // SELECT count(*), min(unique1), max(unique1)
+    // FROM w WHERE unique2 BETWEEN 100 AND 299 AND two = 0
+    let r = rel(2000);
+    let idx = BTreeIndex::build(&r, "unique2");
+    let mut pool = BufferPool::new(10_000);
+    let (rows, stats) = index_scan(
+        &r,
+        &idx,
+        100..300,
+        &Predicate::Eq("two".into(), 0),
+        &mut pool,
+    );
+    assert_eq!(stats.examined, 200);
+    // unique1 is a permutation: about half are even.
+    assert!((70..130).contains(&rows.len()), "{}", rows.len());
+    let count = aggregate(&r, &rows, "unique1", Aggregate::Count).unwrap();
+    assert_eq!(count as usize, rows.len());
+    let lo = aggregate(&r, &rows, "unique1", Aggregate::Min).unwrap();
+    let hi = aggregate(&r, &rows, "unique1", Aggregate::Max).unwrap();
+    assert!(lo < hi);
+    assert_eq!(lo % 2, 0);
+    assert_eq!(hi % 2, 0);
+}
+
+#[test]
+fn index_path_equals_scan_path_for_every_wisconsin_selectivity() {
+    let r = rel(1000);
+    let mut pool = BufferPool::new(10_000);
+    for (attr, expect) in [
+        ("onePercent", 10usize),
+        ("tenPercent", 100),
+        ("twentyPercent", 200),
+        ("fiftyPercent", 500),
+    ] {
+        let (rows, _) = scan(&r, &Predicate::Eq(attr.into(), 0), &mut pool);
+        assert_eq!(rows.len(), expect, "{attr}");
+        // Same rows through an index on the attribute.
+        let idx = BTreeIndex::build(&r, attr);
+        let mut via_index = idx.lookup(0).to_vec();
+        via_index.sort_unstable();
+        let mut via_scan = rows;
+        via_scan.sort_unstable();
+        assert_eq!(via_index, via_scan, "{attr}");
+    }
+}
+
+#[test]
+fn three_way_plan_scan_filter_join_project() {
+    // Join the odd half of r1 against a unique2 range of r2 on unique1,
+    // then project — and cross-check against a brute-force evaluation.
+    let r1 = Relation::wisconsin("r1", 500, 1);
+    let r2 = Relation::wisconsin("r2", 500, 2);
+    let mut pool = BufferPool::new(10_000);
+    let (odd, _) = scan(&r1, &Predicate::Eq("two".into(), 1), &mut pool);
+    let idx2_u1 = BTreeIndex::build(&r2, "unique1");
+    let (pairs, _) =
+        index_nested_loop_join(&r1, &odd, "unique1", &r2, &idx2_u1, &mut pool);
+    // Keep pairs whose r2 tuple sits in unique2 ∈ [0, 250).
+    let kept: Vec<(usize, usize)> = pairs
+        .into_iter()
+        .filter(|(_, p2)| r2.get(*p2).unwrap().unique2 < 250)
+        .collect();
+
+    let brute: Vec<(usize, usize)> = r1
+        .tuples()
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| t.two == 1)
+        .flat_map(|(p1, t1)| {
+            r2.tuples()
+                .iter()
+                .enumerate()
+                .filter(move |(_, t2)| t2.unique1 == t1.unique1 && t2.unique2 < 250)
+                .map(move |(p2, _)| (p1, p2))
+        })
+        .collect();
+    let mut kept_sorted = kept.clone();
+    kept_sorted.sort_unstable();
+    let mut brute_sorted = brute;
+    brute_sorted.sort_unstable();
+    assert_eq!(kept_sorted, brute_sorted);
+
+    // Projection extracts aligned columns.
+    let p1s: Vec<usize> = kept.iter().map(|(p1, _)| *p1).collect();
+    let cols = project(&r1, &p1s, &["unique1", "two"]);
+    for row in cols {
+        assert_eq!(row[1], Some(1), "all odd");
+    }
+}
+
+#[test]
+fn operator_page_accounting_matches_selection_shape() {
+    let r = rel(3900); // exactly 100 pages
+    let idx = BTreeIndex::build(&r, "unique2");
+    let mut pool = BufferPool::new(10_000);
+    // A clustered range of 390 tuples touches exactly 10-11 pages.
+    let (_, stats) = index_scan(&r, &idx, 0..390, &Predicate::True, &mut pool);
+    assert!((10..=11).contains(&(stats.page_accesses as usize)), "{}", stats.page_accesses);
+    // A full scan touches all 100.
+    let (_, stats) = scan(&r, &Predicate::True, &mut pool);
+    assert_eq!(stats.page_accesses, 100);
+}

@@ -1,0 +1,80 @@
+//! Paper-scale smoke tests for the database substrate: the full
+//! 100 000-tuple configuration that the Figure 7 binary runs, verified at
+//! lower volume here so `cargo test` stays fast but still touches the real
+//! sizes once.
+
+use harmony_db::{
+    BufferPool, CostModel, JoinQuery, QueryEngine, Workload, WorkloadConfig, PAGE_BYTES,
+    TUPLES_PER_PAGE, TUPLE_BYTES,
+};
+
+#[test]
+fn paper_scale_relation_geometry() {
+    // 100,000 × 208 B tuples, 8 KB pages, 39 tuples/page, ≈ 20.8 MB.
+    let engine = QueryEngine::wisconsin(100_000, 1);
+    assert_eq!(engine.len(), 100_000);
+    assert_eq!(TUPLE_BYTES, 208);
+    assert_eq!(PAGE_BYTES, 8192);
+    assert_eq!(TUPLES_PER_PAGE, 39);
+    assert_eq!(engine.r1().pages(), 2565);
+    assert!((engine.r1().megabytes() - 20.8).abs() < 0.01);
+}
+
+#[test]
+fn paper_scale_query_cardinalities() {
+    let engine = QueryEngine::wisconsin(100_000, 2);
+    let mut pool = BufferPool::with_megabytes(64.0);
+    let q = JoinQuery::ten_percent(100_000, 20_000, 70_000);
+    let (out, stats) = engine.execute_hash(&q, &mut pool);
+    // 10% selections.
+    assert_eq!(stats.selected1, 10_000);
+    assert_eq!(stats.selected2, 10_000);
+    // Unique-attribute join: expected 10k × 10k / 100k = 1000 matches.
+    assert!((800..1200).contains(&out.len()), "matches {}", out.len());
+    // Clustered selections touch ~257 pages each.
+    assert!((500..530).contains(&(stats.page_accesses as usize)));
+}
+
+#[test]
+fn paper_scale_costs_match_the_reconstructed_fig3() {
+    let engine = QueryEngine::wisconsin(100_000, 3);
+    let mut pool = BufferPool::with_megabytes(64.0);
+    let q = JoinQuery::ten_percent(100_000, 10_000, 40_000);
+    // Warm run: steady-state per-query costs.
+    engine.execute_hash(&q, &mut pool);
+    let (_, stats) = engine.execute_hash(&q, &mut pool);
+    let m = CostModel::default();
+    let qs = m.query_shipping(&stats);
+    let ds = m.data_shipping(&stats);
+    // The Figure 3 ratios: QS server ≈ 4, DS client ≈ 9 (×2.2).
+    assert!((3.0..5.0).contains(&qs.server_seconds), "{}", qs.server_seconds);
+    assert!((7.0..11.0).contains(&ds.client_seconds), "{}", ds.client_seconds);
+    assert!((ds.client_seconds / qs.server_seconds - 2.2).abs() < 0.01);
+}
+
+#[test]
+fn drifting_workload_keeps_cache_warm_at_paper_scale() {
+    let engine = QueryEngine::wisconsin(100_000, 4);
+    let cfg = WorkloadConfig::default();
+    let mut w = Workload::new(cfg, 0, 9);
+    // A 24 MB client cache (the fig3 elastic cap) against a drifting 10%
+    // working set (~4.2 MB × drift overlap).
+    let mut cache = BufferPool::with_megabytes(24.0);
+    let mut cold_misses = 0u64;
+    let mut warm_misses = 0u64;
+    for i in 0..10 {
+        let q = w.next_query();
+        let (_, stats) = engine.execute_hash(&q, &mut cache);
+        if i == 0 {
+            cold_misses = stats.cache_misses;
+        } else {
+            warm_misses += stats.cache_misses;
+        }
+    }
+    let warm_avg = warm_misses as f64 / 9.0;
+    assert!(cold_misses > 400, "cold fill: {cold_misses}");
+    assert!(
+        warm_avg < cold_misses as f64 * 0.5,
+        "drift keeps most pages warm: {warm_avg:.0} vs {cold_misses}"
+    );
+}

@@ -1,0 +1,129 @@
+//! The metric event bus: fan-out of metric updates to subscribers.
+//!
+//! The Harmony process "is an event driven system that waits for
+//! application and performance events" (§5). Producers publish
+//! [`MetricEvent`]s; each subscriber gets its own unbounded channel.
+
+use crossbeam::channel::{unbounded, Receiver, Sender, TrySendError};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// One metric update event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricEvent {
+    /// Dotted metric name (e.g. `DBclient.66.response_time`).
+    pub name: String,
+    /// Time in seconds.
+    pub time: f64,
+    /// Sampled value.
+    pub value: f64,
+}
+
+impl MetricEvent {
+    /// Creates an event.
+    pub fn new(name: impl Into<String>, time: f64, value: f64) -> Self {
+        MetricEvent { name: name.into(), time, value }
+    }
+}
+
+/// A broadcast bus for metric events.
+///
+/// # Examples
+///
+/// ```
+/// use harmony_metrics::{MetricBus, MetricEvent};
+///
+/// let bus = MetricBus::new();
+/// let rx = bus.subscribe();
+/// bus.publish(MetricEvent::new("a.rt", 1.0, 2.0));
+/// assert_eq!(rx.recv().unwrap().name, "a.rt");
+/// ```
+#[derive(Debug, Default)]
+pub struct MetricBus {
+    subscribers: Mutex<Vec<Sender<MetricEvent>>>,
+}
+
+impl MetricBus {
+    /// Creates a bus with no subscribers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a new subscriber and returns its receiving end.
+    pub fn subscribe(&self) -> Receiver<MetricEvent> {
+        let (tx, rx) = unbounded();
+        self.subscribers.lock().push(tx);
+        rx
+    }
+
+    /// Publishes an event to all live subscribers, pruning disconnected
+    /// ones. Returns the number of subscribers that received the event.
+    pub fn publish(&self, event: MetricEvent) -> usize {
+        let mut subs = self.subscribers.lock();
+        let mut delivered = 0;
+        subs.retain(|tx| match tx.try_send(event.clone()) {
+            Ok(()) => {
+                delivered += 1;
+                true
+            }
+            Err(TrySendError::Disconnected(_)) => false,
+            Err(TrySendError::Full(_)) => true, // unbounded: unreachable
+        });
+        delivered
+    }
+
+    /// Number of live subscribers (without pruning).
+    pub fn subscriber_count(&self) -> usize {
+        self.subscribers.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fan_out_to_multiple_subscribers() {
+        let bus = MetricBus::new();
+        let rx1 = bus.subscribe();
+        let rx2 = bus.subscribe();
+        assert_eq!(bus.publish(MetricEvent::new("m", 0.0, 1.0)), 2);
+        assert_eq!(rx1.recv().unwrap().value, 1.0);
+        assert_eq!(rx2.recv().unwrap().value, 1.0);
+    }
+
+    #[test]
+    fn dropped_subscribers_are_pruned() {
+        let bus = MetricBus::new();
+        let rx1 = bus.subscribe();
+        {
+            let _rx2 = bus.subscribe();
+        } // rx2 dropped
+        assert_eq!(bus.subscriber_count(), 2);
+        assert_eq!(bus.publish(MetricEvent::new("m", 0.0, 1.0)), 1);
+        assert_eq!(bus.subscriber_count(), 1);
+        drop(rx1);
+        assert_eq!(bus.publish(MetricEvent::new("m", 0.0, 2.0)), 0);
+    }
+
+    #[test]
+    fn publish_with_no_subscribers_is_fine() {
+        let bus = MetricBus::new();
+        assert_eq!(bus.publish(MetricEvent::new("m", 0.0, 1.0)), 0);
+    }
+
+    #[test]
+    fn cross_thread_delivery() {
+        let bus = std::sync::Arc::new(MetricBus::new());
+        let rx = bus.subscribe();
+        let b = bus.clone();
+        let t = std::thread::spawn(move || {
+            for i in 0..10 {
+                b.publish(MetricEvent::new("m", i as f64, i as f64));
+            }
+        });
+        t.join().unwrap();
+        let got: Vec<_> = rx.try_iter().collect();
+        assert_eq!(got.len(), 10);
+    }
+}

@@ -1,0 +1,21 @@
+//! # Harmony metrics
+//!
+//! The metric interface of "Exposing Application Alternatives" §2: "a
+//! unified way to gather data about the performance of applications and
+//! their execution environment". Producers (applications, the simulator,
+//! the cluster) record samples into a shared [`MetricRegistry`] and publish
+//! [`MetricEvent`]s on a [`MetricBus`]; the adaptation controller and
+//! applications subscribe and react.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod bus;
+mod histogram;
+mod registry;
+mod series;
+
+pub use bus::{MetricBus, MetricEvent};
+pub use histogram::Histogram;
+pub use registry::MetricRegistry;
+pub use series::{Sample, TimeSeries};

@@ -1,0 +1,183 @@
+//! The metric registry: named series, counters, and gauges behind a lock.
+//!
+//! "Data about system conditions and application resource requirements flow
+//! into the metric interface, and on to both the adaptation controller and
+//! individual applications" (§2). Producers record under dotted metric
+//! names (`DBclient.66.response_time`); consumers read snapshots.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::series::TimeSeries;
+
+/// A shared, thread-safe registry of metrics.
+///
+/// Cloning is cheap (the state is behind an [`Arc`]); clones observe the
+/// same metrics.
+///
+/// # Examples
+///
+/// ```
+/// use harmony_metrics::MetricRegistry;
+///
+/// let reg = MetricRegistry::new();
+/// reg.record("DBclient.1.response_time", 12.5, 9.8);
+/// reg.inc_counter("DBclient.1.queries");
+/// assert_eq!(reg.counter("DBclient.1.queries"), 1);
+/// assert_eq!(reg.series("DBclient.1.response_time").unwrap().len(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MetricRegistry {
+    inner: Arc<RwLock<Inner>>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    series: BTreeMap<String, TimeSeries>,
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+}
+
+impl MetricRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a timestamped sample under `name`, creating the series on
+    /// first use.
+    pub fn record(&self, name: &str, time: f64, value: f64) {
+        let mut inner = self.inner.write();
+        inner.series.entry(name.to_owned()).or_insert_with(TimeSeries::new).record(time, value);
+    }
+
+    /// Returns a snapshot (clone) of the series under `name`.
+    pub fn series(&self, name: &str) -> Option<TimeSeries> {
+        self.inner.read().series.get(name).cloned()
+    }
+
+    /// Names of all series, in order.
+    pub fn series_names(&self) -> Vec<String> {
+        self.inner.read().series.keys().cloned().collect()
+    }
+
+    /// Increments the counter under `name` by 1, returning the new value.
+    pub fn inc_counter(&self, name: &str) -> u64 {
+        self.add_counter(name, 1)
+    }
+
+    /// Adds `delta` to the counter under `name`, returning the new value.
+    pub fn add_counter(&self, name: &str, delta: u64) -> u64 {
+        let mut inner = self.inner.write();
+        let c = inner.counters.entry(name.to_owned()).or_insert(0);
+        *c += delta;
+        *c
+    }
+
+    /// Reads a counter (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.inner.read().counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sets the gauge under `name`.
+    pub fn set_gauge(&self, name: &str, value: f64) {
+        self.inner.write().gauges.insert(name.to_owned(), value);
+    }
+
+    /// Reads a gauge.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.inner.read().gauges.get(name).copied()
+    }
+
+    /// Removes every metric whose name starts with `prefix` (used when an
+    /// application instance departs).
+    pub fn remove_prefix(&self, prefix: &str) {
+        let mut inner = self.inner.write();
+        inner.series.retain(|k, _| !k.starts_with(prefix));
+        inner.counters.retain(|k, _| !k.starts_with(prefix));
+        inner.gauges.retain(|k, _| !k.starts_with(prefix));
+    }
+
+    /// Number of distinct metric names (series + counters + gauges).
+    pub fn len(&self) -> usize {
+        let inner = self.inner.read();
+        inner.series.len() + inner.counters.len() + inner.gauges.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_counters_gauges() {
+        let reg = MetricRegistry::new();
+        assert!(reg.is_empty());
+        reg.record("a.rt", 0.0, 1.0);
+        reg.record("a.rt", 1.0, 3.0);
+        assert_eq!(reg.series("a.rt").unwrap().mean(), Some(2.0));
+        assert!(reg.series("missing").is_none());
+
+        assert_eq!(reg.inc_counter("a.n"), 1);
+        assert_eq!(reg.add_counter("a.n", 4), 5);
+        assert_eq!(reg.counter("a.n"), 5);
+        assert_eq!(reg.counter("never"), 0);
+
+        reg.set_gauge("a.load", 0.7);
+        assert_eq!(reg.gauge("a.load"), Some(0.7));
+        assert_eq!(reg.gauge("never"), None);
+
+        assert_eq!(reg.len(), 3);
+        assert_eq!(reg.series_names(), vec!["a.rt"]);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let reg = MetricRegistry::new();
+        let clone = reg.clone();
+        clone.inc_counter("x");
+        assert_eq!(reg.counter("x"), 1);
+    }
+
+    #[test]
+    fn remove_prefix_drops_departed_instances() {
+        let reg = MetricRegistry::new();
+        reg.record("DBclient.1.rt", 0.0, 1.0);
+        reg.inc_counter("DBclient.1.queries");
+        reg.set_gauge("DBclient.1.load", 0.5);
+        reg.record("DBclient.2.rt", 0.0, 1.0);
+        reg.remove_prefix("DBclient.1");
+        assert!(reg.series("DBclient.1.rt").is_none());
+        assert_eq!(reg.counter("DBclient.1.queries"), 0);
+        assert_eq!(reg.gauge("DBclient.1.load"), None);
+        assert!(reg.series("DBclient.2.rt").is_some());
+    }
+
+    #[test]
+    fn concurrent_recording_is_safe() {
+        let reg = MetricRegistry::new();
+        let threads: Vec<_> = (0..4)
+            .map(|i| {
+                let reg = reg.clone();
+                std::thread::spawn(move || {
+                    for j in 0..100 {
+                        reg.record("shared", j as f64, (i * 100 + j) as f64);
+                        reg.inc_counter("count");
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(reg.counter("count"), 400);
+        assert_eq!(reg.series("shared").unwrap().total_count(), 400);
+    }
+}

@@ -1,0 +1,81 @@
+//! Metric-interface integration: registry + bus + histogram working as the
+//! pipeline Figure 1 sketches (data flows in, aggregates flow out).
+
+use std::sync::Arc;
+use std::thread;
+
+use harmony_metrics::{Histogram, MetricBus, MetricEvent, MetricRegistry};
+
+#[test]
+fn producer_to_subscriber_to_histogram() {
+    let bus = Arc::new(MetricBus::new());
+    let registry = MetricRegistry::new();
+    let rx = bus.subscribe();
+
+    // Producer thread: three clients reporting response times.
+    let producer_bus = Arc::clone(&bus);
+    let producer_reg = registry.clone();
+    let producer = thread::spawn(move || {
+        for client in 1..=3 {
+            for q in 0..20 {
+                let t = q as f64;
+                let value = client as f64 + q as f64 * 0.01;
+                let name = format!("DBclient.{client}.response_time");
+                producer_reg.record(&name, t, value);
+                producer_bus.publish(MetricEvent::new(name, t, value));
+            }
+        }
+    });
+    producer.join().unwrap();
+
+    // Consumer: fold the stream into one distribution.
+    let mut hist = Histogram::for_response_times();
+    let mut count = 0;
+    for ev in rx.try_iter() {
+        hist.record(ev.value);
+        count += 1;
+    }
+    assert_eq!(count, 60);
+    assert_eq!(hist.len(), 60);
+    let mean = hist.mean().unwrap();
+    assert!((1.0..4.0).contains(&mean), "mean {mean}");
+    assert!(hist.quantile_bound(0.99).unwrap() >= 3.0);
+
+    // The registry kept per-client series in parallel.
+    for client in 1..=3 {
+        let s = registry.series(&format!("DBclient.{client}.response_time")).unwrap();
+        assert_eq!(s.len(), 20);
+        assert!((s.mean().unwrap() - (client as f64 + 0.095)).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn per_policy_histograms_merge_for_a_global_view() {
+    // Two experiment shards produce compatible histograms; the report
+    // merges them.
+    let shard = |offset: f64| {
+        let mut h = Histogram::for_response_times();
+        for i in 0..50 {
+            h.record(offset + i as f64 * 0.1);
+        }
+        h
+    };
+    let mut all = shard(1.0);
+    all.merge(&shard(10.0));
+    assert_eq!(all.len(), 100);
+    let p50 = all.quantile_bound(0.5).unwrap();
+    let p99 = all.quantile_bound(0.99).unwrap();
+    assert!(p50 < p99);
+    assert!(all.max().unwrap() >= 14.9);
+}
+
+#[test]
+fn slow_subscriber_does_not_block_producers() {
+    let bus = MetricBus::new();
+    let _rx = bus.subscribe(); // never drained
+    for i in 0..10_000 {
+        bus.publish(MetricEvent::new("m", i as f64, 0.0));
+    }
+    // Unbounded channels: the producer never stalls; the messages wait.
+    assert_eq!(bus.subscriber_count(), 1);
+}

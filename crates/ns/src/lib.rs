@@ -1,0 +1,28 @@
+//! # Harmony namespace
+//!
+//! The hierarchical namespace of "Exposing Application Alternatives" §3.2:
+//! a tree rooted at application instances through which the adaptation
+//! controller and applications share information about instantiated
+//! options and assigned resources. Fully qualified names look like
+//!
+//! ```text
+//! DBclient.66.where.DS.client.memory
+//! ```
+//!
+//! — application `DBclient`, system-chosen instance `66`, bundle `where`,
+//! option `DS`, resource `client`, tag `memory`.
+//!
+//! The namespace is generic over its payload so different layers can store
+//! what they need (RSL values in the controller, raw strings on the wire).
+//! Mutations are stamped with sequence numbers so applications can poll
+//! for Harmony's reconfigurations ([`Namespace::changed_since`]), matching
+//! the prototype's polling interface (§5).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod path;
+mod tree;
+
+pub use path::{HPath, ParsePathError};
+pub use tree::{InstanceRegistry, Namespace};

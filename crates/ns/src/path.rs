@@ -1,0 +1,306 @@
+//! Dotted hierarchical paths.
+//!
+//! The paper (§3.2) names everything with dotted paths rooted at application
+//! instances: `DBclient.66.where.DS.client.memory` is the memory allocated
+//! to the client node of the data-shipping option of the `where` bundle of
+//! instance 66 of `DBclient`.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+/// Error returned when parsing an invalid path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePathError {
+    reason: String,
+}
+
+impl ParsePathError {
+    fn new(reason: impl Into<String>) -> Self {
+        ParsePathError { reason: reason.into() }
+    }
+}
+
+impl fmt::Display for ParsePathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid path: {}", self.reason)
+    }
+}
+
+impl std::error::Error for ParsePathError {}
+
+/// A dotted hierarchical name.
+///
+/// Components are non-empty strings without dots or whitespace. The empty
+/// path (zero components) is the namespace root.
+///
+/// # Examples
+///
+/// ```
+/// use harmony_ns::HPath;
+///
+/// let p: HPath = "DBclient.66.where.DS.client.memory".parse()?;
+/// assert_eq!(p.len(), 6);
+/// assert_eq!(p.first(), Some("DBclient"));
+/// assert_eq!(p.last(), Some("memory"));
+/// assert!(p.starts_with(&"DBclient.66".parse()?));
+/// # Ok::<(), harmony_ns::ParsePathError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+pub struct HPath {
+    components: Vec<String>,
+}
+
+impl HPath {
+    /// The root path (no components).
+    pub fn root() -> Self {
+        HPath::default()
+    }
+
+    /// Builds a path from components.
+    ///
+    /// # Errors
+    ///
+    /// Rejects components that are empty or contain `.` or whitespace.
+    pub fn from_components<I, S>(components: I) -> Result<Self, ParsePathError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut out = Vec::new();
+        for c in components {
+            let c = c.into();
+            validate_component(&c)?;
+            out.push(c);
+        }
+        Ok(HPath { components: out })
+    }
+
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// True for the root path.
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// The components as string slices.
+    pub fn components(&self) -> impl Iterator<Item = &str> {
+        self.components.iter().map(String::as_str)
+    }
+
+    /// First component.
+    pub fn first(&self) -> Option<&str> {
+        self.components.first().map(String::as_str)
+    }
+
+    /// Last component.
+    pub fn last(&self) -> Option<&str> {
+        self.components.last().map(String::as_str)
+    }
+
+    /// Component at `i`.
+    pub fn get(&self, i: usize) -> Option<&str> {
+        self.components.get(i).map(String::as_str)
+    }
+
+    /// The parent path, or `None` at the root.
+    pub fn parent(&self) -> Option<HPath> {
+        if self.components.is_empty() {
+            None
+        } else {
+            Some(HPath { components: self.components[..self.components.len() - 1].to_vec() })
+        }
+    }
+
+    /// Returns a new path with `component` appended.
+    ///
+    /// # Errors
+    ///
+    /// Rejects invalid components (see [`HPath::from_components`]).
+    pub fn child(&self, component: &str) -> Result<HPath, ParsePathError> {
+        validate_component(component)?;
+        let mut components = self.components.clone();
+        components.push(component.to_owned());
+        Ok(HPath { components })
+    }
+
+    /// Concatenates two paths.
+    pub fn join(&self, other: &HPath) -> HPath {
+        let mut components = self.components.clone();
+        components.extend(other.components.iter().cloned());
+        HPath { components }
+    }
+
+    /// True when `prefix` is a (non-strict) prefix of this path.
+    pub fn starts_with(&self, prefix: &HPath) -> bool {
+        self.components.len() >= prefix.components.len()
+            && self.components[..prefix.components.len()] == prefix.components[..]
+    }
+
+    /// The path relative to `prefix`, if `prefix` is a prefix.
+    pub fn strip_prefix(&self, prefix: &HPath) -> Option<HPath> {
+        if self.starts_with(prefix) {
+            Some(HPath { components: self.components[prefix.components.len()..].to_vec() })
+        } else {
+            None
+        }
+    }
+
+    /// Glob matching: `pattern` components must equal this path's
+    /// components, except that a pattern component `*` matches any single
+    /// component and a trailing `**` matches any remaining suffix
+    /// (including none).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use harmony_ns::HPath;
+    /// let p: HPath = "DBclient.66.where.DS".parse()?;
+    /// assert!(p.matches_glob(&"DBclient.*.where.DS".parse()?));
+    /// assert!(p.matches_glob(&"DBclient.**".parse()?));
+    /// assert!(!p.matches_glob(&"bag.*.where.DS".parse()?));
+    /// # Ok::<(), harmony_ns::ParsePathError>(())
+    /// ```
+    pub fn matches_glob(&self, pattern: &HPath) -> bool {
+        let pat = &pattern.components;
+        let path = &self.components;
+        if pat.last().map(String::as_str) == Some("**") {
+            let head = &pat[..pat.len() - 1];
+            if path.len() < head.len() {
+                return false;
+            }
+            return head
+                .iter()
+                .zip(path.iter())
+                .all(|(p, c)| p == "*" || p == c);
+        }
+        pat.len() == path.len()
+            && pat.iter().zip(path.iter()).all(|(p, c)| p == "*" || p == c)
+    }
+}
+
+fn validate_component(c: &str) -> Result<(), ParsePathError> {
+    if c.is_empty() {
+        return Err(ParsePathError::new("empty component"));
+    }
+    if c.contains('.') {
+        return Err(ParsePathError::new(format!("component `{c}` contains a dot")));
+    }
+    if c.contains(char::is_whitespace) {
+        return Err(ParsePathError::new(format!("component `{c}` contains whitespace")));
+    }
+    Ok(())
+}
+
+impl FromStr for HPath {
+    type Err = ParsePathError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.is_empty() {
+            return Ok(HPath::root());
+        }
+        HPath::from_components(s.split('.'))
+    }
+}
+
+impl fmt::Display for HPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.components.join("."))
+    }
+}
+
+impl<'a> FromIterator<&'a str> for HPath {
+    /// Builds a path from components, panicking on invalid ones; prefer
+    /// [`HPath::from_components`] for untrusted input.
+    fn from_iter<T: IntoIterator<Item = &'a str>>(iter: T) -> Self {
+        HPath::from_components(iter).expect("invalid path component")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> HPath {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        let s = "DBclient.66.where.DS.client.memory";
+        assert_eq!(p(s).to_string(), s);
+        assert_eq!(p("").to_string(), "");
+        assert_eq!(p("x").len(), 1);
+    }
+
+    #[test]
+    fn rejects_bad_components() {
+        assert!("a..b".parse::<HPath>().is_err());
+        assert!(HPath::root().child("a.b").is_err());
+        assert!(HPath::root().child("").is_err());
+        assert!(HPath::root().child("a b").is_err());
+    }
+
+    #[test]
+    fn parent_and_child() {
+        let path = p("a.b.c");
+        assert_eq!(path.parent(), Some(p("a.b")));
+        assert_eq!(p("a").parent(), Some(HPath::root()));
+        assert_eq!(HPath::root().parent(), None);
+        assert_eq!(p("a.b").child("c").unwrap(), path);
+    }
+
+    #[test]
+    fn join_and_strip() {
+        assert_eq!(p("a.b").join(&p("c.d")), p("a.b.c.d"));
+        assert_eq!(p("a.b.c").strip_prefix(&p("a.b")), Some(p("c")));
+        assert_eq!(p("a.b.c").strip_prefix(&p("x")), None);
+        assert_eq!(p("a").strip_prefix(&HPath::root()), Some(p("a")));
+    }
+
+    #[test]
+    fn starts_with() {
+        assert!(p("a.b.c").starts_with(&p("a.b")));
+        assert!(p("a.b").starts_with(&p("a.b")));
+        assert!(!p("a.b").starts_with(&p("a.b.c")));
+        assert!(p("a").starts_with(&HPath::root()));
+    }
+
+    #[test]
+    fn glob_matching() {
+        assert!(p("a.b.c").matches_glob(&p("a.*.c")));
+        assert!(!p("a.b.c").matches_glob(&p("a.*")));
+        assert!(p("a.b.c").matches_glob(&p("a.**")));
+        assert!(p("a").matches_glob(&p("**")));
+        assert!(HPath::root().matches_glob(&p("**")));
+        assert!(!p("a.b.c").matches_glob(&p("a.x.c")));
+        assert!(p("a.b.c").matches_glob(&p("*.*.*")));
+        assert!(!p("x.b").matches_glob(&p("a.**")));
+    }
+
+    #[test]
+    fn accessors() {
+        let path = p("app.66.bundle");
+        assert_eq!(path.first(), Some("app"));
+        assert_eq!(path.last(), Some("bundle"));
+        assert_eq!(path.get(1), Some("66"));
+        assert_eq!(path.get(9), None);
+        assert_eq!(path.components().count(), 3);
+    }
+
+    #[test]
+    fn ordering_is_lexicographic_by_component() {
+        assert!(p("a.b") < p("a.c"));
+        assert!(p("a") < p("a.b"));
+    }
+
+    #[test]
+    fn from_iter_builds_paths() {
+        let path: HPath = ["a", "b"].into_iter().collect();
+        assert_eq!(path, p("a.b"));
+    }
+}

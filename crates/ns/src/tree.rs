@@ -1,0 +1,348 @@
+//! The hierarchical namespace tree.
+//!
+//! The root contains application instances; below them option bundles; below
+//! those the resource requirements (nodes, links) and their tags (§3.2).
+//! Both the adaptation controller and applications read and write this
+//! shared structure, so every mutation is stamped with a monotonically
+//! increasing sequence number: readers poll with [`Namespace::changed_since`]
+//! to discover updates (the prototype's polling interface, §5).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::path::HPath;
+
+/// One node of the namespace tree.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct TreeNode<T> {
+    value: Option<T>,
+    /// Sequence number of the last mutation of this node's value.
+    seq: u64,
+    children: BTreeMap<String, TreeNode<T>>,
+}
+
+impl<T> Default for TreeNode<T> {
+    fn default() -> Self {
+        TreeNode { value: None, seq: 0, children: BTreeMap::new() }
+    }
+}
+
+/// A hierarchical namespace mapping [`HPath`]s to values of type `T`.
+///
+/// Interior nodes may themselves carry values; setting a deep path creates
+/// the intermediate nodes. Paths are ordered; iteration is depth-first in
+/// component order.
+///
+/// # Examples
+///
+/// ```
+/// use harmony_ns::{HPath, Namespace};
+///
+/// let mut ns: Namespace<i64> = Namespace::new();
+/// let path: HPath = "DBclient.66.where.DS.client.memory".parse()?;
+/// ns.set(path.clone(), 20);
+/// assert_eq!(ns.get(&path), Some(&20));
+/// # Ok::<(), harmony_ns::ParsePathError>(())
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Namespace<T> {
+    root: TreeNode<T>,
+    next_seq: u64,
+}
+
+impl<T> Default for Namespace<T> {
+    fn default() -> Self {
+        Namespace { root: TreeNode::default(), next_seq: 1 }
+    }
+}
+
+impl<T> Namespace<T> {
+    /// Creates an empty namespace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The sequence number that will be assigned to the *next* mutation.
+    /// `changed_since(seq())` therefore returns only future changes.
+    pub fn seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    fn node(&self, path: &HPath) -> Option<&TreeNode<T>> {
+        let mut cur = &self.root;
+        for c in path.components() {
+            cur = cur.children.get(c)?;
+        }
+        Some(cur)
+    }
+
+    /// Sets the value at `path`, creating intermediate nodes, and returns
+    /// the previous value if any.
+    pub fn set(&mut self, path: HPath, value: T) -> Option<T> {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let mut cur = &mut self.root;
+        for c in path.components() {
+            cur = cur.children.entry(c.to_owned()).or_default();
+        }
+        cur.seq = seq;
+        cur.value.replace(value)
+    }
+
+    /// Gets the value at `path`.
+    pub fn get(&self, path: &HPath) -> Option<&T> {
+        self.node(path)?.value.as_ref()
+    }
+
+    /// Gets a mutable reference to the value at `path` **without** bumping
+    /// the sequence number; use [`Namespace::set`] for observable changes.
+    pub fn get_mut(&mut self, path: &HPath) -> Option<&mut T> {
+        let mut cur = &mut self.root;
+        for c in path.components() {
+            cur = cur.children.get_mut(c)?;
+        }
+        cur.value.as_mut()
+    }
+
+    /// True when a node exists at `path` (with or without a value).
+    pub fn contains(&self, path: &HPath) -> bool {
+        self.node(path).is_some()
+    }
+
+    /// Removes the entire subtree rooted at `path`, returning the value
+    /// that was stored at `path` itself (if any). Removal is recorded as a
+    /// mutation of the parent.
+    pub fn remove_subtree(&mut self, path: &HPath) -> Option<T> {
+        let last = path.last()?.to_owned();
+        let parent_path = path.parent()?;
+        let seq = self.next_seq;
+        let mut cur = &mut self.root;
+        for c in parent_path.components() {
+            cur = cur.children.get_mut(c)?;
+        }
+        let removed = cur.children.remove(&last)?;
+        cur.seq = seq;
+        self.next_seq += 1;
+        removed.value
+    }
+
+    /// Names of the direct children of `path`, in order.
+    pub fn children(&self, path: &HPath) -> Vec<String> {
+        match self.node(path) {
+            Some(n) => n.children.keys().cloned().collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Depth-first iteration over all `(path, value)` pairs.
+    pub fn iter(&self) -> Vec<(HPath, &T)> {
+        let mut out = Vec::new();
+        Self::walk(&self.root, &HPath::root(), &mut out);
+        out
+    }
+
+    fn walk<'a>(node: &'a TreeNode<T>, path: &HPath, out: &mut Vec<(HPath, &'a T)>) {
+        if let Some(v) = &node.value {
+            out.push((path.clone(), v));
+        }
+        for (name, child) in &node.children {
+            let child_path = path.child(name).expect("stored component is valid");
+            Self::walk(child, &child_path, out);
+        }
+    }
+
+    /// All `(path, value)` pairs under `prefix` (inclusive).
+    pub fn iter_prefix(&self, prefix: &HPath) -> Vec<(HPath, &T)> {
+        match self.node(prefix) {
+            Some(n) => {
+                let mut out = Vec::new();
+                Self::walk(n, prefix, &mut out);
+                out
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// All `(path, value)` pairs whose path matches the glob `pattern`
+    /// (see [`HPath::matches_glob`]).
+    pub fn query_glob(&self, pattern: &HPath) -> Vec<(HPath, &T)> {
+        self.iter().into_iter().filter(|(p, _)| p.matches_glob(pattern)).collect()
+    }
+
+    /// Paths (with values) mutated at or after `seq`, paired with their
+    /// mutation sequence numbers. This is the poll interface applications
+    /// use to notice Harmony's reconfigurations.
+    pub fn changed_since(&self, seq: u64) -> Vec<(HPath, u64)> {
+        let mut out = Vec::new();
+        Self::walk_changed(&self.root, &HPath::root(), seq, &mut out);
+        out
+    }
+
+    fn walk_changed(node: &TreeNode<T>, path: &HPath, seq: u64, out: &mut Vec<(HPath, u64)>) {
+        if node.seq >= seq && (node.value.is_some() || !path.is_empty()) {
+            out.push((path.clone(), node.seq));
+        }
+        for (name, child) in &node.children {
+            let child_path = path.child(name).expect("stored component is valid");
+            Self::walk_changed(child, &child_path, seq, out);
+        }
+    }
+
+    /// Number of values stored.
+    pub fn len(&self) -> usize {
+        self.iter().len()
+    }
+
+    /// True when no values are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Allocates system-chosen instance ids per application name (§3.2:
+/// "application instances are two part names, consisting of an application
+/// name and a system chosen instance id").
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct InstanceRegistry {
+    next: BTreeMap<String, u64>,
+}
+
+impl InstanceRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns a fresh instance id for `app`, starting from 1.
+    pub fn allocate(&mut self, app: &str) -> u64 {
+        let next = self.next.entry(app.to_owned()).or_insert(1);
+        let id = *next;
+        *next += 1;
+        id
+    }
+
+    /// Number of ids handed out for `app`.
+    pub fn count(&self, app: &str) -> u64 {
+        self.next.get(app).map(|n| n - 1).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> HPath {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn set_get_replace() {
+        let mut ns = Namespace::new();
+        assert_eq!(ns.set(p("a.b"), 1), None);
+        assert_eq!(ns.set(p("a.b"), 2), Some(1));
+        assert_eq!(ns.get(&p("a.b")), Some(&2));
+        assert_eq!(ns.get(&p("a")), None); // interior node without value
+        assert!(ns.contains(&p("a")));
+        assert!(!ns.contains(&p("z")));
+    }
+
+    #[test]
+    fn get_mut_does_not_bump_seq() {
+        let mut ns = Namespace::new();
+        ns.set(p("a"), 1);
+        let seq = ns.seq();
+        *ns.get_mut(&p("a")).unwrap() = 5;
+        assert_eq!(ns.seq(), seq);
+        assert_eq!(ns.get(&p("a")), Some(&5));
+    }
+
+    #[test]
+    fn remove_subtree_drops_descendants() {
+        let mut ns = Namespace::new();
+        ns.set(p("app.1.b.opt"), 10);
+        ns.set(p("app.1.b.opt.node"), 20);
+        ns.set(p("app.2"), 30);
+        assert_eq!(ns.remove_subtree(&p("app.1")), None); // no value at app.1 itself
+        assert_eq!(ns.get(&p("app.1.b.opt")), None);
+        assert_eq!(ns.get(&p("app.2")), Some(&30));
+        assert_eq!(ns.remove_subtree(&p("missing.path")), None);
+    }
+
+    #[test]
+    fn children_are_ordered() {
+        let mut ns = Namespace::new();
+        ns.set(p("r.c"), 1);
+        ns.set(p("r.a"), 2);
+        ns.set(p("r.b"), 3);
+        assert_eq!(ns.children(&p("r")), vec!["a", "b", "c"]);
+        assert!(ns.children(&p("zzz")).is_empty());
+    }
+
+    #[test]
+    fn iteration_and_prefix() {
+        let mut ns = Namespace::new();
+        ns.set(p("a.x"), 1);
+        ns.set(p("a.y"), 2);
+        ns.set(p("b"), 3);
+        let all: Vec<_> = ns.iter().into_iter().map(|(p, v)| (p.to_string(), *v)).collect();
+        assert_eq!(
+            all,
+            vec![("a.x".to_string(), 1), ("a.y".to_string(), 2), ("b".to_string(), 3)]
+        );
+        let under_a = ns.iter_prefix(&p("a"));
+        assert_eq!(under_a.len(), 2);
+        assert_eq!(ns.len(), 3);
+        assert!(!ns.is_empty());
+    }
+
+    #[test]
+    fn glob_query() {
+        let mut ns = Namespace::new();
+        ns.set(p("DBclient.66.where.DS.client.memory"), 20);
+        ns.set(p("DBclient.66.where.QS.client.memory"), 2);
+        ns.set(p("bag.1.config.run.worker.memory"), 32);
+        let hits = ns.query_glob(&p("DBclient.*.where.*.client.memory"));
+        assert_eq!(hits.len(), 2);
+        let hits = ns.query_glob(&p("DBclient.**"));
+        assert_eq!(hits.len(), 2);
+        let hits = ns.query_glob(&p("*.*.*.*.*.memory"));
+        assert_eq!(hits.len(), 3);
+    }
+
+    #[test]
+    fn changed_since_reports_only_new_mutations() {
+        let mut ns = Namespace::new();
+        ns.set(p("a"), 1);
+        let mark = ns.seq();
+        assert!(ns.changed_since(mark).is_empty());
+        ns.set(p("b.c"), 2);
+        let changed = ns.changed_since(mark);
+        assert_eq!(changed.len(), 1);
+        assert_eq!(changed[0].0, p("b.c"));
+        // A removal shows up as a parent mutation.
+        let mark = ns.seq();
+        ns.remove_subtree(&p("b.c"));
+        let changed = ns.changed_since(mark);
+        assert_eq!(changed.len(), 1);
+        assert_eq!(changed[0].0, p("b"));
+    }
+
+    #[test]
+    fn instance_registry_allocates_per_app() {
+        let mut reg = InstanceRegistry::new();
+        assert_eq!(reg.allocate("DBclient"), 1);
+        assert_eq!(reg.allocate("DBclient"), 2);
+        assert_eq!(reg.allocate("bag"), 1);
+        assert_eq!(reg.count("DBclient"), 2);
+        assert_eq!(reg.count("bag"), 1);
+        assert_eq!(reg.count("unknown"), 0);
+    }
+
+    #[test]
+    fn default_namespace_is_empty() {
+        let ns: Namespace<()> = Namespace::default();
+        assert!(ns.is_empty());
+        assert_eq!(ns.seq(), 1);
+    }
+}

@@ -1,0 +1,84 @@
+//! Namespace integration: the paper's §3.2 naming patterns end to end,
+//! including the queries an adaptation controller actually issues.
+
+use harmony_ns::{HPath, InstanceRegistry, Namespace};
+
+fn populated() -> Namespace<String> {
+    let mut ns = Namespace::new();
+    let entries = [
+        ("DBclient.66.where", "DS"),
+        ("DBclient.66.where.DS.client.memory", "24"),
+        ("DBclient.66.where.DS.server.memory", "20"),
+        ("DBclient.67.where", "QS"),
+        ("DBclient.67.where.QS.client.memory", "2"),
+        ("bag.1.config", "run"),
+        ("bag.1.config.run.workerNodes", "8"),
+    ];
+    for (p, v) in entries {
+        ns.set(p.parse().unwrap(), v.to_string());
+    }
+    ns
+}
+
+#[test]
+fn all_memory_grants_across_instances() {
+    let ns = populated();
+    // "Which memory did every DBclient instance get, whatever its option?"
+    let hits = ns.query_glob(&"DBclient.*.where.*.client.memory".parse().unwrap());
+    assert_eq!(hits.len(), 2);
+    let values: Vec<&str> = hits.iter().map(|(_, v)| v.as_str()).collect();
+    assert!(values.contains(&"24"));
+    assert!(values.contains(&"2"));
+}
+
+#[test]
+fn everything_under_one_instance() {
+    let ns = populated();
+    let hits = ns.iter_prefix(&"DBclient.66".parse().unwrap());
+    assert_eq!(hits.len(), 3);
+    let deep = ns.query_glob(&"DBclient.66.**".parse().unwrap());
+    assert_eq!(deep.len(), 3);
+}
+
+#[test]
+fn chosen_options_per_application() {
+    let ns = populated();
+    // Bundle-level values are exactly three components deep.
+    let hits = ns.query_glob(&"*.*.*".parse().unwrap());
+    let mut options: Vec<&str> = hits.iter().map(|(_, v)| v.as_str()).collect();
+    options.sort_unstable();
+    assert_eq!(options, vec!["DS", "QS", "run"]);
+}
+
+#[test]
+fn departure_removes_exactly_one_instance() {
+    let mut ns = populated();
+    ns.remove_subtree(&"DBclient.66".parse().unwrap());
+    assert_eq!(ns.query_glob(&"DBclient.**".parse().unwrap()).len(), 2);
+    assert!(ns.get(&"DBclient.67.where".parse::<HPath>().unwrap()).is_some());
+    assert!(ns.get(&"bag.1.config".parse::<HPath>().unwrap()).is_some());
+}
+
+#[test]
+fn change_polling_scopes_to_an_instance() {
+    let mut ns = populated();
+    let mark = ns.seq();
+    ns.set("DBclient.66.where".parse().unwrap(), "QS".to_string());
+    ns.set("bag.1.config".parse().unwrap(), "run".to_string());
+    let changed = ns.changed_since(mark);
+    let prefix: HPath = "DBclient.66".parse().unwrap();
+    let mine: Vec<_> = changed.iter().filter(|(p, _)| p.starts_with(&prefix)).collect();
+    assert_eq!(mine.len(), 1);
+    assert_eq!(mine[0].0.to_string(), "DBclient.66.where");
+}
+
+#[test]
+fn instance_registry_reaches_the_papers_66() {
+    let mut reg = InstanceRegistry::new();
+    let mut last = 0;
+    for _ in 0..66 {
+        last = reg.allocate("DBclient");
+    }
+    assert_eq!(last, 66);
+    assert_eq!(reg.allocate("bag"), 1, "ids are per-application");
+}

@@ -1,0 +1,198 @@
+//! Critical-path combination of per-stage predictions.
+//!
+//! §4.2: "we might use the critical path notion to take inter-process
+//! dependencies into account \[Hollingsworth 1998\]". Applications whose
+//! phases form a DAG can combine per-stage predictions by longest path
+//! rather than by simple max/sum.
+
+use serde::{Deserialize, Serialize};
+
+/// A stage DAG for critical-path analysis.
+///
+/// Stages are added with durations; edges declare "must finish before".
+/// The critical path is the longest duration-weighted path through the DAG.
+///
+/// # Examples
+///
+/// ```
+/// use harmony_predict::CriticalPath;
+///
+/// let mut cp = CriticalPath::new();
+/// let setup = cp.add_stage("setup", 5.0);
+/// let compute = cp.add_stage("compute", 100.0);
+/// let reduce = cp.add_stage("reduce", 10.0);
+/// cp.add_edge(setup, compute);
+/// cp.add_edge(compute, reduce);
+/// assert_eq!(cp.critical_path_length().unwrap(), 115.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CriticalPath {
+    names: Vec<String>,
+    durations: Vec<f64>,
+    /// Edges as (from, to) stage ids.
+    edges: Vec<(usize, usize)>,
+}
+
+/// Identifier of a stage inside a [`CriticalPath`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct StageId(usize);
+
+impl CriticalPath {
+    /// Creates an empty DAG.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a stage with the given duration (seconds), returning its id.
+    pub fn add_stage(&mut self, name: impl Into<String>, duration: f64) -> StageId {
+        self.names.push(name.into());
+        self.durations.push(duration.max(0.0));
+        StageId(self.names.len() - 1)
+    }
+
+    /// Declares that `from` must complete before `to` starts.
+    pub fn add_edge(&mut self, from: StageId, to: StageId) {
+        self.edges.push((from.0, to.0));
+    }
+
+    /// Number of stages.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when the DAG has no stages.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// The longest duration-weighted path, or `None` when the graph has a
+    /// cycle (in which case no schedule exists).
+    pub fn critical_path_length(&self) -> Option<f64> {
+        self.finish_times().map(|f| f.into_iter().fold(0.0, f64::max))
+    }
+
+    /// The stages on the critical path, in order, or `None` on a cycle.
+    pub fn critical_path(&self) -> Option<Vec<String>> {
+        let finish = self.finish_times()?;
+        // Walk back from the stage with the largest finish time.
+        let mut cur = (0..self.len()).max_by(|&a, &b| {
+            finish[a].partial_cmp(&finish[b]).unwrap_or(std::cmp::Ordering::Equal)
+        })?;
+        let mut path = vec![self.names[cur].clone()];
+        loop {
+            let preds: Vec<usize> = self
+                .edges
+                .iter()
+                .filter(|(_, t)| *t == cur)
+                .map(|(f, _)| *f)
+                .collect();
+            let Some(&best) = preds.iter().max_by(|&&a, &&b| {
+                finish[a].partial_cmp(&finish[b]).unwrap_or(std::cmp::Ordering::Equal)
+            }) else {
+                break;
+            };
+            path.push(self.names[best].clone());
+            cur = best;
+        }
+        path.reverse();
+        Some(path)
+    }
+
+    /// Earliest finish time of each stage under infinite parallelism, or
+    /// `None` on a cycle.
+    fn finish_times(&self) -> Option<Vec<f64>> {
+        let n = self.len();
+        let mut indegree = vec![0usize; n];
+        for &(_, t) in &self.edges {
+            indegree[t] += 1;
+        }
+        let mut finish: Vec<f64> = self.durations.clone();
+        let mut queue: Vec<usize> =
+            (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut visited = 0usize;
+        while let Some(u) = queue.pop() {
+            visited += 1;
+            for &(f, t) in &self.edges {
+                if f != u {
+                    continue;
+                }
+                finish[t] = finish[t].max(finish[u] + self.durations[t]);
+                indegree[t] -= 1;
+                if indegree[t] == 0 {
+                    queue.push(t);
+                }
+            }
+        }
+        if visited == n {
+            Some(finish)
+        } else {
+            None // cycle
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_dag_has_zero_length() {
+        assert_eq!(CriticalPath::new().critical_path_length(), Some(0.0));
+        assert!(CriticalPath::new().is_empty());
+    }
+
+    #[test]
+    fn chain_sums() {
+        let mut cp = CriticalPath::new();
+        let a = cp.add_stage("a", 1.0);
+        let b = cp.add_stage("b", 2.0);
+        let c = cp.add_stage("c", 3.0);
+        cp.add_edge(a, b);
+        cp.add_edge(b, c);
+        assert_eq!(cp.critical_path_length(), Some(6.0));
+        assert_eq!(cp.critical_path().unwrap(), vec!["a", "b", "c"]);
+        assert_eq!(cp.len(), 3);
+    }
+
+    #[test]
+    fn parallel_branches_take_max() {
+        let mut cp = CriticalPath::new();
+        let fork = cp.add_stage("fork", 1.0);
+        let fast = cp.add_stage("fast", 2.0);
+        let slow = cp.add_stage("slow", 10.0);
+        let join = cp.add_stage("join", 1.0);
+        cp.add_edge(fork, fast);
+        cp.add_edge(fork, slow);
+        cp.add_edge(fast, join);
+        cp.add_edge(slow, join);
+        assert_eq!(cp.critical_path_length(), Some(12.0));
+        assert_eq!(cp.critical_path().unwrap(), vec!["fork", "slow", "join"]);
+    }
+
+    #[test]
+    fn cycles_are_detected() {
+        let mut cp = CriticalPath::new();
+        let a = cp.add_stage("a", 1.0);
+        let b = cp.add_stage("b", 1.0);
+        cp.add_edge(a, b);
+        cp.add_edge(b, a);
+        assert_eq!(cp.critical_path_length(), None);
+        assert_eq!(cp.critical_path(), None);
+    }
+
+    #[test]
+    fn negative_durations_clamp_to_zero() {
+        let mut cp = CriticalPath::new();
+        cp.add_stage("weird", -5.0);
+        assert_eq!(cp.critical_path_length(), Some(0.0));
+    }
+
+    #[test]
+    fn disconnected_stages_compete_for_the_max() {
+        let mut cp = CriticalPath::new();
+        cp.add_stage("a", 7.0);
+        cp.add_stage("b", 3.0);
+        assert_eq!(cp.critical_path_length(), Some(7.0));
+        assert_eq!(cp.critical_path().unwrap(), vec!["a"]);
+    }
+}

@@ -1,0 +1,61 @@
+//! Error type for performance prediction.
+
+use std::fmt;
+
+/// Errors produced while predicting application performance.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PredictError {
+    /// An RSL expression inside a model or tag failed to evaluate.
+    Rsl(String),
+    /// The model is missing data it needs (e.g. an empty point list, or an
+    /// allocation with no node bindings).
+    MissingData {
+        /// What was missing.
+        what: String,
+    },
+    /// A referenced cluster resource no longer exists.
+    UnknownResource {
+        /// The missing resource name.
+        name: String,
+    },
+}
+
+impl fmt::Display for PredictError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PredictError::Rsl(msg) => write!(f, "rsl error: {msg}"),
+            PredictError::MissingData { what } => write!(f, "missing data: {what}"),
+            PredictError::UnknownResource { name } => {
+                write!(f, "unknown resource `{name}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PredictError {}
+
+impl From<harmony_rsl::RslError> for PredictError {
+    fn from(e: harmony_rsl::RslError) -> Self {
+        PredictError::Rsl(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_nonempty_and_error_impl() {
+        let cases = vec![
+            PredictError::Rsl("x".into()),
+            PredictError::MissingData { what: "points".into() },
+            PredictError::UnknownResource { name: "n".into() },
+        ];
+        for e in cases {
+            assert!(!e.to_string().is_empty());
+            let _: &dyn std::error::Error = &e;
+        }
+        let e: PredictError = harmony_rsl::RslError::DivideByZero.into();
+        assert!(matches!(e, PredictError::Rsl(_)));
+    }
+}

@@ -1,0 +1,118 @@
+//! LogP-style communication costs.
+//!
+//! The paper (§3.4) observes that its bandwidth-only model "could be
+//! improved… by CPU occupancy on either end (for protocol processing,
+//! copying), plus wire time \[LogP\]". This module provides that
+//! refinement: messages cost latency `L`, sender+receiver overhead `o`
+//! (which *occupies the CPU*), inter-message gap `g`, and per-byte gap `G`.
+
+use serde::{Deserialize, Serialize};
+
+/// LogP(+G) parameters, all in seconds (per message or per byte).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LogPParams {
+    /// Wire latency per message (seconds).
+    pub l: f64,
+    /// CPU overhead per message endpoint (seconds) — charged to the CPU
+    /// component on both ends.
+    pub o: f64,
+    /// Minimum gap between consecutive messages (seconds).
+    pub g: f64,
+    /// Per-byte gap (seconds/byte) — the long-message bandwidth term.
+    pub big_g: f64,
+    /// Message size assumed when chopping bulk transfers (bytes).
+    pub message_bytes: f64,
+}
+
+impl LogPParams {
+    /// Parameters resembling the IBM SP-2 high-performance switch used in
+    /// the paper's evaluation (320 Mbit/s ≈ 40 MB/s, ~40 µs latency,
+    /// ~25 µs per-message CPU overhead, 8 KB messages).
+    pub fn sp2_switch() -> Self {
+        LogPParams {
+            l: 40e-6,
+            o: 25e-6,
+            g: 30e-6,
+            big_g: 1.0 / 40e6,
+            message_bytes: 8192.0,
+        }
+    }
+
+    /// Parameters resembling switched 100 Mbit Ethernet.
+    pub fn fast_ethernet() -> Self {
+        LogPParams {
+            l: 100e-6,
+            o: 50e-6,
+            g: 80e-6,
+            big_g: 1.0 / 12.5e6,
+            message_bytes: 1460.0,
+        }
+    }
+
+    /// Cost to move `megabytes` of bulk data: returns
+    /// `(wire_seconds, cpu_occupancy_seconds)`.
+    ///
+    /// The transfer is chopped into `message_bytes`-sized messages. Wire
+    /// time is `L` once plus the per-message gap/byte stream; occupancy is
+    /// `2o` per message (send + receive).
+    pub fn transfer_cost(&self, megabytes: f64) -> (f64, f64) {
+        if megabytes <= 0.0 {
+            return (0.0, 0.0);
+        }
+        let bytes = megabytes * 1e6;
+        let msgs = (bytes / self.message_bytes.max(1.0)).ceil().max(1.0);
+        let wire = self.l + (msgs - 1.0) * self.g + bytes * self.big_g;
+        let occupancy = 2.0 * self.o * msgs;
+        (wire, occupancy)
+    }
+
+    /// Round-trip cost of one small message (seconds): `2(L + 2o)`.
+    pub fn small_message_rtt(&self) -> f64 {
+        2.0 * (self.l + 2.0 * self.o)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_transfer_is_free() {
+        assert_eq!(LogPParams::sp2_switch().transfer_cost(0.0), (0.0, 0.0));
+        assert_eq!(LogPParams::sp2_switch().transfer_cost(-5.0), (0.0, 0.0));
+    }
+
+    #[test]
+    fn bulk_transfer_is_bandwidth_dominated() {
+        let p = LogPParams::sp2_switch();
+        let (wire, occ) = p.transfer_cost(100.0); // 100 MB
+        // Pure bandwidth term: 1e8 bytes / 40e6 B/s = 2.5 s.
+        assert!(wire > 2.5 && wire < 3.5, "wire={wire}");
+        assert!(occ > 0.0);
+        // Occupancy: 2*25µs per 8 KB message ≈ 0.61 s for 12208 messages.
+        assert!((occ - 2.0 * 25e-6 * (1e8f64 / 8192.0).ceil()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn occupancy_scales_with_message_count_not_volume() {
+        let mut p = LogPParams::sp2_switch();
+        let (_, occ_small_msgs) = p.transfer_cost(10.0);
+        p.message_bytes = 65536.0;
+        let (_, occ_big_msgs) = p.transfer_cost(10.0);
+        assert!(occ_big_msgs < occ_small_msgs);
+    }
+
+    #[test]
+    fn ethernet_is_slower_than_sp2() {
+        let (sp2, _) = LogPParams::sp2_switch().transfer_cost(10.0);
+        let (eth, _) = LogPParams::fast_ethernet().transfer_cost(10.0);
+        assert!(eth > sp2);
+    }
+
+    #[test]
+    fn small_message_rtt_is_positive() {
+        let p = LogPParams::sp2_switch();
+        assert!(p.small_message_rtt() > 0.0);
+        assert!((p.small_message_rtt() - 2.0 * (40e-6 + 50e-6)).abs() < 1e-12);
+    }
+}

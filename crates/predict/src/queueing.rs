@@ -1,0 +1,152 @@
+//! Closed-system queueing refinement of the default model.
+//!
+//! §4.2 invites "other application models". The default model's linear
+//! contention scaling (`k` co-resident tasks → `k×` slowdown) is exact for
+//! always-busy processor sharing, but clients with think time (like the
+//! §6 database clients) load the server less. The classic machine-
+//! repairman / interactive-response-time law gives a better estimate:
+//!
+//! ```text
+//! R(k) = k / X(k) − Z
+//! ```
+//!
+//! where `Z` is think time and throughput `X(k)` comes from mean-value
+//! analysis (MVA) over a single queueing station.
+
+use serde::{Deserialize, Serialize};
+
+/// A closed interactive system: `k` clients cycling between `Z` seconds of
+/// thinking and a service demand of `s` seconds at one shared station.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InteractiveModel {
+    /// Service demand per visit (seconds at the shared station).
+    pub service_seconds: f64,
+    /// Think time between visits (seconds).
+    pub think_seconds: f64,
+}
+
+impl InteractiveModel {
+    /// Creates a model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `service_seconds` is not positive or `think_seconds` is
+    /// negative.
+    pub fn new(service_seconds: f64, think_seconds: f64) -> Self {
+        assert!(service_seconds > 0.0, "service demand must be positive");
+        assert!(think_seconds >= 0.0, "think time cannot be negative");
+        InteractiveModel { service_seconds, think_seconds }
+    }
+
+    /// Exact mean response time for `k` clients by single-station MVA.
+    pub fn response_time(&self, k: u32) -> f64 {
+        if k == 0 {
+            return 0.0;
+        }
+        // MVA recursion: R(n) = s·(1 + Q(n-1)); X(n) = n/(R(n)+Z);
+        // Q(n) = X(n)·R(n).
+        let s = self.service_seconds;
+        let z = self.think_seconds;
+        let mut q = 0.0f64;
+        let mut r = s;
+        for n in 1..=k {
+            r = s * (1.0 + q);
+            let x = n as f64 / (r + z);
+            q = x * r;
+        }
+        r
+    }
+
+    /// Throughput (jobs/second) for `k` clients.
+    pub fn throughput(&self, k: u32) -> f64 {
+        if k == 0 {
+            return 0.0;
+        }
+        k as f64 / (self.response_time(k) + self.think_seconds)
+    }
+
+    /// Station utilization in `[0, 1]` for `k` clients.
+    pub fn utilization(&self, k: u32) -> f64 {
+        (self.throughput(k) * self.service_seconds).min(1.0)
+    }
+
+    /// The saturation population `N* = (s + Z) / s`: beyond this many
+    /// clients, response time grows linearly with each arrival.
+    pub fn saturation_population(&self) -> f64 {
+        (self.service_seconds + self.think_seconds) / self.service_seconds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_client_sees_raw_service_time() {
+        let m = InteractiveModel::new(4.0, 1.0);
+        assert_eq!(m.response_time(1), 4.0);
+        assert_eq!(m.response_time(0), 0.0);
+        assert_eq!(m.throughput(0), 0.0);
+    }
+
+    #[test]
+    fn response_time_is_monotone_in_population() {
+        let m = InteractiveModel::new(4.0, 1.0);
+        let mut prev = 0.0;
+        for k in 1..10 {
+            let r = m.response_time(k);
+            assert!(r >= prev, "k={k}: {r} < {prev}");
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn saturated_system_grows_linearly() {
+        // With negligible think time, k clients each see ≈ k·s (the default
+        // model's linear contention scaling).
+        let m = InteractiveModel::new(4.0, 0.0);
+        for k in 1..6u32 {
+            let r = m.response_time(k);
+            assert!((r - 4.0 * k as f64).abs() < 1e-9, "k={k}: {r}");
+        }
+    }
+
+    #[test]
+    fn think_time_softens_contention() {
+        // The §6 shape: with 4 s of service and 1 s think, two clients see
+        // less than 2× the solo response time.
+        let busy = InteractiveModel::new(4.0, 0.0);
+        let thinky = InteractiveModel::new(4.0, 4.0);
+        assert!(thinky.response_time(2) < busy.response_time(2));
+        assert!(thinky.response_time(2) < 2.0 * thinky.response_time(1));
+    }
+
+    #[test]
+    fn utilization_saturates_at_one() {
+        let m = InteractiveModel::new(4.0, 1.0);
+        assert!(m.utilization(1) < 1.0);
+        assert!((m.utilization(50) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn asymptotic_bound_holds() {
+        // R(k) ≥ k·s − Z for all k (the classic asymptotic bound).
+        let m = InteractiveModel::new(3.0, 2.0);
+        for k in 1..20u32 {
+            let bound = k as f64 * m.service_seconds - m.think_seconds;
+            assert!(m.response_time(k) >= bound - 1e-9, "k={k}");
+        }
+    }
+
+    #[test]
+    fn saturation_population_formula() {
+        let m = InteractiveModel::new(4.0, 12.0);
+        assert_eq!(m.saturation_population(), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "service demand must be positive")]
+    fn zero_service_panics() {
+        let _ = InteractiveModel::new(0.0, 1.0);
+    }
+}

@@ -1,0 +1,94 @@
+//! `harmonyctl` — inspect a running `harmonyd`.
+//!
+//! ```text
+//! harmonyctl [addr] status    # system snapshot (default command)
+//! harmonyctl [addr] end <app.id>
+//! ```
+
+use harmony_core::SystemSnapshot;
+use harmony_proto::{Request, Response, TcpTransport, Transport};
+
+fn usage() -> ! {
+    eprintln!("usage: harmonyctl [addr] [status | end <app.id>]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let addr = if args.first().map(|a| a.contains(':')).unwrap_or(false) {
+        args.remove(0)
+    } else {
+        "127.0.0.1:7077".to_string()
+    };
+    let addr = match addr.parse() {
+        Ok(a) => a,
+        Err(_) => usage(),
+    };
+    let mut transport = match TcpTransport::connect(addr) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("harmonyctl: cannot connect to {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    match args.first().map(String::as_str).unwrap_or("status") {
+        "status" => {
+            let resp = transport.call(&Request::Status).expect("status call");
+            let Response::Status { json } = resp else {
+                eprintln!("harmonyctl: unexpected response: {resp:?}");
+                std::process::exit(1);
+            };
+            let snap = SystemSnapshot::from_json(&json).expect("snapshot json");
+            println!(
+                "t={:.0}s  objective({}) = {:.1}  decisions = {}  memory {:.0}% used",
+                snap.time,
+                snap.objective_name,
+                snap.objective,
+                snap.decisions,
+                snap.memory_utilization() * 100.0
+            );
+            println!("applications:");
+            for app in &snap.apps {
+                for (bundle, label, predicted, reconfigs) in &app.bundles {
+                    println!(
+                        "  {} {}: {} (predicted {:.1}s, {} reconfigs)",
+                        app.instance, bundle, label, predicted, reconfigs
+                    );
+                }
+            }
+            println!("nodes:");
+            for n in &snap.nodes {
+                println!(
+                    "  {}: speed {:.1}, {:.0}/{:.0} MB free, {} task(s){}",
+                    n.name,
+                    n.speed,
+                    n.free_memory,
+                    n.total_memory,
+                    n.tasks,
+                    if n.exclusive > 0 { " [dedicated]" } else { "" }
+                );
+            }
+        }
+        "end" => {
+            let Some(instance) = args.get(1) else { usage() };
+            let Some((app, id)) = instance.rsplit_once('.') else { usage() };
+            let Ok(id) = id.parse() else { usage() };
+            let resp = transport
+                .call(&Request::End { app: app.to_string(), id })
+                .expect("end call");
+            match resp {
+                Response::Ok => println!("harmonyctl: ended {instance}"),
+                Response::Error { message } => {
+                    eprintln!("harmonyctl: {message}");
+                    std::process::exit(1);
+                }
+                other => {
+                    eprintln!("harmonyctl: unexpected response: {other:?}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,182 @@
+//! Length-prefixed text frames.
+//!
+//! The prototype's applications "connect to the Harmony server and supply
+//! the bundles" (§5) — the payload is RSL text, so the wire format is a
+//! 4-byte big-endian length followed by that many bytes of UTF-8.
+
+use std::io::{self, Read, Write};
+
+use bytes::{Buf, BufMut, BytesMut};
+
+/// Upper bound on a frame payload; anything larger is a protocol error
+/// (bundles are kilobytes at most).
+pub const MAX_FRAME_BYTES: usize = 1 << 20;
+
+/// Encodes one frame into a byte buffer.
+///
+/// # Panics
+///
+/// Panics if `payload` exceeds [`MAX_FRAME_BYTES`] (callers construct
+/// payloads; oversize is a programming error).
+pub fn encode(payload: &str) -> BytesMut {
+    assert!(payload.len() <= MAX_FRAME_BYTES, "frame too large");
+    let mut buf = BytesMut::with_capacity(4 + payload.len());
+    buf.put_u32(payload.len() as u32);
+    buf.put_slice(payload.as_bytes());
+    buf
+}
+
+/// Attempts to decode one frame from the front of `buf`, consuming it.
+/// Returns `Ok(None)` when more bytes are needed.
+///
+/// # Errors
+///
+/// Returns `InvalidData` for oversize frames or invalid UTF-8.
+pub fn decode(buf: &mut BytesMut) -> io::Result<Option<String>> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let len = u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds limit"),
+        ));
+    }
+    if buf.len() < 4 + len {
+        return Ok(None);
+    }
+    buf.advance(4);
+    let payload = buf.split_to(len);
+    String::from_utf8(payload.to_vec())
+        .map(Some)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+/// Writes one frame to a blocking writer.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_frame<W: Write>(mut w: W, payload: &str) -> io::Result<()> {
+    let buf = encode(payload);
+    w.write_all(&buf)?;
+    w.flush()
+}
+
+/// Reads one frame from a blocking reader. Returns `Ok(None)` on a clean
+/// EOF at a frame boundary.
+///
+/// # Errors
+///
+/// `UnexpectedEof` for truncation mid-frame; `InvalidData` for oversize or
+/// non-UTF-8 payloads; other I/O errors from the reader.
+pub fn read_frame<R: Read>(mut r: R) -> io::Result<Option<String>> {
+    let mut header = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut header[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "eof inside frame header",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_be_bytes(header) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds limit"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    String::from_utf8(payload)
+        .map(Some)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let mut buf = encode("hello harmony");
+        assert_eq!(decode(&mut buf).unwrap(), Some("hello harmony".into()));
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn decode_handles_partial_input() {
+        let full = encode("abcdef");
+        let mut buf = BytesMut::new();
+        buf.extend_from_slice(&full[..3]);
+        assert_eq!(decode(&mut buf).unwrap(), None);
+        buf.extend_from_slice(&full[3..7]);
+        assert_eq!(decode(&mut buf).unwrap(), None);
+        buf.extend_from_slice(&full[7..]);
+        assert_eq!(decode(&mut buf).unwrap(), Some("abcdef".into()));
+    }
+
+    #[test]
+    fn decode_multiple_frames_in_sequence() {
+        let mut buf = BytesMut::new();
+        buf.extend_from_slice(&encode("one"));
+        buf.extend_from_slice(&encode("two"));
+        assert_eq!(decode(&mut buf).unwrap(), Some("one".into()));
+        assert_eq!(decode(&mut buf).unwrap(), Some("two".into()));
+        assert_eq!(decode(&mut buf).unwrap(), None);
+    }
+
+    #[test]
+    fn oversize_frame_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u32(MAX_FRAME_BYTES as u32 + 1);
+        buf.put_slice(b"x");
+        assert!(decode(&mut buf).is_err());
+    }
+
+    #[test]
+    fn stream_read_write_round_trip() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, "startup DBclient").unwrap();
+        write_frame(&mut wire, "end DBclient.1").unwrap();
+        let mut cursor = std::io::Cursor::new(wire);
+        assert_eq!(read_frame(&mut cursor).unwrap(), Some("startup DBclient".into()));
+        assert_eq!(read_frame(&mut cursor).unwrap(), Some("end DBclient.1".into()));
+        assert_eq!(read_frame(&mut cursor).unwrap(), None); // clean EOF
+    }
+
+    #[test]
+    fn truncated_stream_is_unexpected_eof() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, "hello").unwrap();
+        wire.truncate(6); // cut inside payload
+        let mut cursor = std::io::Cursor::new(wire);
+        let err = read_frame(&mut cursor).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn invalid_utf8_rejected() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&2u32.to_be_bytes());
+        wire.extend_from_slice(&[0xff, 0xfe]);
+        let mut cursor = std::io::Cursor::new(wire);
+        let err = read_frame(&mut cursor).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn empty_payload_is_fine() {
+        let mut buf = encode("");
+        assert_eq!(decode(&mut buf).unwrap(), Some(String::new()));
+    }
+}

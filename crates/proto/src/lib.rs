@@ -1,0 +1,25 @@
+//! # Harmony proto
+//!
+//! The wire protocol of the Harmony prototype (§5, Figure 6): "a server
+//! that listens on a well-known port and waits for connections from
+//! application processes". Application messages carry RSL text inside
+//! length-prefixed frames.
+//!
+//! * [`frame`] — 4-byte big-endian length + UTF-8 payload;
+//! * [`Request`] / [`Response`] — the message grammar (TCL-style word
+//!   lists, so bundle scripts embed as braced groups);
+//! * [`TcpServer`] / [`TcpTransport`] — the prototype's TCP architecture;
+//! * [`LocalTransport`] — the same semantics in-process, for deterministic
+//!   tests and single-process experiments.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod frame;
+mod message;
+mod server;
+
+pub use message::{ParseMessageError, Request, Response, VarUpdate};
+pub use server::{
+    handle_request, LocalTransport, SharedController, TcpServer, TcpTransport, Transport,
+};

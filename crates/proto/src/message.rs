@@ -1,0 +1,359 @@
+//! The request/response grammar spoken over frames.
+//!
+//! Messages are TCL-style word lists (parsed with the RSL list lexer), so
+//! bundle payloads embed naturally as braced groups:
+//!
+//! ```text
+//! → startup DBclient
+//! ← registered DBclient 1
+//! → bundle DBclient.1 {harmonyBundle DBclient:1 where { ... }}
+//! ← ok
+//! → poll DBclient.1
+//! ← update DBclient.1 {DBclient.1.where DS} {DBclient.1.where.DS.client.memory 24.0}
+//! → metric DBclient.1.response_time 12.5 9.8
+//! → end DBclient.1
+//! ```
+
+use harmony_rsl::list::{split, Item};
+use harmony_rsl::Value;
+use serde::{Deserialize, Serialize};
+
+/// A protocol error: the peer sent something unparseable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseMessageError {
+    reason: String,
+}
+
+impl ParseMessageError {
+    fn new(reason: impl Into<String>) -> Self {
+        ParseMessageError { reason: reason.into() }
+    }
+}
+
+impl std::fmt::Display for ParseMessageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "malformed message: {}", self.reason)
+    }
+}
+
+impl std::error::Error for ParseMessageError {}
+
+/// An instance name on the wire: `app.id`.
+fn parse_instance(word: &str) -> Result<(String, u64), ParseMessageError> {
+    let (app, id) = word
+        .rsplit_once('.')
+        .ok_or_else(|| ParseMessageError::new(format!("instance `{word}` lacks `.id`")))?;
+    let id: u64 = id
+        .parse()
+        .map_err(|_| ParseMessageError::new(format!("instance id in `{word}` not a number")))?;
+    if app.is_empty() {
+        return Err(ParseMessageError::new("empty application name"));
+    }
+    Ok((app.to_owned(), id))
+}
+
+/// Client → server requests (Figure 5's API, serialized).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// `harmony_startup`: register and get an instance id.
+    Startup {
+        /// Application name.
+        app: String,
+    },
+    /// `harmony_bundle_setup`: export a bundle (RSL text).
+    Bundle {
+        /// Owning instance (`app`, `id`).
+        app: String,
+        /// Instance id.
+        id: u64,
+        /// The RSL script.
+        script: String,
+    },
+    /// Poll for buffered variable updates (the prototype's polling
+    /// interface).
+    Poll {
+        /// Application name.
+        app: String,
+        /// Instance id.
+        id: u64,
+    },
+    /// Report a performance measurement.
+    Metric {
+        /// Dotted metric name.
+        name: String,
+        /// Timestamp (seconds).
+        time: f64,
+        /// Value.
+        value: f64,
+    },
+    /// `harmony_end`: the application is terminating.
+    End {
+        /// Application name.
+        app: String,
+        /// Instance id.
+        id: u64,
+    },
+    /// Ask the server for a [`harmony_core::SystemSnapshot`] (operators,
+    /// experiment drivers).
+    Status,
+}
+
+impl Request {
+    /// Serializes to wire text.
+    pub fn to_text(&self) -> String {
+        match self {
+            Request::Startup { app } => format!("startup {app}"),
+            Request::Bundle { app, id, script } => {
+                format!("bundle {app}.{id} {{{script}}}")
+            }
+            Request::Poll { app, id } => format!("poll {app}.{id}"),
+            Request::Metric { name, time, value } => {
+                format!("metric {name} {time} {value}")
+            }
+            Request::End { app, id } => format!("end {app}.{id}"),
+            Request::Status => "status".to_string(),
+        }
+    }
+
+    /// Parses wire text.
+    ///
+    /// # Errors
+    ///
+    /// [`ParseMessageError`] on unknown verbs, wrong arity, or malformed
+    /// numbers.
+    pub fn parse(text: &str) -> Result<Self, ParseMessageError> {
+        let items =
+            split(text).map_err(|e| ParseMessageError::new(e.to_string()))?;
+        let words: Vec<&str> = items.iter().map(Item::text).collect();
+        match words.as_slice() {
+            ["startup", app] => Ok(Request::Startup { app: (*app).to_owned() }),
+            ["bundle", instance, script] => {
+                let (app, id) = parse_instance(instance)?;
+                Ok(Request::Bundle { app, id, script: (*script).to_owned() })
+            }
+            ["poll", instance] => {
+                let (app, id) = parse_instance(instance)?;
+                Ok(Request::Poll { app, id })
+            }
+            ["metric", name, time, value] => Ok(Request::Metric {
+                name: (*name).to_owned(),
+                time: time
+                    .parse()
+                    .map_err(|_| ParseMessageError::new("metric time not a number"))?,
+                value: value
+                    .parse()
+                    .map_err(|_| ParseMessageError::new("metric value not a number"))?,
+            }),
+            ["end", instance] => {
+                let (app, id) = parse_instance(instance)?;
+                Ok(Request::End { app, id })
+            }
+            ["status"] => Ok(Request::Status),
+            [] => Err(ParseMessageError::new("empty request")),
+            [verb, ..] => Err(ParseMessageError::new(format!("unknown verb `{verb}`"))),
+        }
+    }
+}
+
+/// One variable update: a namespace path and its new value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VarUpdate {
+    /// Dotted namespace path (e.g. `DBclient.1.where`).
+    pub path: String,
+    /// The new value.
+    pub value: Value,
+}
+
+/// Server → client responses.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// Startup succeeded; here is your instance id.
+    Registered {
+        /// Application name.
+        app: String,
+        /// System-chosen instance id.
+        id: u64,
+    },
+    /// Request accepted with nothing to report.
+    Ok,
+    /// Buffered variable updates for the polled instance.
+    Update {
+        /// Owning application name.
+        app: String,
+        /// Instance id.
+        id: u64,
+        /// The updates, in write order.
+        updates: Vec<VarUpdate>,
+    },
+    /// The request failed.
+    Error {
+        /// Human-readable reason.
+        message: String,
+    },
+    /// A system snapshot, JSON-encoded (response to [`Request::Status`]).
+    Status {
+        /// The JSON payload (parse with
+        /// `harmony_core::SystemSnapshot::from_json`).
+        json: String,
+    },
+}
+
+impl Response {
+    /// Serializes to wire text.
+    pub fn to_text(&self) -> String {
+        match self {
+            Response::Registered { app, id } => format!("registered {app} {id}"),
+            Response::Ok => "ok".to_string(),
+            Response::Update { app, id, updates } => {
+                let mut out = format!("update {app}.{id}");
+                for u in updates {
+                    out.push_str(&format!(" {{{} {}}}", u.path, u.value.canonical()));
+                }
+                out
+            }
+            Response::Error { message } => format!("error {{{message}}}"),
+            Response::Status { json } => format!("status {{{json}}}"),
+        }
+    }
+
+    /// Parses wire text.
+    ///
+    /// # Errors
+    ///
+    /// [`ParseMessageError`] on malformed responses.
+    pub fn parse(text: &str) -> Result<Self, ParseMessageError> {
+        let items =
+            split(text).map_err(|e| ParseMessageError::new(e.to_string()))?;
+        let words: Vec<&str> = items.iter().map(Item::text).collect();
+        match words.as_slice() {
+            ["ok"] => Ok(Response::Ok),
+            ["registered", app, id] => Ok(Response::Registered {
+                app: (*app).to_owned(),
+                id: id
+                    .parse()
+                    .map_err(|_| ParseMessageError::new("instance id not a number"))?,
+            }),
+            ["error", message] => {
+                Ok(Response::Error { message: (*message).to_owned() })
+            }
+            ["status", json] => Ok(Response::Status { json: (*json).to_owned() }),
+            ["update", instance, rest @ ..] => {
+                let (app, id) = parse_instance(instance)?;
+                let mut updates = Vec::with_capacity(rest.len());
+                for group in rest {
+                    let inner = split(group)
+                        .map_err(|e| ParseMessageError::new(e.to_string()))?;
+                    if inner.len() != 2 {
+                        return Err(ParseMessageError::new(format!(
+                            "update group `{group}` is not {{path value}}"
+                        )));
+                    }
+                    updates.push(VarUpdate {
+                        path: inner[0].text().to_owned(),
+                        value: match &inner[1] {
+                            Item::Word(w) => Value::from_word(w),
+                            Item::Braced(b) => Value::Str(b.clone()),
+                        },
+                    });
+                }
+                Ok(Response::Update { app, id, updates })
+            }
+            [] => Err(ParseMessageError::new("empty response")),
+            [verb, ..] => Err(ParseMessageError::new(format!("unknown verb `{verb}`"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trips() {
+        let cases = vec![
+            Request::Startup { app: "DBclient".into() },
+            Request::Bundle {
+                app: "DBclient".into(),
+                id: 1,
+                script: "harmonyBundle DBclient:1 where { {QS {node s {seconds 4}}} }"
+                    .into(),
+            },
+            Request::Poll { app: "bag".into(), id: 7 },
+            Request::Metric { name: "a.rt".into(), time: 1.5, value: 9.25 },
+            Request::End { app: "bag".into(), id: 7 },
+            Request::Status,
+        ];
+        for req in cases {
+            let text = req.to_text();
+            assert_eq!(Request::parse(&text).unwrap(), req, "text: {text}");
+        }
+    }
+
+    #[test]
+    fn response_round_trips() {
+        let cases = vec![
+            Response::Ok,
+            Response::Registered { app: "DBclient".into(), id: 66 },
+            Response::Error { message: "bundle `where` cannot be placed".into() },
+            Response::Update {
+                app: "DBclient".into(),
+                id: 66,
+                updates: vec![
+                    VarUpdate { path: "DBclient.66.where".into(), value: Value::Str("DS".into()) },
+                    VarUpdate {
+                        path: "DBclient.66.where.DS.client.memory".into(),
+                        value: Value::Float(24.0),
+                    },
+                ],
+            },
+        ];
+        for resp in cases {
+            let text = resp.to_text();
+            assert_eq!(Response::parse(&text).unwrap(), resp, "text: {text}");
+        }
+    }
+
+    #[test]
+    fn bundle_script_survives_embedding() {
+        let script = harmony_rsl::listings::FIG3_DBCLIENT.trim().to_string();
+        let req = Request::Bundle { app: "DBclient".into(), id: 1, script: script.clone() };
+        let parsed = Request::parse(&req.to_text()).unwrap();
+        match parsed {
+            Request::Bundle { script: s, .. } => {
+                // The embedded script still parses as a bundle.
+                let spec = harmony_rsl::schema::parse_bundle_script(&s).unwrap();
+                assert_eq!(spec.option_names(), vec!["QS", "DS"]);
+            }
+            other => panic!("wrong request: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected() {
+        for bad in [
+            "",
+            "frobnicate x",
+            "startup",
+            "bundle nodot {x}",
+            "poll app.notanumber",
+            "metric name abc 1",
+            "end .5",
+        ] {
+            assert!(Request::parse(bad).is_err(), "should reject `{bad}`");
+        }
+    }
+
+    #[test]
+    fn malformed_responses_are_rejected() {
+        for bad in ["", "registered app x", "update nodot {a 1}", "update a.1 {only-one}"] {
+            assert!(Response::parse(bad).is_err(), "should reject `{bad}`");
+        }
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = Request::parse("zzz").unwrap_err();
+        assert!(e.to_string().contains("zzz"));
+        let _: &dyn std::error::Error = &e;
+    }
+}

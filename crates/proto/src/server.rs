@@ -1,0 +1,377 @@
+//! The Harmony process: a server that listens on a well-known port and
+//! waits for connections from application processes (§5, Figure 6).
+//!
+//! Two transports speak the same [`Request`]/[`Response`] grammar:
+//!
+//! * [`TcpServer`] / [`TcpTransport`] — the prototype's architecture:
+//!   frames over TCP, one thread per connection;
+//! * [`LocalTransport`] — in-process calls against the same shared
+//!   controller, for deterministic tests and single-process experiments.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use harmony_core::{Controller, HarmonyEvent, InstanceId};
+use parking_lot::Mutex;
+
+use crate::frame::{read_frame, write_frame};
+use crate::message::{Request, Response, VarUpdate};
+
+/// A shared, thread-safe handle to the controller.
+pub type SharedController = Arc<Mutex<Controller>>;
+
+/// Applies one request to the controller, producing the response. This is
+/// the single point of protocol semantics, shared by every transport.
+pub fn handle_request(ctl: &SharedController, req: &Request) -> Response {
+    let mut ctl = ctl.lock();
+    match req {
+        Request::Startup { app } => {
+            let id = ctl.startup(app);
+            Response::Registered { app: id.app.clone(), id: id.id }
+        }
+        Request::Bundle { app, id, script } => {
+            let instance = InstanceId::new(app.clone(), *id);
+            match ctl.handle_event(HarmonyEvent::BundleSetup {
+                instance,
+                script: script.clone(),
+            }) {
+                Ok(_) => Response::Ok,
+                Err(e) => Response::Error { message: e.to_string() },
+            }
+        }
+        Request::Poll { app, id } => {
+            let instance = InstanceId::new(app.clone(), *id);
+            let updates = ctl
+                .take_pending_vars(&instance)
+                .into_iter()
+                .map(|(path, value)| VarUpdate { path: path.to_string(), value })
+                .collect();
+            Response::Update { app: app.clone(), id: *id, updates }
+        }
+        Request::Metric { name, time, value } => {
+            match ctl.handle_event(HarmonyEvent::MetricReport {
+                name: name.clone(),
+                time: *time,
+                value: *value,
+            }) {
+                Ok(_) => Response::Ok,
+                Err(e) => Response::Error { message: e.to_string() },
+            }
+        }
+        Request::End { app, id } => {
+            let instance = InstanceId::new(app.clone(), *id);
+            match ctl.end(&instance) {
+                Ok(_) => Response::Ok,
+                Err(e) => Response::Error { message: e.to_string() },
+            }
+        }
+        Request::Status => {
+            let snap = harmony_core::SystemSnapshot::capture(&ctl);
+            match snap.to_json() {
+                Ok(json) => Response::Status { json },
+                Err(e) => Response::Error { message: e.to_string() },
+            }
+        }
+    }
+}
+
+/// A request/response channel to the Harmony process.
+pub trait Transport: Send {
+    /// Sends one request and waits for its response.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the underlying channel, including protocol-parse
+    /// failures (mapped to `InvalidData`).
+    fn call(&mut self, req: &Request) -> io::Result<Response>;
+}
+
+impl Transport for Box<dyn Transport> {
+    fn call(&mut self, req: &Request) -> io::Result<Response> {
+        (**self).call(req)
+    }
+}
+
+/// In-process transport: requests apply directly to the shared controller.
+#[derive(Debug, Clone)]
+pub struct LocalTransport {
+    ctl: SharedController,
+}
+
+impl LocalTransport {
+    /// Wraps a shared controller.
+    pub fn new(ctl: SharedController) -> Self {
+        LocalTransport { ctl }
+    }
+
+    /// The shared controller (for assertions in tests and experiments).
+    pub fn controller(&self) -> SharedController {
+        Arc::clone(&self.ctl)
+    }
+}
+
+impl Transport for LocalTransport {
+    fn call(&mut self, req: &Request) -> io::Result<Response> {
+        Ok(handle_request(&self.ctl, req))
+    }
+}
+
+/// Client side of the TCP transport.
+#[derive(Debug)]
+pub struct TcpTransport {
+    stream: TcpStream,
+}
+
+impl TcpTransport {
+    /// Connects to a Harmony server.
+    ///
+    /// # Errors
+    ///
+    /// Connection errors from the OS.
+    pub fn connect(addr: SocketAddr) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(TcpTransport { stream })
+    }
+}
+
+impl Transport for TcpTransport {
+    fn call(&mut self, req: &Request) -> io::Result<Response> {
+        write_frame(&mut self.stream, &req.to_text())?;
+        let text = read_frame(&mut self.stream)?.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "server closed the connection")
+        })?;
+        Response::parse(&text)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+}
+
+/// The Harmony TCP server: accept loop plus one thread per connection.
+#[derive(Debug)]
+pub struct TcpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    connections: Arc<parking_lot::Mutex<Vec<TcpStream>>>,
+}
+
+impl TcpServer {
+    /// Binds and starts serving `ctl` on `addr` (use port 0 for an
+    /// ephemeral port; read it back with [`TcpServer::addr`]).
+    ///
+    /// # Errors
+    ///
+    /// Bind errors from the OS.
+    pub fn start(addr: &str, ctl: SharedController) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let connections: Arc<parking_lot::Mutex<Vec<TcpStream>>> =
+            Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let conns2 = Arc::clone(&connections);
+        let accept_thread = std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                if stop2.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = conn else { continue };
+                if let Ok(clone) = stream.try_clone() {
+                    let mut conns = conns2.lock();
+                    // Prune connections that already closed.
+                    conns.retain(|c| {
+                        c.take_error().map(|e| e.is_none()).unwrap_or(false)
+                    });
+                    conns.push(clone);
+                }
+                let ctl = Arc::clone(&ctl);
+                std::thread::spawn(move || serve_connection(stream, ctl));
+            }
+        });
+        Ok(TcpServer { addr, stop, accept_thread: Some(accept_thread), connections })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the server: no new connections are accepted and existing
+    /// connections are shut down, so blocked clients see a clean EOF or
+    /// reset rather than a hang.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a dummy connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        for conn in self.connections.lock().drain(..) {
+            let _ = conn.shutdown(std::net::Shutdown::Both);
+        }
+    }
+}
+
+impl Drop for TcpServer {
+    fn drop(&mut self) {
+        // Best-effort teardown; errors are ignored per C-DTOR-FAIL.
+        self.stop();
+    }
+}
+
+fn serve_connection(mut stream: TcpStream, ctl: SharedController) {
+    let _ = stream.set_nodelay(true);
+    loop {
+        let text = match read_frame(&mut stream) {
+            Ok(Some(t)) => t,
+            // Clean close or protocol violation: shut the socket down
+            // explicitly so the shutdown reaches the peer even though the
+            // server keeps a tracking clone for stop().
+            Ok(None) | Err(_) => {
+                let _ = stream.shutdown(std::net::Shutdown::Both);
+                return;
+            }
+        };
+        let response = match Request::parse(&text) {
+            Ok(req) => handle_request(&ctl, &req),
+            Err(e) => Response::Error { message: e.to_string() },
+        };
+        if write_frame(&mut stream, &response.to_text()).is_err() {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harmony_core::ControllerConfig;
+    use harmony_resources::Cluster;
+
+    fn shared_controller(nodes: usize) -> SharedController {
+        let cluster =
+            Cluster::from_rsl(&harmony_rsl::listings::sp2_cluster(nodes)).unwrap();
+        Arc::new(Mutex::new(Controller::new(cluster, ControllerConfig::default())))
+    }
+
+    fn full_session<T: Transport>(t: &mut T) {
+        // startup → registered
+        let resp = t.call(&Request::Startup { app: "bag".into() }).unwrap();
+        let Response::Registered { app, id } = resp else { panic!("{resp:?}") };
+        assert_eq!(app, "bag");
+        // bundle → ok
+        let resp = t
+            .call(&Request::Bundle {
+                app: app.clone(),
+                id,
+                script: harmony_rsl::listings::FIG2B_BAG.into(),
+            })
+            .unwrap();
+        assert_eq!(resp, Response::Ok);
+        // poll → updates describing the placement
+        let resp = t.call(&Request::Poll { app: app.clone(), id }).unwrap();
+        let Response::Update { updates, .. } = resp else { panic!("{resp:?}") };
+        assert!(updates.iter().any(|u| u.path == format!("bag.{id}.config")));
+        // second poll is empty
+        let resp = t.call(&Request::Poll { app: app.clone(), id }).unwrap();
+        assert_eq!(resp, Response::Update { app: app.clone(), id, updates: vec![] });
+        // metric → ok
+        let resp = t
+            .call(&Request::Metric { name: format!("bag.{id}.rt"), time: 1.0, value: 2.0 })
+            .unwrap();
+        assert_eq!(resp, Response::Ok);
+        // end → ok; second end → error
+        assert_eq!(t.call(&Request::End { app: app.clone(), id }).unwrap(), Response::Ok);
+        let resp = t.call(&Request::End { app, id }).unwrap();
+        assert!(matches!(resp, Response::Error { .. }));
+    }
+
+    #[test]
+    fn local_transport_full_session() {
+        let ctl = shared_controller(8);
+        let mut t = LocalTransport::new(Arc::clone(&ctl));
+        full_session(&mut t);
+        assert_eq!(ctl.lock().instances().len(), 0);
+    }
+
+    #[test]
+    fn tcp_transport_full_session() {
+        let ctl = shared_controller(8);
+        let mut server = TcpServer::start("127.0.0.1:0", Arc::clone(&ctl)).unwrap();
+        let mut t = TcpTransport::connect(server.addr()).unwrap();
+        full_session(&mut t);
+        server.stop();
+    }
+
+    #[test]
+    fn tcp_serves_concurrent_clients() {
+        let ctl = shared_controller(8);
+        let server = TcpServer::start("127.0.0.1:0", Arc::clone(&ctl)).unwrap();
+        let addr = server.addr();
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    let mut t = TcpTransport::connect(addr).unwrap();
+                    let resp = t.call(&Request::Startup { app: "bag".into() }).unwrap();
+                    matches!(resp, Response::Registered { .. })
+                })
+            })
+            .collect();
+        for th in threads {
+            assert!(th.join().unwrap());
+        }
+        assert_eq!(ctl.lock().instances().len(), 4);
+    }
+
+    #[test]
+    fn malformed_wire_request_gets_error_response() {
+        let ctl = shared_controller(2);
+        let server = TcpServer::start("127.0.0.1:0", ctl).unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        write_frame(&mut stream, "frobnicate everything").unwrap();
+        let text = read_frame(&mut stream).unwrap().unwrap();
+        let resp = Response::parse(&text).unwrap();
+        assert!(matches!(resp, Response::Error { .. }));
+    }
+
+    #[test]
+    fn status_snapshot_survives_the_wire() {
+        // The JSON payload contains quotes, braces, and commas; it must
+        // survive TCL-list framing over real TCP.
+        let ctl = shared_controller(8);
+        {
+            let mut ctl = ctl.lock();
+            let spec = harmony_rsl::schema::parse_bundle_script(
+                harmony_rsl::listings::FIG2B_BAG,
+            )
+            .unwrap();
+            ctl.register(spec).unwrap();
+        }
+        let server = TcpServer::start("127.0.0.1:0", Arc::clone(&ctl)).unwrap();
+        let mut t = TcpTransport::connect(server.addr()).unwrap();
+        let resp = t.call(&Request::Status).unwrap();
+        let Response::Status { json } = resp else { panic!("{resp:?}") };
+        let snap = harmony_core::SystemSnapshot::from_json(&json).unwrap();
+        assert_eq!(snap.apps.len(), 1);
+        assert_eq!(snap.apps[0].bundles[0].1, "run[workerNodes=8]");
+        assert_eq!(snap.total_tasks(), 8);
+    }
+
+    #[test]
+    fn bad_bundle_gets_error_response() {
+        let ctl = shared_controller(2);
+        let mut t = LocalTransport::new(ctl);
+        let Response::Registered { app, id } =
+            t.call(&Request::Startup { app: "x".into() }).unwrap()
+        else {
+            panic!()
+        };
+        let resp =
+            t.call(&Request::Bundle { app, id, script: "not rsl {".into() }).unwrap();
+        assert!(matches!(resp, Response::Error { .. }));
+    }
+}

@@ -1,0 +1,337 @@
+//! Allocations: the concrete resources Harmony grants to one option of one
+//! application instance.
+//!
+//! An [`Allocation`] names which cluster nodes were bound to each node
+//! requirement (with per-replica indexes), how much memory each binding
+//! reserved, and which links carry the option's bandwidth. Committing an
+//! allocation decrements the cluster's free counters; releasing restores
+//! them.
+
+use harmony_rsl::expr::MapEnv;
+use harmony_rsl::Value;
+use serde::{Deserialize, Serialize};
+
+use crate::cluster::Cluster;
+use crate::error::ResourceError;
+
+/// One node requirement instance bound to a concrete cluster node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AllocatedNode {
+    /// Local requirement name from the option (`server`, `client`,
+    /// `worker`).
+    pub req: String,
+    /// Replica index (0-based) for replicated requirements.
+    pub index: u32,
+    /// The cluster node that was bound.
+    pub node: String,
+    /// Megabytes reserved on that node.
+    pub memory: f64,
+    /// Reference-machine CPU seconds this binding will consume over the
+    /// job's life.
+    pub seconds: f64,
+    /// True when the binding holds the node exclusively (the requirement
+    /// carried a `dedicated` tag): no other allocation may share the node.
+    #[serde(default)]
+    pub exclusive: bool,
+}
+
+/// A link binding between two allocated nodes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AllocatedLink {
+    /// First endpoint (cluster node name).
+    pub a: String,
+    /// Second endpoint (cluster node name).
+    pub b: String,
+    /// Mbit/s reserved.
+    pub bandwidth: f64,
+}
+
+/// The set of concrete resources granted to one option choice.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Allocation {
+    /// Node bindings in requirement order (replicas consecutive).
+    pub nodes: Vec<AllocatedNode>,
+    /// Link bindings.
+    pub links: Vec<AllocatedLink>,
+    /// Variable bindings the match was computed under (e.g.
+    /// `workerNodes = 4`).
+    pub variables: Vec<(String, i64)>,
+}
+
+impl Allocation {
+    /// All bindings for a given requirement name.
+    pub fn bindings(&self, req: &str) -> Vec<&AllocatedNode> {
+        self.nodes.iter().filter(|n| n.req == req).collect()
+    }
+
+    /// The first binding for a requirement name.
+    pub fn binding(&self, req: &str) -> Option<&AllocatedNode> {
+        self.nodes.iter().find(|n| n.req == req)
+    }
+
+    /// Total memory reserved across all bindings (MB).
+    pub fn total_memory(&self) -> f64 {
+        self.nodes.iter().map(|n| n.memory).sum()
+    }
+
+    /// Total reference-machine CPU seconds across all bindings.
+    pub fn total_seconds(&self) -> f64 {
+        self.nodes.iter().map(|n| n.seconds).sum()
+    }
+
+    /// Total bandwidth reserved across all links (Mbit/s).
+    pub fn total_bandwidth(&self) -> f64 {
+        self.links.iter().map(|l| l.bandwidth).sum()
+    }
+
+    /// Number of distinct cluster nodes used.
+    pub fn distinct_nodes(&self) -> usize {
+        let mut names: Vec<&str> = self.nodes.iter().map(|n| n.node.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        names.len()
+    }
+
+    /// Builds the evaluation environment this allocation induces: the
+    /// option's variables plus, for each requirement's first binding,
+    /// `<req>.memory`, `<req>.seconds`, `<req>.node`, and `<req>.count`.
+    ///
+    /// This is the environment in which parameterized tags like Figure 3's
+    /// `{44 + (client.memory > 24 ? 24 : client.memory) - 17}` are
+    /// evaluated after matching.
+    pub fn env(&self) -> MapEnv {
+        let mut env = MapEnv::new();
+        for (name, v) in &self.variables {
+            env.set(name.clone(), Value::Int(*v));
+        }
+        let mut seen: Vec<&str> = Vec::new();
+        for n in &self.nodes {
+            if seen.contains(&n.req.as_str()) {
+                continue;
+            }
+            seen.push(&n.req);
+            env.set(format!("{}.memory", n.req), Value::Float(n.memory));
+            env.set(format!("{}.seconds", n.req), Value::Float(n.seconds));
+            env.set(format!("{}.node", n.req), Value::Str(n.node.clone()));
+            env.set(
+                format!("{}.count", n.req),
+                Value::Int(self.bindings(&n.req).len() as i64),
+            );
+        }
+        env
+    }
+}
+
+impl Cluster {
+    /// Commits an allocation: reserves memory and bandwidth, and registers
+    /// one task per node binding.
+    ///
+    /// # Errors
+    ///
+    /// [`ResourceError::UnknownNode`] when a binding references an
+    /// unpublished node or link. On error the cluster is left unchanged.
+    pub fn commit(&mut self, alloc: &Allocation) -> Result<(), ResourceError> {
+        // Validate first so failure cannot leave partial state.
+        for n in &alloc.nodes {
+            if self.node(&n.node).is_none() {
+                return Err(ResourceError::UnknownNode { name: n.node.clone() });
+            }
+        }
+        for l in &alloc.links {
+            if l.a != l.b && self.link(&l.a, &l.b).is_none() {
+                return Err(ResourceError::UnknownNode {
+                    name: format!("link {}-{}", l.a, l.b),
+                });
+            }
+        }
+        for n in &alloc.nodes {
+            let state = self.node_mut(&n.node).expect("validated above");
+            state.free_memory -= n.memory;
+            state.tasks += 1;
+            state.assigned_seconds += n.seconds;
+            if n.exclusive {
+                state.exclusive += 1;
+            }
+        }
+        for l in &alloc.links {
+            if l.a == l.b {
+                continue; // intra-node traffic is free
+            }
+            let state = self.link_mut(&l.a, &l.b).expect("validated above");
+            state.free_bandwidth -= l.bandwidth;
+        }
+        Ok(())
+    }
+
+    /// Releases a previously committed allocation, restoring capacity.
+    ///
+    /// # Errors
+    ///
+    /// [`ResourceError::UnknownNode`] when a binding references a node that
+    /// has since been removed (capacity for the remaining bindings is still
+    /// restored in that case — the error reports the first missing node).
+    pub fn release(&mut self, alloc: &Allocation) -> Result<(), ResourceError> {
+        let mut first_missing: Option<String> = None;
+        for n in &alloc.nodes {
+            match self.node_mut(&n.node) {
+                Some(state) => {
+                    state.free_memory += n.memory;
+                    state.tasks = state.tasks.saturating_sub(1);
+                    state.assigned_seconds = (state.assigned_seconds - n.seconds).max(0.0);
+                    if n.exclusive {
+                        state.exclusive = state.exclusive.saturating_sub(1);
+                    }
+                }
+                None => {
+                    first_missing.get_or_insert_with(|| n.node.clone());
+                }
+            }
+        }
+        for l in &alloc.links {
+            if l.a == l.b {
+                continue;
+            }
+            match self.link_mut(&l.a, &l.b) {
+                Some(state) => state.free_bandwidth += l.bandwidth,
+                None => {
+                    first_missing.get_or_insert_with(|| format!("link {}-{}", l.a, l.b));
+                }
+            }
+        }
+        match first_missing {
+            Some(name) => Err(ResourceError::UnknownNode { name }),
+            None => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harmony_rsl::expr::Env;
+    use harmony_rsl::schema::{LinkDecl, NodeDecl};
+
+    fn cluster() -> Cluster {
+        let mut c = Cluster::new();
+        c.add_node(NodeDecl::new("a", 1.0, 256.0)).unwrap();
+        c.add_node(NodeDecl::new("b", 1.0, 128.0)).unwrap();
+        c.add_link(LinkDecl::new("a", "b", 320.0)).unwrap();
+        c
+    }
+
+    fn alloc() -> Allocation {
+        Allocation {
+            nodes: vec![
+                AllocatedNode {
+                    req: "server".into(),
+                    index: 0,
+                    node: "a".into(),
+                    memory: 20.0,
+                    seconds: 42.0, exclusive: false,
+                },
+                AllocatedNode {
+                    req: "client".into(),
+                    index: 0,
+                    node: "b".into(),
+                    memory: 2.0,
+                    seconds: 1.0, exclusive: false,
+                },
+            ],
+            links: vec![AllocatedLink { a: "a".into(), b: "b".into(), bandwidth: 2.0 }],
+            variables: vec![("workerNodes".into(), 4)],
+        }
+    }
+
+    #[test]
+    fn commit_and_release_round_trip() {
+        let mut c = cluster();
+        let a = alloc();
+        c.commit(&a).unwrap();
+        assert_eq!(c.node("a").unwrap().free_memory, 236.0);
+        assert_eq!(c.node("a").unwrap().tasks, 1);
+        assert_eq!(c.node("a").unwrap().assigned_seconds, 42.0);
+        assert_eq!(c.node("b").unwrap().free_memory, 126.0);
+        assert_eq!(c.link("a", "b").unwrap().free_bandwidth, 318.0);
+        c.release(&a).unwrap();
+        assert_eq!(c.node("a").unwrap().free_memory, 256.0);
+        assert_eq!(c.node("a").unwrap().tasks, 0);
+        assert_eq!(c.link("a", "b").unwrap().free_bandwidth, 320.0);
+    }
+
+    #[test]
+    fn commit_unknown_node_leaves_cluster_unchanged() {
+        let mut c = cluster();
+        let mut a = alloc();
+        a.nodes[1].node = "ghost".into();
+        let before = format!("{c:?}");
+        assert!(c.commit(&a).is_err());
+        assert_eq!(format!("{c:?}"), before);
+    }
+
+    #[test]
+    fn intra_node_links_are_free() {
+        let mut c = cluster();
+        let a = Allocation {
+            nodes: vec![],
+            links: vec![AllocatedLink { a: "a".into(), b: "a".into(), bandwidth: 99.0 }],
+            variables: vec![],
+        };
+        c.commit(&a).unwrap();
+        assert_eq!(c.link("a", "b").unwrap().free_bandwidth, 320.0);
+        c.release(&a).unwrap();
+    }
+
+    #[test]
+    fn release_survives_removed_node() {
+        let mut c = cluster();
+        let a = alloc();
+        c.commit(&a).unwrap();
+        c.remove_node("b");
+        let err = c.release(&a).unwrap_err();
+        assert!(matches!(err, ResourceError::UnknownNode { .. }));
+        // Node `a` was still restored.
+        assert_eq!(c.node("a").unwrap().free_memory, 256.0);
+    }
+
+    #[test]
+    fn aggregate_accessors() {
+        let a = alloc();
+        assert_eq!(a.total_memory(), 22.0);
+        assert_eq!(a.total_seconds(), 43.0);
+        assert_eq!(a.total_bandwidth(), 2.0);
+        assert_eq!(a.distinct_nodes(), 2);
+        assert_eq!(a.binding("server").unwrap().node, "a");
+        assert_eq!(a.bindings("client").len(), 1);
+        assert!(a.binding("ghost").is_none());
+    }
+
+    #[test]
+    fn env_exposes_paper_names() {
+        let a = alloc();
+        let env = a.env();
+        assert_eq!(env.lookup("client.memory"), Some(Value::Float(2.0)));
+        assert_eq!(env.lookup("server.seconds"), Some(Value::Float(42.0)));
+        assert_eq!(env.lookup("server.node"), Some(Value::Str("a".into())));
+        assert_eq!(env.lookup("client.count"), Some(Value::Int(1)));
+        assert_eq!(env.lookup("workerNodes"), Some(Value::Int(4)));
+        // The Figure 3 DS bandwidth expression evaluates in this env.
+        let bw = harmony_rsl::expr::eval_str(
+            "44 + (client.memory > 24 ? 24 : client.memory) - 17",
+            &env,
+        )
+        .unwrap();
+        assert_eq!(bw.as_f64().unwrap(), 29.0);
+    }
+
+    #[test]
+    fn tasks_saturate_at_zero_on_double_release() {
+        let mut c = cluster();
+        let a = alloc();
+        c.commit(&a).unwrap();
+        c.release(&a).unwrap();
+        // A second release is a misuse but must not underflow.
+        let _ = c.release(&a);
+        assert_eq!(c.node("a").unwrap().tasks, 0);
+        assert!(c.node("a").unwrap().assigned_seconds >= 0.0);
+    }
+}

@@ -1,0 +1,82 @@
+//! Error types for the resource layer.
+
+use std::fmt;
+
+/// Errors from cluster construction, matching, and allocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ResourceError {
+    /// A node with this name is already published.
+    DuplicateNode {
+        /// The duplicated node name.
+        name: String,
+    },
+    /// A link or allocation referenced an unpublished node.
+    UnknownNode {
+        /// The missing node name.
+        name: String,
+    },
+    /// An RSL parse or evaluation error (stringified to keep the RSL error
+    /// type out of this crate's public API).
+    Rsl(String),
+    /// No assignment of cluster nodes satisfies the option's requirements.
+    NoMatch {
+        /// Human-readable reason from the matcher (which requirement failed
+        /// first).
+        reason: String,
+    },
+    /// An allocation double-commit or double-release was attempted.
+    AllocationState {
+        /// Description of the misuse.
+        message: String,
+    },
+}
+
+impl fmt::Display for ResourceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResourceError::DuplicateNode { name } => {
+                write!(f, "node `{name}` is already published")
+            }
+            ResourceError::UnknownNode { name } => write!(f, "unknown node `{name}`"),
+            ResourceError::Rsl(msg) => write!(f, "rsl error: {msg}"),
+            ResourceError::NoMatch { reason } => write!(f, "no match: {reason}"),
+            ResourceError::AllocationState { message } => {
+                write!(f, "allocation state error: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ResourceError {}
+
+impl From<harmony_rsl::RslError> for ResourceError {
+    fn from(e: harmony_rsl::RslError) -> Self {
+        ResourceError::Rsl(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_nonempty() {
+        let cases = vec![
+            ResourceError::DuplicateNode { name: "a".into() },
+            ResourceError::UnknownNode { name: "b".into() },
+            ResourceError::Rsl("bad".into()),
+            ResourceError::NoMatch { reason: "not enough memory".into() },
+            ResourceError::AllocationState { message: "double release".into() },
+        ];
+        for e in cases {
+            assert!(!e.to_string().is_empty());
+            let _: &dyn std::error::Error = &e;
+        }
+    }
+
+    #[test]
+    fn converts_from_rsl_error() {
+        let e: ResourceError = harmony_rsl::RslError::DivideByZero.into();
+        assert!(matches!(e, ResourceError::Rsl(_)));
+    }
+}

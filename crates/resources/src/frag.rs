@@ -1,0 +1,113 @@
+//! Fragmentation and utilization metrics.
+//!
+//! The paper's matcher uses first-fit and notes that future policies should
+//! "try to avoid fragmentation" (§4.1). These metrics quantify that for the
+//! matching-strategy ablation bench.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cluster::Cluster;
+
+/// A snapshot of cluster memory fragmentation and utilization.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FragReport {
+    /// Total memory published (MB).
+    pub total: f64,
+    /// Total memory free (MB).
+    pub free: f64,
+    /// The largest single free block (MB) — the biggest request that could
+    /// still be satisfied on one node.
+    pub largest_free_block: f64,
+    /// External fragmentation in `[0, 1]`:
+    /// `1 - largest_free_block / free` (0 when all free memory is usable by
+    /// one request, approaching 1 when free memory is scattered).
+    pub external_fragmentation: f64,
+    /// Fraction of memory in use.
+    pub utilization: f64,
+    /// Number of nodes with zero tasks (fully idle).
+    pub idle_nodes: usize,
+}
+
+/// Computes a fragmentation report for the cluster's memory.
+pub fn fragmentation(cluster: &Cluster) -> FragReport {
+    let total = cluster.total_memory();
+    let free = cluster.total_free_memory();
+    let largest = cluster
+        .nodes()
+        .map(|n| n.free_memory)
+        .fold(0.0f64, f64::max);
+    let external = if free > 0.0 { 1.0 - largest / free } else { 0.0 };
+    let utilization = if total > 0.0 { (total - free) / total } else { 0.0 };
+    let idle = cluster.nodes().filter(|n| n.tasks == 0).count();
+    FragReport {
+        total,
+        free,
+        largest_free_block: largest,
+        external_fragmentation: external.clamp(0.0, 1.0),
+        utilization: utilization.clamp(0.0, 1.0),
+        idle_nodes: idle,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harmony_rsl::schema::NodeDecl;
+
+    #[test]
+    fn empty_cluster_is_unfragmented() {
+        let r = fragmentation(&Cluster::new());
+        assert_eq!(r.total, 0.0);
+        assert_eq!(r.external_fragmentation, 0.0);
+        assert_eq!(r.utilization, 0.0);
+        assert_eq!(r.idle_nodes, 0);
+    }
+
+    #[test]
+    fn uniform_free_cluster() {
+        let mut c = Cluster::new();
+        c.add_node(NodeDecl::new("a", 1.0, 100.0)).unwrap();
+        c.add_node(NodeDecl::new("b", 1.0, 100.0)).unwrap();
+        let r = fragmentation(&c);
+        assert_eq!(r.total, 200.0);
+        assert_eq!(r.free, 200.0);
+        assert_eq!(r.largest_free_block, 100.0);
+        assert_eq!(r.external_fragmentation, 0.5);
+        assert_eq!(r.utilization, 0.0);
+        assert_eq!(r.idle_nodes, 2);
+    }
+
+    #[test]
+    fn scattered_free_memory_is_more_fragmented_than_concentrated() {
+        use crate::alloc::{AllocatedNode, Allocation};
+        let mk = |uses: &[(&str, f64)]| {
+            let mut c = Cluster::new();
+            c.add_node(NodeDecl::new("a", 1.0, 100.0)).unwrap();
+            c.add_node(NodeDecl::new("b", 1.0, 100.0)).unwrap();
+            let alloc = Allocation {
+                nodes: uses
+                    .iter()
+                    .map(|(n, m)| AllocatedNode {
+                        req: "w".into(),
+                        index: 0,
+                        node: (*n).into(),
+                        memory: *m,
+                        seconds: 0.0, exclusive: false,
+                    })
+                    .collect(),
+                links: vec![],
+                variables: vec![],
+            };
+            c.commit(&alloc).unwrap();
+            fragmentation(&c)
+        };
+        // 100 MB used all on one node: the other node is a 100 MB block.
+        let concentrated = mk(&[("a", 100.0)]);
+        // 100 MB used as 50+50: largest block is only 50 MB.
+        let scattered = mk(&[("a", 50.0), ("b", 50.0)]);
+        assert!(scattered.external_fragmentation > concentrated.external_fragmentation);
+        assert_eq!(concentrated.utilization, scattered.utilization);
+        assert_eq!(concentrated.idle_nodes, 1);
+        assert_eq!(scattered.idle_nodes, 0);
+    }
+}

@@ -1,0 +1,534 @@
+//! Matching application requirements to available resources (§4.1).
+//!
+//! "We start by finding nodes that meet the minimum resource requirements
+//! required by the application. When considering nodes, we also verify that
+//! the network links between nodes of the application meet the requirements
+//! specified in the RSL. Our current approach uses a simple first-fit
+//! allocation strategy."
+//!
+//! [`Strategy::FirstFit`] is the paper's policy; best-fit and worst-fit are
+//! provided for the fragmentation ablation the paper sketches ("in the
+//! future, we plan to extend the matching to use more sophisticated
+//! policies that try to avoid fragmentation").
+
+use std::collections::BTreeSet;
+
+use harmony_rsl::expr::{ChainEnv, MapEnv};
+use harmony_rsl::schema::{NodeReq, OptionSpec, TagValue};
+use harmony_rsl::Value;
+use serde::{Deserialize, Serialize};
+
+use crate::alloc::{AllocatedLink, AllocatedNode, Allocation};
+use crate::cluster::Cluster;
+use crate::error::ResourceError;
+
+/// Node-selection strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Strategy {
+    /// Paper's policy: first (in name order) node that fits.
+    #[default]
+    FirstFit,
+    /// Node whose free memory leaves the smallest remainder.
+    BestFit,
+    /// Node with the most free memory.
+    WorstFit,
+}
+
+/// Configuration for the matcher.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Matcher {
+    /// Node-selection strategy.
+    pub strategy: Strategy,
+    /// Extra megabytes to grant (beyond the minimum) to elastic `>=`
+    /// memory requirements when the node has spare capacity. Figure 3's DS
+    /// option profits from extra client memory up to a 24 MB cap; the
+    /// controller searches over this knob.
+    pub elastic_extra: f64,
+}
+
+impl Default for Matcher {
+    fn default() -> Self {
+        Matcher { strategy: Strategy::FirstFit, elastic_extra: 0.0 }
+    }
+}
+
+impl Matcher {
+    /// Creates a matcher with the given strategy and no elastic grants.
+    pub fn new(strategy: Strategy) -> Self {
+        Matcher { strategy, elastic_extra: 0.0 }
+    }
+
+    /// Sets the elastic memory grant.
+    pub fn with_elastic_extra(mut self, extra: f64) -> Self {
+        self.elastic_extra = extra;
+        self
+    }
+
+    /// Attempts to bind every node and link requirement of `opt` against
+    /// `cluster`, under the variable bindings `vars` (e.g.
+    /// `workerNodes = 4`). The cluster is *not* modified; commit the
+    /// returned [`Allocation`] to reserve the resources.
+    ///
+    /// All node bindings within one allocation are distinct cluster nodes
+    /// (replicas of Figure 2a's `{replicate 4}` land on four different
+    /// machines, as the paper's "four distinct nodes" requires).
+    ///
+    /// # Errors
+    ///
+    /// [`ResourceError::NoMatch`] with the first requirement that could not
+    /// be satisfied; RSL evaluation errors from parameterized tags.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use harmony_resources::Matcher;
+    /// use harmony_resources::Cluster;
+    /// use harmony_rsl::expr::MapEnv;
+    /// use harmony_rsl::schema::parse_bundle_script;
+    ///
+    /// let cluster = Cluster::from_rsl(&harmony_rsl::listings::sp2_cluster(8))?;
+    /// let bundle = parse_bundle_script(harmony_rsl::listings::FIG2A_SIMPLE)?;
+    /// let alloc = Matcher::default()
+    ///     .match_option(&cluster, &bundle.options[0], &MapEnv::new())?;
+    /// assert_eq!(alloc.distinct_nodes(), 4); // four distinct workers
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn match_option(
+        &self,
+        cluster: &Cluster,
+        opt: &OptionSpec,
+        vars: &MapEnv,
+    ) -> Result<Allocation, ResourceError> {
+        let mut used: BTreeSet<String> = BTreeSet::new();
+        let mut nodes: Vec<AllocatedNode> = Vec::new();
+        // Remaining free memory per node as this match reserves pieces.
+        let mut reserved_mem: Vec<(String, f64)> = Vec::new();
+
+        let free_mem = |cluster: &Cluster, reserved: &[(String, f64)], name: &str| -> f64 {
+            let base = cluster.node(name).map(|n| n.free_memory).unwrap_or(0.0);
+            let held: f64 =
+                reserved.iter().filter(|(n, _)| n == name).map(|(_, m)| *m).sum();
+            base - held
+        };
+
+        for req in &opt.nodes {
+            let count = req.count.resolve(vars)?;
+            let dedicated = req
+                .tag("dedicated")
+                .map(|t| t.accepts(&Value::Int(1), vars))
+                .transpose()?
+                .unwrap_or(false);
+            for index in 0..count {
+                let min_mem = min_memory(req, vars)?;
+                let mut candidates: Vec<&str> = Vec::new();
+                for state in cluster.nodes() {
+                    let name = state.decl.name.as_str();
+                    if used.contains(name) {
+                        continue;
+                    }
+                    // Nodes held exclusively by a dedicated allocation are
+                    // off-limits to everyone, and dedicated requirements
+                    // only accept idle nodes (space sharing, as on the
+                    // paper's SP-2).
+                    if state.exclusive > 0 {
+                        continue;
+                    }
+                    if dedicated && state.tasks > 0 {
+                        continue;
+                    }
+                    if !accepts_attr(req.hostname(), &host_value(state), vars)? {
+                        continue;
+                    }
+                    if !accepts_attr(req.os(), &Value::Str(state.decl.os.clone()), vars)? {
+                        continue;
+                    }
+                    if !accepts_attr(
+                        req.tag("speed"),
+                        &Value::Float(state.decl.speed),
+                        vars,
+                    )? {
+                        continue;
+                    }
+                    if free_mem(cluster, &reserved_mem, name) < min_mem {
+                        continue;
+                    }
+                    candidates.push(name);
+                }
+                // §4.1: "as nodes are matched, we decrease the available
+                // resources" — CPU load counts, so less-loaded nodes rank
+                // first under every strategy.
+                candidates.sort_by_key(|name| {
+                    cluster.node(name).map(|n| n.tasks).unwrap_or(0)
+                });
+                let chosen = self.pick(cluster, &reserved_mem, &candidates, min_mem);
+                let Some(chosen) = chosen else {
+                    return Err(ResourceError::NoMatch {
+                        reason: format!(
+                            "no node satisfies requirement `{}` replica {index} \
+                             (need {min_mem} MB{})",
+                            req.name,
+                            req.hostname()
+                                .map(|h| format!(", hostname {}", h.canonical()))
+                                .unwrap_or_default()
+                        ),
+                    });
+                };
+                let mut grant = min_mem;
+                if req.memory().map(TagValue::is_elastic).unwrap_or(false)
+                    && self.elastic_extra > 0.0
+                {
+                    let spare = free_mem(cluster, &reserved_mem, &chosen) - min_mem;
+                    grant += self.elastic_extra.min(spare.max(0.0));
+                }
+                let seconds = match req.seconds() {
+                    Some(v) => v.amount(vars)?,
+                    None => 0.0,
+                };
+                reserved_mem.push((chosen.clone(), grant));
+                used.insert(chosen.clone());
+                nodes.push(AllocatedNode {
+                    req: req.name.clone(),
+                    index,
+                    node: chosen,
+                    memory: grant,
+                    seconds,
+                    exclusive: dedicated,
+                });
+            }
+        }
+
+        // Build the post-binding environment so parameterized link
+        // bandwidths can see `<req>.memory` etc.
+        let mut partial = Allocation {
+            nodes,
+            links: Vec::new(),
+            variables: var_bindings(vars),
+        };
+        let link_env = partial.env();
+        let env = ChainEnv::new(&link_env, vars);
+
+        for link in &opt.links {
+            let Some(a) = partial.binding(&link.a).map(|n| n.node.clone()) else {
+                return Err(ResourceError::NoMatch {
+                    reason: format!("link references unknown requirement `{}`", link.a),
+                });
+            };
+            let Some(b) = partial.binding(&link.b).map(|n| n.node.clone()) else {
+                return Err(ResourceError::NoMatch {
+                    reason: format!("link references unknown requirement `{}`", link.b),
+                });
+            };
+            let bw = link.bandwidth.amount(&env)?;
+            if a != b {
+                let Some(state) = cluster.link(&a, &b) else {
+                    return Err(ResourceError::NoMatch {
+                        reason: format!("no link between `{a}` and `{b}`"),
+                    });
+                };
+                let already: f64 = partial
+                    .links
+                    .iter()
+                    .filter(|l| {
+                        (l.a == a && l.b == b) || (l.a == b && l.b == a)
+                    })
+                    .map(|l| l.bandwidth)
+                    .sum();
+                if state.free_bandwidth - already < bw {
+                    return Err(ResourceError::NoMatch {
+                        reason: format!(
+                            "link `{a}`-`{b}` has {:.1} Mbps free, need {bw:.1}",
+                            state.free_bandwidth - already
+                        ),
+                    });
+                }
+            }
+            partial.links.push(AllocatedLink { a, b, bandwidth: bw });
+        }
+
+        Ok(partial)
+    }
+
+    fn pick(
+        &self,
+        cluster: &Cluster,
+        reserved: &[(String, f64)],
+        candidates: &[&str],
+        need: f64,
+    ) -> Option<String> {
+        let free = |name: &str| -> f64 {
+            let base = cluster.node(name).map(|n| n.free_memory).unwrap_or(0.0);
+            let held: f64 =
+                reserved.iter().filter(|(n, _)| n == name).map(|(_, m)| *m).sum();
+            base - held
+        };
+        match self.strategy {
+            Strategy::FirstFit => candidates.first().map(|s| (*s).to_owned()),
+            Strategy::BestFit => candidates
+                .iter()
+                .min_by(|a, b| {
+                    let la = free(a) - need;
+                    let lb = free(b) - need;
+                    la.partial_cmp(&lb).unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .map(|s| (*s).to_owned()),
+            Strategy::WorstFit => candidates
+                .iter()
+                .max_by(|a, b| {
+                    free(a).partial_cmp(&free(b)).unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .map(|s| (*s).to_owned()),
+        }
+    }
+}
+
+fn host_value(state: &crate::cluster::NodeState) -> Value {
+    Value::Str(state.decl.hostname.clone())
+}
+
+fn accepts_attr(
+    tag: Option<&TagValue>,
+    attr: &Value,
+    vars: &MapEnv,
+) -> Result<bool, ResourceError> {
+    match tag {
+        None => Ok(true),
+        Some(t) => Ok(t.accepts(attr, vars)?),
+    }
+}
+
+fn min_memory(req: &NodeReq, vars: &MapEnv) -> Result<f64, ResourceError> {
+    match req.memory() {
+        None => Ok(0.0),
+        Some(TagValue::Any) => Ok(0.0),
+        Some(TagValue::AtMost(_)) => Ok(0.0),
+        Some(v) => Ok(v.amount(vars)?),
+    }
+}
+
+fn var_bindings(vars: &MapEnv) -> Vec<(String, i64)> {
+    let mut out: Vec<(String, i64)> = vars
+        .iter()
+        .filter_map(|(k, v)| v.as_i64().ok().map(|i| (k.to_owned(), i)))
+        .collect();
+    out.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harmony_rsl::listings::{FIG2A_SIMPLE, FIG2B_BAG, FIG3_DBCLIENT};
+    use harmony_rsl::schema::{parse_bundle_script, LinkDecl, NodeDecl};
+
+    fn sp2(n: usize) -> Cluster {
+        Cluster::from_rsl(&harmony_rsl::listings::sp2_cluster(n)).unwrap()
+    }
+
+    #[test]
+    fn matches_fig2a_on_sp2() {
+        let cluster = sp2(8);
+        let bundle = parse_bundle_script(FIG2A_SIMPLE).unwrap();
+        let alloc = Matcher::default()
+            .match_option(&cluster, &bundle.options[0], &MapEnv::new())
+            .unwrap();
+        assert_eq!(alloc.nodes.len(), 4);
+        assert_eq!(alloc.distinct_nodes(), 4);
+        for n in &alloc.nodes {
+            assert_eq!(n.memory, 32.0);
+            assert_eq!(n.seconds, 300.0);
+        }
+    }
+
+    #[test]
+    fn fig2a_needs_four_nodes() {
+        let cluster = sp2(3);
+        let bundle = parse_bundle_script(FIG2A_SIMPLE).unwrap();
+        let err = Matcher::default()
+            .match_option(&cluster, &bundle.options[0], &MapEnv::new())
+            .unwrap_err();
+        assert!(matches!(err, ResourceError::NoMatch { .. }));
+    }
+
+    #[test]
+    fn matches_fig2b_with_variable_binding() {
+        let cluster = sp2(8);
+        let bundle = parse_bundle_script(FIG2B_BAG).unwrap();
+        for workers in [1i64, 2, 4, 8] {
+            let mut vars = MapEnv::new();
+            vars.set("workerNodes", Value::Int(workers));
+            let alloc = Matcher::default()
+                .match_option(&cluster, &bundle.options[0], &vars)
+                .unwrap();
+            assert_eq!(alloc.nodes.len(), workers as usize);
+            // Total cycles constant across worker counts.
+            let total: f64 = alloc.nodes.iter().map(|n| n.seconds).sum();
+            assert!((total - 1200.0).abs() < 1e-6, "workers={workers} total={total}");
+            assert_eq!(alloc.variables, vec![("workerNodes".to_string(), workers)]);
+        }
+    }
+
+    fn db_cluster() -> Cluster {
+        let mut c = Cluster::new();
+        c.add_node(
+            NodeDecl::new("server", 1.0, 256.0).with_hostname("harmony.cs.umd.edu"),
+        )
+        .unwrap();
+        c.add_node(NodeDecl::new("c1", 1.0, 64.0)).unwrap();
+        c.add_link(LinkDecl::new("server", "c1", 320.0)).unwrap();
+        c
+    }
+
+    #[test]
+    fn matches_fig3_qs_pinning_server_by_hostname() {
+        let cluster = db_cluster();
+        let bundle = parse_bundle_script(FIG3_DBCLIENT).unwrap();
+        let qs = bundle.option("QS").unwrap();
+        let alloc = Matcher::default().match_option(&cluster, qs, &MapEnv::new()).unwrap();
+        assert_eq!(alloc.binding("server").unwrap().node, "server");
+        assert_eq!(alloc.binding("client").unwrap().node, "c1");
+        assert_eq!(alloc.links[0].bandwidth, 2.0);
+    }
+
+    #[test]
+    fn fig3_ds_bandwidth_is_parameterized_on_granted_memory() {
+        let cluster = db_cluster();
+        let bundle = parse_bundle_script(FIG3_DBCLIENT).unwrap();
+        let ds = bundle.option("DS").unwrap();
+        // Minimum grant (17 MB): bandwidth = 44 + 17 - 17 = 44.
+        let alloc = Matcher::default().match_option(&cluster, ds, &MapEnv::new()).unwrap();
+        assert_eq!(alloc.binding("client").unwrap().memory, 17.0);
+        assert_eq!(alloc.links[0].bandwidth, 44.0);
+        // Grant 7 MB extra (24 MB): bandwidth = 44 + 24 - 17 = 51... note
+        // the expression *increases* with memory up to the cap because it
+        // models a one-time cache fill; past the cap extra memory is moot.
+        let alloc = Matcher::new(Strategy::FirstFit)
+            .with_elastic_extra(7.0)
+            .match_option(&cluster, ds, &MapEnv::new())
+            .unwrap();
+        assert_eq!(alloc.binding("client").unwrap().memory, 24.0);
+        assert_eq!(alloc.links[0].bandwidth, 51.0);
+        // Past the cap the bandwidth term saturates.
+        let alloc = Matcher::new(Strategy::FirstFit)
+            .with_elastic_extra(30.0)
+            .match_option(&cluster, ds, &MapEnv::new())
+            .unwrap();
+        assert_eq!(alloc.binding("client").unwrap().memory, 47.0);
+        assert_eq!(alloc.links[0].bandwidth, 51.0);
+    }
+
+    #[test]
+    fn elastic_grant_is_limited_by_spare_capacity() {
+        let mut cluster = db_cluster();
+        // Shrink the client node so only 20 MB is free.
+        cluster.remove_node("c1");
+        cluster.add_node(NodeDecl::new("c1", 1.0, 20.0)).unwrap();
+        cluster.add_link(LinkDecl::new("server", "c1", 320.0)).unwrap();
+        let bundle = parse_bundle_script(FIG3_DBCLIENT).unwrap();
+        let ds = bundle.option("DS").unwrap();
+        let alloc = Matcher::new(Strategy::FirstFit)
+            .with_elastic_extra(30.0)
+            .match_option(&cluster, ds, &MapEnv::new())
+            .unwrap();
+        assert_eq!(alloc.binding("client").unwrap().memory, 20.0);
+    }
+
+    #[test]
+    fn strategies_differ_on_heterogeneous_memory() {
+        let mut c = Cluster::new();
+        c.add_node(NodeDecl::new("big", 1.0, 512.0)).unwrap();
+        c.add_node(NodeDecl::new("small", 1.0, 64.0)).unwrap();
+        let bundle = parse_bundle_script(
+            "harmonyBundle a b { {o {node w {seconds 10} {memory 32}}} }",
+        )
+        .unwrap();
+        let opt = &bundle.options[0];
+        let vars = MapEnv::new();
+        let ff = Matcher::new(Strategy::FirstFit).match_option(&c, opt, &vars).unwrap();
+        assert_eq!(ff.nodes[0].node, "big"); // name order
+        let bf = Matcher::new(Strategy::BestFit).match_option(&c, opt, &vars).unwrap();
+        assert_eq!(bf.nodes[0].node, "small");
+        let wf = Matcher::new(Strategy::WorstFit).match_option(&c, opt, &vars).unwrap();
+        assert_eq!(wf.nodes[0].node, "big");
+    }
+
+    #[test]
+    fn os_constraint_filters() {
+        let mut c = Cluster::new();
+        c.add_node(NodeDecl::new("aixbox", 1.0, 256.0).with_os("aix")).unwrap();
+        let bundle = parse_bundle_script(
+            "harmonyBundle a b { {o {node w {os linux} {seconds 1}}} }",
+        )
+        .unwrap();
+        let err = Matcher::default()
+            .match_option(&c, &bundle.options[0], &MapEnv::new())
+            .unwrap_err();
+        assert!(matches!(err, ResourceError::NoMatch { .. }));
+    }
+
+    #[test]
+    fn speed_constraint_filters() {
+        let mut c = Cluster::new();
+        c.add_node(NodeDecl::new("slow", 0.5, 256.0)).unwrap();
+        c.add_node(NodeDecl::new("fast", 2.0, 256.0)).unwrap();
+        let bundle = parse_bundle_script(
+            "harmonyBundle a b { {o {node w {speed >=1.0} {seconds 1}}} }",
+        )
+        .unwrap();
+        let alloc = Matcher::default()
+            .match_option(&c, &bundle.options[0], &MapEnv::new())
+            .unwrap();
+        assert_eq!(alloc.nodes[0].node, "fast");
+    }
+
+    #[test]
+    fn insufficient_link_bandwidth_fails() {
+        let mut c = Cluster::new();
+        c.add_node(NodeDecl::new("a", 1.0, 256.0)).unwrap();
+        c.add_node(NodeDecl::new("b", 1.0, 256.0)).unwrap();
+        c.add_link(LinkDecl::new("a", "b", 1.0)).unwrap();
+        let bundle = parse_bundle_script(
+            "harmonyBundle x y { {o {node m {seconds 1}} {node n {seconds 1}} {link m n 10}} }",
+        )
+        .unwrap();
+        let err = Matcher::default()
+            .match_option(&c, &bundle.options[0], &MapEnv::new())
+            .unwrap_err();
+        match err {
+            ResourceError::NoMatch { reason } => assert!(reason.contains("Mbps"), "{reason}"),
+            other => panic!("expected NoMatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn matcher_does_not_mutate_cluster() {
+        let cluster = sp2(8);
+        let bundle = parse_bundle_script(FIG2A_SIMPLE).unwrap();
+        let before = cluster.total_free_memory();
+        let _ = Matcher::default().match_option(&cluster, &bundle.options[0], &MapEnv::new());
+        assert_eq!(cluster.total_free_memory(), before);
+    }
+
+    #[test]
+    fn committed_match_never_overcommits_memory() {
+        let mut cluster = sp2(4);
+        let bundle = parse_bundle_script(FIG2A_SIMPLE).unwrap();
+        let mut allocs = Vec::new();
+        // Commit matches until the matcher refuses; free memory must stay
+        // non-negative throughout.
+        loop {
+            match Matcher::default().match_option(&cluster, &bundle.options[0], &MapEnv::new())
+            {
+                Ok(a) => {
+                    cluster.commit(&a).unwrap();
+                    allocs.push(a);
+                    for n in cluster.nodes() {
+                        assert!(n.free_memory >= 0.0);
+                    }
+                }
+                Err(_) => break,
+            }
+            assert!(allocs.len() <= 64, "matcher should eventually refuse");
+        }
+        assert_eq!(allocs.len(), 8); // 256 MB / 32 MB per node
+    }
+}

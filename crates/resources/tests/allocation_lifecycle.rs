@@ -1,0 +1,137 @@
+//! Allocation lifecycle integration: mixed dedicated/shared workloads,
+//! elastic grants, and capacity invariants over long churn sequences.
+
+use harmony_resources::{fragmentation, Cluster, Matcher, Strategy};
+use harmony_rsl::expr::MapEnv;
+use harmony_rsl::schema::parse_bundle_script;
+use harmony_sim::SimRng;
+
+fn sp2(n: usize) -> Cluster {
+    Cluster::from_rsl(&harmony_rsl::listings::sp2_cluster(n)).unwrap()
+}
+
+#[test]
+fn dedicated_and_shared_jobs_coexist() {
+    let mut cluster = sp2(4);
+    let matcher = Matcher::default();
+    // A dedicated 2-node parallel job...
+    let dedicated = parse_bundle_script(
+        "harmonyBundle par:1 b { {o {node w {replicate 2} {dedicated 1} {seconds 10} {memory 32}}} }",
+    )
+    .unwrap();
+    let d = matcher.match_option(&cluster, &dedicated.options[0], &MapEnv::new()).unwrap();
+    cluster.commit(&d).unwrap();
+
+    // ...leaves two nodes for shared jobs, which can stack.
+    let shared = parse_bundle_script(
+        "harmonyBundle seq:1 b { {o {node n {seconds 5} {memory 16}}} }",
+    )
+    .unwrap();
+    let mut shared_allocs = Vec::new();
+    for _ in 0..4 {
+        let a = matcher.match_option(&cluster, &shared.options[0], &MapEnv::new()).unwrap();
+        cluster.commit(&a).unwrap();
+        // Shared jobs never land on the dedicated nodes.
+        for n in &a.nodes {
+            assert!(!d.nodes.iter().any(|dn| dn.node == n.node), "stacked on dedicated");
+        }
+        shared_allocs.push(a);
+    }
+    // The two shared nodes hold two tasks each.
+    let shared_nodes: Vec<_> =
+        cluster.nodes().filter(|n| n.exclusive == 0 && n.tasks > 0).collect();
+    assert_eq!(shared_nodes.len(), 2);
+    assert!(shared_nodes.iter().all(|n| n.tasks == 2));
+
+    // Releasing the dedicated job reopens its nodes.
+    cluster.release(&d).unwrap();
+    let a = matcher.match_option(&cluster, &shared.options[0], &MapEnv::new()).unwrap();
+    assert!(
+        d.nodes.iter().any(|dn| dn.node == a.nodes[0].node),
+        "freed dedicated node is least-loaded and gets picked"
+    );
+}
+
+#[test]
+fn another_dedicated_job_cannot_share_dedicated_nodes() {
+    let mut cluster = sp2(2);
+    let matcher = Matcher::default();
+    let spec = parse_bundle_script(
+        "harmonyBundle par:1 b { {o {node w {replicate 2} {dedicated 1} {seconds 1} {memory 1}}} }",
+    )
+    .unwrap();
+    let first = matcher.match_option(&cluster, &spec.options[0], &MapEnv::new()).unwrap();
+    cluster.commit(&first).unwrap();
+    assert!(matcher.match_option(&cluster, &spec.options[0], &MapEnv::new()).is_err());
+}
+
+#[test]
+fn elastic_grant_shrinks_when_capacity_is_tight() {
+    let mut cluster = Cluster::from_rsl(
+        "harmonyNode only {speed 1.0} {memory 100}",
+    )
+    .unwrap();
+    let spec = parse_bundle_script(
+        "harmonyBundle a b { {o {node n {memory >=20} {seconds 1}}} }",
+    )
+    .unwrap();
+    let matcher = Matcher::new(Strategy::FirstFit).with_elastic_extra(60.0);
+    // First job: 20 + 60 elastic = 80 MB.
+    let first = matcher.match_option(&cluster, &spec.options[0], &MapEnv::new()).unwrap();
+    assert_eq!(first.nodes[0].memory, 80.0);
+    cluster.commit(&first).unwrap();
+    // Second job: only 20 MB free — the elastic part shrinks to fit.
+    let second = matcher.match_option(&cluster, &spec.options[0], &MapEnv::new()).unwrap();
+    assert_eq!(second.nodes[0].memory, 20.0);
+    cluster.commit(&second).unwrap();
+    assert_eq!(cluster.node("only").unwrap().free_memory, 0.0);
+    // A third job cannot fit at all.
+    assert!(matcher.match_option(&cluster, &spec.options[0], &MapEnv::new()).is_err());
+}
+
+#[test]
+fn long_churn_preserves_every_capacity_counter() {
+    let mut cluster = sp2(6);
+    let matcher = Matcher::default();
+    let mut rng = SimRng::seed(2024);
+    let specs: Vec<_> = [
+        "harmonyBundle a b { {o {node n {seconds 1} {memory 24}}} }",
+        "harmonyBundle a b { {o {node w {replicate 2} {seconds 1} {memory 40}}} }",
+        "harmonyBundle a b { {o {node w {replicate 3} {dedicated 1} {seconds 1} {memory 8}}} }",
+    ]
+    .iter()
+    .map(|s| parse_bundle_script(s).unwrap())
+    .collect();
+
+    let total_memory = cluster.total_memory();
+    let mut live = Vec::new();
+    for _ in 0..300 {
+        if live.is_empty() || rng.chance(0.55) {
+            let spec = &specs[rng.uniform_int(0, 2) as usize];
+            if let Ok(a) =
+                matcher.match_option(&cluster, &spec.options[0], &MapEnv::new())
+            {
+                cluster.commit(&a).unwrap();
+                live.push(a);
+            }
+        } else {
+            let idx = rng.uniform_int(0, live.len() as i64 - 1) as usize;
+            let a = live.swap_remove(idx);
+            cluster.release(&a).unwrap();
+        }
+        // Invariants after every step.
+        let reserved: f64 = live.iter().map(|a| a.total_memory()).sum();
+        assert!((total_memory - cluster.total_free_memory() - reserved).abs() < 1e-6);
+        let tasks: u32 = live.iter().map(|a| a.nodes.len() as u32).sum();
+        assert_eq!(cluster.total_tasks(), tasks);
+        let frag = fragmentation(&cluster);
+        assert!((0.0..=1.0).contains(&frag.external_fragmentation));
+        assert!((0.0..=1.0).contains(&frag.utilization));
+    }
+    for a in live.drain(..) {
+        cluster.release(&a).unwrap();
+    }
+    assert_eq!(cluster.total_free_memory(), total_memory);
+    assert_eq!(cluster.total_tasks(), 0);
+    assert!(cluster.nodes().all(|n| n.exclusive == 0));
+}

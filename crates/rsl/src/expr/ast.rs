@@ -1,0 +1,230 @@
+//! Abstract syntax tree for RSL expressions.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Binary operators, in increasing precedence groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BinOp {
+    /// `||`
+    Or,
+    /// `&&`
+    And,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+}
+
+impl BinOp {
+    /// The surface syntax of the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Or => "||",
+            BinOp::And => "&&",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "%",
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UnOp {
+    /// Arithmetic negation `-`.
+    Neg,
+    /// Logical not `!`.
+    Not,
+}
+
+/// An expression tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal.
+    Str(String),
+    /// A (possibly dotted) name resolved against the evaluation
+    /// environment, e.g. `workerNodes` or `client.memory`.
+    Name(String),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Ternary conditional `cond ? then : else`.
+    Ternary(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// Builtin function call, e.g. `min(a, b)`.
+    Call(String, Vec<Expr>),
+}
+
+impl Expr {
+    /// Collects every free name referenced by the expression, in first-use
+    /// order without duplicates. Useful for dependency analysis (e.g. which
+    /// allocation values a parameterized tag depends on).
+    pub fn free_names(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_names(&mut out);
+        out
+    }
+
+    fn collect_names(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Int(_) | Expr::Float(_) | Expr::Str(_) => {}
+            Expr::Name(n) => {
+                if !out.iter().any(|x| x == n) {
+                    out.push(n.clone());
+                }
+            }
+            Expr::Unary(_, e) => e.collect_names(out),
+            Expr::Binary(_, a, b) => {
+                a.collect_names(out);
+                b.collect_names(out);
+            }
+            Expr::Ternary(c, t, e) => {
+                c.collect_names(out);
+                t.collect_names(out);
+                e.collect_names(out);
+            }
+            Expr::Call(_, args) => {
+                for a in args {
+                    a.collect_names(out);
+                }
+            }
+        }
+    }
+
+    /// True when the expression contains no free names (and therefore can be
+    /// evaluated in the empty environment).
+    pub fn is_constant(&self) -> bool {
+        self.free_names().is_empty()
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Int(i) => write!(f, "{i}"),
+            Expr::Float(x) => {
+                if x.fract() == 0.0 && x.abs() < 1e15 {
+                    write!(f, "{x:.1}")
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+            Expr::Str(s) => write!(f, "\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\"")),
+            Expr::Name(n) => write!(f, "{n}"),
+            Expr::Unary(op, e) => {
+                let sym = match op {
+                    UnOp::Neg => "-",
+                    UnOp::Not => "!",
+                };
+                write!(f, "{sym}({e})")
+            }
+            Expr::Binary(op, a, b) => write!(f, "({a} {} {b})", op.symbol()),
+            Expr::Ternary(c, t, e) => write!(f, "({c} ? {t} : {e})"),
+            Expr::Call(name, args) => {
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn free_names_deduplicates_in_order() {
+        let e = Expr::Binary(
+            BinOp::Add,
+            Box::new(Expr::Name("a".into())),
+            Box::new(Expr::Binary(
+                BinOp::Mul,
+                Box::new(Expr::Name("b".into())),
+                Box::new(Expr::Name("a".into())),
+            )),
+        );
+        assert_eq!(e.free_names(), vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn is_constant() {
+        assert!(Expr::Int(3).is_constant());
+        assert!(!Expr::Name("x".into()).is_constant());
+        let call = Expr::Call("min".into(), vec![Expr::Int(1), Expr::Name("n".into())]);
+        assert!(!call.is_constant());
+    }
+
+    #[test]
+    fn display_round_trips_through_parser() {
+        use crate::expr::parse_expr;
+        let e = parse_expr("44 + (client.memory > 24 ? 24 : client.memory) - 17").unwrap();
+        let reparsed = parse_expr(&e.to_string()).unwrap();
+        assert_eq!(e, reparsed);
+    }
+
+    #[test]
+    fn display_escapes_strings() {
+        let e = Expr::Str("a\"b".into());
+        assert_eq!(e.to_string(), "\"a\\\"b\"");
+    }
+
+    #[test]
+    fn symbols_cover_all_ops() {
+        let ops = [
+            BinOp::Or,
+            BinOp::And,
+            BinOp::Eq,
+            BinOp::Ne,
+            BinOp::Lt,
+            BinOp::Le,
+            BinOp::Gt,
+            BinOp::Ge,
+            BinOp::Add,
+            BinOp::Sub,
+            BinOp::Mul,
+            BinOp::Div,
+            BinOp::Rem,
+        ];
+        for op in ops {
+            assert!(!op.symbol().is_empty());
+        }
+    }
+}

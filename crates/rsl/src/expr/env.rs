@@ -1,0 +1,206 @@
+//! Evaluation environments: how free names in expressions are resolved.
+//!
+//! Names may be simple (`workerNodes`) or dotted (`client.memory`). Dotted
+//! names are how an option's parameterized tags reference the resources
+//! Harmony actually allocated — the naming scheme of §3.2 of the paper.
+
+use std::collections::HashMap;
+
+use crate::value::Value;
+
+/// Resolves free names to values during expression evaluation.
+///
+/// Implementors should return `None` (not an error) for unknown names; the
+/// evaluator converts that into [`crate::RslError::UnboundName`] with the
+/// full dotted name, which gives better diagnostics than implementors could.
+pub trait Env {
+    /// Looks up a (possibly dotted) name.
+    fn lookup(&self, name: &str) -> Option<Value>;
+}
+
+/// The empty environment: every lookup fails. Useful for evaluating constant
+/// expressions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EmptyEnv;
+
+impl Env for EmptyEnv {
+    fn lookup(&self, _name: &str) -> Option<Value> {
+        None
+    }
+}
+
+/// A hash-map backed environment.
+///
+/// # Examples
+///
+/// ```
+/// use harmony_rsl::expr::{Env, MapEnv};
+/// use harmony_rsl::Value;
+///
+/// let mut env = MapEnv::new();
+/// env.set("client.memory", Value::Int(20));
+/// assert_eq!(env.lookup("client.memory"), Some(Value::Int(20)));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MapEnv {
+    vars: HashMap<String, Value>,
+}
+
+impl MapEnv {
+    /// Creates an empty environment.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Binds `name` to `value`, returning the previous binding if any.
+    pub fn set(&mut self, name: impl Into<String>, value: Value) -> Option<Value> {
+        self.vars.insert(name.into(), value)
+    }
+
+    /// Removes a binding.
+    pub fn unset(&mut self, name: &str) -> Option<Value> {
+        self.vars.remove(name)
+    }
+
+    /// Number of bindings.
+    pub fn len(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// True when no names are bound.
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty()
+    }
+
+    /// Iterates over `(name, value)` pairs in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
+        self.vars.iter().map(|(k, v)| (k.as_str(), v))
+    }
+}
+
+impl Env for MapEnv {
+    fn lookup(&self, name: &str) -> Option<Value> {
+        self.vars.get(name).cloned()
+    }
+}
+
+impl FromIterator<(String, Value)> for MapEnv {
+    fn from_iter<T: IntoIterator<Item = (String, Value)>>(iter: T) -> Self {
+        MapEnv { vars: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<(String, Value)> for MapEnv {
+    fn extend<T: IntoIterator<Item = (String, Value)>>(&mut self, iter: T) {
+        self.vars.extend(iter);
+    }
+}
+
+/// Chains two environments: the first shadowing the second.
+///
+/// Used by the controller to layer option-local bindings (the option's own
+/// variables) over application-global and system-global bindings.
+#[derive(Debug, Clone, Copy)]
+pub struct ChainEnv<'a, A: ?Sized, B: ?Sized> {
+    first: &'a A,
+    second: &'a B,
+}
+
+impl<'a, A: Env + ?Sized, B: Env + ?Sized> ChainEnv<'a, A, B> {
+    /// Builds a chained environment where `first` shadows `second`.
+    pub fn new(first: &'a A, second: &'a B) -> Self {
+        ChainEnv { first, second }
+    }
+}
+
+impl<A: Env + ?Sized, B: Env + ?Sized> Env for ChainEnv<'_, A, B> {
+    fn lookup(&self, name: &str) -> Option<Value> {
+        self.first.lookup(name).or_else(|| self.second.lookup(name))
+    }
+}
+
+impl<E: Env + ?Sized> Env for &E {
+    fn lookup(&self, name: &str) -> Option<Value> {
+        (**self).lookup(name)
+    }
+}
+
+/// An environment backed by a closure — handy in tests and for lazily
+/// computed values.
+pub struct FnEnv<F>(pub F);
+
+impl<F> Env for FnEnv<F>
+where
+    F: Fn(&str) -> Option<Value>,
+{
+    fn lookup(&self, name: &str) -> Option<Value> {
+        (self.0)(name)
+    }
+}
+
+impl<F> std::fmt::Debug for FnEnv<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("FnEnv(..)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_env_set_get_unset() {
+        let mut env = MapEnv::new();
+        assert!(env.is_empty());
+        assert_eq!(env.set("x", Value::Int(1)), None);
+        assert_eq!(env.set("x", Value::Int(2)), Some(Value::Int(1)));
+        assert_eq!(env.lookup("x"), Some(Value::Int(2)));
+        assert_eq!(env.len(), 1);
+        assert_eq!(env.unset("x"), Some(Value::Int(2)));
+        assert_eq!(env.lookup("x"), None);
+    }
+
+    #[test]
+    fn chain_env_shadows() {
+        let mut a = MapEnv::new();
+        let mut b = MapEnv::new();
+        a.set("x", Value::Int(1));
+        b.set("x", Value::Int(2));
+        b.set("y", Value::Int(3));
+        let chained = ChainEnv::new(&a, &b);
+        assert_eq!(chained.lookup("x"), Some(Value::Int(1)));
+        assert_eq!(chained.lookup("y"), Some(Value::Int(3)));
+        assert_eq!(chained.lookup("z"), None);
+    }
+
+    #[test]
+    fn fn_env_delegates() {
+        let env = FnEnv(|name: &str| {
+            if name == "n" {
+                Some(Value::Int(8))
+            } else {
+                None
+            }
+        });
+        assert_eq!(env.lookup("n"), Some(Value::Int(8)));
+        assert_eq!(env.lookup("m"), None);
+        assert_eq!(format!("{env:?}"), "FnEnv(..)");
+    }
+
+    #[test]
+    fn map_env_from_iterator() {
+        let env: MapEnv =
+            vec![("a".to_string(), Value::Int(1)), ("b".to_string(), Value::Int(2))]
+                .into_iter()
+                .collect();
+        assert_eq!(env.len(), 2);
+        let mut env2 = env.clone();
+        env2.extend(vec![("c".to_string(), Value::Int(3))]);
+        assert_eq!(env2.len(), 3);
+    }
+
+    #[test]
+    fn empty_env_always_misses() {
+        assert_eq!(EmptyEnv.lookup("anything"), None);
+    }
+}

@@ -1,0 +1,356 @@
+//! Recursive-descent parser for RSL expressions.
+//!
+//! Grammar (lowest to highest precedence):
+//!
+//! ```text
+//! expr    := or ('?' expr ':' expr)?
+//! or      := and ('||' and)*
+//! and     := cmp ('&&' cmp)*
+//! cmp     := add (('=='|'!='|'<'|'<='|'>'|'>=') add)?
+//! add     := mul (('+'|'-') mul)*
+//! mul     := unary (('*'|'/'|'%') unary)*
+//! unary   := ('-'|'!') unary | primary
+//! primary := INT | FLOAT | STRING | NAME ('(' args ')')? | '(' expr ')'
+//! ```
+//!
+//! Comparison is non-associative (as in C's warning-free subset): chains
+//! like `a < b < c` are rejected, which catches a common spec bug where the
+//! author meant `a < b && b < c`.
+
+use crate::error::{Pos, Result, RslError};
+use crate::expr::ast::{BinOp, Expr, UnOp};
+use crate::expr::token::{tokenize, Spanned, Tok};
+
+struct Parser<'s> {
+    src: &'s str,
+    toks: Vec<Spanned>,
+    pos: usize,
+}
+
+impl<'s> Parser<'s> {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|s| &s.tok)
+    }
+
+    fn advance(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|s| s.tok.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn here(&self) -> Pos {
+        let offset = self
+            .toks
+            .get(self.pos)
+            .map(|s| s.offset)
+            .unwrap_or_else(|| self.src.len());
+        Pos::at(self.src, offset)
+    }
+
+    fn found(&self) -> String {
+        match self.peek() {
+            Some(t) => t.describe(),
+            None => "end of input".into(),
+        }
+    }
+
+    fn expect(&mut self, tok: Tok, expected: &'static str) -> Result<()> {
+        if self.peek() == Some(&tok) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(RslError::ExpectedToken { expected, found: self.found(), pos: self.here() })
+        }
+    }
+
+    fn ternary(&mut self) -> Result<Expr> {
+        let cond = self.or()?;
+        if self.peek() == Some(&Tok::Question) {
+            self.pos += 1;
+            let then = self.ternary()?;
+            self.expect(Tok::Colon, "`:`")?;
+            let els = self.ternary()?;
+            Ok(Expr::Ternary(Box::new(cond), Box::new(then), Box::new(els)))
+        } else {
+            Ok(cond)
+        }
+    }
+
+    fn or(&mut self) -> Result<Expr> {
+        let mut lhs = self.and()?;
+        while self.peek() == Some(&Tok::OrOr) {
+            self.pos += 1;
+            let rhs = self.and()?;
+            lhs = Expr::Binary(BinOp::Or, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and(&mut self) -> Result<Expr> {
+        let mut lhs = self.cmp()?;
+        while self.peek() == Some(&Tok::AndAnd) {
+            self.pos += 1;
+            let rhs = self.cmp()?;
+            lhs = Expr::Binary(BinOp::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_op(&self) -> Option<BinOp> {
+        match self.peek() {
+            Some(Tok::EqEq) => Some(BinOp::Eq),
+            Some(Tok::NotEq) => Some(BinOp::Ne),
+            Some(Tok::Lt) => Some(BinOp::Lt),
+            Some(Tok::Le) => Some(BinOp::Le),
+            Some(Tok::Gt) => Some(BinOp::Gt),
+            Some(Tok::Ge) => Some(BinOp::Ge),
+            _ => None,
+        }
+    }
+
+    fn cmp(&mut self) -> Result<Expr> {
+        let lhs = self.add()?;
+        if let Some(op) = self.cmp_op() {
+            self.pos += 1;
+            let rhs = self.add()?;
+            // Reject chained comparisons: `a < b < c` is almost always a bug.
+            if self.cmp_op().is_some() {
+                return Err(RslError::ExpectedToken {
+                    expected: "no chained comparison (use `&&`)",
+                    found: self.found(),
+                    pos: self.here(),
+                });
+            }
+            Ok(Expr::Binary(op, Box::new(lhs), Box::new(rhs)))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn add(&mut self) -> Result<Expr> {
+        let mut lhs = self.mul()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Plus) => BinOp::Add,
+                Some(Tok::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.mul()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn mul(&mut self) -> Result<Expr> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Star) => BinOp::Mul,
+                Some(Tok::Slash) => BinOp::Div,
+                Some(Tok::Percent) => BinOp::Rem,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.unary()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr> {
+        match self.peek() {
+            Some(Tok::Minus) => {
+                self.pos += 1;
+                Ok(Expr::Unary(UnOp::Neg, Box::new(self.unary()?)))
+            }
+            Some(Tok::Bang) => {
+                self.pos += 1;
+                Ok(Expr::Unary(UnOp::Not, Box::new(self.unary()?)))
+            }
+            _ => self.primary(),
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        match self.advance() {
+            Some(Tok::Int(i)) => Ok(Expr::Int(i)),
+            Some(Tok::Float(x)) => Ok(Expr::Float(x)),
+            Some(Tok::Str(s)) => Ok(Expr::Str(s)),
+            Some(Tok::Name(n)) => {
+                if self.peek() == Some(&Tok::LParen) {
+                    self.pos += 1;
+                    let mut args = Vec::new();
+                    if self.peek() != Some(&Tok::RParen) {
+                        loop {
+                            args.push(self.ternary()?);
+                            if self.peek() == Some(&Tok::Comma) {
+                                self.pos += 1;
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(Tok::RParen, "`)`")?;
+                    Ok(Expr::Call(n, args))
+                } else {
+                    Ok(Expr::Name(n))
+                }
+            }
+            Some(Tok::LParen) => {
+                let e = self.ternary()?;
+                self.expect(Tok::RParen, "`)`")?;
+                Ok(e)
+            }
+            other => Err(RslError::ExpectedToken {
+                expected: "a value",
+                found: other.map(|t| t.describe()).unwrap_or_else(|| "end of input".into()),
+                pos: self.here(),
+            }),
+        }
+    }
+}
+
+/// Parses an expression string into an [`Expr`].
+///
+/// # Errors
+///
+/// Returns tokenizer errors and [`RslError::ExpectedToken`] for grammar
+/// violations (including trailing tokens after a complete expression).
+///
+/// # Examples
+///
+/// ```
+/// use harmony_rsl::expr::parse_expr;
+/// let e = parse_expr("44 + (client.memory > 24 ? 24 : client.memory) - 17")?;
+/// assert_eq!(e.free_names(), vec!["client.memory".to_string()]);
+/// # Ok::<(), harmony_rsl::RslError>(())
+/// ```
+pub fn parse_expr(src: &str) -> Result<Expr> {
+    let toks = tokenize(src)?;
+    let mut p = Parser { src, toks, pos: 0 };
+    let e = p.ternary()?;
+    if p.peek().is_some() {
+        return Err(RslError::ExpectedToken {
+            expected: "end of expression",
+            found: p.found(),
+            pos: p.here(),
+        });
+    }
+    Ok(e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let e = parse_expr("1 + 2 * 3").unwrap();
+        assert_eq!(
+            e,
+            Expr::Binary(
+                BinOp::Add,
+                Box::new(Expr::Int(1)),
+                Box::new(Expr::Binary(
+                    BinOp::Mul,
+                    Box::new(Expr::Int(2)),
+                    Box::new(Expr::Int(3))
+                )),
+            )
+        );
+    }
+
+    #[test]
+    fn left_associativity_of_sub() {
+        let e = parse_expr("10 - 3 - 2").unwrap();
+        // (10 - 3) - 2
+        assert_eq!(e.to_string(), "((10 - 3) - 2)");
+    }
+
+    #[test]
+    fn parens_override() {
+        let e = parse_expr("(1 + 2) * 3").unwrap();
+        assert_eq!(e.to_string(), "((1 + 2) * 3)");
+    }
+
+    #[test]
+    fn ternary_is_right_associative() {
+        let e = parse_expr("a ? 1 : b ? 2 : 3").unwrap();
+        assert_eq!(e.to_string(), "(a ? 1 : (b ? 2 : 3))");
+    }
+
+    #[test]
+    fn nested_ternary_in_then_branch() {
+        let e = parse_expr("a ? b ? 1 : 2 : 3").unwrap();
+        assert_eq!(e.to_string(), "(a ? (b ? 1 : 2) : 3)");
+    }
+
+    #[test]
+    fn logical_precedence() {
+        let e = parse_expr("a || b && c").unwrap();
+        assert_eq!(e.to_string(), "(a || (b && c))");
+    }
+
+    #[test]
+    fn comparison_binds_tighter_than_logic() {
+        let e = parse_expr("a < 2 && b > 3").unwrap();
+        assert_eq!(e.to_string(), "((a < 2) && (b > 3))");
+    }
+
+    #[test]
+    fn chained_comparison_rejected() {
+        assert!(parse_expr("a < b < c").is_err());
+    }
+
+    #[test]
+    fn call_with_args() {
+        let e = parse_expr("min(a, 2 + 3)").unwrap();
+        assert_eq!(
+            e,
+            Expr::Call(
+                "min".into(),
+                vec![
+                    Expr::Name("a".into()),
+                    Expr::Binary(BinOp::Add, Box::new(Expr::Int(2)), Box::new(Expr::Int(3))),
+                ]
+            )
+        );
+    }
+
+    #[test]
+    fn call_with_no_args() {
+        let e = parse_expr("rand()").unwrap();
+        assert_eq!(e, Expr::Call("rand".into(), vec![]));
+    }
+
+    #[test]
+    fn unary_stacking() {
+        let e = parse_expr("--1").unwrap();
+        assert_eq!(e.to_string(), "-(-(1))");
+        let e = parse_expr("!!x").unwrap();
+        assert_eq!(e.to_string(), "!(!(x))");
+    }
+
+    #[test]
+    fn trailing_tokens_rejected() {
+        assert!(parse_expr("1 + 2 3").is_err());
+        assert!(parse_expr("1 +").is_err());
+        assert!(parse_expr("").is_err());
+        assert!(parse_expr("(1").is_err());
+    }
+
+    #[test]
+    fn fig3_expression_parses() {
+        let e = parse_expr("44 + (client.memory > 24 ? 24 : client.memory) - 17").unwrap();
+        assert_eq!(e.free_names(), vec!["client.memory".to_string()]);
+    }
+
+    #[test]
+    fn fig2b_expressions_parse() {
+        assert!(parse_expr("1200 / workerNodes").is_ok());
+        assert!(parse_expr("0.5 * workerNodes * workerNodes").is_ok());
+    }
+}

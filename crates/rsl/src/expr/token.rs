@@ -1,0 +1,415 @@
+//! Tokenizer for the RSL expression sublanguage.
+
+use crate::error::{Pos, Result, RslError};
+
+/// A single expression token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// A double-quoted string literal.
+    Str(String),
+    /// A (possibly dotted) identifier such as `workerNodes` or
+    /// `client.memory`.
+    Name(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `?`
+    Question,
+    /// `:`
+    Colon,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Bang,
+}
+
+impl Tok {
+    /// Human-readable description used in error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            Tok::Int(i) => format!("integer `{i}`"),
+            Tok::Float(x) => format!("float `{x}`"),
+            Tok::Str(s) => format!("string \"{s}\""),
+            Tok::Name(n) => format!("name `{n}`"),
+            Tok::LParen => "`(`".into(),
+            Tok::RParen => "`)`".into(),
+            Tok::Comma => "`,`".into(),
+            Tok::Question => "`?`".into(),
+            Tok::Colon => "`:`".into(),
+            Tok::Plus => "`+`".into(),
+            Tok::Minus => "`-`".into(),
+            Tok::Star => "`*`".into(),
+            Tok::Slash => "`/`".into(),
+            Tok::Percent => "`%`".into(),
+            Tok::EqEq => "`==`".into(),
+            Tok::NotEq => "`!=`".into(),
+            Tok::Lt => "`<`".into(),
+            Tok::Le => "`<=`".into(),
+            Tok::Gt => "`>`".into(),
+            Tok::Ge => "`>=`".into(),
+            Tok::AndAnd => "`&&`".into(),
+            Tok::OrOr => "`||`".into(),
+            Tok::Bang => "`!`".into(),
+        }
+    }
+}
+
+/// A token plus the byte offset where it started (for diagnostics).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// Byte offset into the expression source.
+    pub offset: usize,
+}
+
+fn is_name_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_' || c == '$'
+}
+
+fn is_name_continue(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_' || c == '.'
+}
+
+/// Tokenizes an expression string.
+///
+/// # Errors
+///
+/// Returns [`RslError::BadChar`] on unknown characters, [`RslError::BadNumber`]
+/// on malformed numeric literals, and [`RslError::Unterminated`] on an
+/// unclosed string literal.
+pub fn tokenize(src: &str) -> Result<Vec<Spanned>> {
+    let mut toks = Vec::new();
+    let chars: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        let tok = match c {
+            '(' => {
+                i += 1;
+                Tok::LParen
+            }
+            ')' => {
+                i += 1;
+                Tok::RParen
+            }
+            ',' => {
+                i += 1;
+                Tok::Comma
+            }
+            '?' => {
+                i += 1;
+                Tok::Question
+            }
+            ':' => {
+                i += 1;
+                Tok::Colon
+            }
+            '+' => {
+                i += 1;
+                Tok::Plus
+            }
+            '-' => {
+                i += 1;
+                Tok::Minus
+            }
+            '*' => {
+                i += 1;
+                Tok::Star
+            }
+            '/' => {
+                i += 1;
+                Tok::Slash
+            }
+            '%' => {
+                i += 1;
+                Tok::Percent
+            }
+            '=' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    i += 2;
+                    Tok::EqEq
+                } else {
+                    return Err(RslError::BadChar { ch: '=', pos: Pos::at(src, start) });
+                }
+            }
+            '!' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    i += 2;
+                    Tok::NotEq
+                } else {
+                    i += 1;
+                    Tok::Bang
+                }
+            }
+            '<' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    i += 2;
+                    Tok::Le
+                } else {
+                    i += 1;
+                    Tok::Lt
+                }
+            }
+            '>' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    i += 2;
+                    Tok::Ge
+                } else {
+                    i += 1;
+                    Tok::Gt
+                }
+            }
+            '&' => {
+                if chars.get(i + 1) == Some(&'&') {
+                    i += 2;
+                    Tok::AndAnd
+                } else {
+                    return Err(RslError::BadChar { ch: '&', pos: Pos::at(src, start) });
+                }
+            }
+            '|' => {
+                if chars.get(i + 1) == Some(&'|') {
+                    i += 2;
+                    Tok::OrOr
+                } else {
+                    return Err(RslError::BadChar { ch: '|', pos: Pos::at(src, start) });
+                }
+            }
+            '"' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match chars.get(i) {
+                        None => {
+                            return Err(RslError::Unterminated {
+                                what: "\"",
+                                pos: Pos::at(src, start),
+                            })
+                        }
+                        Some('"') => {
+                            i += 1;
+                            break;
+                        }
+                        Some('\\') => {
+                            if let Some(&next) = chars.get(i + 1) {
+                                s.push(next);
+                                i += 2;
+                            } else {
+                                return Err(RslError::Unterminated {
+                                    what: "\"",
+                                    pos: Pos::at(src, start),
+                                });
+                            }
+                        }
+                        Some(&ch) => {
+                            s.push(ch);
+                            i += 1;
+                        }
+                    }
+                }
+                Tok::Str(s)
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i;
+                let mut seen_dot = false;
+                let mut seen_exp = false;
+                while j < chars.len() {
+                    let d = chars[j];
+                    if d.is_ascii_digit() {
+                        j += 1;
+                    } else if d == '.' && !seen_dot && !seen_exp {
+                        // A dot followed by a digit is a decimal point; a dot
+                        // followed by a letter would be a dotted name, which
+                        // cannot start with a digit, so treat as decimal
+                        // anyway and let parse fail for diagnostics.
+                        seen_dot = true;
+                        j += 1;
+                    } else if (d == 'e' || d == 'E') && !seen_exp {
+                        seen_exp = true;
+                        j += 1;
+                        if matches!(chars.get(j), Some('+') | Some('-')) {
+                            j += 1;
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                let text: String = chars[i..j].iter().collect();
+                i = j;
+                if seen_dot || seen_exp {
+                    match text.parse::<f64>() {
+                        Ok(x) => Tok::Float(x),
+                        Err(_) => {
+                            return Err(RslError::BadNumber { text, pos: Pos::at(src, start) })
+                        }
+                    }
+                } else {
+                    match text.parse::<i64>() {
+                        Ok(v) => Tok::Int(v),
+                        Err(_) => {
+                            return Err(RslError::BadNumber { text, pos: Pos::at(src, start) })
+                        }
+                    }
+                }
+            }
+            c if is_name_start(c) => {
+                let mut j = i;
+                // `$name` is accepted as an alias for `name` (TCL habit).
+                if chars[j] == '$' {
+                    j += 1;
+                }
+                let name_start = j;
+                while j < chars.len() && is_name_continue(chars[j]) {
+                    j += 1;
+                }
+                let text: String = chars[name_start..j].iter().collect();
+                i = j;
+                if text.is_empty() {
+                    return Err(RslError::BadChar { ch: '$', pos: Pos::at(src, start) });
+                }
+                Tok::Name(text)
+            }
+            other => return Err(RslError::BadChar { ch: other, pos: Pos::at(src, start) }),
+        };
+        toks.push(Spanned { tok, offset: start });
+    }
+    Ok(toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        tokenize(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn tokenizes_arithmetic() {
+        assert_eq!(
+            toks("1 + 2.5 * x"),
+            vec![Tok::Int(1), Tok::Plus, Tok::Float(2.5), Tok::Star, Tok::Name("x".into())]
+        );
+    }
+
+    #[test]
+    fn tokenizes_dotted_names() {
+        assert_eq!(toks("client.memory"), vec![Tok::Name("client.memory".into())]);
+    }
+
+    #[test]
+    fn dollar_prefix_is_stripped() {
+        assert_eq!(toks("$workerNodes"), vec![Tok::Name("workerNodes".into())]);
+    }
+
+    #[test]
+    fn tokenizes_comparisons_and_logic() {
+        assert_eq!(
+            toks("a >= 2 && b != 3 || !c"),
+            vec![
+                Tok::Name("a".into()),
+                Tok::Ge,
+                Tok::Int(2),
+                Tok::AndAnd,
+                Tok::Name("b".into()),
+                Tok::NotEq,
+                Tok::Int(3),
+                Tok::OrOr,
+                Tok::Bang,
+                Tok::Name("c".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn tokenizes_ternary() {
+        assert_eq!(
+            toks("a ? 1 : 2"),
+            vec![Tok::Name("a".into()), Tok::Question, Tok::Int(1), Tok::Colon, Tok::Int(2)]
+        );
+    }
+
+    #[test]
+    fn tokenizes_the_fig3_bandwidth_expression() {
+        let src = "44 + (client.memory > 24 ? 24 : client.memory) - 17";
+        assert_eq!(toks(src).len(), 13);
+    }
+
+    #[test]
+    fn tokenizes_string_literals() {
+        assert_eq!(toks(r#"os == "linux""#), vec![
+            Tok::Name("os".into()),
+            Tok::EqEq,
+            Tok::Str("linux".into()),
+        ]);
+    }
+
+    #[test]
+    fn scientific_notation() {
+        assert_eq!(toks("1e3 2.5E-2"), vec![Tok::Float(1000.0), Tok::Float(0.025)]);
+    }
+
+    #[test]
+    fn bad_char_is_error() {
+        assert!(matches!(tokenize("a @ b"), Err(RslError::BadChar { ch: '@', .. })));
+        assert!(matches!(tokenize("a = b"), Err(RslError::BadChar { ch: '=', .. })));
+        assert!(matches!(tokenize("a & b"), Err(RslError::BadChar { ch: '&', .. })));
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        assert!(matches!(tokenize("\"abc"), Err(RslError::Unterminated { .. })));
+    }
+
+    #[test]
+    fn huge_integer_is_bad_number() {
+        assert!(matches!(
+            tokenize("99999999999999999999999999"),
+            Err(RslError::BadNumber { .. })
+        ));
+    }
+
+    #[test]
+    fn describe_is_nonempty_for_all_tokens() {
+        for t in toks("1 1.0 \"s\" n ( ) , ? : + - * / % == != < <= > >= && || !") {
+            assert!(!t.describe().is_empty());
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! # Harmony RSL
+//!
+//! The Harmony *resource specification language* from "Exposing Application
+//! Alternatives" (Keleher, Hollingsworth, Perković — ICDCS 1999). RSL is a
+//! TCL-flavoured language with which applications export *tuning options*
+//! (mutually exclusive configuration alternatives) to the Harmony
+//! adaptation controller, and with which nodes publish their availability.
+//!
+//! The crate is organized as three layers:
+//!
+//! * [`list`] — TCL list lexing (brace/quote words, comments);
+//! * [`expr`] — the expression sublanguage used for parameterized tag
+//!   values such as `{seconds {1200 / workerNodes}}`;
+//! * [`schema`] — the typed layer: [`schema::BundleSpec`] with options,
+//!   node and link requirements, `performance` models, `granularity` and
+//!   `friction`, plus `harmonyNode`/`harmonyLink` availability declarations.
+//!
+//! The paper's own listings are embedded in [`listings`].
+//!
+//! ## Example
+//!
+//! ```
+//! use harmony_rsl::schema::parse_bundle_script;
+//! use harmony_rsl::expr::MapEnv;
+//! use harmony_rsl::Value;
+//!
+//! let bundle = parse_bundle_script(harmony_rsl::listings::FIG3_DBCLIENT)?;
+//! let ds = bundle.option("DS").expect("data-shipping option");
+//!
+//! // The DS link bandwidth is parameterized on the client's allocated
+//! // memory: more cache displaces transfer volume, up to a 24 MB cap.
+//! let mut env = MapEnv::new();
+//! env.set("client.memory", Value::Int(20));
+//! let bw = ds.links[0].bandwidth.amount(&env)?;
+//! assert_eq!(bw, 47.0);
+//! # Ok::<(), harmony_rsl::RslError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod error;
+pub mod expr;
+pub mod list;
+pub mod listings;
+pub mod schema;
+mod value;
+
+pub use error::{Pos, Result, RslError};
+pub use value::Value;

@@ -1,0 +1,355 @@
+//! TCL-style list lexing.
+//!
+//! RSL rides on TCL list syntax: a list is a sequence of *words* separated
+//! by whitespace, where a word is either a bare run of non-whitespace
+//! characters, a brace-quoted group `{ ... }` (nesting, no substitution), or
+//! a double-quoted group `" ... "`. Backslash escapes the next character in
+//! bare and quoted words. `#` at the start of a line begins a comment that
+//! runs to the end of the line.
+//!
+//! Two views are provided:
+//!
+//! * [`split`] produces the *shallow* word list, keeping braced content as
+//!   raw text (useful for lazy/streaming handling and for expressions, which
+//!   have their own grammar);
+//! * [`parse_tree`] recursively parses braced words into a [`Node`] tree.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Pos, Result, RslError};
+
+/// One shallow word of a TCL list.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Item {
+    /// A bare (or double-quoted) word, with escapes resolved.
+    Word(String),
+    /// A brace-quoted group; the field holds the *raw* inner text, with the
+    /// outer braces stripped and inner text untouched.
+    Braced(String),
+}
+
+impl Item {
+    /// The textual content of the word regardless of quoting.
+    pub fn text(&self) -> &str {
+        match self {
+            Item::Word(s) | Item::Braced(s) => s,
+        }
+    }
+
+    /// True if this item was brace-quoted.
+    pub fn is_braced(&self) -> bool {
+        matches!(self, Item::Braced(_))
+    }
+}
+
+/// A fully parsed TCL word tree.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Node {
+    /// A leaf word.
+    Word(String),
+    /// A braced group parsed recursively into sub-nodes.
+    List(Vec<Node>),
+}
+
+impl Node {
+    /// The leaf text, if this is a [`Node::Word`].
+    pub fn word(&self) -> Option<&str> {
+        match self {
+            Node::Word(s) => Some(s),
+            Node::List(_) => None,
+        }
+    }
+
+    /// The children, if this is a [`Node::List`].
+    pub fn list(&self) -> Option<&[Node]> {
+        match self {
+            Node::List(items) => Some(items),
+            Node::Word(_) => None,
+        }
+    }
+
+    /// Renders the node back to canonical TCL text.
+    pub fn canonical(&self) -> String {
+        match self {
+            Node::Word(s) => {
+                if s.is_empty()
+                    || s.contains(|c: char| c.is_whitespace() || c == '{' || c == '}' || c == '"')
+                {
+                    format!("{{{s}}}")
+                } else {
+                    s.clone()
+                }
+            }
+            Node::List(items) => {
+                let inner = items.iter().map(Node::canonical).collect::<Vec<_>>().join(" ");
+                format!("{{{inner}}}")
+            }
+        }
+    }
+}
+
+/// Splits `src` into shallow [`Item`]s.
+///
+/// # Errors
+///
+/// Returns [`RslError::Unterminated`] for unclosed braces or quotes and
+/// [`RslError::UnexpectedClose`] for a stray `}`.
+///
+/// # Examples
+///
+/// ```
+/// use harmony_rsl::list::{split, Item};
+/// let items = split("node server {seconds 42}").unwrap();
+/// assert_eq!(items[0], Item::Word("node".into()));
+/// assert_eq!(items[2], Item::Braced("seconds 42".into()));
+/// ```
+pub fn split(src: &str) -> Result<Vec<Item>> {
+    let bytes = src.as_bytes();
+    let mut items = Vec::new();
+    let mut i = 0usize;
+    let mut at_line_start = true;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_whitespace() {
+            if c == '\n' {
+                at_line_start = true;
+            }
+            i += 1;
+            continue;
+        }
+        if c == '#' && at_line_start {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        at_line_start = false;
+        match c {
+            '{' => {
+                let start = i;
+                let mut depth = 0usize;
+                let mut j = i;
+                loop {
+                    if j >= bytes.len() {
+                        return Err(RslError::Unterminated { what: "{", pos: Pos::at(src, start) });
+                    }
+                    match bytes[j] {
+                        b'{' => depth += 1,
+                        b'}' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        b'\\' => {
+                            // Backslash inside braces escapes the next byte
+                            // (notably `\{` and `\}`).
+                            j += 1;
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                items.push(Item::Braced(src[start + 1..j].to_owned()));
+                i = j + 1;
+            }
+            '}' => {
+                return Err(RslError::UnexpectedClose { what: '}', pos: Pos::at(src, i) });
+            }
+            '"' => {
+                let start = i;
+                let mut word = String::new();
+                let mut j = i + 1;
+                loop {
+                    if j >= bytes.len() {
+                        return Err(RslError::Unterminated {
+                            what: "\"",
+                            pos: Pos::at(src, start),
+                        });
+                    }
+                    match bytes[j] {
+                        b'"' => break,
+                        b'\\' if j + 1 < bytes.len() => {
+                            word.push(bytes[j + 1] as char);
+                            j += 2;
+                            continue;
+                        }
+                        b => word.push(b as char),
+                    }
+                    j += 1;
+                }
+                items.push(Item::Word(word));
+                i = j + 1;
+            }
+            _ => {
+                let mut word = String::new();
+                let mut j = i;
+                while j < bytes.len() {
+                    let b = bytes[j];
+                    if (b as char).is_whitespace() || b == b'{' || b == b'}' {
+                        break;
+                    }
+                    if b == b'\\' && j + 1 < bytes.len() {
+                        word.push(bytes[j + 1] as char);
+                        j += 2;
+                        continue;
+                    }
+                    word.push(b as char);
+                    j += 1;
+                }
+                items.push(Item::Word(word));
+                i = j;
+            }
+        }
+    }
+    Ok(items)
+}
+
+/// Recursively parses `src` into a [`Node`] forest: every shallow braced
+/// item is re-split into children.
+///
+/// # Errors
+///
+/// Propagates the same errors as [`split`] from any nesting level.
+pub fn parse_tree(src: &str) -> Result<Vec<Node>> {
+    let items = split(src)?;
+    let mut nodes = Vec::with_capacity(items.len());
+    for item in items {
+        nodes.push(match item {
+            Item::Word(w) => Node::Word(w),
+            Item::Braced(inner) => Node::List(parse_tree(&inner)?),
+        });
+    }
+    Ok(nodes)
+}
+
+/// Renders a node forest back to canonical text (single spaces, canonical
+/// brace quoting). `parse_tree(canonicalize(nodes))` reproduces `nodes`.
+pub fn canonicalize(nodes: &[Node]) -> String {
+    nodes.iter().map(Node::canonical).collect::<Vec<_>>().join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_bare_words() {
+        let items = split("a bb  ccc").unwrap();
+        assert_eq!(
+            items,
+            vec![Item::Word("a".into()), Item::Word("bb".into()), Item::Word("ccc".into())]
+        );
+    }
+
+    #[test]
+    fn splits_braced_groups_with_nesting() {
+        let items = split("{a {b c}} d").unwrap();
+        assert_eq!(items, vec![Item::Braced("a {b c}".into()), Item::Word("d".into())]);
+    }
+
+    #[test]
+    fn splits_quoted_words() {
+        let items = split("\"hello world\" x").unwrap();
+        assert_eq!(items, vec![Item::Word("hello world".into()), Item::Word("x".into())]);
+    }
+
+    #[test]
+    fn backslash_escapes_in_bare_words() {
+        let items = split(r"a\ b c").unwrap();
+        assert_eq!(items, vec![Item::Word("a b".into()), Item::Word("c".into())]);
+    }
+
+    #[test]
+    fn backslash_escapes_braces_inside_braced() {
+        let items = split(r"{a \} b}").unwrap();
+        assert_eq!(items, vec![Item::Braced(r"a \} b".into())]);
+    }
+
+    #[test]
+    fn comments_run_to_end_of_line() {
+        let items = split("# a comment\nword # not-a-comment\n# another\nend").unwrap();
+        assert_eq!(
+            items,
+            vec![
+                Item::Word("word".into()),
+                Item::Word("#".into()),
+                Item::Word("not-a-comment".into()),
+                Item::Word("end".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_brace_is_error() {
+        let err = split("{a b").unwrap_err();
+        assert!(matches!(err, RslError::Unterminated { what: "{", .. }));
+    }
+
+    #[test]
+    fn unterminated_quote_is_error() {
+        let err = split("\"a b").unwrap_err();
+        assert!(matches!(err, RslError::Unterminated { what: "\"", .. }));
+    }
+
+    #[test]
+    fn stray_close_is_error() {
+        let err = split("a } b").unwrap_err();
+        assert!(matches!(err, RslError::UnexpectedClose { what: '}', .. }));
+    }
+
+    #[test]
+    fn parse_tree_recurses() {
+        let nodes = parse_tree("node {a {b 2}} x").unwrap();
+        assert_eq!(
+            nodes,
+            vec![
+                Node::Word("node".into()),
+                Node::List(vec![
+                    Node::Word("a".into()),
+                    Node::List(vec![Node::Word("b".into()), Node::Word("2".into())]),
+                ]),
+                Node::Word("x".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn canonical_round_trip() {
+        let src = "harmonyBundle DBclient:1 where { {QS {node server}} {DS {node client *}} }";
+        let nodes = parse_tree(src).unwrap();
+        let canon = canonicalize(&nodes);
+        let reparsed = parse_tree(&canon).unwrap();
+        assert_eq!(nodes, reparsed);
+    }
+
+    #[test]
+    fn empty_input_yields_no_items() {
+        assert!(split("").unwrap().is_empty());
+        assert!(split("   \n\t ").unwrap().is_empty());
+        assert!(parse_tree("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn empty_braces_yield_empty_list() {
+        let nodes = parse_tree("{}").unwrap();
+        assert_eq!(nodes, vec![Node::List(vec![])]);
+    }
+
+    #[test]
+    fn node_accessors() {
+        let w = Node::Word("x".into());
+        let l = Node::List(vec![w.clone()]);
+        assert_eq!(w.word(), Some("x"));
+        assert_eq!(w.list(), None);
+        assert_eq!(l.word(), None);
+        assert_eq!(l.list().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn canonical_quotes_special_words() {
+        assert_eq!(Node::Word("a b".into()).canonical(), "{a b}");
+        assert_eq!(Node::Word(String::new()).canonical(), "{}");
+        assert_eq!(Node::Word("plain".into()).canonical(), "plain");
+    }
+}

@@ -1,0 +1,107 @@
+//! The paper's RSL listings, embedded for tests, examples, and benches.
+//!
+//! The published scan garbles brace placement in Figure 3 (see DESIGN.md §4);
+//! these are the reconstructed listings, unit-tested for the semantic
+//! properties the prose asserts (QS loads the server, DS loads the client,
+//! DS client memory is elastic, DS bandwidth is parameterized on
+//! `client.memory`).
+
+/// Figure 2(a): "Simple", a generic parallel application on four
+/// processors. 300 reference-machine seconds and 32 MB per worker; the
+/// communication tag gives whole-application traffic with no specific
+/// endpoints, so the system assumes full connectivity.
+pub const FIG2A_SIMPLE: &str = "\
+harmonyBundle simple:1 config {
+  {fixed
+    {node worker {replicate 4} {seconds 300} {memory 32}}
+    {communication 100}}
+}
+";
+
+/// Figure 2(b): "Bag", a bag-of-tasks application with variable
+/// parallelism. Total computation is constant, so per-worker seconds divide
+/// by `workerNodes`; communication grows with the square of the worker
+/// count; an explicit `performance` model gives measured running times that
+/// Harmony interpolates piecewise-linearly.
+pub const FIG2B_BAG: &str = "\
+harmonyBundle bag:1 config {
+  {run
+    {variable workerNodes {1 2 4 8}}
+    {node worker {replicate workerNodes} {seconds {1200 / workerNodes}} {memory 32}}
+    {communication {0.5 * workerNodes * workerNodes}}
+    {performance {1 1200} {2 620} {4 340} {8 230}}}
+}
+";
+
+/// Figure 3: the client-server database bundle. One `where` bundle with two
+/// options: QS (query shipping — execute at the server) and DS (data
+/// shipping — execute at the client). QS consumes more server CPU; DS more
+/// client CPU plus link bandwidth that shrinks as Harmony grants the client
+/// more cache memory (up to a 24 MB cap).
+pub const FIG3_DBCLIENT: &str = "\
+harmonyBundle DBclient:1 where {
+  {QS
+    {node server {hostname harmony.cs.umd.edu} {seconds 4} {memory 20}}
+    {node client * {os linux} {seconds 1} {memory 2}}
+    {link client server 2}}
+  {DS
+    {node server {hostname harmony.cs.umd.edu} {seconds 1} {memory 20}}
+    {node client * {os linux} {memory >=17} {seconds 9}}
+    {link client server {44 + (client.memory > 24 ? 24 : client.memory) - 17}}}
+}
+";
+
+/// An 8-node SP-2-like cluster declaration used by the Figure 4 and
+/// Figure 7 experiments: uniform nodes at reference speed with 256 MB, plus
+/// a 320 Mbit/s switch (every pair connected).
+pub fn sp2_cluster(n: usize) -> String {
+    let mut out = String::new();
+    for i in 0..n {
+        out.push_str(&format!(
+            "harmonyNode node{i:02} {{speed 1.0}} {{memory 256}} {{os linux}} {{hostname node{i:02}.sp2}}\n"
+        ));
+    }
+    for i in 0..n {
+        for j in (i + 1)..n {
+            out.push_str(&format!(
+                "harmonyLink node{i:02} node{j:02} {{bandwidth 320}} {{latency 0.0001}}\n"
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{parse_bundle_script, parse_statements, Statement};
+
+    #[test]
+    fn fig2a_parses() {
+        let b = parse_bundle_script(FIG2A_SIMPLE).unwrap();
+        assert_eq!(b.app, "simple");
+        assert_eq!(b.options.len(), 1);
+    }
+
+    #[test]
+    fn fig2b_parses() {
+        let b = parse_bundle_script(FIG2B_BAG).unwrap();
+        assert_eq!(b.app, "bag");
+        assert_eq!(b.options[0].variables[0].choices, vec![1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn fig3_parses() {
+        let b = parse_bundle_script(FIG3_DBCLIENT).unwrap();
+        assert_eq!(b.option_names(), vec!["QS", "DS"]);
+    }
+
+    #[test]
+    fn sp2_cluster_declares_nodes_and_full_mesh() {
+        let stmts = parse_statements(&sp2_cluster(4)).unwrap();
+        let nodes = stmts.iter().filter(|s| matches!(s, Statement::Node(_))).count();
+        let links = stmts.iter().filter(|s| matches!(s, Statement::Link(_))).count();
+        assert_eq!(nodes, 4);
+        assert_eq!(links, 6); // 4 choose 2
+    }
+}

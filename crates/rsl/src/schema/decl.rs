@@ -1,0 +1,164 @@
+//! Resource availability declarations: `harmonyNode` and `harmonyLink`.
+//!
+//! Table 1: "harmonyNode — Resource availability" and "speed — Speed of node
+//! relative to reference node (400 MHz Pentium II)". Nodes publish their
+//! capacity as a scaling factor against that abstract reference machine;
+//! links publish bandwidth and latency (§4.1).
+
+use serde::{Deserialize, Serialize};
+
+/// The abstract reference machine all CPU requirements are expressed
+/// against: a 400 MHz Pentium II (paper §3).
+pub const REFERENCE_MACHINE: &str = "400 MHz Pentium II";
+
+/// A published node: `harmonyNode <name> {speed s} {memory m} {os o} ...`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeDecl {
+    /// Unique node name.
+    pub name: String,
+    /// Computing capacity relative to the reference machine (1.0 = a
+    /// 400 MHz Pentium II; 2.0 runs reference-machine work twice as fast).
+    pub speed: f64,
+    /// Physical memory in megabytes.
+    pub memory: f64,
+    /// Operating system label.
+    pub os: String,
+    /// Network hostname; defaults to the node name.
+    pub hostname: String,
+}
+
+impl NodeDecl {
+    /// Creates a node with the given name and capacity, defaulting `os` to
+    /// `linux` and `hostname` to the node name.
+    pub fn new(name: impl Into<String>, speed: f64, memory: f64) -> Self {
+        let name = name.into();
+        NodeDecl { hostname: name.clone(), name, speed, memory, os: "linux".into() }
+    }
+
+    /// Sets the OS label.
+    pub fn with_os(mut self, os: impl Into<String>) -> Self {
+        self.os = os.into();
+        self
+    }
+
+    /// Sets the hostname.
+    pub fn with_hostname(mut self, hostname: impl Into<String>) -> Self {
+        self.hostname = hostname.into();
+        self
+    }
+
+    /// Seconds of wall time this node needs to execute `ref_seconds` of
+    /// reference-machine CPU time (ignoring contention).
+    pub fn wall_seconds(&self, ref_seconds: f64) -> f64 {
+        if self.speed <= 0.0 {
+            f64::INFINITY
+        } else {
+            ref_seconds / self.speed
+        }
+    }
+
+    /// Canonical RSL text.
+    pub fn canonical(&self) -> String {
+        format!(
+            "harmonyNode {} {{speed {}}} {{memory {}}} {{os {}}} {{hostname {}}}",
+            self.name, self.speed, self.memory, self.os, self.hostname
+        )
+    }
+}
+
+/// A published link: `harmonyLink <a> <b> {bandwidth mbps} {latency s}`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinkDecl {
+    /// First endpoint node name.
+    pub a: String,
+    /// Second endpoint node name.
+    pub b: String,
+    /// Bandwidth in Mbit/s.
+    pub bandwidth: f64,
+    /// One-way latency in seconds.
+    pub latency: f64,
+}
+
+impl LinkDecl {
+    /// Creates a link with the given endpoints and bandwidth, with a default
+    /// 100 µs latency (LAN-class).
+    pub fn new(a: impl Into<String>, b: impl Into<String>, bandwidth: f64) -> Self {
+        LinkDecl { a: a.into(), b: b.into(), bandwidth, latency: 1e-4 }
+    }
+
+    /// Sets the latency in seconds.
+    pub fn with_latency(mut self, latency: f64) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Seconds to transfer `megabytes` of data at full bandwidth, including
+    /// one latency hit.
+    pub fn transfer_seconds(&self, megabytes: f64) -> f64 {
+        if self.bandwidth <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.latency + megabytes * 8.0 / self.bandwidth
+    }
+
+    /// Canonical RSL text.
+    pub fn canonical(&self) -> String {
+        format!(
+            "harmonyLink {} {} {{bandwidth {}}} {{latency {}}}",
+            self.a, self.b, self.bandwidth, self.latency
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_builders_and_defaults() {
+        let n = NodeDecl::new("node01", 2.0, 256.0);
+        assert_eq!(n.hostname, "node01");
+        assert_eq!(n.os, "linux");
+        let n = n.with_os("aix").with_hostname("node01.cluster");
+        assert_eq!(n.os, "aix");
+        assert_eq!(n.hostname, "node01.cluster");
+    }
+
+    #[test]
+    fn wall_seconds_scales_by_speed() {
+        let fast = NodeDecl::new("f", 2.0, 64.0);
+        let slow = NodeDecl::new("s", 0.5, 64.0);
+        assert_eq!(fast.wall_seconds(300.0), 150.0);
+        assert_eq!(slow.wall_seconds(300.0), 600.0);
+        let dead = NodeDecl::new("d", 0.0, 64.0);
+        assert!(dead.wall_seconds(1.0).is_infinite());
+    }
+
+    #[test]
+    fn link_transfer_time() {
+        // 320 Mbps SP-2 switch: 40 MB/s, so 80 MB takes ~2 s.
+        let l = LinkDecl::new("a", "b", 320.0);
+        let t = l.transfer_seconds(80.0);
+        assert!((t - 2.0001).abs() < 1e-9, "t={t}");
+        let broken = LinkDecl::new("a", "b", 0.0);
+        assert!(broken.transfer_seconds(1.0).is_infinite());
+    }
+
+    #[test]
+    fn canonical_reparses() {
+        use crate::schema::parser::{parse_statements, Statement};
+        let n = NodeDecl::new("node01", 1.5, 128.0);
+        let l = LinkDecl::new("node01", "node02", 320.0).with_latency(0.001);
+        let text = format!("{}\n{}", n.canonical(), l.canonical());
+        let stmts = parse_statements(&text).unwrap();
+        assert_eq!(stmts.len(), 2);
+        match &stmts[0] {
+            Statement::Node(decl) => assert_eq!(decl, &n),
+            other => panic!("expected node, got {other:?}"),
+        }
+        match &stmts[1] {
+            Statement::Link(decl) => assert_eq!(decl, &l),
+            other => panic!("expected link, got {other:?}"),
+        }
+    }
+}

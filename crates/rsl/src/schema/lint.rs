@@ -1,0 +1,311 @@
+//! Bundle linting: advisory diagnostics beyond hard parse errors.
+//!
+//! The schema parser rejects structurally invalid RSL; this linter catches
+//! the specifications that parse but will not behave as the author
+//! intended — an unused `variable`, a `link` naming a node that no option
+//! defines, a tag referencing an allocation value that will never be
+//! bound. Harmony's prototype silently mis-ran such bundles; a downstream
+//! user gets a list instead.
+
+use std::fmt;
+
+use crate::schema::bundle::{BundleSpec, CountSpec, OptionSpec};
+
+/// Severity of a lint finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Stylistic or probably-unintended.
+    Warning,
+    /// Will misbehave at match/evaluation time.
+    Error,
+}
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lint {
+    /// Severity.
+    pub severity: Severity,
+    /// Option the finding is in (empty for bundle-level findings).
+    pub option: String,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl fmt::Display for Lint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sev = match self.severity {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        };
+        if self.option.is_empty() {
+            write!(f, "{sev}: {}", self.message)
+        } else {
+            write!(f, "{sev}: option `{}`: {}", self.option, self.message)
+        }
+    }
+}
+
+fn lint_option(opt: &OptionSpec, out: &mut Vec<Lint>) {
+    let push = |out: &mut Vec<Lint>, severity, message: String| {
+        out.push(Lint { severity, option: opt.name.clone(), message });
+    };
+
+    // Node-name bookkeeping.
+    let node_names: Vec<&str> = opt.nodes.iter().map(|n| n.name.as_str()).collect();
+    {
+        let mut seen: Vec<&str> = Vec::new();
+        for n in &node_names {
+            if seen.contains(n) {
+                push(
+                    out,
+                    Severity::Error,
+                    format!("node requirement `{n}` is defined twice"),
+                );
+            }
+            seen.push(n);
+        }
+    }
+
+    // Links must reference defined node requirements.
+    for link in &opt.links {
+        for end in [&link.a, &link.b] {
+            if !node_names.contains(&end.as_str()) {
+                push(
+                    out,
+                    Severity::Error,
+                    format!("link references undefined node requirement `{end}`"),
+                );
+            }
+        }
+        if link.a == link.b {
+            push(
+                out,
+                Severity::Warning,
+                format!("link connects `{}` to itself (intra-node links are free)", link.a),
+            );
+        }
+    }
+
+    // Variables: declared but never referenced / referenced but never
+    // declared. A variable may legitimately be consumed only through a
+    // replicate count.
+    let declared: Vec<&str> = opt.variables.iter().map(|v| v.name.as_str()).collect();
+    let mut referenced: Vec<String> = opt.free_names();
+    for node in &opt.nodes {
+        if let CountSpec::Param(p) = &node.count {
+            referenced.push(p.clone());
+        }
+    }
+    for var in &declared {
+        if !referenced.iter().any(|r| r == var) {
+            push(
+                out,
+                Severity::Warning,
+                format!("variable `{var}` is declared but never used"),
+            );
+        }
+    }
+    for name in &referenced {
+        // Dotted names resolve against the allocation (e.g.
+        // `client.memory`); their head must be a node requirement.
+        if let Some((head, _)) = name.split_once('.') {
+            if !node_names.contains(&head) {
+                push(
+                    out,
+                    Severity::Error,
+                    format!(
+                        "`{name}` references `{head}`, which is not a node requirement"
+                    ),
+                );
+            }
+        } else if !declared.contains(&name.as_str()) {
+            push(
+                out,
+                Severity::Error,
+                format!("`{name}` is referenced but not declared as a variable"),
+            );
+        }
+    }
+
+    // Variable choice sanity.
+    for var in &opt.variables {
+        let mut sorted = var.choices.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        if sorted.len() != var.choices.len() {
+            push(
+                out,
+                Severity::Warning,
+                format!("variable `{}` has duplicate choices", var.name),
+            );
+        }
+        if var.choices.iter().any(|&c| c <= 0) {
+            push(
+                out,
+                Severity::Warning,
+                format!("variable `{}` includes non-positive choices", var.name),
+            );
+        }
+    }
+
+    // Granularity/friction sanity.
+    if let Some(g) = opt.granularity {
+        if g < 0.0 {
+            push(out, Severity::Error, format!("granularity {g} is negative"));
+        }
+    }
+
+    // Options without any node requirement never consume anything.
+    if opt.nodes.is_empty() {
+        push(
+            out,
+            Severity::Warning,
+            "option has no node requirements; it consumes nothing".to_string(),
+        );
+    }
+}
+
+/// Lints a bundle, returning findings sorted errors-first.
+pub fn lint_bundle(bundle: &BundleSpec) -> Vec<Lint> {
+    let mut out = Vec::new();
+    // Duplicate option names shadow each other in `BundleSpec::option`.
+    let mut seen: Vec<&str> = Vec::new();
+    for opt in &bundle.options {
+        if seen.contains(&opt.name.as_str()) {
+            out.push(Lint {
+                severity: Severity::Error,
+                option: String::new(),
+                message: format!("option `{}` is defined twice", opt.name),
+            });
+        }
+        seen.push(&opt.name);
+        lint_option(opt, &mut out);
+    }
+    out.sort_by(|a, b| b.severity.cmp(&a.severity));
+    out
+}
+
+/// True when the findings contain no [`Severity::Error`].
+pub fn is_clean(lints: &[Lint]) -> bool {
+    lints.iter().all(|l| l.severity != Severity::Error)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::parse_bundle_script;
+
+    fn lints(src: &str) -> Vec<Lint> {
+        lint_bundle(&parse_bundle_script(src).unwrap())
+    }
+
+    #[test]
+    fn paper_listings_are_clean() {
+        for src in [
+            crate::listings::FIG2A_SIMPLE,
+            crate::listings::FIG2B_BAG,
+            crate::listings::FIG3_DBCLIENT,
+        ] {
+            let found = lints(src);
+            assert!(is_clean(&found), "{found:?}");
+            // And free of warnings too.
+            assert!(found.is_empty(), "{found:?}");
+        }
+    }
+
+    #[test]
+    fn unused_variable_warns() {
+        let found = lints(
+            "harmonyBundle a b { {o {variable w {1 2}} {node n {seconds 1}}} }",
+        );
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].severity, Severity::Warning);
+        assert!(found[0].message.contains("never used"));
+        assert!(is_clean(&found));
+    }
+
+    #[test]
+    fn undeclared_variable_errors() {
+        let found = lints(
+            "harmonyBundle a b { {o {node n {seconds {100 / w}}}} }",
+        );
+        assert!(found.iter().any(|l| l.severity == Severity::Error
+            && l.message.contains("not declared")));
+        assert!(!is_clean(&found));
+    }
+
+    #[test]
+    fn bad_link_endpoint_errors() {
+        let found = lints(
+            "harmonyBundle a b { {o {node x {seconds 1}} {link x ghost 5}} }",
+        );
+        assert!(found.iter().any(|l| l.message.contains("undefined node requirement `ghost`")));
+    }
+
+    #[test]
+    fn self_link_warns() {
+        let found =
+            lints("harmonyBundle a b { {o {node x {seconds 1}} {link x x 5}} }");
+        assert!(found.iter().any(|l| l.message.contains("itself")));
+        assert!(is_clean(&found));
+    }
+
+    #[test]
+    fn dotted_reference_to_unknown_node_errors() {
+        let found = lints(
+            "harmonyBundle a b { {o {node x {seconds 1}} \
+             {communication {10 + ghost.memory}}} }",
+        );
+        assert!(found
+            .iter()
+            .any(|l| l.message.contains("`ghost`") && l.severity == Severity::Error));
+    }
+
+    #[test]
+    fn duplicate_options_and_nodes_error() {
+        let found = lints(
+            "harmonyBundle a b { {o {node n {seconds 1}} {node n {seconds 2}}} \
+             {o {node m {seconds 1}}} }",
+        );
+        assert!(found.iter().any(|l| l.message.contains("option `o` is defined twice")));
+        assert!(found.iter().any(|l| l.message.contains("node requirement `n` is defined twice")));
+    }
+
+    #[test]
+    fn replicate_param_counts_as_a_use() {
+        let found = lints(
+            "harmonyBundle a b { {o {variable w {1 2}} \
+             {node n {replicate w} {seconds 1}}} }",
+        );
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn choice_sanity_warnings() {
+        let found = lints(
+            "harmonyBundle a b { {o {variable w {2 2 0}} \
+             {node n {replicate w} {seconds 1}}} }",
+        );
+        assert!(found.iter().any(|l| l.message.contains("duplicate choices")));
+        assert!(found.iter().any(|l| l.message.contains("non-positive")));
+    }
+
+    #[test]
+    fn empty_option_warns_and_display_renders() {
+        let found = lints("harmonyBundle a b { {o {granularity 5}} }");
+        assert!(found.iter().any(|l| l.message.contains("consumes nothing")));
+        for l in &found {
+            assert!(!l.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn errors_sort_before_warnings() {
+        let found = lints(
+            "harmonyBundle a b { {o {variable unused {1}} \
+             {node n {seconds {100 / w}}}} }",
+        );
+        assert!(found.len() >= 2);
+        assert_eq!(found[0].severity, Severity::Error);
+    }
+}

@@ -1,0 +1,534 @@
+//! Parser from TCL word trees to typed RSL statements.
+//!
+//! A Harmony RSL script is a sequence of statements:
+//!
+//! ```text
+//! harmonyBundle <app>[:<instance>] <bundleName> { {<option> <tag-item>...} ... }
+//! harmonyNode <name> {speed s} {memory m} {os o} {hostname h}
+//! harmonyLink <a> <b> {bandwidth mbps} {latency s}
+//! ```
+//!
+//! Option tag items:
+//!
+//! ```text
+//! {variable <name> {<v1> <v2> ...}}
+//! {node <localName> [*] [{replicate <n|var>}] {<tag> <value>}...}
+//! {link <a> <b> <bandwidth>}
+//! {communication <value>}
+//! {performance {<x> <t>} ... | {<expr>}}
+//! {granularity <seconds>}
+//! {friction <value>}
+//! ```
+
+use crate::error::{Result, RslError};
+use crate::expr::parse_expr;
+use crate::list::{parse_tree, Node};
+use crate::schema::bundle::{
+    BundleSpec, CountSpec, LinkReq, NodeReq, OptionSpec, PerfSpec, VariableSpec,
+};
+use crate::schema::decl::{LinkDecl, NodeDecl};
+use crate::schema::tagvalue::TagValue;
+
+/// A parsed top-level RSL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// An application bundle definition.
+    Bundle(BundleSpec),
+    /// A node availability declaration.
+    Node(NodeDecl),
+    /// A link availability declaration.
+    Link(LinkDecl),
+}
+
+/// Parses a full RSL script into statements.
+///
+/// # Errors
+///
+/// Returns list-syntax errors from the lexer and [`RslError::Schema`] for
+/// structural problems (unknown keywords, missing fields, bad tag shapes).
+///
+/// # Examples
+///
+/// ```
+/// use harmony_rsl::schema::{parse_statements, Statement};
+/// let stmts = parse_statements(
+///     "harmonyNode n1 {speed 1.5} {memory 256}\n\
+///      harmonyBundle app:1 b { {only {node w {seconds 10}}} }",
+/// )?;
+/// assert_eq!(stmts.len(), 2);
+/// assert!(matches!(stmts[0], Statement::Node(_)));
+/// assert!(matches!(stmts[1], Statement::Bundle(_)));
+/// # Ok::<(), harmony_rsl::RslError>(())
+/// ```
+pub fn parse_statements(src: &str) -> Result<Vec<Statement>> {
+    let nodes = parse_tree(src)?;
+    let mut stmts = Vec::new();
+    let mut i = 0usize;
+    while i < nodes.len() {
+        let kw = nodes[i].word().ok_or_else(|| {
+            RslError::schema("expected a statement keyword (harmonyBundle/harmonyNode/harmonyLink)")
+        })?;
+        match kw {
+            "harmonyBundle" => {
+                let (stmt, next) = parse_bundle(&nodes, i)?;
+                stmts.push(Statement::Bundle(stmt));
+                i = next;
+            }
+            "harmonyNode" => {
+                let (stmt, next) = parse_node_decl(&nodes, i)?;
+                stmts.push(Statement::Node(stmt));
+                i = next;
+            }
+            "harmonyLink" => {
+                let (stmt, next) = parse_link_decl(&nodes, i)?;
+                stmts.push(Statement::Link(stmt));
+                i = next;
+            }
+            other => {
+                return Err(RslError::schema(format!(
+                    "unknown statement keyword `{other}` (expected harmonyBundle, harmonyNode, or harmonyLink)"
+                )))
+            }
+        }
+    }
+    Ok(stmts)
+}
+
+/// Parses a single `harmonyBundle` script (convenience for the common case
+/// of one bundle per message).
+///
+/// # Errors
+///
+/// [`RslError::Schema`] when the script does not contain exactly one bundle
+/// statement, plus any parse errors.
+pub fn parse_bundle_script(src: &str) -> Result<BundleSpec> {
+    let stmts = parse_statements(src)?;
+    match <[Statement; 1]>::try_from(stmts) {
+        Ok([Statement::Bundle(b)]) => Ok(b),
+        Ok(_) => Err(RslError::schema("expected a harmonyBundle statement")),
+        Err(v) => Err(RslError::schema(format!(
+            "expected exactly one statement, found {}",
+            v.len()
+        ))),
+    }
+}
+
+fn word_at<'n>(nodes: &'n [Node], i: usize, what: &str) -> Result<&'n str> {
+    nodes
+        .get(i)
+        .and_then(Node::word)
+        .ok_or_else(|| RslError::schema(format!("expected {what}")))
+}
+
+fn list_at<'n>(nodes: &'n [Node], i: usize, what: &str) -> Result<&'n [Node]> {
+    nodes
+        .get(i)
+        .and_then(Node::list)
+        .ok_or_else(|| RslError::schema(format!("expected {what}")))
+}
+
+fn parse_bundle(nodes: &[Node], start: usize) -> Result<(BundleSpec, usize)> {
+    let ident = word_at(nodes, start + 1, "application identifier after harmonyBundle")?;
+    let (app, instance) = match ident.split_once(':') {
+        Some((app, inst)) => {
+            let id: u64 = inst.parse().map_err(|_| {
+                RslError::schema(format!("instance id must be an integer, got `{inst}`"))
+            })?;
+            (app.to_string(), Some(id))
+        }
+        None => (ident.to_string(), None),
+    };
+    let name = word_at(nodes, start + 2, "bundle name")?.to_string();
+    let body = list_at(nodes, start + 3, "braced option list for bundle")?;
+    let mut options = Vec::new();
+    for item in body {
+        let opt_nodes = item.list().ok_or_else(|| {
+            RslError::schema(format!(
+                "each bundle option must be a braced list, got `{}`",
+                item.canonical()
+            ))
+        })?;
+        options.push(parse_option(opt_nodes)?);
+    }
+    if options.is_empty() {
+        return Err(RslError::schema(format!("bundle `{name}` has no options")));
+    }
+    Ok((BundleSpec { app, instance, name, options }, start + 4))
+}
+
+fn parse_option(nodes: &[Node]) -> Result<OptionSpec> {
+    let name = nodes
+        .first()
+        .and_then(Node::word)
+        .ok_or_else(|| RslError::schema("option must start with its name"))?;
+    let mut opt = OptionSpec::new(name);
+    for item in &nodes[1..] {
+        let items = item.list().ok_or_else(|| {
+            RslError::schema(format!(
+                "option `{name}`: tag items must be braced lists, got `{}`",
+                item.canonical()
+            ))
+        })?;
+        let tag = items
+            .first()
+            .and_then(Node::word)
+            .ok_or_else(|| RslError::schema(format!("option `{name}`: empty tag item")))?;
+        match tag {
+            "variable" => opt.variables.push(parse_variable(items)?),
+            "node" => opt.nodes.push(parse_node_req(items)?),
+            "link" => opt.links.push(parse_link_req(items)?),
+            "communication" => {
+                let value = items.get(1).ok_or_else(|| {
+                    RslError::schema("communication tag needs a value")
+                })?;
+                opt.communication = Some(TagValue::parse(value)?);
+            }
+            "performance" => opt.performance = Some(parse_performance(&items[1..])?),
+            "granularity" => {
+                let word = word_at(items, 1, "granularity value")?;
+                let g: f64 = word.parse().map_err(|_| {
+                    RslError::schema(format!("granularity must be a number, got `{word}`"))
+                })?;
+                opt.granularity = Some(g);
+            }
+            "friction" => {
+                let value = items
+                    .get(1)
+                    .ok_or_else(|| RslError::schema("friction tag needs a value"))?;
+                opt.friction = Some(TagValue::parse(value)?);
+            }
+            other => {
+                return Err(RslError::schema(format!(
+                    "option `{name}`: unknown tag `{other}`"
+                )))
+            }
+        }
+    }
+    Ok(opt)
+}
+
+fn parse_variable(items: &[Node]) -> Result<VariableSpec> {
+    let name = word_at(items, 1, "variable name")?.to_string();
+    let choice_list = list_at(items, 2, "braced choice list for variable")?;
+    let mut choices = Vec::new();
+    for c in choice_list {
+        let w = c
+            .word()
+            .ok_or_else(|| RslError::schema("variable choices must be integers"))?;
+        let v: i64 = w.parse().map_err(|_| {
+            RslError::schema(format!("variable choice must be an integer, got `{w}`"))
+        })?;
+        choices.push(v);
+    }
+    if choices.is_empty() {
+        return Err(RslError::schema(format!("variable `{name}` has no choices")));
+    }
+    Ok(VariableSpec { name, choices })
+}
+
+fn parse_node_req(items: &[Node]) -> Result<NodeReq> {
+    let name = word_at(items, 1, "node local name")?.to_string();
+    let mut req = NodeReq { name, count: CountSpec::One, tags: Vec::new() };
+    for item in &items[2..] {
+        match item {
+            // A bare `*` after the name (Figure 3's `{node client *}`)
+            // means "any host": equivalent to `{hostname *}`.
+            Node::Word(w) if w == "*" => {
+                req.tags.push(("hostname".into(), TagValue::Any));
+            }
+            Node::Word(w) => {
+                return Err(RslError::schema(format!(
+                    "node `{}`: unexpected bare word `{w}` (tags must be braced)",
+                    req.name
+                )))
+            }
+            Node::List(pair) => {
+                let tag = pair.first().and_then(Node::word).ok_or_else(|| {
+                    RslError::schema(format!("node `{}`: empty tag", req.name))
+                })?;
+                if tag == "replicate" {
+                    let w = word_at(pair, 1, "replicate count")?;
+                    req.count = match w.parse::<u32>() {
+                        Ok(n) => CountSpec::Replicate(n),
+                        Err(_) => CountSpec::Param(w.to_string()),
+                    };
+                    continue;
+                }
+                let value = pair.get(1).ok_or_else(|| {
+                    RslError::schema(format!("node `{}`: tag `{tag}` needs a value", req.name))
+                })?;
+                req.tags.push((tag.to_string(), TagValue::parse(value)?));
+            }
+        }
+    }
+    Ok(req)
+}
+
+fn parse_link_req(items: &[Node]) -> Result<LinkReq> {
+    let a = word_at(items, 1, "link endpoint")?.to_string();
+    let b = word_at(items, 2, "link endpoint")?.to_string();
+    let value = items
+        .get(3)
+        .ok_or_else(|| RslError::schema("link tag needs a bandwidth value"))?;
+    Ok(LinkReq { a, b, bandwidth: TagValue::parse(value)? })
+}
+
+fn parse_performance(items: &[Node]) -> Result<PerfSpec> {
+    if items.is_empty() {
+        return Err(RslError::schema("performance tag needs data points or an expression"));
+    }
+    // All items being two-number lists ⇒ data points.
+    let mut points = Vec::with_capacity(items.len());
+    let mut all_points = true;
+    for item in items {
+        match item.list() {
+            Some(pair) if pair.len() == 2 => {
+                let x = pair[0].word().and_then(|w| w.parse::<f64>().ok());
+                let y = pair[1].word().and_then(|w| w.parse::<f64>().ok());
+                match (x, y) {
+                    (Some(x), Some(y)) => points.push((x, y)),
+                    _ => {
+                        all_points = false;
+                        break;
+                    }
+                }
+            }
+            _ => {
+                all_points = false;
+                break;
+            }
+        }
+    }
+    if all_points {
+        return Ok(PerfSpec::Points(points));
+    }
+    if items.len() == 1 {
+        if let Some(inner) = items[0].list() {
+            let text = crate::list::canonicalize(inner);
+            let e = parse_expr(&text).map_err(|err| {
+                RslError::schema(format!("performance expression does not parse: {err}"))
+            })?;
+            return Ok(PerfSpec::Expr(e));
+        }
+    }
+    Err(RslError::schema(
+        "performance tag must be a list of {x t} points or a single {expression}",
+    ))
+}
+
+fn parse_node_decl(nodes: &[Node], start: usize) -> Result<(NodeDecl, usize)> {
+    let name = word_at(nodes, start + 1, "node name after harmonyNode")?.to_string();
+    let mut decl = NodeDecl::new(name, 1.0, 0.0);
+    let mut i = start + 2;
+    while let Some(Node::List(pair)) = nodes.get(i) {
+        let tag = pair
+            .first()
+            .and_then(Node::word)
+            .ok_or_else(|| RslError::schema("harmonyNode: empty tag"))?;
+        let value = word_at(pair, 1, "harmonyNode tag value")?;
+        match tag {
+            "speed" => {
+                decl.speed = value.parse().map_err(|_| {
+                    RslError::schema(format!("speed must be a number, got `{value}`"))
+                })?
+            }
+            "memory" => {
+                decl.memory = value.parse().map_err(|_| {
+                    RslError::schema(format!("memory must be a number, got `{value}`"))
+                })?
+            }
+            "os" => decl.os = value.to_string(),
+            "hostname" => decl.hostname = value.to_string(),
+            other => {
+                return Err(RslError::schema(format!("harmonyNode: unknown tag `{other}`")))
+            }
+        }
+        i += 1;
+    }
+    Ok((decl, i))
+}
+
+fn parse_link_decl(nodes: &[Node], start: usize) -> Result<(LinkDecl, usize)> {
+    let a = word_at(nodes, start + 1, "link endpoint after harmonyLink")?.to_string();
+    let b = word_at(nodes, start + 2, "second link endpoint")?.to_string();
+    let mut decl = LinkDecl::new(a, b, 0.0);
+    let mut i = start + 3;
+    while let Some(Node::List(pair)) = nodes.get(i) {
+        let tag = pair
+            .first()
+            .and_then(Node::word)
+            .ok_or_else(|| RslError::schema("harmonyLink: empty tag"))?;
+        let value = word_at(pair, 1, "harmonyLink tag value")?;
+        let x: f64 = value.parse().map_err(|_| {
+            RslError::schema(format!("harmonyLink `{tag}` must be a number, got `{value}`"))
+        })?;
+        match tag {
+            "bandwidth" => decl.bandwidth = x,
+            "latency" => decl.latency = x,
+            other => {
+                return Err(RslError::schema(format!("harmonyLink: unknown tag `{other}`")))
+            }
+        }
+        i += 1;
+    }
+    Ok((decl, i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    #[test]
+    fn parses_fig2a_simple() {
+        let src = "harmonyBundle simple:1 config {\n\
+             {fixed\n\
+               {node worker {replicate 4} {seconds 300} {memory 32}}\n\
+               {communication 100}}\n\
+           }";
+        let bundle = parse_bundle_script(src).unwrap();
+        assert_eq!(bundle.app, "simple");
+        assert_eq!(bundle.instance, Some(1));
+        assert_eq!(bundle.name, "config");
+        assert_eq!(bundle.options.len(), 1);
+        let opt = &bundle.options[0];
+        assert_eq!(opt.name, "fixed");
+        assert_eq!(opt.nodes.len(), 1);
+        assert_eq!(opt.nodes[0].count, CountSpec::Replicate(4));
+        assert_eq!(
+            opt.nodes[0].seconds(),
+            Some(&TagValue::Exact(Value::Int(300)))
+        );
+        assert!(opt.communication.is_some());
+    }
+
+    #[test]
+    fn parses_fig2b_bag() {
+        let src = "harmonyBundle bag:1 config {\n\
+             {run\n\
+               {variable workerNodes {1 2 4 8}}\n\
+               {node worker {replicate workerNodes} {seconds {1200 / workerNodes}} {memory 32}}\n\
+               {communication {0.5 * workerNodes * workerNodes}}\n\
+               {performance {1 1200} {2 620} {4 340} {8 230}}}\n\
+           }";
+        let bundle = parse_bundle_script(src).unwrap();
+        let opt = &bundle.options[0];
+        assert_eq!(opt.variables.len(), 1);
+        assert_eq!(opt.variables[0].choices, vec![1, 2, 4, 8]);
+        assert_eq!(opt.nodes[0].count, CountSpec::Param("workerNodes".into()));
+        assert!(matches!(opt.nodes[0].seconds(), Some(TagValue::Expr(_))));
+        assert!(matches!(opt.communication, Some(TagValue::Expr(_))));
+        match &opt.performance {
+            Some(PerfSpec::Points(pts)) => {
+                assert_eq!(pts, &vec![(1.0, 1200.0), (2.0, 620.0), (4.0, 340.0), (8.0, 230.0)])
+            }
+            other => panic!("expected points, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_fig3_dbclient() {
+        let src = "harmonyBundle DBclient:1 where {\n\
+             {QS\n\
+               {node server {hostname harmony.cs.umd.edu} {seconds 4} {memory 20}}\n\
+               {node client * {os linux} {seconds 1} {memory 2}}\n\
+               {link client server 2}}\n\
+             {DS\n\
+               {node server {hostname harmony.cs.umd.edu} {seconds 1} {memory 20}}\n\
+               {node client * {os linux} {memory >=17} {seconds 9}}\n\
+               {link client server {44 + (client.memory > 24 ? 24 : client.memory) - 17}}}\n\
+           }";
+        let bundle = parse_bundle_script(src).unwrap();
+        assert_eq!(bundle.option_names(), vec!["QS", "DS"]);
+        let qs = bundle.option("QS").unwrap();
+        let ds = bundle.option("DS").unwrap();
+        // QS consumes more at the server, DS more at the client.
+        let env = crate::expr::MapEnv::new();
+        let qs_server = qs.node("server").unwrap().seconds().unwrap().amount(&env).unwrap();
+        let ds_server = ds.node("server").unwrap().seconds().unwrap().amount(&env).unwrap();
+        assert!(qs_server > ds_server);
+        let qs_client = qs.node("client").unwrap().seconds().unwrap().amount(&env).unwrap();
+        let ds_client = ds.node("client").unwrap().seconds().unwrap().amount(&env).unwrap();
+        assert!(ds_client > qs_client);
+        // DS client memory is elastic.
+        assert!(ds.node("client").unwrap().memory().unwrap().is_elastic());
+        // The wildcard client gets an implicit {hostname *}.
+        assert_eq!(qs.node("client").unwrap().hostname(), Some(&TagValue::Any));
+        // DS bandwidth depends on client.memory.
+        assert_eq!(
+            ds.links[0].bandwidth.free_names(),
+            vec!["client.memory".to_string()]
+        );
+    }
+
+    #[test]
+    fn parses_node_and_link_decls() {
+        let src = "harmonyNode n1 {speed 1.5} {memory 256} {os aix} {hostname n1.sp2}\n\
+                   harmonyLink n1 n2 {bandwidth 320} {latency 0.0001}";
+        let stmts = parse_statements(src).unwrap();
+        match &stmts[0] {
+            Statement::Node(n) => {
+                assert_eq!(n.speed, 1.5);
+                assert_eq!(n.memory, 256.0);
+                assert_eq!(n.os, "aix");
+                assert_eq!(n.hostname, "n1.sp2");
+            }
+            other => panic!("expected node, got {other:?}"),
+        }
+        match &stmts[1] {
+            Statement::Link(l) => {
+                assert_eq!(l.bandwidth, 320.0);
+                assert_eq!(l.latency, 0.0001);
+            }
+            other => panic!("expected link, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn granularity_and_friction() {
+        let src = "harmonyBundle a b { {o {node n {seconds 1}} {granularity 60} {friction 5}} }";
+        let bundle = parse_bundle_script(src).unwrap();
+        let opt = &bundle.options[0];
+        assert_eq!(opt.granularity, Some(60.0));
+        assert_eq!(opt.friction, Some(TagValue::Exact(Value::Int(5))));
+    }
+
+    #[test]
+    fn performance_expression_form() {
+        let src = "harmonyBundle a b { {o {performance {1200 / workerNodes}}} }";
+        let bundle = parse_bundle_script(src).unwrap();
+        assert!(matches!(bundle.options[0].performance, Some(PerfSpec::Expr(_))));
+    }
+
+    #[test]
+    fn schema_errors_are_descriptive() {
+        // No options.
+        let err = parse_bundle_script("harmonyBundle a b {}").unwrap_err();
+        assert!(err.to_string().contains("no options"), "{err}");
+        // Unknown keyword.
+        let err = parse_statements("harmonyFrob x").unwrap_err();
+        assert!(err.to_string().contains("harmonyFrob"), "{err}");
+        // Unknown tag.
+        let err = parse_bundle_script("harmonyBundle a b { {o {widget 3}} }").unwrap_err();
+        assert!(err.to_string().contains("widget"), "{err}");
+        // Bad instance.
+        let err = parse_bundle_script("harmonyBundle a:x b { {o} }").unwrap_err();
+        assert!(err.to_string().contains("instance"), "{err}");
+        // Variable without choices.
+        let err =
+            parse_bundle_script("harmonyBundle a b { {o {variable v {}}} }").unwrap_err();
+        assert!(err.to_string().contains("no choices"), "{err}");
+        // Multiple statements via parse_bundle_script.
+        let err = parse_bundle_script(
+            "harmonyNode n {speed 1}\nharmonyNode m {speed 1}",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("exactly one"), "{err}");
+    }
+
+    #[test]
+    fn empty_script_yields_no_statements() {
+        assert!(parse_statements("").unwrap().is_empty());
+        assert!(parse_statements("# just a comment\n").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,88 @@
+//! Round-trip tests: every typed structure renders to canonical RSL text
+//! that re-parses to an equal structure.
+
+use harmony_rsl::listings::{FIG2A_SIMPLE, FIG2B_BAG, FIG3_DBCLIENT};
+use harmony_rsl::schema::{parse_bundle_script, parse_statements, Statement};
+use proptest::prelude::*;
+
+#[test]
+fn paper_bundles_round_trip_through_canonical() {
+    for (name, src) in [
+        ("fig2a", FIG2A_SIMPLE),
+        ("fig2b", FIG2B_BAG),
+        ("fig3", FIG3_DBCLIENT),
+    ] {
+        let bundle = parse_bundle_script(src).unwrap();
+        let canonical = bundle.canonical();
+        let reparsed = parse_bundle_script(&canonical)
+            .unwrap_or_else(|e| panic!("{name} canonical text failed to parse: {e}\n{canonical}"));
+        assert_eq!(bundle, reparsed, "{name} round trip");
+        // Canonicalization is a fixpoint.
+        assert_eq!(reparsed.canonical(), canonical, "{name} fixpoint");
+    }
+}
+
+#[test]
+fn cluster_declarations_round_trip() {
+    let src = harmony_rsl::listings::sp2_cluster(5);
+    let stmts = parse_statements(&src).unwrap();
+    let rendered: String = stmts
+        .iter()
+        .map(|s| match s {
+            Statement::Node(n) => n.canonical(),
+            Statement::Link(l) => l.canonical(),
+            Statement::Bundle(b) => b.canonical(),
+        })
+        .collect::<Vec<_>>()
+        .join("\n");
+    let reparsed = parse_statements(&rendered).unwrap();
+    assert_eq!(stmts, reparsed);
+}
+
+proptest! {
+    /// Generated bundles (worker counts, memory, seconds, granularity,
+    /// friction) always survive canonical → parse.
+    #[test]
+    fn generated_bundles_round_trip(
+        replicate in 1u32..16,
+        seconds in 1i64..10_000,
+        memory in 1i64..1024,
+        granularity in prop::option::of(1u32..600),
+        friction in prop::option::of(1u32..300),
+        choices in prop::collection::vec(1i64..64, 1..5),
+    ) {
+        let mut opt_body = format!(
+            "{{variable w {{{}}}}} \
+             {{node worker {{replicate {replicate}}} {{seconds {seconds}}} {{memory {memory}}}}}",
+            choices.iter().map(i64::to_string).collect::<Vec<_>>().join(" "),
+        );
+        if let Some(g) = granularity {
+            opt_body.push_str(&format!(" {{granularity {g}}}"));
+        }
+        if let Some(f) = friction {
+            opt_body.push_str(&format!(" {{friction {f}}}"));
+        }
+        let src = format!("harmonyBundle app:1 b {{ {{o {opt_body}}} }}");
+        let bundle = parse_bundle_script(&src).expect("generated bundle parses");
+        let reparsed = parse_bundle_script(&bundle.canonical()).expect("canonical parses");
+        prop_assert_eq!(bundle, reparsed);
+    }
+
+    /// Tag values round-trip: any numeric constraint renders and reparses.
+    #[test]
+    fn constraints_round_trip(x in 0.0f64..1e6, kind in 0u8..4) {
+        use harmony_rsl::schema::TagValue;
+        use harmony_rsl::list::parse_tree;
+        let text = match kind {
+            0 => format!(">={x}"),
+            1 => format!("<={x}"),
+            2 => format!("{x}"),
+            _ => "*".to_string(),
+        };
+        let nodes = parse_tree(&text).unwrap();
+        let v = TagValue::parse(&nodes[0]).unwrap();
+        let nodes2 = parse_tree(&v.canonical()).unwrap();
+        let v2 = TagValue::parse(&nodes2[0]).unwrap();
+        prop_assert_eq!(v, v2);
+    }
+}

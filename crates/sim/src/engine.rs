@@ -1,0 +1,226 @@
+//! The discrete-event core: a virtual clock and an ordered event queue.
+//!
+//! The simulator is deliberately minimal: it owns time and ordering, and
+//! the embedding application owns the event semantics. Events scheduled at
+//! the same instant fire in schedule order (FIFO), which keeps runs
+//! deterministic.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A scheduled entry in the queue (min-heap by time, then sequence).
+#[derive(Debug)]
+struct Scheduled<E> {
+    time: f64,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A discrete-event simulator over events of type `E`.
+///
+/// # Examples
+///
+/// ```
+/// use harmony_sim::Sim;
+///
+/// let mut sim: Sim<&str> = Sim::new();
+/// sim.schedule(2.0, "second");
+/// sim.schedule(1.0, "first");
+/// assert_eq!(sim.next(), Some((1.0, "first")));
+/// assert_eq!(sim.now(), 1.0);
+/// assert_eq!(sim.next(), Some((2.0, "second")));
+/// assert_eq!(sim.next(), None);
+/// ```
+#[derive(Debug)]
+pub struct Sim<E> {
+    queue: BinaryHeap<Scheduled<E>>,
+    now: f64,
+    seq: u64,
+    processed: u64,
+}
+
+impl<E> Default for Sim<E> {
+    fn default() -> Self {
+        Sim { queue: BinaryHeap::new(), now: 0.0, seq: 0, processed: 0 }
+    }
+}
+
+impl<E> Sim<E> {
+    /// Creates a simulator at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current virtual time (seconds).
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Number of events processed so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules `event` at absolute time `at`. Events in the past are
+    /// clamped to the current time (they fire next).
+    pub fn schedule(&mut self, at: f64, event: E) {
+        let time = if at < self.now { self.now } else { at };
+        self.queue.push(Scheduled { time, seq: self.seq, event });
+        self.seq += 1;
+    }
+
+    /// Schedules `event` after a relative delay.
+    pub fn schedule_in(&mut self, delay: f64, event: E) {
+        self.schedule(self.now + delay.max(0.0), event);
+    }
+
+    /// Pops the earliest event, advancing the clock to its time.
+    pub fn next(&mut self) -> Option<(f64, E)> {
+        let Scheduled { time, event, .. } = self.queue.pop()?;
+        self.now = time;
+        self.processed += 1;
+        Some((time, event))
+    }
+
+    /// Peeks at the next event time without consuming it.
+    pub fn peek_time(&self) -> Option<f64> {
+        self.queue.peek().map(|s| s.time)
+    }
+
+    /// Drops every pending event (e.g. at simulation end).
+    pub fn clear(&mut self) {
+        self.queue.clear();
+    }
+
+    /// Runs until the queue is empty or `until` is reached, applying
+    /// `handler` to each event. The handler may schedule more events.
+    /// Returns the number of events handled.
+    pub fn run_until<F>(&mut self, until: f64, mut handler: F) -> u64
+    where
+        F: FnMut(&mut Self, f64, E),
+    {
+        let mut handled = 0;
+        while let Some(t) = self.peek_time() {
+            if t > until {
+                break;
+            }
+            let (t, e) = self.next().expect("peeked");
+            handler(self, t, e);
+            handled += 1;
+        }
+        handled
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut sim: Sim<u32> = Sim::new();
+        sim.schedule(3.0, 3);
+        sim.schedule(1.0, 1);
+        sim.schedule(2.0, 2);
+        let order: Vec<u32> = std::iter::from_fn(|| sim.next().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_fire_in_fifo_order() {
+        let mut sim: Sim<u32> = Sim::new();
+        for i in 0..10 {
+            sim.schedule(5.0, i);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| sim.next().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn past_events_clamp_to_now() {
+        let mut sim: Sim<&str> = Sim::new();
+        sim.schedule(10.0, "a");
+        sim.next();
+        sim.schedule(1.0, "late");
+        let (t, e) = sim.next().unwrap();
+        assert_eq!(t, 10.0);
+        assert_eq!(e, "late");
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut sim: Sim<&str> = Sim::new();
+        sim.schedule(5.0, "a");
+        sim.next();
+        sim.schedule_in(2.0, "b");
+        assert_eq!(sim.next(), Some((7.0, "b")));
+        sim.schedule_in(-3.0, "clamped");
+        assert_eq!(sim.next(), Some((7.0, "clamped")));
+    }
+
+    #[test]
+    fn run_until_stops_at_horizon() {
+        let mut sim: Sim<u32> = Sim::new();
+        for i in 0..10 {
+            sim.schedule(i as f64, i);
+        }
+        let mut seen = Vec::new();
+        let handled = sim.run_until(4.5, |_, _, e| seen.push(e));
+        assert_eq!(handled, 5);
+        assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+        assert_eq!(sim.pending(), 5);
+    }
+
+    #[test]
+    fn handler_can_schedule_cascades() {
+        let mut sim: Sim<u32> = Sim::new();
+        sim.schedule(0.0, 0);
+        let handled = sim.run_until(100.0, |sim, t, e| {
+            if e < 5 {
+                sim.schedule(t + 1.0, e + 1);
+            }
+        });
+        assert_eq!(handled, 6);
+        assert_eq!(sim.now(), 5.0);
+        assert_eq!(sim.processed(), 6);
+    }
+
+    #[test]
+    fn clear_empties_queue() {
+        let mut sim: Sim<u32> = Sim::new();
+        sim.schedule(1.0, 1);
+        sim.clear();
+        assert_eq!(sim.next(), None);
+        assert_eq!(sim.pending(), 0);
+    }
+}

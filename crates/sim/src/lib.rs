@@ -1,0 +1,45 @@
+//! # Harmony sim
+//!
+//! A small discrete-event simulator standing in for the paper's IBM SP-2
+//! testbed (see DESIGN.md §1). The evaluation's observables are
+//! response-time *shapes* under contention, which a processor-sharing
+//! model reproduces deterministically:
+//!
+//! * [`Sim`] — virtual clock + ordered event queue (FIFO at ties);
+//! * [`PsServer`] — processor-sharing CPU/link: `k` jobs each progress at
+//!   `capacity / k`, with analytic completion prediction;
+//! * [`Trace`] — timestamped series recording with CSV output for the
+//!   figure binaries;
+//! * [`SimRng`] — seeded distributions for "similar, but randomly
+//!   perturbed" workloads (§6).
+//!
+//! # Examples
+//!
+//! ```
+//! use harmony_sim::{PsServer, Sim};
+//!
+//! // Two 10-second jobs share a unit-speed CPU: both finish at t = 20.
+//! let mut cpu = PsServer::new(1.0);
+//! cpu.add(0.0, 1, 10.0);
+//! cpu.add(0.0, 2, 10.0);
+//! assert_eq!(cpu.next_completion(0.0), Some((20.0, 1)));
+//!
+//! // The event queue orders whatever the embedding schedules.
+//! let mut sim: Sim<&str> = Sim::new();
+//! sim.schedule(2.0, "later");
+//! sim.schedule(1.0, "sooner");
+//! assert_eq!(sim.next(), Some((1.0, "sooner")));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod engine;
+mod ps;
+mod rng;
+mod trace;
+
+pub use engine::Sim;
+pub use ps::{JobId, PsServer};
+pub use rng::SimRng;
+pub use trace::{Trace, TracePoint};

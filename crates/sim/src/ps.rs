@@ -1,0 +1,221 @@
+//! Processor-sharing servers.
+//!
+//! Both CPUs (time-sliced among tasks) and links (bandwidth shared among
+//! flows) behave as processor-sharing queues: `k` active jobs each progress
+//! at `capacity / k`. [`PsServer`] tracks job remaining work analytically —
+//! between membership changes, work drains linearly — so the simulator only
+//! needs events at arrivals and departures.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a job inside a [`PsServer`].
+pub type JobId = u64;
+
+/// A processor-sharing server.
+///
+/// # Examples
+///
+/// ```
+/// use harmony_sim::PsServer;
+///
+/// let mut cpu = PsServer::new(1.0); // capacity: 1 unit of work per second
+/// cpu.add(0.0, 1, 10.0);
+/// cpu.add(0.0, 2, 10.0);
+/// // Two jobs share: each drains at 0.5/s, both finish at t = 20.
+/// assert_eq!(cpu.next_completion(0.0), Some((20.0, 1)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PsServer {
+    capacity: f64,
+    last_update: f64,
+    jobs: BTreeMap<JobId, f64>, // remaining work
+}
+
+impl PsServer {
+    /// Creates a server with the given capacity (work units per second).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is not positive.
+    pub fn new(capacity: f64) -> Self {
+        assert!(capacity > 0.0, "capacity must be positive");
+        PsServer { capacity, last_update: 0.0, jobs: BTreeMap::new() }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> f64 {
+        self.capacity
+    }
+
+    /// Number of active jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// True when idle.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// The per-job service rate right now.
+    pub fn rate(&self) -> f64 {
+        if self.jobs.is_empty() {
+            self.capacity
+        } else {
+            self.capacity / self.jobs.len() as f64
+        }
+    }
+
+    /// Drains remaining work up to time `now`. Must be called (implicitly
+    /// via add/remove/next_completion) with non-decreasing times.
+    pub fn advance(&mut self, now: f64) {
+        if now <= self.last_update {
+            return;
+        }
+        let dt = now - self.last_update;
+        if !self.jobs.is_empty() {
+            let drain = self.capacity / self.jobs.len() as f64 * dt;
+            for work in self.jobs.values_mut() {
+                *work = (*work - drain).max(0.0);
+            }
+        }
+        self.last_update = now;
+    }
+
+    /// Adds a job with `work` units at time `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the job id is already active.
+    pub fn add(&mut self, now: f64, id: JobId, work: f64) {
+        self.advance(now);
+        let prev = self.jobs.insert(id, work.max(0.0));
+        assert!(prev.is_none(), "job {id} already active");
+    }
+
+    /// Removes a job (finished or cancelled) at time `now`, returning its
+    /// remaining work.
+    pub fn remove(&mut self, now: f64, id: JobId) -> Option<f64> {
+        self.advance(now);
+        self.jobs.remove(&id)
+    }
+
+    /// Remaining work of a job.
+    pub fn remaining(&self, id: JobId) -> Option<f64> {
+        self.jobs.get(&id).copied()
+    }
+
+    /// Predicts the next completion given no further arrivals: the time at
+    /// which the job with least remaining work finishes, with its id.
+    /// `now` advances the internal clock first.
+    pub fn next_completion(&mut self, now: f64) -> Option<(f64, JobId)> {
+        self.advance(now);
+        let (id, work) = self
+            .jobs
+            .iter()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(id, w)| (*id, *w))?;
+        let rate = self.capacity / self.jobs.len() as f64;
+        Some((self.last_update + work / rate, id))
+    }
+
+    /// Changes the server capacity at time `now` (e.g. a node slows down).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is not positive.
+    pub fn set_capacity(&mut self, now: f64, capacity: f64) {
+        assert!(capacity > 0.0, "capacity must be positive");
+        self.advance(now);
+        self.capacity = capacity;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_job_runs_at_full_rate() {
+        let mut s = PsServer::new(2.0);
+        s.add(0.0, 1, 10.0);
+        assert_eq!(s.next_completion(0.0), Some((5.0, 1)));
+        assert_eq!(s.rate(), 2.0);
+    }
+
+    #[test]
+    fn two_jobs_share_equally() {
+        let mut s = PsServer::new(1.0);
+        s.add(0.0, 1, 10.0);
+        s.add(0.0, 2, 10.0);
+        assert_eq!(s.next_completion(0.0), Some((20.0, 1)));
+        // After job 1 leaves at t=20 both have 0... remove at completion.
+        s.remove(20.0, 1);
+        assert_eq!(s.next_completion(20.0), Some((20.0, 2)));
+    }
+
+    #[test]
+    fn late_arrival_slows_the_incumbent() {
+        let mut s = PsServer::new(1.0);
+        s.add(0.0, 1, 10.0);
+        // At t=5, job 1 has 5 left. Job 2 arrives with 5.
+        s.add(5.0, 2, 5.0);
+        // Both drain at 0.5/s: both done at t=15.
+        assert_eq!(s.next_completion(5.0), Some((15.0, 1)));
+        assert_eq!(s.remaining(1), Some(5.0));
+    }
+
+    #[test]
+    fn removal_speeds_up_the_rest() {
+        let mut s = PsServer::new(1.0);
+        s.add(0.0, 1, 10.0);
+        s.add(0.0, 2, 100.0);
+        // At t=10 each has drained 5.
+        let left = s.remove(10.0, 1).unwrap();
+        assert_eq!(left, 5.0);
+        // Job 2: 95 left at full rate → done at 105.
+        assert_eq!(s.next_completion(10.0), Some((105.0, 2)));
+    }
+
+    #[test]
+    fn advance_is_monotone_and_idempotent() {
+        let mut s = PsServer::new(1.0);
+        s.add(0.0, 1, 10.0);
+        s.advance(4.0);
+        s.advance(4.0);
+        s.advance(2.0); // ignored: time went backwards
+        assert_eq!(s.remaining(1), Some(6.0));
+    }
+
+    #[test]
+    fn capacity_change_rescales() {
+        let mut s = PsServer::new(1.0);
+        s.add(0.0, 1, 10.0);
+        s.set_capacity(5.0, 2.0); // 5 left, now at 2/s
+        assert_eq!(s.next_completion(5.0), Some((7.5, 1)));
+    }
+
+    #[test]
+    fn empty_server_has_no_completion() {
+        let mut s = PsServer::new(1.0);
+        assert_eq!(s.next_completion(0.0), None);
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already active")]
+    fn duplicate_job_panics() {
+        let mut s = PsServer::new(1.0);
+        s.add(0.0, 1, 1.0);
+        s.add(0.0, 1, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = PsServer::new(0.0);
+    }
+}

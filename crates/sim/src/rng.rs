@@ -1,0 +1,134 @@
+//! Deterministic workload randomness.
+//!
+//! Experiments need reproducible "randomly perturbed" workloads (the
+//! paper's §6 queries are "similar, but randomly perturbed"). [`SimRng`]
+//! wraps a seeded PRNG with the distributions the workloads use.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded random source for simulations.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    rng: StdRng,
+}
+
+impl SimRng {
+    /// Creates a source from a seed; equal seeds give equal streams.
+    pub fn seed(seed: u64) -> Self {
+        SimRng { rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Uniform in `[lo, hi)`.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        if hi <= lo {
+            return lo;
+        }
+        self.rng.gen_range(lo..hi)
+    }
+
+    /// Uniform integer in `[lo, hi]`.
+    pub fn uniform_int(&mut self, lo: i64, hi: i64) -> i64 {
+        if hi <= lo {
+            return lo;
+        }
+        self.rng.gen_range(lo..=hi)
+    }
+
+    /// Exponential with the given mean (inter-arrival times).
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        -mean * u.ln()
+    }
+
+    /// Multiplicative perturbation: `base * uniform(1-frac, 1+frac)` —
+    /// the "similar, but randomly perturbed" query pattern of §6.
+    pub fn perturb(&mut self, base: f64, frac: f64) -> f64 {
+        base * self.uniform(1.0 - frac, 1.0 + frac)
+    }
+
+    /// Bernoulli trial.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.rng.gen::<f64>() < p.clamp(0.0, 1.0)
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.rng.gen_range(0..=i);
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_seeds_give_equal_streams() {
+        let mut a = SimRng::seed(42);
+        let mut b = SimRng::seed(42);
+        for _ in 0..100 {
+            assert_eq!(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::seed(1);
+        let mut b = SimRng::seed(2);
+        let xs: Vec<f64> = (0..10).map(|_| a.uniform(0.0, 1.0)).collect();
+        let ys: Vec<f64> = (0..10).map(|_| b.uniform(0.0, 1.0)).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn uniform_bounds() {
+        let mut r = SimRng::seed(7);
+        for _ in 0..1000 {
+            let x = r.uniform(2.0, 3.0);
+            assert!((2.0..3.0).contains(&x));
+            let i = r.uniform_int(1, 6);
+            assert!((1..=6).contains(&i));
+        }
+        assert_eq!(r.uniform(5.0, 5.0), 5.0);
+        assert_eq!(r.uniform_int(9, 3), 9);
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut r = SimRng::seed(13);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| r.exponential(4.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 4.0).abs() < 0.2, "mean={mean}");
+    }
+
+    #[test]
+    fn perturb_stays_in_band() {
+        let mut r = SimRng::seed(5);
+        for _ in 0..1000 {
+            let x = r.perturb(100.0, 0.1);
+            assert!((90.0..110.0).contains(&x), "{x}");
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::seed(3);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut r = SimRng::seed(11);
+        let mut v: Vec<u32> = (0..20).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "a 20-element shuffle staying sorted is ~impossible");
+    }
+}

@@ -1,0 +1,186 @@
+//! Trace recording: timestamped series for experiment output.
+//!
+//! Experiments record `(time, series, value)` points while running and dump
+//! them as CSV for EXPERIMENTS.md and the figure binaries.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// One recorded point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TracePoint {
+    /// Virtual time (seconds).
+    pub time: f64,
+    /// Series name (e.g. `client1.response_time`).
+    pub series: String,
+    /// The value.
+    pub value: f64,
+}
+
+/// An append-only trace recorder.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    points: Vec<TracePoint>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a point.
+    pub fn record(&mut self, time: f64, series: impl Into<String>, value: f64) {
+        self.points.push(TracePoint { time, series: series.into(), value });
+    }
+
+    /// All points, in recording order.
+    pub fn points(&self) -> &[TracePoint] {
+        &self.points
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The points of one series, in time order.
+    pub fn series(&self, name: &str) -> Vec<(f64, f64)> {
+        let mut out: Vec<(f64, f64)> = self
+            .points
+            .iter()
+            .filter(|p| p.series == name)
+            .map(|p| (p.time, p.value))
+            .collect();
+        out.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        out
+    }
+
+    /// All series names, sorted.
+    pub fn series_names(&self) -> Vec<String> {
+        let mut names: Vec<String> =
+            self.points.iter().map(|p| p.series.clone()).collect();
+        names.sort();
+        names.dedup();
+        names
+    }
+
+    /// Mean value of one series over `[from, to)`.
+    pub fn mean_in(&self, name: &str, from: f64, to: f64) -> Option<f64> {
+        let vals: Vec<f64> = self
+            .points
+            .iter()
+            .filter(|p| p.series == name && p.time >= from && p.time < to)
+            .map(|p| p.value)
+            .collect();
+        if vals.is_empty() {
+            None
+        } else {
+            Some(vals.iter().sum::<f64>() / vals.len() as f64)
+        }
+    }
+
+    /// Renders the whole trace as CSV (`time,series,value`), sorted by
+    /// time, with a header line.
+    pub fn to_csv(&self) -> String {
+        let mut rows: Vec<&TracePoint> = self.points.iter().collect();
+        rows.sort_by(|a, b| a.time.partial_cmp(&b.time).unwrap_or(std::cmp::Ordering::Equal));
+        let mut out = String::from("time,series,value\n");
+        for p in rows {
+            out.push_str(&format!("{:.3},{},{:.6}\n", p.time, p.series, p.value));
+        }
+        out
+    }
+
+    /// Buckets one series into fixed windows and returns
+    /// `(window_start, mean)` rows — the shape used for response-time
+    /// curves like Figure 7.
+    pub fn bucketed_means(&self, name: &str, window: f64) -> Vec<(f64, f64)> {
+        if window <= 0.0 {
+            return Vec::new();
+        }
+        let mut buckets: BTreeMap<i64, (f64, usize)> = BTreeMap::new();
+        for p in self.points.iter().filter(|p| p.series == name) {
+            let idx = (p.time / window).floor() as i64;
+            let e = buckets.entry(idx).or_insert((0.0, 0));
+            e.0 += p.value;
+            e.1 += 1;
+        }
+        buckets
+            .into_iter()
+            .map(|(idx, (sum, n))| (idx as f64 * window, sum / n as f64))
+            .collect()
+    }
+}
+
+impl Extend<TracePoint> for Trace {
+    fn extend<T: IntoIterator<Item = TracePoint>>(&mut self, iter: T) {
+        self.points.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        let mut t = Trace::new();
+        t.record(0.0, "a", 1.0);
+        t.record(1.0, "a", 2.0);
+        t.record(2.0, "b", 5.0);
+        t.record(0.5, "a", 3.0);
+        t
+    }
+
+    #[test]
+    fn records_and_filters_series() {
+        let t = sample();
+        assert_eq!(t.len(), 4);
+        assert!(!t.is_empty());
+        assert_eq!(t.series("a"), vec![(0.0, 1.0), (0.5, 3.0), (1.0, 2.0)]);
+        assert_eq!(t.series_names(), vec!["a", "b"]);
+        assert!(t.series("zzz").is_empty());
+    }
+
+    #[test]
+    fn mean_in_window() {
+        let t = sample();
+        assert_eq!(t.mean_in("a", 0.0, 1.0), Some(2.0)); // 1.0 and 3.0
+        assert_eq!(t.mean_in("a", 5.0, 9.0), None);
+    }
+
+    #[test]
+    fn csv_has_header_and_sorted_rows() {
+        let t = sample();
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "time,series,value");
+        assert_eq!(lines.len(), 5);
+        assert!(lines[1].starts_with("0.000,a"));
+        assert!(lines[2].starts_with("0.500,a"));
+    }
+
+    #[test]
+    fn bucketed_means_window() {
+        let mut t = Trace::new();
+        for i in 0..10 {
+            t.record(i as f64, "rt", i as f64);
+        }
+        let buckets = t.bucketed_means("rt", 5.0);
+        assert_eq!(buckets, vec![(0.0, 2.0), (5.0, 7.0)]);
+        assert!(t.bucketed_means("rt", 0.0).is_empty());
+    }
+
+    #[test]
+    fn extend_appends() {
+        let mut t = Trace::new();
+        t.extend(sample().points().to_vec());
+        assert_eq!(t.len(), 4);
+    }
+}

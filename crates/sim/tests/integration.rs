@@ -1,0 +1,116 @@
+//! Integration tests combining the event queue, PS servers, and traces —
+//! small end-to-end queueing scenarios with known closed-form answers.
+
+use harmony_sim::{PsServer, Sim, SimRng, Trace};
+
+/// A closed two-job system on one PS server: both jobs of equal size
+/// finish together at `2 × work / capacity`.
+#[test]
+fn two_equal_jobs_finish_together() {
+    let mut cpu = PsServer::new(2.0);
+    cpu.add(0.0, 1, 10.0);
+    cpu.add(0.0, 2, 10.0);
+    let (t1, first) = cpu.next_completion(0.0).unwrap();
+    assert_eq!(t1, 10.0); // 20 units of work at 2/s
+    cpu.remove(t1, first);
+    let (t2, _) = cpu.next_completion(t1).unwrap();
+    assert_eq!(t2, 10.0);
+}
+
+/// Event-driven M/D/1-PS simulation cross-checked against conservation:
+/// total served work equals total offered work, and the server is never
+/// idle while jobs remain.
+#[test]
+fn event_driven_ps_conserves_work() {
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    enum Ev {
+        Arrive(u64),
+        Done { gen: u64 },
+    }
+    let mut sim: Sim<Ev> = Sim::new();
+    let mut rng = SimRng::seed(42);
+    let mut server = PsServer::new(1.0);
+    let mut gen = 0u64;
+    let n_jobs = 50u64;
+    let work_each = 2.0;
+
+    let mut t_arrive = 0.0;
+    for id in 0..n_jobs {
+        t_arrive += rng.exponential(1.5);
+        sim.schedule(t_arrive, Ev::Arrive(id));
+    }
+
+    let mut completions = 0u64;
+    let mut last_completion = 0.0f64;
+    while let Some((now, ev)) = sim.next() {
+        match ev {
+            Ev::Arrive(id) => {
+                server.add(now, id, work_each);
+                gen += 1;
+                if let Some((t, _)) = server.next_completion(now) {
+                    sim.schedule(t, Ev::Done { gen });
+                }
+            }
+            Ev::Done { gen: g } => {
+                if g != gen {
+                    continue; // stale prediction
+                }
+                let Some((t, id)) = server.next_completion(now) else { continue };
+                assert!((t - now).abs() < 1e-6, "completion event fired on time");
+                server.remove(now, id);
+                completions += 1;
+                last_completion = now;
+                gen += 1;
+                if let Some((t, _)) = server.next_completion(now) {
+                    sim.schedule(t, Ev::Done { gen });
+                }
+            }
+        }
+    }
+    assert_eq!(completions, n_jobs, "every job completed");
+    // Work conservation: the server cannot finish earlier than total work
+    // at full speed.
+    assert!(last_completion >= n_jobs as f64 * work_each - 1e-6);
+    assert!(server.is_empty());
+}
+
+/// Trace bucketing over a simulated run reproduces the configured phases.
+#[test]
+fn trace_captures_phase_structure() {
+    let mut trace = Trace::new();
+    // Phase 1 (t<100): rt ≈ 5; phase 2: rt ≈ 10.
+    let mut rng = SimRng::seed(7);
+    for i in 0..200 {
+        let t = i as f64;
+        let base = if t < 100.0 { 5.0 } else { 10.0 };
+        trace.record(t, "rt", rng.perturb(base, 0.05));
+    }
+    let phase1 = trace.mean_in("rt", 0.0, 100.0).unwrap();
+    let phase2 = trace.mean_in("rt", 100.0, 200.0).unwrap();
+    assert!((phase1 - 5.0).abs() < 0.3, "{phase1}");
+    assert!((phase2 - 10.0).abs() < 0.6, "{phase2}");
+    let buckets = trace.bucketed_means("rt", 100.0);
+    assert_eq!(buckets.len(), 2);
+    assert!(buckets[1].1 > buckets[0].1 * 1.8);
+    // CSV export carries all points.
+    assert_eq!(trace.to_csv().lines().count(), 201);
+}
+
+/// Deterministic replay: the same seed and schedule produce identical
+/// traces.
+#[test]
+fn simulation_is_deterministic() {
+    let run = || {
+        let mut sim: Sim<u32> = Sim::new();
+        let mut rng = SimRng::seed(123);
+        let mut trace = Trace::new();
+        for i in 0..100u32 {
+            sim.schedule(rng.uniform(0.0, 100.0), i);
+        }
+        while let Some((t, e)) = sim.next() {
+            trace.record(t, "e", f64::from(e));
+        }
+        trace
+    };
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,46 @@
+//! The Figure 4 scenario: variable-parallelism jobs arriving on an
+//! eight-processor cluster. The first gets five nodes (not six); later
+//! arrivals force equal partitions; a departure lets survivors re-expand.
+//!
+//! ```text
+//! cargo run --example bag_of_tasks
+//! ```
+
+use harmony::apps::{run_fig4, BagOfTasks, Fig4Config};
+
+fn main() {
+    // (a) the application's measured running-time curve.
+    let bag = BagOfTasks::fig4(7);
+    println!("bag-of-tasks: {} tasks, {:.0} reference-seconds of work", 100, bag.total_work());
+    println!("\nFigure 4(a): running time vs workers (measured by pull-scheduling)");
+    println!("{:>8} {:>12} {:>10}", "workers", "seconds", "speedup");
+    let t1 = bag.run(1, 1.0).makespan;
+    for w in 1..=8usize {
+        let run = bag.run(w, 1.0);
+        println!("{w:>8} {:>12.0} {:>10.2}", run.makespan, t1 / run.makespan);
+    }
+
+    // (b) the configurations Harmony chooses online.
+    let result = run_fig4(&Fig4Config::default());
+    println!("\nFigure 4(b): configurations chosen as jobs arrive and depart");
+    for entry in &result.timeline {
+        let configs = entry
+            .configs
+            .iter()
+            .map(|(id, w)| format!("{id}={w}"))
+            .collect::<Vec<_>>()
+            .join("  ");
+        println!("  t={:>5.0}s  {:<16} [{}]", entry.time, entry.event, configs);
+    }
+    println!("\ndecision log:");
+    for d in &result.decisions {
+        println!(
+            "  t={:>5.0}s  {}.{}: {} -> {}",
+            d.time,
+            d.instance,
+            d.bundle,
+            d.from.as_deref().unwrap_or("-"),
+            d.to
+        );
+    }
+}

@@ -1,0 +1,50 @@
+//! The Figure 7 scenario: a client/server database that Harmony switches
+//! from query shipping to data shipping when the third client arrives.
+//!
+//! ```text
+//! cargo run --release --example database
+//! ```
+//!
+//! (Use `--release`: each simulated query really executes an indexed
+//! selection + hash join over two 100 000-tuple Wisconsin relations.)
+
+use harmony::core::ControllerConfig;
+use harmony::db::{run_fig7, Fig7Config, WherePolicy};
+
+fn main() {
+    let cfg = Fig7Config {
+        policy: WherePolicy::Harmony(ControllerConfig::default()),
+        ..Default::default()
+    };
+    println!(
+        "fig7: {} clients arriving every {:.0}s over {:.0}s; {} tuples/relation",
+        cfg.n_clients, cfg.arrival_spacing, cfg.duration, cfg.tuples
+    );
+    let r = run_fig7(&cfg);
+
+    println!("\nmean response time by 50-second window (all clients):");
+    println!("{:>10} {:>12} {:>10}", "window", "mean rt (s)", "queries");
+    let mut w = 0.0;
+    while w < cfg.duration {
+        let mean = r.mean_response_in(w, w + 50.0);
+        let n = r
+            .queries
+            .iter()
+            .filter(|q| q.submitted >= w && q.submitted < w + 50.0)
+            .count();
+        match mean {
+            Some(m) => println!("{:>7.0}s+ {:>12.2} {:>10}", w, m, n),
+            None => println!("{:>7.0}s+ {:>12} {:>10}", w, "-", 0),
+        }
+        w += 50.0;
+    }
+
+    match r.switch_time {
+        Some(t) => println!("\ncontroller switched running clients QS -> DS at t = {t:.0}s"),
+        None => println!("\nno reconfiguration occurred"),
+    }
+    println!("\ncontroller decisions:");
+    for (t, d) in &r.decisions {
+        println!("  t={t:>5.0}s  {d}");
+    }
+}

@@ -1,0 +1,79 @@
+//! Quickstart: parse the paper's listings, publish a cluster, and let the
+//! controller choose configurations as applications come and go.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use harmony::core::{Controller, ControllerConfig};
+use harmony::resources::Cluster;
+use harmony::rsl::listings;
+use harmony::rsl::schema::parse_bundle_script;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Publish resources: an 8-node SP-2-like cluster with a 320 Mbit/s
+    //    full-mesh switch (harmonyNode / harmonyLink statements).
+    let cluster = Cluster::from_rsl(&listings::sp2_cluster(8))?;
+    println!(
+        "cluster: {} nodes, {} links, {:.0} MB total memory",
+        cluster.len(),
+        cluster.links().count(),
+        cluster.total_memory()
+    );
+
+    // 2. Start the adaptation controller with the paper's policies:
+    //    first-fit matching, min-average-completion-time objective, greedy
+    //    one-bundle-at-a-time optimization with coordinated moves.
+    let mut controller = Controller::new(cluster, ControllerConfig::default());
+
+    // 3. An application exports the Figure 2b bag-of-tasks bundle:
+    //    variable parallelism over {1 2 4 8} workers with a measured
+    //    performance curve.
+    let spec = parse_bundle_script(listings::FIG2B_BAG)?;
+    let (first, _) = controller.register(spec.clone())?;
+    let choice = controller.choice(&first, "config").expect("placed");
+    println!(
+        "first bag placed: {} (predicted {:.0} s)",
+        choice.label(),
+        choice.predicted
+    );
+
+    // 4. A second instance arrives. The controller shrinks the first to
+    //    admit it — the paper's §1 scenario — settling on equal partitions.
+    let (second, decisions) = controller.register(spec)?;
+    println!("second bag arrives; {} decision(s) applied:", decisions.len());
+    for d in &decisions {
+        println!(
+            "  t={:.0}s {} {}: {} -> {} (objective {:.0} -> {:.0})",
+            d.time,
+            d.instance,
+            d.bundle,
+            d.from.as_deref().unwrap_or("-"),
+            d.to,
+            d.objective_before,
+            d.objective_after
+        );
+    }
+    for id in [&first, &second] {
+        let c = controller.choice(id, "config").expect("placed");
+        println!("  {} now runs {}", id, c.label());
+    }
+    println!("system objective (avg completion): {:.0} s", controller.objective_score());
+
+    // 5. The first application finishes; the survivor re-expands.
+    controller.set_time(300.0);
+    controller.end(&first)?;
+    let c = controller.choice(&second, "config").expect("still placed");
+    println!("after departure, {} re-expands to {}", second, c.label());
+
+    // 6. Everything the controller decided is in the namespace, under the
+    //    paper's dotted names.
+    let path: harmony::ns::HPath =
+        format!("bag.{}.config.run.workerNodes", second.id).parse()?;
+    println!(
+        "namespace: {} = {}",
+        path,
+        controller.namespace().get(&path).expect("written")
+    );
+    Ok(())
+}

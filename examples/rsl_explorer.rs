@@ -1,0 +1,86 @@
+//! RSL explorer: parse any of the paper's listings (or your own script)
+//! and dump its structure, dependencies, and parameterized evaluations.
+//!
+//! ```text
+//! cargo run --example rsl_explorer            # walks the paper listings
+//! cargo run --example rsl_explorer -- my.rsl  # parses a file
+//! ```
+
+use harmony::rsl::expr::{Env, MapEnv};
+use harmony::rsl::schema::{parse_statements, Statement};
+use harmony::rsl::{listings, Value};
+
+fn dump(title: &str, src: &str) -> Result<(), Box<dyn std::error::Error>> {
+    println!("== {title} ==");
+    for stmt in parse_statements(src)? {
+        match stmt {
+            Statement::Node(n) => println!(
+                "node {}: speed {} (vs 400 MHz Pentium II), {} MB, {}",
+                n.name, n.speed, n.memory, n.os
+            ),
+            Statement::Link(l) => {
+                println!("link {}-{}: {} Mbit/s, {} s latency", l.a, l.b, l.bandwidth, l.latency)
+            }
+            Statement::Bundle(b) => {
+                println!("bundle {}.{:?}.{}", b.app, b.instance, b.name);
+                for lint in harmony::rsl::schema::lint_bundle(&b) {
+                    println!("  {lint}");
+                }
+                for opt in &b.options {
+                    println!("  option {}", opt.name);
+                    for v in &opt.variables {
+                        println!("    variable {} in {:?}", v.name, v.choices);
+                    }
+                    for n in &opt.nodes {
+                        let tags = n
+                            .tags
+                            .iter()
+                            .map(|(t, v)| format!("{t}={}", v.canonical()))
+                            .collect::<Vec<_>>()
+                            .join(" ");
+                        println!("    node {} ({:?}): {}", n.name, n.count, tags);
+                    }
+                    for l in &opt.links {
+                        println!("    link {}-{}: {}", l.a, l.b, l.bandwidth.canonical());
+                    }
+                    let deps = opt.free_names();
+                    if !deps.is_empty() {
+                        println!("    depends on: {}", deps.join(", "));
+                    }
+                    if let Some(perf) = &opt.performance {
+                        let mut env = MapEnv::new();
+                        env.set("workerNodes", Value::Int(4));
+                        if let Ok(t) = perf.predict(4.0, &env) {
+                            println!("    performance model at 4 nodes: {t:.0} s");
+                        }
+                    }
+                }
+                // Show a parameterized evaluation for the DS bandwidth.
+                if let Some(ds) = b.option("DS") {
+                    for mem in [17i64, 20, 24, 32] {
+                        let mut env = MapEnv::new();
+                        env.set("client.memory", Value::Int(mem));
+                        if let Ok(bw) = ds.links[0].bandwidth.amount(&env) {
+                            println!("    DS bandwidth with client.memory={mem}: {bw} Mbit/s");
+                        }
+                        let _ = env.lookup("client.memory");
+                    }
+                }
+            }
+        }
+    }
+    println!();
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    if let Some(path) = std::env::args().nth(1) {
+        let src = std::fs::read_to_string(&path)?;
+        return dump(&path, &src);
+    }
+    dump("Figure 2(a): simple parallel application", listings::FIG2A_SIMPLE)?;
+    dump("Figure 2(b): bag-of-tasks application", listings::FIG2B_BAG)?;
+    dump("Figure 3: client-server database", listings::FIG3_DBCLIENT)?;
+    dump("SP-2 cluster (4 nodes)", &listings::sp2_cluster(4))?;
+    Ok(())
+}

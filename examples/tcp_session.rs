@@ -1,0 +1,64 @@
+//! A full client/server session over TCP — the prototype architecture of
+//! Figure 6: a Harmony process listening on a port, an application linking
+//! the client library, bundles and variable updates crossing the wire as
+//! RSL text.
+//!
+//! ```text
+//! cargo run --example tcp_session
+//! ```
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use harmony::client::{HarmonyClient, UpdateDelivery};
+use harmony::core::{Controller, ControllerConfig};
+use harmony::proto::{TcpServer, TcpTransport};
+use harmony::resources::Cluster;
+use harmony::rsl::{listings, Value};
+use parking_lot::Mutex;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The Harmony process: controller + TCP server on an ephemeral port.
+    let cluster = Cluster::from_rsl(&listings::sp2_cluster(8))?;
+    let controller =
+        Arc::new(Mutex::new(Controller::new(cluster, ControllerConfig::default())));
+    let mut server = TcpServer::start("127.0.0.1:0", Arc::clone(&controller))?;
+    println!("harmony server listening on {}", server.addr());
+
+    // The application process: connect, register, export the bundle.
+    let transport = TcpTransport::connect(server.addr())?;
+    let mut app = HarmonyClient::startup(transport, "bag", UpdateDelivery::Polling)?;
+    println!("registered as {}", app.instance_name());
+
+    let workers = app.add_variable("config.run.workerNodes", Value::Int(0));
+    let option = app.add_variable("config", Value::Str("unset".into()));
+    app.bundle_setup(listings::FIG2B_BAG)?;
+    println!("bundle exported; waiting for the controller's placement...");
+
+    let got = app.wait_for_update(Duration::from_secs(2))?;
+    println!(
+        "update received: {got}; option = {}, workerNodes = {}",
+        option.get(),
+        workers.get()
+    );
+
+    // A competing instance arrives through a second connection; the
+    // controller shrinks us, and the polling loop observes it.
+    let transport2 = TcpTransport::connect(server.addr())?;
+    let mut rival = HarmonyClient::startup(transport2, "bag", UpdateDelivery::Polling)?;
+    rival.bundle_setup(listings::FIG2B_BAG)?;
+    println!("rival {} arrived", rival.instance_name());
+
+    app.wait_for_update(Duration::from_secs(2))?;
+    println!("after rival: workerNodes = {}", workers.get());
+
+    // Report a metric, then shut down cleanly.
+    app.report_metric("response_time", 1.0, 230.0)?;
+    rival.end()?;
+    app.wait_for_update(Duration::from_secs(2))?;
+    println!("after rival departed: workerNodes = {}", workers.get());
+    app.end()?;
+    server.stop();
+    println!("session complete");
+    Ok(())
+}

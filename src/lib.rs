@@ -1,0 +1,60 @@
+//! # Harmony — "Exposing Application Alternatives", reproduced in Rust
+//!
+//! A from-scratch reproduction of the early Active Harmony design paper
+//! (Keleher, Hollingsworth, Perković — ICDCS 1999): an interface that lets
+//! applications export *tuning alternatives* (bundles of mutually
+//! exclusive options) to a centralized adaptation controller, which
+//! matches them to cluster resources, predicts their performance, and
+//! reconfigures running applications to optimize a system-wide objective.
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! * [`rsl`] — the resource specification language (TCL-flavoured);
+//! * [`ns`] — the hierarchical `app.instance.bundle.option.resource.tag`
+//!   namespace;
+//! * [`resources`] — cluster model and requirement matching;
+//! * [`metrics`] — the metric interface;
+//! * [`predict`] — default/explicit/LogP performance models;
+//! * [`core`] — the adaptation controller (the paper's contribution);
+//! * [`proto`] — the client/server wire protocol;
+//! * [`client`] — the Figure 5 application API;
+//! * [`sim`] — the discrete-event cluster simulator;
+//! * [`apps`] — the Figure 2 applications and the Figure 4 experiment;
+//! * [`db`] — the Tornadito stand-in and the Figure 7 experiment.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use harmony::core::{Controller, ControllerConfig};
+//! use harmony::resources::Cluster;
+//! use harmony::rsl::listings;
+//! use harmony::rsl::schema::parse_bundle_script;
+//!
+//! // An 8-node SP-2-like cluster, and a controller over it.
+//! let cluster = Cluster::from_rsl(&listings::sp2_cluster(8))?;
+//! let mut controller = Controller::new(cluster, ControllerConfig::default());
+//!
+//! // An application exports the paper's bag-of-tasks bundle (Figure 2b):
+//! // 1/2/4/8 workers, measured performance curve.
+//! let spec = parse_bundle_script(listings::FIG2B_BAG)?;
+//! let (id, _) = controller.register(spec)?;
+//!
+//! // Alone on the cluster, the bag gets all eight workers.
+//! let choice = controller.choice(&id, "config").expect("placed");
+//! assert_eq!(choice.vars, vec![("workerNodes".to_string(), 8)]);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub use harmony_apps as apps;
+pub use harmony_client as client;
+pub use harmony_core as core;
+pub use harmony_db as db;
+pub use harmony_metrics as metrics;
+pub use harmony_ns as ns;
+pub use harmony_predict as predict;
+pub use harmony_proto as proto;
+pub use harmony_resources as resources;
+pub use harmony_rsl as rsl;
+pub use harmony_sim as sim;
