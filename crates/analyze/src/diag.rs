@@ -1,0 +1,256 @@
+//! The diagnostic model: stable codes, severities, and span labels.
+
+use std::fmt;
+
+use harmony_rsl::Span;
+
+/// Severity of a diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational; analysis gave up or has something to say.
+    Note,
+    /// Probably unintended, but the bundle will run.
+    Warning,
+    /// The bundle will misbehave at match or evaluation time.
+    Error,
+}
+
+impl Severity {
+    /// Lowercase name used in rendered output (`error`, `warning`, `note`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Note => "note",
+        }
+    }
+}
+
+/// A stable diagnostic code, e.g. `HA0004`.
+///
+/// Codes are part of the analyzer's public contract: suppression tooling
+/// and golden tests key on them, so a code is never reused for a different
+/// condition. Errors use `HA00xx`, warnings `HA01xx`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Code(pub &'static str);
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+macro_rules! codes {
+    ($($(#[$doc:meta])* $konst:ident = ($code:literal, $sev:ident, $summary:literal);)*) => {
+        $( $(#[$doc])* pub const $konst: Code = Code($code); )*
+
+        /// Every code the analyzer can emit, with its default severity and
+        /// one-line summary (the catalogue rendered in `docs/ANALYZER.md`).
+        pub const ALL_CODES: &[(Code, Severity, &str)] = &[
+            $( (Code($code), Severity::$sev, $summary), )*
+        ];
+    };
+}
+
+codes! {
+    /// Two options in one bundle share a name; the second shadows the first.
+    DUP_OPTION = ("HA0001", Error, "duplicate option name");
+    /// Two node requirements in one option share a local name.
+    DUP_NODE = ("HA0002", Error, "duplicate node requirement");
+    /// A link endpoint names a node requirement the option does not define.
+    LINK_UNDEFINED = ("HA0003", Error, "link references undefined node requirement");
+    /// A tag references a variable no `variable` tag declares.
+    UNDECLARED_VAR = ("HA0004", Error, "undeclared variable referenced");
+    /// A dotted reference's head is not a node requirement of the option.
+    DOTTED_NOT_NODE = ("HA0005", Error, "dotted reference to non-node");
+    /// `granularity` is negative.
+    NEG_GRANULARITY = ("HA0006", Error, "negative granularity");
+    /// A numeric tag (`seconds`, `memory`, `communication`, `friction`,
+    /// link bandwidth) holds a value with no numeric amount.
+    NON_NUMERIC_TAG = ("HA0011", Error, "numeric tag holds a non-numeric value");
+    /// A constant tag expression fails to evaluate or yields a non-number.
+    BAD_CONST_EXPR = ("HA0012", Error, "constant expression does not evaluate to a number");
+    /// Reachable division (or remainder) by zero: some assignment of the
+    /// option's variables makes a divisor zero.
+    DIV_BY_ZERO = ("HA0020", Error, "reachable division by zero");
+    /// Reachable negative resource demand: some assignment of the option's
+    /// variables makes a demand negative.
+    NEG_DEMAND = ("HA0021", Error, "reachable negative resource demand");
+    /// A performance table repeats an `x` knot.
+    DUP_PERF_KNOT = ("HA0030", Error, "duplicate performance knot");
+    /// A performance table predicts a negative time.
+    NEG_PERF_TIME = ("HA0031", Error, "negative predicted time");
+    /// Two bundles claim the same namespace path (`app.instance.name`).
+    NS_COLLISION = ("HA0050", Error, "namespace collision between bundles");
+    /// A name is not a valid Harmony namespace component.
+    NS_BAD_COMPONENT = ("HA0051", Error, "invalid namespace component");
+    /// A variable and a node requirement in one option share a name, making
+    /// references ambiguous.
+    NS_VAR_NODE_CLASH = ("HA0052", Error, "variable and node requirement share a name");
+    /// A link connects a node requirement to itself.
+    SELF_LINK = ("HA0101", Warning, "link connects a node to itself");
+    /// A declared variable is never referenced.
+    UNUSED_VAR = ("HA0102", Warning, "unused variable");
+    /// A variable repeats a choice.
+    DUP_CHOICE = ("HA0103", Warning, "duplicate variable choices");
+    /// A variable includes a choice ≤ 0.
+    NONPOS_CHOICE = ("HA0104", Warning, "non-positive variable choice");
+    /// An option has no node requirements and consumes nothing.
+    EMPTY_OPTION = ("HA0105", Warning, "option has no node requirements");
+    /// The cartesian product of choice domains exceeds the analysis cap, so
+    /// reachability checks were skipped.
+    DOMAIN_TOO_LARGE = ("HA0106", Note, "choice domain too large for exhaustive analysis");
+    /// A `hostname`/`os` tag holds a numeric value.
+    NUMERIC_NAME_TAG = ("HA0113", Warning, "hostname/os tag holds a numeric value");
+    /// Performance breakpoints are not listed in increasing `x` order.
+    UNSORTED_PERF = ("HA0130", Warning, "unsorted performance breakpoints");
+    /// An option never beats another option's predicted performance while
+    /// demanding at least as many resources.
+    DOMINATED_OPTION = ("HA0140", Warning, "dominated option");
+    /// An option's requirements duplicate an earlier option's exactly.
+    DUPLICATE_REQS = ("HA0141", Warning, "option duplicates an earlier option's requirements");
+}
+
+/// A span in the analyzed source, with a message describing what the span
+/// shows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Label {
+    /// Byte range in the analyzed source.
+    pub span: Span,
+    /// What the reader should see at this span.
+    pub message: String,
+}
+
+/// One analyzer finding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Stable code (`HA0001`...).
+    pub code: Code,
+    /// Severity.
+    pub severity: Severity,
+    /// Primary human-readable message.
+    pub message: String,
+    /// Option the finding is in (empty for bundle/script-level findings).
+    pub option: String,
+    /// Labels; the first is primary and drives the rendered location.
+    pub labels: Vec<Label>,
+    /// Free-form notes, e.g. a counterexample variable assignment.
+    pub notes: Vec<String>,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic with the code's default severity.
+    pub fn new(code: Code, message: impl Into<String>) -> Self {
+        let severity = ALL_CODES
+            .iter()
+            .find(|(c, _, _)| *c == code)
+            .map(|(_, s, _)| *s)
+            .unwrap_or(Severity::Error);
+        Diagnostic {
+            code,
+            severity,
+            message: message.into(),
+            option: String::new(),
+            labels: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Sets the option name the finding belongs to.
+    pub fn in_option(mut self, option: impl Into<String>) -> Self {
+        self.option = option.into();
+        self
+    }
+
+    /// Appends a span label (the first becomes primary).
+    pub fn with_label(mut self, span: Span, message: impl Into<String>) -> Self {
+        self.labels.push(Label { span, message: message.into() });
+        self
+    }
+
+    /// Appends a note line.
+    pub fn with_note(mut self, note: impl Into<String>) -> Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// The primary span, if any label carries one.
+    pub fn primary_span(&self) -> Option<Span> {
+        self.labels.first().map(|l| l.span)
+    }
+}
+
+/// Looks a code up by its string form (`"HA0020"`), returning the interned
+/// [`Code`] and its default severity. `None` for unknown codes.
+pub fn lookup(name: &str) -> Option<(Code, Severity)> {
+    ALL_CODES.iter().find(|(c, _, _)| c.0 == name).map(|(c, s, _)| (*c, *s))
+}
+
+/// True when `diags` contains no [`Severity::Error`].
+pub fn is_clean(diags: &[Diagnostic]) -> bool {
+    !has_errors(diags)
+}
+
+/// True when `diags` contains at least one [`Severity::Error`].
+pub fn has_errors(diags: &[Diagnostic]) -> bool {
+    diags.iter().any(|d| d.severity == Severity::Error)
+}
+
+/// Sorts diagnostics for presentation: by source position, then by
+/// severity (errors first), then by code.
+pub fn sort(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| {
+        let pa = a.primary_span().map(|s| s.start).unwrap_or(usize::MAX);
+        let pb = b.primary_span().map(|s| s.start).unwrap_or(usize::MAX);
+        pa.cmp(&pb).then(b.severity.cmp(&a.severity)).then(a.code.0.cmp(b.code.0))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_unique_and_well_formed() {
+        for (i, (code, _, summary)) in ALL_CODES.iter().enumerate() {
+            assert!(code.0.starts_with("HA"), "{code}");
+            assert_eq!(code.0.len(), 6, "{code}");
+            assert!(!summary.is_empty());
+            for (other, _, _) in &ALL_CODES[i + 1..] {
+                assert_ne!(code.0, other.0, "duplicate code {code}");
+            }
+        }
+    }
+
+    #[test]
+    fn severity_defaults_follow_code_table() {
+        assert_eq!(Diagnostic::new(DIV_BY_ZERO, "x").severity, Severity::Error);
+        assert_eq!(Diagnostic::new(UNUSED_VAR, "x").severity, Severity::Warning);
+        assert_eq!(Diagnostic::new(DOMAIN_TOO_LARGE, "x").severity, Severity::Note);
+    }
+
+    #[test]
+    fn builder_and_queries() {
+        let d = Diagnostic::new(SELF_LINK, "msg")
+            .in_option("QS")
+            .with_label(Span::new(3, 7), "here")
+            .with_note("why");
+        assert_eq!(d.option, "QS");
+        assert!(d.primary_span().unwrap().same_range(&Span::new(3, 7)));
+        assert!(is_clean(&[d.clone()]));
+        assert!(has_errors(&[d, Diagnostic::new(DUP_OPTION, "x")]));
+    }
+
+    #[test]
+    fn sort_orders_by_position_then_severity() {
+        let mut diags = vec![
+            Diagnostic::new(UNUSED_VAR, "late").with_label(Span::new(50, 51), ""),
+            Diagnostic::new(DUP_OPTION, "early").with_label(Span::new(2, 3), ""),
+            Diagnostic::new(SELF_LINK, "same spot").with_label(Span::new(2, 3), ""),
+        ];
+        sort(&mut diags);
+        assert_eq!(diags[0].message, "early");
+        assert_eq!(diags[1].message, "same spot");
+        assert_eq!(diags[2].message, "late");
+    }
+}

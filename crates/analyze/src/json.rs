@@ -1,0 +1,148 @@
+//! Machine-readable JSON emission.
+//!
+//! Each diagnostic is emitted as one JSON object with the span resolved to
+//! one-based `line`/`column` against the analyzed source, so consumers need
+//! no access to the source text to locate findings.
+
+use serde::{Deserialize, Serialize};
+
+use crate::diag::Diagnostic;
+
+/// JSON view of a [`Label`](crate::diag::Label): byte range plus message.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JsonLabel {
+    /// Start byte offset.
+    pub start: usize,
+    /// End byte offset (exclusive).
+    pub end: usize,
+    /// One-based line of the start offset.
+    pub line: u32,
+    /// One-based column of the start offset.
+    pub column: u32,
+    /// Label message.
+    pub message: String,
+}
+
+/// JSON view of a [`Diagnostic`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JsonDiagnostic {
+    /// Stable code, e.g. `"HA0020"`.
+    pub code: String,
+    /// `"error"`, `"warning"`, or `"note"`.
+    pub severity: String,
+    /// Primary message.
+    pub message: String,
+    /// Option name, empty for bundle-level findings.
+    pub option: String,
+    /// Labels (primary first); empty for span-free findings.
+    pub labels: Vec<JsonLabel>,
+    /// Notes such as counterexample assignments.
+    pub notes: Vec<String>,
+}
+
+impl JsonDiagnostic {
+    /// Builds the JSON view of `diag`, resolving spans against `src`.
+    pub fn from_diagnostic(diag: &Diagnostic, src: &str) -> Self {
+        JsonDiagnostic {
+            code: diag.code.0.to_string(),
+            severity: diag.severity.name().to_string(),
+            message: diag.message.clone(),
+            option: diag.option.clone(),
+            labels: diag
+                .labels
+                .iter()
+                .map(|l| {
+                    let pos = l.span.pos(src);
+                    JsonLabel {
+                        start: l.span.start,
+                        end: l.span.end,
+                        line: pos.line,
+                        column: pos.column,
+                        message: l.message.clone(),
+                    }
+                })
+                .collect(),
+            notes: diag.notes.clone(),
+        }
+    }
+}
+
+/// Serializes diagnostics as a JSON array (one object per finding).
+pub fn to_json(diags: &[Diagnostic], src: &str) -> String {
+    let views: Vec<JsonDiagnostic> =
+        diags.iter().map(|d| JsonDiagnostic::from_diagnostic(d, src)).collect();
+    serde_json::to_string(&views).unwrap_or_else(|_| "[]".to_string())
+}
+
+/// Parses a [`to_json`] payload back into [`Diagnostic`]s — the receiving
+/// side of `harmonyctl lint` against a daemon. Diagnostics with codes this
+/// build does not know are dropped; `None` when the payload is not a
+/// diagnostics array at all.
+pub fn parse_diagnostics(json: &str) -> Option<Vec<Diagnostic>> {
+    let views: Vec<JsonDiagnostic> = serde_json::from_str(json).ok()?;
+    Some(
+        views
+            .into_iter()
+            .filter_map(|v| {
+                let (code, _) = crate::diag::lookup(&v.code)?;
+                let mut d = Diagnostic::new(code, v.message).in_option(v.option);
+                for l in v.labels {
+                    d = d.with_label(harmony_rsl::Span::new(l.start, l.end), l.message);
+                }
+                for n in v.notes {
+                    d = d.with_note(n);
+                }
+                Some(d)
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::{Diagnostic, DIV_BY_ZERO};
+    use harmony_rsl::Span;
+
+    #[test]
+    fn json_resolves_line_and_column() {
+        let src = "line one\nline two here";
+        let start = src.find("two").unwrap();
+        let d = Diagnostic::new(DIV_BY_ZERO, "boom")
+            .with_label(Span::new(start, start + 3), "here")
+            .with_note("counterexample: w = 0");
+        let json = to_json(&[d], src);
+        assert!(json.contains("\"code\":\"HA0020\""), "{json}");
+        assert!(json.contains("\"severity\":\"error\""), "{json}");
+        assert!(json.contains("\"line\":2"), "{json}");
+        assert!(json.contains("\"column\":6"), "{json}");
+        assert!(json.contains("counterexample: w = 0"), "{json}");
+
+        // And it parses back.
+        let parsed: Vec<JsonDiagnostic> = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].labels[0].column, 6);
+    }
+
+    #[test]
+    fn empty_input_is_empty_array() {
+        assert_eq!(to_json(&[], ""), "[]");
+    }
+
+    #[test]
+    fn diagnostics_round_trip_through_json() {
+        let src = "some source text";
+        let d = Diagnostic::new(DIV_BY_ZERO, "boom")
+            .in_option("QS")
+            .with_label(Span::new(5, 11), "here")
+            .with_note("counterexample: w = 0");
+        let parsed = parse_diagnostics(&to_json(&[d.clone()], src)).unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].code, d.code);
+        assert_eq!(parsed[0].severity, d.severity);
+        assert_eq!(parsed[0].option, "QS");
+        assert!(parsed[0].primary_span().unwrap().same_range(&Span::new(5, 11)));
+        assert_eq!(parsed[0].notes, d.notes);
+        assert!(parse_diagnostics("not json").is_none());
+    }
+}

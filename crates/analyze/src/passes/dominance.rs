@@ -1,0 +1,226 @@
+//! Pass 5 — cross-option dominance and redundancy.
+//!
+//! The controller picks among a bundle's options by predicted performance
+//! per resource consumed (paper §4.3). Two static findings fall out:
+//!
+//! * an option whose requirements are byte-identical to an earlier option
+//!   can never add anything (HA0141);
+//! * an option that never predicts better performance than a sibling while
+//!   demanding at least as much of every comparable resource is dominated —
+//!   the controller will never profitably pick it (HA0140).
+//!
+//! Dominance is only decided for options whose demands and performance are
+//! fully constant (no variables, no allocation-dependent expressions), so
+//! every reported domination is real under the declared models.
+
+use harmony_rsl::expr::MapEnv;
+use harmony_rsl::schema::{BundleSpec, CountSpec, OptionSpec, PerfSpec};
+
+use crate::diag::{Diagnostic, DOMINATED_OPTION, DUPLICATE_REQS};
+
+/// The option's requirements rendered without its name, for redundancy
+/// comparison.
+fn requirement_signature(opt: &OptionSpec) -> String {
+    let canon = opt.canonical();
+    // canonical() is `{name part part ...}`; strip the braces and the name.
+    canon[1..canon.len() - 1].strip_prefix(&opt.name).unwrap_or(&canon).trim().to_string()
+}
+
+/// Constant aggregate profile of an option: best predicted time plus total
+/// demands. `None` fields are not constant-evaluable.
+#[derive(Debug, Clone, PartialEq)]
+struct Profile {
+    best_time: f64,
+    seconds: Option<f64>,
+    memory: Option<f64>,
+    communication: Option<f64>,
+}
+
+fn constant_amount(value: &harmony_rsl::schema::TagValue) -> Option<f64> {
+    if !value.free_names().is_empty() {
+        return None;
+    }
+    value.amount(&MapEnv::new()).ok()
+}
+
+fn profile(opt: &OptionSpec) -> Option<Profile> {
+    if !opt.variables.is_empty() {
+        return None;
+    }
+    let best_time = match &opt.performance {
+        Some(PerfSpec::Points(points)) if !points.is_empty() => {
+            points.iter().map(|(_, t)| *t).fold(f64::INFINITY, f64::min)
+        }
+        Some(PerfSpec::Expr(e)) if e.is_constant() => {
+            harmony_rsl::expr::eval(e, &MapEnv::new()).ok()?.as_f64().ok()?
+        }
+        _ => return None,
+    };
+
+    let mut seconds = Some(0.0);
+    let mut memory = Some(0.0);
+    for node in &opt.nodes {
+        let count = match &node.count {
+            CountSpec::One => 1.0,
+            CountSpec::Replicate(n) => f64::from(*n),
+            CountSpec::Param(_) => return None,
+        };
+        for (total, tag) in [(&mut seconds, "seconds"), (&mut memory, "memory")] {
+            match node.tag(tag) {
+                None => *total = None,
+                Some(v) => {
+                    if let (Some(t), Some(x)) = (total.as_mut(), constant_amount(v)) {
+                        *t += count * x;
+                    } else {
+                        *total = None;
+                    }
+                }
+            }
+        }
+    }
+    let communication = opt.communication.as_ref().and_then(constant_amount);
+    Some(Profile { best_time, seconds, memory, communication })
+}
+
+/// `a` dominates `b` when `a` is at least as fast and demands no more on
+/// every dimension both profiles define, with at least one strict edge.
+fn dominates(a: &Profile, b: &Profile) -> bool {
+    if a.best_time > b.best_time {
+        return false;
+    }
+    let mut comparable = 0usize;
+    let mut strict = a.best_time < b.best_time;
+    for (da, db) in
+        [(a.seconds, b.seconds), (a.memory, b.memory), (a.communication, b.communication)]
+    {
+        if let (Some(da), Some(db)) = (da, db) {
+            comparable += 1;
+            if da > db {
+                return false;
+            }
+            strict |= da < db;
+        }
+    }
+    comparable > 0 && strict
+}
+
+/// Runs the pass over a bundle.
+pub fn check(bundle: &BundleSpec) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+
+    // Redundant duplicates of earlier options.
+    for (i, opt) in bundle.options.iter().enumerate() {
+        for earlier in &bundle.options[..i] {
+            if requirement_signature(earlier) == requirement_signature(opt) {
+                out.push(
+                    Diagnostic::new(
+                        DUPLICATE_REQS,
+                        format!(
+                            "option `{}` duplicates the requirements of option `{}`",
+                            opt.name, earlier.name
+                        ),
+                    )
+                    .in_option(&opt.name)
+                    .with_label(opt.name_span, "identical to an earlier option")
+                    .with_note("the controller will never have a reason to pick it"),
+                );
+                break;
+            }
+        }
+    }
+
+    // Dominance among constant-profile options.
+    let profiles: Vec<Option<Profile>> = bundle.options.iter().map(profile).collect();
+    for (j, opt) in bundle.options.iter().enumerate() {
+        let Some(pb) = &profiles[j] else { continue };
+        // Skip exact duplicates; HA0141 already covers them.
+        if out.iter().any(|d| d.code == DUPLICATE_REQS && d.option == opt.name) {
+            continue;
+        }
+        for (i, other) in bundle.options.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            let Some(pa) = &profiles[i] else { continue };
+            if dominates(pa, pb) {
+                out.push(
+                    Diagnostic::new(
+                        DOMINATED_OPTION,
+                        format!(
+                            "option `{}` is dominated by option `{}`: it never predicts \
+                             better performance and demands at least as many resources",
+                            opt.name, other.name
+                        ),
+                    )
+                    .in_option(&opt.name)
+                    .with_label(opt.name_span, "this option is never preferable")
+                    .with_note(format!(
+                        "`{}` predicts {:.6} s at best vs `{}`'s {:.6} s",
+                        other.name, pa.best_time, opt.name, pb.best_time
+                    )),
+                );
+                break;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harmony_rsl::schema::parse_bundle_script;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        check(&parse_bundle_script(src).unwrap())
+    }
+
+    #[test]
+    fn identical_options_are_redundant() {
+        let diags = run("harmonyBundle a b { {fast {node n {seconds 1}}} \
+             {slow {node n {seconds 1}}} }");
+        let d = diags.iter().find(|d| d.code == DUPLICATE_REQS).unwrap();
+        assert_eq!(d.option, "slow");
+    }
+
+    #[test]
+    fn strictly_worse_option_is_dominated() {
+        // `slow` needs more seconds and more memory and predicts worse time.
+        let diags = run("harmonyBundle a b { \
+             {fast {node n {seconds 10} {memory 16}} {performance {1 100}}} \
+             {slow {node n {seconds 20} {memory 32}} {performance {1 400}}} }");
+        let d = diags.iter().find(|d| d.code == DOMINATED_OPTION).unwrap();
+        assert_eq!(d.option, "slow");
+        assert!(d.message.contains("`fast`"), "{}", d.message);
+    }
+
+    #[test]
+    fn tradeoffs_are_not_dominated() {
+        // `big` is slower but cheaper on memory: a genuine alternative.
+        let diags = run("harmonyBundle a b { \
+             {fast {node n {seconds 10} {memory 32}} {performance {1 100}}} \
+             {big {node n {seconds 10} {memory 16}} {performance {1 400}}} }");
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn variable_options_are_not_judged() {
+        let diags = run("harmonyBundle a b { \
+             {fixed {node n {seconds 10}} {performance {1 100}}} \
+             {tuned {variable w {1 2}} {node n {replicate w} {seconds 10}} \
+              {performance {1 500}}} }");
+        assert!(!diags.iter().any(|d| d.code == DOMINATED_OPTION), "{diags:?}");
+    }
+
+    #[test]
+    fn paper_listings_have_no_dominance_findings() {
+        for src in [
+            harmony_rsl::listings::FIG2A_SIMPLE,
+            harmony_rsl::listings::FIG2B_BAG,
+            harmony_rsl::listings::FIG3_DBCLIENT,
+        ] {
+            let diags = run(src);
+            assert!(diags.is_empty(), "{diags:?}");
+        }
+    }
+}

@@ -1,0 +1,8 @@
+//! The analysis passes, in the order `analyze_bundle` runs them.
+
+pub mod dominance;
+pub mod names;
+pub mod namespace;
+pub mod perf;
+pub mod reach;
+pub mod types;

@@ -1,0 +1,263 @@
+//! Pass 1 — name and link resolution.
+//!
+//! The span-carrying port of the seed linter (`harmony_rsl::schema::lint`):
+//! duplicate options and node requirements, dangling link endpoints,
+//! undeclared/unused variables, dotted references to non-nodes, choice-list
+//! sanity, and empty options.
+
+use harmony_rsl::schema::{BundleSpec, CountSpec, OptionSpec, PerfSpec};
+use harmony_rsl::Span;
+
+use crate::diag::{
+    Diagnostic, DOTTED_NOT_NODE, DUP_CHOICE, DUP_NODE, DUP_OPTION, EMPTY_OPTION, LINK_UNDEFINED,
+    NEG_GRANULARITY, NONPOS_CHOICE, SELF_LINK, UNDECLARED_VAR, UNUSED_VAR,
+};
+use crate::sites::expr_sites;
+
+/// Every free name referenced in `opt`, with the span of the value that
+/// references it, in definition order (deduplicated by name).
+fn referenced_names(opt: &OptionSpec) -> Vec<(String, Span)> {
+    let mut out: Vec<(String, Span)> = Vec::new();
+    let mut push = |name: String, span: Span| {
+        if !out.iter().any(|(n, _)| *n == name) {
+            out.push((name, span));
+        }
+    };
+    for site in expr_sites(opt) {
+        for name in site.value.free_names() {
+            push(name, site.span);
+        }
+    }
+    for node in &opt.nodes {
+        if let CountSpec::Param(p) = &node.count {
+            push(p.clone(), node.name_span);
+        }
+    }
+    if let Some(PerfSpec::Expr(e)) = &opt.performance {
+        for name in e.free_names() {
+            push(name, opt.performance_span);
+        }
+    }
+    out
+}
+
+fn check_option(opt: &OptionSpec, out: &mut Vec<Diagnostic>) {
+    let node_names: Vec<&str> = opt.nodes.iter().map(|n| n.name.as_str()).collect();
+
+    // Duplicate node requirements.
+    for (i, node) in opt.nodes.iter().enumerate() {
+        if opt.nodes[..i].iter().any(|n| n.name == node.name) {
+            out.push(
+                Diagnostic::new(
+                    DUP_NODE,
+                    format!("node requirement `{}` is defined twice", node.name),
+                )
+                .in_option(&opt.name)
+                .with_label(node.name_span, "defined again here"),
+            );
+        }
+    }
+
+    // Links must reference defined node requirements.
+    for link in &opt.links {
+        for (end, span) in [(&link.a, link.a_span), (&link.b, link.b_span)] {
+            if !node_names.contains(&end.as_str()) {
+                out.push(
+                    Diagnostic::new(
+                        LINK_UNDEFINED,
+                        format!("link references undefined node requirement `{end}`"),
+                    )
+                    .in_option(&opt.name)
+                    .with_label(span, "no such node requirement"),
+                );
+            }
+        }
+        if link.a == link.b {
+            out.push(
+                Diagnostic::new(
+                    SELF_LINK,
+                    format!("link connects `{}` to itself (intra-node links are free)", link.a),
+                )
+                .in_option(&opt.name)
+                .with_label(link.span, ""),
+            );
+        }
+    }
+
+    // Variables: declared vs referenced.
+    let declared: Vec<&str> = opt.variables.iter().map(|v| v.name.as_str()).collect();
+    let referenced = referenced_names(opt);
+    for var in &opt.variables {
+        if !referenced.iter().any(|(r, _)| r == &var.name) {
+            out.push(
+                Diagnostic::new(
+                    UNUSED_VAR,
+                    format!("variable `{}` is declared but never used", var.name),
+                )
+                .in_option(&opt.name)
+                .with_label(var.name_span, "declared here"),
+            );
+        }
+    }
+    for (name, span) in &referenced {
+        // Dotted names resolve against the allocation (e.g. `client.memory`);
+        // their head must be a node requirement.
+        if let Some((head, _)) = name.split_once('.') {
+            if !node_names.contains(&head) {
+                out.push(
+                    Diagnostic::new(
+                        DOTTED_NOT_NODE,
+                        format!("`{name}` references `{head}`, which is not a node requirement"),
+                    )
+                    .in_option(&opt.name)
+                    .with_label(*span, format!("`{head}` is not defined by this option")),
+                );
+            }
+        } else if !declared.contains(&name.as_str()) {
+            out.push(
+                Diagnostic::new(
+                    UNDECLARED_VAR,
+                    format!("`{name}` is referenced but not declared as a variable"),
+                )
+                .in_option(&opt.name)
+                .with_label(*span, format!("`{name}` is unbound here"))
+                .with_note(format!(
+                    "declare it with {{variable {name} {{...}}}} in option `{}`",
+                    opt.name
+                )),
+            );
+        }
+    }
+
+    // Variable choice sanity.
+    for var in &opt.variables {
+        let mut sorted = var.choices.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        if sorted.len() != var.choices.len() {
+            out.push(
+                Diagnostic::new(
+                    DUP_CHOICE,
+                    format!("variable `{}` has duplicate choices", var.name),
+                )
+                .in_option(&opt.name)
+                .with_label(var.choices_span, ""),
+            );
+        }
+        if var.choices.iter().any(|&c| c <= 0) {
+            out.push(
+                Diagnostic::new(
+                    NONPOS_CHOICE,
+                    format!("variable `{}` includes non-positive choices", var.name),
+                )
+                .in_option(&opt.name)
+                .with_label(var.choices_span, ""),
+            );
+        }
+    }
+
+    // Granularity sanity.
+    if let Some(g) = opt.granularity {
+        if g < 0.0 {
+            out.push(
+                Diagnostic::new(NEG_GRANULARITY, format!("granularity {g} is negative"))
+                    .in_option(&opt.name)
+                    .with_label(opt.granularity_span, "must be ≥ 0 seconds"),
+            );
+        }
+    }
+
+    // Options without any node requirement never consume anything.
+    if opt.nodes.is_empty() {
+        out.push(
+            Diagnostic::new(EMPTY_OPTION, "option has no node requirements; it consumes nothing")
+                .in_option(&opt.name)
+                .with_label(opt.name_span, ""),
+        );
+    }
+}
+
+/// Runs the pass over a bundle.
+pub fn check(bundle: &BundleSpec) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (i, opt) in bundle.options.iter().enumerate() {
+        if bundle.options[..i].iter().any(|o| o.name == opt.name) {
+            out.push(
+                Diagnostic::new(DUP_OPTION, format!("option `{}` is defined twice", opt.name))
+                    .with_label(opt.name_span, "defined again here")
+                    .with_note("the controller only ever evaluates the first definition"),
+            );
+        }
+        check_option(opt, &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::{has_errors, Severity};
+    use harmony_rsl::schema::parse_bundle_script;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        check(&parse_bundle_script(src).unwrap())
+    }
+
+    #[test]
+    fn undeclared_variable_points_at_referencing_value() {
+        let src = "harmonyBundle a b { {o {node n {seconds {100 / w}}}} }";
+        let diags = run(src);
+        let d = diags.iter().find(|d| d.code == UNDECLARED_VAR).unwrap();
+        assert_eq!(d.primary_span().unwrap().slice(src), Some("{100 / w}"));
+        assert!(has_errors(&diags));
+    }
+
+    #[test]
+    fn link_endpoint_span_is_the_endpoint_token() {
+        let src = "harmonyBundle a b { {o {node x {seconds 1}} {link x ghost 5}} }";
+        let diags = run(src);
+        let d = diags.iter().find(|d| d.code == LINK_UNDEFINED).unwrap();
+        assert_eq!(d.primary_span().unwrap().slice(src), Some("ghost"));
+    }
+
+    #[test]
+    fn warnings_for_unused_and_choices_and_self_link() {
+        let src = "harmonyBundle a b { {o {variable w {2 2 0}} \
+                   {node n {seconds 1}} {link n n 5}} }";
+        let diags = run(src);
+        assert!(diags.iter().any(|d| d.code == UNUSED_VAR));
+        assert!(diags.iter().any(|d| d.code == DUP_CHOICE));
+        assert!(diags.iter().any(|d| d.code == NONPOS_CHOICE));
+        assert!(diags.iter().any(|d| d.code == SELF_LINK));
+        assert!(diags.iter().all(|d| d.severity == Severity::Warning));
+    }
+
+    #[test]
+    fn duplicate_option_and_node_error() {
+        let src = "harmonyBundle a b { {o {node n {seconds 1}} {node n {seconds 2}}} \
+                   {o {node m {seconds 1}}} }";
+        let diags = run(src);
+        assert!(diags.iter().any(|d| d.code == DUP_OPTION));
+        assert!(diags.iter().any(|d| d.code == DUP_NODE));
+    }
+
+    #[test]
+    fn replicate_param_counts_as_use_and_dotted_heads_resolve() {
+        let src = "harmonyBundle a b { {o {variable w {1 2}} \
+                   {node n {replicate w} {seconds 1}} \
+                   {communication {10 + ghost.memory}}} }";
+        let diags = run(src);
+        assert!(!diags.iter().any(|d| d.code == UNUSED_VAR));
+        let d = diags.iter().find(|d| d.code == DOTTED_NOT_NODE).unwrap();
+        assert_eq!(d.primary_span().unwrap().slice(src), Some("{10 + ghost.memory}"));
+    }
+
+    #[test]
+    fn empty_option_and_negative_granularity() {
+        let src = "harmonyBundle a b { {o {granularity -5}} }";
+        let diags = run(src);
+        assert!(diags.iter().any(|d| d.code == EMPTY_OPTION));
+        let d = diags.iter().find(|d| d.code == NEG_GRANULARITY).unwrap();
+        assert_eq!(d.primary_span().unwrap().slice(src), Some("-5"));
+    }
+}

@@ -1,0 +1,154 @@
+//! Pass 6 — namespace validation against `harmony-ns` paths.
+//!
+//! Registered bundles live in the hierarchical namespace as
+//! `app.instance.bundle.option.node.tag` paths (paper §3.2). Every name a
+//! bundle contributes must therefore be a valid path component, two bundles
+//! must not claim the same `app.instance.bundle` prefix, and within one
+//! option a variable and a node requirement must not share a name (a bare
+//! reference could mean either).
+
+use harmony_ns::HPath;
+use harmony_rsl::schema::BundleSpec;
+use harmony_rsl::Span;
+
+use crate::diag::{Diagnostic, NS_BAD_COMPONENT, NS_COLLISION, NS_VAR_NODE_CLASH};
+
+fn check_component(name: &str, what: &str, span: Span, option: &str, out: &mut Vec<Diagnostic>) {
+    if HPath::from_components([name]).is_err() {
+        let mut d = Diagnostic::new(
+            NS_BAD_COMPONENT,
+            format!("{what} `{name}` is not a valid namespace component"),
+        )
+        .with_label(span, "components must be non-empty, without `.` or whitespace");
+        if !option.is_empty() {
+            d = d.in_option(option);
+        }
+        out.push(d);
+    }
+}
+
+/// Checks the names one bundle contributes to the namespace.
+pub fn check_bundle(bundle: &BundleSpec) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    check_component(&bundle.app, "application name", bundle.app_span, "", &mut out);
+    check_component(&bundle.name, "bundle name", bundle.name_span, "", &mut out);
+    for opt in &bundle.options {
+        check_component(&opt.name, "option name", opt.name_span, &opt.name, &mut out);
+        for node in &opt.nodes {
+            check_component(&node.name, "node name", node.name_span, &opt.name, &mut out);
+        }
+        for var in &opt.variables {
+            check_component(&var.name, "variable name", var.name_span, &opt.name, &mut out);
+            if opt.nodes.iter().any(|n| n.name == var.name) {
+                out.push(
+                    Diagnostic::new(
+                        NS_VAR_NODE_CLASH,
+                        format!("`{}` names both a variable and a node requirement", var.name),
+                    )
+                    .in_option(&opt.name)
+                    .with_label(var.name_span, "declared as a variable here")
+                    .with_note("bare references to the name are ambiguous under the allocation"),
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Checks a whole script's bundles against each other: two bundles claiming
+/// the same `app.instance.bundle` path collide in the namespace.
+///
+/// Bundles without an explicit instance never collide — the controller
+/// assigns each a fresh instance id at registration.
+pub fn check_script(bundles: &[&BundleSpec]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (i, b) in bundles.iter().enumerate() {
+        let Some(inst) = b.instance else { continue };
+        for earlier in &bundles[..i] {
+            if earlier.app == b.app && earlier.instance == Some(inst) && earlier.name == b.name {
+                out.push(
+                    Diagnostic::new(
+                        NS_COLLISION,
+                        format!(
+                            "bundle `{}.{}.{}` is already defined; its namespace paths collide",
+                            b.app, inst, b.name
+                        ),
+                    )
+                    .with_label(b.name_span, "second definition here")
+                    .with_note("register the bundle under a different instance id or bundle name"),
+                );
+                break;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harmony_rsl::schema::{parse_bundle_script, parse_statements, Statement};
+
+    fn bundle(src: &str) -> BundleSpec {
+        parse_bundle_script(src).unwrap()
+    }
+
+    #[test]
+    fn dotted_app_name_is_invalid() {
+        let src = "harmonyBundle a.b:1 conf { {o {node n {seconds 1}}} }";
+        let diags = check_bundle(&bundle(src));
+        let d = diags.iter().find(|d| d.code == NS_BAD_COMPONENT).unwrap();
+        assert!(d.message.contains("application name"), "{}", d.message);
+        assert_eq!(d.primary_span().unwrap().slice(src), Some("a.b:1"));
+    }
+
+    #[test]
+    fn variable_node_clash_is_reported() {
+        let diags = check_bundle(&bundle(
+            "harmonyBundle a b { {o {variable n {1 2}} \
+             {node n {replicate n} {seconds 1}}} }",
+        ));
+        assert!(diags.iter().any(|d| d.code == NS_VAR_NODE_CLASH), "{diags:?}");
+    }
+
+    #[test]
+    fn same_instance_bundles_collide() {
+        let src = "harmonyBundle app:7 conf { {o {node n {seconds 1}}} }\n\
+                   harmonyBundle app:7 conf { {p {node m {seconds 2}}} }";
+        let stmts = parse_statements(src).unwrap();
+        let bundles: Vec<&BundleSpec> = stmts
+            .iter()
+            .filter_map(|s| match s {
+                Statement::Bundle(b) => Some(b),
+                _ => None,
+            })
+            .collect();
+        let diags = check_script(&bundles);
+        let d = diags.iter().find(|d| d.code == NS_COLLISION).unwrap();
+        assert!(d.message.contains("app.7.conf"), "{}", d.message);
+        // The label points at the *second* definition.
+        assert!(d.primary_span().unwrap().start > src.find('\n').unwrap());
+    }
+
+    #[test]
+    fn distinct_instances_do_not_collide() {
+        let src = "harmonyBundle app:1 conf { {o {node n {seconds 1}}} }\n\
+                   harmonyBundle app:2 conf { {o {node n {seconds 1}}} }\n\
+                   harmonyBundle app conf2 { {o {node n {seconds 1}}} }";
+        let stmts = parse_statements(src).unwrap();
+        let bundles: Vec<&BundleSpec> = stmts
+            .iter()
+            .filter_map(|s| match s {
+                Statement::Bundle(b) => Some(b),
+                _ => None,
+            })
+            .collect();
+        assert!(check_script(&bundles).is_empty());
+    }
+
+    #[test]
+    fn clean_names_pass() {
+        let diags = check_bundle(&bundle(harmony_rsl::listings::FIG3_DBCLIENT));
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+}

@@ -1,0 +1,101 @@
+//! Pass 4 — performance-table validation.
+//!
+//! `{performance {x t} ...}` tables drive piecewise-linear interpolation
+//! (paper §3.4). Duplicate `x` knots make the curve ambiguous; out-of-order
+//! breakpoints usually mean a typo; negative times are meaningless.
+
+use harmony_rsl::schema::{BundleSpec, PerfSpec};
+
+use crate::diag::{Diagnostic, DUP_PERF_KNOT, NEG_PERF_TIME, UNSORTED_PERF};
+
+/// Runs the pass over a bundle.
+pub fn check(bundle: &BundleSpec) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for opt in &bundle.options {
+        let Some(PerfSpec::Points(points)) = &opt.performance else { continue };
+
+        for (i, (x, _)) in points.iter().enumerate() {
+            if points[..i].iter().any(|(px, _)| px == x) {
+                out.push(
+                    Diagnostic::new(
+                        DUP_PERF_KNOT,
+                        format!("performance table repeats the knot x = {x}"),
+                    )
+                    .in_option(&opt.name)
+                    .with_label(opt.performance_span, "interpolation is ambiguous here")
+                    .with_note("each breakpoint x must appear exactly once"),
+                );
+            }
+        }
+
+        if points.windows(2).any(|w| w[0].0 > w[1].0) {
+            out.push(
+                Diagnostic::new(
+                    UNSORTED_PERF,
+                    "performance breakpoints are not in increasing x order",
+                )
+                .in_option(&opt.name)
+                .with_label(opt.performance_span, "")
+                .with_note(
+                    "the interpolator sorts internally, but out-of-order knots usually \
+                     indicate a typo",
+                ),
+            );
+        }
+
+        for (x, t) in points {
+            if *t < 0.0 {
+                out.push(
+                    Diagnostic::new(
+                        NEG_PERF_TIME,
+                        format!("performance table predicts the negative time {t} at x = {x}"),
+                    )
+                    .in_option(&opt.name)
+                    .with_label(opt.performance_span, "predicted times must be ≥ 0"),
+                );
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harmony_rsl::schema::parse_bundle_script;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        check(&parse_bundle_script(src).unwrap())
+    }
+
+    #[test]
+    fn duplicate_knot_is_an_error() {
+        let src = "harmonyBundle a b { {o {node n {seconds 1}} \
+                   {performance {1 100} {2 80} {2 70}}} }";
+        let diags = run(src);
+        let d = diags.iter().find(|d| d.code == DUP_PERF_KNOT).unwrap();
+        assert!(d.message.contains("x = 2"), "{}", d.message);
+        assert!(d.primary_span().unwrap().slice(src).unwrap().starts_with("{performance"));
+    }
+
+    #[test]
+    fn unsorted_breakpoints_warn() {
+        let diags = run("harmonyBundle a b { {o {node n {seconds 1}} \
+             {performance {4 50} {1 100} {2 80}}} }");
+        assert!(diags.iter().any(|d| d.code == UNSORTED_PERF));
+        assert!(!diags.iter().any(|d| d.code == DUP_PERF_KNOT));
+    }
+
+    #[test]
+    fn negative_time_is_an_error() {
+        let diags = run("harmonyBundle a b { {o {node n {seconds 1}} \
+             {performance {1 100} {2 -5}}} }");
+        assert!(diags.iter().any(|d| d.code == NEG_PERF_TIME));
+    }
+
+    #[test]
+    fn fig2b_table_is_clean() {
+        let diags = run(harmony_rsl::listings::FIG2B_BAG);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+}

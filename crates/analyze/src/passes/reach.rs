@@ -1,0 +1,322 @@
+//! Pass 3 — reachability over the variable choice domains.
+//!
+//! Each option's `variable` tags define a finite cartesian product of
+//! assignments; the controller may instantiate any point of it. This pass
+//! interprets every tag expression over that product and reports
+//! assignments that make a divisor zero (HA0020) or a resource demand
+//! negative (HA0021), with the concrete counterexample. Because the domain
+//! is finite the interpretation is exact: no finding is a false positive,
+//! and a clean pass is a proof over the whole domain.
+//!
+//! Expressions also mentioning allocation values (dotted names such as
+//! `client.memory`) cannot be decided from the bundle alone; their divisors
+//! are checked only when the divisor itself depends purely on variables.
+
+use harmony_rsl::expr::{Expr, MapEnv};
+use harmony_rsl::schema::{BundleSpec, OptionSpec, PerfSpec, TagValue};
+use harmony_rsl::{Span, Value};
+
+use crate::diag::{Diagnostic, DIV_BY_ZERO, DOMAIN_TOO_LARGE, NEG_DEMAND};
+use crate::sites::expr_sites;
+
+/// Upper bound on the size of the choice-domain product that is enumerated
+/// exhaustively; beyond this the pass reports [`DOMAIN_TOO_LARGE`] instead
+/// of silently skipping.
+pub const DOMAIN_CAP: usize = 4096;
+
+/// One point of the cartesian product: `(name, value)` per variable.
+type Assignment = Vec<(String, i64)>;
+
+/// Enumerates the full cartesian product of the option's choice domains.
+/// Returns `None` when the product exceeds [`DOMAIN_CAP`].
+fn assignments(opt: &OptionSpec) -> Option<Vec<Assignment>> {
+    let mut size = 1usize;
+    for v in &opt.variables {
+        size = size.checked_mul(v.choices.len().max(1))?;
+        if size > DOMAIN_CAP {
+            return None;
+        }
+    }
+    let mut points: Vec<Assignment> = vec![Vec::new()];
+    for v in &opt.variables {
+        let mut next = Vec::with_capacity(points.len() * v.choices.len());
+        for point in &points {
+            for &c in &v.choices {
+                let mut p = point.clone();
+                p.push((v.name.clone(), c));
+                next.push(p);
+            }
+        }
+        points = next;
+    }
+    Some(points)
+}
+
+fn env_of(assignment: &Assignment) -> MapEnv {
+    let mut env = MapEnv::new();
+    for (name, value) in assignment {
+        env.set(name, Value::Int(*value));
+    }
+    env
+}
+
+/// Renders the sub-assignment relevant to `expr` as `a = 1, b = 2`.
+fn counterexample(assignment: &Assignment, expr: &Expr) -> String {
+    let free = expr.free_names();
+    let parts: Vec<String> = assignment
+        .iter()
+        .filter(|(n, _)| free.iter().any(|f| f == n))
+        .map(|(n, v)| format!("{n} = {v}"))
+        .collect();
+    if parts.is_empty() {
+        "no variables involved (the expression is constant)".to_string()
+    } else {
+        parts.join(", ")
+    }
+}
+
+/// Collects every divisor (right-hand side of `/` or `%`) in `expr`.
+fn divisors<'e>(expr: &'e Expr, out: &mut Vec<&'e Expr>) {
+    match expr {
+        Expr::Int(_) | Expr::Float(_) | Expr::Str(_) | Expr::Name(_) => {}
+        Expr::Unary(_, e) => divisors(e, out),
+        Expr::Binary(op, a, b) => {
+            if matches!(op, harmony_rsl::expr::BinOp::Div | harmony_rsl::expr::BinOp::Rem) {
+                out.push(b);
+            }
+            divisors(a, out);
+            divisors(b, out);
+        }
+        Expr::Ternary(c, t, e) => {
+            divisors(c, out);
+            divisors(t, out);
+            divisors(e, out);
+        }
+        Expr::Call(_, args) => {
+            for a in args {
+                divisors(a, out);
+            }
+        }
+    }
+}
+
+/// True when every free name of `expr` is a declared variable (so the
+/// expression is decidable from the bundle alone).
+fn decidable(expr: &Expr, declared: &[&str]) -> bool {
+    expr.free_names().iter().all(|n| declared.contains(&n.as_str()))
+}
+
+/// Per-option context shared by every expression check: which option we are
+/// in, which variables it declares, and the enumerated assignment points.
+struct ExprCtx<'a> {
+    opt_name: &'a str,
+    declared: &'a [&'a str],
+    points: &'a [Assignment],
+}
+
+fn check_expr(
+    expr: &Expr,
+    span: Span,
+    what: &str,
+    is_demand: bool,
+    ctx: &ExprCtx<'_>,
+    out: &mut Vec<Diagnostic>,
+) {
+    let ExprCtx { opt_name, declared, points } = *ctx;
+    // Division by zero: check each divisor that is decidable, even when the
+    // surrounding expression also reads allocation values.
+    let mut divs = Vec::new();
+    divisors(expr, &mut divs);
+    let mut reported: Vec<String> = Vec::new();
+    for d in divs {
+        if !decidable(d, declared) {
+            continue;
+        }
+        // `1/w + 2/w` has the divisor `w` twice; report it once.
+        let key = d.to_string();
+        if reported.contains(&key) {
+            continue;
+        }
+        reported.push(key);
+        for point in points {
+            let env = env_of(point);
+            if let Ok(v) = harmony_rsl::expr::eval(d, &env) {
+                if v.as_f64().map(|x| x == 0.0).unwrap_or(false) {
+                    out.push(
+                        Diagnostic::new(
+                            DIV_BY_ZERO,
+                            format!("division by zero is reachable in {what}"),
+                        )
+                        .in_option(opt_name)
+                        .with_label(span, format!("divisor `{d}` can be zero"))
+                        .with_note(format!("counterexample: {}", counterexample(point, d))),
+                    );
+                    break;
+                }
+            }
+        }
+    }
+
+    // Negative demands: only meaningful for resource amounts, and only when
+    // the whole expression is decidable.
+    if is_demand && decidable(expr, declared) {
+        for point in points {
+            let env = env_of(point);
+            if let Ok(v) = harmony_rsl::expr::eval(expr, &env) {
+                if v.as_f64().map(|x| x < 0.0).unwrap_or(false) {
+                    out.push(
+                        Diagnostic::new(NEG_DEMAND, format!("{what} can demand a negative amount"))
+                            .in_option(opt_name)
+                            .with_label(span, "this amount can go negative")
+                            .with_note(format!("counterexample: {}", counterexample(point, expr))),
+                    );
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// Runs the pass over a bundle.
+pub fn check(bundle: &BundleSpec) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for opt in &bundle.options {
+        let Some(points) = assignments(opt) else {
+            let size: String = opt
+                .variables
+                .iter()
+                .map(|v| v.choices.len().to_string())
+                .collect::<Vec<_>>()
+                .join("×");
+            out.push(
+                Diagnostic::new(
+                    DOMAIN_TOO_LARGE,
+                    format!(
+                        "choice domain ({size} points) exceeds the {DOMAIN_CAP}-point analysis \
+                         cap; divide-by-zero and negative-demand checks were skipped"
+                    ),
+                )
+                .in_option(&opt.name)
+                .with_label(opt.name_span, ""),
+            );
+            continue;
+        };
+        let declared: Vec<&str> = opt.variables.iter().map(|v| v.name.as_str()).collect();
+        let ctx = ExprCtx { opt_name: &opt.name, declared: &declared, points: &points };
+
+        for site in expr_sites(opt) {
+            match site.value {
+                TagValue::Expr(e) => {
+                    check_expr(e, site.span, &site.what, site.kind.is_demand(), &ctx, &mut out)
+                }
+                TagValue::Exact(v)
+                    if site.kind.is_demand() && v.as_f64().map(|x| x < 0.0).unwrap_or(false) =>
+                {
+                    out.push(
+                        Diagnostic::new(
+                            NEG_DEMAND,
+                            format!("{} is the negative amount {}", site.what, v.canonical()),
+                        )
+                        .in_option(&opt.name)
+                        .with_label(site.span, "resource demands must be ≥ 0"),
+                    );
+                }
+                _ => {}
+            }
+        }
+        if let Some(PerfSpec::Expr(e)) = &opt.performance {
+            check_expr(
+                e,
+                opt.performance_span,
+                "the `performance` expression",
+                false,
+                &ctx,
+                &mut out,
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harmony_rsl::schema::parse_bundle_script;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        check(&parse_bundle_script(src).unwrap())
+    }
+
+    #[test]
+    fn zero_choice_reaches_division_by_zero() {
+        let src = "harmonyBundle a b { {o {variable w {0 1 2}} \
+                   {node n {replicate w} {seconds {1200 / w}}}} }";
+        let diags = run(src);
+        let d = diags.iter().find(|d| d.code == DIV_BY_ZERO).unwrap();
+        assert_eq!(d.primary_span().unwrap().slice(src), Some("{1200 / w}"));
+        assert!(d.notes[0].contains("w = 0"), "{:?}", d.notes);
+    }
+
+    #[test]
+    fn positive_domain_proves_freedom() {
+        let diags = run("harmonyBundle a b { {o {variable w {1 2 4 8}} \
+             {node n {replicate w} {seconds {1200 / w}}}} }");
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn negative_demand_with_counterexample() {
+        let src = "harmonyBundle a b { {o {variable w {1 8}} \
+                   {node n {seconds {10 - 2 * w}}}} }";
+        let diags = run(src);
+        let d = diags.iter().find(|d| d.code == NEG_DEMAND).unwrap();
+        assert!(d.notes[0].contains("w = 8"), "{:?}", d.notes);
+    }
+
+    #[test]
+    fn constant_negative_literal_demand() {
+        let diags = run("harmonyBundle a b { {o {node n {seconds -4}}} }");
+        assert!(diags.iter().any(|d| d.code == NEG_DEMAND));
+    }
+
+    #[test]
+    fn allocation_dependent_divisors_are_skipped() {
+        // client.memory is an allocation value: undecidable from the bundle.
+        let diags = run("harmonyBundle a b { {o {node client {seconds 1}} \
+             {communication {100 / client.memory}}} }");
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn nested_divisor_inside_larger_expression() {
+        // The whole expression depends on an allocation value, but the
+        // divisor alone is decidable.
+        let src = "harmonyBundle a b { {o {variable w {0 4}} \
+                   {node client {seconds 1}} \
+                   {communication {client.memory / (w * 2)}}} }";
+        let diags = run(src);
+        assert!(diags.iter().any(|d| d.code == DIV_BY_ZERO), "{diags:?}");
+    }
+
+    #[test]
+    fn oversized_domain_reports_a_note() {
+        // 9^5 = 59049 > 4096.
+        let choices = "{1 2 3 4 5 6 7 8 9}";
+        let src = format!(
+            "harmonyBundle a b {{ {{o \
+             {{variable v1 {choices}}} {{variable v2 {choices}}} {{variable v3 {choices}}} \
+             {{variable v4 {choices}}} {{variable v5 {choices}}} \
+             {{node n {{replicate v1}} {{seconds {{100 / (v2 - v3)}}}}}} \
+             {{communication {{v4 + v5}}}}}} }}"
+        );
+        let diags = run(&src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, DOMAIN_TOO_LARGE);
+    }
+
+    #[test]
+    fn fig2b_is_provably_clean() {
+        let diags = run(harmony_rsl::listings::FIG2B_BAG);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+}

@@ -1,0 +1,147 @@
+//! Pass 2 — type and unit checking of tag values.
+//!
+//! `seconds`, `memory`, `communication`, `friction`, and link bandwidths
+//! are amounts: they must evaluate to numbers. `hostname`/`os` are names:
+//! a numeric value is almost certainly a mistake. Constant expressions are
+//! folded here; failures surface as diagnostics instead of match-time
+//! errors deep inside the controller.
+
+use harmony_rsl::expr::MapEnv;
+use harmony_rsl::schema::{BundleSpec, TagValue};
+use harmony_rsl::{RslError, Value};
+
+use crate::diag::{Diagnostic, BAD_CONST_EXPR, NON_NUMERIC_TAG, NUMERIC_NAME_TAG};
+use crate::sites::expr_sites;
+
+/// Runs the pass over a bundle.
+pub fn check(bundle: &BundleSpec) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for opt in &bundle.options {
+        for site in expr_sites(opt) {
+            if site.kind.is_numeric() {
+                match site.value {
+                    TagValue::Any => {
+                        out.push(
+                            Diagnostic::new(
+                                NON_NUMERIC_TAG,
+                                format!("{} is `*`, which has no numeric amount", site.what),
+                            )
+                            .in_option(&opt.name)
+                            .with_label(site.span, "expected a number here"),
+                        );
+                    }
+                    TagValue::Exact(v) if v.as_f64().is_err() => {
+                        out.push(
+                            Diagnostic::new(
+                                NON_NUMERIC_TAG,
+                                format!(
+                                    "{} holds `{}`, which is not a number",
+                                    site.what,
+                                    v.canonical()
+                                ),
+                            )
+                            .in_option(&opt.name)
+                            .with_label(site.span, "expected a number here"),
+                        );
+                    }
+                    TagValue::Expr(e) if e.is_constant() => {
+                        // Constant folding: a constant expression must
+                        // produce a number. Division by zero is deliberately
+                        // left to the reachability pass (HA0020).
+                        match harmony_rsl::expr::eval(e, &MapEnv::new()) {
+                            Err(RslError::DivideByZero) => {}
+                            Err(err) => out.push(
+                                Diagnostic::new(
+                                    BAD_CONST_EXPR,
+                                    format!("{} does not evaluate: {err}", site.what),
+                                )
+                                .in_option(&opt.name)
+                                .with_label(site.span, "this expression is constant but invalid"),
+                            ),
+                            Ok(v) => {
+                                if v.as_f64().is_err() {
+                                    out.push(
+                                        Diagnostic::new(
+                                            BAD_CONST_EXPR,
+                                            format!(
+                                                "{} evaluates to `{}`, not a number",
+                                                site.what,
+                                                v.canonical()
+                                            ),
+                                        )
+                                        .in_option(&opt.name)
+                                        .with_label(site.span, "expected a number"),
+                                    );
+                                }
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            } else if matches!(site.kind, crate::sites::SiteKind::NodeName) {
+                if let TagValue::Exact(Value::Int(_) | Value::Float(_)) = site.value {
+                    out.push(
+                        Diagnostic::new(
+                            NUMERIC_NAME_TAG,
+                            format!("{} holds a number, expected a name", site.what),
+                        )
+                        .in_option(&opt.name)
+                        .with_label(site.span, ""),
+                    );
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harmony_rsl::schema::parse_bundle_script;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        check(&parse_bundle_script(src).unwrap())
+    }
+
+    #[test]
+    fn string_in_seconds_is_an_error() {
+        let src = "harmonyBundle a b { {o {node n {seconds lots}}} }";
+        let diags = run(src);
+        let d = diags.iter().find(|d| d.code == NON_NUMERIC_TAG).unwrap();
+        assert_eq!(d.primary_span().unwrap().slice(src), Some("lots"));
+        assert!(d.message.contains("`seconds` tag of node `n`"), "{}", d.message);
+    }
+
+    #[test]
+    fn wildcard_in_memory_is_an_error() {
+        let diags = run("harmonyBundle a b { {o {node n {seconds 1} {memory *}}} }");
+        assert!(diags.iter().any(|d| d.code == NON_NUMERIC_TAG));
+    }
+
+    #[test]
+    fn constant_expression_type_errors_fold() {
+        // min() with no args is an arity error; the expression is constant.
+        let diags = run("harmonyBundle a b { {o {node n {seconds {1 + min()}}}} }");
+        assert!(diags.iter().any(|d| d.code == BAD_CONST_EXPR), "{diags:?}");
+    }
+
+    #[test]
+    fn constant_division_by_zero_is_left_to_reachability_pass() {
+        let diags = run("harmonyBundle a b { {o {node n {seconds {10 / 0}}}} }");
+        assert!(!diags.iter().any(|d| d.code == BAD_CONST_EXPR), "{diags:?}");
+    }
+
+    #[test]
+    fn numeric_hostname_warns() {
+        let diags = run("harmonyBundle a b { {o {node n {seconds 1} {hostname 42}}} }");
+        assert!(diags.iter().any(|d| d.code == NUMERIC_NAME_TAG));
+    }
+
+    #[test]
+    fn wildcard_hostname_and_elastic_memory_are_fine() {
+        let diags = run("harmonyBundle a b { {o {node n * {seconds 1} {memory >=17}} \
+             {node m {seconds 2}} {link n m {44 + n.memory}}} }");
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+}

@@ -1,0 +1,123 @@
+//! Rustc-style text rendering of diagnostics.
+
+use crate::diag::{Diagnostic, Severity};
+
+/// Renders one diagnostic against its source text.
+///
+/// ```text
+/// error[HA0020]: division by zero is reachable in `seconds`
+///   --> bag.rsl:4:49
+///    |
+///  4 |   {node worker {replicate w} {seconds {1200 / w}}}
+///    |                                       ^^^^^^^^^^
+///    = note: counterexample: w = 0
+/// ```
+pub fn render_one(diag: &Diagnostic, src: &str, filename: &str) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{}[{}]: {}", diag.severity.name(), diag.code, diag.message));
+    if !diag.option.is_empty() {
+        out.push_str(&format!(" (option `{}`)", diag.option));
+    }
+    out.push('\n');
+
+    if let Some(label) = diag.labels.first() {
+        let pos = label.span.pos(src);
+        let line_no = pos.line as usize;
+        out.push_str(&format!("  --> {filename}:{}:{}\n", pos.line, pos.column));
+
+        if let Some(line_text) = src.lines().nth(line_no - 1) {
+            let gutter = line_no.to_string().len().max(2);
+            out.push_str(&format!("{:>gutter$} |\n", ""));
+            out.push_str(&format!("{line_no:>gutter$} | {line_text}\n"));
+
+            // Caret underline: clamp the span to this line.
+            let col0 = pos.column as usize - 1;
+            let line_len = line_text.len();
+            let span_on_line = label.span.len().min(line_len.saturating_sub(col0)).max(1);
+            let carets = "^".repeat(span_on_line);
+            if label.message.is_empty() {
+                out.push_str(&format!("{:>gutter$} | {:col0$}{carets}\n", "", ""));
+            } else {
+                out.push_str(&format!(
+                    "{:>gutter$} | {:col0$}{carets} {}\n",
+                    "", "", label.message
+                ));
+            }
+        }
+    }
+    for note in &diag.notes {
+        out.push_str(&format!("   = note: {note}\n"));
+    }
+    out
+}
+
+/// Renders a batch of diagnostics followed by a summary line.
+///
+/// Returns the empty string when there is nothing to report.
+pub fn render(diags: &[Diagnostic], src: &str, filename: &str) -> String {
+    if diags.is_empty() {
+        return String::new();
+    }
+    let mut out = String::new();
+    for d in diags {
+        out.push_str(&render_one(d, src, filename));
+        out.push('\n');
+    }
+    let errors = diags.iter().filter(|d| d.severity == Severity::Error).count();
+    let warnings = diags.iter().filter(|d| d.severity == Severity::Warning).count();
+    let mut parts = Vec::new();
+    if errors > 0 {
+        parts.push(format!("{errors} error{}", if errors == 1 { "" } else { "s" }));
+    }
+    if warnings > 0 {
+        parts.push(format!("{warnings} warning{}", if warnings == 1 { "" } else { "s" }));
+    }
+    if parts.is_empty() {
+        let notes = diags.len();
+        parts.push(format!("{notes} note{}", if notes == 1 { "" } else { "s" }));
+    }
+    out.push_str(&format!("{filename}: {}\n", parts.join(", ")));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::{Diagnostic, DIV_BY_ZERO, UNUSED_VAR};
+    use harmony_rsl::Span;
+
+    #[test]
+    fn renders_location_line_and_carets() {
+        let src = "first line\n  {seconds {100 / w}}\n";
+        let span_start = src.find("{100").unwrap();
+        let d = Diagnostic::new(DIV_BY_ZERO, "division by zero is reachable")
+            .with_label(Span::new(span_start, span_start + 9), "divisor can be zero")
+            .with_note("counterexample: w = 0");
+        let text = render_one(&d, src, "bundle.rsl");
+        assert!(text.contains("error[HA0020]: division by zero is reachable"), "{text}");
+        assert!(text.contains("--> bundle.rsl:2:12"), "{text}");
+        assert!(text.contains("{seconds {100 / w}}"), "{text}");
+        assert!(text.contains("^^^^^^^^^ divisor can be zero"), "{text}");
+        assert!(text.contains("= note: counterexample: w = 0"), "{text}");
+    }
+
+    #[test]
+    fn summary_counts_errors_and_warnings() {
+        let src = "x";
+        let diags = vec![
+            Diagnostic::new(DIV_BY_ZERO, "a").with_label(Span::new(0, 1), ""),
+            Diagnostic::new(UNUSED_VAR, "b").with_label(Span::new(0, 1), ""),
+        ];
+        let text = render(&diags, src, "f.rsl");
+        assert!(text.contains("f.rsl: 1 error, 1 warning"), "{text}");
+        assert_eq!(render(&[], src, "f.rsl"), "");
+    }
+
+    #[test]
+    fn spanless_diagnostic_still_renders() {
+        let d = Diagnostic::new(DIV_BY_ZERO, "no span");
+        let text = render_one(&d, "src", "f.rsl");
+        assert!(text.starts_with("error[HA0020]: no span"));
+        assert!(!text.contains("-->"));
+    }
+}

@@ -1,0 +1,136 @@
+//! Enumeration of the *expression sites* of an option: every place a
+//! [`TagValue`] appears, with its source span and how the value is used.
+//!
+//! The name, type, and reachability passes all walk the same sites, so the
+//! enumeration lives here once.
+
+use harmony_rsl::schema::{OptionSpec, TagValue};
+use harmony_rsl::Span;
+
+/// How a tag value is used, which determines the checks that apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SiteKind {
+    /// A node tag holding a resource amount (`seconds`, `memory`).
+    NodeDemand,
+    /// A node tag holding a name (`hostname`, `os`).
+    NodeName,
+    /// Any other node tag (matched against arbitrary node attributes).
+    NodeOther,
+    /// A link's required bandwidth.
+    Bandwidth,
+    /// The option's `communication` total.
+    Communication,
+    /// The option's `friction` switching cost.
+    Friction,
+}
+
+impl SiteKind {
+    /// True when the value must have a numeric amount.
+    pub(crate) fn is_numeric(self) -> bool {
+        matches!(
+            self,
+            SiteKind::NodeDemand
+                | SiteKind::Bandwidth
+                | SiteKind::Communication
+                | SiteKind::Friction
+        )
+    }
+
+    /// True when a negative value is a nonsensical resource demand.
+    pub(crate) fn is_demand(self) -> bool {
+        self.is_numeric()
+    }
+}
+
+/// One occurrence of a tag value in an option.
+#[derive(Debug, Clone)]
+pub(crate) struct ExprSite<'a> {
+    /// How the value is used.
+    pub kind: SiteKind,
+    /// Human-readable description, e.g. `` `seconds` tag of node `worker` ``.
+    pub what: String,
+    /// The value itself.
+    pub value: &'a TagValue,
+    /// Span of the value in the source.
+    pub span: Span,
+}
+
+/// Enumerates every tag-value site of `opt`, in definition order.
+pub(crate) fn expr_sites(opt: &OptionSpec) -> Vec<ExprSite<'_>> {
+    let mut out = Vec::new();
+    for node in &opt.nodes {
+        for (i, (tag, value)) in node.tags.iter().enumerate() {
+            let kind = match tag.as_str() {
+                "seconds" | "memory" => SiteKind::NodeDemand,
+                "hostname" | "os" => SiteKind::NodeName,
+                _ => SiteKind::NodeOther,
+            };
+            out.push(ExprSite {
+                kind,
+                what: format!("`{tag}` tag of node `{}`", node.name),
+                value,
+                span: node.tag_span(i),
+            });
+        }
+    }
+    for link in &opt.links {
+        out.push(ExprSite {
+            kind: SiteKind::Bandwidth,
+            what: format!("bandwidth of link `{}`-`{}`", link.a, link.b),
+            value: &link.bandwidth,
+            span: link.bandwidth_span,
+        });
+    }
+    if let Some(c) = &opt.communication {
+        out.push(ExprSite {
+            kind: SiteKind::Communication,
+            what: "`communication` tag".to_string(),
+            value: c,
+            span: opt.communication_span,
+        });
+    }
+    if let Some(f) = &opt.friction {
+        out.push(ExprSite {
+            kind: SiteKind::Friction,
+            what: "`friction` tag".to_string(),
+            value: f,
+            span: opt.friction_span,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harmony_rsl::schema::parse_bundle_script;
+
+    #[test]
+    fn sites_cover_all_tag_values_in_order() {
+        let bundle = parse_bundle_script(
+            "harmonyBundle a b { {o \
+               {node w {seconds 10} {memory 5} {os linux} {custom 3}} \
+               {link w w 7} \
+               {communication 9} \
+               {friction 2}} }",
+        )
+        .unwrap();
+        let sites = expr_sites(&bundle.options[0]);
+        let kinds: Vec<SiteKind> = sites.iter().map(|s| s.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                SiteKind::NodeDemand,
+                SiteKind::NodeDemand,
+                SiteKind::NodeName,
+                SiteKind::NodeOther,
+                SiteKind::Bandwidth,
+                SiteKind::Communication,
+                SiteKind::Friction,
+            ]
+        );
+        assert!(sites.iter().all(|s| !s.span.is_empty()));
+        assert!(SiteKind::Bandwidth.is_numeric() && SiteKind::Bandwidth.is_demand());
+        assert!(!SiteKind::NodeName.is_numeric());
+    }
+}

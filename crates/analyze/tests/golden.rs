@@ -1,0 +1,154 @@
+//! Golden-file tests: one minimal triggering snippet per diagnostic code.
+//!
+//! Each case analyzes its snippet, asserts the target code is present, and
+//! compares the full rendered report against `tests/golden/<code>.txt`.
+//! Regenerate the expectation files with:
+//!
+//! ```text
+//! GOLDEN_BLESS=1 cargo test -p harmony-analyze --test golden
+//! ```
+
+use harmony_analyze::{analyze_script, render};
+
+/// `(code, snippet)` — the snippet is a complete RSL script that triggers
+/// the code (possibly alongside related findings, which the golden file
+/// also records).
+const CASES: &[(&str, &str)] = &[
+    (
+        "HA0001",
+        "harmonyBundle a b {\n  {o {node n {seconds 1}}}\n  {o {node n {seconds 2}}}\n}\n",
+    ),
+    (
+        "HA0002",
+        "harmonyBundle a b {\n  {o {node n {seconds 1}} {node n {seconds 2}}}\n}\n",
+    ),
+    (
+        "HA0003",
+        "harmonyBundle a b {\n  {o {node n {seconds 1}} {link n ghost 10}}\n}\n",
+    ),
+    (
+        "HA0004",
+        "harmonyBundle a b {\n  {o {node n {replicate w} {seconds 1}}}\n}\n",
+    ),
+    (
+        "HA0005",
+        "harmonyBundle a b {\n  {o {node n {seconds 1}} {communication {100 + x.memory}}}\n}\n",
+    ),
+    (
+        "HA0006",
+        "harmonyBundle a b {\n  {o {node n {seconds 1}} {granularity -5}}\n}\n",
+    ),
+    ("HA0011", "harmonyBundle a b {\n  {o {node n {seconds lots}}}\n}\n"),
+    (
+        "HA0012",
+        "harmonyBundle a b {\n  {o {node n {seconds {1 + min()}}}}\n}\n",
+    ),
+    (
+        "HA0020",
+        "harmonyBundle a b {\n  {o {variable z {0 1 2}} {node n {replicate z} {seconds {1200 / z}}}}\n}\n",
+    ),
+    (
+        "HA0021",
+        "harmonyBundle a b {\n  {o {variable w {1 8}} {node n {replicate w} {seconds {10 - 2 * w}}}}\n}\n",
+    ),
+    (
+        "HA0030",
+        "harmonyBundle a b {\n  {o {node n {seconds 1}} {performance {1 100} {1 90}}}\n}\n",
+    ),
+    (
+        "HA0031",
+        "harmonyBundle a b {\n  {o {node n {seconds 1}} {performance {1 100} {2 -5}}}\n}\n",
+    ),
+    (
+        "HA0050",
+        "harmonyBundle app:7 conf {\n  {o {node n {seconds 1}}}\n}\nharmonyBundle app:7 conf {\n  {p {node m {seconds 2}}}\n}\n",
+    ),
+    (
+        "HA0051",
+        "harmonyBundle a.b:1 conf {\n  {o {node n {seconds 1}}}\n}\n",
+    ),
+    (
+        "HA0052",
+        "harmonyBundle a b {\n  {o {variable n {1 2}} {node n {replicate n} {seconds 1}}}\n}\n",
+    ),
+    (
+        "HA0101",
+        "harmonyBundle a b {\n  {o {node n {seconds 1}} {link n n 10}}\n}\n",
+    ),
+    (
+        "HA0102",
+        "harmonyBundle a b {\n  {o {variable w {1 2}} {node n {seconds 1}}}\n}\n",
+    ),
+    (
+        "HA0103",
+        "harmonyBundle a b {\n  {o {variable w {1 1 2}} {node n {replicate w} {seconds 1}}}\n}\n",
+    ),
+    (
+        "HA0104",
+        "harmonyBundle a b {\n  {o {variable w {0 1}} {node n {replicate w} {seconds 1}}}\n}\n",
+    ),
+    ("HA0105", "harmonyBundle a b {\n  {o}\n}\n"),
+    (
+        "HA0106",
+        "harmonyBundle a b {\n  {o\n    {variable v1 {1 2 3}} {variable v2 {1 2 3}} {variable v3 {1 2 3}}\n    {variable v4 {1 2 3}} {variable v5 {1 2 3}} {variable v6 {1 2 3}}\n    {variable v7 {1 2 3}} {variable v8 {1 2 3}}\n    {node n {seconds {v1 + v2 + v3 + v4 + v5 + v6 + v7 + v8}}}}\n}\n",
+    ),
+    (
+        "HA0113",
+        "harmonyBundle a b {\n  {o {node n {seconds 1} {hostname 42}}}\n}\n",
+    ),
+    (
+        "HA0130",
+        "harmonyBundle a b {\n  {o {node n {seconds 1}} {performance {4 50} {1 100}}}\n}\n",
+    ),
+    (
+        "HA0140",
+        "harmonyBundle a b {\n  {fast {node n {seconds 10} {memory 16}} {performance {1 100}}}\n  {slow {node n {seconds 20} {memory 32}} {performance {1 400}}}\n}\n",
+    ),
+    (
+        "HA0141",
+        "harmonyBundle a b {\n  {fast {node n {seconds 1}}}\n  {slow {node n {seconds 1}}}\n}\n",
+    ),
+];
+
+fn golden_path(code: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join(format!("{code}.txt"))
+}
+
+#[test]
+fn every_code_has_a_case() {
+    for (code, _, _) in harmony_analyze::diag::ALL_CODES {
+        assert!(CASES.iter().any(|(c, _)| c == &code.0), "no golden case for {code}");
+    }
+    assert_eq!(CASES.len(), harmony_analyze::diag::ALL_CODES.len());
+}
+
+#[test]
+fn snippets_trigger_their_codes_and_match_goldens() {
+    let bless = std::env::var_os("GOLDEN_BLESS").is_some();
+    let mut mismatches = Vec::new();
+    for (code, src) in CASES {
+        let diags = analyze_script(src).unwrap_or_else(|e| panic!("{code}: parse: {e}"));
+        assert!(
+            diags.iter().any(|d| d.code.0 == *code),
+            "{code}: snippet did not trigger it; got {:?}",
+            diags.iter().map(|d| d.code.0).collect::<Vec<_>>()
+        );
+        let rendered = render(&diags, src, "case.rsl");
+        let path = golden_path(code);
+        if bless {
+            std::fs::write(&path, &rendered).unwrap();
+            continue;
+        }
+        let expected = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("{code}: missing golden file {path:?}: {e}"));
+        if rendered != expected {
+            mismatches.push(format!(
+                "== {code} ==\n--- expected ---\n{expected}\n--- actual ---\n{rendered}"
+            ));
+        }
+    }
+    assert!(mismatches.is_empty(), "{}", mismatches.join("\n"));
+}

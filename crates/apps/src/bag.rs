@@ -100,8 +100,7 @@ impl BagOfTasks {
             busy[w] += dt;
         }
         let comm = self.exchange_seconds * (workers.saturating_sub(1)) as f64;
-        let makespan =
-            finish.iter().cloned().fold(0.0f64, f64::max) + comm;
+        let makespan = finish.iter().cloned().fold(0.0f64, f64::max) + comm;
         BagRun { makespan, worker_busy: busy, tasks_done: self.tasks.len() }
     }
 
@@ -130,8 +129,7 @@ impl BagOfTasks {
     /// total communication, and the measured performance curve.
     pub fn to_bundle(&self, app: &str, choices: &[usize], speed: f64) -> String {
         let total = self.total_work();
-        let choice_list =
-            choices.iter().map(usize::to_string).collect::<Vec<_>>().join(" ");
+        let choice_list = choices.iter().map(usize::to_string).collect::<Vec<_>>().join(" ");
         let points = self
             .curve(choices, speed)
             .into_iter()

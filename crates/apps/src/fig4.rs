@@ -113,8 +113,7 @@ pub fn run_fig4(cfg: &Fig4Config) -> Fig4Result {
         Arrive,
         Depart(usize),
     }
-    let mut events: Vec<(f64, Ev)> =
-        cfg.arrivals.iter().map(|&t| (t, Ev::Arrive)).collect();
+    let mut events: Vec<(f64, Ev)> = cfg.arrivals.iter().map(|&t| (t, Ev::Arrive)).collect();
     if let Some((t, idx)) = cfg.departure {
         events.push((t, Ev::Depart(idx)));
     }
@@ -127,8 +126,7 @@ pub fn run_fig4(cfg: &Fig4Config) -> Fig4Result {
         ctl.set_time(t);
         let label = match ev {
             Ev::Arrive => {
-                let spec =
-                    parse_bundle_script(&bundle_text).expect("generated bundle parses");
+                let spec = parse_bundle_script(&bundle_text).expect("generated bundle parses");
                 let (id, _) = ctl.register(spec).expect("bag placement");
                 ids.push(id.clone());
                 live.push(id.clone());
@@ -163,11 +161,7 @@ mod tests {
 
     #[test]
     fn two_jobs_get_equal_partitions() {
-        let cfg = Fig4Config {
-            arrivals: vec![0.0, 300.0],
-            departure: None,
-            ..Default::default()
-        };
+        let cfg = Fig4Config { arrivals: vec![0.0, 300.0], departure: None, ..Default::default() };
         let r = run_fig4(&cfg);
         let w = r.timeline[1].workers();
         assert_eq!(w, vec![4, 4], "equal partitions, got {w:?}");

@@ -120,10 +120,7 @@ mod tests {
     fn harmony_grows_the_buffer_when_memory_is_free_and_shrinks_under_pressure() {
         let s = InfoServer::default();
         let bundle_text = s.to_bundle("infoserv", &[8, 16, 32, 64, 128]);
-        let cluster = Cluster::from_rsl(
-            "harmonyNode server {speed 1.0} {memory 160}",
-        )
-        .unwrap();
+        let cluster = Cluster::from_rsl("harmonyNode server {speed 1.0} {memory 160}").unwrap();
         let mut ctl = Controller::new(cluster, ControllerConfig::default());
         let (id, _) = ctl.register(parse_bundle_script(&bundle_text).unwrap()).unwrap();
         // Alone, the biggest buffer wins (fastest service).
@@ -131,17 +128,13 @@ mod tests {
 
         // A memory-hungry application arrives; only 32 MB remain, so the
         // controller must shrink the info server's buffer to admit it.
-        let hog = parse_bundle_script(
-            "harmonyBundle hog:1 b { {o {node n {seconds 1} {memory 96}}} }",
-        )
-        .unwrap();
+        let hog =
+            parse_bundle_script("harmonyBundle hog:1 b { {o {node n {seconds 1} {memory 96}}} }")
+                .unwrap();
         let (hog_id, _) = ctl.register(hog).unwrap();
         assert!(ctl.choice(&hog_id, "b").is_some(), "hog admitted");
         let buf = &ctl.choice(&id, "buffer").unwrap().option;
-        assert!(
-            ["buf8", "buf16", "buf32", "buf64"].contains(&buf.as_str()),
-            "shrunk to {buf}"
-        );
+        assert!(["buf8", "buf16", "buf32", "buf64"].contains(&buf.as_str()), "shrunk to {buf}");
         // Departure: the buffer re-grows.
         ctl.end(&hog_id).unwrap();
         assert_eq!(ctl.choice(&id, "buffer").unwrap().option, "buf128");

@@ -37,8 +37,7 @@ impl SimpleParallel {
     /// compute, so the run ends at the max of the two.
     pub fn wall_time(&self, speed: f64, mbps: f64) -> f64 {
         let compute = if speed > 0.0 { self.seconds_per_worker / speed } else { f64::INFINITY };
-        let transfer =
-            if mbps > 0.0 { self.communication_mb * 8.0 / mbps } else { f64::INFINITY };
+        let transfer = if mbps > 0.0 { self.communication_mb * 8.0 / mbps } else { f64::INFINITY };
         compute.max(transfer)
     }
 
@@ -85,10 +84,7 @@ mod tests {
         let s = SimpleParallel::default();
         let spec = parse_bundle_script(&s.to_bundle("simple")).unwrap();
         let opt = &spec.options[0];
-        assert_eq!(
-            opt.nodes[0].count,
-            harmony_rsl::schema::CountSpec::Replicate(4)
-        );
+        assert_eq!(opt.nodes[0].count, harmony_rsl::schema::CountSpec::Replicate(4));
         let env = harmony_rsl::expr::MapEnv::new();
         assert_eq!(opt.nodes[0].seconds().unwrap().amount(&env).unwrap(), 300.0);
         assert_eq!(opt.communication.as_ref().unwrap().amount(&env).unwrap(), 100.0);

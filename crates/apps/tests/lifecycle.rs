@@ -9,8 +9,7 @@ use harmony_rsl::schema::parse_bundle_script;
 
 #[test]
 fn all_three_application_kinds_share_one_cluster() {
-    let cluster =
-        Cluster::from_rsl(&harmony_rsl::listings::sp2_cluster(8)).unwrap();
+    let cluster = Cluster::from_rsl(&harmony_rsl::listings::sp2_cluster(8)).unwrap();
     let mut ctl = Controller::new(cluster, ControllerConfig::default());
 
     // The info server arrives first and takes a big buffer.
@@ -22,9 +21,8 @@ fn all_three_application_kinds_share_one_cluster() {
 
     // The fixed four-worker Simple application places on distinct nodes.
     let simple = SimpleParallel::default();
-    let (simple_id, _) = ctl
-        .register(parse_bundle_script(&simple.to_bundle("simple")).unwrap())
-        .unwrap();
+    let (simple_id, _) =
+        ctl.register(parse_bundle_script(&simple.to_bundle("simple")).unwrap()).unwrap();
     let simple_alloc = &ctl.choice(&simple_id, "config").unwrap().alloc;
     assert_eq!(simple_alloc.distinct_nodes(), 4);
 
@@ -34,8 +32,7 @@ fn all_three_application_kinds_share_one_cluster() {
     let bag = BagOfTasks::fig4(3);
     let (bag_id, _) = ctl
         .register(
-            parse_bundle_script(&bag.to_bundle("bag", &[1, 2, 3, 4, 5, 6, 7, 8], 1.0))
-                .unwrap(),
+            parse_bundle_script(&bag.to_bundle("bag", &[1, 2, 3, 4, 5, 6, 7, 8], 1.0)).unwrap(),
         )
         .unwrap();
     let bag_choice = ctl.choice(&bag_id, "config").unwrap();
@@ -70,17 +67,14 @@ fn bag_departure_lets_the_info_server_regrow_its_buffer() {
     let mut ctl = Controller::new(cluster, ControllerConfig::default());
     let info = InfoServer::default();
     let (info_id, _) = ctl
-        .register(
-            parse_bundle_script(&info.to_bundle("infoserv", &[8, 32, 64, 128])).unwrap(),
-        )
+        .register(parse_bundle_script(&info.to_bundle("infoserv", &[8, 32, 64, 128])).unwrap())
         .unwrap();
     assert_eq!(ctl.choice(&info_id, "buffer").unwrap().option, "buf128");
 
     // A memory hog arrives (needs 140 MB somewhere).
-    let hog = parse_bundle_script(
-        "harmonyBundle hog:1 b { {o {node n {seconds 5} {memory 140}}} }",
-    )
-    .unwrap();
+    let hog =
+        parse_bundle_script("harmonyBundle hog:1 b { {o {node n {seconds 5} {memory 140}}} }")
+            .unwrap();
     let (hog_id, _) = ctl.register(hog).unwrap();
     let shrunk = ctl.choice(&info_id, "buffer").unwrap().option.clone();
     assert_ne!(shrunk, "buf128", "buffer shrank to admit the hog");

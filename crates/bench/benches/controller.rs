@@ -23,33 +23,25 @@ fn bench_controller(c: &mut Criterion) {
     let spec = parse_bundle_script(FIG2B_BAG).unwrap();
     let mut group = c.benchmark_group("register arrival");
     for napps in [0usize, 2, 4] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(napps),
-            &napps,
-            |b, &napps| {
-                b.iter_batched(
-                    || controller_with(napps, 16),
-                    |mut ctl| {
-                        ctl.register(black_box(spec.clone())).unwrap();
-                        ctl
-                    },
-                    criterion::BatchSize::SmallInput,
-                )
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(napps), &napps, |b, &napps| {
+            b.iter_batched(
+                || controller_with(napps, 16),
+                |mut ctl| {
+                    ctl.register(black_box(spec.clone())).unwrap();
+                    ctl
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
     }
     group.finish();
 
     let mut group = c.benchmark_group("periodic reevaluate");
     for napps in [2usize, 4] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(napps),
-            &napps,
-            |b, &napps| {
-                let mut ctl = controller_with(napps, 16);
-                b.iter(|| ctl.reevaluate().unwrap())
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(napps), &napps, |b, &napps| {
+            let mut ctl = controller_with(napps, 16);
+            b.iter(|| ctl.reevaluate().unwrap())
+        });
     }
     group.finish();
 }

@@ -27,12 +27,7 @@ fn bench_queries(c: &mut Criterion) {
     let (_, stats) = engine.execute_hash(&q, &mut warm);
     let model = CostModel::default();
     c.bench_function("cost model pricing", |b| {
-        b.iter(|| {
-            (
-                model.query_shipping(black_box(&stats)),
-                model.data_shipping(black_box(&stats)),
-            )
-        })
+        b.iter(|| (model.query_shipping(black_box(&stats)), model.data_shipping(black_box(&stats))))
     });
 }
 

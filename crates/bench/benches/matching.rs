@@ -32,9 +32,7 @@ fn bench_matching(c: &mut Criterion) {
 
     // Commit/release cycle cost.
     let cluster = Cluster::from_rsl(&sp2_cluster(32)).unwrap();
-    let alloc = Matcher::default()
-        .match_option(&cluster, &bundle.options[0], &vars)
-        .unwrap();
+    let alloc = Matcher::default().match_option(&cluster, &bundle.options[0], &vars).unwrap();
     c.bench_function("commit+release", |b| {
         let mut cl = cluster.clone();
         b.iter(|| {

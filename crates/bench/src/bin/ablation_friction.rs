@@ -51,11 +51,8 @@ fn run(friction_weight: f64, friction_seconds: f64, cycles: usize) -> (u32, f64)
         ctl.set_time(t);
         ctl.end(&r).unwrap();
     }
-    let reconfigs = ctl
-        .app(&bag)
-        .and_then(|a| a.bundle("config"))
-        .map(|b| b.reconfig_count)
-        .unwrap_or(0);
+    let reconfigs =
+        ctl.app(&bag).and_then(|a| a.bundle("config")).map(|b| b.reconfig_count).unwrap_or(0);
     let friction_paid = reconfigs as f64 * friction_seconds;
     (reconfigs, friction_paid)
 }
@@ -64,19 +61,12 @@ fn main() {
     println!("Ablation — frictional reconfiguration cost\n");
     const FRICTION_SECONDS: f64 = 120.0;
     const CYCLES: usize = 10;
-    let mut table = Table::new(vec![
-        "friction weight",
-        "bag reconfigurations",
-        "friction paid (s)",
-    ]);
+    let mut table =
+        Table::new(vec!["friction weight", "bag reconfigurations", "friction paid (s)"]);
     let mut by_weight = Vec::new();
     for weight in [0.0, 1.0, 5.0] {
         let (reconfigs, paid) = run(weight, FRICTION_SECONDS, CYCLES);
-        table.row(vec![
-            format!("{weight}"),
-            reconfigs.to_string(),
-            format!("{paid:.0}"),
-        ]);
+        table.row(vec![format!("{weight}"), reconfigs.to_string(), format!("{paid:.0}")]);
         by_weight.push((weight, reconfigs, paid));
     }
     println!("{}", table.render());
@@ -89,14 +79,8 @@ fn main() {
         &format!("ignoring friction thrashes: {zero} reconfigs over {CYCLES} rival cycles"),
         zero >= CYCLES as u32,
     );
-    ok &= check(
-        &format!("respecting friction dampens switching ({one} ≤ {zero})"),
-        one <= zero,
-    );
-    ok &= check(
-        &format!("heavy friction pins the configuration ({five} ≤ {one})"),
-        five <= one,
-    );
+    ok &= check(&format!("respecting friction dampens switching ({one} ≤ {zero})"), one <= zero);
+    ok &= check(&format!("heavy friction pins the configuration ({five} ≤ {one})"), five <= one);
     ok &= check("heavy friction nearly eliminates switching", five <= 2);
 
     let path = write_artifact("ablation_friction.csv", &table.to_csv());

@@ -9,9 +9,7 @@
 //! bandwidth-only model underestimates badly.
 
 use harmony_bench::{check, write_artifact, Table};
-use harmony_predict::{
-    DefaultModel, LogPParams, Prediction, PredictionContext, Predictor,
-};
+use harmony_predict::{DefaultModel, LogPParams, Prediction, PredictionContext, Predictor};
 use harmony_resources::{Cluster, Matcher};
 use harmony_rsl::expr::MapEnv;
 use harmony_rsl::schema::parse_bundle_script;
@@ -60,13 +58,9 @@ fn main() {
 
     let mut ok = true;
     let small = ratios.iter().find(|(mb, msg, ..)| *mb == 100.0 && *msg == 64.0).unwrap();
-    let large =
-        ratios.iter().find(|(mb, msg, ..)| *mb == 100.0 && *msg == 65536.0).unwrap();
+    let large = ratios.iter().find(|(mb, msg, ..)| *mb == 100.0 && *msg == 65536.0).unwrap();
     ok &= check(
-        &format!(
-            "tiny messages inflate cost well beyond wire time (×{:.2} at 64 B)",
-            small.2
-        ),
+        &format!("tiny messages inflate cost well beyond wire time (×{:.2} at 64 B)", small.2),
         small.2 > 1.5,
     );
     ok &= check(

@@ -16,10 +16,7 @@ use harmony_sim::SimRng;
 fn cluster() -> Cluster {
     let mut c = Cluster::new();
     // Heterogeneous memory: a few big nodes, many small ones.
-    for (i, mem) in [512.0, 512.0, 256.0, 128.0, 128.0, 64.0, 64.0, 64.0]
-        .into_iter()
-        .enumerate()
-    {
+    for (i, mem) in [512.0, 512.0, 256.0, 128.0, 128.0, 64.0, 64.0, 64.0].into_iter().enumerate() {
         c.add_node(NodeDecl::new(format!("n{i}"), 1.0, mem)).unwrap();
     }
     c
@@ -100,17 +97,11 @@ fn main() {
     let bf = totals.iter().find(|(n, ..)| *n == "best-fit").unwrap();
     let mut ok = true;
     ok &= check(
-        &format!(
-            "best-fit places at least as many big jobs as first-fit ({} vs {})",
-            bf.1, ff.1
-        ),
+        &format!("best-fit places at least as many big jobs as first-fit ({} vs {})", bf.1, ff.1),
         bf.1 >= ff.1,
     );
     ok &= check(
-        &format!(
-            "best-fit leaves less (or equal) fragmentation ({:.3} vs {:.3})",
-            bf.2, ff.2
-        ),
+        &format!("best-fit leaves less (or equal) fragmentation ({:.3} vs {:.3})", bf.2, ff.2),
         bf.2 <= ff.2 + 0.02,
     );
     let path = write_artifact("ablation_matching.csv", &table.to_csv());

@@ -31,8 +31,7 @@ fn true_cost(bag: &BagOfTasks, workers: &[u32]) -> f64 {
     if workers.is_empty() {
         return f64::NAN;
     }
-    let total: f64 =
-        workers.iter().map(|&w| bag.run(w.max(1) as usize, 1.0).makespan).sum();
+    let total: f64 = workers.iter().map(|&w| bag.run(w.max(1) as usize, 1.0).makespan).sum();
     total / workers.len() as f64
 }
 
@@ -53,11 +52,7 @@ fn run(with_explicit_model: bool, arrivals: usize) -> (Vec<u32>, f64) {
         .iter()
         .filter_map(|id| {
             ctl.choice(id, "config").map(|c| {
-                c.vars
-                    .iter()
-                    .find(|(k, _)| k == "workerNodes")
-                    .map(|(_, v)| *v as u32)
-                    .unwrap_or(0)
+                c.vars.iter().find(|(k, _)| k == "workerNodes").map(|(_, v)| *v as u32).unwrap_or(0)
             })
         })
         .collect();
@@ -67,12 +62,7 @@ fn run(with_explicit_model: bool, arrivals: usize) -> (Vec<u32>, f64) {
 
 fn main() {
     println!("Ablation — explicit performance model vs default contention model\n");
-    let mut table = Table::new(vec![
-        "jobs",
-        "model",
-        "chosen workers",
-        "true avg completion (s)",
-    ]);
+    let mut table = Table::new(vec!["jobs", "model", "chosen workers", "true avg completion (s)"]);
     let mut ok = true;
     let mut pairs = Vec::new();
     for arrivals in [1usize, 2, 3] {

@@ -18,8 +18,7 @@ fn setup(napps: usize, coordinated: bool) -> Controller {
     let config = ControllerConfig { coordinated_moves: coordinated, ..Default::default() };
     let mut ctl = Controller::new(cluster, config);
     for _ in 0..napps {
-        ctl.register(parse_bundle_script(harmony_rsl::listings::FIG2B_BAG).unwrap())
-            .unwrap();
+        ctl.register(parse_bundle_script(harmony_rsl::listings::FIG2B_BAG).unwrap()).unwrap();
     }
     ctl
 }

@@ -15,15 +15,12 @@ fn run(napps: usize, selfish: bool) -> (f64, Vec<i64>) {
     let mut ctl = Controller::new(cluster, config);
     let mut ids = Vec::new();
     for _ in 0..napps {
-        let (id, _) = ctl
-            .register(parse_bundle_script(harmony_rsl::listings::FIG2B_BAG).unwrap())
-            .unwrap();
+        let (id, _) =
+            ctl.register(parse_bundle_script(harmony_rsl::listings::FIG2B_BAG).unwrap()).unwrap();
         ids.push(id);
     }
-    let workers: Vec<i64> = ids
-        .iter()
-        .map(|id| ctl.choice(id, "config").map(|c| c.vars[0].1).unwrap_or(0))
-        .collect();
+    let workers: Vec<i64> =
+        ids.iter().map(|id| ctl.choice(id, "config").map(|c| c.vars[0].1).unwrap_or(0)).collect();
     // Score both variants with the *system* objective (selfish mode scores
     // only itself during optimization, but we judge the outcome globally).
     (ctl.objective_score(), workers)
@@ -31,12 +28,7 @@ fn run(napps: usize, selfish: bool) -> (f64, Vec<i64>) {
 
 fn main() {
     println!("Ablation — centralized coordination vs selfish adaptation\n");
-    let mut table = Table::new(vec![
-        "jobs",
-        "policy",
-        "chosen workers",
-        "system objective (s)",
-    ]);
+    let mut table = Table::new(vec!["jobs", "policy", "chosen workers", "system objective (s)"]);
     let mut ok = true;
     for napps in [1usize, 2, 3, 4] {
         let (central_score, central_w) = run(napps, false);

@@ -102,11 +102,7 @@ fn main() {
     );
     ok &= check(
         "harmony tracks the lower envelope (within 20%)",
-        qs_curve
-            .iter()
-            .zip(&ds_curve)
-            .zip(&harmony_curve)
-            .all(|((q, d), h)| *h <= q.min(*d) * 1.2),
+        qs_curve.iter().zip(&ds_curve).zip(&harmony_curve).all(|((q, d), h)| *h <= q.min(*d) * 1.2),
     );
     ok &= check(
         "harmony picks QS below the crossover and DS above it",
@@ -115,11 +111,8 @@ fn main() {
     );
 
     let mut csv = String::from("clients,always_qs,always_ds,harmony,mode\n");
-    for (i, ((q, d), (h, m))) in qs_curve
-        .iter()
-        .zip(&ds_curve)
-        .zip(harmony_curve.iter().zip(&modes))
-        .enumerate()
+    for (i, ((q, d), (h, m))) in
+        qs_curve.iter().zip(&ds_curve).zip(harmony_curve.iter().zip(&modes)).enumerate()
     {
         csv.push_str(&format!("{},{q:.4},{d:.4},{h:.4},{m}\n", i + 1));
     }

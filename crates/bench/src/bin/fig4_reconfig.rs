@@ -18,23 +18,15 @@ fn main() {
     let mut curve = Table::new(vec!["workers", "seconds", "speedup"]);
     let t1 = r.curve[0].1;
     for (w, t) in &r.curve {
-        curve.row(vec![
-            format!("{}", *w as u32),
-            format!("{t:.0}"),
-            format!("{:.2}", t1 / t),
-        ]);
+        curve.row(vec![format!("{}", *w as u32), format!("{t:.0}"), format!("{:.2}", t1 / t)]);
     }
     println!("{}", curve.render());
 
     println!("Figure 4(b) — configurations chosen online\n");
     let mut timeline = Table::new(vec!["time", "event", "configuration"]);
     for e in &r.timeline {
-        let cfgs = e
-            .configs
-            .iter()
-            .map(|(id, w)| format!("{id}={w}"))
-            .collect::<Vec<_>>()
-            .join(" ");
+        let cfgs =
+            e.configs.iter().map(|(id, w)| format!("{id}={w}")).collect::<Vec<_>>().join(" ");
         timeline.row(vec![format!("{:.0}", e.time), e.event.clone(), cfgs]);
     }
     println!("{}", timeline.render());
@@ -60,24 +52,15 @@ fn main() {
         .map(|(w, _)| *w as u32)
         .unwrap();
     ok &= check("curve bottoms at five workers (paper: 5, not 6)", best == 5);
-    ok &= check(
-        "first job configured at five nodes",
-        r.timeline[0].workers() == vec![5],
-    );
-    ok &= check(
-        "two jobs: equal partitions (4+4)",
-        r.timeline[1].workers() == vec![4, 4],
-    );
+    ok &= check("first job configured at five nodes", r.timeline[0].workers() == vec![5]);
+    ok &= check("two jobs: equal partitions (4+4)", r.timeline[1].workers() == vec![4, 4]);
     let mut w3 = r.timeline[2].workers();
     w3.sort_unstable();
     ok &= check(
         "three jobs: near-equal partitions using all 8 processors",
         w3.iter().sum::<u32>() == 8 && w3[2] - w3[0] <= 1,
     );
-    ok &= check(
-        "departure: survivors re-expand to 4+4",
-        r.timeline[3].workers() == vec![4, 4],
-    );
+    ok &= check("departure: survivors re-expand to 4+4", r.timeline[3].workers() == vec![4, 4]);
 
     let mut csv = String::from("series,x,y\n");
     for (w, t) in &r.curve {

@@ -124,10 +124,7 @@ fn main() {
         q3 > two && q3 > one,
     );
     let h3 = harmony.mean_response_in(470.0, 600.0).unwrap_or(f64::NAN);
-    ok &= check(
-        &format!("harmony beats always-QS at three clients ({h3:.2} vs {q3:.2})"),
-        h3 < q3,
-    );
+    ok &= check(&format!("harmony beats always-QS at three clients ({h3:.2} vs {q3:.2})"), h3 < q3);
 
     let path = write_artifact("fig7_database.csv", &csv);
     println!("\nwrote {}", path.display());

@@ -16,13 +16,8 @@ use harmony_rsl::schema::parse_bundle_script;
 
 fn main() {
     println!("Scalability — controller latency vs population and cluster size\n");
-    let mut table = Table::new(vec![
-        "nodes",
-        "apps",
-        "placement (ms)",
-        "reevaluate (ms)",
-        "decisions",
-    ]);
+    let mut table =
+        Table::new(vec!["nodes", "apps", "placement (ms)", "reevaluate (ms)", "decisions"]);
     let spec = parse_bundle_script(FIG2B_BAG).unwrap();
     let mut worst_reeval_ms: f64 = 0.0;
     for (nodes, napps) in [(8usize, 2usize), (16, 4), (32, 8), (64, 12)] {

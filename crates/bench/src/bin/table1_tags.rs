@@ -19,20 +19,14 @@ fn main() {
         "harmonyBundle parses into mutually exclusive options",
         bundle.option_names() == vec!["QS", "DS"],
     );
-    table.row(vec![
-        "harmonyBundle",
-        "Application bundle",
-        "FIG3 parses into options [QS; DS]",
-    ]);
+    table.row(vec!["harmonyBundle", "Application bundle", "FIG3 parses into options [QS; DS]"]);
 
     // node: characteristics of the desired node.
     let mut cluster = Cluster::new();
     cluster
         .add_node(harmony_rsl::schema::NodeDecl::new("aixbox", 1.0, 256.0).with_os("aix"))
         .unwrap();
-    cluster
-        .add_node(harmony_rsl::schema::NodeDecl::new("linbox", 1.0, 256.0))
-        .unwrap();
+    cluster.add_node(harmony_rsl::schema::NodeDecl::new("linbox", 1.0, 256.0)).unwrap();
     let spec = parse_bundle_script(
         "harmonyBundle a b { {o {node w {os linux} {memory 32} {seconds 1}}} }",
     )
@@ -47,15 +41,12 @@ fn main() {
     ]);
 
     // link: required bandwidth between two nodes.
-    cluster
-        .add_link(harmony_rsl::schema::LinkDecl::new("aixbox", "linbox", 10.0))
-        .unwrap();
+    cluster.add_link(harmony_rsl::schema::LinkDecl::new("aixbox", "linbox", 10.0)).unwrap();
     let spec = parse_bundle_script(
         "harmonyBundle a b { {o {node x {seconds 1}} {node y {seconds 1}} {link x y 100}} }",
     )
     .unwrap();
-    let too_big =
-        Matcher::default().match_option(&cluster, &spec.options[0], &MapEnv::new());
+    let too_big = Matcher::default().match_option(&cluster, &spec.options[0], &MapEnv::new());
     all_ok &= check("link tag enforces bandwidth between nodes", too_big.is_err());
     table.row(vec![
         "link",
@@ -89,10 +80,9 @@ fn main() {
     ]);
 
     // granularity: rate at which the application can change options.
-    let spec = parse_bundle_script(
-        "harmonyBundle a b { {o {node n {seconds 1}} {granularity 60}} }",
-    )
-    .unwrap();
+    let spec =
+        parse_bundle_script("harmonyBundle a b { {o {node n {seconds 1}} {granularity 60}} }")
+            .unwrap();
     all_ok &= check(
         "granularity tag parsed as seconds between switches",
         spec.options[0].granularity == Some(60.0),
@@ -125,11 +115,7 @@ fn main() {
         "harmonyNode publishes availability; speed scales the reference machine",
         fast.wall_seconds(300.0) == 150.0,
     );
-    table.row(vec![
-        "harmonyNode",
-        "Resource availability",
-        "publishes speed/memory/os/hostname",
-    ]);
+    table.row(vec!["harmonyNode", "Resource availability", "publishes speed/memory/os/hostname"]);
     table.row(vec![
         "speed",
         "Speed relative to reference node (400 MHz Pentium II)",

@@ -89,20 +89,12 @@ impl<T: Transport> HarmonyClient<T> {
     /// assert_eq!(client.instance_name(), "bag.1");
     /// # Ok::<(), Box<dyn std::error::Error>>(())
     /// ```
-    pub fn startup(
-        mut transport: T,
-        app: &str,
-        _delivery: UpdateDelivery,
-    ) -> io::Result<Self> {
+    pub fn startup(mut transport: T, app: &str, _delivery: UpdateDelivery) -> io::Result<Self> {
         let resp = transport.call(&Request::Startup { app: app.to_owned() })?;
         match resp {
-            Response::Registered { app, id } => Ok(HarmonyClient {
-                transport,
-                app,
-                id,
-                vars: HashMap::new(),
-                ended: false,
-            }),
+            Response::Registered { app, id } => {
+                Ok(HarmonyClient { transport, app, id, vars: HashMap::new(), ended: false })
+            }
             other => Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 format!("unexpected startup response: {other:?}"),
@@ -179,9 +171,7 @@ impl<T: Transport> HarmonyClient<T> {
     ///
     /// Transport errors; `InvalidData` on a malformed response.
     pub fn poll(&mut self) -> io::Result<usize> {
-        let resp = self
-            .transport
-            .call(&Request::Poll { app: self.app.clone(), id: self.id })?;
+        let resp = self.transport.call(&Request::Poll { app: self.app.clone(), id: self.id })?;
         let Response::Update { updates, .. } = resp else {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
@@ -251,11 +241,8 @@ impl<T: Transport> HarmonyClient<T> {
     pub fn status(&mut self) -> io::Result<harmony_core::SystemSnapshot> {
         let resp = self.transport.call(&Request::Status)?;
         match resp {
-            Response::Status { json } => {
-                harmony_core::SystemSnapshot::from_json(&json).map_err(|e| {
-                    io::Error::new(io::ErrorKind::InvalidData, e.to_string())
-                })
-            }
+            Response::Status { json } => harmony_core::SystemSnapshot::from_json(&json)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string())),
             other => Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 format!("unexpected status response: {other:?}"),
@@ -272,13 +259,10 @@ impl<T: Transport> HarmonyClient<T> {
     /// instance.
     pub fn end(mut self) -> io::Result<()> {
         self.ended = true;
-        let resp =
-            self.transport.call(&Request::End { app: self.app.clone(), id: self.id })?;
+        let resp = self.transport.call(&Request::End { app: self.app.clone(), id: self.id })?;
         match resp {
             Response::Ok => Ok(()),
-            Response::Error { message } => {
-                Err(io::Error::new(io::ErrorKind::NotFound, message))
-            }
+            Response::Error { message } => Err(io::Error::new(io::ErrorKind::NotFound, message)),
             other => Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 format!("unexpected end response: {other:?}"),
@@ -296,8 +280,7 @@ mod tests {
     use std::sync::Arc as StdArc;
 
     fn local(nodes: usize) -> LocalTransport {
-        let cluster =
-            Cluster::from_rsl(&harmony_rsl::listings::sp2_cluster(nodes)).unwrap();
+        let cluster = Cluster::from_rsl(&harmony_rsl::listings::sp2_cluster(nodes)).unwrap();
         LocalTransport::new(StdArc::new(Mutex::new(Controller::new(
             cluster,
             ControllerConfig::default(),
@@ -307,8 +290,7 @@ mod tests {
     #[test]
     fn startup_assigns_instance() {
         let t = local(4);
-        let client =
-            HarmonyClient::startup(t.clone(), "bag", UpdateDelivery::Polling).unwrap();
+        let client = HarmonyClient::startup(t.clone(), "bag", UpdateDelivery::Polling).unwrap();
         assert_eq!(client.app(), "bag");
         assert_eq!(client.instance_id(), 1);
         assert_eq!(client.instance_name(), "bag.1");
@@ -319,8 +301,7 @@ mod tests {
     #[test]
     fn bundle_setup_and_variable_updates() {
         let t = local(8);
-        let mut client =
-            HarmonyClient::startup(t, "bag", UpdateDelivery::Polling).unwrap();
+        let mut client = HarmonyClient::startup(t, "bag", UpdateDelivery::Polling).unwrap();
         let workers = client.add_variable("config.run.workerNodes", Value::Int(0));
         let option = client.add_variable("config", Value::Str("unset".into()));
         client.bundle_setup(harmony_rsl::listings::FIG2B_BAG).unwrap();
@@ -335,8 +316,7 @@ mod tests {
     #[test]
     fn wait_for_update_times_out_when_quiet() {
         let t = local(8);
-        let mut client =
-            HarmonyClient::startup(t, "bag", UpdateDelivery::Polling).unwrap();
+        let mut client = HarmonyClient::startup(t, "bag", UpdateDelivery::Polling).unwrap();
         client.add_variable("config", Value::Str("unset".into()));
         let got = client.wait_for_update(Duration::from_millis(10)).unwrap();
         assert!(!got);
@@ -346,8 +326,7 @@ mod tests {
     fn wait_for_update_sees_reconfiguration() {
         let t = local(8);
         let ctl = t.controller();
-        let mut client =
-            HarmonyClient::startup(t, "bag", UpdateDelivery::Polling).unwrap();
+        let mut client = HarmonyClient::startup(t, "bag", UpdateDelivery::Polling).unwrap();
         let workers = client.add_variable("config.run.workerNodes", Value::Int(0));
         client.bundle_setup(harmony_rsl::listings::FIG2B_BAG).unwrap();
         assert!(client.wait_for_update(Duration::from_millis(100)).unwrap());
@@ -355,10 +334,8 @@ mod tests {
         // A competitor arrives; the controller shrinks us to 4 workers.
         {
             let mut ctl = ctl.lock();
-            let spec = harmony_rsl::schema::parse_bundle_script(
-                harmony_rsl::listings::FIG2B_BAG,
-            )
-            .unwrap();
+            let spec =
+                harmony_rsl::schema::parse_bundle_script(harmony_rsl::listings::FIG2B_BAG).unwrap();
             ctl.register(spec).unwrap();
         }
         assert!(client.wait_for_update(Duration::from_millis(100)).unwrap());
@@ -368,8 +345,7 @@ mod tests {
     #[test]
     fn bad_bundle_is_invalid_input() {
         let t = local(2);
-        let mut client =
-            HarmonyClient::startup(t, "x", UpdateDelivery::Polling).unwrap();
+        let mut client = HarmonyClient::startup(t, "x", UpdateDelivery::Polling).unwrap();
         let err = client.bundle_setup("garbage {").unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
     }
@@ -378,8 +354,7 @@ mod tests {
     fn metrics_flow_to_the_registry() {
         let t = local(2);
         let ctl = t.controller();
-        let mut client =
-            HarmonyClient::startup(t, "db", UpdateDelivery::Polling).unwrap();
+        let mut client = HarmonyClient::startup(t, "db", UpdateDelivery::Polling).unwrap();
         client.report_metric("response_time", 1.0, 9.5).unwrap();
         let series = ctl.lock().metrics().series("db.1.response_time").unwrap();
         assert_eq!(series.last().unwrap().value, 9.5);
@@ -389,8 +364,7 @@ mod tests {
     fn end_releases_and_double_end_fails() {
         let t = local(8);
         let ctl = t.controller();
-        let mut client =
-            HarmonyClient::startup(t.clone(), "bag", UpdateDelivery::Polling).unwrap();
+        let mut client = HarmonyClient::startup(t.clone(), "bag", UpdateDelivery::Polling).unwrap();
         client.bundle_setup(harmony_rsl::listings::FIG2B_BAG).unwrap();
         assert_eq!(ctl.lock().cluster().total_tasks(), 8);
         client.end().unwrap();
@@ -399,8 +373,13 @@ mod tests {
         let ghost = HarmonyClient::startup(t, "bag", UpdateDelivery::Polling).unwrap();
         let name = ghost.instance_name();
         ghost.end().unwrap();
-        let mut again =
-            HarmonyClient { transport: local(2), app: "bag".into(), id: 99, vars: HashMap::new(), ended: false };
+        let mut again = HarmonyClient {
+            transport: local(2),
+            app: "bag".into(),
+            id: 99,
+            vars: HashMap::new(),
+            ended: false,
+        };
         let err = again.transport.call(&Request::End { app: "bag".into(), id: 99 });
         assert!(matches!(err.unwrap(), Response::Error { .. }), "{name} gone");
     }
@@ -408,8 +387,7 @@ mod tests {
     #[test]
     fn status_snapshot_describes_the_system() {
         let t = local(8);
-        let mut client =
-            HarmonyClient::startup(t, "bag", UpdateDelivery::Polling).unwrap();
+        let mut client = HarmonyClient::startup(t, "bag", UpdateDelivery::Polling).unwrap();
         client.bundle_setup(harmony_rsl::listings::FIG2B_BAG).unwrap();
         let snap = client.status().unwrap();
         assert_eq!(snap.apps.len(), 1);
@@ -422,8 +400,7 @@ mod tests {
     #[test]
     fn redeclaring_a_variable_shares_the_cell() {
         let t = local(8);
-        let mut client =
-            HarmonyClient::startup(t, "bag", UpdateDelivery::Polling).unwrap();
+        let mut client = HarmonyClient::startup(t, "bag", UpdateDelivery::Polling).unwrap();
         let a = client.add_variable("config", Value::Str("a".into()));
         let b = client.add_variable("config", Value::Str("ignored-default".into()));
         assert_eq!(b.get(), Value::Str("a".into()));

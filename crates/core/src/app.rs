@@ -52,12 +52,8 @@ impl ChosenConfig {
         if self.vars.is_empty() {
             self.option.clone()
         } else {
-            let vars = self
-                .vars
-                .iter()
-                .map(|(k, v)| format!("{k}={v}"))
-                .collect::<Vec<_>>()
-                .join(",");
+            let vars =
+                self.vars.iter().map(|(k, v)| format!("{k}={v}")).collect::<Vec<_>>().join(",");
             format!("{}[{vars}]", self.option)
         }
     }
@@ -136,10 +132,7 @@ impl AppInstance {
 
     /// All committed allocations across bundles.
     pub fn allocations(&self) -> Vec<&Allocation> {
-        self.bundles
-            .iter()
-            .filter_map(|b| b.current.as_ref().map(|c| &c.alloc))
-            .collect()
+        self.bundles.iter().filter_map(|b| b.current.as_ref().map(|c| &c.alloc)).collect()
     }
 }
 
@@ -175,10 +168,9 @@ mod tests {
 
     #[test]
     fn granularity_blocks_early_switches() {
-        let spec = parse_bundle_script(
-            "harmonyBundle a b { {o {node n {seconds 1}} {granularity 60}} }",
-        )
-        .unwrap();
+        let spec =
+            parse_bundle_script("harmonyBundle a b { {o {node n {seconds 1}} {granularity 60}} }")
+                .unwrap();
         let mut state = BundleState::new(spec);
         assert!(!state.switch_blocked_at(0.0)); // nothing chosen yet
         state.current = Some(ChosenConfig {
@@ -198,8 +190,7 @@ mod tests {
     fn app_instance_bundle_lookup() {
         let id = InstanceId::new("a", 1);
         let mut app = AppInstance::new(id, 0.0);
-        let spec =
-            parse_bundle_script("harmonyBundle a b { {o {node n {seconds 1}}} }").unwrap();
+        let spec = parse_bundle_script("harmonyBundle a b { {o {node n {seconds 1}}} }").unwrap();
         app.bundles.push(BundleState::new(spec));
         assert!(app.bundle("b").is_some());
         assert!(app.bundle("zzz").is_none());

@@ -35,12 +35,8 @@ impl Candidate {
     pub fn label(&self) -> String {
         let mut s = self.option.clone();
         if !self.vars.is_empty() {
-            let vars = self
-                .vars
-                .iter()
-                .map(|(k, v)| format!("{k}={v}"))
-                .collect::<Vec<_>>()
-                .join(",");
+            let vars =
+                self.vars.iter().map(|(k, v)| format!("{k}={v}")).collect::<Vec<_>>().join(",");
             s.push_str(&format!("[{vars}]"));
         }
         if self.elastic_extra > 0.0 {
@@ -163,10 +159,9 @@ mod tests {
 
     #[test]
     fn duplicate_elastic_steps_are_deduplicated() {
-        let bundle = parse_bundle_script(
-            "harmonyBundle a b { {o {node n {memory >=16} {seconds 1}}} }",
-        )
-        .unwrap();
+        let bundle =
+            parse_bundle_script("harmonyBundle a b { {o {node n {memory >=16} {seconds 1}}} }")
+                .unwrap();
         let cands = enumerate(&bundle, &[8.0, 8.0, 0.0]);
         assert_eq!(cands.len(), 2); // 0 and 8
     }

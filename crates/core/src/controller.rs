@@ -36,10 +36,11 @@ use crate::feedback::{calibration_factor, FeedbackConfig};
 use crate::objective::Objective;
 
 /// Which search policy drives option selection.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub enum OptimizerKind {
     /// The paper's policy: optimize one bundle at a time, greedily, in
     /// definition order (§4.3), plus coordinated pairwise moves.
+    #[default]
     Greedy,
     /// Exhaustive search over the joint configuration space of all
     /// bundles, bounded by the contained limit. "The space of possible
@@ -63,10 +64,19 @@ pub enum OptimizerKind {
     },
 }
 
-impl Default for OptimizerKind {
-    fn default() -> Self {
-        OptimizerKind::Greedy
-    }
+/// How [`Controller::add_bundle`] treats static-analysis findings from
+/// `harmony-analyze` (run before any placement work).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub enum LintMode {
+    /// Reject bundles with error-severity diagnostics
+    /// ([`CoreError::LintRejected`]). Warnings are counted but allowed.
+    #[default]
+    Strict,
+    /// Accept every parseable bundle; findings only feed the
+    /// `controller.lint.*` metric counters.
+    Advisory,
+    /// Skip analysis entirely.
+    Off,
 }
 
 /// Controller configuration.
@@ -78,6 +88,9 @@ pub struct ControllerConfig {
     pub objective: Objective,
     /// Search policy.
     pub optimizer: OptimizerKind,
+    /// Static-analysis gate for arriving bundles.
+    #[serde(default)]
+    pub lint: LintMode,
     /// Weight on frictional switching costs: the new option's `friction`
     /// seconds are added to the switching application's predicted response
     /// time, scaled by this weight. `0.0` ignores friction (ablation).
@@ -110,6 +123,7 @@ impl Default for ControllerConfig {
             matcher: Matcher::default(),
             objective: Objective::default(),
             optimizer: OptimizerKind::Greedy,
+            lint: LintMode::Strict,
             friction_weight: 1.0,
             elastic_steps: vec![7.0, 15.0, 30.0],
             reevaluate_on_arrival: true,
@@ -284,6 +298,7 @@ impl Controller {
         id: &InstanceId,
         spec: BundleSpec,
     ) -> Result<Vec<DecisionRecord>, CoreError> {
+        self.lint_gate(&spec)?;
         let app = self
             .apps
             .get_mut(id)
@@ -448,9 +463,7 @@ impl Controller {
             };
             for i in 0..pairs.len() {
                 for j in (i + 1)..pairs.len() {
-                    if let Some(rs) =
-                        self.pairwise_step(pairs[i].clone(), pairs[j].clone())?
-                    {
+                    if let Some(rs) = self.pairwise_step(pairs[i].clone(), pairs[j].clone())? {
                         records.extend(rs);
                     }
                 }
@@ -475,8 +488,7 @@ impl Controller {
 
     /// The current objective score over all applications.
     pub fn objective_score(&self) -> f64 {
-        let rts: Vec<f64> =
-            self.predicted_response_times().into_iter().map(|(_, rt)| rt).collect();
+        let rts: Vec<f64> = self.predicted_response_times().into_iter().map(|(_, rt)| rt).collect();
         self.config.objective.score(&rts)
     }
 
@@ -498,6 +510,33 @@ impl Controller {
             }
         }
         out
+    }
+
+    /// Runs `harmony-analyze` over an arriving bundle per the configured
+    /// [`LintMode`]: counts findings into the `controller.lint.*` metrics
+    /// and, in strict mode, rejects bundles with error diagnostics.
+    fn lint_gate(&mut self, spec: &BundleSpec) -> Result<(), CoreError> {
+        if self.config.lint == LintMode::Off {
+            return Ok(());
+        }
+        let diags = harmony_analyze::analyze_bundle(spec);
+        for d in &diags {
+            let sev = match d.severity {
+                harmony_analyze::Severity::Error => "errors",
+                harmony_analyze::Severity::Warning => "warnings",
+                harmony_analyze::Severity::Note => "notes",
+            };
+            self.metrics.inc_counter(&format!("controller.lint.{sev}"));
+        }
+        if self.config.lint == LintMode::Strict && harmony_analyze::has_errors(&diags) {
+            let errors: Vec<String> = diags
+                .iter()
+                .filter(|d| d.severity == harmony_analyze::Severity::Error)
+                .map(|d| format!("{}: {}", d.code, d.message))
+                .collect();
+            return Err(CoreError::LintRejected { bundle: spec.name.clone(), errors });
+        }
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -530,9 +569,7 @@ impl Controller {
         let factor = self.feedback_factor(id);
         let mut worst: Option<f64> = None;
         for bundle in &app.bundles {
-            let replace = replaces
-                .iter()
-                .find(|r| r.id == id && r.bundle == bundle.spec.name);
+            let replace = replaces.iter().find(|r| r.id == id && r.bundle == bundle.spec.name);
             let (opt, cfg, penalty): (&OptionSpec, &ChosenConfig, f64) = match replace {
                 Some(r) => (r.opt, r.cfg, r.penalty),
                 None => {
@@ -554,12 +591,7 @@ impl Controller {
 
     /// Scores the whole system on `cluster` with `replaces` overriding
     /// bundle choices. In selfish mode only `focus`'s response time counts.
-    fn system_score(
-        &self,
-        cluster: &Cluster,
-        replaces: &[Replace<'_>],
-        focus: &InstanceId,
-    ) -> f64 {
+    fn system_score(&self, cluster: &Cluster, replaces: &[Replace<'_>], focus: &InstanceId) -> f64 {
         let mut rts = Vec::new();
         for id in &self.arrival_order {
             if self.config.selfish && id != focus {
@@ -581,11 +613,7 @@ impl Controller {
         opt: &OptionSpec,
         alloc: &Allocation,
     ) -> f64 {
-        let switching = bundle
-            .current
-            .as_ref()
-            .map(|cur| !same_point(cur, cand))
-            .unwrap_or(false);
+        let switching = bundle.current.as_ref().map(|cur| !same_point(cur, cand)).unwrap_or(false);
         if !switching {
             return 0.0;
         }
@@ -605,10 +633,8 @@ impl Controller {
         bundle_name: &str,
         cand: &Candidate,
     ) -> Result<Option<EvaluatedCandidate>, CoreError> {
-        let app = self
-            .apps
-            .get(id)
-            .ok_or_else(|| CoreError::UnknownInstance { name: id.to_string() })?;
+        let app =
+            self.apps.get(id).ok_or_else(|| CoreError::UnknownInstance { name: id.to_string() })?;
         let bundle = app
             .bundle(bundle_name)
             .ok_or_else(|| CoreError::UnknownBundle { name: bundle_name.to_string() })?;
@@ -621,10 +647,8 @@ impl Controller {
         if let Some(cur) = &bundle.current {
             tentative.release(&cur.alloc)?;
         }
-        let matcher = Matcher {
-            strategy: self.config.matcher.strategy,
-            elastic_extra: cand.elastic_extra,
-        };
+        let matcher =
+            Matcher { strategy: self.config.matcher.strategy, elastic_extra: cand.elastic_extra };
         let alloc = match matcher.match_option(&tentative, opt, &cand.env()) {
             Ok(a) => a,
             Err(harmony_resources::ResourceError::NoMatch { .. }) => return Ok(None),
@@ -634,11 +658,9 @@ impl Controller {
 
         let penalty = self.friction_of(bundle, cand, opt, &alloc);
         let cfg = hypothetical_config(cand, alloc.clone(), self.now);
-        let replaces =
-            [Replace { id, bundle: bundle_name, opt, cfg: &cfg, penalty }];
+        let replaces = [Replace { id, bundle: bundle_name, opt, cfg: &cfg, penalty }];
         let score = self.system_score(&tentative, &replaces, id);
-        let predicted =
-            self.app_response_time(&tentative, id, &replaces).unwrap_or(f64::INFINITY);
+        let predicted = self.app_response_time(&tentative, id, &replaces).unwrap_or(f64::INFINITY);
         Ok(Some(EvaluatedCandidate { candidate: cand.clone(), alloc, score, predicted }))
     }
 
@@ -659,8 +681,7 @@ impl Controller {
         let bundle = app
             .bundle(&bundle_name)
             .ok_or_else(|| CoreError::UnknownBundle { name: bundle_name.clone() })?;
-        if !initial && self.config.respect_granularity && bundle.switch_blocked_at(self.now)
-        {
+        if !initial && self.config.respect_granularity && bundle.switch_blocked_at(self.now) {
             return Ok(None);
         }
         let spec = bundle.spec.clone();
@@ -688,10 +709,7 @@ impl Controller {
 
         let Some(best) = best else {
             if initial && current.is_none() {
-                return Err(CoreError::Unplaceable {
-                    bundle: bundle_name,
-                    reason: last_reason,
-                });
+                return Err(CoreError::Unplaceable { bundle: bundle_name, reason: last_reason });
             }
             return Ok(None);
         };
@@ -725,7 +743,9 @@ impl Controller {
         a: (InstanceId, String),
         b: (InstanceId, String),
     ) -> Result<Option<Vec<DecisionRecord>>, CoreError> {
-        let get = |c: &Self, pair: &(InstanceId, String)| -> Option<(BundleSpec, Option<ChosenConfig>, bool)> {
+        let get = |c: &Self,
+                   pair: &(InstanceId, String)|
+         -> Option<(BundleSpec, Option<ChosenConfig>, bool)> {
             let app = c.apps.get(&pair.0)?;
             let bundle = app.bundle(&pair.1)?;
             Some((
@@ -747,8 +767,7 @@ impl Controller {
 
         let cands_a = enumerate(&spec_a, &self.config.elastic_steps);
         let cands_b = enumerate(&spec_b, &self.config.elastic_steps);
-        let mut best: Option<(f64, Candidate, Allocation, f64, Candidate, Allocation, f64)> =
-            None;
+        let mut best: Option<(f64, Candidate, Allocation, f64, Candidate, Allocation, f64)> = None;
         for ca in &cands_a {
             let Some(opt_a) = spec_a.option(&ca.option) else { continue };
             for cb in &cands_b {
@@ -764,8 +783,7 @@ impl Controller {
                     strategy: self.config.matcher.strategy,
                     elastic_extra: ca.elastic_extra,
                 };
-                let Ok(alloc_a) = matcher_a.match_option(&tentative, opt_a, &ca.env())
-                else {
+                let Ok(alloc_a) = matcher_a.match_option(&tentative, opt_a, &ca.env()) else {
                     continue;
                 };
                 tentative.commit(&alloc_a)?;
@@ -773,8 +791,7 @@ impl Controller {
                     strategy: self.config.matcher.strategy,
                     elastic_extra: cb.elastic_extra,
                 };
-                let Ok(alloc_b) = matcher_b.match_option(&tentative, opt_b, &cb.env())
-                else {
+                let Ok(alloc_b) = matcher_b.match_option(&tentative, opt_b, &cb.env()) else {
                     continue;
                 };
                 tentative.commit(&alloc_b)?;
@@ -792,12 +809,10 @@ impl Controller {
                     Replace { id: &b.0, bundle: &b.1, opt: opt_b, cfg: &cfg_b, penalty: pen_b },
                 ];
                 let score = self.system_score(&tentative, &replaces, &b.0);
-                let rt_a = self
-                    .app_response_time(&tentative, &a.0, &replaces)
-                    .unwrap_or(f64::INFINITY);
-                let rt_b = self
-                    .app_response_time(&tentative, &b.0, &replaces)
-                    .unwrap_or(f64::INFINITY);
+                let rt_a =
+                    self.app_response_time(&tentative, &a.0, &replaces).unwrap_or(f64::INFINITY);
+                let rt_b =
+                    self.app_response_time(&tentative, &b.0, &replaces).unwrap_or(f64::INFINITY);
                 let better = match &best {
                     None => true,
                     Some((s, ..)) => score < *s - 1e-9,
@@ -846,11 +861,8 @@ impl Controller {
         predicted: f64,
         objective_before: f64,
     ) -> Result<DecisionRecord, CoreError> {
-        let current = self
-            .apps
-            .get(id)
-            .and_then(|a| a.bundle(bundle_name))
-            .and_then(|b| b.current.clone());
+        let current =
+            self.apps.get(id).and_then(|a| a.bundle(bundle_name)).and_then(|b| b.current.clone());
         if let Some(cur) = &current {
             self.cluster.release(&cur.alloc)?;
         }
@@ -896,8 +908,7 @@ impl Controller {
         // Namespace writes: the chosen option under the bundle path, the
         // variables, and each requirement's granted resources.
         let base = instance_path(id).child(bundle_name).expect("bundle name is a component");
-        let mut writes: Vec<(HPath, Value)> =
-            vec![(base.clone(), Value::Str(cfg.option.clone()))];
+        let mut writes: Vec<(HPath, Value)> = vec![(base.clone(), Value::Str(cfg.option.clone()))];
         let opt_path = base.child(&cfg.option).expect("option name is a component");
         for (name, v) in &cfg.vars {
             if let Ok(p) = opt_path.child(name) {
@@ -956,10 +967,8 @@ impl Controller {
         alloc: Allocation,
         predicted: f64,
     ) -> Result<Option<DecisionRecord>, CoreError> {
-        let app = self
-            .apps
-            .get(id)
-            .ok_or_else(|| CoreError::UnknownInstance { name: id.to_string() })?;
+        let app =
+            self.apps.get(id).ok_or_else(|| CoreError::UnknownInstance { name: id.to_string() })?;
         let bundle = app
             .bundle(bundle_name)
             .ok_or_else(|| CoreError::UnknownBundle { name: bundle_name.to_string() })?;
@@ -1112,11 +1121,9 @@ mod tests {
         let ns = c.namespace();
         let opt_path: HPath = format!("bag.{}.config", id.id).parse().unwrap();
         assert_eq!(ns.get(&opt_path), Some(&Value::Str("run".into())));
-        let var_path: HPath =
-            format!("bag.{}.config.run.workerNodes", id.id).parse().unwrap();
+        let var_path: HPath = format!("bag.{}.config.run.workerNodes", id.id).parse().unwrap();
         assert_eq!(ns.get(&var_path), Some(&Value::Int(8)));
-        let mem_path: HPath =
-            format!("bag.{}.config.run.worker.memory", id.id).parse().unwrap();
+        let mem_path: HPath = format!("bag.{}.config.run.worker.memory", id.id).parse().unwrap();
         assert_eq!(ns.get(&mem_path), Some(&Value::Float(32.0)));
     }
 
@@ -1135,11 +1142,8 @@ mod tests {
     fn selfish_mode_overallocates() {
         // Selfish: each bag takes as many workers as fit, ignoring the
         // other's slowdown (the AppLes contrast).
-        let cfg = ControllerConfig {
-            selfish: true,
-            reevaluate_on_arrival: false,
-            ..Default::default()
-        };
+        let cfg =
+            ControllerConfig { selfish: true, reevaluate_on_arrival: false, ..Default::default() };
         let mut c = Controller::new(sp2(8), cfg);
         let (a, _) = c.register(bag_spec()).unwrap();
         let (_b, _) = c.register(bag_spec()).unwrap();
@@ -1198,6 +1202,50 @@ mod tests {
             assert!(n.tasks <= 1);
             assert_eq!(n.exclusive, n.tasks);
         }
+    }
+
+    #[test]
+    fn strict_lint_rejects_broken_bundles_advisory_accepts() {
+        // Undeclared variable `w` + reachable division by zero via `z`.
+        let broken = parse_bundle_script(
+            "harmonyBundle bag:1 config {\n\
+               {run\n\
+                 {variable z {0 1 2}}\n\
+                 {node worker {replicate w} {seconds {1200 / z}} {memory 32}}}\n\
+             }",
+        )
+        .unwrap();
+
+        let mut strict = Controller::new(sp2(8), ControllerConfig::default());
+        let err = strict.register(broken.clone()).unwrap_err();
+        let CoreError::LintRejected { bundle, errors } = &err else {
+            panic!("expected LintRejected, got {err:?}");
+        };
+        assert_eq!(bundle, "config");
+        assert!(errors.iter().any(|e| e.starts_with("HA0004")), "{errors:?}");
+        assert!(errors.iter().any(|e| e.starts_with("HA0020")), "{errors:?}");
+        assert!(strict.metrics().counter("controller.lint.errors") >= 2);
+
+        // Advisory mode lets the same bundle through to placement (which
+        // then fails for its own reasons — `w` is unbound — but that is a
+        // placement error, not a lint rejection).
+        let cfg = ControllerConfig { lint: LintMode::Advisory, ..Default::default() };
+        let mut advisory = Controller::new(sp2(8), cfg);
+        let err = advisory.register(broken).unwrap_err();
+        assert!(
+            !matches!(err, CoreError::LintRejected { .. }),
+            "advisory mode must not lint-reject: {err:?}"
+        );
+        assert!(advisory.metrics().counter("controller.lint.errors") >= 2);
+    }
+
+    #[test]
+    fn lint_off_skips_analysis_counters() {
+        let cfg = ControllerConfig { lint: LintMode::Off, ..Default::default() };
+        let mut c = Controller::new(sp2(8), cfg);
+        c.register(bag_spec()).unwrap();
+        assert_eq!(c.metrics().counter("controller.lint.errors"), 0);
+        assert_eq!(c.metrics().counter("controller.lint.warnings"), 0);
     }
 
     #[test]

@@ -29,6 +29,14 @@ pub enum CoreError {
         /// Why the last candidate failed.
         reason: String,
     },
+    /// Static analysis rejected the bundle before placement (strict lint
+    /// mode): the bundle has error-severity diagnostics.
+    LintRejected {
+        /// The rejected bundle's name.
+        bundle: String,
+        /// One line per error diagnostic (`code: message`).
+        errors: Vec<String>,
+    },
     /// The exhaustive optimizer's search space exceeded its bound.
     SearchSpaceTooLarge {
         /// Number of joint configurations that would need evaluation.
@@ -50,6 +58,9 @@ impl fmt::Display for CoreError {
             CoreError::UnknownBundle { name } => write!(f, "unknown bundle `{name}`"),
             CoreError::Unplaceable { bundle, reason } => {
                 write!(f, "bundle `{bundle}` cannot be placed: {reason}")
+            }
+            CoreError::LintRejected { bundle, errors } => {
+                write!(f, "bundle `{bundle}` rejected by static analysis: {}", errors.join("; "))
             }
             CoreError::SearchSpaceTooLarge { size, limit } => {
                 write!(f, "search space of {size} joint configurations exceeds limit {limit}")
@@ -91,6 +102,10 @@ mod tests {
             CoreError::UnknownInstance { name: "a.1".into() },
             CoreError::UnknownBundle { name: "where".into() },
             CoreError::Unplaceable { bundle: "where".into(), reason: "full".into() },
+            CoreError::LintRejected {
+                bundle: "where".into(),
+                errors: vec!["HA0004: undeclared variable".into()],
+            },
             CoreError::SearchSpaceTooLarge { size: 1000, limit: 100 },
         ];
         for e in cases {
@@ -104,7 +119,6 @@ mod tests {
         let _: CoreError = harmony_rsl::RslError::DivideByZero.into();
         let _: CoreError =
             harmony_resources::ResourceError::UnknownNode { name: "n".into() }.into();
-        let _: CoreError =
-            harmony_predict::PredictError::MissingData { what: "w".into() }.into();
+        let _: CoreError = harmony_predict::PredictError::MissingData { what: "w".into() }.into();
     }
 }

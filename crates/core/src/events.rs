@@ -76,9 +76,7 @@ impl Controller {
     /// controller errors from registration/placement.
     pub fn handle_event(&mut self, event: HarmonyEvent) -> Result<EventOutcome, CoreError> {
         match event {
-            HarmonyEvent::Startup { app } => {
-                Ok(EventOutcome::Registered(self.startup(&app)))
-            }
+            HarmonyEvent::Startup { app } => Ok(EventOutcome::Registered(self.startup(&app))),
             HarmonyEvent::BundleSetup { instance, script } => {
                 let spec = parse_bundle_script(&script)?;
                 Ok(EventOutcome::Decisions(self.add_bundle(&instance, spec)?))
@@ -88,9 +86,7 @@ impl Controller {
             }
             HarmonyEvent::MetricReport { name, time, value } => {
                 self.metrics.record(&name, time, value);
-                self.metric_bus().publish(
-                    harmony_metrics::MetricEvent::new(name, time, value),
-                );
+                self.metric_bus().publish(harmony_metrics::MetricEvent::new(name, time, value));
                 Ok(EventOutcome::Quiet)
             }
             HarmonyEvent::Periodic => Ok(EventOutcome::Decisions(self.reevaluate()?)),
@@ -102,9 +98,7 @@ impl Controller {
                 self.cluster.add_link(decl)?;
                 Ok(EventOutcome::Decisions(self.reevaluate()?))
             }
-            HarmonyEvent::NodeLeft { name } => {
-                Ok(EventOutcome::Decisions(self.evict_node(&name)?))
-            }
+            HarmonyEvent::NodeLeft { name } => Ok(EventOutcome::Decisions(self.evict_node(&name)?)),
         }
     }
 
@@ -220,16 +214,17 @@ mod tests {
     #[test]
     fn node_arrival_triggers_expansion() {
         let mut c = controller(4);
-        let (id, _) = c
-            .register(harmony_rsl::schema::parse_bundle_script(FIG2B_BAG).unwrap())
-            .unwrap();
+        let (id, _) =
+            c.register(harmony_rsl::schema::parse_bundle_script(FIG2B_BAG).unwrap()).unwrap();
         assert_eq!(c.choice(&id, "config").unwrap().vars[0].1, 4);
         // Four more nodes join (and links to the existing mesh).
         for i in 4..8 {
             let name = format!("node{i:02}");
-            c.handle_event(HarmonyEvent::NodeJoined(
-                harmony_rsl::schema::NodeDecl::new(name.clone(), 1.0, 256.0),
-            ))
+            c.handle_event(HarmonyEvent::NodeJoined(harmony_rsl::schema::NodeDecl::new(
+                name.clone(),
+                1.0,
+                256.0,
+            )))
             .unwrap();
             for j in 0..i {
                 c.handle_event(HarmonyEvent::LinkJoined(harmony_rsl::schema::LinkDecl::new(
@@ -246,12 +241,10 @@ mod tests {
     #[test]
     fn node_departure_displaces_and_replaces() {
         let mut c = controller(8);
-        let (id, _) = c
-            .register(harmony_rsl::schema::parse_bundle_script(FIG2B_BAG).unwrap())
-            .unwrap();
+        let (id, _) =
+            c.register(harmony_rsl::schema::parse_bundle_script(FIG2B_BAG).unwrap()).unwrap();
         assert_eq!(c.choice(&id, "config").unwrap().vars[0].1, 8);
-        let outcome =
-            c.handle_event(HarmonyEvent::NodeLeft { name: "node00".into() }).unwrap();
+        let outcome = c.handle_event(HarmonyEvent::NodeLeft { name: "node00".into() }).unwrap();
         let EventOutcome::Decisions(ds) = outcome else { panic!() };
         assert!(!ds.is_empty());
         let choice = c.choice(&id, "config").unwrap();

@@ -49,7 +49,7 @@ pub fn calibration_factor(
     }
     let name = format!("{id}.{RESPONSE_TIME_METRIC}");
     let Some(series) = metrics.series(&name) else { return 1.0 };
-    if (series.len() as usize) < config.min_samples {
+    if series.len() < config.min_samples {
         return 1.0;
     }
     let Some(measured) = series.ewma(config.alpha) else { return 1.0 };

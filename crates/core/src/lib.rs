@@ -26,15 +26,17 @@ mod controller;
 mod error;
 mod events;
 pub mod feedback;
-pub mod optimizer;
 mod objective;
+pub mod optimizer;
 mod snapshot;
 
 pub use app::{AppInstance, BundleState, ChosenConfig, InstanceId};
-pub use candidates::{enumerate as enumerate_candidates, has_elastic_memory, variable_assignments, Candidate};
-pub use controller::{Controller, ControllerConfig, DecisionRecord, OptimizerKind};
+pub use candidates::{
+    enumerate as enumerate_candidates, has_elastic_memory, variable_assignments, Candidate,
+};
+pub use controller::{Controller, ControllerConfig, DecisionRecord, LintMode, OptimizerKind};
 pub use error::CoreError;
-pub use feedback::FeedbackConfig;
 pub use events::{EventOutcome, HarmonyEvent};
+pub use feedback::FeedbackConfig;
 pub use objective::Objective;
 pub use snapshot::{AppSnapshot, NodeSnapshot, SystemSnapshot};

@@ -114,10 +114,7 @@ mod tests {
 
     #[test]
     fn broken_predictions_score_infinite() {
-        assert_eq!(
-            Objective::MinAvgCompletionTime.score(&[1.0, f64::INFINITY]),
-            f64::INFINITY
-        );
+        assert_eq!(Objective::MinAvgCompletionTime.score(&[1.0, f64::INFINITY]), f64::INFINITY);
         assert_eq!(Objective::MinAvgCompletionTime.score(&[1.0, f64::NAN]), f64::INFINITY);
         assert_eq!(Objective::MinAvgCompletionTime.score(&[-1.0]), f64::INFINITY);
     }

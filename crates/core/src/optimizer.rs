@@ -51,6 +51,14 @@ fn released_cluster(c: &Controller) -> Result<Cluster, CoreError> {
     Ok(cluster)
 }
 
+/// Outcome of a placed joint assignment: objective score, per-bundle
+/// allocations, and per-bundle predicted response times.
+type JointOutcome = (f64, Vec<Allocation>, Vec<f64>);
+
+/// A scored joint assignment: score, candidate index per pair, allocations,
+/// and predicted response times.
+type ScoredAssignment = (f64, Vec<usize>, Vec<Allocation>, Vec<f64>);
+
 /// Evaluates one joint assignment: matches each pair's candidate on an
 /// evolving clone and scores the result. Returns `None` when any candidate
 /// fails to place.
@@ -59,7 +67,7 @@ fn eval_joint(
     base: &Cluster,
     pairs: &[Pair],
     assignment: &[usize],
-) -> Result<Option<(f64, Vec<Allocation>, Vec<f64>)>, CoreError> {
+) -> Result<Option<JointOutcome>, CoreError> {
     let mut cluster = base.clone();
     let mut allocs = Vec::with_capacity(pairs.len());
     for (pair, &idx) in pairs.iter().zip(assignment) {
@@ -74,10 +82,8 @@ fn eval_joint(
             .spec
             .option(&cand.option)
             .ok_or_else(|| CoreError::UnknownBundle { name: cand.option.clone() })?;
-        let matcher = Matcher {
-            strategy: c.config().matcher.strategy,
-            elastic_extra: cand.elastic_extra,
-        };
+        let matcher =
+            Matcher { strategy: c.config().matcher.strategy, elastic_extra: cand.elastic_extra };
         let alloc = match matcher.match_option(&cluster, opt, &cand.env()) {
             Ok(a) => a,
             Err(harmony_resources::ResourceError::NoMatch { .. }) => return Ok(None),
@@ -112,9 +118,7 @@ fn apply_joint(
     rts: &[f64],
 ) -> Result<Vec<DecisionRecord>, CoreError> {
     let mut records = Vec::new();
-    for (((pair, &idx), alloc), &rt) in
-        pairs.iter().zip(assignment).zip(allocs).zip(rts)
-    {
+    for (((pair, &idx), alloc), &rt) in pairs.iter().zip(assignment).zip(allocs).zip(rts) {
         let cand = &pair.candidates[idx];
         if let Some(r) = c.force_choice(&pair.id, &pair.bundle, cand, alloc, rt)? {
             records.push(r);
@@ -145,7 +149,7 @@ pub fn exhaustive(c: &mut Controller, limit: u64) -> Result<Vec<DecisionRecord>,
     }
     let base = released_cluster(c)?;
     let mut assignment = vec![0usize; pairs.len()];
-    let mut best: Option<(f64, Vec<usize>, Vec<Allocation>, Vec<f64>)> = None;
+    let mut best: Option<ScoredAssignment> = None;
     loop {
         if let Some((score, allocs, rts)) = eval_joint(c, &base, &pairs, &assignment)? {
             let better = best.as_ref().map(|(s, ..)| score < *s - 1e-9).unwrap_or(true);
@@ -195,10 +199,9 @@ pub fn annealing(
     let mut rng = StdRng::seed_from_u64(seed);
 
     // Find a feasible start: random restarts.
-    let mut current: Option<(f64, Vec<usize>, Vec<Allocation>, Vec<f64>)> = None;
+    let mut current: Option<ScoredAssignment> = None;
     for _ in 0..200 {
-        let cand: Vec<usize> =
-            pairs.iter().map(|p| rng.gen_range(0..p.candidates.len())).collect();
+        let cand: Vec<usize> = pairs.iter().map(|p| rng.gen_range(0..p.candidates.len())).collect();
         if let Some((score, allocs, rts)) = eval_joint(c, &base, &pairs, &cand)? {
             current = Some((score, cand, allocs, rts));
             break;
@@ -326,11 +329,8 @@ mod tests {
     fn three_bags_on_eight_nodes_partition_fairly() {
         let mut c = setup(3, 8);
         exhaustive(&mut c, 100_000).unwrap();
-        let mut workers: Vec<i64> = c
-            .instances()
-            .iter()
-            .map(|id| c.choice(id, "config").unwrap().vars[0].1)
-            .collect();
+        let mut workers: Vec<i64> =
+            c.instances().iter().map(|id| c.choice(id, "config").unwrap().vars[0].1).collect();
         workers.sort_unstable();
         assert!(workers.iter().sum::<i64>() <= 8);
         // Equal-ish partitions (2+2+4 or 2+4+2 variants) beat starving one

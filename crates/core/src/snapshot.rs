@@ -71,12 +71,9 @@ impl SystemSnapshot {
                         .bundles
                         .iter()
                         .map(|b| match &b.current {
-                            Some(c) => (
-                                b.spec.name.clone(),
-                                c.label(),
-                                c.predicted,
-                                b.reconfig_count,
-                            ),
+                            Some(c) => {
+                                (b.spec.name.clone(), c.label(), c.predicted, b.reconfig_count)
+                            }
                             None => (
                                 b.spec.name.clone(),
                                 "-".to_string(),
@@ -154,12 +151,10 @@ mod tests {
     use harmony_rsl::schema::parse_bundle_script;
 
     fn controller() -> Controller {
-        let cluster =
-            Cluster::from_rsl(&harmony_rsl::listings::sp2_cluster(8)).unwrap();
+        let cluster = Cluster::from_rsl(&harmony_rsl::listings::sp2_cluster(8)).unwrap();
         let mut ctl = Controller::new(cluster, ControllerConfig::default());
         ctl.set_time(12.5);
-        ctl.register(parse_bundle_script(harmony_rsl::listings::FIG2B_BAG).unwrap())
-            .unwrap();
+        ctl.register(parse_bundle_script(harmony_rsl::listings::FIG2B_BAG).unwrap()).unwrap();
         ctl
     }
 
@@ -190,13 +185,10 @@ mod tests {
 
     #[test]
     fn unplaced_bundles_show_dash_and_infinity() {
-        let cluster =
-            Cluster::from_rsl(&harmony_rsl::listings::sp2_cluster(2)).unwrap();
+        let cluster = Cluster::from_rsl(&harmony_rsl::listings::sp2_cluster(2)).unwrap();
         let mut ctl = Controller::new(cluster, ControllerConfig::default());
         // A 4-node bundle on a 2-node cluster cannot place.
-        let _ = ctl.register(
-            parse_bundle_script(harmony_rsl::listings::FIG2A_SIMPLE).unwrap(),
-        );
+        let _ = ctl.register(parse_bundle_script(harmony_rsl::listings::FIG2A_SIMPLE).unwrap());
         let snap = SystemSnapshot::capture(&ctl);
         assert_eq!(snap.apps.len(), 1);
         assert_eq!(snap.apps[0].bundles[0].1, "-");

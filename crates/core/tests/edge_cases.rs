@@ -81,10 +81,7 @@ fn elastic_memory_is_granted_when_it_pays() {
            {link client server 100}} }",
     )
     .unwrap();
-    let config = ControllerConfig {
-        elastic_steps: vec![40.0],
-        ..Default::default()
-    };
+    let config = ControllerConfig { elastic_steps: vec![40.0], ..Default::default() };
     let mut ctl = Controller::new(cluster(4), config);
     let (id, _) = ctl.register(spec).unwrap();
     let choice = ctl.choice(&id, "b").unwrap();
@@ -93,29 +90,26 @@ fn elastic_memory_is_granted_when_it_pays() {
     // And it genuinely predicted faster than the minimal grant would be.
     let minimal = ControllerConfig { elastic_steps: vec![], ..Default::default() };
     let mut ctl2 = Controller::new(cluster(4), minimal);
-    let (id2, _) = ctl2.register(
-        parse_bundle_script(
-            "harmonyBundle trade:1 b { {o \
+    let (id2, _) = ctl2
+        .register(
+            parse_bundle_script(
+                "harmonyBundle trade:1 b { {o \
                {node client {memory >=10} {seconds 10}} \
                {node server {seconds 1} {memory 4}} \
                {communication {120 - (client.memory > 50 ? 50 : client.memory)}} \
                {link client server 100}} }",
+            )
+            .unwrap(),
         )
-        .unwrap(),
-    )
-    .unwrap();
-    assert!(
-        ctl.choice(&id, "b").unwrap().predicted
-            < ctl2.choice(&id2, "b").unwrap().predicted
-    );
+        .unwrap();
+    assert!(ctl.choice(&id, "b").unwrap().predicted < ctl2.choice(&id2, "b").unwrap().predicted);
 }
 
 #[test]
 fn twenty_applications_place_and_drain_cleanly() {
-    let spec = parse_bundle_script(
-        "harmonyBundle small:1 b { {o {node n {seconds 10} {memory 12}}} }",
-    )
-    .unwrap();
+    let spec =
+        parse_bundle_script("harmonyBundle small:1 b { {o {node n {seconds 10} {memory 12}}} }")
+            .unwrap();
     let mut ctl = Controller::new(cluster(8), ControllerConfig::default());
     let mut ids = Vec::new();
     for _ in 0..20 {
@@ -140,14 +134,12 @@ fn twenty_applications_place_and_drain_cleanly() {
 fn bundle_names_can_collide_across_applications() {
     // Two different applications using the same bundle name must not
     // interfere (the namespace is rooted at app.instance).
-    let a = parse_bundle_script(
-        "harmonyBundle alpha:1 config { {o {node n {seconds 1} {memory 1}}} }",
-    )
-    .unwrap();
-    let b = parse_bundle_script(
-        "harmonyBundle beta:1 config { {o {node n {seconds 2} {memory 2}}} }",
-    )
-    .unwrap();
+    let a =
+        parse_bundle_script("harmonyBundle alpha:1 config { {o {node n {seconds 1} {memory 1}}} }")
+            .unwrap();
+    let b =
+        parse_bundle_script("harmonyBundle beta:1 config { {o {node n {seconds 2} {memory 2}}} }")
+            .unwrap();
     let mut ctl = Controller::new(cluster(4), ControllerConfig::default());
     let (ia, _) = ctl.register(a).unwrap();
     let (ib, _) = ctl.register(b).unwrap();

@@ -86,10 +86,8 @@ fn accurate_measurements_leave_decisions_unchanged() {
 
 #[test]
 fn predicted_response_times_reflect_measured_reality() {
-    let config = ControllerConfig {
-        feedback: Some(FeedbackConfig::default()),
-        ..Default::default()
-    };
+    let config =
+        ControllerConfig { feedback: Some(FeedbackConfig::default()), ..Default::default() };
     let mut ctl = Controller::new(two_node_cluster(), config);
     let (id, _) =
         ctl.register(parse_bundle_script(&pinned("app", "alpha", 100.0)).unwrap()).unwrap();

@@ -125,11 +125,8 @@ impl BufferPool {
         }
         self.stats.misses += 1;
         if self.resident.len() >= self.capacity_pages {
-            if let Some(victim) = self
-                .resident
-                .iter()
-                .min_by_key(|(_, &stamp)| stamp)
-                .map(|(k, _)| k.clone())
+            if let Some(victim) =
+                self.resident.iter().min_by_key(|(_, &stamp)| stamp).map(|(k, _)| k.clone())
             {
                 self.resident.remove(&victim);
                 self.stats.evictions += 1;
@@ -144,11 +141,8 @@ impl BufferPool {
     pub fn resize(&mut self, capacity_pages: usize) {
         self.capacity_pages = capacity_pages;
         while self.resident.len() > self.capacity_pages {
-            if let Some(victim) = self
-                .resident
-                .iter()
-                .min_by_key(|(_, &stamp)| stamp)
-                .map(|(k, _)| k.clone())
+            if let Some(victim) =
+                self.resident.iter().min_by_key(|(_, &stamp)| stamp).map(|(k, _)| k.clone())
             {
                 self.resident.remove(&victim);
                 self.stats.evictions += 1;

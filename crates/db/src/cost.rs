@@ -104,8 +104,7 @@ impl CostModel {
     pub fn data_shipping(&self, stats: &QueryStats) -> ResourceProfile {
         ResourceProfile {
             server_seconds: stats.cache_misses as f64 * self.per_page_serve_seconds,
-            client_seconds: stats.cpu_ops() as f64 * self.per_op_seconds
-                * self.ds_cpu_factor,
+            client_seconds: stats.cpu_ops() as f64 * self.per_op_seconds * self.ds_cpu_factor,
             transfer_mb: stats.cache_misses as f64 * PAGE_BYTES as f64 / 1e6,
         }
     }
@@ -128,11 +127,7 @@ mod tests {
     #[test]
     fn qs_server_cost_is_near_four_seconds() {
         let profile = CostModel::default().query_shipping(&paper_stats());
-        assert!(
-            (3.0..5.5).contains(&profile.server_seconds),
-            "server {}",
-            profile.server_seconds
-        );
+        assert!((3.0..5.5).contains(&profile.server_seconds), "server {}", profile.server_seconds);
         assert!(profile.transfer_mb < 1.0, "results are small: {}", profile.transfer_mb);
         assert_eq!(profile.client_seconds, 0.2);
     }
@@ -140,17 +135,9 @@ mod tests {
     #[test]
     fn ds_client_cost_is_near_nine_seconds() {
         let profile = CostModel::default().data_shipping(&paper_stats());
-        assert!(
-            (7.0..12.0).contains(&profile.client_seconds),
-            "client {}",
-            profile.client_seconds
-        );
+        assert!((7.0..12.0).contains(&profile.client_seconds), "client {}", profile.client_seconds);
         // Cold cache: ~513 pages × 8 KB ≈ 4.2 MB.
-        assert!(
-            (3.0..6.0).contains(&profile.transfer_mb),
-            "transfer {}",
-            profile.transfer_mb
-        );
+        assert!((3.0..6.0).contains(&profile.transfer_mb), "transfer {}", profile.transfer_mb);
         assert!(profile.server_seconds < 1.0);
     }
 

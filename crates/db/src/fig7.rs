@@ -185,12 +185,7 @@ impl Fig7Result {
 /// The Figure 3 bundle text with configurable per-query seconds, generated
 /// from measured profiles so the controller reasons about the same costs
 /// the simulation charges.
-pub fn dbclient_bundle(
-    qs_server: f64,
-    qs_client: f64,
-    ds_server: f64,
-    ds_client: f64,
-) -> String {
+pub fn dbclient_bundle(qs_server: f64, qs_client: f64, ds_server: f64, ds_client: f64) -> String {
     format!(
         "harmonyBundle DBclient:1 where {{\n\
            {{QS\n\
@@ -275,13 +270,7 @@ pub fn run_fig7(cfg: &Fig7Config) -> Fig7Result {
     let mut client_pools: Vec<BufferPool> =
         (0..cfg.n_clients).map(|_| BufferPool::with_megabytes(cfg.client_cache_mb)).collect();
     let mut workloads: Vec<Workload> = (0..cfg.n_clients)
-        .map(|i| {
-            Workload::new(
-                WorkloadConfig { tuples: cfg.tuples, ..cfg.workload },
-                i,
-                cfg.seed,
-            )
-        })
+        .map(|i| Workload::new(WorkloadConfig { tuples: cfg.tuples, ..cfg.workload }, i, cfg.seed))
         .collect();
 
     // Stations: server CPU (1 reference machine), shared link (MB/s), one
@@ -311,8 +300,8 @@ pub fn run_fig7(cfg: &Fig7Config) -> Fig7Result {
                     cfg.link_mbps
                 ));
             }
-            let cluster = harmony_resources::Cluster::from_rsl(&rsl)
-                .expect("generated cluster RSL is valid");
+            let cluster =
+                harmony_resources::Cluster::from_rsl(&rsl).expect("generated cluster RSL is valid");
             Some((Controller::new(cluster, config.clone()), vec![None; cfg.n_clients]))
         }
         _ => None,
@@ -362,8 +351,7 @@ pub fn run_fig7(cfg: &Fig7Config) -> Fig7Result {
                 active[i] = true;
                 if let Some((ctl, ids)) = controller.as_mut() {
                     ctl.set_time(now);
-                    let spec =
-                        parse_bundle_script(&bundle_text).expect("bundle text is valid RSL");
+                    let spec = parse_bundle_script(&bundle_text).expect("bundle text is valid RSL");
                     match ctl.register(spec) {
                         Ok((id, _)) => ids[i] = Some(id),
                         Err(e) => panic!("fig7 controller registration failed: {e}"),
@@ -399,10 +387,14 @@ pub fn run_fig7(cfg: &Fig7Config) -> Fig7Result {
                     }
                 }
                 last_mode[i] = Some(mode);
-                trace.record(now, format!("client{}.mode", i + 1), match mode {
-                    Mode::Qs => 0.0,
-                    Mode::Ds => 1.0,
-                });
+                trace.record(
+                    now,
+                    format!("client{}.mode", i + 1),
+                    match mode {
+                        Mode::Qs => 0.0,
+                        Mode::Ds => 1.0,
+                    },
+                );
 
                 // Execute the query for real against the mode's cache.
                 let q = workloads[i].next_query();
@@ -422,9 +414,7 @@ pub fn run_fig7(cfg: &Fig7Config) -> Fig7Result {
                 stages.push_back((client_station(i), profile.client_seconds));
                 let job_id = state.next_job;
                 state.next_job += 1;
-                state
-                    .jobs
-                    .insert(job_id, Job { client: i, submitted: now, mode, stages });
+                state.jobs.insert(job_id, Job { client: i, submitted: now, mode, stages });
                 state.enqueue(&mut sim, job_id);
             }
             Ev::StationDone { st, gen } => {
@@ -438,8 +428,7 @@ pub fn run_fig7(cfg: &Fig7Config) -> Fig7Result {
                 state.resched(&mut sim, st);
                 let done = {
                     let job = state.jobs.get(&job_id).expect("job table entry");
-                    job.stages.iter().all(|(_, w)| *w <= 1e-12)
-                        || job.stages.is_empty()
+                    job.stages.iter().all(|(_, w)| *w <= 1e-12) || job.stages.is_empty()
                 };
                 if done {
                     let job = state.jobs.remove(&job_id).expect("job table entry");
@@ -542,13 +531,7 @@ mod tests {
         assert!(!r.decisions.is_empty());
         // All three clients end up on DS.
         let last_modes: Vec<f64> = (1..=3)
-            .map(|i| {
-                r.trace
-                    .series(&format!("client{i}.mode"))
-                    .last()
-                    .map(|(_, v)| *v)
-                    .unwrap()
-            })
+            .map(|i| r.trace.series(&format!("client{i}.mode")).last().map(|(_, v)| *v).unwrap())
             .collect();
         assert_eq!(last_modes, vec![1.0, 1.0, 1.0], "all clients on DS");
         // And it beats never switching.

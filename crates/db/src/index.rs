@@ -25,9 +25,8 @@ impl BTreeIndex {
     pub fn build(relation: &Relation, attr: &str) -> Self {
         let mut map: BTreeMap<i64, Vec<usize>> = BTreeMap::new();
         for (pos, t) in relation.tuples().iter().enumerate() {
-            let key = t
-                .attr(attr)
-                .unwrap_or_else(|| panic!("`{attr}` is not an integer attribute"));
+            let key =
+                t.attr(attr).unwrap_or_else(|| panic!("`{attr}` is not an integer attribute"));
             map.entry(key).or_default().push(pos);
         }
         BTreeIndex { attr: attr.to_owned(), map }

@@ -57,9 +57,7 @@ mod workload;
 pub use bufferpool::{BufferPool, CacheStats, PageId};
 pub use cost::{CostModel, ResourceProfile};
 pub use engine::{JoinQuery, QueryEngine, QueryStats};
-pub use fig7::{
-    dbclient_bundle, run_fig7, Fig7Config, Fig7Result, Mode, QueryRecord, WherePolicy,
-};
+pub use fig7::{dbclient_bundle, run_fig7, Fig7Config, Fig7Result, Mode, QueryRecord, WherePolicy};
 pub use index::BTreeIndex;
 pub use relation::{PageNo, Relation, PAGE_BYTES, TUPLES_PER_PAGE};
 pub use tuple::{wisconsin_string, Tuple, TUPLE_BYTES};

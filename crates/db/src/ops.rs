@@ -77,11 +77,7 @@ fn touch(
 }
 
 /// Full table scan with a predicate: returns matching positions.
-pub fn scan(
-    relation: &Relation,
-    pred: &Predicate,
-    pool: &mut BufferPool,
-) -> (Vec<usize>, OpStats) {
+pub fn scan(relation: &Relation, pred: &Predicate, pool: &mut BufferPool) -> (Vec<usize>, OpStats) {
     let mut stats = OpStats::default();
     let mut out = Vec::new();
     let mut last_page = usize::MAX;
@@ -169,37 +165,25 @@ pub fn aggregate(
 ) -> Option<i64> {
     match agg {
         Aggregate::Count => Some(positions.len() as i64),
-        Aggregate::Sum => Some(
-            positions
-                .iter()
-                .filter_map(|&p| relation.get(p).and_then(|t| t.attr(attr)))
-                .sum(),
-        ),
-        Aggregate::Min => positions
-            .iter()
-            .filter_map(|&p| relation.get(p).and_then(|t| t.attr(attr)))
-            .min(),
-        Aggregate::Max => positions
-            .iter()
-            .filter_map(|&p| relation.get(p).and_then(|t| t.attr(attr)))
-            .max(),
+        Aggregate::Sum => {
+            Some(positions.iter().filter_map(|&p| relation.get(p).and_then(|t| t.attr(attr))).sum())
+        }
+        Aggregate::Min => {
+            positions.iter().filter_map(|&p| relation.get(p).and_then(|t| t.attr(attr))).min()
+        }
+        Aggregate::Max => {
+            positions.iter().filter_map(|&p| relation.get(p).and_then(|t| t.attr(attr))).max()
+        }
     }
 }
 
 /// Projects the named integer attributes of the tuples at `positions`.
-pub fn project(
-    relation: &Relation,
-    positions: &[usize],
-    attrs: &[&str],
-) -> Vec<Vec<Option<i64>>> {
+pub fn project(relation: &Relation, positions: &[usize], attrs: &[&str]) -> Vec<Vec<Option<i64>>> {
     positions
         .iter()
         .map(|&p| {
             let t = relation.get(p);
-            attrs
-                .iter()
-                .map(|a| t.and_then(|t| t.attr(a)))
-                .collect()
+            attrs.iter().map(|a| t.and_then(|t| t.attr(a))).collect()
         })
         .collect()
 }
@@ -276,13 +260,8 @@ mod tests {
         // Rebuild the same join with index-nested-loop.
         let idx2_u2 = BTreeIndex::build(engine.r2(), "unique2");
         let idx1_u1 = BTreeIndex::build(engine.r1(), "unique1");
-        let (outer, _) = index_scan(
-            engine.r2(),
-            &idx2_u2,
-            q.r2_range.clone(),
-            &Predicate::True,
-            &mut pool,
-        );
+        let (outer, _) =
+            index_scan(engine.r2(), &idx2_u2, q.r2_range.clone(), &Predicate::True, &mut pool);
         let (inl, stats) = index_nested_loop_join(
             engine.r2(),
             &outer,
@@ -294,9 +273,7 @@ mod tests {
         // Filter INL output to the r1 selection range and flip pair order.
         let mut inl: Vec<(usize, usize)> = inl
             .into_iter()
-            .filter(|(_, p1)| {
-                q.r1_range.contains(&engine.r1().get(*p1).unwrap().unique2)
-            })
+            .filter(|(_, p1)| q.r1_range.contains(&engine.r1().get(*p1).unwrap().unique2))
             .map(|(p2, p1)| (p1, p2))
             .collect();
         hash.sort_unstable();
@@ -311,10 +288,7 @@ mod tests {
         let mut pool = BufferPool::new(10_000);
         let (all, _) = scan(&r, &Predicate::True, &mut pool);
         assert_eq!(aggregate(&r, &all, "unique1", Aggregate::Count), Some(1000));
-        assert_eq!(
-            aggregate(&r, &all, "unique1", Aggregate::Sum),
-            Some((0..1000).sum())
-        );
+        assert_eq!(aggregate(&r, &all, "unique1", Aggregate::Sum), Some((0..1000).sum()));
         assert_eq!(aggregate(&r, &all, "unique1", Aggregate::Min), Some(0));
         assert_eq!(aggregate(&r, &all, "unique1", Aggregate::Max), Some(999));
         assert_eq!(aggregate(&r, &[], "unique1", Aggregate::Min), None);

@@ -33,11 +33,8 @@ impl Relation {
         let mut unique1: Vec<i64> = (0..n as i64).collect();
         let mut rng = SimRng::seed(seed);
         rng.shuffle(&mut unique1);
-        let tuples = unique1
-            .into_iter()
-            .enumerate()
-            .map(|(u2, u1)| Tuple::new(u1, u2 as i64))
-            .collect();
+        let tuples =
+            unique1.into_iter().enumerate().map(|(u2, u1)| Tuple::new(u1, u2 as i64)).collect();
         Relation { name: name.into(), tuples }
     }
 

@@ -17,13 +17,7 @@ fn wisconsin_query_1_style_selection_and_aggregate() {
     let r = rel(2000);
     let idx = BTreeIndex::build(&r, "unique2");
     let mut pool = BufferPool::new(10_000);
-    let (rows, stats) = index_scan(
-        &r,
-        &idx,
-        100..300,
-        &Predicate::Eq("two".into(), 0),
-        &mut pool,
-    );
+    let (rows, stats) = index_scan(&r, &idx, 100..300, &Predicate::Eq("two".into(), 0), &mut pool);
     assert_eq!(stats.examined, 200);
     // unique1 is a permutation: about half are even.
     assert!((70..130).contains(&rows.len()), "{}", rows.len());
@@ -67,13 +61,10 @@ fn three_way_plan_scan_filter_join_project() {
     let mut pool = BufferPool::new(10_000);
     let (odd, _) = scan(&r1, &Predicate::Eq("two".into(), 1), &mut pool);
     let idx2_u1 = BTreeIndex::build(&r2, "unique1");
-    let (pairs, _) =
-        index_nested_loop_join(&r1, &odd, "unique1", &r2, &idx2_u1, &mut pool);
+    let (pairs, _) = index_nested_loop_join(&r1, &odd, "unique1", &r2, &idx2_u1, &mut pool);
     // Keep pairs whose r2 tuple sits in unique2 ∈ [0, 250).
-    let kept: Vec<(usize, usize)> = pairs
-        .into_iter()
-        .filter(|(_, p2)| r2.get(*p2).unwrap().unique2 < 250)
-        .collect();
+    let kept: Vec<(usize, usize)> =
+        pairs.into_iter().filter(|(_, p2)| r2.get(*p2).unwrap().unique2 < 250).collect();
 
     let brute: Vec<(usize, usize)> = r1
         .tuples()

@@ -107,9 +107,7 @@ impl Histogram {
             .iter()
             .enumerate()
             .filter(|(_, &c)| c > 0)
-            .map(|(i, &c)| {
-                (if i < self.bounds.len() { self.bounds[i] } else { self.max }, c)
-            })
+            .map(|(i, &c)| (if i < self.bounds.len() { self.bounds[i] } else { self.max }, c))
             .collect()
     }
 

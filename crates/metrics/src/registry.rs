@@ -50,7 +50,7 @@ impl MetricRegistry {
     /// first use.
     pub fn record(&self, name: &str, time: f64, value: f64) {
         let mut inner = self.inner.write();
-        inner.series.entry(name.to_owned()).or_insert_with(TimeSeries::new).record(time, value);
+        inner.series.entry(name.to_owned()).or_default().record(time, value);
     }
 
     /// Returns a snapshot (clone) of the series under `name`.

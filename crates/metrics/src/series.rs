@@ -103,16 +103,18 @@ impl TimeSeries {
 
     /// Minimum retained value.
     pub fn min(&self) -> Option<f64> {
-        self.samples.iter().map(|s| s.value).fold(None, |acc, v| {
-            Some(acc.map_or(v, |a: f64| a.min(v)))
-        })
+        self.samples
+            .iter()
+            .map(|s| s.value)
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.min(v))))
     }
 
     /// Maximum retained value.
     pub fn max(&self) -> Option<f64> {
-        self.samples.iter().map(|s| s.value).fold(None, |acc, v| {
-            Some(acc.map_or(v, |a: f64| a.max(v)))
-        })
+        self.samples
+            .iter()
+            .map(|s| s.value)
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
     }
 
     /// The `q`-quantile (0 ≤ q ≤ 1) of retained values by

@@ -173,13 +173,9 @@ impl HPath {
             if path.len() < head.len() {
                 return false;
             }
-            return head
-                .iter()
-                .zip(path.iter())
-                .all(|(p, c)| p == "*" || p == c);
+            return head.iter().zip(path.iter()).all(|(p, c)| p == "*" || p == c);
         }
-        pat.len() == path.len()
-            && pat.iter().zip(path.iter()).all(|(p, c)| p == "*" || p == c)
+        pat.len() == path.len() && pat.iter().zip(path.iter()).all(|(p, c)| p == "*" || p == c)
     }
 }
 

@@ -286,10 +286,7 @@ mod tests {
         ns.set(p("a.y"), 2);
         ns.set(p("b"), 3);
         let all: Vec<_> = ns.iter().into_iter().map(|(p, v)| (p.to_string(), *v)).collect();
-        assert_eq!(
-            all,
-            vec![("a.x".to_string(), 1), ("a.y".to_string(), 2), ("b".to_string(), 3)]
-        );
+        assert_eq!(all, vec![("a.x".to_string(), 1), ("a.y".to_string(), 2), ("b".to_string(), 3)]);
         let under_a = ns.iter_prefix(&p("a"));
         assert_eq!(under_a.len(), 2);
         assert_eq!(ns.len(), 3);

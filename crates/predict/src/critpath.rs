@@ -80,12 +80,8 @@ impl CriticalPath {
         })?;
         let mut path = vec![self.names[cur].clone()];
         loop {
-            let preds: Vec<usize> = self
-                .edges
-                .iter()
-                .filter(|(_, t)| *t == cur)
-                .map(|(f, _)| *f)
-                .collect();
+            let preds: Vec<usize> =
+                self.edges.iter().filter(|(_, t)| *t == cur).map(|(f, _)| *f).collect();
             let Some(&best) = preds.iter().max_by(|&&a, &&b| {
                 finish[a].partial_cmp(&finish[b]).unwrap_or(std::cmp::Ordering::Equal)
             }) else {
@@ -107,8 +103,7 @@ impl CriticalPath {
             indegree[t] += 1;
         }
         let mut finish: Vec<f64> = self.durations.clone();
-        let mut queue: Vec<usize> =
-            (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
         let mut visited = 0usize;
         while let Some(u) = queue.pop() {
             visited += 1;

@@ -57,9 +57,10 @@ impl DefaultModel {
     fn cpu_component(&self, ctx: &PredictionContext<'_>) -> Result<f64, PredictError> {
         let mut worst = 0.0f64;
         for binding in &ctx.alloc.nodes {
-            let node = ctx.cluster.node(&binding.node).ok_or_else(|| {
-                PredictError::UnknownResource { name: binding.node.clone() }
-            })?;
+            let node = ctx
+                .cluster
+                .node(&binding.node)
+                .ok_or_else(|| PredictError::UnknownResource { name: binding.node.clone() })?;
             let speed = node.decl.speed.max(f64::EPSILON);
             let k = ctx.tasks_on(&binding.node).max(1) as f64;
             worst = worst.max(binding.seconds / speed * k);
@@ -104,16 +105,12 @@ impl DefaultModel {
                 // The app gets its requested rate, or its fair share of an
                 // oversubscribed link.
                 let rate = if l.bandwidth > 0.0 { l.bandwidth } else { capacity };
-                let derate = if reserved > capacity && reserved > 0.0 {
-                    capacity / reserved
-                } else {
-                    1.0
-                };
+                let derate =
+                    if reserved > capacity && reserved > 0.0 { capacity / reserved } else { 1.0 };
                 consider(rate.min(capacity) * derate);
             }
         } else {
-            let names: Vec<&str> =
-                ctx.alloc.nodes.iter().map(|n| n.node.as_str()).collect();
+            let names: Vec<&str> = ctx.alloc.nodes.iter().map(|n| n.node.as_str()).collect();
             for (i, a) in names.iter().enumerate() {
                 for b in names.iter().skip(i + 1) {
                     if a == b {
@@ -197,7 +194,14 @@ mod tests {
     }
 
     fn binding(req: &str, node: &str, seconds: f64) -> AllocatedNode {
-        AllocatedNode { req: req.into(), index: 0, node: node.into(), memory: 1.0, seconds, exclusive: false }
+        AllocatedNode {
+            req: req.into(),
+            index: 0,
+            node: node.into(),
+            memory: 1.0,
+            seconds,
+            exclusive: false,
+        }
     }
 
     #[test]
@@ -221,17 +225,11 @@ mod tests {
     fn contention_stretches_cpu() {
         let mut cluster = cluster();
         // Commit a competing task on `a`.
-        let other = Allocation {
-            nodes: vec![binding("z", "a", 50.0)],
-            links: vec![],
-            variables: vec![],
-        };
+        let other =
+            Allocation { nodes: vec![binding("z", "a", 50.0)], links: vec![], variables: vec![] };
         cluster.commit(&other).unwrap();
-        let alloc = Allocation {
-            nodes: vec![binding("x", "a", 100.0)],
-            links: vec![],
-            variables: vec![],
-        };
+        let alloc =
+            Allocation { nodes: vec![binding("x", "a", 100.0)], links: vec![], variables: vec![] };
         let opt = OptionSpec::new("o");
         let ctx = PredictionContext::hypothetical(&cluster, &alloc, &opt);
         let p = DefaultModel::new().predict(&ctx).unwrap();
@@ -285,11 +283,8 @@ mod tests {
             "harmonyBundle t b { {o {node x {seconds 10}} {communication 500}} }",
         )
         .unwrap();
-        let alloc = Allocation {
-            nodes: vec![binding("x", "a", 10.0)],
-            links: vec![],
-            variables: vec![],
-        };
+        let alloc =
+            Allocation { nodes: vec![binding("x", "a", 10.0)], links: vec![], variables: vec![] };
         let ctx = PredictionContext::hypothetical(&cluster, &alloc, &bundle.options[0]);
         let p = DefaultModel::new().predict(&ctx).unwrap();
         assert_eq!(p.comm_time, 0.0);
@@ -301,10 +296,7 @@ mod tests {
         let alloc = Allocation::default();
         let opt = OptionSpec::new("o");
         let ctx = PredictionContext::hypothetical(&cluster, &alloc, &opt);
-        assert!(matches!(
-            DefaultModel::new().predict(&ctx),
-            Err(PredictError::MissingData { .. })
-        ));
+        assert!(matches!(DefaultModel::new().predict(&ctx), Err(PredictError::MissingData { .. })));
     }
 
     #[test]

@@ -102,7 +102,8 @@ mod tests {
                     index: i as u32,
                     node: (*n).into(),
                     memory: 32.0,
-                    seconds: 0.0, exclusive: false,
+                    seconds: 0.0,
+                    exclusive: false,
                 })
                 .collect(),
             links: vec![],
@@ -142,7 +143,8 @@ mod tests {
                     index: 0,
                     node: "n0".into(),
                     memory: 1.0,
-                    seconds: 1.0, exclusive: false,
+                    seconds: 1.0,
+                    exclusive: false,
                 }],
                 links: vec![],
                 variables: vec![],
@@ -154,8 +156,7 @@ mod tests {
         let ctx = PredictionContext::hypothetical(&cluster, &a, opt);
         let scaled = ExplicitModel::new(opt.performance.clone().unwrap());
         assert_eq!(scaled.predict(&ctx).unwrap().response_time, 1240.0); // 620 × 2
-        let raw = ExplicitModel::new(opt.performance.clone().unwrap())
-            .without_contention_scaling();
+        let raw = ExplicitModel::new(opt.performance.clone().unwrap()).without_contention_scaling();
         assert_eq!(raw.predict(&ctx).unwrap().response_time, 620.0);
     }
 
@@ -176,10 +177,8 @@ mod tests {
 
     #[test]
     fn falls_back_to_default_without_performance_tag() {
-        let bundle = parse_bundle_script(
-            "harmonyBundle a b { {o {node w {seconds 10}}} }",
-        )
-        .unwrap();
+        let bundle =
+            parse_bundle_script("harmonyBundle a b { {o {node w {seconds 10}}} }").unwrap();
         let model = model_for_option(&bundle.options[0]);
         assert_eq!(model.name(), "default");
     }

@@ -29,24 +29,12 @@ impl LogPParams {
     /// the paper's evaluation (320 Mbit/s ≈ 40 MB/s, ~40 µs latency,
     /// ~25 µs per-message CPU overhead, 8 KB messages).
     pub fn sp2_switch() -> Self {
-        LogPParams {
-            l: 40e-6,
-            o: 25e-6,
-            g: 30e-6,
-            big_g: 1.0 / 40e6,
-            message_bytes: 8192.0,
-        }
+        LogPParams { l: 40e-6, o: 25e-6, g: 30e-6, big_g: 1.0 / 40e6, message_bytes: 8192.0 }
     }
 
     /// Parameters resembling switched 100 Mbit Ethernet.
     pub fn fast_ethernet() -> Self {
-        LogPParams {
-            l: 100e-6,
-            o: 50e-6,
-            g: 80e-6,
-            big_g: 1.0 / 12.5e6,
-            message_bytes: 1460.0,
-        }
+        LogPParams { l: 100e-6, o: 50e-6, g: 80e-6, big_g: 1.0 / 12.5e6, message_bytes: 1460.0 }
     }
 
     /// Cost to move `megabytes` of bulk data: returns
@@ -86,7 +74,7 @@ mod tests {
     fn bulk_transfer_is_bandwidth_dominated() {
         let p = LogPParams::sp2_switch();
         let (wire, occ) = p.transfer_cost(100.0); // 100 MB
-        // Pure bandwidth term: 1e8 bytes / 40e6 B/s = 2.5 s.
+                                                  // Pure bandwidth term: 1e8 bytes / 40e6 B/s = 2.5 s.
         assert!(wire > 2.5 && wire < 3.5, "wire={wire}");
         assert!(occ > 0.0);
         // Occupancy: 2*25µs per 8 KB message ≈ 0.61 s for 12208 messages.

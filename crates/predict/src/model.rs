@@ -1,8 +1,8 @@
 //! The [`Predictor`] trait and the prediction context/result types.
 
+use harmony_resources::{Allocation, Cluster};
 use harmony_rsl::expr::MapEnv;
 use harmony_rsl::schema::OptionSpec;
-use harmony_resources::{Allocation, Cluster};
 use serde::{Deserialize, Serialize};
 
 use crate::error::PredictError;
@@ -28,20 +28,12 @@ pub struct PredictionContext<'a> {
 impl<'a> PredictionContext<'a> {
     /// Builds a context for a hypothetical (not yet committed) allocation,
     /// with the environment derived from the allocation.
-    pub fn hypothetical(
-        cluster: &'a Cluster,
-        alloc: &'a Allocation,
-        opt: &'a OptionSpec,
-    ) -> Self {
+    pub fn hypothetical(cluster: &'a Cluster, alloc: &'a Allocation, opt: &'a OptionSpec) -> Self {
         PredictionContext { cluster, alloc, opt, env: alloc.env(), committed: false }
     }
 
     /// Builds a context for an allocation already committed to the cluster.
-    pub fn committed(
-        cluster: &'a Cluster,
-        alloc: &'a Allocation,
-        opt: &'a OptionSpec,
-    ) -> Self {
+    pub fn committed(cluster: &'a Cluster, alloc: &'a Allocation, opt: &'a OptionSpec) -> Self {
         PredictionContext { cluster, alloc, opt, env: alloc.env(), committed: true }
     }
 
@@ -53,8 +45,7 @@ impl<'a> PredictionContext<'a> {
         if self.committed {
             committed.max(1)
         } else {
-            let own =
-                self.alloc.nodes.iter().filter(|n| n.node == node).count() as u32;
+            let own = self.alloc.nodes.iter().filter(|n| n.node == node).count() as u32;
             committed + own
         }
     }
@@ -116,7 +107,8 @@ mod tests {
                 index: 0,
                 node: "a".into(),
                 memory: 1.0,
-                seconds: 10.0, exclusive: false,
+                seconds: 10.0,
+                exclusive: false,
             }],
             links: vec![],
             variables: vec![],

@@ -2,8 +2,8 @@
 //! and diverge exactly where the paper says the default model is weak.
 
 use harmony_predict::{
-    model_for_option, CriticalPath, DefaultModel, InteractiveModel, LogPParams,
-    PredictionContext, Predictor,
+    model_for_option, CriticalPath, DefaultModel, InteractiveModel, LogPParams, PredictionContext,
+    Predictor,
 };
 use harmony_resources::{Cluster, Matcher};
 use harmony_rsl::expr::MapEnv;
@@ -117,9 +117,7 @@ fn mva_matches_the_default_contention_model_at_saturation() {
     let mut cluster = sp2(1);
     for k in 1..=4u32 {
         // k committed copies of the same job on one node.
-        let alloc = Matcher::default()
-            .match_option(&cluster, opt, &MapEnv::new())
-            .unwrap();
+        let alloc = Matcher::default().match_option(&cluster, opt, &MapEnv::new()).unwrap();
         cluster.commit(&alloc).unwrap();
         let ctx = PredictionContext::committed(&cluster, &alloc, opt);
         let predicted = DefaultModel::new().predict(&ctx).unwrap().response_time;

@@ -1,16 +1,65 @@
 //! `harmonyctl` — inspect a running `harmonyd`.
 //!
 //! ```text
-//! harmonyctl [addr] status    # system snapshot (default command)
+//! harmonyctl [addr] status              # system snapshot (default command)
 //! harmonyctl [addr] end <app.id>
+//! harmonyctl [addr] lint <file.rsl> [--json]
 //! ```
+//!
+//! `lint` analyzes an RSL script with `harmony-analyze`. It asks the daemon
+//! when one is reachable (so the verdict matches what the daemon would
+//! accept) and falls back to analyzing locally when none is running. Exit
+//! status: 0 clean, 1 error diagnostics present, 2 usage/IO errors.
 
 use harmony_core::SystemSnapshot;
 use harmony_proto::{Request, Response, TcpTransport, Transport};
 
 fn usage() -> ! {
-    eprintln!("usage: harmonyctl [addr] [status | end <app.id>]");
+    eprintln!("usage: harmonyctl [addr] [status | end <app.id> | lint <file.rsl> [--json]]");
     std::process::exit(2);
+}
+
+/// Runs the `lint` subcommand; returns the process exit code.
+fn lint(transport: Option<&mut TcpTransport>, file: &str, json_out: bool) -> i32 {
+    let src = match std::fs::read_to_string(file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("harmonyctl: cannot read {file}: {e}");
+            return 2;
+        }
+    };
+
+    // Prefer the daemon's verdict when one is reachable; otherwise analyze
+    // locally (the same crate runs on both sides).
+    let diags = match transport.and_then(|t| t.call(&Request::Lint { script: src.clone() }).ok()) {
+        Some(Response::Lint { json }) => {
+            harmony_analyze::json::parse_diagnostics(&json).unwrap_or_default()
+        }
+        Some(Response::Error { message }) => {
+            eprintln!("harmonyctl: {message}");
+            return 1;
+        }
+        Some(other) => {
+            eprintln!("harmonyctl: unexpected response: {other:?}");
+            return 1;
+        }
+        None => match harmony_analyze::analyze_script(&src) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("harmonyctl: {file}: {e}");
+                return 1;
+            }
+        },
+    };
+
+    if json_out {
+        println!("{}", harmony_analyze::to_json(&diags, &src));
+    } else if diags.is_empty() {
+        println!("{file}: no findings");
+    } else {
+        print!("{}", harmony_analyze::render(&diags, &src, file));
+    }
+    i32::from(harmony_analyze::has_errors(&diags))
 }
 
 fn main() {
@@ -24,6 +73,16 @@ fn main() {
         Ok(a) => a,
         Err(_) => usage(),
     };
+
+    // `lint` works without a daemon: connect best-effort.
+    if args.first().map(String::as_str) == Some("lint") {
+        // `--json` may come before or after the file name.
+        let Some(file) = args[1..].iter().find(|a| *a != "--json").cloned() else { usage() };
+        let json_out = args.iter().any(|a| a == "--json");
+        let mut transport = TcpTransport::connect(addr).ok();
+        std::process::exit(lint(transport.as_mut(), &file, json_out));
+    }
+
     let mut transport = match TcpTransport::connect(addr) {
         Ok(t) => t,
         Err(e) => {
@@ -74,9 +133,8 @@ fn main() {
             let Some(instance) = args.get(1) else { usage() };
             let Some((app, id)) = instance.rsplit_once('.') else { usage() };
             let Ok(id) = id.parse() else { usage() };
-            let resp = transport
-                .call(&Request::End { app: app.to_string(), id })
-                .expect("end call");
+            let resp =
+                transport.call(&Request::End { app: app.to_string(), id }).expect("end call");
             match resp {
                 Response::Ok => println!("harmonyctl: ended {instance}"),
                 Response::Error { message } => {

@@ -50,8 +50,7 @@ fn main() {
         cluster.total_memory()
     );
 
-    let controller =
-        Arc::new(Mutex::new(Controller::new(cluster, ControllerConfig::default())));
+    let controller = Arc::new(Mutex::new(Controller::new(cluster, ControllerConfig::default())));
     let server = match TcpServer::start(addr, Arc::clone(&controller)) {
         Ok(s) => s,
         Err(e) => {

@@ -78,10 +78,7 @@ pub fn read_frame<R: Read>(mut r: R) -> io::Result<Option<String>> {
         match r.read(&mut header[filled..]) {
             Ok(0) if filled == 0 => return Ok(None),
             Ok(0) => {
-                return Err(io::Error::new(
-                    io::ErrorKind::UnexpectedEof,
-                    "eof inside frame header",
-                ))
+                return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "eof inside frame header"))
             }
             Ok(n) => filled += n,
             Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
@@ -97,9 +94,7 @@ pub fn read_frame<R: Read>(mut r: R) -> io::Result<Option<String>> {
     }
     let mut payload = vec![0u8; len];
     r.read_exact(&mut payload)?;
-    String::from_utf8(payload)
-        .map(Some)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    String::from_utf8(payload).map(Some).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
 }
 
 #[cfg(test)]

@@ -96,6 +96,13 @@ pub enum Request {
     /// Ask the server for a [`harmony_core::SystemSnapshot`] (operators,
     /// experiment drivers).
     Status,
+    /// Run static analysis on an RSL script without registering anything
+    /// (`harmonyctl lint`). The response is [`Response::Lint`] with the
+    /// diagnostics as JSON.
+    Lint {
+        /// The RSL script to analyze.
+        script: String,
+    },
 }
 
 impl Request {
@@ -112,6 +119,7 @@ impl Request {
             }
             Request::End { app, id } => format!("end {app}.{id}"),
             Request::Status => "status".to_string(),
+            Request::Lint { script } => format!("lint {{{script}}}"),
         }
     }
 
@@ -122,8 +130,7 @@ impl Request {
     /// [`ParseMessageError`] on unknown verbs, wrong arity, or malformed
     /// numbers.
     pub fn parse(text: &str) -> Result<Self, ParseMessageError> {
-        let items =
-            split(text).map_err(|e| ParseMessageError::new(e.to_string()))?;
+        let items = split(text).map_err(|e| ParseMessageError::new(e.to_string()))?;
         let words: Vec<&str> = items.iter().map(Item::text).collect();
         match words.as_slice() {
             ["startup", app] => Ok(Request::Startup { app: (*app).to_owned() }),
@@ -149,6 +156,7 @@ impl Request {
                 Ok(Request::End { app, id })
             }
             ["status"] => Ok(Request::Status),
+            ["lint", script] => Ok(Request::Lint { script: (*script).to_owned() }),
             [] => Err(ParseMessageError::new("empty request")),
             [verb, ..] => Err(ParseMessageError::new(format!("unknown verb `{verb}`"))),
         }
@@ -196,6 +204,12 @@ pub enum Response {
         /// `harmony_core::SystemSnapshot::from_json`).
         json: String,
     },
+    /// Static-analysis diagnostics, JSON-encoded (response to
+    /// [`Request::Lint`]; parse with `harmony_analyze::json::parse_diagnostics`).
+    Lint {
+        /// The JSON payload: an array of diagnostic objects.
+        json: String,
+    },
 }
 
 impl Response {
@@ -213,6 +227,7 @@ impl Response {
             }
             Response::Error { message } => format!("error {{{message}}}"),
             Response::Status { json } => format!("status {{{json}}}"),
+            Response::Lint { json } => format!("lint {{{json}}}"),
         }
     }
 
@@ -222,27 +237,22 @@ impl Response {
     ///
     /// [`ParseMessageError`] on malformed responses.
     pub fn parse(text: &str) -> Result<Self, ParseMessageError> {
-        let items =
-            split(text).map_err(|e| ParseMessageError::new(e.to_string()))?;
+        let items = split(text).map_err(|e| ParseMessageError::new(e.to_string()))?;
         let words: Vec<&str> = items.iter().map(Item::text).collect();
         match words.as_slice() {
             ["ok"] => Ok(Response::Ok),
             ["registered", app, id] => Ok(Response::Registered {
                 app: (*app).to_owned(),
-                id: id
-                    .parse()
-                    .map_err(|_| ParseMessageError::new("instance id not a number"))?,
+                id: id.parse().map_err(|_| ParseMessageError::new("instance id not a number"))?,
             }),
-            ["error", message] => {
-                Ok(Response::Error { message: (*message).to_owned() })
-            }
+            ["error", message] => Ok(Response::Error { message: (*message).to_owned() }),
             ["status", json] => Ok(Response::Status { json: (*json).to_owned() }),
+            ["lint", json] => Ok(Response::Lint { json: (*json).to_owned() }),
             ["update", instance, rest @ ..] => {
                 let (app, id) = parse_instance(instance)?;
                 let mut updates = Vec::with_capacity(rest.len());
                 for group in rest {
-                    let inner = split(group)
-                        .map_err(|e| ParseMessageError::new(e.to_string()))?;
+                    let inner = split(group).map_err(|e| ParseMessageError::new(e.to_string()))?;
                     if inner.len() != 2 {
                         return Err(ParseMessageError::new(format!(
                             "update group `{group}` is not {{path value}}"
@@ -275,13 +285,13 @@ mod tests {
             Request::Bundle {
                 app: "DBclient".into(),
                 id: 1,
-                script: "harmonyBundle DBclient:1 where { {QS {node s {seconds 4}}} }"
-                    .into(),
+                script: "harmonyBundle DBclient:1 where { {QS {node s {seconds 4}}} }".into(),
             },
             Request::Poll { app: "bag".into(), id: 7 },
             Request::Metric { name: "a.rt".into(), time: 1.5, value: 9.25 },
             Request::End { app: "bag".into(), id: 7 },
             Request::Status,
+            Request::Lint { script: "harmonyBundle a b { {o {node n {seconds 1}}} }".into() },
         ];
         for req in cases {
             let text = req.to_text();
@@ -295,6 +305,7 @@ mod tests {
             Response::Ok,
             Response::Registered { app: "DBclient".into(), id: 66 },
             Response::Error { message: "bundle `where` cannot be placed".into() },
+            Response::Lint { json: "[{\"code\":\"HA0020\",\"severity\":\"error\"}]".into() },
             Response::Update {
                 app: "DBclient".into(),
                 id: 66,

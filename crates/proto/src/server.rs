@@ -34,10 +34,7 @@ pub fn handle_request(ctl: &SharedController, req: &Request) -> Response {
         }
         Request::Bundle { app, id, script } => {
             let instance = InstanceId::new(app.clone(), *id);
-            match ctl.handle_event(HarmonyEvent::BundleSetup {
-                instance,
-                script: script.clone(),
-            }) {
+            match ctl.handle_event(HarmonyEvent::BundleSetup { instance, script: script.clone() }) {
                 Ok(_) => Response::Ok,
                 Err(e) => Response::Error { message: e.to_string() },
             }
@@ -75,6 +72,10 @@ pub fn handle_request(ctl: &SharedController, req: &Request) -> Response {
                 Err(e) => Response::Error { message: e.to_string() },
             }
         }
+        Request::Lint { script } => match harmony_analyze::analyze_script(script) {
+            Ok(diags) => Response::Lint { json: harmony_analyze::to_json(&diags, script) },
+            Err(e) => Response::Error { message: e.to_string() },
+        },
     }
 }
 
@@ -182,9 +183,7 @@ impl TcpServer {
                 if let Ok(clone) = stream.try_clone() {
                     let mut conns = conns2.lock();
                     // Prune connections that already closed.
-                    conns.retain(|c| {
-                        c.take_error().map(|e| e.is_none()).unwrap_or(false)
-                    });
+                    conns.retain(|c| c.take_error().map(|e| e.is_none()).unwrap_or(false));
                     conns.push(clone);
                 }
                 let ctl = Arc::clone(&ctl);
@@ -253,8 +252,7 @@ mod tests {
     use harmony_resources::Cluster;
 
     fn shared_controller(nodes: usize) -> SharedController {
-        let cluster =
-            Cluster::from_rsl(&harmony_rsl::listings::sp2_cluster(nodes)).unwrap();
+        let cluster = Cluster::from_rsl(&harmony_rsl::listings::sp2_cluster(nodes)).unwrap();
         Arc::new(Mutex::new(Controller::new(cluster, ControllerConfig::default())))
     }
 
@@ -345,10 +343,8 @@ mod tests {
         let ctl = shared_controller(8);
         {
             let mut ctl = ctl.lock();
-            let spec = harmony_rsl::schema::parse_bundle_script(
-                harmony_rsl::listings::FIG2B_BAG,
-            )
-            .unwrap();
+            let spec =
+                harmony_rsl::schema::parse_bundle_script(harmony_rsl::listings::FIG2B_BAG).unwrap();
             ctl.register(spec).unwrap();
         }
         let server = TcpServer::start("127.0.0.1:0", Arc::clone(&ctl)).unwrap();
@@ -362,6 +358,26 @@ mod tests {
     }
 
     #[test]
+    fn lint_request_returns_diagnostics_json() {
+        let ctl = shared_controller(2);
+        let mut t = LocalTransport::new(ctl);
+        // A clean script yields an empty array.
+        let resp =
+            t.call(&Request::Lint { script: harmony_rsl::listings::FIG2B_BAG.into() }).unwrap();
+        assert_eq!(resp, Response::Lint { json: "[]".into() });
+        // A broken script yields findings with codes and positions.
+        let script = "harmonyBundle app conf { {o {variable z {0 1}} \
+                      {node n {replicate w} {seconds {1 / z}}}} }";
+        let resp = t.call(&Request::Lint { script: script.into() }).unwrap();
+        let Response::Lint { json } = resp else { panic!("{resp:?}") };
+        assert!(json.contains("HA0004"), "{json}");
+        assert!(json.contains("HA0020"), "{json}");
+        // An unparseable script is a protocol-level error.
+        let resp = t.call(&Request::Lint { script: "not rsl {".into() }).unwrap();
+        assert!(matches!(resp, Response::Error { .. }));
+    }
+
+    #[test]
     fn bad_bundle_gets_error_response() {
         let ctl = shared_controller(2);
         let mut t = LocalTransport::new(ctl);
@@ -370,8 +386,7 @@ mod tests {
         else {
             panic!()
         };
-        let resp =
-            t.call(&Request::Bundle { app, id, script: "not rsl {".into() }).unwrap();
+        let resp = t.call(&Request::Bundle { app, id, script: "not rsl {".into() }).unwrap();
         assert!(matches!(resp, Response::Error { .. }));
     }
 }

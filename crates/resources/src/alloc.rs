@@ -113,10 +113,7 @@ impl Allocation {
             env.set(format!("{}.memory", n.req), Value::Float(n.memory));
             env.set(format!("{}.seconds", n.req), Value::Float(n.seconds));
             env.set(format!("{}.node", n.req), Value::Str(n.node.clone()));
-            env.set(
-                format!("{}.count", n.req),
-                Value::Int(self.bindings(&n.req).len() as i64),
-            );
+            env.set(format!("{}.count", n.req), Value::Int(self.bindings(&n.req).len() as i64));
         }
         env
     }
@@ -139,9 +136,7 @@ impl Cluster {
         }
         for l in &alloc.links {
             if l.a != l.b && self.link(&l.a, &l.b).is_none() {
-                return Err(ResourceError::UnknownNode {
-                    name: format!("link {}-{}", l.a, l.b),
-                });
+                return Err(ResourceError::UnknownNode { name: format!("link {}-{}", l.a, l.b) });
             }
         }
         for n in &alloc.nodes {
@@ -227,14 +222,16 @@ mod tests {
                     index: 0,
                     node: "a".into(),
                     memory: 20.0,
-                    seconds: 42.0, exclusive: false,
+                    seconds: 42.0,
+                    exclusive: false,
                 },
                 AllocatedNode {
                     req: "client".into(),
                     index: 0,
                     node: "b".into(),
                     memory: 2.0,
-                    seconds: 1.0, exclusive: false,
+                    seconds: 1.0,
+                    exclusive: false,
                 },
             ],
             links: vec![AllocatedLink { a: "a".into(), b: "b".into(), bandwidth: 2.0 }],

@@ -219,9 +219,7 @@ impl Cluster {
 
     /// Finds a node by its published hostname (falls back to node name).
     pub fn node_by_hostname(&self, hostname: &str) -> Option<&NodeState> {
-        self.nodes
-            .values()
-            .find(|n| n.decl.hostname == hostname || n.decl.name == hostname)
+        self.nodes.values().find(|n| n.decl.hostname == hostname || n.decl.name == hostname)
     }
 
     /// Total free memory across all nodes (MB).
@@ -303,8 +301,7 @@ mod tests {
     #[test]
     fn hostname_lookup() {
         let mut c = Cluster::new();
-        c.add_node(NodeDecl::new("n1", 1.0, 64.0).with_hostname("harmony.cs.umd.edu"))
-            .unwrap();
+        c.add_node(NodeDecl::new("n1", 1.0, 64.0).with_hostname("harmony.cs.umd.edu")).unwrap();
         assert!(c.node_by_hostname("harmony.cs.umd.edu").is_some());
         assert!(c.node_by_hostname("n1").is_some());
         assert!(c.node_by_hostname("other").is_none());

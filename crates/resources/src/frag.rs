@@ -32,10 +32,7 @@ pub struct FragReport {
 pub fn fragmentation(cluster: &Cluster) -> FragReport {
     let total = cluster.total_memory();
     let free = cluster.total_free_memory();
-    let largest = cluster
-        .nodes()
-        .map(|n| n.free_memory)
-        .fold(0.0f64, f64::max);
+    let largest = cluster.nodes().map(|n| n.free_memory).fold(0.0f64, f64::max);
     let external = if free > 0.0 { 1.0 - largest / free } else { 0.0 };
     let utilization = if total > 0.0 { (total - free) / total } else { 0.0 };
     let idle = cluster.nodes().filter(|n| n.tasks == 0).count();
@@ -92,7 +89,8 @@ mod tests {
                         index: 0,
                         node: (*n).into(),
                         memory: *m,
-                        seconds: 0.0, exclusive: false,
+                        seconds: 0.0,
+                        exclusive: false,
                     })
                     .collect(),
                 links: vec![],

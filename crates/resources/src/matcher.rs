@@ -106,8 +106,7 @@ impl Matcher {
 
         let free_mem = |cluster: &Cluster, reserved: &[(String, f64)], name: &str| -> f64 {
             let base = cluster.node(name).map(|n| n.free_memory).unwrap_or(0.0);
-            let held: f64 =
-                reserved.iter().filter(|(n, _)| n == name).map(|(_, m)| *m).sum();
+            let held: f64 = reserved.iter().filter(|(n, _)| n == name).map(|(_, m)| *m).sum();
             base - held
         };
 
@@ -142,11 +141,7 @@ impl Matcher {
                     if !accepts_attr(req.os(), &Value::Str(state.decl.os.clone()), vars)? {
                         continue;
                     }
-                    if !accepts_attr(
-                        req.tag("speed"),
-                        &Value::Float(state.decl.speed),
-                        vars,
-                    )? {
+                    if !accepts_attr(req.tag("speed"), &Value::Float(state.decl.speed), vars)? {
                         continue;
                     }
                     if free_mem(cluster, &reserved_mem, name) < min_mem {
@@ -157,9 +152,7 @@ impl Matcher {
                 // §4.1: "as nodes are matched, we decrease the available
                 // resources" — CPU load counts, so less-loaded nodes rank
                 // first under every strategy.
-                candidates.sort_by_key(|name| {
-                    cluster.node(name).map(|n| n.tasks).unwrap_or(0)
-                });
+                candidates.sort_by_key(|name| cluster.node(name).map(|n| n.tasks).unwrap_or(0));
                 let chosen = self.pick(cluster, &reserved_mem, &candidates, min_mem);
                 let Some(chosen) = chosen else {
                     return Err(ResourceError::NoMatch {
@@ -199,11 +192,7 @@ impl Matcher {
 
         // Build the post-binding environment so parameterized link
         // bandwidths can see `<req>.memory` etc.
-        let mut partial = Allocation {
-            nodes,
-            links: Vec::new(),
-            variables: var_bindings(vars),
-        };
+        let mut partial = Allocation { nodes, links: Vec::new(), variables: var_bindings(vars) };
         let link_env = partial.env();
         let env = ChainEnv::new(&link_env, vars);
 
@@ -228,9 +217,7 @@ impl Matcher {
                 let already: f64 = partial
                     .links
                     .iter()
-                    .filter(|l| {
-                        (l.a == a && l.b == b) || (l.a == b && l.b == a)
-                    })
+                    .filter(|l| (l.a == a && l.b == b) || (l.a == b && l.b == a))
                     .map(|l| l.bandwidth)
                     .sum();
                 if state.free_bandwidth - already < bw {
@@ -257,8 +244,7 @@ impl Matcher {
     ) -> Option<String> {
         let free = |name: &str| -> f64 {
             let base = cluster.node(name).map(|n| n.free_memory).unwrap_or(0.0);
-            let held: f64 =
-                reserved.iter().filter(|(n, _)| n == name).map(|(_, m)| *m).sum();
+            let held: f64 = reserved.iter().filter(|(n, _)| n == name).map(|(_, m)| *m).sum();
             base - held
         };
         match self.strategy {
@@ -273,9 +259,7 @@ impl Matcher {
                 .map(|s| (*s).to_owned()),
             Strategy::WorstFit => candidates
                 .iter()
-                .max_by(|a, b| {
-                    free(a).partial_cmp(&free(b)).unwrap_or(std::cmp::Ordering::Equal)
-                })
+                .max_by(|a, b| free(a).partial_cmp(&free(b)).unwrap_or(std::cmp::Ordering::Equal))
                 .map(|s| (*s).to_owned()),
         }
     }
@@ -306,10 +290,8 @@ fn min_memory(req: &NodeReq, vars: &MapEnv) -> Result<f64, ResourceError> {
 }
 
 fn var_bindings(vars: &MapEnv) -> Vec<(String, i64)> {
-    let mut out: Vec<(String, i64)> = vars
-        .iter()
-        .filter_map(|(k, v)| v.as_i64().ok().map(|i| (k.to_owned(), i)))
-        .collect();
+    let mut out: Vec<(String, i64)> =
+        vars.iter().filter_map(|(k, v)| v.as_i64().ok().map(|i| (k.to_owned(), i))).collect();
     out.sort();
     out
 }
@@ -328,9 +310,8 @@ mod tests {
     fn matches_fig2a_on_sp2() {
         let cluster = sp2(8);
         let bundle = parse_bundle_script(FIG2A_SIMPLE).unwrap();
-        let alloc = Matcher::default()
-            .match_option(&cluster, &bundle.options[0], &MapEnv::new())
-            .unwrap();
+        let alloc =
+            Matcher::default().match_option(&cluster, &bundle.options[0], &MapEnv::new()).unwrap();
         assert_eq!(alloc.nodes.len(), 4);
         assert_eq!(alloc.distinct_nodes(), 4);
         for n in &alloc.nodes {
@@ -356,9 +337,8 @@ mod tests {
         for workers in [1i64, 2, 4, 8] {
             let mut vars = MapEnv::new();
             vars.set("workerNodes", Value::Int(workers));
-            let alloc = Matcher::default()
-                .match_option(&cluster, &bundle.options[0], &vars)
-                .unwrap();
+            let alloc =
+                Matcher::default().match_option(&cluster, &bundle.options[0], &vars).unwrap();
             assert_eq!(alloc.nodes.len(), workers as usize);
             // Total cycles constant across worker counts.
             let total: f64 = alloc.nodes.iter().map(|n| n.seconds).sum();
@@ -369,10 +349,8 @@ mod tests {
 
     fn db_cluster() -> Cluster {
         let mut c = Cluster::new();
-        c.add_node(
-            NodeDecl::new("server", 1.0, 256.0).with_hostname("harmony.cs.umd.edu"),
-        )
-        .unwrap();
+        c.add_node(NodeDecl::new("server", 1.0, 256.0).with_hostname("harmony.cs.umd.edu"))
+            .unwrap();
         c.add_node(NodeDecl::new("c1", 1.0, 64.0)).unwrap();
         c.add_link(LinkDecl::new("server", "c1", 320.0)).unwrap();
         c
@@ -437,10 +415,9 @@ mod tests {
         let mut c = Cluster::new();
         c.add_node(NodeDecl::new("big", 1.0, 512.0)).unwrap();
         c.add_node(NodeDecl::new("small", 1.0, 64.0)).unwrap();
-        let bundle = parse_bundle_script(
-            "harmonyBundle a b { {o {node w {seconds 10} {memory 32}}} }",
-        )
-        .unwrap();
+        let bundle =
+            parse_bundle_script("harmonyBundle a b { {o {node w {seconds 10} {memory 32}}} }")
+                .unwrap();
         let opt = &bundle.options[0];
         let vars = MapEnv::new();
         let ff = Matcher::new(Strategy::FirstFit).match_option(&c, opt, &vars).unwrap();
@@ -455,13 +432,11 @@ mod tests {
     fn os_constraint_filters() {
         let mut c = Cluster::new();
         c.add_node(NodeDecl::new("aixbox", 1.0, 256.0).with_os("aix")).unwrap();
-        let bundle = parse_bundle_script(
-            "harmonyBundle a b { {o {node w {os linux} {seconds 1}}} }",
-        )
-        .unwrap();
-        let err = Matcher::default()
-            .match_option(&c, &bundle.options[0], &MapEnv::new())
-            .unwrap_err();
+        let bundle =
+            parse_bundle_script("harmonyBundle a b { {o {node w {os linux} {seconds 1}}} }")
+                .unwrap();
+        let err =
+            Matcher::default().match_option(&c, &bundle.options[0], &MapEnv::new()).unwrap_err();
         assert!(matches!(err, ResourceError::NoMatch { .. }));
     }
 
@@ -470,13 +445,11 @@ mod tests {
         let mut c = Cluster::new();
         c.add_node(NodeDecl::new("slow", 0.5, 256.0)).unwrap();
         c.add_node(NodeDecl::new("fast", 2.0, 256.0)).unwrap();
-        let bundle = parse_bundle_script(
-            "harmonyBundle a b { {o {node w {speed >=1.0} {seconds 1}}} }",
-        )
-        .unwrap();
-        let alloc = Matcher::default()
-            .match_option(&c, &bundle.options[0], &MapEnv::new())
-            .unwrap();
+        let bundle =
+            parse_bundle_script("harmonyBundle a b { {o {node w {speed >=1.0} {seconds 1}}} }")
+                .unwrap();
+        let alloc =
+            Matcher::default().match_option(&c, &bundle.options[0], &MapEnv::new()).unwrap();
         assert_eq!(alloc.nodes[0].node, "fast");
     }
 
@@ -490,9 +463,8 @@ mod tests {
             "harmonyBundle x y { {o {node m {seconds 1}} {node n {seconds 1}} {link m n 10}} }",
         )
         .unwrap();
-        let err = Matcher::default()
-            .match_option(&c, &bundle.options[0], &MapEnv::new())
-            .unwrap_err();
+        let err =
+            Matcher::default().match_option(&c, &bundle.options[0], &MapEnv::new()).unwrap_err();
         match err {
             ResourceError::NoMatch { reason } => assert!(reason.contains("Mbps"), "{reason}"),
             other => panic!("expected NoMatch, got {other:?}"),
@@ -516,8 +488,7 @@ mod tests {
         // Commit matches until the matcher refuses; free memory must stay
         // non-negative throughout.
         loop {
-            match Matcher::default().match_option(&cluster, &bundle.options[0], &MapEnv::new())
-            {
+            match Matcher::default().match_option(&cluster, &bundle.options[0], &MapEnv::new()) {
                 Ok(a) => {
                     cluster.commit(&a).unwrap();
                     allocs.push(a);

@@ -23,10 +23,9 @@ fn dedicated_and_shared_jobs_coexist() {
     cluster.commit(&d).unwrap();
 
     // ...leaves two nodes for shared jobs, which can stack.
-    let shared = parse_bundle_script(
-        "harmonyBundle seq:1 b { {o {node n {seconds 5} {memory 16}}} }",
-    )
-    .unwrap();
+    let shared =
+        parse_bundle_script("harmonyBundle seq:1 b { {o {node n {seconds 5} {memory 16}}} }")
+            .unwrap();
     let mut shared_allocs = Vec::new();
     for _ in 0..4 {
         let a = matcher.match_option(&cluster, &shared.options[0], &MapEnv::new()).unwrap();
@@ -67,14 +66,9 @@ fn another_dedicated_job_cannot_share_dedicated_nodes() {
 
 #[test]
 fn elastic_grant_shrinks_when_capacity_is_tight() {
-    let mut cluster = Cluster::from_rsl(
-        "harmonyNode only {speed 1.0} {memory 100}",
-    )
-    .unwrap();
-    let spec = parse_bundle_script(
-        "harmonyBundle a b { {o {node n {memory >=20} {seconds 1}}} }",
-    )
-    .unwrap();
+    let mut cluster = Cluster::from_rsl("harmonyNode only {speed 1.0} {memory 100}").unwrap();
+    let spec = parse_bundle_script("harmonyBundle a b { {o {node n {memory >=20} {seconds 1}}} }")
+        .unwrap();
     let matcher = Matcher::new(Strategy::FirstFit).with_elastic_extra(60.0);
     // First job: 20 + 60 elastic = 80 MB.
     let first = matcher.match_option(&cluster, &spec.options[0], &MapEnv::new()).unwrap();
@@ -108,9 +102,7 @@ fn long_churn_preserves_every_capacity_counter() {
     for _ in 0..300 {
         if live.is_empty() || rng.chance(0.55) {
             let spec = &specs[rng.uniform_int(0, 2) as usize];
-            if let Ok(a) =
-                matcher.match_option(&cluster, &spec.options[0], &MapEnv::new())
-            {
+            if let Ok(a) = matcher.match_option(&cluster, &spec.options[0], &MapEnv::new()) {
                 cluster.commit(&a).unwrap();
                 live.push(a);
             }

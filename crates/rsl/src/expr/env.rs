@@ -175,13 +175,7 @@ mod tests {
 
     #[test]
     fn fn_env_delegates() {
-        let env = FnEnv(|name: &str| {
-            if name == "n" {
-                Some(Value::Int(8))
-            } else {
-                None
-            }
-        });
+        let env = FnEnv(|name: &str| if name == "n" { Some(Value::Int(8)) } else { None });
         assert_eq!(env.lookup("n"), Some(Value::Int(8)));
         assert_eq!(env.lookup("m"), None);
         assert_eq!(format!("{env:?}"), "FnEnv(..)");
@@ -189,10 +183,9 @@ mod tests {
 
     #[test]
     fn map_env_from_iterator() {
-        let env: MapEnv =
-            vec![("a".to_string(), Value::Int(1)), ("b".to_string(), Value::Int(2))]
-                .into_iter()
-                .collect();
+        let env: MapEnv = vec![("a".to_string(), Value::Int(1)), ("b".to_string(), Value::Int(2))]
+            .into_iter()
+            .collect();
         assert_eq!(env.len(), 2);
         let mut env2 = env.clone();
         env2.extend(vec![("c".to_string(), Value::Int(3))]);

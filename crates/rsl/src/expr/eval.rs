@@ -382,10 +382,7 @@ mod tests {
         let mut env = MapEnv::new();
         env.set("workerNodes", Value::Int(4));
         assert_eq!(eval_str("1200 / workerNodes", &env).unwrap(), Value::Int(300));
-        assert_eq!(
-            eval_str("0.5 * workerNodes * workerNodes", &env).unwrap(),
-            Value::Float(8.0)
-        );
+        assert_eq!(eval_str("0.5 * workerNodes * workerNodes", &env).unwrap(), Value::Float(8.0));
     }
 
     #[test]
@@ -410,14 +407,8 @@ mod tests {
 
     #[test]
     fn builtin_errors() {
-        assert!(matches!(
-            eval_str("min()", &EmptyEnv),
-            Err(RslError::Arity { .. })
-        ));
-        assert!(matches!(
-            eval_str("pow(2)", &EmptyEnv),
-            Err(RslError::Arity { .. })
-        ));
+        assert!(matches!(eval_str("min()", &EmptyEnv), Err(RslError::Arity { .. })));
+        assert!(matches!(eval_str("pow(2)", &EmptyEnv), Err(RslError::Arity { .. })));
         assert!(matches!(
             eval_str("nosuchfn(1)", &EmptyEnv),
             Err(RslError::UnknownFunction { .. })

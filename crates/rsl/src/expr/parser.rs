@@ -41,11 +41,7 @@ impl<'s> Parser<'s> {
     }
 
     fn here(&self) -> Pos {
-        let offset = self
-            .toks
-            .get(self.pos)
-            .map(|s| s.offset)
-            .unwrap_or_else(|| self.src.len());
+        let offset = self.toks.get(self.pos).map(|s| s.offset).unwrap_or_else(|| self.src.len());
         Pos::at(self.src, offset)
     }
 
@@ -254,11 +250,7 @@ mod tests {
             Expr::Binary(
                 BinOp::Add,
                 Box::new(Expr::Int(1)),
-                Box::new(Expr::Binary(
-                    BinOp::Mul,
-                    Box::new(Expr::Int(2)),
-                    Box::new(Expr::Int(3))
-                )),
+                Box::new(Expr::Binary(BinOp::Mul, Box::new(Expr::Int(2)), Box::new(Expr::Int(3)))),
             )
         );
     }

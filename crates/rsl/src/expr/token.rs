@@ -374,11 +374,10 @@ mod tests {
 
     #[test]
     fn tokenizes_string_literals() {
-        assert_eq!(toks(r#"os == "linux""#), vec![
-            Tok::Name("os".into()),
-            Tok::EqEq,
-            Tok::Str("linux".into()),
-        ]);
+        assert_eq!(
+            toks(r#"os == "linux""#),
+            vec![Tok::Name("os".into()), Tok::EqEq, Tok::Str("linux".into()),]
+        );
     }
 
     #[test]
@@ -400,10 +399,7 @@ mod tests {
 
     #[test]
     fn huge_integer_is_bad_number() {
-        assert!(matches!(
-            tokenize("99999999999999999999999999"),
-            Err(RslError::BadNumber { .. })
-        ));
+        assert!(matches!(tokenize("99999999999999999999999999"), Err(RslError::BadNumber { .. })));
     }
 
     #[test]

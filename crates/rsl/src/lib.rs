@@ -44,7 +44,9 @@ pub mod expr;
 pub mod list;
 pub mod listings;
 pub mod schema;
+pub mod span;
 mod value;
 
 pub use error::{Pos, Result, RslError};
+pub use span::Span;
 pub use value::Value;

@@ -7,16 +7,20 @@
 //! bare and quoted words. `#` at the start of a line begins a comment that
 //! runs to the end of the line.
 //!
-//! Two views are provided:
+//! Three views are provided:
 //!
 //! * [`split`] produces the *shallow* word list, keeping braced content as
 //!   raw text (useful for lazy/streaming handling and for expressions, which
 //!   have their own grammar);
-//! * [`parse_tree`] recursively parses braced words into a [`Node`] tree.
+//! * [`parse_tree`] recursively parses braced words into a [`Node`] tree;
+//! * [`parse_tree_spanned`] does the same but records each word's byte
+//!   [`Span`] in the original source, for diagnostics that point at the
+//!   offending construct.
 
 use serde::{Deserialize, Serialize};
 
 use crate::error::{Pos, Result, RslError};
+use crate::span::Span;
 
 /// One shallow word of a TCL list.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -88,25 +92,66 @@ impl Node {
     }
 }
 
-/// Splits `src` into shallow [`Item`]s.
+/// A parsed TCL word tree that remembers where each word came from.
 ///
-/// # Errors
+/// The span of a [`SpannedNode::Word`] covers the token including any
+/// quotes; the span of a [`SpannedNode::List`] covers the braces.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SpannedNode {
+    /// A leaf word with its source span.
+    Word(String, Span),
+    /// A braced group parsed recursively into sub-nodes, with the span of
+    /// the whole group.
+    List(Vec<SpannedNode>, Span),
+}
+
+impl SpannedNode {
+    /// The byte span this node covers in the original source.
+    pub fn span(&self) -> Span {
+        match self {
+            SpannedNode::Word(_, span) | SpannedNode::List(_, span) => *span,
+        }
+    }
+
+    /// The leaf text, if this is a [`SpannedNode::Word`].
+    pub fn word(&self) -> Option<&str> {
+        match self {
+            SpannedNode::Word(s, _) => Some(s),
+            SpannedNode::List(..) => None,
+        }
+    }
+
+    /// The children, if this is a [`SpannedNode::List`].
+    pub fn list(&self) -> Option<&[SpannedNode]> {
+        match self {
+            SpannedNode::List(items, _) => Some(items),
+            SpannedNode::Word(..) => None,
+        }
+    }
+
+    /// Drops the spans, yielding the plain [`Node`] tree.
+    pub fn to_node(&self) -> Node {
+        match self {
+            SpannedNode::Word(s, _) => Node::Word(s.clone()),
+            SpannedNode::List(items, _) => Node::List(items.iter().map(Self::to_node).collect()),
+        }
+    }
+
+    /// Renders the node back to canonical TCL text (spans are not rendered).
+    pub fn canonical(&self) -> String {
+        self.to_node().canonical()
+    }
+}
+
+/// Lexes `full[lo..hi]` into shallow items with absolute byte spans.
 ///
-/// Returns [`RslError::Unterminated`] for unclosed braces or quotes and
-/// [`RslError::UnexpectedClose`] for a stray `}`.
-///
-/// # Examples
-///
-/// ```
-/// use harmony_rsl::list::{split, Item};
-/// let items = split("node server {seconds 42}").unwrap();
-/// assert_eq!(items[0], Item::Word("node".into()));
-/// assert_eq!(items[2], Item::Braced("seconds 42".into()));
-/// ```
-pub fn split(src: &str) -> Result<Vec<Item>> {
-    let bytes = src.as_bytes();
+/// Error positions are resolved against `full`, so errors from nested
+/// levels of [`parse_tree`]/[`parse_tree_spanned`] report positions in the
+/// original source rather than in the re-split inner text.
+fn split_spanned_range(full: &str, lo: usize, hi: usize) -> Result<Vec<(Item, Span)>> {
+    let bytes = &full.as_bytes()[..hi];
     let mut items = Vec::new();
-    let mut i = 0usize;
+    let mut i = lo;
     let mut at_line_start = true;
     while i < bytes.len() {
         let c = bytes[i] as char;
@@ -131,7 +176,10 @@ pub fn split(src: &str) -> Result<Vec<Item>> {
                 let mut j = i;
                 loop {
                     if j >= bytes.len() {
-                        return Err(RslError::Unterminated { what: "{", pos: Pos::at(src, start) });
+                        return Err(RslError::Unterminated {
+                            what: "{",
+                            pos: Pos::at(full, start),
+                        });
                     }
                     match bytes[j] {
                         b'{' => depth += 1,
@@ -150,11 +198,11 @@ pub fn split(src: &str) -> Result<Vec<Item>> {
                     }
                     j += 1;
                 }
-                items.push(Item::Braced(src[start + 1..j].to_owned()));
+                items.push((Item::Braced(full[start + 1..j].to_owned()), Span::new(start, j + 1)));
                 i = j + 1;
             }
             '}' => {
-                return Err(RslError::UnexpectedClose { what: '}', pos: Pos::at(src, i) });
+                return Err(RslError::UnexpectedClose { what: '}', pos: Pos::at(full, i) });
             }
             '"' => {
                 let start = i;
@@ -164,7 +212,7 @@ pub fn split(src: &str) -> Result<Vec<Item>> {
                     if j >= bytes.len() {
                         return Err(RslError::Unterminated {
                             what: "\"",
-                            pos: Pos::at(src, start),
+                            pos: Pos::at(full, start),
                         });
                     }
                     match bytes[j] {
@@ -178,10 +226,11 @@ pub fn split(src: &str) -> Result<Vec<Item>> {
                     }
                     j += 1;
                 }
-                items.push(Item::Word(word));
+                items.push((Item::Word(word), Span::new(start, j + 1)));
                 i = j + 1;
             }
             _ => {
+                let start = i;
                 let mut word = String::new();
                 let mut j = i;
                 while j < bytes.len() {
@@ -197,7 +246,7 @@ pub fn split(src: &str) -> Result<Vec<Item>> {
                     word.push(b as char);
                     j += 1;
                 }
-                items.push(Item::Word(word));
+                items.push((Item::Word(word), Span::new(start, j)));
                 i = j;
             }
         }
@@ -205,22 +254,62 @@ pub fn split(src: &str) -> Result<Vec<Item>> {
     Ok(items)
 }
 
+/// Splits `src` into shallow [`Item`]s.
+///
+/// # Errors
+///
+/// Returns [`RslError::Unterminated`] for unclosed braces or quotes and
+/// [`RslError::UnexpectedClose`] for a stray `}`.
+///
+/// # Examples
+///
+/// ```
+/// use harmony_rsl::list::{split, Item};
+/// let items = split("node server {seconds 42}").unwrap();
+/// assert_eq!(items[0], Item::Word("node".into()));
+/// assert_eq!(items[2], Item::Braced("seconds 42".into()));
+/// ```
+pub fn split(src: &str) -> Result<Vec<Item>> {
+    Ok(split_spanned_range(src, 0, src.len())?.into_iter().map(|(item, _)| item).collect())
+}
+
+/// Splits `src` into shallow [`Item`]s, each with its byte [`Span`].
+pub fn split_spanned(src: &str) -> Result<Vec<(Item, Span)>> {
+    split_spanned_range(src, 0, src.len())
+}
+
+fn parse_tree_spanned_range(full: &str, lo: usize, hi: usize) -> Result<Vec<SpannedNode>> {
+    let items = split_spanned_range(full, lo, hi)?;
+    let mut nodes = Vec::with_capacity(items.len());
+    for (item, span) in items {
+        nodes.push(match item {
+            Item::Word(w) => SpannedNode::Word(w, span),
+            Item::Braced(_) => {
+                // The raw inner text sits between the braces, so child
+                // offsets stay absolute in the original source.
+                let children = parse_tree_spanned_range(full, span.start + 1, span.end - 1)?;
+                SpannedNode::List(children, span)
+            }
+        });
+    }
+    Ok(nodes)
+}
+
 /// Recursively parses `src` into a [`Node`] forest: every shallow braced
 /// item is re-split into children.
 ///
 /// # Errors
 ///
-/// Propagates the same errors as [`split`] from any nesting level.
+/// Propagates the same errors as [`split`] from any nesting level, with
+/// positions resolved against the original `src`.
 pub fn parse_tree(src: &str) -> Result<Vec<Node>> {
-    let items = split(src)?;
-    let mut nodes = Vec::with_capacity(items.len());
-    for item in items {
-        nodes.push(match item {
-            Item::Word(w) => Node::Word(w),
-            Item::Braced(inner) => Node::List(parse_tree(&inner)?),
-        });
-    }
-    Ok(nodes)
+    Ok(parse_tree_spanned(src)?.iter().map(SpannedNode::to_node).collect())
+}
+
+/// Like [`parse_tree`], but every node carries the byte [`Span`] it covers
+/// in `src`. Word spans include quotes; list spans include the braces.
+pub fn parse_tree_spanned(src: &str) -> Result<Vec<SpannedNode>> {
+    parse_tree_spanned_range(src, 0, src.len())
 }
 
 /// Renders a node forest back to canonical text (single spaces, canonical
@@ -351,5 +440,55 @@ mod tests {
         assert_eq!(Node::Word("a b".into()).canonical(), "{a b}");
         assert_eq!(Node::Word(String::new()).canonical(), "{}");
         assert_eq!(Node::Word("plain".into()).canonical(), "plain");
+    }
+
+    #[test]
+    fn spanned_split_records_token_ranges() {
+        let src = "node server {seconds 42}";
+        let items = split_spanned(src).unwrap();
+        let spans: Vec<&str> = items.iter().map(|(_, s)| s.slice(src).unwrap()).collect();
+        assert_eq!(spans, vec!["node", "server", "{seconds 42}"]);
+    }
+
+    #[test]
+    fn spanned_tree_keeps_absolute_child_offsets() {
+        let src = "opt {a {b 2}} tail";
+        let nodes = parse_tree_spanned(src).unwrap();
+        let list = nodes[1].list().unwrap();
+        assert_eq!(list[1].span().slice(src), Some("{b 2}"));
+        let inner = list[1].list().unwrap();
+        assert_eq!(inner[1].span().slice(src), Some("2"));
+        assert_eq!(inner[1].span().pos(src).column as usize, src.find('2').unwrap() + 1);
+    }
+
+    #[test]
+    fn spanned_quoted_word_span_includes_quotes() {
+        let src = "x \"a b\" y";
+        let items = split_spanned(src).unwrap();
+        assert_eq!(items[1].0, Item::Word("a b".into()));
+        assert_eq!(items[1].1.slice(src), Some("\"a b\""));
+    }
+
+    #[test]
+    fn nested_errors_report_absolute_positions() {
+        // The stray close is inside a quoted word inside a brace; the
+        // spanned recursion should still blame the original offset.
+        let src = "a {b \"unterminated} c";
+        let err = parse_tree(src).unwrap_err();
+        match err {
+            RslError::Unterminated { what: "\"", pos } => {
+                assert_eq!(pos.offset, src.find('"').unwrap());
+            }
+            other => panic!("unexpected error: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn spanned_tree_strips_to_plain_tree() {
+        let src = "node {a {b 2}} x";
+        let spanned = parse_tree_spanned(src).unwrap();
+        let plain: Vec<Node> = spanned.iter().map(SpannedNode::to_node).collect();
+        assert_eq!(plain, parse_tree(src).unwrap());
+        assert_eq!(spanned[1].canonical(), "{a {b 2}}");
     }
 }

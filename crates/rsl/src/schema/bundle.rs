@@ -11,8 +11,12 @@ use serde::{Deserialize, Serialize};
 use crate::error::{Result, RslError};
 use crate::expr::{Env, Expr};
 use crate::schema::tagvalue::TagValue;
+use crate::span::Span;
 
 /// A tuning-option bundle: `harmonyBundle app:instance name { options }`.
+///
+/// Spans are byte ranges into the source the bundle was parsed from (empty
+/// for programmatically built specs); they never participate in equality.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BundleSpec {
     /// Application name (`DBclient` in Figure 3).
@@ -25,9 +29,31 @@ pub struct BundleSpec {
     /// Mutually exclusive options, in lexical (definition) order — the
     /// order in which the controller evaluates them (§4.3).
     pub options: Vec<OptionSpec>,
+    /// Span of the whole `harmonyBundle ...` statement.
+    #[serde(default)]
+    pub span: Span,
+    /// Span of the `app:instance` header token.
+    #[serde(default)]
+    pub app_span: Span,
+    /// Span of the bundle-name token.
+    #[serde(default)]
+    pub name_span: Span,
 }
 
 impl BundleSpec {
+    /// Creates an empty bundle with no options and empty spans.
+    pub fn new(app: impl Into<String>, instance: Option<u64>, name: impl Into<String>) -> Self {
+        BundleSpec {
+            app: app.into(),
+            instance,
+            name: name.into(),
+            options: Vec::new(),
+            span: Span::none(),
+            app_span: Span::none(),
+            name_span: Span::none(),
+        }
+    }
+
     /// Finds an option by name.
     pub fn option(&self, name: &str) -> Option<&OptionSpec> {
         self.options.iter().find(|o| o.name == name)
@@ -73,6 +99,24 @@ pub struct OptionSpec {
     /// Frictional cost (reference-machine CPU seconds) of switching *into*
     /// this option (paper §3, requirement five).
     pub friction: Option<TagValue>,
+    /// Span of the whole braced option.
+    #[serde(default)]
+    pub span: Span,
+    /// Span of the option-name token.
+    #[serde(default)]
+    pub name_span: Span,
+    /// Span of the `communication` tag's value, when present.
+    #[serde(default)]
+    pub communication_span: Span,
+    /// Span of the whole `{performance ...}` tag, when present.
+    #[serde(default)]
+    pub performance_span: Span,
+    /// Span of the `granularity` tag's value, when present.
+    #[serde(default)]
+    pub granularity_span: Span,
+    /// Span of the `friction` tag's value, when present.
+    #[serde(default)]
+    pub friction_span: Span,
 }
 
 impl OptionSpec {
@@ -87,6 +131,12 @@ impl OptionSpec {
             performance: None,
             granularity: None,
             friction: None,
+            span: Span::none(),
+            name_span: Span::none(),
+            communication_span: Span::none(),
+            performance_span: Span::none(),
+            granularity_span: Span::none(),
+            friction_span: Span::none(),
         }
     }
 
@@ -166,13 +216,32 @@ pub struct VariableSpec {
     pub name: String,
     /// The allowed values, e.g. `[1, 2, 4, 8]` worker processes.
     pub choices: Vec<i64>,
+    /// Span of the whole `{variable ...}` tag.
+    #[serde(default)]
+    pub span: Span,
+    /// Span of the variable-name token.
+    #[serde(default)]
+    pub name_span: Span,
+    /// Span of the braced choice list.
+    #[serde(default)]
+    pub choices_span: Span,
 }
 
 impl VariableSpec {
+    /// Creates a variable with the given choices and empty spans.
+    pub fn new(name: impl Into<String>, choices: Vec<i64>) -> Self {
+        VariableSpec {
+            name: name.into(),
+            choices,
+            span: Span::none(),
+            name_span: Span::none(),
+            choices_span: Span::none(),
+        }
+    }
+
     /// Canonical RSL text.
     pub fn canonical(&self) -> String {
-        let vals =
-            self.choices.iter().map(|c| c.to_string()).collect::<Vec<_>>().join(" ");
+        let vals = self.choices.iter().map(|c| c.to_string()).collect::<Vec<_>>().join(" ");
         format!("{{variable {} {{{vals}}}}}", self.name)
     }
 }
@@ -223,9 +292,38 @@ pub struct NodeReq {
     pub count: CountSpec,
     /// Tags in definition order (`seconds`, `memory`, `hostname`, `os`...).
     pub tags: Vec<(String, TagValue)>,
+    /// Span of the whole `{node ...}` requirement.
+    #[serde(default)]
+    pub span: Span,
+    /// Span of the node-name token.
+    #[serde(default)]
+    pub name_span: Span,
+    /// Spans of the *values* of the entries in `tags`, index-aligned (may be
+    /// empty for programmatically built requirements — use
+    /// [`NodeReq::tag_span`]).
+    #[serde(default)]
+    pub tag_spans: Vec<Span>,
 }
 
 impl NodeReq {
+    /// Creates a single-instance node requirement with no tags.
+    pub fn new(name: impl Into<String>) -> Self {
+        NodeReq {
+            name: name.into(),
+            count: CountSpec::One,
+            tags: Vec::new(),
+            span: Span::none(),
+            name_span: Span::none(),
+            tag_spans: Vec::new(),
+        }
+    }
+
+    /// The span of the `i`th tag, or the whole requirement's span when tag
+    /// spans were not recorded.
+    pub fn tag_span(&self, i: usize) -> Span {
+        self.tag_spans.get(i).copied().unwrap_or(self.span)
+    }
+
     /// Looks up a tag value by name.
     pub fn tag(&self, name: &str) -> Option<&TagValue> {
         self.tags.iter().find(|(t, _)| t == name).map(|(_, v)| v)
@@ -277,9 +375,34 @@ pub struct LinkReq {
     pub b: String,
     /// Required bandwidth in Mbit/s, possibly parameterized.
     pub bandwidth: TagValue,
+    /// Span of the whole `{link ...}` requirement.
+    #[serde(default)]
+    pub span: Span,
+    /// Span of the first endpoint token.
+    #[serde(default)]
+    pub a_span: Span,
+    /// Span of the second endpoint token.
+    #[serde(default)]
+    pub b_span: Span,
+    /// Span of the bandwidth value.
+    #[serde(default)]
+    pub bandwidth_span: Span,
 }
 
 impl LinkReq {
+    /// Creates a link requirement with empty spans.
+    pub fn new(a: impl Into<String>, b: impl Into<String>, bandwidth: TagValue) -> Self {
+        LinkReq {
+            a: a.into(),
+            b: b.into(),
+            bandwidth,
+            span: Span::none(),
+            a_span: Span::none(),
+            b_span: Span::none(),
+            bandwidth_span: Span::none(),
+        }
+    }
+
     /// Canonical RSL text.
     pub fn canonical(&self) -> String {
         format!("{{link {} {} {}}}", self.a, self.b, self.bandwidth.canonical())
@@ -410,15 +533,12 @@ mod tests {
 
     #[test]
     fn node_req_accessors() {
-        let node = NodeReq {
-            name: "server".into(),
-            count: CountSpec::One,
-            tags: vec![
-                ("hostname".into(), TagValue::Exact(Value::Str("h".into()))),
-                ("seconds".into(), TagValue::Exact(Value::Int(42))),
-                ("memory".into(), TagValue::Exact(Value::Int(20))),
-            ],
-        };
+        let mut node = NodeReq::new("server");
+        node.tags = vec![
+            ("hostname".into(), TagValue::Exact(Value::Str("h".into()))),
+            ("seconds".into(), TagValue::Exact(Value::Int(42))),
+            ("memory".into(), TagValue::Exact(Value::Int(20))),
+        ];
         assert!(node.hostname().is_some());
         assert!(node.seconds().is_some());
         assert!(node.memory().is_some());
@@ -463,21 +583,18 @@ mod tests {
     #[test]
     fn option_free_names_collects_dependencies() {
         let mut opt = OptionSpec::new("DS");
-        opt.nodes.push(NodeReq {
-            name: "client".into(),
-            count: CountSpec::One,
-            tags: vec![(
-                "seconds".into(),
-                TagValue::Expr(parse_expr("base / workerNodes").unwrap()),
-            )],
-        });
-        opt.links.push(LinkReq {
-            a: "client".into(),
-            b: "server".into(),
-            bandwidth: TagValue::Expr(
+        let mut client = NodeReq::new("client");
+        client
+            .tags
+            .push(("seconds".into(), TagValue::Expr(parse_expr("base / workerNodes").unwrap())));
+        opt.nodes.push(client);
+        opt.links.push(LinkReq::new(
+            "client",
+            "server",
+            TagValue::Expr(
                 parse_expr("44 + (client.memory > 24 ? 24 : client.memory) - 17").unwrap(),
             ),
-        });
+        ));
         let names = opt.free_names();
         assert_eq!(
             names,
@@ -488,27 +605,17 @@ mod tests {
     #[test]
     fn canonical_texts_are_reparseable() {
         use crate::schema::parser::parse_statements;
-        let bundle = BundleSpec {
-            app: "DBclient".into(),
-            instance: Some(1),
-            name: "where".into(),
-            options: vec![{
-                let mut o = OptionSpec::new("QS");
-                o.nodes.push(NodeReq {
-                    name: "server".into(),
-                    count: CountSpec::One,
-                    tags: vec![("seconds".into(), TagValue::Exact(Value::Int(42)))],
-                });
-                o.links.push(LinkReq {
-                    a: "client".into(),
-                    b: "server".into(),
-                    bandwidth: TagValue::Exact(Value::Int(2)),
-                });
-                o.granularity = Some(30.0);
-                o.friction = Some(TagValue::Exact(Value::Int(5)));
-                o
-            }],
-        };
+        let mut bundle = BundleSpec::new("DBclient", Some(1), "where");
+        bundle.options.push({
+            let mut o = OptionSpec::new("QS");
+            let mut server = NodeReq::new("server");
+            server.tags.push(("seconds".into(), TagValue::Exact(Value::Int(42))));
+            o.nodes.push(server);
+            o.links.push(LinkReq::new("client", "server", TagValue::Exact(Value::Int(2))));
+            o.granularity = Some(30.0);
+            o.friction = Some(TagValue::Exact(Value::Int(5)));
+            o
+        });
         let text = bundle.canonical();
         let stmts = parse_statements(&text).unwrap();
         assert_eq!(stmts.len(), 1);

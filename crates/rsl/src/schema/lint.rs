@@ -1,5 +1,12 @@
 //! Bundle linting: advisory diagnostics beyond hard parse errors.
 //!
+//! **Deprecated**: superseded by the `harmony-analyze` crate, which covers
+//! every check here (under stable `HAxxxx` codes, with byte-span labels)
+//! plus type checking, reachability analysis over choice domains,
+//! performance-table validation, dominance, and namespace checks. This
+//! module stays only so existing callers of [`lint_bundle`]/[`is_clean`]
+//! keep compiling; it receives no new checks.
+//!
 //! The schema parser rejects structurally invalid RSL; this linter catches
 //! the specifications that parse but will not behave as the author
 //! intended — an unused `variable`, a `link` naming a node that no option
@@ -56,11 +63,7 @@ fn lint_option(opt: &OptionSpec, out: &mut Vec<Lint>) {
         let mut seen: Vec<&str> = Vec::new();
         for n in &node_names {
             if seen.contains(n) {
-                push(
-                    out,
-                    Severity::Error,
-                    format!("node requirement `{n}` is defined twice"),
-                );
+                push(out, Severity::Error, format!("node requirement `{n}` is defined twice"));
             }
             seen.push(n);
         }
@@ -98,11 +101,7 @@ fn lint_option(opt: &OptionSpec, out: &mut Vec<Lint>) {
     }
     for var in &declared {
         if !referenced.iter().any(|r| r == var) {
-            push(
-                out,
-                Severity::Warning,
-                format!("variable `{var}` is declared but never used"),
-            );
+            push(out, Severity::Warning, format!("variable `{var}` is declared but never used"));
         }
     }
     for name in &referenced {
@@ -113,9 +112,7 @@ fn lint_option(opt: &OptionSpec, out: &mut Vec<Lint>) {
                 push(
                     out,
                     Severity::Error,
-                    format!(
-                        "`{name}` references `{head}`, which is not a node requirement"
-                    ),
+                    format!("`{name}` references `{head}`, which is not a node requirement"),
                 );
             }
         } else if !declared.contains(&name.as_str()) {
@@ -133,11 +130,7 @@ fn lint_option(opt: &OptionSpec, out: &mut Vec<Lint>) {
         sorted.sort_unstable();
         sorted.dedup();
         if sorted.len() != var.choices.len() {
-            push(
-                out,
-                Severity::Warning,
-                format!("variable `{}` has duplicate choices", var.name),
-            );
+            push(out, Severity::Warning, format!("variable `{}` has duplicate choices", var.name));
         }
         if var.choices.iter().any(|&c| c <= 0) {
             push(
@@ -166,6 +159,11 @@ fn lint_option(opt: &OptionSpec, out: &mut Vec<Lint>) {
 }
 
 /// Lints a bundle, returning findings sorted errors-first.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `harmony_analyze::analyze_bundle`, which subsumes these \
+            checks under stable diagnostic codes with source spans"
+)]
 pub fn lint_bundle(bundle: &BundleSpec) -> Vec<Lint> {
     let mut out = Vec::new();
     // Duplicate option names shadow each other in `BundleSpec::option`.
@@ -181,17 +179,23 @@ pub fn lint_bundle(bundle: &BundleSpec) -> Vec<Lint> {
         seen.push(&opt.name);
         lint_option(opt, &mut out);
     }
-    out.sort_by(|a, b| b.severity.cmp(&a.severity));
+    out.sort_by_key(|l| std::cmp::Reverse(l.severity));
     out
 }
 
 /// True when the findings contain no [`Severity::Error`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use `harmony_analyze::is_clean` on `analyze_bundle` diagnostics"
+)]
 pub fn is_clean(lints: &[Lint]) -> bool {
     lints.iter().all(|l| l.severity != Severity::Error)
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)]
+
     use super::*;
     use crate::schema::parse_bundle_script;
 
@@ -215,9 +219,7 @@ mod tests {
 
     #[test]
     fn unused_variable_warns() {
-        let found = lints(
-            "harmonyBundle a b { {o {variable w {1 2}} {node n {seconds 1}}} }",
-        );
+        let found = lints("harmonyBundle a b { {o {variable w {1 2}} {node n {seconds 1}}} }");
         assert_eq!(found.len(), 1);
         assert_eq!(found[0].severity, Severity::Warning);
         assert!(found[0].message.contains("never used"));
@@ -226,26 +228,22 @@ mod tests {
 
     #[test]
     fn undeclared_variable_errors() {
-        let found = lints(
-            "harmonyBundle a b { {o {node n {seconds {100 / w}}}} }",
-        );
-        assert!(found.iter().any(|l| l.severity == Severity::Error
-            && l.message.contains("not declared")));
+        let found = lints("harmonyBundle a b { {o {node n {seconds {100 / w}}}} }");
+        assert!(found
+            .iter()
+            .any(|l| l.severity == Severity::Error && l.message.contains("not declared")));
         assert!(!is_clean(&found));
     }
 
     #[test]
     fn bad_link_endpoint_errors() {
-        let found = lints(
-            "harmonyBundle a b { {o {node x {seconds 1}} {link x ghost 5}} }",
-        );
+        let found = lints("harmonyBundle a b { {o {node x {seconds 1}} {link x ghost 5}} }");
         assert!(found.iter().any(|l| l.message.contains("undefined node requirement `ghost`")));
     }
 
     #[test]
     fn self_link_warns() {
-        let found =
-            lints("harmonyBundle a b { {o {node x {seconds 1}} {link x x 5}} }");
+        let found = lints("harmonyBundle a b { {o {node x {seconds 1}} {link x x 5}} }");
         assert!(found.iter().any(|l| l.message.contains("itself")));
         assert!(is_clean(&found));
     }

@@ -22,12 +22,13 @@
 
 use crate::error::{Result, RslError};
 use crate::expr::parse_expr;
-use crate::list::{parse_tree, Node};
+use crate::list::{parse_tree_spanned, SpannedNode};
 use crate::schema::bundle::{
     BundleSpec, CountSpec, LinkReq, NodeReq, OptionSpec, PerfSpec, VariableSpec,
 };
 use crate::schema::decl::{LinkDecl, NodeDecl};
 use crate::schema::tagvalue::TagValue;
+use crate::span::Span;
 
 /// A parsed top-level RSL statement.
 #[derive(Debug, Clone, PartialEq)]
@@ -61,7 +62,7 @@ pub enum Statement {
 /// # Ok::<(), harmony_rsl::RslError>(())
 /// ```
 pub fn parse_statements(src: &str) -> Result<Vec<Statement>> {
-    let nodes = parse_tree(src)?;
+    let nodes = parse_tree_spanned(src)?;
     let mut stmts = Vec::new();
     let mut i = 0usize;
     while i < nodes.len() {
@@ -106,28 +107,35 @@ pub fn parse_bundle_script(src: &str) -> Result<BundleSpec> {
     match <[Statement; 1]>::try_from(stmts) {
         Ok([Statement::Bundle(b)]) => Ok(b),
         Ok(_) => Err(RslError::schema("expected a harmonyBundle statement")),
-        Err(v) => Err(RslError::schema(format!(
-            "expected exactly one statement, found {}",
-            v.len()
-        ))),
+        Err(v) => {
+            Err(RslError::schema(format!("expected exactly one statement, found {}", v.len())))
+        }
     }
 }
 
-fn word_at<'n>(nodes: &'n [Node], i: usize, what: &str) -> Result<&'n str> {
+fn word_at<'n>(nodes: &'n [SpannedNode], i: usize, what: &str) -> Result<&'n str> {
     nodes
         .get(i)
-        .and_then(Node::word)
+        .and_then(SpannedNode::word)
         .ok_or_else(|| RslError::schema(format!("expected {what}")))
 }
 
-fn list_at<'n>(nodes: &'n [Node], i: usize, what: &str) -> Result<&'n [Node]> {
+fn list_at<'n>(nodes: &'n [SpannedNode], i: usize, what: &str) -> Result<&'n [SpannedNode]> {
     nodes
         .get(i)
-        .and_then(Node::list)
+        .and_then(SpannedNode::list)
         .ok_or_else(|| RslError::schema(format!("expected {what}")))
 }
 
-fn parse_bundle(nodes: &[Node], start: usize) -> Result<(BundleSpec, usize)> {
+fn span_at(nodes: &[SpannedNode], i: usize) -> Span {
+    nodes.get(i).map(SpannedNode::span).unwrap_or_default()
+}
+
+fn parse_tag_value(node: &SpannedNode) -> Result<TagValue> {
+    TagValue::parse(&node.to_node())
+}
+
+fn parse_bundle(nodes: &[SpannedNode], start: usize) -> Result<(BundleSpec, usize)> {
     let ident = word_at(nodes, start + 1, "application identifier after harmonyBundle")?;
     let (app, instance) = match ident.split_once(':') {
         Some((app, inst)) => {
@@ -148,20 +156,27 @@ fn parse_bundle(nodes: &[Node], start: usize) -> Result<(BundleSpec, usize)> {
                 item.canonical()
             ))
         })?;
-        options.push(parse_option(opt_nodes)?);
+        options.push(parse_option(opt_nodes, item.span())?);
     }
     if options.is_empty() {
         return Err(RslError::schema(format!("bundle `{name}` has no options")));
     }
-    Ok((BundleSpec { app, instance, name, options }, start + 4))
+    let mut bundle = BundleSpec::new(app, instance, name);
+    bundle.options = options;
+    bundle.span = span_at(nodes, start).merge(&span_at(nodes, start + 3));
+    bundle.app_span = span_at(nodes, start + 1);
+    bundle.name_span = span_at(nodes, start + 2);
+    Ok((bundle, start + 4))
 }
 
-fn parse_option(nodes: &[Node]) -> Result<OptionSpec> {
+fn parse_option(nodes: &[SpannedNode], span: Span) -> Result<OptionSpec> {
     let name = nodes
         .first()
-        .and_then(Node::word)
+        .and_then(SpannedNode::word)
         .ok_or_else(|| RslError::schema("option must start with its name"))?;
     let mut opt = OptionSpec::new(name);
+    opt.span = span;
+    opt.name_span = span_at(nodes, 0);
     for item in &nodes[1..] {
         let items = item.list().ok_or_else(|| {
             RslError::schema(format!(
@@ -171,50 +186,51 @@ fn parse_option(nodes: &[Node]) -> Result<OptionSpec> {
         })?;
         let tag = items
             .first()
-            .and_then(Node::word)
+            .and_then(SpannedNode::word)
             .ok_or_else(|| RslError::schema(format!("option `{name}`: empty tag item")))?;
         match tag {
-            "variable" => opt.variables.push(parse_variable(items)?),
-            "node" => opt.nodes.push(parse_node_req(items)?),
-            "link" => opt.links.push(parse_link_req(items)?),
+            "variable" => opt.variables.push(parse_variable(items, item.span())?),
+            "node" => opt.nodes.push(parse_node_req(items, item.span())?),
+            "link" => opt.links.push(parse_link_req(items, item.span())?),
             "communication" => {
-                let value = items.get(1).ok_or_else(|| {
-                    RslError::schema("communication tag needs a value")
-                })?;
-                opt.communication = Some(TagValue::parse(value)?);
+                let value = items
+                    .get(1)
+                    .ok_or_else(|| RslError::schema("communication tag needs a value"))?;
+                opt.communication = Some(parse_tag_value(value)?);
+                opt.communication_span = value.span();
             }
-            "performance" => opt.performance = Some(parse_performance(&items[1..])?),
+            "performance" => {
+                opt.performance = Some(parse_performance(&items[1..])?);
+                opt.performance_span = item.span();
+            }
             "granularity" => {
                 let word = word_at(items, 1, "granularity value")?;
                 let g: f64 = word.parse().map_err(|_| {
                     RslError::schema(format!("granularity must be a number, got `{word}`"))
                 })?;
                 opt.granularity = Some(g);
+                opt.granularity_span = span_at(items, 1);
             }
             "friction" => {
-                let value = items
-                    .get(1)
-                    .ok_or_else(|| RslError::schema("friction tag needs a value"))?;
-                opt.friction = Some(TagValue::parse(value)?);
+                let value =
+                    items.get(1).ok_or_else(|| RslError::schema("friction tag needs a value"))?;
+                opt.friction = Some(parse_tag_value(value)?);
+                opt.friction_span = value.span();
             }
             other => {
-                return Err(RslError::schema(format!(
-                    "option `{name}`: unknown tag `{other}`"
-                )))
+                return Err(RslError::schema(format!("option `{name}`: unknown tag `{other}`")))
             }
         }
     }
     Ok(opt)
 }
 
-fn parse_variable(items: &[Node]) -> Result<VariableSpec> {
+fn parse_variable(items: &[SpannedNode], span: Span) -> Result<VariableSpec> {
     let name = word_at(items, 1, "variable name")?.to_string();
     let choice_list = list_at(items, 2, "braced choice list for variable")?;
     let mut choices = Vec::new();
     for c in choice_list {
-        let w = c
-            .word()
-            .ok_or_else(|| RslError::schema("variable choices must be integers"))?;
+        let w = c.word().ok_or_else(|| RslError::schema("variable choices must be integers"))?;
         let v: i64 = w.parse().map_err(|_| {
             RslError::schema(format!("variable choice must be an integer, got `{w}`"))
         })?;
@@ -223,29 +239,36 @@ fn parse_variable(items: &[Node]) -> Result<VariableSpec> {
     if choices.is_empty() {
         return Err(RslError::schema(format!("variable `{name}` has no choices")));
     }
-    Ok(VariableSpec { name, choices })
+    let mut var = VariableSpec::new(name, choices);
+    var.span = span;
+    var.name_span = span_at(items, 1);
+    var.choices_span = span_at(items, 2);
+    Ok(var)
 }
 
-fn parse_node_req(items: &[Node]) -> Result<NodeReq> {
-    let name = word_at(items, 1, "node local name")?.to_string();
-    let mut req = NodeReq { name, count: CountSpec::One, tags: Vec::new() };
+fn parse_node_req(items: &[SpannedNode], span: Span) -> Result<NodeReq> {
+    let mut req = NodeReq::new(word_at(items, 1, "node local name")?);
+    req.span = span;
+    req.name_span = span_at(items, 1);
     for item in &items[2..] {
         match item {
             // A bare `*` after the name (Figure 3's `{node client *}`)
             // means "any host": equivalent to `{hostname *}`.
-            Node::Word(w) if w == "*" => {
+            SpannedNode::Word(w, wspan) if w == "*" => {
                 req.tags.push(("hostname".into(), TagValue::Any));
+                req.tag_spans.push(*wspan);
             }
-            Node::Word(w) => {
+            SpannedNode::Word(w, _) => {
                 return Err(RslError::schema(format!(
                     "node `{}`: unexpected bare word `{w}` (tags must be braced)",
                     req.name
                 )))
             }
-            Node::List(pair) => {
-                let tag = pair.first().and_then(Node::word).ok_or_else(|| {
-                    RslError::schema(format!("node `{}`: empty tag", req.name))
-                })?;
+            SpannedNode::List(pair, _) => {
+                let tag = pair
+                    .first()
+                    .and_then(SpannedNode::word)
+                    .ok_or_else(|| RslError::schema(format!("node `{}`: empty tag", req.name)))?;
                 if tag == "replicate" {
                     let w = word_at(pair, 1, "replicate count")?;
                     req.count = match w.parse::<u32>() {
@@ -257,23 +280,27 @@ fn parse_node_req(items: &[Node]) -> Result<NodeReq> {
                 let value = pair.get(1).ok_or_else(|| {
                     RslError::schema(format!("node `{}`: tag `{tag}` needs a value", req.name))
                 })?;
-                req.tags.push((tag.to_string(), TagValue::parse(value)?));
+                req.tags.push((tag.to_string(), parse_tag_value(value)?));
+                req.tag_spans.push(value.span());
             }
         }
     }
     Ok(req)
 }
 
-fn parse_link_req(items: &[Node]) -> Result<LinkReq> {
+fn parse_link_req(items: &[SpannedNode], span: Span) -> Result<LinkReq> {
     let a = word_at(items, 1, "link endpoint")?.to_string();
     let b = word_at(items, 2, "link endpoint")?.to_string();
-    let value = items
-        .get(3)
-        .ok_or_else(|| RslError::schema("link tag needs a bandwidth value"))?;
-    Ok(LinkReq { a, b, bandwidth: TagValue::parse(value)? })
+    let value = items.get(3).ok_or_else(|| RslError::schema("link tag needs a bandwidth value"))?;
+    let mut link = LinkReq::new(a, b, parse_tag_value(value)?);
+    link.span = span;
+    link.a_span = span_at(items, 1);
+    link.b_span = span_at(items, 2);
+    link.bandwidth_span = value.span();
+    Ok(link)
 }
 
-fn parse_performance(items: &[Node]) -> Result<PerfSpec> {
+fn parse_performance(items: &[SpannedNode]) -> Result<PerfSpec> {
     if items.is_empty() {
         return Err(RslError::schema("performance tag needs data points or an expression"));
     }
@@ -304,26 +331,26 @@ fn parse_performance(items: &[Node]) -> Result<PerfSpec> {
     }
     if items.len() == 1 {
         if let Some(inner) = items[0].list() {
-            let text = crate::list::canonicalize(inner);
+            let text = crate::list::canonicalize(
+                &inner.iter().map(SpannedNode::to_node).collect::<Vec<_>>(),
+            );
             let e = parse_expr(&text).map_err(|err| {
                 RslError::schema(format!("performance expression does not parse: {err}"))
             })?;
             return Ok(PerfSpec::Expr(e));
         }
     }
-    Err(RslError::schema(
-        "performance tag must be a list of {x t} points or a single {expression}",
-    ))
+    Err(RslError::schema("performance tag must be a list of {x t} points or a single {expression}"))
 }
 
-fn parse_node_decl(nodes: &[Node], start: usize) -> Result<(NodeDecl, usize)> {
+fn parse_node_decl(nodes: &[SpannedNode], start: usize) -> Result<(NodeDecl, usize)> {
     let name = word_at(nodes, start + 1, "node name after harmonyNode")?.to_string();
     let mut decl = NodeDecl::new(name, 1.0, 0.0);
     let mut i = start + 2;
-    while let Some(Node::List(pair)) = nodes.get(i) {
+    while let Some(SpannedNode::List(pair, _)) = nodes.get(i) {
         let tag = pair
             .first()
-            .and_then(Node::word)
+            .and_then(SpannedNode::word)
             .ok_or_else(|| RslError::schema("harmonyNode: empty tag"))?;
         let value = word_at(pair, 1, "harmonyNode tag value")?;
         match tag {
@@ -339,24 +366,22 @@ fn parse_node_decl(nodes: &[Node], start: usize) -> Result<(NodeDecl, usize)> {
             }
             "os" => decl.os = value.to_string(),
             "hostname" => decl.hostname = value.to_string(),
-            other => {
-                return Err(RslError::schema(format!("harmonyNode: unknown tag `{other}`")))
-            }
+            other => return Err(RslError::schema(format!("harmonyNode: unknown tag `{other}`"))),
         }
         i += 1;
     }
     Ok((decl, i))
 }
 
-fn parse_link_decl(nodes: &[Node], start: usize) -> Result<(LinkDecl, usize)> {
+fn parse_link_decl(nodes: &[SpannedNode], start: usize) -> Result<(LinkDecl, usize)> {
     let a = word_at(nodes, start + 1, "link endpoint after harmonyLink")?.to_string();
     let b = word_at(nodes, start + 2, "second link endpoint")?.to_string();
     let mut decl = LinkDecl::new(a, b, 0.0);
     let mut i = start + 3;
-    while let Some(Node::List(pair)) = nodes.get(i) {
+    while let Some(SpannedNode::List(pair, _)) = nodes.get(i) {
         let tag = pair
             .first()
-            .and_then(Node::word)
+            .and_then(SpannedNode::word)
             .ok_or_else(|| RslError::schema("harmonyLink: empty tag"))?;
         let value = word_at(pair, 1, "harmonyLink tag value")?;
         let x: f64 = value.parse().map_err(|_| {
@@ -365,9 +390,7 @@ fn parse_link_decl(nodes: &[Node], start: usize) -> Result<(LinkDecl, usize)> {
         match tag {
             "bandwidth" => decl.bandwidth = x,
             "latency" => decl.latency = x,
-            other => {
-                return Err(RslError::schema(format!("harmonyLink: unknown tag `{other}`")))
-            }
+            other => return Err(RslError::schema(format!("harmonyLink: unknown tag `{other}`"))),
         }
         i += 1;
     }
@@ -395,10 +418,7 @@ mod tests {
         assert_eq!(opt.name, "fixed");
         assert_eq!(opt.nodes.len(), 1);
         assert_eq!(opt.nodes[0].count, CountSpec::Replicate(4));
-        assert_eq!(
-            opt.nodes[0].seconds(),
-            Some(&TagValue::Exact(Value::Int(300)))
-        );
+        assert_eq!(opt.nodes[0].seconds(), Some(&TagValue::Exact(Value::Int(300))));
         assert!(opt.communication.is_some());
     }
 
@@ -455,10 +475,7 @@ mod tests {
         // The wildcard client gets an implicit {hostname *}.
         assert_eq!(qs.node("client").unwrap().hostname(), Some(&TagValue::Any));
         // DS bandwidth depends on client.memory.
-        assert_eq!(
-            ds.links[0].bandwidth.free_names(),
-            vec!["client.memory".to_string()]
-        );
+        assert_eq!(ds.links[0].bandwidth.free_names(), vec!["client.memory".to_string()]);
     }
 
     #[test]
@@ -515,15 +532,45 @@ mod tests {
         let err = parse_bundle_script("harmonyBundle a:x b { {o} }").unwrap_err();
         assert!(err.to_string().contains("instance"), "{err}");
         // Variable without choices.
-        let err =
-            parse_bundle_script("harmonyBundle a b { {o {variable v {}}} }").unwrap_err();
+        let err = parse_bundle_script("harmonyBundle a b { {o {variable v {}}} }").unwrap_err();
         assert!(err.to_string().contains("no choices"), "{err}");
         // Multiple statements via parse_bundle_script.
-        let err = parse_bundle_script(
-            "harmonyNode n {speed 1}\nharmonyNode m {speed 1}",
-        )
-        .unwrap_err();
+        let err =
+            parse_bundle_script("harmonyNode n {speed 1}\nharmonyNode m {speed 1}").unwrap_err();
         assert!(err.to_string().contains("exactly one"), "{err}");
+    }
+
+    #[test]
+    fn spans_point_at_source_constructs() {
+        let src = "harmonyBundle bag:1 config {\n\
+             {run\n\
+               {variable workerNodes {1 2 4 8}}\n\
+               {node worker {replicate workerNodes} {seconds {1200 / workerNodes}}}\n\
+               {link worker worker 2}\n\
+               {communication {0.5 * workerNodes}}\n\
+               {performance {1 1200} {2 620}}\n\
+               {granularity 60}}\n\
+           }";
+        let bundle = parse_bundle_script(src).unwrap();
+        assert_eq!(bundle.app_span.slice(src), Some("bag:1"));
+        assert_eq!(bundle.name_span.slice(src), Some("config"));
+        assert_eq!(bundle.span.slice(src), Some(src));
+        let opt = &bundle.options[0];
+        assert_eq!(opt.name_span.slice(src), Some("run"));
+        assert!(opt.span.slice(src).unwrap().starts_with("{run"));
+        let var = &opt.variables[0];
+        assert_eq!(var.name_span.slice(src), Some("workerNodes"));
+        assert_eq!(var.choices_span.slice(src), Some("{1 2 4 8}"));
+        let node = &opt.nodes[0];
+        assert_eq!(node.name_span.slice(src), Some("worker"));
+        assert_eq!(node.tag_span(0).slice(src), Some("{1200 / workerNodes}"));
+        assert_eq!(opt.links[0].bandwidth_span.slice(src), Some("2"));
+        assert_eq!(opt.communication_span.slice(src), Some("{0.5 * workerNodes}"));
+        assert_eq!(opt.performance_span.slice(src), Some("{performance {1 1200} {2 620}}"));
+        assert_eq!(opt.granularity_span.slice(src), Some("60"));
+        // Line:column of the seconds expression resolves into the node line.
+        let pos = node.tag_span(0).pos(src);
+        assert_eq!(pos.line, 4);
     }
 
     #[test]

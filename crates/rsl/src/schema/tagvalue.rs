@@ -95,13 +95,9 @@ impl TagValue {
     /// any expression-evaluation errors.
     pub fn amount<E: Env + ?Sized>(&self, env: &E) -> Result<f64> {
         match self {
-            TagValue::Any => {
-                Err(RslError::schema("`*` has no numeric amount"))
-            }
+            TagValue::Any => Err(RslError::schema("`*` has no numeric amount")),
             TagValue::AtLeast(x) => Ok(*x),
-            TagValue::AtMost(_) => {
-                Err(RslError::schema("`<=` constraint has no minimum amount"))
-            }
+            TagValue::AtMost(_) => Err(RslError::schema("`<=` constraint has no minimum amount")),
             TagValue::Exact(v) => v.as_f64(),
             TagValue::Expr(e) => crate::expr::eval(e, env)?.as_f64(),
         }
@@ -226,10 +222,7 @@ mod tests {
     fn braced_non_expression_stays_literal_list() {
         let v = tv("{1 1200}");
         // "1 1200" is not a valid expression, so it is kept as a list.
-        assert_eq!(
-            v,
-            TagValue::Exact(Value::List(vec![Value::Int(1), Value::Int(1200)]))
-        );
+        assert_eq!(v, TagValue::Exact(Value::List(vec![Value::Int(1), Value::Int(1200)])));
     }
 
     #[test]

@@ -63,10 +63,9 @@ impl Value {
                 op: "numeric conversion".into(),
                 value: format!("string `{s}`"),
             }),
-            Value::List(_) => Err(RslError::Type {
-                op: "numeric conversion".into(),
-                value: "a list".into(),
-            }),
+            Value::List(_) => {
+                Err(RslError::Type { op: "numeric conversion".into(), value: "a list".into() })
+            }
         }
     }
 
@@ -100,10 +99,9 @@ impl Value {
                     value: format!("string `{s}`"),
                 }),
             },
-            Value::List(_) => Err(RslError::Type {
-                op: "boolean conversion".into(),
-                value: "a list".into(),
-            }),
+            Value::List(_) => {
+                Err(RslError::Type { op: "boolean conversion".into(), value: "a list".into() })
+            }
         }
     }
 
@@ -157,16 +155,14 @@ impl Value {
                 }
             }
             Value::Str(s) => {
-                if s.is_empty() || s.contains(|c: char| c.is_whitespace() || c == '{' || c == '}')
-                {
+                if s.is_empty() || s.contains(|c: char| c.is_whitespace() || c == '{' || c == '}') {
                     format!("{{{s}}}")
                 } else {
                     s.clone()
                 }
             }
             Value::List(items) => {
-                let inner =
-                    items.iter().map(Value::canonical).collect::<Vec<_>>().join(" ");
+                let inner = items.iter().map(Value::canonical).collect::<Vec<_>>().join(" ");
                 format!("{{{inner}}}")
             }
         }

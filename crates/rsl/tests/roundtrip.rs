@@ -7,11 +7,7 @@ use proptest::prelude::*;
 
 #[test]
 fn paper_bundles_round_trip_through_canonical() {
-    for (name, src) in [
-        ("fig2a", FIG2A_SIMPLE),
-        ("fig2b", FIG2B_BAG),
-        ("fig3", FIG3_DBCLIENT),
-    ] {
+    for (name, src) in [("fig2a", FIG2A_SIMPLE), ("fig2b", FIG2B_BAG), ("fig3", FIG3_DBCLIENT)] {
         let bundle = parse_bundle_script(src).unwrap();
         let canonical = bundle.canonical();
         let reparsed = parse_bundle_script(&canonical)

@@ -1,0 +1,203 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Implements the [`BytesMut`] surface the frame codec uses over a
+//! plain `Vec<u8>` with a consumed-prefix cursor, so `advance` and
+//! `split_to` are cheap and amortized like the real crate's.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+/// Read-side cursor operations.
+pub trait Buf {
+    /// Number of bytes remaining.
+    fn remaining(&self) -> usize;
+    /// Discards the next `cnt` bytes.
+    fn advance(&mut self, cnt: usize);
+    /// Reads a big-endian `u32` and advances past it.
+    fn get_u32(&mut self) -> u32;
+}
+
+/// Write-side append operations.
+pub trait BufMut {
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, n: u32);
+    /// Appends a byte slice.
+    fn put_slice(&mut self, src: &[u8]);
+    /// Appends a single byte.
+    fn put_u8(&mut self, b: u8);
+}
+
+/// A growable byte buffer with an efficient consumed prefix.
+#[derive(Default, Clone, PartialEq, Eq)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+    head: usize,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// Creates an empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut { buf: Vec::with_capacity(cap), head: 0 }
+    }
+
+    /// Live length (excluding the consumed prefix).
+    pub fn len(&self) -> usize {
+        self.buf.len() - self.head
+    }
+
+    /// True when no live bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Reserves space for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.buf.reserve(additional);
+    }
+
+    /// Appends `src` to the buffer.
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.buf.extend_from_slice(src);
+    }
+
+    /// Splits off and returns the first `at` live bytes.
+    ///
+    /// # Panics
+    /// Panics if `at > self.len()`.
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        assert!(at <= self.len(), "split_to out of bounds: {} > {}", at, self.len());
+        let out = BytesMut { buf: self.as_slice()[..at].to_vec(), head: 0 };
+        self.consume(at);
+        out
+    }
+
+    /// Copies the live bytes into a fresh `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.buf[self.head..]
+    }
+
+    fn consume(&mut self, cnt: usize) {
+        self.head += cnt;
+        // Reclaim the dead prefix once it dominates the allocation.
+        if self.head > 4096 && self.head * 2 > self.buf.len() {
+            self.buf.drain(..self.head);
+            self.head = 0;
+        }
+    }
+}
+
+impl Buf for BytesMut {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance out of bounds: {} > {}", cnt, self.len());
+        self.consume(cnt);
+    }
+
+    fn get_u32(&mut self) -> u32 {
+        assert!(self.len() >= 4, "get_u32 needs 4 bytes, have {}", self.len());
+        let mut b = [0u8; 4];
+        b.copy_from_slice(&self.as_slice()[..4]);
+        self.consume(4);
+        u32::from_be_bytes(b)
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_u32(&mut self, n: u32) {
+        self.buf.extend_from_slice(&n.to_be_bytes());
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.buf.extend_from_slice(src);
+    }
+
+    fn put_u8(&mut self, b: u8) {
+        self.buf.push(b);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        let head = self.head;
+        &mut self.buf[head..]
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_slice() {
+            if (0x20..0x7f).contains(&b) {
+                write!(f, "{}", b as char)?;
+            } else {
+                write!(f, "\\x{b:02x}")?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(src: &[u8]) -> Self {
+        BytesMut { buf: src.to_vec(), head: 0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_then_get_u32() {
+        let mut b = BytesMut::with_capacity(8);
+        b.put_u32(0xdead_beef);
+        b.put_slice(b"xy");
+        assert_eq!(b.len(), 6);
+        assert_eq!(b.get_u32(), 0xdead_beef);
+        assert_eq!(&b[..], b"xy");
+    }
+
+    #[test]
+    fn split_to_keeps_remainder() {
+        let mut b = BytesMut::from(&b"hello world"[..]);
+        let head = b.split_to(5);
+        assert_eq!(head.to_vec(), b"hello");
+        b.advance(1);
+        assert_eq!(&b[..], b"world");
+    }
+
+    #[test]
+    fn prefix_reclaim() {
+        let mut b = BytesMut::new();
+        for _ in 0..1000 {
+            b.put_slice(&[7u8; 16]);
+            b.advance(16);
+        }
+        assert!(b.is_empty());
+    }
+}

@@ -1,0 +1,207 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Bench targets compile and run as lightweight smoke-timing loops: each
+//! `bench_function` executes its routine a fixed number of iterations
+//! and prints a mean wall-clock time. There is no statistical analysis,
+//! warm-up calibration, or HTML report — the goal is that `cargo bench`
+//! (and `cargo build --benches`) works offline and the benches remain
+//! honest executable documentation of the hot paths.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard optimization barrier.
+pub use std::hint::black_box;
+
+const ITERS: u32 = 25;
+
+/// Batch sizing hint (ignored; present for API compatibility).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration setup product.
+    SmallInput,
+    /// Large per-iteration setup product.
+    LargeInput,
+}
+
+/// Identifier for a parameterized benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A benchmark named `name` at parameter `param`.
+    pub fn new(name: impl fmt::Display, param: impl fmt::Display) -> Self {
+        BenchmarkId { label: format!("{name}/{param}") }
+    }
+
+    /// A benchmark identified only by its parameter value.
+    pub fn from_parameter(param: impl fmt::Display) -> Self {
+        BenchmarkId { label: param.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Timing loop handle passed to bench closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u32,
+}
+
+impl Bencher {
+    /// Times `routine` over a fixed iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..ITERS {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.iters += ITERS;
+    }
+
+    /// Times `routine` against fresh input from `setup` each iteration.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        for _ in 0..ITERS {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.elapsed += start.elapsed();
+        }
+        self.iters += ITERS;
+    }
+
+    fn report(&self, label: &str) {
+        if self.iters == 0 {
+            println!("bench {label}: no iterations");
+            return;
+        }
+        let per = self.elapsed / self.iters;
+        println!("bench {label}: {per:?}/iter over {} iters", self.iters);
+    }
+}
+
+/// A named group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs `f` as a benchmark over a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::default();
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id));
+        self
+    }
+
+    /// Runs `f` as a benchmark inside this group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, id));
+        self
+    }
+
+    /// Ends the group (no-op; present for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion;
+
+impl Criterion {
+    /// Runs `f` as a named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report(name);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl fmt::Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.to_string(), _parent: self }
+    }
+}
+
+/// Declares a bench group function (compatible with criterion's macro).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench entry point (compatible with criterion's macro).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut calls = 0u32;
+        Criterion::default().bench_function("count", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, ITERS);
+    }
+
+    #[test]
+    fn grouped_batched_runs_setup_per_iter() {
+        let mut c = Criterion::default();
+        let mut setups = 0u32;
+        {
+            let mut g = c.benchmark_group("g");
+            g.bench_with_input(BenchmarkId::new("x", 1), &3u32, |b, &n| {
+                b.iter_batched(
+                    || {
+                        setups += 1;
+                        n
+                    },
+                    |v| v * 2,
+                    BatchSize::SmallInput,
+                );
+            });
+            g.finish();
+        }
+        assert_eq!(setups, ITERS);
+    }
+}

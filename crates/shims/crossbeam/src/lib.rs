@@ -1,0 +1,141 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only the `channel` module surface the workspace uses is provided,
+//! implemented over `std::sync::mpsc`. Unbounded channels never report
+//! `Full`; `try_send` reports `Disconnected` when every receiver is
+//! gone, which is the signal the metric bus uses to prune subscribers.
+
+pub mod channel {
+    //! Multi-producer channels with a crossbeam-flavoured API.
+
+    use std::fmt;
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, TryRecvError};
+
+    /// Error returned by [`Sender::try_send`].
+    #[derive(PartialEq, Eq, Clone, Copy)]
+    pub enum TrySendError<T> {
+        /// The channel is at capacity (never produced by unbounded channels).
+        Full(T),
+        /// All receivers were dropped; the message is returned.
+        Disconnected(T),
+    }
+
+    impl<T> fmt::Debug for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => write!(f, "Full(..)"),
+                TrySendError::Disconnected(_) => write!(f, "Disconnected(..)"),
+            }
+        }
+    }
+
+    /// Error returned by [`Sender::send`].
+    #[derive(PartialEq, Eq, Clone, Copy, Debug)]
+    pub struct SendError<T>(pub T);
+
+    /// The sending half of a channel.
+    pub struct Sender<T> {
+        inner: mpsc::Sender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender { inner: self.inner.clone() }
+        }
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends `msg`, failing only when every receiver is gone.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            self.inner.send(msg).map_err(|mpsc::SendError(v)| SendError(v))
+        }
+
+        /// Non-blocking send. Unbounded channels only fail when
+        /// disconnected.
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            self.inner.send(msg).map_err(|mpsc::SendError(v)| TrySendError::Disconnected(v))
+        }
+    }
+
+    /// The receiving half of a channel.
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or all senders disconnect.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv()
+        }
+
+        /// Blocks up to `timeout` for a message.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.inner.recv_timeout(timeout)
+        }
+
+        /// Returns a message if one is immediately available.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.inner.try_recv()
+        }
+
+        /// Drains currently queued messages without blocking.
+        pub fn try_iter(&self) -> mpsc::TryIter<'_, T> {
+            self.inner.try_iter()
+        }
+
+        /// Iterates until all senders disconnect.
+        pub fn iter(&self) -> mpsc::Iter<'_, T> {
+            self.inner.iter()
+        }
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender { inner: tx }, Receiver { inner: rx })
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn send_recv() {
+            let (tx, rx) = unbounded();
+            tx.try_send(5).unwrap();
+            assert_eq!(rx.recv(), Ok(5));
+        }
+
+        #[test]
+        fn disconnect_detected() {
+            let (tx, rx) = unbounded();
+            drop(rx);
+            assert_eq!(tx.try_send(1), Err(TrySendError::Disconnected(1)));
+        }
+
+        #[test]
+        fn try_iter_drains() {
+            let (tx, rx) = unbounded();
+            for i in 0..3 {
+                tx.send(i).unwrap();
+            }
+            let got: Vec<i32> = rx.try_iter().collect();
+            assert_eq!(got, vec![0, 1, 2]);
+        }
+    }
+}

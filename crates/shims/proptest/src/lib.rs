@@ -1,0 +1,673 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Keeps the spelling of proptest at use sites — `proptest! { ... }`,
+//! `prop_assert*!`, `prop_oneof!`, `Strategy`, `prop::collection::vec`
+//! — while implementing a much simpler engine: strategies are plain
+//! deterministic generators seeded per test from the test's name, and
+//! failures panic with the case number instead of shrinking. That keeps
+//! property tests reproducible and useful offline, at the cost of the
+//! real crate's minimization and persistence machinery.
+
+pub mod test_runner {
+    //! Deterministic randomness for test case generation.
+
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+
+    use rand::rngs::StdRng;
+    use rand::{RngCore, SeedableRng};
+
+    /// Per-test deterministic random source.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        inner: StdRng,
+    }
+
+    impl TestRng {
+        /// Seeds the generator from the test's name, so each test has a
+        /// stable stream across runs and platforms.
+        pub fn for_test(name: &str) -> Self {
+            // DefaultHasher::new() uses fixed keys: stable across runs.
+            let mut h = DefaultHasher::new();
+            name.hash(&mut h);
+            TestRng { inner: StdRng::seed_from_u64(h.finish()) }
+        }
+
+        /// Next 64 uniform bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.inner.next_u64()
+        }
+
+        /// Uniform `usize` in `[0, bound)`.
+        pub fn below(&mut self, bound: usize) -> usize {
+            use rand::Rng;
+            if bound <= 1 {
+                return 0;
+            }
+            self.inner.gen_range(0..bound)
+        }
+
+        /// Access to the underlying generator for range sampling.
+        pub fn rng(&mut self) -> &mut StdRng {
+            &mut self.inner
+        }
+    }
+}
+
+/// A failed property-test assertion (returned by `prop_assert*!`).
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    msg: String,
+}
+
+impl TestCaseError {
+    /// Records a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+/// Configuration accepted via `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Overrides the number of cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use std::ops::{Range, RangeInclusive};
+    use std::rc::Rc;
+
+    use rand::Rng;
+
+    use crate::test_runner::TestRng;
+
+    /// A generator of values for property tests.
+    ///
+    /// Unlike the real proptest there is no value tree or shrinking:
+    /// `generate` draws one value deterministically from `rng`.
+    pub trait Strategy: Clone {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U + Clone,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Grows recursive structures: at each of `depth` levels the
+        /// result is either the current strategy or `branch(current)`.
+        fn prop_recursive<S2, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            branch: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            S2: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S2,
+        {
+            let mut cur = self.clone().boxed();
+            for _ in 0..depth {
+                let grown = branch(cur).boxed();
+                cur = Union::new(vec![self.clone().boxed(), grown]).boxed();
+            }
+            cur
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+        {
+            BoxedStrategy { generate: Rc::new(move |rng| self.generate(rng)) }
+        }
+    }
+
+    /// A type-erased, cheaply clonable strategy.
+    pub struct BoxedStrategy<T> {
+        #[allow(clippy::type_complexity)]
+        generate: Rc<dyn Fn(&mut TestRng) -> T>,
+    }
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy { generate: Rc::clone(&self.generate) }
+        }
+    }
+
+    impl<T> std::fmt::Debug for BoxedStrategy<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("BoxedStrategy { .. }")
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.generate)(rng)
+        }
+    }
+
+    /// Strategy producing a constant value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// [`Strategy::prop_map`] combinator.
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, U, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U + Clone,
+    {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice between strategies (`prop_oneof!`).
+    #[derive(Debug)]
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Clone for Union<T> {
+        fn clone(&self) -> Self {
+            Union { options: self.options.clone() }
+        }
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union over the given options.
+        ///
+        /// # Panics
+        /// Panics if `options` is empty.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let idx = rng.below(self.options.len());
+            self.options[idx].generate(rng)
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.rng().gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.rng().gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    range_strategy!(i64, i32, u64, u32, usize, f64);
+
+    impl Strategy for Range<u8> {
+        type Value = u8;
+        fn generate(&self, rng: &mut TestRng) -> u8 {
+            rng.rng().gen_range(self.start as u32..self.end as u32) as u8
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($n:tt $s:ident),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$n.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (0 A, 1 B)
+        (0 A, 1 B, 2 C)
+        (0 A, 1 B, 2 C, 3 D)
+    }
+
+    // ------------------------------------------------------------------
+    // Regex-literal strategies: a small generator for the pattern subset
+    // the workspace uses ("[a-z0-9]{1,5}", "\PC{0,200}", ...).
+    // ------------------------------------------------------------------
+
+    #[derive(Debug, Clone)]
+    enum CharClass {
+        /// Explicit set of characters.
+        Set(Vec<char>),
+        /// Any non-control character (`\PC`): mostly printable ASCII
+        /// with occasional multi-byte code points to stress UTF-8 paths.
+        NonControl,
+    }
+
+    impl CharClass {
+        fn draw(&self, rng: &mut TestRng) -> char {
+            match self {
+                CharClass::Set(chars) => chars[rng.below(chars.len())],
+                CharClass::NonControl => {
+                    if rng.below(10) == 0 {
+                        const EXOTIC: &[char] =
+                            &['é', 'ß', 'λ', 'Ж', '中', '界', '\u{2603}', '\u{1F680}'];
+                        EXOTIC[rng.below(EXOTIC.len())]
+                    } else {
+                        char::from(32 + rng.below(95) as u8)
+                    }
+                }
+            }
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    struct RegexUnit {
+        class: CharClass,
+        min: usize,
+        max: usize,
+    }
+
+    fn parse_class(chars: &[char], i: &mut usize) -> CharClass {
+        // `chars[*i]` is '['.
+        *i += 1;
+        let mut set = Vec::new();
+        while *i < chars.len() && chars[*i] != ']' {
+            let c = chars[*i];
+            if chars.get(*i + 1) == Some(&'-')
+                && chars.get(*i + 2).is_some_and(|&e| e != ']')
+            {
+                let hi = chars[*i + 2];
+                for v in c as u32..=hi as u32 {
+                    if let Some(ch) = char::from_u32(v) {
+                        set.push(ch);
+                    }
+                }
+                *i += 3;
+            } else {
+                set.push(c);
+                *i += 1;
+            }
+        }
+        *i += 1; // closing ']'
+        assert!(!set.is_empty(), "proptest shim: empty character class");
+        CharClass::Set(set)
+    }
+
+    fn parse_quant(chars: &[char], i: &mut usize) -> (usize, usize) {
+        if chars.get(*i) != Some(&'{') {
+            return (1, 1);
+        }
+        *i += 1;
+        let mut min_text = String::new();
+        while *i < chars.len() && chars[*i].is_ascii_digit() {
+            min_text.push(chars[*i]);
+            *i += 1;
+        }
+        let min: usize = min_text.parse().expect("proptest shim: bad quantifier");
+        let max = if chars.get(*i) == Some(&',') {
+            *i += 1;
+            let mut max_text = String::new();
+            while *i < chars.len() && chars[*i].is_ascii_digit() {
+                max_text.push(chars[*i]);
+                *i += 1;
+            }
+            max_text.parse().expect("proptest shim: bad quantifier")
+        } else {
+            min
+        };
+        assert_eq!(chars.get(*i), Some(&'}'), "proptest shim: unterminated quantifier");
+        *i += 1;
+        (min, max)
+    }
+
+    fn parse_regex(pattern: &str) -> Vec<RegexUnit> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut i = 0usize;
+        let mut units = Vec::new();
+        while i < chars.len() {
+            let class = match chars[i] {
+                '[' => parse_class(&chars, &mut i),
+                '\\' => {
+                    let esc: String = chars[i + 1..(i + 3).min(chars.len())].iter().collect();
+                    if esc.starts_with("PC") {
+                        i += 3;
+                        CharClass::NonControl
+                    } else {
+                        // Treat any other escape as the literal next char.
+                        let c = chars[i + 1];
+                        i += 2;
+                        CharClass::Set(vec![c])
+                    }
+                }
+                c => {
+                    i += 1;
+                    CharClass::Set(vec![c])
+                }
+            };
+            let (min, max) = parse_quant(&chars, &mut i);
+            units.push(RegexUnit { class, min, max });
+        }
+        units
+    }
+
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for unit in parse_regex(self) {
+                let len = unit.min + rng.below(unit.max - unit.min + 1);
+                for _ in 0..len {
+                    out.push(unit.class.draw(rng));
+                }
+            }
+            out
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`prop::collection::vec`).
+
+    use std::ops::{Range, RangeInclusive};
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Element-count bounds for collection strategies.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange { min: r.start, max: r.end - 1 }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange { min: *r.start(), max: *r.end() }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors whose elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.size.min + rng.below(self.size.max - self.size.min + 1);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    //! Option strategies (`prop::option::of`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for `Option<S::Value>` (`None` about a quarter of the
+    /// time).
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// Generates `Some` values from `inner` interleaved with `None`s.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+/// Namespaced re-exports matching `proptest::prop::*` paths used via
+/// the prelude (`prop::collection::vec`, `prop::option::of`).
+pub mod prop {
+    pub use crate::{collection, option};
+}
+
+pub mod prelude {
+    //! The glob-import surface: `use proptest::prelude::*;`.
+
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, ProptestConfig,
+        TestCaseError,
+    };
+}
+
+/// Fails the current test case with a formatted message unless `cond`
+/// holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Equality assertion for property tests.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left == *right, $($fmt)+);
+    }};
+}
+
+/// Inequality assertion for property tests.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `left != right`\n  both: `{:?}`",
+            left
+        );
+    }};
+}
+
+/// Uniform choice between strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { .. }`
+/// becomes a `#[test]` running the body over generated inputs.
+///
+/// Note: like the real crate, the `#[test]` attribute is written by the
+/// caller inside the macro invocation and re-emitted verbatim.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = ($cfg:expr); $($(#[$meta:meta])* fn $name:ident(
+        $($arg:ident in $strategy:expr),* $(,)?
+    ) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::ProptestConfig = $cfg;
+                let mut __rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                for __case in 0..__cfg.cases {
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::generate(&($strategy), &mut __rng);
+                    )*
+                    let __run =
+                        move || -> ::std::result::Result<(), $crate::TestCaseError> {
+                            $body
+                            ::std::result::Result::Ok(())
+                        };
+                    if let ::std::result::Result::Err(e) = __run() {
+                        panic!("proptest case #{} of {}: {}", __case + 1, __cfg.cases, e);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn regex_strategies_respect_shape() {
+        let mut rng = crate::test_runner::TestRng::for_test("shape");
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-z0-9]{1,5}", &mut rng);
+            assert!((1..=5).contains(&s.chars().count()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+            let t = Strategy::generate(&"\\PC{0,20}", &mut rng);
+            assert!(t.chars().count() <= 20);
+            assert!(t.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn macro_generates_and_asserts(
+            x in 1i64..100,
+            v in prop::collection::vec(0u32..10, 0..6),
+            o in prop::option::of(Just(7u8)),
+        ) {
+            prop_assert!(x >= 1 && x < 100);
+            prop_assert!(v.len() < 6);
+            prop_assert!(v.iter().all(|&e| e < 10));
+            if let Some(s) = o {
+                prop_assert_eq!(s, 7u8);
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn oneof_and_recursive_compose(
+            s in prop_oneof![Just("a".to_string()), "[x-z]{2,3}"],
+            t in Just(1u8).prop_map(|v| v + 1).prop_recursive(2, 8, 2, |inner| {
+                inner.prop_map(|v: u8| v.saturating_add(1))
+            }),
+        ) {
+            prop_assert!(s == "a" || (2..=3).contains(&s.len()));
+            prop_assert!((2..=4).contains(&t));
+        }
+    }
+}

@@ -1,0 +1,565 @@
+//! Offline stand-in for the `serde` framework.
+//!
+//! The real serde is a zero-copy visitor framework; this shim keeps the
+//! same *spelling* at use sites (`#[derive(Serialize, Deserialize)]`,
+//! `use serde::{Serialize, Deserialize}`) but funnels everything
+//! through one simplified self-describing value type, [`Content`].
+//! Serializers (like the workspace's `serde_json` shim) render a
+//! `Content` tree; deserializers parse text into a `Content` tree and
+//! hand it to [`Deserialize::de`].
+//!
+//! Enum representation follows serde's externally-tagged convention:
+//! unit variants become strings, payload variants become single-entry
+//! maps keyed by the variant name.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+use std::fmt;
+use std::hash::Hash;
+use std::rc::Rc;
+use std::sync::Arc;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The simplified serde data model: every serializable value lowers to
+/// one of these shapes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// Absent/none.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer (used when the value exceeds `i64::MAX`).
+    U64(u64),
+    /// Floating point (non-finite values are representable).
+    F64(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// Ordered sequence.
+    Seq(Vec<Content>),
+    /// Ordered key/value pairs. Keys are usually `Str` but any shape is
+    /// allowed; emitters decide how to render non-string keys.
+    Map(Vec<(Content, Content)>),
+}
+
+impl Content {
+    /// Numeric view across the three number shapes.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Content::I64(i) => Some(i as f64),
+            Content::U64(u) => Some(u as f64),
+            Content::F64(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::I64(_) | Content::U64(_) => "integer",
+            Content::F64(_) => "float",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        }
+    }
+}
+
+/// Error produced when a [`Content`] tree does not match the target
+/// type's shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// Creates an error with the given message.
+    pub fn msg(m: impl Into<String>) -> Self {
+        DeError { msg: m.into() }
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can lower themselves to [`Content`].
+pub trait Serialize {
+    /// Lowers `self` into the simplified data model.
+    fn ser(&self) -> Content;
+}
+
+/// Types reconstructible from [`Content`].
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self`, reporting shape mismatches as [`DeError`].
+    fn de(v: &Content) -> Result<Self, DeError>;
+}
+
+// ---------------------------------------------------------------------------
+// Derive support functions. The `serde_derive` shim generates calls to
+// these so it never has to parse field *types*: inference at the call
+// site (struct literal / variant constructor) picks `T`.
+// ---------------------------------------------------------------------------
+
+/// Deserializes any `T` from a content tree (`serde_derive` support).
+pub fn from_content<T: Deserialize>(v: &Content) -> Result<T, DeError> {
+    T::de(v)
+}
+
+fn lookup<'a>(v: &'a Content, name: &str) -> Result<Option<&'a Content>, DeError> {
+    match v {
+        Content::Map(entries) => Ok(entries.iter().find_map(|(k, val)| match k {
+            Content::Str(s) if s == name => Some(val),
+            _ => None,
+        })),
+        other => Err(DeError::msg(format!("expected map, found {}", other.kind()))),
+    }
+}
+
+/// Extracts and deserializes required field `name` (`serde_derive` support).
+pub fn de_field<T: Deserialize>(v: &Content, ty: &str, name: &str) -> Result<T, DeError> {
+    match lookup(v, name)? {
+        Some(val) => T::de(val).map_err(|e| DeError::msg(format!("{ty}.{name}: {e}"))),
+        None => Err(DeError::msg(format!("missing field `{name}` for {ty}"))),
+    }
+}
+
+/// Extracts optional field `name`, falling back to `Default`
+/// (`serde_derive` support for `#[serde(default)]`).
+pub fn de_field_or_default<T: Deserialize + Default>(
+    v: &Content,
+    name: &str,
+) -> Result<T, DeError> {
+    match lookup(v, name)? {
+        Some(val) => T::de(val),
+        None => Ok(T::default()),
+    }
+}
+
+/// Extracts and deserializes positional element `idx` of a sequence
+/// (`serde_derive` support for tuple structs/variants).
+pub fn de_idx<T: Deserialize>(v: &Content, ty: &str, idx: usize) -> Result<T, DeError> {
+    match v {
+        Content::Seq(items) => match items.get(idx) {
+            Some(item) => T::de(item),
+            None => Err(DeError::msg(format!("{ty}: missing tuple element {idx}"))),
+        },
+        other => Err(DeError::msg(format!("{ty}: expected sequence, found {}", other.kind()))),
+    }
+}
+
+/// Splits an externally-tagged enum value into `(variant, payload)`
+/// (`serde_derive` support).
+pub fn variant_parts(v: &Content) -> Result<(&str, Option<&Content>), DeError> {
+    match v {
+        Content::Str(s) => Ok((s, None)),
+        Content::Map(entries) if entries.len() == 1 => match &entries[0] {
+            (Content::Str(tag), payload) => Ok((tag, Some(payload))),
+            _ => Err(DeError::msg("enum map key must be a string tag")),
+        },
+        other => {
+            Err(DeError::msg(format!("expected enum representation, found {}", other.kind())))
+        }
+    }
+}
+
+/// Builds the externally-tagged representation of a payload-carrying
+/// variant (`serde_derive` support).
+pub fn tagged_variant(name: &str, payload: Content) -> Content {
+    Content::Map(vec![(Content::Str(name.to_owned()), payload)])
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! ser_de_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn ser(&self) -> Content {
+                Content::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn de(v: &Content) -> Result<Self, DeError> {
+                let wide: i64 = match *v {
+                    Content::I64(i) => i,
+                    Content::U64(u) => i64::try_from(u)
+                        .map_err(|_| DeError::msg("unsigned value out of range"))?,
+                    ref other => {
+                        return Err(DeError::msg(format!(
+                            "expected integer, found {}", other.kind()
+                        )))
+                    }
+                };
+                <$t>::try_from(wide).map_err(|_| DeError::msg("integer out of range"))
+            }
+        }
+    )*};
+}
+
+ser_de_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! ser_de_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn ser(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn de(v: &Content) -> Result<Self, DeError> {
+                let wide: u64 = match *v {
+                    Content::U64(u) => u,
+                    Content::I64(i) => u64::try_from(i)
+                        .map_err(|_| DeError::msg("negative value for unsigned field"))?,
+                    ref other => {
+                        return Err(DeError::msg(format!(
+                            "expected integer, found {}", other.kind()
+                        )))
+                    }
+                };
+                <$t>::try_from(wide).map_err(|_| DeError::msg("integer out of range"))
+            }
+        }
+    )*};
+}
+
+ser_de_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn ser(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn de(v: &Content) -> Result<Self, DeError> {
+        v.as_f64().ok_or_else(|| DeError::msg(format!("expected number, found {}", v.kind())))
+    }
+}
+
+impl Serialize for f32 {
+    fn ser(&self) -> Content {
+        Content::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn de(v: &Content) -> Result<Self, DeError> {
+        f64::de(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn ser(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn de(v: &Content) -> Result<Self, DeError> {
+        match *v {
+            Content::Bool(b) => Ok(b),
+            ref other => Err(DeError::msg(format!("expected bool, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn ser(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn de(v: &Content) -> Result<Self, DeError> {
+        match v {
+            Content::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            _ => Err(DeError::msg("expected single-character string")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn ser(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn de(v: &Content) -> Result<Self, DeError> {
+        match v {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(DeError::msg(format!("expected string, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn ser(&self) -> Content {
+        Content::Str(self.to_owned())
+    }
+}
+
+impl Serialize for () {
+    fn ser(&self) -> Content {
+        Content::Null
+    }
+}
+
+impl Deserialize for () {
+    fn de(v: &Content) -> Result<Self, DeError> {
+        match v {
+            Content::Null => Ok(()),
+            other => Err(DeError::msg(format!("expected null, found {}", other.kind()))),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn ser(&self) -> Content {
+        (**self).ser()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn ser(&self) -> Content {
+        match self {
+            None => Content::Null,
+            Some(v) => v.ser(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn de(v: &Content) -> Result<Self, DeError> {
+        match v {
+            Content::Null => Ok(None),
+            other => T::de(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn ser(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::ser).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn de(v: &Content) -> Result<Self, DeError> {
+        match v {
+            Content::Seq(items) => items.iter().map(T::de).collect(),
+            other => Err(DeError::msg(format!("expected sequence, found {}", other.kind()))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for std::ops::Range<T> {
+    fn ser(&self) -> Content {
+        Content::Map(vec![
+            (Content::Str("start".into()), self.start.ser()),
+            (Content::Str("end".into()), self.end.ser()),
+        ])
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::ops::Range<T> {
+    fn de(v: &Content) -> Result<Self, DeError> {
+        Ok(de_field(v, "Range", "start")?..de_field(v, "Range", "end")?)
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn ser(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::ser).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for VecDeque<T> {
+    fn de(v: &Content) -> Result<Self, DeError> {
+        match v {
+            Content::Seq(items) => items.iter().map(T::de).collect(),
+            other => Err(DeError::msg(format!("expected sequence, found {}", other.kind()))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn ser(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::ser).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn de(v: &Content) -> Result<Self, DeError> {
+        match v {
+            Content::Seq(items) => items.iter().map(T::de).collect(),
+            other => Err(DeError::msg(format!("expected sequence, found {}", other.kind()))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for HashSet<T> {
+    fn ser(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::ser).collect())
+    }
+}
+
+impl<T: Deserialize + Eq + Hash> Deserialize for HashSet<T> {
+    fn de(v: &Content) -> Result<Self, DeError> {
+        match v {
+            Content::Seq(items) => items.iter().map(T::de).collect(),
+            other => Err(DeError::msg(format!("expected sequence, found {}", other.kind()))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn ser(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::ser).collect())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn ser(&self) -> Content {
+        (**self).ser()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn de(v: &Content) -> Result<Self, DeError> {
+        T::de(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Rc<T> {
+    fn ser(&self) -> Content {
+        (**self).ser()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Arc<T> {
+    fn ser(&self) -> Content {
+        (**self).ser()
+    }
+}
+
+macro_rules! ser_de_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn ser(&self) -> Content {
+                Content::Seq(vec![$(self.$n.ser()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn de(v: &Content) -> Result<Self, DeError> {
+                match v {
+                    Content::Seq(items) => Ok(($(
+                        $t::de(items.get($n).ok_or_else(|| {
+                            DeError::msg("tuple too short")
+                        })?)?,
+                    )+)),
+                    other => Err(DeError::msg(format!(
+                        "expected sequence for tuple, found {}", other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+ser_de_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+}
+
+fn map_entry_pairs(v: &Content) -> Result<Vec<(&Content, &Content)>, DeError> {
+    match v {
+        Content::Map(entries) => Ok(entries.iter().map(|(k, val)| (k, val)).collect()),
+        // Maps with non-string keys may round-trip through emitters as
+        // sequences of [key, value] pairs.
+        Content::Seq(items) => items
+            .iter()
+            .map(|item| match item {
+                Content::Seq(kv) if kv.len() == 2 => Ok((&kv[0], &kv[1])),
+                _ => Err(DeError::msg("expected [key, value] pair")),
+            })
+            .collect(),
+        other => Err(DeError::msg(format!("expected map, found {}", other.kind()))),
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn ser(&self) -> Content {
+        Content::Map(self.iter().map(|(k, v)| (k.ser(), v.ser())).collect())
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn de(v: &Content) -> Result<Self, DeError> {
+        map_entry_pairs(v)?.into_iter().map(|(k, val)| Ok((K::de(k)?, V::de(val)?))).collect()
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for HashMap<K, V> {
+    fn ser(&self) -> Content {
+        Content::Map(self.iter().map(|(k, v)| (k.ser(), v.ser())).collect())
+    }
+}
+
+impl<K: Deserialize + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn de(v: &Content) -> Result<Self, DeError> {
+        map_entry_pairs(v)?.into_iter().map(|(k, val)| Ok((K::de(k)?, V::de(val)?))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(i32::de(&42i32.ser()), Ok(42));
+        assert_eq!(u64::de(&7u64.ser()), Ok(7));
+        assert_eq!(f64::de(&1.5f64.ser()), Ok(1.5));
+        assert_eq!(String::de(&"hi".to_string().ser()), Ok("hi".to_string()));
+        assert_eq!(Option::<i32>::de(&None::<i32>.ser()), Ok(None));
+    }
+
+    #[test]
+    fn cross_width_integers() {
+        assert_eq!(u32::de(&Content::I64(9)), Ok(9));
+        assert!(u32::de(&Content::I64(-1)).is_err());
+        assert_eq!(f64::de(&Content::I64(3)), Ok(3.0));
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![(1i64, "a".to_string()), (2, "b".to_string())];
+        assert_eq!(Vec::<(i64, String)>::de(&v.ser()), Ok(v));
+        let mut m = BTreeMap::new();
+        m.insert("k".to_string(), 4u32);
+        assert_eq!(BTreeMap::<String, u32>::de(&m.ser()), Ok(m));
+    }
+
+    #[test]
+    fn enum_helpers() {
+        let unit = Content::Str("A".into());
+        assert_eq!(variant_parts(&unit).unwrap(), ("A", None));
+        let tagged = tagged_variant("B", Content::I64(1));
+        let (tag, payload) = variant_parts(&tagged).unwrap();
+        assert_eq!(tag, "B");
+        assert_eq!(payload, Some(&Content::I64(1)));
+    }
+}

@@ -1,0 +1,506 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates `Serialize`/`Deserialize` impls for the shimmed `serde`
+//! data model by hand-walking the `proc_macro::TokenStream` (no
+//! syn/quote available offline) and emitting code as strings. Field
+//! *types* are never parsed: the generated code calls inference-driven
+//! helpers (`serde::de_field`, `serde::de_idx`, ...) whose `T` is fixed
+//! by the surrounding struct literal or variant constructor.
+//!
+//! Supported shapes: named/tuple/unit structs, enums with unit /
+//! newtype / tuple / struct variants, plain (unbounded) type and
+//! lifetime parameters, and the `#[serde(default)]` field attribute.
+//! Anything fancier panics with a clear message at expansion time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    default: bool,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum Body {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    /// `<T, 'a>` rendered for the `impl` and the type, plus the bound
+    /// list of plain type-parameter idents.
+    type_params: Vec<String>,
+    lifetimes: Vec<String>,
+    body: Body,
+}
+
+/// True when an attribute token pair (`#`, `[...]`) is `#[serde(default)]`.
+fn attr_is_serde_default(group: &proc_macro::Group) -> bool {
+    let mut it = group.stream().into_iter();
+    match it.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match it.next() {
+        Some(TokenTree::Group(inner)) => inner
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "default")),
+        _ => false,
+    }
+}
+
+/// Consumes leading attributes from `toks[*i]`, reporting whether any
+/// was `#[serde(default)]`.
+fn skip_attrs(toks: &[TokenTree], i: &mut usize) -> bool {
+    let mut has_default = false;
+    while *i < toks.len() {
+        match &toks[*i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = toks.get(*i + 1) {
+                    if attr_is_serde_default(g) {
+                        has_default = true;
+                    }
+                    *i += 2;
+                } else {
+                    break;
+                }
+            }
+            _ => break,
+        }
+    }
+    has_default
+}
+
+/// Consumes an optional visibility qualifier (`pub`, `pub(crate)`, ...).
+fn skip_vis(toks: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = toks.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = toks.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Parses `<...>` generics at `toks[*i]` (if present) into lifetime and
+/// type-parameter name lists. Bounds and defaults are rejected — the
+/// workspace only derives on plain parameters.
+fn parse_generics(toks: &[TokenTree], i: &mut usize) -> (Vec<String>, Vec<String>) {
+    let mut lifetimes = Vec::new();
+    let mut params = Vec::new();
+    let open = matches!(&toks.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '<');
+    if !open {
+        return (lifetimes, params);
+    }
+    *i += 1;
+    let mut depth = 1usize;
+    let mut current: Vec<TokenTree> = Vec::new();
+    let mut flush = |current: &mut Vec<TokenTree>| {
+        if current.is_empty() {
+            return;
+        }
+        match &current[0] {
+            TokenTree::Punct(p) if p.as_char() == '\'' => {
+                let life = current
+                    .get(1)
+                    .map(|t| format!("'{t}"))
+                    .expect("serde_derive shim: dangling lifetime quote");
+                assert!(current.len() == 2, "serde_derive shim: lifetime bounds unsupported");
+                lifetimes.push(life);
+            }
+            TokenTree::Ident(id) => {
+                assert!(
+                    current.len() == 1,
+                    "serde_derive shim: bounded/defaulted type parameters unsupported \
+                     (move bounds to impl blocks)"
+                );
+                params.push(id.to_string());
+            }
+            other => panic!("serde_derive shim: unsupported generic parameter start: {other}"),
+        }
+        current.clear();
+    };
+    while *i < toks.len() {
+        match &toks[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                depth += 1;
+                current.push(toks[*i].clone());
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                if depth == 0 {
+                    *i += 1;
+                    break;
+                }
+                current.push(toks[*i].clone());
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => flush(&mut current),
+            t => current.push(t.clone()),
+        }
+        *i += 1;
+    }
+    flush(&mut current);
+    (lifetimes, params)
+}
+
+/// Parses the fields of a named-field brace group.
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<Field> {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut i = 0usize;
+    let mut fields = Vec::new();
+    while i < toks.len() {
+        let default = skip_attrs(&toks, &mut i);
+        skip_vis(&toks, &mut i);
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(other) => panic!("serde_derive shim: expected field name, found {other}"),
+        };
+        i += 1;
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive shim: expected ':' after field `{name}`, got {other:?}"),
+        }
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut depth = 0usize;
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' && depth > 0 => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+/// Counts the fields of a tuple group `( ... )`.
+fn count_tuple_fields(group: &proc_macro::Group) -> usize {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut depth = 0usize;
+    let mut count = 1usize;
+    let mut last_was_comma = false;
+    for t in &toks {
+        last_was_comma = false;
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' && depth > 0 => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                count += 1;
+                last_was_comma = true;
+            }
+            _ => {}
+        }
+    }
+    if last_was_comma {
+        count -= 1; // trailing comma
+    }
+    count
+}
+
+fn parse_variants(group: &proc_macro::Group) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut i = 0usize;
+    let mut variants = Vec::new();
+    while i < toks.len() {
+        skip_attrs(&toks, &mut i);
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(other) => panic!("serde_derive shim: expected variant name, found {other}"),
+        };
+        i += 1;
+        let shape = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantShape::Tuple(count_tuple_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantShape::Struct(parse_named_fields(g))
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip an optional discriminant and the trailing comma.
+        while i < toks.len() {
+            if let TokenTree::Punct(p) = &toks[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+    skip_attrs(&toks, &mut i);
+    skip_vis(&toks, &mut i);
+    let kind = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected struct/enum, found {other:?}"),
+    };
+    i += 1;
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected type name, found {other:?}"),
+    };
+    i += 1;
+    let (lifetimes, type_params) = parse_generics(&toks, &mut i);
+    if let Some(TokenTree::Ident(id)) = toks.get(i) {
+        assert!(id.to_string() != "where", "serde_derive shim: where clauses unsupported");
+    }
+    let body = match kind.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::NamedStruct(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::TupleStruct(count_tuple_fields(g))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::UnitStruct,
+            other => panic!("serde_derive shim: unsupported struct body: {other:?}"),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g))
+            }
+            other => panic!("serde_derive shim: expected enum body, found {other:?}"),
+        },
+        other => panic!("serde_derive shim: cannot derive for `{other}`"),
+    };
+    Input { name, type_params, lifetimes, body }
+}
+
+impl Input {
+    /// `impl<'a, T: bound>` generics and the `Name<'a, T>` type suffix.
+    fn generics(&self, bound: &str) -> (String, String) {
+        if self.lifetimes.is_empty() && self.type_params.is_empty() {
+            return (String::new(), String::new());
+        }
+        let mut impl_parts: Vec<String> = self.lifetimes.clone();
+        let mut ty_parts: Vec<String> = self.lifetimes.clone();
+        for p in &self.type_params {
+            impl_parts.push(format!("{p}: {bound}"));
+            ty_parts.push(p.clone());
+        }
+        (format!("<{}>", impl_parts.join(", ")), format!("<{}>", ty_parts.join(", ")))
+    }
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let (impl_g, ty_g) = input.generics("::serde::Serialize");
+    let name = &input.name;
+    let body = match &input.body {
+        Body::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::serde::Content::Str(::std::string::String::from(\"{n}\")), \
+                         ::serde::Serialize::ser(&self.{n}))",
+                        n = f.name
+                    )
+                })
+                .collect();
+            format!("::serde::Content::Map(::std::vec![{}])", entries.join(", "))
+        }
+        Body::TupleStruct(1) => "::serde::Serialize::ser(&self.0)".to_string(),
+        Body::TupleStruct(n) => {
+            let items: Vec<String> =
+                (0..*n).map(|i| format!("::serde::Serialize::ser(&self.{i})")).collect();
+            format!("::serde::Content::Seq(::std::vec![{}])", items.join(", "))
+        }
+        Body::UnitStruct => "::serde::Content::Null".to_string(),
+        Body::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => format!(
+                            "Self::{vn} => ::serde::Content::Str(\
+                             ::std::string::String::from(\"{vn}\")),"
+                        ),
+                        VariantShape::Tuple(1) => format!(
+                            "Self::{vn}(__f0) => ::serde::tagged_variant(\"{vn}\", \
+                             ::serde::Serialize::ser(__f0)),"
+                        ),
+                        VariantShape::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::ser(__f{i})"))
+                                .collect();
+                            format!(
+                                "Self::{vn}({b}) => ::serde::tagged_variant(\"{vn}\", \
+                                 ::serde::Content::Seq(::std::vec![{s}])),",
+                                b = binds.join(", "),
+                                s = items.join(", ")
+                            )
+                        }
+                        VariantShape::Struct(fields) => {
+                            let binds: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::serde::Content::Str(\
+                                         ::std::string::String::from(\"{n}\")), \
+                                         ::serde::Serialize::ser({n}))",
+                                        n = f.name
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "Self::{vn} {{ {b} }} => ::serde::tagged_variant(\"{vn}\", \
+                                 ::serde::Content::Map(::std::vec![{e}])),",
+                                b = binds.join(", "),
+                                e = entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl{impl_g} ::serde::Serialize for {name}{ty_g} {{\n\
+             fn ser(&self) -> ::serde::Content {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let (impl_g, ty_g) = input.generics("::serde::Deserialize");
+    let name = &input.name;
+    let named_ctor = |fields: &[Field], source: &str, ctor: &str, ctx: &str| -> String {
+        let inits: Vec<String> = fields
+            .iter()
+            .map(|f| {
+                if f.default {
+                    format!("{n}: ::serde::de_field_or_default({source}, \"{n}\")?", n = f.name)
+                } else {
+                    format!("{n}: ::serde::de_field({source}, \"{ctx}\", \"{n}\")?", n = f.name)
+                }
+            })
+            .collect();
+        format!("{ctor} {{ {} }}", inits.join(", "))
+    };
+    let body = match &input.body {
+        Body::NamedStruct(fields) => {
+            let ctor = named_ctor(fields, "__v", "Self", name);
+            format!("::core::result::Result::Ok({ctor})")
+        }
+        Body::TupleStruct(1) => {
+            "::core::result::Result::Ok(Self(::serde::from_content(__v)?))".to_string()
+        }
+        Body::TupleStruct(n) => {
+            let items: Vec<String> =
+                (0..*n).map(|i| format!("::serde::de_idx(__v, \"{name}\", {i})?")).collect();
+            format!("::core::result::Result::Ok(Self({}))", items.join(", "))
+        }
+        Body::UnitStruct => "::core::result::Result::Ok(Self)".to_string(),
+        Body::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => format!(
+                            "(\"{vn}\", _) => ::core::result::Result::Ok(Self::{vn}),"
+                        ),
+                        VariantShape::Tuple(1) => format!(
+                            "(\"{vn}\", ::core::option::Option::Some(__p)) => \
+                             ::core::result::Result::Ok(Self::{vn}(\
+                             ::serde::from_content(__p)?)),"
+                        ),
+                        VariantShape::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::de_idx(__p, \"{name}::{vn}\", {i})?"))
+                                .collect();
+                            format!(
+                                "(\"{vn}\", ::core::option::Option::Some(__p)) => \
+                                 ::core::result::Result::Ok(Self::{vn}({})),",
+                                items.join(", ")
+                            )
+                        }
+                        VariantShape::Struct(fields) => {
+                            let ctx = format!("{name}::{vn}");
+                            let ctor =
+                                named_ctor(fields, "__p", &format!("Self::{vn}"), &ctx);
+                            format!(
+                                "(\"{vn}\", ::core::option::Option::Some(__p)) => \
+                                 ::core::result::Result::Ok({ctor}),"
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "let (__tag, __payload) = ::serde::variant_parts(__v)?;\n\
+                 match (__tag, __payload) {{\n\
+                     {}\n\
+                     _ => ::core::result::Result::Err(::serde::DeError::msg(\
+                        ::std::format!(\"unknown or malformed variant `{{__tag}}` for {name}\"))),\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl{impl_g} ::serde::Deserialize for {name}{ty_g} {{\n\
+             fn de(__v: &::serde::Content) -> ::core::result::Result<Self, ::serde::DeError> \
+             {{ {body} }}\n\
+         }}"
+    )
+}
+
+/// Derives the shimmed `serde::Serialize` for a struct or enum.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed).parse().expect("serde_derive shim: generated invalid Serialize impl")
+}
+
+/// Derives the shimmed `serde::Deserialize` for a struct or enum.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("serde_derive shim: generated invalid Deserialize impl")
+}

@@ -105,6 +105,10 @@ impl<E> Sim<E> {
     }
 
     /// Pops the earliest event, advancing the clock to its time.
+    ///
+    /// Not an `Iterator`: popping mutates the clock, and callers interleave
+    /// `schedule` calls between pops.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Option<(f64, E)> {
         let Scheduled { time, event, .. } = self.queue.pop()?;
         self.now = time;

@@ -52,20 +52,15 @@ impl Trace {
 
     /// The points of one series, in time order.
     pub fn series(&self, name: &str) -> Vec<(f64, f64)> {
-        let mut out: Vec<(f64, f64)> = self
-            .points
-            .iter()
-            .filter(|p| p.series == name)
-            .map(|p| (p.time, p.value))
-            .collect();
+        let mut out: Vec<(f64, f64)> =
+            self.points.iter().filter(|p| p.series == name).map(|p| (p.time, p.value)).collect();
         out.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
         out
     }
 
     /// All series names, sorted.
     pub fn series_names(&self) -> Vec<String> {
-        let mut names: Vec<String> =
-            self.points.iter().map(|p| p.series.clone()).collect();
+        let mut names: Vec<String> = self.points.iter().map(|p| p.series.clone()).collect();
         names.sort();
         names.dedup();
         names
@@ -112,10 +107,7 @@ impl Trace {
             e.0 += p.value;
             e.1 += 1;
         }
-        buckets
-            .into_iter()
-            .map(|(idx, (sum, n))| (idx as f64 * window, sum / n as f64))
-            .collect()
+        buckets.into_iter().map(|(idx, (sum, n))| (idx as f64 * window, sum / n as f64)).collect()
     }
 }
 

@@ -24,12 +24,8 @@ fn main() {
     let result = run_fig4(&Fig4Config::default());
     println!("\nFigure 4(b): configurations chosen as jobs arrive and depart");
     for entry in &result.timeline {
-        let configs = entry
-            .configs
-            .iter()
-            .map(|(id, w)| format!("{id}={w}"))
-            .collect::<Vec<_>>()
-            .join("  ");
+        let configs =
+            entry.configs.iter().map(|(id, w)| format!("{id}={w}")).collect::<Vec<_>>().join("  ");
         println!("  t={:>5.0}s  {:<16} [{}]", entry.time, entry.event, configs);
     }
     println!("\ndecision log:");

@@ -27,11 +27,7 @@ fn main() {
     let mut w = 0.0;
     while w < cfg.duration {
         let mean = r.mean_response_in(w, w + 50.0);
-        let n = r
-            .queries
-            .iter()
-            .filter(|q| q.submitted >= w && q.submitted < w + 50.0)
-            .count();
+        let n = r.queries.iter().filter(|q| q.submitted >= w && q.submitted < w + 50.0).count();
         match mean {
             Some(m) => println!("{:>7.0}s+ {:>12.2} {:>10}", w, m, n),
             None => println!("{:>7.0}s+ {:>12} {:>10}", w, "-", 0),

@@ -21,9 +21,8 @@ use parking_lot::Mutex;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The metacomputer: one database server plus three client machines.
-    let mut rsl = String::from(
-        "harmonyNode server {speed 1.0} {memory 256} {hostname harmony.cs.umd.edu}\n",
-    );
+    let mut rsl =
+        String::from("harmonyNode server {speed 1.0} {memory 256} {hostname harmony.cs.umd.edu}\n");
     for i in 1..=3 {
         rsl.push_str(&format!("harmonyNode client{i} {{speed 1.0}} {{memory 64}}\n"));
         rsl.push_str(&format!("harmonyLink server client{i} {{bandwidth 320}}\n"));
@@ -55,11 +54,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         memory_var.get()
     );
 
-    let mut workload = Workload::new(
-        WorkloadConfig { tuples, selectivity: 0.1, drift: 0.02 },
-        0,
-        1,
-    );
+    let mut workload =
+        Workload::new(WorkloadConfig { tuples, selectivity: 0.1, drift: 0.02 }, 0, 1);
     let mut server_pool = BufferPool::with_megabytes(64.0);
     let mut client_pool = BufferPool::with_megabytes(17.0);
 

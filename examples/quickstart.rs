@@ -32,11 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let spec = parse_bundle_script(listings::FIG2B_BAG)?;
     let (first, _) = controller.register(spec.clone())?;
     let choice = controller.choice(&first, "config").expect("placed");
-    println!(
-        "first bag placed: {} (predicted {:.0} s)",
-        choice.label(),
-        choice.predicted
-    );
+    println!("first bag placed: {} (predicted {:.0} s)", choice.label(), choice.predicted);
 
     // 4. A second instance arrives. The controller shrinks the first to
     //    admit it — the paper's §1 scenario — settling on equal partitions.
@@ -68,12 +64,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 6. Everything the controller decided is in the namespace, under the
     //    paper's dotted names.
-    let path: harmony::ns::HPath =
-        format!("bag.{}.config.run.workerNodes", second.id).parse()?;
-    println!(
-        "namespace: {} = {}",
-        path,
-        controller.namespace().get(&path).expect("written")
-    );
+    let path: harmony::ns::HPath = format!("bag.{}.config.run.workerNodes", second.id).parse()?;
+    println!("namespace: {} = {}", path, controller.namespace().get(&path).expect("written"));
     Ok(())
 }

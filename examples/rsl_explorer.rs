@@ -23,8 +23,8 @@ fn dump(title: &str, src: &str) -> Result<(), Box<dyn std::error::Error>> {
             }
             Statement::Bundle(b) => {
                 println!("bundle {}.{:?}.{}", b.app, b.instance, b.name);
-                for lint in harmony::rsl::schema::lint_bundle(&b) {
-                    println!("  {lint}");
+                for diag in harmony::analyze::analyze_bundle(&b) {
+                    println!("  {}[{}]: {}", diag.severity.name(), diag.code, diag.message);
                 }
                 for opt in &b.options {
                     println!("  option {}", opt.name);

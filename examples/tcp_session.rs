@@ -20,8 +20,7 @@ use parking_lot::Mutex;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The Harmony process: controller + TCP server on an ephemeral port.
     let cluster = Cluster::from_rsl(&listings::sp2_cluster(8))?;
-    let controller =
-        Arc::new(Mutex::new(Controller::new(cluster, ControllerConfig::default())));
+    let controller = Arc::new(Mutex::new(Controller::new(cluster, ControllerConfig::default())));
     let mut server = TcpServer::start("127.0.0.1:0", Arc::clone(&controller))?;
     println!("harmony server listening on {}", server.addr());
 
@@ -36,11 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("bundle exported; waiting for the controller's placement...");
 
     let got = app.wait_for_update(Duration::from_secs(2))?;
-    println!(
-        "update received: {got}; option = {}, workerNodes = {}",
-        option.get(),
-        workers.get()
-    );
+    println!("update received: {got}; option = {}, workerNodes = {}", option.get(), workers.get());
 
     // A competing instance arrives through a second connection; the
     // controller shrinks us, and the polling loop observes it.

@@ -10,6 +10,7 @@
 //! This facade re-exports the workspace crates:
 //!
 //! * [`rsl`] — the resource specification language (TCL-flavoured);
+//! * [`analyze`] — static analysis of RSL bundles (`HAxxxx` diagnostics);
 //! * [`ns`] — the hierarchical `app.instance.bundle.option.resource.tag`
 //!   namespace;
 //! * [`resources`] — cluster model and requirement matching;
@@ -47,6 +48,7 @@
 
 #![warn(missing_docs)]
 
+pub use harmony_analyze as analyze;
 pub use harmony_apps as apps;
 pub use harmony_client as client;
 pub use harmony_core as core;

@@ -82,18 +82,18 @@ fn environment_events_retune_running_applications() {
         let mut ctl = ctl.lock();
         for i in 4..8 {
             let name = format!("node{i:02}");
-            ctl.handle_event(HarmonyEvent::NodeJoined(
-                harmony::rsl::schema::NodeDecl::new(name.clone(), 1.0, 256.0),
-            ))
+            ctl.handle_event(HarmonyEvent::NodeJoined(harmony::rsl::schema::NodeDecl::new(
+                name.clone(),
+                1.0,
+                256.0,
+            )))
             .unwrap();
             for j in 0..i {
-                ctl.handle_event(HarmonyEvent::LinkJoined(
-                    harmony::rsl::schema::LinkDecl::new(
-                        format!("node{j:02}"),
-                        name.clone(),
-                        320.0,
-                    ),
-                ))
+                ctl.handle_event(HarmonyEvent::LinkJoined(harmony::rsl::schema::LinkDecl::new(
+                    format!("node{j:02}"),
+                    name.clone(),
+                    320.0,
+                )))
                 .unwrap();
             }
         }
@@ -123,8 +123,7 @@ fn local_and_tcp_transports_agree() {
         } else {
             Box::new(LocalTransport::new(Arc::clone(&ctl)))
         };
-        let mut client =
-            HarmonyClient::startup(transport, "bag", UpdateDelivery::Polling).unwrap();
+        let mut client = HarmonyClient::startup(transport, "bag", UpdateDelivery::Polling).unwrap();
         client.bundle_setup(listings::FIG2B_BAG).unwrap();
         client.poll().unwrap();
         let id = client.instance_id();

@@ -19,11 +19,7 @@ enum Op {
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0usize..4).prop_map(Op::Register),
-        (0usize..8).prop_map(Op::End),
-        Just(Op::Tick),
-    ]
+    prop_oneof![(0usize..4).prop_map(Op::Register), (0usize..8).prop_map(Op::End), Just(Op::Tick),]
 }
 
 const SHAPES: [&str; 4] = [

@@ -25,10 +25,7 @@ fn fig7_headline_shape() {
     let one = r.mean_response_in(50.0, 200.0).unwrap();
     let two = r.mean_response_in(250.0, 400.0).unwrap();
     let switch = r.switch_time.expect("the controller must switch");
-    assert!(
-        (1.6..2.6).contains(&(two / one)),
-        "two clients ≈ double: {one:.2} -> {two:.2}"
-    );
+    assert!((1.6..2.6).contains(&(two / one)), "two clients ≈ double: {one:.2} -> {two:.2}");
     assert!(switch > 400.0 && switch < 470.0, "switch at third arrival: {switch:.0}");
     let post = r.mean_response_mode(Mode::Ds, switch + 20.0, 600.0).unwrap();
     assert!(
@@ -46,8 +43,7 @@ fn fig7_controller_beats_both_static_policies_overall() {
     let qs = run_fig7(&db_config(WherePolicy::AlwaysQs));
     let ds = run_fig7(&db_config(WherePolicy::AlwaysDs));
     let mean = |r: &harmony::db::Fig7Result| {
-        let rts: Vec<f64> =
-            r.queries.iter().map(|q| q.response_time()).collect();
+        let rts: Vec<f64> = r.queries.iter().map(|q| q.response_time()).collect();
         rts.iter().sum::<f64>() / rts.len() as f64
     };
     let (h, q, d) = (mean(&harmony), mean(&qs), mean(&ds));
@@ -92,10 +88,7 @@ fn fig4_each_event_cascade_ends_no_worse_than_it_started() {
         // comparison starts at the first record whose score includes every
         // job: the initial placement when the event is an arrival, else
         // the first switch.
-        let start = group
-            .iter()
-            .position(|d| d.from.is_none())
-            .unwrap_or(0);
+        let start = group.iter().position(|d| d.from.is_none()).unwrap_or(0);
         let (Some(first), Some(last)) = (group.get(start), group.last()) else {
             continue;
         };

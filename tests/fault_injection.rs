@@ -51,10 +51,7 @@ fn garbage_bytes_do_not_kill_the_server() {
         UpdateDelivery::Polling,
     )
     .unwrap();
-    let workers = good.add_variable(
-        "config.run.workerNodes",
-        harmony::rsl::Value::Int(0),
-    );
+    let workers = good.add_variable("config.run.workerNodes", harmony::rsl::Value::Int(0));
     good.bundle_setup(listings::FIG2B_BAG).unwrap();
     assert!(good.wait_for_update(Duration::from_secs(2)).unwrap());
     assert_eq!(workers.get(), harmony::rsl::Value::Int(4));
@@ -116,8 +113,7 @@ fn stopped_server_yields_clean_client_errors() {
 fn cascade_of_node_failures_degrades_gracefully() {
     let cluster = Cluster::from_rsl(&listings::sp2_cluster(8)).unwrap();
     let mut ctl = Controller::new(cluster, ControllerConfig::default());
-    let spec =
-        harmony::rsl::schema::parse_bundle_script(listings::FIG2B_BAG).unwrap();
+    let spec = harmony::rsl::schema::parse_bundle_script(listings::FIG2B_BAG).unwrap();
     let (id, _) = ctl.register(spec).unwrap();
     assert_eq!(ctl.choice(&id, "config").unwrap().vars[0].1, 8);
 
@@ -125,8 +121,7 @@ fn cascade_of_node_failures_degrades_gracefully() {
     // a consistent cluster at every step.
     let mut last_workers = 8i64;
     for i in 0..7 {
-        ctl.handle_event(HarmonyEvent::NodeLeft { name: format!("node{i:02}") })
-            .unwrap();
+        ctl.handle_event(HarmonyEvent::NodeLeft { name: format!("node{i:02}") }).unwrap();
         let choice = ctl.choice(&id, "config");
         if let Some(c) = choice {
             let w = c.vars[0].1;
@@ -152,8 +147,7 @@ fn cascade_of_node_failures_degrades_gracefully() {
 fn unplaceable_after_total_failure_is_not_fatal() {
     let cluster = Cluster::from_rsl(&listings::sp2_cluster(2)).unwrap();
     let mut ctl = Controller::new(cluster, ControllerConfig::default());
-    let spec =
-        harmony::rsl::schema::parse_bundle_script(listings::FIG2B_BAG).unwrap();
+    let spec = harmony::rsl::schema::parse_bundle_script(listings::FIG2B_BAG).unwrap();
     let (id, _) = ctl.register(spec).unwrap();
     // Both nodes die.
     ctl.handle_event(HarmonyEvent::NodeLeft { name: "node00".into() }).unwrap();
@@ -161,9 +155,9 @@ fn unplaceable_after_total_failure_is_not_fatal() {
     // The instance survives, unconfigured, and can be re-placed when
     // capacity returns.
     assert!(ctl.choice(&id, "config").is_none());
-    ctl.handle_event(HarmonyEvent::NodeJoined(
-        harmony::rsl::schema::NodeDecl::new("fresh", 1.0, 256.0),
-    ))
+    ctl.handle_event(HarmonyEvent::NodeJoined(harmony::rsl::schema::NodeDecl::new(
+        "fresh", 1.0, 256.0,
+    )))
     .unwrap();
     assert_eq!(ctl.choice(&id, "config").unwrap().vars[0].1, 1);
 }
@@ -178,16 +172,10 @@ fn oversize_frame_is_rejected_without_memory_blowup() {
     s.write_all(b"tiny").unwrap();
     // Server closes the connection (read returns EOF or reset).
     let got = read_frame(&mut s);
-    assert!(
-        matches!(got, Ok(None) | Err(_)),
-        "server should drop the connection, got {got:?}"
-    );
+    assert!(matches!(got, Ok(None) | Err(_)), "server should drop the connection, got {got:?}");
     // The server is still alive for the next client.
     let mut t = TcpTransport::connect(server.addr()).unwrap();
-    let resp = harmony::proto::Transport::call(
-        &mut t,
-        &Request::Startup { app: "ok".into() },
-    )
-    .unwrap();
+    let resp =
+        harmony::proto::Transport::call(&mut t, &Request::Startup { app: "ok".into() }).unwrap();
     assert!(matches!(resp, Response::Registered { .. }));
 }

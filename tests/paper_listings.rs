@@ -13,9 +13,8 @@ use harmony::rsl::Value;
 fn fig2a_simple_matches_four_distinct_nodes() {
     let cluster = Cluster::from_rsl(&sp2_cluster(8)).unwrap();
     let bundle = parse_bundle_script(FIG2A_SIMPLE).unwrap();
-    let alloc = Matcher::default()
-        .match_option(&cluster, &bundle.options[0], &MapEnv::new())
-        .unwrap();
+    let alloc =
+        Matcher::default().match_option(&cluster, &bundle.options[0], &MapEnv::new()).unwrap();
     // "The replicate tag specifies that this node definition should be
     // used to match four distinct nodes, all meeting the same
     // requirements."
@@ -38,9 +37,7 @@ fn fig2b_total_cycles_constant_across_worker_counts() {
     for workers in [1i64, 2, 4, 8] {
         let mut vars = MapEnv::new();
         vars.set("workerNodes", Value::Int(workers));
-        let alloc = Matcher::default()
-            .match_option(&cluster, &bundle.options[0], &vars)
-            .unwrap();
+        let alloc = Matcher::default().match_option(&cluster, &bundle.options[0], &vars).unwrap();
         totals.push(alloc.total_seconds());
     }
     for t in &totals {
@@ -83,15 +80,7 @@ fn fig3_qs_loads_server_ds_loads_client() {
     let bundle = parse_bundle_script(FIG3_DBCLIENT).unwrap();
     let env = MapEnv::new();
     let secs = |opt: &str, node: &str| {
-        bundle
-            .option(opt)
-            .unwrap()
-            .node(node)
-            .unwrap()
-            .seconds()
-            .unwrap()
-            .amount(&env)
-            .unwrap()
+        bundle.option(opt).unwrap().node(node).unwrap().seconds().unwrap().amount(&env).unwrap()
     };
     assert!(secs("QS", "server") > secs("DS", "server"));
     assert!(secs("DS", "client") > secs("QS", "client"));

@@ -19,8 +19,7 @@ fn word_strategy() -> impl Strategy<Value = String> {
 fn tree_strategy() -> impl Strategy<Value = String> {
     let leaf = word_strategy();
     leaf.prop_recursive(3, 32, 4, |inner| {
-        prop::collection::vec(inner, 0..4)
-            .prop_map(|items| format!("{{{}}}", items.join(" ")))
+        prop::collection::vec(inner, 0..4).prop_map(|items| format!("{{{}}}", items.join(" ")))
     })
 }
 
