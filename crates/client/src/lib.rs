@@ -51,13 +51,41 @@ pub enum UpdateDelivery {
 }
 
 /// A connected Harmony-aware application instance.
+///
+/// Calls are *resilient*: when the transport reports a broken connection
+/// the client reconnects (transport-specific backoff), re-establishes its
+/// session with `reattach`, and retries the call once. If the server no
+/// longer knows the instance (restart, lease expiry) the client falls back
+/// to a fresh `startup` and replays its cached bundle scripts, so the
+/// application only observes a changed [`instance_id`].
+///
+/// Dropping a client without calling [`end`] sends a best-effort `end` so
+/// the server can release the allocation immediately instead of waiting
+/// for the lease reaper.
+///
+/// [`instance_id`]: HarmonyClient::instance_id
+/// [`end`]: HarmonyClient::end
 #[derive(Debug)]
-pub struct HarmonyClient<T> {
+pub struct HarmonyClient<T: Transport> {
     transport: T,
     app: String,
     id: u64,
     vars: HashMap<String, Arc<Mutex<Value>>>,
+    scripts: Vec<String>,
     ended: bool,
+}
+
+/// Errors that mean "the connection died", as opposed to "the server
+/// answered and disagreed".
+fn is_disconnect(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::UnexpectedEof
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::BrokenPipe
+            | io::ErrorKind::NotConnected
+    )
 }
 
 impl<T: Transport> HarmonyClient<T> {
@@ -92,14 +120,77 @@ impl<T: Transport> HarmonyClient<T> {
     pub fn startup(mut transport: T, app: &str, _delivery: UpdateDelivery) -> io::Result<Self> {
         let resp = transport.call(&Request::Startup { app: app.to_owned() })?;
         match resp {
-            Response::Registered { app, id } => {
-                Ok(HarmonyClient { transport, app, id, vars: HashMap::new(), ended: false })
-            }
+            Response::Registered { app, id } => Ok(HarmonyClient {
+                transport,
+                app,
+                id,
+                vars: HashMap::new(),
+                scripts: Vec::new(),
+                ended: false,
+            }),
             other => Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 format!("unexpected startup response: {other:?}"),
             )),
         }
+    }
+
+    /// Sends one request, transparently recovering from a dead connection:
+    /// reconnect the transport, re-establish the session, retry once.
+    fn call_resilient(&mut self, req: &Request) -> io::Result<Response> {
+        match self.transport.call(req) {
+            Ok(resp) => Ok(resp),
+            Err(e) if is_disconnect(&e) => match self.transport.reconnect() {
+                Ok(true) => {
+                    self.reestablish()?;
+                    self.transport.call(req)
+                }
+                // Transport cannot reconnect (or every attempt failed):
+                // surface the original disconnect error.
+                Ok(false) | Err(_) => Err(e),
+            },
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Re-establishes the session over a freshly reconnected transport.
+    /// Prefers `reattach` (same instance id, server replays the chosen
+    /// configuration as pending vars); if the server no longer knows the
+    /// instance, falls back to a fresh `startup` and re-registers every
+    /// cached bundle script.
+    fn reestablish(&mut self) -> io::Result<()> {
+        let resp =
+            self.transport.call(&Request::Reattach { app: self.app.clone(), id: self.id })?;
+        match resp {
+            Response::Registered { .. } => return Ok(()),
+            Response::Error { .. } => {} // unknown instance: fall through
+            other => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unexpected reattach response: {other:?}"),
+                ));
+            }
+        }
+        let resp = self.transport.call(&Request::Startup { app: self.app.clone() })?;
+        let Response::Registered { app, id } = resp else {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected startup response: {resp:?}"),
+            ));
+        };
+        self.app = app;
+        self.id = id;
+        for script in self.scripts.clone() {
+            let resp = self.transport.call(&Request::Bundle {
+                app: self.app.clone(),
+                id: self.id,
+                script,
+            })?;
+            if let Response::Error { message } = resp {
+                return Err(io::Error::new(io::ErrorKind::InvalidInput, message));
+            }
+        }
+        Ok(())
     }
 
     /// The application name this client registered under.
@@ -126,13 +217,19 @@ impl<T: Transport> HarmonyClient<T> {
     /// Transport errors; `InvalidInput` when the server rejects the bundle
     /// (parse error or unplaceable).
     pub fn bundle_setup(&mut self, script: &str) -> io::Result<()> {
-        let resp = self.transport.call(&Request::Bundle {
+        let resp = self.call_resilient(&Request::Bundle {
             app: self.app.clone(),
             id: self.id,
             script: script.to_owned(),
         })?;
         match resp {
-            Response::Ok => Ok(()),
+            Response::Ok => {
+                // Cache for replay after a fresh-startup recovery.
+                if !self.scripts.iter().any(|s| s == script) {
+                    self.scripts.push(script.to_owned());
+                }
+                Ok(())
+            }
             Response::Error { message } => {
                 Err(io::Error::new(io::ErrorKind::InvalidInput, message))
             }
@@ -171,7 +268,7 @@ impl<T: Transport> HarmonyClient<T> {
     ///
     /// Transport errors; `InvalidData` on a malformed response.
     pub fn poll(&mut self) -> io::Result<usize> {
-        let resp = self.transport.call(&Request::Poll { app: self.app.clone(), id: self.id })?;
+        let resp = self.call_resilient(&Request::Poll { app: self.app.clone(), id: self.id })?;
         let Response::Update { updates, .. } = resp else {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
@@ -217,7 +314,7 @@ impl<T: Transport> HarmonyClient<T> {
     ///
     /// Transport errors.
     pub fn report_metric(&mut self, name: &str, time: f64, value: f64) -> io::Result<()> {
-        let resp = self.transport.call(&Request::Metric {
+        let resp = self.call_resilient(&Request::Metric {
             name: format!("{}.{}.{name}", self.app, self.id),
             time,
             value,
@@ -239,7 +336,7 @@ impl<T: Transport> HarmonyClient<T> {
     /// Transport errors; `InvalidData` when the server's JSON payload does
     /// not parse.
     pub fn status(&mut self) -> io::Result<harmony_core::SystemSnapshot> {
-        let resp = self.transport.call(&Request::Status)?;
+        let resp = self.call_resilient(&Request::Status)?;
         match resp {
             Response::Status { json } => harmony_core::SystemSnapshot::from_json(&json)
                 .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string())),
@@ -259,7 +356,7 @@ impl<T: Transport> HarmonyClient<T> {
     /// instance.
     pub fn end(mut self) -> io::Result<()> {
         self.ended = true;
-        let resp = self.transport.call(&Request::End { app: self.app.clone(), id: self.id })?;
+        let resp = self.call_resilient(&Request::End { app: self.app.clone(), id: self.id })?;
         match resp {
             Response::Ok => Ok(()),
             Response::Error { message } => Err(io::Error::new(io::ErrorKind::NotFound, message)),
@@ -267,6 +364,40 @@ impl<T: Transport> HarmonyClient<T> {
                 io::ErrorKind::InvalidData,
                 format!("unexpected end response: {other:?}"),
             )),
+        }
+    }
+
+    /// Renews this instance's session lease without polling for updates.
+    /// Applications that go long stretches between polls (e.g. a batch
+    /// phase) should heartbeat within the server's lease duration or risk
+    /// being reaped as dead.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors; `NotFound` when the server no longer knows the
+    /// instance (its lease already expired).
+    pub fn heartbeat(&mut self) -> io::Result<()> {
+        let resp =
+            self.call_resilient(&Request::Heartbeat { app: self.app.clone(), id: self.id })?;
+        match resp {
+            Response::Ok => Ok(()),
+            Response::Error { message } => Err(io::Error::new(io::ErrorKind::NotFound, message)),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected heartbeat response: {other:?}"),
+            )),
+        }
+    }
+}
+
+impl<T: Transport> Drop for HarmonyClient<T> {
+    fn drop(&mut self) {
+        if !self.ended {
+            // Best-effort release so the server frees the allocation now
+            // rather than when the lease reaper gets to it. No reconnect:
+            // if the connection is already dead, the server's disconnect
+            // handling and lease expiry cover cleanup.
+            let _ = self.transport.call(&Request::End { app: self.app.clone(), id: self.id });
         }
     }
 }
@@ -378,6 +509,7 @@ mod tests {
             app: "bag".into(),
             id: 99,
             vars: HashMap::new(),
+            scripts: Vec::new(),
             ended: false,
         };
         let err = again.transport.call(&Request::End { app: "bag".into(), id: 99 });

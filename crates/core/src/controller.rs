@@ -34,6 +34,7 @@ use crate::candidates::{enumerate, Candidate};
 use crate::error::CoreError;
 use crate::feedback::{calibration_factor, FeedbackConfig};
 use crate::objective::Objective;
+use crate::session::{LeaseConfig, RetireReason, RetirementRecord, SessionState};
 
 /// Which search policy drives option selection.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
@@ -115,6 +116,11 @@ pub struct ControllerConfig {
     /// each application's predicted response times are scaled by
     /// `measured / predicted-at-current-config` (see [`crate::feedback`]).
     pub feedback: Option<FeedbackConfig>,
+    /// Session-lease parameters: how long an instance may stay silent
+    /// before [`Controller::reap_expired`] retires it as if it had called
+    /// `end`.
+    #[serde(default)]
+    pub lease: LeaseConfig,
 }
 
 impl Default for ControllerConfig {
@@ -131,6 +137,7 @@ impl Default for ControllerConfig {
             coordinated_moves: true,
             selfish: false,
             feedback: None,
+            lease: LeaseConfig::default(),
         }
     }
 }
@@ -153,6 +160,11 @@ pub struct DecisionRecord {
     pub objective_before: f64,
     /// Objective score after the change.
     pub objective_after: f64,
+    /// What prompted the decision, when it was not an ordinary
+    /// re-evaluation — e.g. `"lease-expired: bag.2"` for decisions applied
+    /// while reaping a dead client.
+    #[serde(default)]
+    pub cause: Option<String>,
 }
 
 /// A hypothetical substitution of one bundle's configuration during
@@ -189,6 +201,11 @@ pub struct Controller {
     pending_vars: BTreeMap<InstanceId, Vec<(HPath, Value)>>,
     now: f64,
     decisions: Vec<DecisionRecord>,
+    sessions: BTreeMap<InstanceId, SessionState>,
+    retirements: Vec<RetirementRecord>,
+    /// Cause tag attached to decisions committed while retiring an
+    /// instance for a non-`end` reason (lease expiry, disconnect).
+    decision_cause: Option<String>,
 }
 
 impl Controller {
@@ -206,6 +223,9 @@ impl Controller {
             pending_vars: BTreeMap::new(),
             now: 0.0,
             decisions: Vec::new(),
+            sessions: BTreeMap::new(),
+            retirements: Vec::new(),
+            decision_cause: None,
         }
     }
 
@@ -278,7 +298,9 @@ impl Controller {
         self.apps.insert(id.clone(), AppInstance::new(id.clone(), self.now));
         self.arrival_order.push(id.clone());
         self.pending_vars.insert(id.clone(), Vec::new());
+        self.sessions.insert(id.clone(), SessionState::new(self.now + self.config.lease.duration));
         self.metrics.inc_counter("controller.startups");
+        self.metrics.set_gauge("controller.sessions.active", self.sessions.len() as f64);
         id
     }
 
@@ -382,6 +404,18 @@ impl Controller {
     ///
     /// [`CoreError::UnknownInstance`] for unregistered ids.
     pub fn end(&mut self, id: &InstanceId) -> Result<Vec<DecisionRecord>, CoreError> {
+        self.retire(id, RetireReason::Ended)
+    }
+
+    /// Retires an instance for `reason`: releases its resources, records
+    /// the retirement, and re-evaluates the survivors. `end` and the lease
+    /// reaper share this path so a reaped instance leaves exactly the
+    /// state an explicit `end` would have left.
+    fn retire(
+        &mut self,
+        id: &InstanceId,
+        reason: RetireReason,
+    ) -> Result<Vec<DecisionRecord>, CoreError> {
         let app = self
             .apps
             .remove(id)
@@ -393,10 +427,148 @@ impl Controller {
         }
         self.arrival_order.retain(|x| x != id);
         self.pending_vars.remove(id);
+        self.sessions.remove(id);
         self.namespace.remove_subtree(&instance_path(id));
         self.metrics.remove_prefix(&id.to_string());
         self.metrics.inc_counter("controller.ends");
-        self.reevaluate()
+        self.metrics.set_gauge("controller.sessions.active", self.sessions.len() as f64);
+        self.retirements.push(RetirementRecord { time: self.now, instance: id.clone(), reason });
+        if reason != RetireReason::Ended {
+            self.decision_cause = Some(format!("{reason}: {id}"));
+        }
+        let result = self.reevaluate();
+        self.decision_cause = None;
+        result
+    }
+
+    // ------------------------------------------------------------------
+    // Session leases.
+    // ------------------------------------------------------------------
+
+    /// Renews the lease of a registered instance (any request from the
+    /// instance counts as activity, as does the dedicated `heartbeat`
+    /// verb). Returns `false` when the instance is not registered — the
+    /// caller should tell the client to start over.
+    pub fn renew_lease(&mut self, id: &InstanceId) -> bool {
+        let duration = self.config.lease.duration;
+        let now = self.now;
+        match self.sessions.get_mut(id) {
+            Some(s) => {
+                s.deadline = now + duration;
+                s.disconnected = false;
+                s.renewals += 1;
+                self.metrics.inc_counter("controller.sessions.renewals");
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Renews the lease of the instance owning a metric report, parsing
+    /// the `<app>.<id>.<metric>` naming convention. Reports that do not
+    /// follow the convention (or name an unknown instance) are ignored.
+    pub fn renew_lease_for_metric(&mut self, name: &str) {
+        let mut parts = name.splitn(3, '.');
+        let (Some(app), Some(id), Some(_rest)) = (parts.next(), parts.next(), parts.next()) else {
+            return;
+        };
+        if let Ok(id) = id.parse::<u64>() {
+            self.renew_lease(&InstanceId::new(app, id));
+        }
+    }
+
+    /// Marks an instance's connection as dropped: the lease is shortened
+    /// to expire within the configured disconnect grace, so a crashed
+    /// client is reaped quickly while a reconnecting one can still
+    /// [`reattach`](Controller::reattach) in time.
+    pub fn mark_disconnected(&mut self, id: &InstanceId) {
+        let grace = self.config.lease.disconnect_grace;
+        let now = self.now;
+        if let Some(s) = self.sessions.get_mut(id) {
+            if !s.disconnected {
+                s.disconnected = true;
+                s.deadline = s.deadline.min(now + grace);
+                self.metrics.inc_counter("controller.sessions.disconnects");
+            }
+        }
+    }
+
+    /// Re-establishes a session after a reconnect: renews the lease,
+    /// clears the disconnect mark, and replays the instance's current
+    /// chosen values into its pending-variable buffer so the next poll
+    /// converges the client without re-sending bundles.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownInstance`] when the id is no longer registered
+    /// (expired and reaped, or never known) — the client should fall back
+    /// to a fresh `startup` plus bundle re-registration.
+    pub fn reattach(&mut self, id: &InstanceId) -> Result<(), CoreError> {
+        if !self.apps.contains_key(id) {
+            return Err(CoreError::UnknownInstance { name: id.to_string() });
+        }
+        self.renew_lease(id);
+        self.metrics.inc_counter("controller.sessions.reattached");
+        // Replay the full current state (idempotent: updates are keyed by
+        // path), replacing whatever was buffered before the disconnect.
+        let mut writes: Vec<(HPath, Value)> = Vec::new();
+        if let Some(app) = self.apps.get(id) {
+            for bundle in &app.bundles {
+                if let Some(cfg) = &bundle.current {
+                    writes.extend(config_writes(id, &bundle.spec.name, cfg));
+                }
+            }
+        }
+        if let Some(buf) = self.pending_vars.get_mut(id) {
+            *buf = writes;
+        }
+        Ok(())
+    }
+
+    /// Retires every instance whose lease has expired by `now`, exactly as
+    /// if each had called `end`: allocations are freed, survivors are
+    /// re-evaluated, and a [`RetirementRecord`] notes the reason. Also
+    /// advances the controller clock to `now`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates re-evaluation errors from the retirement path.
+    pub fn reap_expired(&mut self, now: f64) -> Result<Vec<DecisionRecord>, CoreError> {
+        self.set_time(now);
+        let expired: Vec<(InstanceId, RetireReason)> = self
+            .sessions
+            .iter()
+            .filter(|(_, s)| s.expired_at(now))
+            .map(|(id, s)| {
+                let reason = if s.disconnected {
+                    RetireReason::Disconnected
+                } else {
+                    RetireReason::LeaseExpired
+                };
+                (id.clone(), reason)
+            })
+            .collect();
+        let mut records = Vec::new();
+        for (id, reason) in expired {
+            self.metrics.inc_counter("controller.sessions.expired");
+            records.extend(self.retire(&id, reason)?);
+        }
+        Ok(records)
+    }
+
+    /// The lease state of one registered instance.
+    pub fn session(&self, id: &InstanceId) -> Option<&SessionState> {
+        self.sessions.get(id)
+    }
+
+    /// Lease state of every registered instance.
+    pub fn sessions(&self) -> &BTreeMap<InstanceId, SessionState> {
+        &self.sessions
+    }
+
+    /// Every retirement so far (explicit `end` and reaped), oldest first.
+    pub fn retirements(&self) -> &[RetirementRecord] {
+        &self.retirements
     }
 
     /// Re-evaluates every bundle of every application in arrival order,
@@ -883,6 +1055,7 @@ impl Controller {
             to: cfg.label(),
             objective_before,
             objective_after: 0.0,
+            cause: self.decision_cause.clone(),
         };
         self.apply_choice(id, bundle_name, cfg, current.is_some());
         record.objective_after = self.objective_score();
@@ -905,36 +1078,7 @@ impl Controller {
         cfg: ChosenConfig,
         is_switch: bool,
     ) {
-        // Namespace writes: the chosen option under the bundle path, the
-        // variables, and each requirement's granted resources.
-        let base = instance_path(id).child(bundle_name).expect("bundle name is a component");
-        let mut writes: Vec<(HPath, Value)> = vec![(base.clone(), Value::Str(cfg.option.clone()))];
-        let opt_path = base.child(&cfg.option).expect("option name is a component");
-        for (name, v) in &cfg.vars {
-            if let Ok(p) = opt_path.child(name) {
-                writes.push((p, Value::Int(*v)));
-            }
-        }
-        let mut seen: Vec<&str> = Vec::new();
-        for n in &cfg.alloc.nodes {
-            if seen.contains(&n.req.as_str()) {
-                continue;
-            }
-            seen.push(&n.req);
-            if let Ok(req_path) = opt_path.child(&n.req) {
-                let entries = [
-                    ("memory", Value::Float(n.memory)),
-                    ("seconds", Value::Float(n.seconds)),
-                    ("node", Value::Str(n.node.clone())),
-                    ("count", Value::Int(cfg.alloc.bindings(&n.req).len() as i64)),
-                ];
-                for (tag, v) in entries {
-                    if let Ok(p) = req_path.child(tag) {
-                        writes.push((p, v));
-                    }
-                }
-            }
-        }
+        let writes = config_writes(id, bundle_name, &cfg);
         for (p, v) in &writes {
             self.namespace.set(p.clone(), v.clone());
         }
@@ -1000,6 +1144,42 @@ fn hypothetical_config(cand: &Candidate, alloc: Allocation, now: f64) -> ChosenC
         predicted: 0.0,
         chosen_at: now,
     }
+}
+
+/// The namespace writes describing one applied configuration: the chosen
+/// option under the bundle path, the variables, and each requirement's
+/// granted resources. Used both when committing a choice and when
+/// replaying current state to a reattaching client.
+fn config_writes(id: &InstanceId, bundle_name: &str, cfg: &ChosenConfig) -> Vec<(HPath, Value)> {
+    let base = instance_path(id).child(bundle_name).expect("bundle name is a component");
+    let mut writes: Vec<(HPath, Value)> = vec![(base.clone(), Value::Str(cfg.option.clone()))];
+    let opt_path = base.child(&cfg.option).expect("option name is a component");
+    for (name, v) in &cfg.vars {
+        if let Ok(p) = opt_path.child(name) {
+            writes.push((p, Value::Int(*v)));
+        }
+    }
+    let mut seen: Vec<&str> = Vec::new();
+    for n in &cfg.alloc.nodes {
+        if seen.contains(&n.req.as_str()) {
+            continue;
+        }
+        seen.push(&n.req);
+        if let Ok(req_path) = opt_path.child(&n.req) {
+            let entries = [
+                ("memory", Value::Float(n.memory)),
+                ("seconds", Value::Float(n.seconds)),
+                ("node", Value::Str(n.node.clone())),
+                ("count", Value::Int(cfg.alloc.bindings(&n.req).len() as i64)),
+            ];
+            for (tag, v) in entries {
+                if let Ok(p) = req_path.child(tag) {
+                    writes.push((p, v));
+                }
+            }
+        }
+    }
+    writes
 }
 
 /// Namespace path of an instance: `app.id`.
@@ -1246,6 +1426,107 @@ mod tests {
         c.register(bag_spec()).unwrap();
         assert_eq!(c.metrics().counter("controller.lint.errors"), 0);
         assert_eq!(c.metrics().counter("controller.lint.warnings"), 0);
+    }
+
+    #[test]
+    fn leases_renew_and_expire() {
+        let mut c = Controller::new(sp2(8), ControllerConfig::default());
+        let (a, _) = c.register(bag_spec()).unwrap();
+        let (b, _) = c.register(bag_spec()).unwrap();
+        assert_eq!(c.sessions().len(), 2);
+        assert_eq!(c.session(&a).unwrap().deadline, 30.0);
+        // `a` stays active; `b` goes silent.
+        c.set_time(20.0);
+        assert!(c.renew_lease(&a));
+        assert_eq!(c.session(&a).unwrap().deadline, 50.0);
+        assert_eq!(c.session(&a).unwrap().renewals, 1);
+        // At t=40 only b's lease has run out.
+        let records = c.reap_expired(40.0).unwrap();
+        assert!(c.app(&b).is_none(), "b reaped");
+        assert!(c.app(&a).is_some(), "a survives");
+        assert_eq!(c.metrics().counter("controller.sessions.expired"), 1);
+        // The survivor re-expanded to the full cluster, and the decision
+        // carries the retirement cause.
+        assert_eq!(c.choice(&a, "config").unwrap().vars[0].1, 8);
+        assert!(records.iter().any(|r| r.cause.as_deref() == Some("lease-expired: bag.2")));
+        let retirement = c.retirements().last().unwrap();
+        assert_eq!(retirement.instance, b);
+        assert_eq!(retirement.reason, RetireReason::LeaseExpired);
+    }
+
+    #[test]
+    fn reaped_state_matches_explicit_end() {
+        // A reaped instance must leave exactly the state an `end` would.
+        let mut reaped = Controller::new(sp2(8), ControllerConfig::default());
+        let (ra, _) = reaped.register(bag_spec()).unwrap();
+        let (_rb, _) = reaped.register(bag_spec()).unwrap();
+        reaped.set_time(20.0);
+        reaped.renew_lease(&ra);
+        reaped.reap_expired(40.0).unwrap();
+
+        let mut ended = Controller::new(sp2(8), ControllerConfig::default());
+        let (ea, _) = ended.register(bag_spec()).unwrap();
+        let (eb, _) = ended.register(bag_spec()).unwrap();
+        ended.end(&eb).unwrap();
+
+        assert_eq!(reaped.instances(), ended.instances());
+        assert_eq!(
+            reaped.choice(&ra, "config").unwrap().label(),
+            ended.choice(&ea, "config").unwrap().label()
+        );
+        assert_eq!(reaped.objective_score(), ended.objective_score());
+        assert_eq!(reaped.cluster().total_tasks(), ended.cluster().total_tasks());
+    }
+
+    #[test]
+    fn disconnect_shortens_lease_and_reattach_restores_it() {
+        let mut c = Controller::new(sp2(8), ControllerConfig::default());
+        let (a, _) = c.register(bag_spec()).unwrap();
+        c.mark_disconnected(&a);
+        let s = c.session(&a).unwrap();
+        assert!(s.disconnected);
+        assert_eq!(s.deadline, 5.0, "capped to the disconnect grace");
+        // A reattach inside the grace revives the session and replays the
+        // chosen values as pending vars.
+        c.take_pending_vars(&a); // drain the original placement writes
+        c.reattach(&a).unwrap();
+        let s = c.session(&a).unwrap();
+        assert!(!s.disconnected);
+        assert_eq!(s.deadline, 30.0);
+        let replayed = c.take_pending_vars(&a);
+        assert!(replayed.iter().any(|(p, v)| {
+            p.to_string() == format!("bag.{}.config.run.workerNodes", a.id) && *v == Value::Int(8)
+        }));
+        // Reattaching an unknown instance is an error.
+        let ghost = InstanceId::new("bag", 99);
+        assert!(matches!(c.reattach(&ghost), Err(CoreError::UnknownInstance { .. })));
+    }
+
+    #[test]
+    fn disconnected_instance_reaps_with_disconnect_reason() {
+        let mut c = Controller::new(sp2(8), ControllerConfig::default());
+        let (a, _) = c.register(bag_spec()).unwrap();
+        c.mark_disconnected(&a);
+        // Marking twice does not double-count.
+        c.mark_disconnected(&a);
+        assert_eq!(c.metrics().counter("controller.sessions.disconnects"), 1);
+        c.reap_expired(6.0).unwrap();
+        assert!(c.app(&a).is_none());
+        assert_eq!(c.retirements()[0].reason, RetireReason::Disconnected);
+        assert_eq!(c.cluster().total_tasks(), 0);
+    }
+
+    #[test]
+    fn metric_reports_renew_the_owning_lease() {
+        let mut c = Controller::new(sp2(8), ControllerConfig::default());
+        let (a, _) = c.register(bag_spec()).unwrap();
+        c.set_time(25.0);
+        c.renew_lease_for_metric(&format!("bag.{}.response_time", a.id));
+        assert_eq!(c.session(&a).unwrap().deadline, 55.0);
+        // Non-conforming or unknown names are ignored.
+        c.renew_lease_for_metric("nodots");
+        c.renew_lease_for_metric("ghost.77.rt");
+        assert_eq!(c.sessions().len(), 1);
     }
 
     #[test]

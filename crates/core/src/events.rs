@@ -42,7 +42,19 @@ pub enum HarmonyEvent {
         /// Sampled value.
         value: f64,
     },
-    /// The periodic re-evaluation timer fired.
+    /// A lease-renewal heartbeat arrived from an application.
+    Heartbeat {
+        /// The renewing instance.
+        instance: InstanceId,
+    },
+    /// A reconnecting application re-established its session; current
+    /// chosen values are replayed into its pending-variable buffer.
+    Reattach {
+        /// The reattaching instance.
+        instance: InstanceId,
+    },
+    /// The periodic re-evaluation timer fired. Expired session leases are
+    /// reaped before the re-evaluation pass.
     Periodic,
     /// A node joined the metacomputer.
     NodeJoined(NodeDecl),
@@ -85,11 +97,27 @@ impl Controller {
                 Ok(EventOutcome::Decisions(self.end(&instance)?))
             }
             HarmonyEvent::MetricReport { name, time, value } => {
+                self.renew_lease_for_metric(&name);
                 self.metrics.record(&name, time, value);
                 self.metric_bus().publish(harmony_metrics::MetricEvent::new(name, time, value));
                 Ok(EventOutcome::Quiet)
             }
-            HarmonyEvent::Periodic => Ok(EventOutcome::Decisions(self.reevaluate()?)),
+            HarmonyEvent::Heartbeat { instance } => {
+                if self.renew_lease(&instance) {
+                    Ok(EventOutcome::Quiet)
+                } else {
+                    Err(CoreError::UnknownInstance { name: instance.to_string() })
+                }
+            }
+            HarmonyEvent::Reattach { instance } => {
+                self.reattach(&instance)?;
+                Ok(EventOutcome::Quiet)
+            }
+            HarmonyEvent::Periodic => {
+                let mut records = self.reap_expired(self.now())?;
+                records.extend(self.reevaluate()?);
+                Ok(EventOutcome::Decisions(records))
+            }
             HarmonyEvent::NodeJoined(decl) => {
                 self.cluster.add_node(decl)?;
                 Ok(EventOutcome::Decisions(self.reevaluate()?))

@@ -28,6 +28,7 @@ mod events;
 pub mod feedback;
 mod objective;
 pub mod optimizer;
+mod session;
 mod snapshot;
 
 pub use app::{AppInstance, BundleState, ChosenConfig, InstanceId};
@@ -39,4 +40,5 @@ pub use error::CoreError;
 pub use events::{EventOutcome, HarmonyEvent};
 pub use feedback::FeedbackConfig;
 pub use objective::Objective;
-pub use snapshot::{AppSnapshot, NodeSnapshot, SystemSnapshot};
+pub use session::{LeaseConfig, RetireReason, RetirementRecord, SessionState};
+pub use snapshot::{AppSnapshot, NodeSnapshot, SessionSnapshot, SystemSnapshot};

@@ -1,0 +1,130 @@
+//! Session leases: liveness tracking for registered application instances.
+//!
+//! The paper's prototype assumes applications always announce departure
+//! via `harmony_end` (§5), but the controller's decisions are driven by
+//! how many instances are registered — a single crashed client that never
+//! sends `end` would permanently skew every subsequent adaptation
+//! decision. Each registered instance therefore carries a *lease* that
+//! any request renews (including the lightweight `heartbeat` verb); the
+//! [`reap_expired`](crate::Controller::reap_expired) sweep retires
+//! instances whose lease ran out exactly as if they had called `end`,
+//! freeing their allocations and re-evaluating the survivors.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::app::InstanceId;
+
+/// Lease parameters, in controller-clock seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LeaseConfig {
+    /// Seconds a lease stays valid after its last renewal.
+    pub duration: f64,
+    /// Once the server observes an instance's connection drop, its lease
+    /// is shortened to expire at most this many seconds later — the
+    /// window in which a reconnecting client can still `reattach`.
+    pub disconnect_grace: f64,
+}
+
+impl Default for LeaseConfig {
+    fn default() -> Self {
+        LeaseConfig { duration: 30.0, disconnect_grace: 5.0 }
+    }
+}
+
+/// Liveness state of one registered instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionState {
+    /// Controller-clock time at which the lease expires.
+    pub deadline: f64,
+    /// The server observed this instance's connection drop, and the lease
+    /// has not been renewed since.
+    pub disconnected: bool,
+    /// Number of lease renewals (any request from the instance counts).
+    pub renewals: u64,
+}
+
+impl SessionState {
+    /// A fresh session whose lease expires at `deadline`.
+    pub fn new(deadline: f64) -> Self {
+        SessionState { deadline, disconnected: false, renewals: 0 }
+    }
+
+    /// True when the lease has run out at time `now`.
+    pub fn expired_at(&self, now: f64) -> bool {
+        self.deadline <= now
+    }
+}
+
+/// Why an instance left the controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RetireReason {
+    /// The application called `harmony_end`.
+    Ended,
+    /// The lease ran out with no renewal (crashed or wedged client).
+    LeaseExpired,
+    /// The connection dropped and the disconnect grace elapsed without a
+    /// reattach.
+    Disconnected,
+}
+
+impl fmt::Display for RetireReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RetireReason::Ended => write!(f, "end"),
+            RetireReason::LeaseExpired => write!(f, "lease-expired"),
+            RetireReason::Disconnected => write!(f, "disconnected"),
+        }
+    }
+}
+
+/// A record of one instance retirement (explicit or reaped).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RetirementRecord {
+    /// Controller-clock time of the retirement.
+    pub time: f64,
+    /// The retired instance.
+    pub instance: InstanceId,
+    /// Why it was retired.
+    pub reason: RetireReason,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let cfg = LeaseConfig::default();
+        assert!(cfg.duration > cfg.disconnect_grace);
+    }
+
+    #[test]
+    fn session_expiry() {
+        let s = SessionState::new(30.0);
+        assert!(!s.expired_at(29.9));
+        assert!(s.expired_at(30.0));
+        assert!(!s.disconnected);
+        assert_eq!(s.renewals, 0);
+    }
+
+    #[test]
+    fn reason_display() {
+        assert_eq!(RetireReason::Ended.to_string(), "end");
+        assert_eq!(RetireReason::LeaseExpired.to_string(), "lease-expired");
+        assert_eq!(RetireReason::Disconnected.to_string(), "disconnected");
+    }
+
+    #[test]
+    fn retirement_record_round_trips_json() {
+        let r = RetirementRecord {
+            time: 31.0,
+            instance: InstanceId::new("bag", 2),
+            reason: RetireReason::LeaseExpired,
+        };
+        let json = serde_json::to_string(&r).unwrap();
+        let back: RetirementRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+    }
+}

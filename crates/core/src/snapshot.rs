@@ -8,6 +8,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::controller::Controller;
+use crate::session::RetirementRecord;
 
 /// One application's summary.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -39,6 +40,19 @@ pub struct NodeSnapshot {
     pub exclusive: u32,
 }
 
+/// One instance's session-lease summary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionSnapshot {
+    /// Instance name (`DBclient.66`).
+    pub instance: String,
+    /// Controller-clock time the lease expires.
+    pub lease_deadline: f64,
+    /// The server observed a disconnect without a reattach since.
+    pub disconnected: bool,
+    /// Lease renewals so far.
+    pub renewals: u64,
+}
+
 /// A frozen summary of the whole system.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SystemSnapshot {
@@ -54,6 +68,13 @@ pub struct SystemSnapshot {
     pub nodes: Vec<NodeSnapshot>,
     /// Total decisions applied since startup.
     pub decisions: usize,
+    /// Session-lease state per registered instance.
+    #[serde(default)]
+    pub sessions: Vec<SessionSnapshot>,
+    /// Instance retirements so far (explicit `end` and reaped), oldest
+    /// first, with reasons.
+    #[serde(default)]
+    pub retired: Vec<RetirementRecord>,
 }
 
 impl SystemSnapshot {
@@ -97,6 +118,16 @@ impl SystemSnapshot {
                 exclusive: n.exclusive,
             })
             .collect();
+        let sessions = ctl
+            .sessions()
+            .iter()
+            .map(|(id, s)| SessionSnapshot {
+                instance: id.to_string(),
+                lease_deadline: s.deadline,
+                disconnected: s.disconnected,
+                renewals: s.renewals,
+            })
+            .collect();
         SystemSnapshot {
             time: ctl.now(),
             objective: ctl.objective_score(),
@@ -104,6 +135,8 @@ impl SystemSnapshot {
             apps,
             nodes,
             decisions: ctl.decisions().len(),
+            sessions,
+            retired: ctl.retirements().to_vec(),
         }
     }
 

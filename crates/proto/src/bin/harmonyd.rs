@@ -3,26 +3,40 @@
 //! ```text
 //! harmonyd <cluster.rsl> [addr]         # default addr 127.0.0.1:7077
 //! harmonyd --demo [addr]                # built-in 8-node SP-2 cluster
+//! harmonyd --demo --lease 10 [addr]     # 10-second session leases
 //! ```
 //!
 //! The cluster file contains `harmonyNode`/`harmonyLink` statements.
 //! Applications connect with `harmony-client` (or anything speaking the
-//! frame protocol) and export bundles; decisions stream to stdout.
+//! frame protocol) and export bundles; decisions stream to stdout. Every
+//! periodic pass also reaps sessions whose lease expired (clients that
+//! crashed without `end`), freeing their allocations.
 
 use std::sync::Arc;
 
-use harmony_core::{Controller, ControllerConfig};
+use harmony_core::{Controller, ControllerConfig, HarmonyEvent};
 use harmony_proto::TcpServer;
 use harmony_resources::Cluster;
 use parking_lot::Mutex;
 
 fn usage() -> ! {
-    eprintln!("usage: harmonyd <cluster.rsl>|--demo [addr]");
+    eprintln!("usage: harmonyd <cluster.rsl>|--demo [--lease <seconds>] [addr]");
     std::process::exit(2);
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut lease: Option<f64> = None;
+    if let Some(i) = args.iter().position(|a| a == "--lease") {
+        let Some(value) = args.get(i + 1).and_then(|v| v.parse::<f64>().ok()) else {
+            usage();
+        };
+        if !value.is_finite() || value <= 0.0 {
+            usage();
+        }
+        lease = Some(value);
+        args.drain(i..=i + 1);
+    }
     let (source, rsl) = match args.first().map(String::as_str) {
         Some("--demo") => ("built-in demo".to_string(), harmony_rsl::listings::sp2_cluster(8)),
         Some(path) => match std::fs::read_to_string(path) {
@@ -50,7 +64,15 @@ fn main() {
         cluster.total_memory()
     );
 
-    let controller = Arc::new(Mutex::new(Controller::new(cluster, ControllerConfig::default())));
+    let mut config = ControllerConfig::default();
+    if let Some(seconds) = lease {
+        config.lease.duration = seconds;
+    }
+    println!(
+        "harmonyd: session leases: {:.0}s (disconnect grace {:.0}s)",
+        config.lease.duration, config.lease.disconnect_grace
+    );
+    let controller = Arc::new(Mutex::new(Controller::new(cluster, config)));
     let server = match TcpServer::start(addr, Arc::clone(&controller)) {
         Ok(s) => s,
         Err(e) => {
@@ -60,29 +82,35 @@ fn main() {
     };
     println!("harmonyd: listening on {}", server.addr());
 
-    // Periodic re-evaluation loop (the paper's event-driven controller also
-    // adapts "on a periodic basis" for changes outside Harmony's control),
-    // streaming decisions to stdout.
+    // Periodic pass (the paper's event-driven controller also adapts "on a
+    // periodic basis" for changes outside Harmony's control): reap expired
+    // session leases, then re-evaluate, streaming decisions to stdout.
     let start = std::time::Instant::now();
     let mut seen = 0usize;
+    let mut reaped = 0usize;
     loop {
         std::thread::sleep(std::time::Duration::from_secs(2));
         let mut ctl = controller.lock();
         ctl.set_time(start.elapsed().as_secs_f64());
-        if let Err(e) = ctl.reevaluate() {
-            eprintln!("harmonyd: re-evaluation error: {e}");
+        if let Err(e) = ctl.handle_event(HarmonyEvent::Periodic) {
+            eprintln!("harmonyd: periodic pass error: {e}");
         }
+        for r in &ctl.retirements()[reaped..] {
+            println!("harmonyd: t={:.0}s retired {} ({})", r.time, r.instance, r.reason);
+        }
+        reaped = ctl.retirements().len();
         let decisions = ctl.decisions();
         for d in &decisions[seen..] {
             println!(
-                "harmonyd: t={:.0}s {} {}: {} -> {} (objective {:.1} -> {:.1})",
+                "harmonyd: t={:.0}s {} {}: {} -> {} (objective {:.1} -> {:.1}){}",
                 d.time,
                 d.instance,
                 d.bundle,
                 d.from.as_deref().unwrap_or("-"),
                 d.to,
                 d.objective_before,
-                d.objective_after
+                d.objective_after,
+                d.cause.as_deref().map(|c| format!(" [{c}]")).unwrap_or_default()
             );
         }
         seen = decisions.len();

@@ -14,16 +14,22 @@ pub const MAX_FRAME_BYTES: usize = 1 << 20;
 
 /// Encodes one frame into a byte buffer.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `payload` exceeds [`MAX_FRAME_BYTES`] (callers construct
-/// payloads; oversize is a programming error).
-pub fn encode(payload: &str) -> BytesMut {
-    assert!(payload.len() <= MAX_FRAME_BYTES, "frame too large");
+/// Returns `InvalidData` when `payload` exceeds [`MAX_FRAME_BYTES`]: an
+/// oversize payload (e.g. a huge bundle script) must surface as an error
+/// to the caller, never abort the process.
+pub fn encode(payload: &str) -> io::Result<BytesMut> {
+    if payload.len() > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {} bytes exceeds limit", payload.len()),
+        ));
+    }
     let mut buf = BytesMut::with_capacity(4 + payload.len());
     buf.put_u32(payload.len() as u32);
     buf.put_slice(payload.as_bytes());
-    buf
+    Ok(buf)
 }
 
 /// Attempts to decode one frame from the front of `buf`, consuming it.
@@ -57,9 +63,10 @@ pub fn decode(buf: &mut BytesMut) -> io::Result<Option<String>> {
 ///
 /// # Errors
 ///
-/// Propagates I/O errors from the writer.
+/// `InvalidData` for payloads over [`MAX_FRAME_BYTES`] (nothing is
+/// written); otherwise I/O errors from the writer.
 pub fn write_frame<W: Write>(mut w: W, payload: &str) -> io::Result<()> {
-    let buf = encode(payload);
+    let buf = encode(payload)?;
     w.write_all(&buf)?;
     w.flush()
 }
@@ -103,14 +110,14 @@ mod tests {
 
     #[test]
     fn encode_decode_round_trip() {
-        let mut buf = encode("hello harmony");
+        let mut buf = encode("hello harmony").unwrap();
         assert_eq!(decode(&mut buf).unwrap(), Some("hello harmony".into()));
         assert!(buf.is_empty());
     }
 
     #[test]
     fn decode_handles_partial_input() {
-        let full = encode("abcdef");
+        let full = encode("abcdef").unwrap();
         let mut buf = BytesMut::new();
         buf.extend_from_slice(&full[..3]);
         assert_eq!(decode(&mut buf).unwrap(), None);
@@ -123,8 +130,8 @@ mod tests {
     #[test]
     fn decode_multiple_frames_in_sequence() {
         let mut buf = BytesMut::new();
-        buf.extend_from_slice(&encode("one"));
-        buf.extend_from_slice(&encode("two"));
+        buf.extend_from_slice(&encode("one").unwrap());
+        buf.extend_from_slice(&encode("two").unwrap());
         assert_eq!(decode(&mut buf).unwrap(), Some("one".into()));
         assert_eq!(decode(&mut buf).unwrap(), Some("two".into()));
         assert_eq!(decode(&mut buf).unwrap(), None);
@@ -171,7 +178,71 @@ mod tests {
 
     #[test]
     fn empty_payload_is_fine() {
-        let mut buf = encode("");
+        let mut buf = encode("").unwrap();
         assert_eq!(decode(&mut buf).unwrap(), Some(String::new()));
+    }
+
+    #[test]
+    fn oversize_payload_is_invalid_data_not_a_panic() {
+        let big = "x".repeat(MAX_FRAME_BYTES + 1);
+        let err = encode(&big).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let mut wire = Vec::new();
+        let err = write_frame(&mut wire, &big).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(wire.is_empty(), "nothing written for a rejected frame");
+        // A payload exactly at the limit is fine.
+        let exact = "y".repeat(MAX_FRAME_BYTES);
+        assert!(encode(&exact).is_ok());
+    }
+
+    #[test]
+    fn oversize_frame_rejected_by_read_frame() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(MAX_FRAME_BYTES as u32 + 1).to_be_bytes());
+        wire.extend_from_slice(b"body would follow");
+        let err = read_frame(&mut std::io::Cursor::new(wire)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncation_mid_header_is_unexpected_eof() {
+        // Two of the four header bytes, then EOF.
+        let wire = vec![0u8, 0u8];
+        let err = read_frame(&mut std::io::Cursor::new(wire)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn truncation_mid_payload_is_unexpected_eof() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, "twelve bytes").unwrap();
+        wire.truncate(4 + 5); // full header, partial payload
+        let err = read_frame(&mut std::io::Cursor::new(wire)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn buffered_decode_waits_on_partial_header_and_payload() {
+        // One header byte: not an error, just incomplete.
+        let mut buf = BytesMut::from(&[0u8][..]);
+        assert_eq!(decode(&mut buf).unwrap(), None);
+        assert_eq!(buf.len(), 1, "nothing consumed");
+        // Full header, half payload: still incomplete.
+        let full = encode("abcdef").unwrap();
+        let mut buf = BytesMut::new();
+        buf.extend_from_slice(&full[..7]);
+        assert_eq!(decode(&mut buf).unwrap(), None);
+    }
+
+    #[test]
+    fn zero_length_frame_round_trips_the_stream() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, "").unwrap();
+        write_frame(&mut wire, "after").unwrap();
+        let mut cursor = std::io::Cursor::new(wire);
+        assert_eq!(read_frame(&mut cursor).unwrap(), Some(String::new()));
+        assert_eq!(read_frame(&mut cursor).unwrap(), Some("after".into()));
+        assert_eq!(read_frame(&mut cursor).unwrap(), None);
     }
 }

@@ -21,5 +21,6 @@ mod server;
 
 pub use message::{ParseMessageError, Request, Response, VarUpdate};
 pub use server::{
-    handle_request, LocalTransport, SharedController, TcpServer, TcpTransport, Transport,
+    handle_request, LocalTransport, ReconnectPolicy, ServerConfig, SharedController, TcpServer,
+    TcpTransport, Transport,
 };

@@ -86,6 +86,24 @@ pub enum Request {
         /// Value.
         value: f64,
     },
+    /// Lightweight lease renewal: the application is alive but has
+    /// nothing to report.
+    Heartbeat {
+        /// Application name.
+        app: String,
+        /// Instance id.
+        id: u64,
+    },
+    /// Re-establish a session after a reconnect, preserving the instance
+    /// id. The server replays current chosen values as pending variable
+    /// updates; unknown ids are an error (the client falls back to a
+    /// fresh `Startup` plus bundle re-registration).
+    Reattach {
+        /// Application name.
+        app: String,
+        /// Instance id.
+        id: u64,
+    },
     /// `harmony_end`: the application is terminating.
     End {
         /// Application name.
@@ -117,6 +135,8 @@ impl Request {
             Request::Metric { name, time, value } => {
                 format!("metric {name} {time} {value}")
             }
+            Request::Heartbeat { app, id } => format!("heartbeat {app}.{id}"),
+            Request::Reattach { app, id } => format!("reattach {app}.{id}"),
             Request::End { app, id } => format!("end {app}.{id}"),
             Request::Status => "status".to_string(),
             Request::Lint { script } => format!("lint {{{script}}}"),
@@ -151,6 +171,14 @@ impl Request {
                     .parse()
                     .map_err(|_| ParseMessageError::new("metric value not a number"))?,
             }),
+            ["heartbeat", instance] => {
+                let (app, id) = parse_instance(instance)?;
+                Ok(Request::Heartbeat { app, id })
+            }
+            ["reattach", instance] => {
+                let (app, id) = parse_instance(instance)?;
+                Ok(Request::Reattach { app, id })
+            }
             ["end", instance] => {
                 let (app, id) = parse_instance(instance)?;
                 Ok(Request::End { app, id })
@@ -289,6 +317,8 @@ mod tests {
             },
             Request::Poll { app: "bag".into(), id: 7 },
             Request::Metric { name: "a.rt".into(), time: 1.5, value: 9.25 },
+            Request::Heartbeat { app: "bag".into(), id: 7 },
+            Request::Reattach { app: "DBclient".into(), id: 66 },
             Request::End { app: "bag".into(), id: 7 },
             Request::Status,
             Request::Lint { script: "harmonyBundle a b { {o {node n {seconds 1}}} }".into() },
@@ -349,6 +379,8 @@ mod tests {
             "poll app.notanumber",
             "metric name abc 1",
             "end .5",
+            "heartbeat nodot",
+            "reattach app.x",
         ] {
             assert!(Request::parse(bad).is_err(), "should reject `{bad}`");
         }

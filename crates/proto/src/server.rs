@@ -8,11 +8,13 @@
 //! * [`LocalTransport`] — in-process calls against the same shared
 //!   controller, for deterministic tests and single-process experiments.
 
+use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use harmony_core::{Controller, HarmonyEvent, InstanceId};
 use parking_lot::Mutex;
@@ -34,6 +36,7 @@ pub fn handle_request(ctl: &SharedController, req: &Request) -> Response {
         }
         Request::Bundle { app, id, script } => {
             let instance = InstanceId::new(app.clone(), *id);
+            ctl.renew_lease(&instance);
             match ctl.handle_event(HarmonyEvent::BundleSetup { instance, script: script.clone() }) {
                 Ok(_) => Response::Ok,
                 Err(e) => Response::Error { message: e.to_string() },
@@ -41,12 +44,27 @@ pub fn handle_request(ctl: &SharedController, req: &Request) -> Response {
         }
         Request::Poll { app, id } => {
             let instance = InstanceId::new(app.clone(), *id);
+            ctl.renew_lease(&instance);
             let updates = ctl
                 .take_pending_vars(&instance)
                 .into_iter()
                 .map(|(path, value)| VarUpdate { path: path.to_string(), value })
                 .collect();
             Response::Update { app: app.clone(), id: *id, updates }
+        }
+        Request::Heartbeat { app, id } => {
+            let instance = InstanceId::new(app.clone(), *id);
+            match ctl.handle_event(HarmonyEvent::Heartbeat { instance }) {
+                Ok(_) => Response::Ok,
+                Err(e) => Response::Error { message: e.to_string() },
+            }
+        }
+        Request::Reattach { app, id } => {
+            let instance = InstanceId::new(app.clone(), *id);
+            match ctl.handle_event(HarmonyEvent::Reattach { instance }) {
+                Ok(_) => Response::Registered { app: app.clone(), id: *id },
+                Err(e) => Response::Error { message: e.to_string() },
+            }
         }
         Request::Metric { name, time, value } => {
             match ctl.handle_event(HarmonyEvent::MetricReport {
@@ -88,11 +106,28 @@ pub trait Transport: Send {
     /// I/O errors from the underlying channel, including protocol-parse
     /// failures (mapped to `InvalidData`).
     fn call(&mut self, req: &Request) -> io::Result<Response>;
+
+    /// Attempts to re-establish a broken channel. Returns `Ok(false)` when
+    /// the transport cannot reconnect (the default — e.g. an in-process
+    /// channel never breaks); `Ok(true)` once a fresh channel is up. The
+    /// caller is responsible for re-establishing the *session* afterwards
+    /// (see `Request::Reattach`).
+    ///
+    /// # Errors
+    ///
+    /// The last connection error when every attempt fails.
+    fn reconnect(&mut self) -> io::Result<bool> {
+        Ok(false)
+    }
 }
 
 impl Transport for Box<dyn Transport> {
     fn call(&mut self, req: &Request) -> io::Result<Response> {
         (**self).call(req)
+    }
+
+    fn reconnect(&mut self) -> io::Result<bool> {
+        (**self).reconnect()
     }
 }
 
@@ -120,22 +155,76 @@ impl Transport for LocalTransport {
     }
 }
 
+/// Re-dial behavior of [`TcpTransport::reconnect`]: exponential backoff
+/// with jitter, so a fleet of clients recovering from a server restart
+/// does not stampede the accept queue in lockstep.
+#[derive(Debug, Clone)]
+pub struct ReconnectPolicy {
+    /// Maximum dial attempts before giving up.
+    pub max_attempts: u32,
+    /// Delay before the second attempt; doubles each retry.
+    pub base_delay: Duration,
+    /// Upper bound on any single delay.
+    pub max_delay: Duration,
+}
+
+impl Default for ReconnectPolicy {
+    fn default() -> Self {
+        ReconnectPolicy {
+            max_attempts: 6,
+            base_delay: Duration::from_millis(25),
+            max_delay: Duration::from_secs(2),
+        }
+    }
+}
+
+impl ReconnectPolicy {
+    /// The jittered delay before attempt `attempt` (0-based): half the
+    /// exponential step deterministic, half random, capped at `max_delay`.
+    fn delay(&self, attempt: u32, rng: &mut u64) -> Duration {
+        let step = self.base_delay.saturating_mul(1u32 << attempt.min(16));
+        let capped = step.min(self.max_delay);
+        // xorshift64* — no external RNG dependency needed for jitter.
+        *rng ^= *rng << 13;
+        *rng ^= *rng >> 7;
+        *rng ^= *rng << 17;
+        let fraction = (*rng >> 11) as f64 / (1u64 << 53) as f64;
+        capped.div_f64(2.0) + capped.div_f64(2.0).mul_f64(fraction)
+    }
+}
+
 /// Client side of the TCP transport.
 #[derive(Debug)]
 pub struct TcpTransport {
     stream: TcpStream,
+    addr: SocketAddr,
+    policy: ReconnectPolicy,
 }
 
 impl TcpTransport {
-    /// Connects to a Harmony server.
+    /// Connects to a Harmony server with the default reconnect policy.
     ///
     /// # Errors
     ///
     /// Connection errors from the OS.
     pub fn connect(addr: SocketAddr) -> io::Result<Self> {
+        Self::connect_with(addr, ReconnectPolicy::default())
+    }
+
+    /// Connects with an explicit reconnect policy.
+    ///
+    /// # Errors
+    ///
+    /// Connection errors from the OS.
+    pub fn connect_with(addr: SocketAddr, policy: ReconnectPolicy) -> io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        Ok(TcpTransport { stream })
+        Ok(TcpTransport { stream, addr, policy })
+    }
+
+    /// The server address this transport dials.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
     }
 }
 
@@ -148,7 +237,58 @@ impl Transport for TcpTransport {
         Response::parse(&text)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
     }
+
+    /// Re-dials the server with exponential backoff plus jitter. The old
+    /// stream is replaced on success; the session must then be
+    /// re-established with `Request::Reattach` (or a fresh `Startup`).
+    fn reconnect(&mut self) -> io::Result<bool> {
+        let mut rng = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.subsec_nanos() as u64)
+            .unwrap_or(0)
+            | 1;
+        let mut last_err = None;
+        for attempt in 0..self.policy.max_attempts {
+            if attempt > 0 || last_err.is_some() {
+                std::thread::sleep(self.policy.delay(attempt, &mut rng));
+            }
+            match TcpStream::connect(self.addr) {
+                Ok(stream) => {
+                    stream.set_nodelay(true)?;
+                    self.stream = stream;
+                    return Ok(true);
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err
+            .unwrap_or_else(|| io::Error::new(io::ErrorKind::NotConnected, "no dial attempts")))
+    }
 }
+
+/// Socket hygiene for accepted connections: deadlines so a stalled peer
+/// (half-open connection, wedged client) cannot pin a server thread and
+/// its session forever.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// How long a connection may sit idle between requests before the
+    /// server treats the peer as gone. `None` disables the deadline.
+    pub read_timeout: Option<Duration>,
+    /// How long a response write may block before the peer is treated as
+    /// gone. `None` disables the deadline.
+    pub write_timeout: Option<Duration>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(10)),
+        }
+    }
+}
+
+type ConnectionRegistry = Arc<parking_lot::Mutex<HashMap<u64, TcpStream>>>;
 
 /// The Harmony TCP server: accept loop plus one thread per connection.
 #[derive(Debug)]
@@ -156,38 +296,49 @@ pub struct TcpServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
-    connections: Arc<parking_lot::Mutex<Vec<TcpStream>>>,
+    connections: ConnectionRegistry,
 }
 
 impl TcpServer {
-    /// Binds and starts serving `ctl` on `addr` (use port 0 for an
-    /// ephemeral port; read it back with [`TcpServer::addr`]).
+    /// Binds and starts serving `ctl` on `addr` with the default socket
+    /// deadlines (use port 0 for an ephemeral port; read it back with
+    /// [`TcpServer::addr`]).
     ///
     /// # Errors
     ///
     /// Bind errors from the OS.
     pub fn start(addr: &str, ctl: SharedController) -> io::Result<Self> {
+        Self::start_with(addr, ctl, ServerConfig::default())
+    }
+
+    /// Binds and starts serving with an explicit [`ServerConfig`].
+    ///
+    /// # Errors
+    ///
+    /// Bind errors from the OS.
+    pub fn start_with(addr: &str, ctl: SharedController, config: ServerConfig) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = Arc::clone(&stop);
-        let connections: Arc<parking_lot::Mutex<Vec<TcpStream>>> =
-            Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let connections: ConnectionRegistry = Arc::new(parking_lot::Mutex::new(HashMap::new()));
         let conns2 = Arc::clone(&connections);
         let accept_thread = std::thread::spawn(move || {
+            let mut next_token: u64 = 0;
             for conn in listener.incoming() {
                 if stop2.load(Ordering::SeqCst) {
                     break;
                 }
                 let Ok(stream) = conn else { continue };
+                let token = next_token;
+                next_token += 1;
                 if let Ok(clone) = stream.try_clone() {
-                    let mut conns = conns2.lock();
-                    // Prune connections that already closed.
-                    conns.retain(|c| c.take_error().map(|e| e.is_none()).unwrap_or(false));
-                    conns.push(clone);
+                    conns2.lock().insert(token, clone);
                 }
                 let ctl = Arc::clone(&ctl);
-                std::thread::spawn(move || serve_connection(stream, ctl));
+                let registry = Arc::clone(&conns2);
+                let config = config.clone();
+                std::thread::spawn(move || serve_connection(stream, ctl, config, registry, token));
             }
         });
         Ok(TcpServer { addr, stop, accept_thread: Some(accept_thread), connections })
@@ -196,6 +347,23 @@ impl TcpServer {
     /// The bound address.
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Number of currently registered connections. Entries are removed by
+    /// their serving thread on exit, so this converges to the number of
+    /// live peers (it may briefly include a connection whose thread has
+    /// not yet observed the close).
+    pub fn connection_count(&self) -> usize {
+        self.connections.lock().len()
+    }
+
+    /// Forcibly drops every live connection while continuing to listen.
+    /// Clients observe an EOF/reset mid-session — the fault-injection
+    /// hook for exercising client reconnect paths.
+    pub fn disconnect_all(&self) {
+        for (_, conn) in self.connections.lock().drain() {
+            let _ = conn.shutdown(std::net::Shutdown::Both);
+        }
     }
 
     /// Stops the server: no new connections are accepted and existing
@@ -208,7 +376,7 @@ impl TcpServer {
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
-        for conn in self.connections.lock().drain(..) {
+        for (_, conn) in self.connections.lock().drain() {
             let _ = conn.shutdown(std::net::Shutdown::Both);
         }
     }
@@ -221,27 +389,71 @@ impl Drop for TcpServer {
     }
 }
 
-fn serve_connection(mut stream: TcpStream, ctl: SharedController) {
+fn serve_connection(
+    mut stream: TcpStream,
+    ctl: SharedController,
+    config: ServerConfig,
+    registry: ConnectionRegistry,
+    token: u64,
+) {
     let _ = stream.set_nodelay(true);
-    loop {
-        let text = match read_frame(&mut stream) {
-            Ok(Some(t)) => t,
-            // Clean close or protocol violation: shut the socket down
-            // explicitly so the shutdown reaches the peer even though the
-            // server keeps a tracking clone for stop().
-            Ok(None) | Err(_) => {
-                let _ = stream.shutdown(std::net::Shutdown::Both);
-                return;
-            }
-        };
+    let _ = stream.set_read_timeout(config.read_timeout);
+    let _ = stream.set_write_timeout(config.write_timeout);
+    // Instances registered over this connection. When the connection dies
+    // without an explicit `end`, their leases are shortened to the
+    // disconnect grace so the reaper reclaims them promptly.
+    let mut owned: Vec<InstanceId> = Vec::new();
+    // A failed read is a clean close, an idle deadline, or a protocol
+    // violation: leave the loop and shut the socket down explicitly so the
+    // shutdown reaches the peer even though the server keeps a tracking
+    // clone in the registry.
+    while let Ok(Some(text)) = read_frame(&mut stream) {
         let response = match Request::parse(&text) {
-            Ok(req) => handle_request(&ctl, &req),
+            Ok(req) => {
+                let resp = handle_request(&ctl, &req);
+                track_session(&req, &resp, &mut owned);
+                resp
+            }
             Err(e) => Response::Error { message: e.to_string() },
         };
-        if write_frame(&mut stream, &response.to_text()).is_err() {
-            let _ = stream.shutdown(std::net::Shutdown::Both);
-            return;
+        match write_frame(&mut stream, &response.to_text()) {
+            Ok(()) => {}
+            // An oversize *response* must not kill the session silently:
+            // report it in-band and keep serving.
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                let fallback = Response::Error { message: format!("response too large: {e}") };
+                if write_frame(&mut stream, &fallback.to_text()).is_err() {
+                    break;
+                }
+            }
+            Err(_) => break,
         }
+    }
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+    registry.lock().remove(&token);
+    if !owned.is_empty() {
+        let mut ctl = ctl.lock();
+        for id in owned {
+            ctl.mark_disconnected(&id);
+        }
+    }
+}
+
+/// Maintains the list of instances owned by one connection from the
+/// request/response pairs that flow over it.
+fn track_session(req: &Request, resp: &Response, owned: &mut Vec<InstanceId>) {
+    match (req, resp) {
+        (Request::Startup { .. } | Request::Reattach { .. }, Response::Registered { app, id }) => {
+            let instance = InstanceId::new(app.clone(), *id);
+            if !owned.contains(&instance) {
+                owned.push(instance);
+            }
+        }
+        (Request::End { app, id }, Response::Ok) => {
+            let instance = InstanceId::new(app.clone(), *id);
+            owned.retain(|i| *i != instance);
+        }
+        _ => {}
     }
 }
 

@@ -47,6 +47,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     app.wait_for_update(Duration::from_secs(2))?;
     println!("after rival: workerNodes = {}", workers.get());
 
+    // A quiet stretch (no polls): a heartbeat keeps the session lease
+    // alive so the controller doesn't reap us as a crashed client.
+    app.heartbeat()?;
+    let id = harmony::core::InstanceId::new(app.app(), app.instance_id());
+    if let Some(s) = controller.lock().session(&id).cloned() {
+        println!("lease renewed: deadline t={:.0}s, {} renewals", s.deadline, s.renewals);
+    }
+
     // Report a metric, then shut down cleanly.
     app.report_metric("response_time", 1.0, 230.0)?;
     rival.end()?;

@@ -63,20 +63,21 @@ fn client_vanishing_mid_session_leaks_only_its_own_allocation() {
     let ctl = shared(8);
     let server = TcpServer::start("127.0.0.1:0", Arc::clone(&ctl)).unwrap();
 
-    // Client A registers and then disappears without harmony_end.
-    {
-        let mut a = HarmonyClient::startup(
-            TcpTransport::connect(server.addr()).unwrap(),
-            "bag",
-            UpdateDelivery::Polling,
-        )
-        .unwrap();
-        a.bundle_setup(listings::FIG2B_BAG).unwrap();
-    } // dropped: TCP connection closes, no End sent
+    // Client A registers and then crashes: no harmony_end, and not even
+    // the drop-time best-effort end (mem::forget skips Drop, the way a
+    // SIGKILL would).
+    let mut a = HarmonyClient::startup(
+        TcpTransport::connect(server.addr()).unwrap(),
+        "bag",
+        UpdateDelivery::Polling,
+    )
+    .unwrap();
+    a.bundle_setup(listings::FIG2B_BAG).unwrap();
+    std::mem::forget(a);
 
-    // The controller still holds A's allocation (the paper's protocol has
-    // no liveness tracking — departure is explicit), so an operator can
-    // see and reap it through the status/end path.
+    // The controller still holds A's allocation until its lease expires
+    // (see tests/session_resilience.rs for the reaper path); an operator
+    // can also reap it immediately through the status/end path.
     assert_eq!(ctl.lock().instances().len(), 1);
     let id = ctl.lock().instances()[0].clone();
     ctl.lock().end(&id).unwrap();

@@ -1,0 +1,306 @@
+//! Session resilience: leases, reconnect, and dead-client reclamation.
+//!
+//! The paper's protocol makes departure explicit (`harmony_end`); these
+//! tests exercise what the prototype left implicit — clients that crash,
+//! connections that drop mid-session, and a server that restarts — and
+//! assert the controller converges to the same state it would have reached
+//! had the failures never happened.
+
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use harmony::client::{HarmonyClient, UpdateDelivery};
+use harmony::core::{Controller, ControllerConfig, InstanceId, RetireReason};
+use harmony::proto::frame::{read_frame, write_frame, MAX_FRAME_BYTES};
+use harmony::proto::{LocalTransport, Request, Response, ServerConfig, TcpServer, TcpTransport};
+use harmony::resources::Cluster;
+use harmony::rsl::listings;
+use harmony::rsl::Value;
+use parking_lot::Mutex;
+
+type Shared = Arc<Mutex<Controller>>;
+
+fn shared(nodes: usize) -> Shared {
+    let cluster = Cluster::from_rsl(&listings::sp2_cluster(nodes)).unwrap();
+    Arc::new(Mutex::new(Controller::new(cluster, ControllerConfig::default())))
+}
+
+fn tcp_client(server: &TcpServer, app: &str) -> HarmonyClient<TcpTransport> {
+    HarmonyClient::startup(
+        TcpTransport::connect(server.addr()).unwrap(),
+        app,
+        UpdateDelivery::Polling,
+    )
+    .unwrap()
+}
+
+/// Polls `cond` until it holds or `timeout` elapses.
+fn wait_until(timeout: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + timeout;
+    loop {
+        if cond() {
+            return true;
+        }
+        if Instant::now() >= deadline {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// The headline acceptance test: N clients register, K of them are
+/// hard-killed (no `end`, no socket close — `mem::forget` skips both),
+/// and the lease reaper retires exactly those K. The surviving client's
+/// configuration matches a controller that only ever saw N−K clients.
+#[test]
+fn reaper_converges_to_survivor_only_state() {
+    const N: usize = 4;
+    const K: usize = 3;
+    let ctl = shared(8);
+    let server = TcpServer::start("127.0.0.1:0", Arc::clone(&ctl)).unwrap();
+
+    let mut clients: Vec<_> = (0..N).map(|_| tcp_client(&server, "bag")).collect();
+    for c in &mut clients {
+        c.bundle_setup(listings::FIG2B_BAG).unwrap();
+    }
+    assert_eq!(ctl.lock().instances().len(), N);
+
+    let mut survivor = clients.remove(0);
+    let survivor_id = InstanceId::new(survivor.app(), survivor.instance_id());
+    for dead in clients {
+        std::mem::forget(dead); // crash: no End on drop, socket stays open
+    }
+
+    // Time passes beyond the lease; the survivor heartbeats, the dead do
+    // not. (Controller time is logical — no sleeping here.)
+    let lease = ctl.lock().config().lease.duration;
+    let later = lease + 1.0;
+    ctl.lock().set_time(later);
+    survivor.heartbeat().unwrap();
+    let records = ctl.lock().reap_expired(later).unwrap();
+
+    // Exactly the K dead clients were retired, for cause.
+    let ctl_now = ctl.lock();
+    assert_eq!(ctl_now.instances(), vec![survivor_id.clone()]);
+    let reaped: Vec<_> =
+        ctl_now.retirements().iter().filter(|r| r.reason == RetireReason::LeaseExpired).collect();
+    assert_eq!(reaped.len(), K);
+    assert_eq!(ctl_now.metrics().counter("controller.sessions.expired"), K as u64);
+    assert_eq!(ctl_now.metrics().gauge("controller.sessions.active"), Some(1.0));
+    assert!(
+        records
+            .iter()
+            .chain(ctl_now.decisions())
+            .any(|d| d.cause.as_deref().is_some_and(|c| c.contains("lease-expired"))),
+        "reap-triggered decisions carry their cause"
+    );
+
+    // Decision equivalence: a controller that only ever saw one client.
+    let cluster = Cluster::from_rsl(&listings::sp2_cluster(8)).unwrap();
+    let mut alone = Controller::new(cluster, ControllerConfig::default());
+    let spec = harmony::rsl::schema::parse_bundle_script(listings::FIG2B_BAG).unwrap();
+    let (alone_id, _) = alone.register(spec).unwrap();
+    assert_eq!(
+        ctl_now.choice(&survivor_id, "config").unwrap().vars,
+        alone.choice(&alone_id, "config").unwrap().vars,
+        "survivor converges to the N-K=1 decision"
+    );
+    drop(ctl_now);
+
+    // The survivor learns about its new allocation through a normal poll.
+    let workers = survivor.add_variable("config.run.workerNodes", Value::Int(0));
+    survivor.poll().unwrap();
+    assert_eq!(workers.get(), Value::Int(8));
+    survivor.end().unwrap();
+}
+
+/// A server-visible disconnect shortens the lease to the grace period and
+/// the reap reason records it as a disconnect, not a quiet expiry.
+#[test]
+fn disconnect_is_reaped_within_grace_with_its_own_reason() {
+    let ctl = shared(8);
+    let server = TcpServer::start("127.0.0.1:0", Arc::clone(&ctl)).unwrap();
+    let mut client = tcp_client(&server, "bag");
+    client.bundle_setup(listings::FIG2B_BAG).unwrap();
+    let id = InstanceId::new(client.app(), client.instance_id());
+    std::mem::forget(client); // keep the server from seeing a clean End
+
+    server.disconnect_all();
+    assert!(
+        wait_until(Duration::from_secs(5), || {
+            ctl.lock().session(&id).is_some_and(|s| s.disconnected)
+        }),
+        "serving thread marks the instance disconnected on exit"
+    );
+
+    // The lease was capped to `now + disconnect_grace`; reaping just past
+    // the grace (well before the full lease duration) collects it.
+    let grace = ctl.lock().config().lease.disconnect_grace;
+    ctl.lock().reap_expired(grace + 0.1).unwrap();
+    let ctl_now = ctl.lock();
+    assert!(ctl_now.instances().is_empty());
+    assert_eq!(ctl_now.retirements().last().unwrap().reason, RetireReason::Disconnected);
+    assert_eq!(ctl_now.cluster().total_tasks(), 0);
+    assert_eq!(ctl_now.metrics().counter("controller.sessions.disconnects"), 1);
+}
+
+/// The reconnect acceptance test: after a server-visible disconnect, the
+/// client transparently re-dials, `reattach` preserves the instance id,
+/// and the server replays the chosen values so the client converges
+/// without re-registering bundles.
+#[test]
+fn reattach_preserves_instance_id_and_replays_chosen_values() {
+    let ctl = shared(8);
+    let server = TcpServer::start("127.0.0.1:0", Arc::clone(&ctl)).unwrap();
+    let mut client = tcp_client(&server, "bag");
+    let workers = client.add_variable("config.run.workerNodes", Value::Int(0));
+    client.bundle_setup(listings::FIG2B_BAG).unwrap();
+    client.poll().unwrap();
+    assert_eq!(workers.get(), Value::Int(8));
+    let id_before = client.instance_id();
+
+    // Sever every connection; the server keeps listening.
+    server.disconnect_all();
+    let id = InstanceId::new(client.app(), id_before);
+    assert!(wait_until(Duration::from_secs(5), || {
+        ctl.lock().session(&id).is_some_and(|s| s.disconnected)
+    }));
+
+    // The next poll reconnects, reattaches, and receives the replayed
+    // configuration — same instance id throughout. The pending buffer was
+    // drained by the successful poll above, so any applied update here can
+    // only come from the reattach replay.
+    let applied = client.poll().unwrap();
+    assert!(applied >= 1, "replayed {applied} values");
+    assert_eq!(client.instance_id(), id_before, "reattach preserves the id");
+    assert_eq!(workers.get(), Value::Int(8), "chosen values replayed");
+    let ctl_now = ctl.lock();
+    assert_eq!(ctl_now.metrics().counter("controller.sessions.reattached"), 1);
+    assert_eq!(ctl_now.instances().len(), 1, "no duplicate registration");
+    drop(ctl_now);
+    client.end().unwrap();
+}
+
+/// When the server restarts with a fresh controller (all session state
+/// lost), `reattach` is refused and the client falls back to a fresh
+/// startup, replaying its cached bundle scripts.
+#[test]
+fn server_restart_falls_back_to_fresh_startup_with_bundle_replay() {
+    let ctl = shared(8);
+    let mut server = TcpServer::start("127.0.0.1:0", Arc::clone(&ctl)).unwrap();
+    let addr = server.addr();
+    let mut client = tcp_client(&server, "bag");
+    let workers = client.add_variable("config.run.workerNodes", Value::Int(0));
+    client.bundle_setup(listings::FIG2B_BAG).unwrap();
+    client.poll().unwrap();
+    assert_eq!(workers.get(), Value::Int(8));
+
+    // Hard restart: the old process dies mid-session, a new one binds the
+    // same port with an empty controller.
+    server.stop();
+    drop(server);
+    let fresh = shared(8);
+    let server2 = {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            match TcpServer::start(&addr.to_string(), Arc::clone(&fresh)) {
+                Ok(s) => break s,
+                Err(e) if Instant::now() < deadline => {
+                    let _ = e;
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(e) => panic!("rebind failed: {e}"),
+            }
+        }
+    };
+
+    // The next poll reconnects; reattach is refused (unknown instance), so
+    // the client re-registers from its cached scripts and keeps working.
+    client.poll().unwrap();
+    assert_eq!(workers.get(), Value::Int(8), "bundle replayed on the new server");
+    let ctl_now = fresh.lock();
+    assert_eq!(ctl_now.instances().len(), 1, "fresh registration on the new controller");
+    assert_eq!(ctl_now.cluster().total_tasks(), 8);
+    drop(ctl_now);
+    drop(server2);
+}
+
+/// A peer that connects, registers, and then stalls forever is cut off by
+/// the read deadline and its instance is marked disconnected.
+#[test]
+fn stalled_peer_is_disconnected_by_the_read_deadline() {
+    let ctl = shared(4);
+    let server = TcpServer::start_with(
+        "127.0.0.1:0",
+        Arc::clone(&ctl),
+        ServerConfig {
+            read_timeout: Some(Duration::from_millis(100)),
+            write_timeout: Some(Duration::from_secs(1)),
+        },
+    )
+    .unwrap();
+
+    // Raw wire session: startup, then silence.
+    let mut s = TcpStream::connect(server.addr()).unwrap();
+    write_frame(&mut s, &Request::Startup { app: "slow".into() }.to_text()).unwrap();
+    let resp = Response::parse(&read_frame(&mut s).unwrap().unwrap()).unwrap();
+    let Response::Registered { app, id } = resp else { panic!("{resp:?}") };
+    let instance = InstanceId::new(app, id);
+
+    assert!(
+        wait_until(Duration::from_secs(5), || {
+            ctl.lock().session(&instance).is_some_and(|st| st.disconnected)
+        }),
+        "read deadline fires and the session is marked disconnected"
+    );
+    assert!(wait_until(Duration::from_secs(5), || server.connection_count() == 0));
+}
+
+/// The connection registry is keyed and self-pruning: each serving thread
+/// removes its own entry on exit, so closed connections do not accumulate.
+#[test]
+fn connection_registry_prunes_on_disconnect() {
+    let ctl = shared(2);
+    let server = TcpServer::start("127.0.0.1:0", Arc::clone(&ctl)).unwrap();
+    let streams: Vec<_> = (0..3).map(|_| TcpStream::connect(server.addr()).unwrap()).collect();
+    assert!(wait_until(Duration::from_secs(5), || server.connection_count() == 3));
+    drop(streams);
+    assert!(
+        wait_until(Duration::from_secs(5), || server.connection_count() == 0),
+        "threads deregister their entries on exit"
+    );
+    // The server still accepts new work afterwards.
+    let mut c = tcp_client(&server, "ok");
+    c.heartbeat().unwrap();
+}
+
+/// An oversize bundle script is an in-band `InvalidData` error on the
+/// client — nothing is written to the wire and the session keeps working.
+#[test]
+fn oversize_bundle_script_is_an_error_not_a_panic() {
+    let ctl = shared(2);
+    let server = TcpServer::start("127.0.0.1:0", Arc::clone(&ctl)).unwrap();
+    let mut client = tcp_client(&server, "big");
+    let huge = "x".repeat(MAX_FRAME_BYTES + 1);
+    let err = client.bundle_setup(&huge).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    // The connection was never poisoned: the same client still works.
+    client.heartbeat().unwrap();
+    client.end().unwrap();
+}
+
+/// Dropping a client without `end` releases the allocation immediately
+/// (best-effort `end` on drop), rather than waiting for the lease reaper.
+#[test]
+fn dropping_a_client_releases_its_allocation() {
+    let ctl = shared(8);
+    let t = LocalTransport::new(Arc::clone(&ctl));
+    let mut client = HarmonyClient::startup(t, "bag", UpdateDelivery::Polling).unwrap();
+    client.bundle_setup(listings::FIG2B_BAG).unwrap();
+    assert_eq!(ctl.lock().cluster().total_tasks(), 8);
+    drop(client);
+    assert_eq!(ctl.lock().cluster().total_tasks(), 0, "drop sent a best-effort end");
+    assert!(ctl.lock().instances().is_empty());
+    assert_eq!(ctl.lock().retirements().last().unwrap().reason, RetireReason::Ended);
+}
