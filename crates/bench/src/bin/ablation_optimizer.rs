@@ -52,7 +52,7 @@ fn main() {
         // Simulated annealing.
         let t0 = Instant::now();
         let mut ann = setup(napps, true);
-        optimizer::annealing(&mut ann, 400, 200.0, 42).unwrap();
+        optimizer::annealing(&mut ann, 400, 200.0, 42, 4).unwrap();
         let ann_score = ann.objective_score();
         let ann_ms = t0.elapsed().as_secs_f64() * 1e3;
 

@@ -1,0 +1,201 @@
+//! Decision-engine scalability bench: instance count × optimizer kind.
+//!
+//! Measures the rebuilt joint search against the seed implementation's
+//! cost profile (`exhaustive_baseline`: serial scan, fresh cluster clone
+//! and full re-match per assignment) and writes
+//! `results/BENCH_optimizer.json` with wall time, assignments/second, and
+//! the reached objective per configuration.
+//!
+//! `--smoke` runs a tiny sweep (used by CI to keep the artifact parsing
+//! honest without paying for the full measurement).
+
+use std::time::Instant;
+
+use harmony_bench::{check, write_artifact, Table};
+use harmony_core::{optimizer, Controller, ControllerConfig};
+use harmony_resources::Cluster;
+use harmony_rsl::schema::parse_bundle_script;
+use serde::Serialize;
+
+const NODES: usize = 8;
+
+#[derive(Debug, Serialize)]
+struct BenchRow {
+    bundles: usize,
+    nodes: usize,
+    optimizer: String,
+    workers: usize,
+    reps: u32,
+    /// Mean wall time of one full search, milliseconds.
+    wall_ms: f64,
+    /// Joint assignments evaluated per second (0 for greedy, which does
+    /// not enumerate the joint space).
+    assignments_per_sec: f64,
+    objective: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct BenchReport {
+    nodes: usize,
+    smoke: bool,
+    rows: Vec<BenchRow>,
+    /// Wall-time ratio `exhaustive-baseline / exhaustive-parallel` at the
+    /// largest swept bundle count.
+    speedup_parallel_vs_baseline: f64,
+    /// Annealing produced identical decisions with 1 worker and the
+    /// default worker pool.
+    annealing_thread_invariant: bool,
+}
+
+fn setup(napps: usize) -> Controller {
+    let cluster = Cluster::from_rsl(&harmony_rsl::listings::sp2_cluster(NODES)).unwrap();
+    let mut ctl = Controller::new(cluster, ControllerConfig::default());
+    for _ in 0..napps {
+        ctl.register(parse_bundle_script(harmony_rsl::listings::FIG2B_BAG).unwrap()).unwrap();
+    }
+    ctl
+}
+
+/// Times `reps` runs of `run` (fresh controller each), returning the mean
+/// wall ms, evaluated assignments per second, and the final objective.
+fn measure(napps: usize, reps: u32, run: impl Fn(&mut Controller)) -> (f64, f64, f64) {
+    let mut total_s = 0.0f64;
+    let mut total_evals = 0u64;
+    let mut objective = f64::INFINITY;
+    for _ in 0..reps {
+        let mut c = setup(napps);
+        let before = c.metrics().counter("controller.optimizer.evals");
+        let t0 = Instant::now();
+        run(&mut c);
+        total_s += t0.elapsed().as_secs_f64();
+        total_evals += c.metrics().counter("controller.optimizer.evals") - before;
+        objective = c.objective_score();
+    }
+    let wall_ms = total_s * 1e3 / reps as f64;
+    let aps = if total_s > 0.0 { total_evals as f64 / total_s } else { 0.0 };
+    (wall_ms, aps, objective)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (sizes, reps): (&[usize], u32) = if smoke { (&[2], 2) } else { (&[2, 3, 4], 12) };
+    println!(
+        "Decision-engine scalability — {NODES} nodes, {} worker thread(s) available\n",
+        optimizer::current_workers()
+    );
+
+    let mut table =
+        Table::new(vec!["bundles", "optimizer", "workers", "wall (ms)", "asg/s", "objective (s)"]);
+    let mut rows: Vec<BenchRow> = Vec::new();
+    let mut baseline_wall = f64::NAN;
+    let mut parallel_wall = f64::NAN;
+
+    for &napps in sizes {
+        let workers = optimizer::current_workers();
+        let variants: Vec<(String, usize, Box<dyn Fn(&mut Controller)>)> = vec![
+            (
+                "greedy".into(),
+                1,
+                Box::new(|c: &mut Controller| {
+                    c.reevaluate().unwrap();
+                }),
+            ),
+            (
+                "exhaustive-baseline".into(),
+                1,
+                Box::new(|c: &mut Controller| {
+                    optimizer::exhaustive_baseline(c, 1_000_000).unwrap();
+                }),
+            ),
+            (
+                "exhaustive-serial".into(),
+                1,
+                Box::new(|c: &mut Controller| {
+                    optimizer::exhaustive_with_workers(c, 1_000_000, 1).unwrap();
+                }),
+            ),
+            (
+                "exhaustive-parallel".into(),
+                workers,
+                Box::new(move |c: &mut Controller| {
+                    optimizer::exhaustive_with_workers(c, 1_000_000, workers).unwrap();
+                }),
+            ),
+            (
+                "annealing".into(),
+                workers,
+                Box::new(|c: &mut Controller| {
+                    optimizer::annealing(c, 300, 100.0, 42, 4).unwrap();
+                }),
+            ),
+        ];
+        for (name, workers, run) in variants {
+            let (wall_ms, aps, objective) = measure(napps, reps, run);
+            if napps == *sizes.last().unwrap() {
+                if name == "exhaustive-baseline" {
+                    baseline_wall = wall_ms;
+                } else if name == "exhaustive-parallel" {
+                    parallel_wall = wall_ms;
+                }
+            }
+            table.row(vec![
+                napps.to_string(),
+                name.clone(),
+                workers.to_string(),
+                format!("{wall_ms:.3}"),
+                format!("{aps:.0}"),
+                format!("{objective:.1}"),
+            ]);
+            rows.push(BenchRow {
+                bundles: napps,
+                nodes: NODES,
+                optimizer: name,
+                workers,
+                reps,
+                wall_ms,
+                assignments_per_sec: aps,
+                objective,
+            });
+        }
+    }
+    println!("{}", table.render());
+
+    // Determinism spot-check: annealing with one worker and a full pool
+    // must produce identical decisions.
+    let napps = *sizes.last().unwrap();
+    let mut one = setup(napps);
+    let mut many = setup(napps);
+    let r1 = optimizer::annealing_with_workers(&mut one, 300, 100.0, 42, 4, 1).unwrap();
+    let rn = optimizer::annealing_with_workers(
+        &mut many,
+        300,
+        100.0,
+        42,
+        4,
+        optimizer::current_workers(),
+    )
+    .unwrap();
+    let invariant = r1 == rn;
+
+    let speedup = baseline_wall / parallel_wall;
+    let report = BenchReport {
+        nodes: NODES,
+        smoke,
+        rows,
+        speedup_parallel_vs_baseline: speedup,
+        annealing_thread_invariant: invariant,
+    };
+    let path =
+        write_artifact("BENCH_optimizer.json", &serde_json::to_string_pretty(&report).unwrap());
+    println!("wrote {}", path.display());
+
+    println!("\nShape checks");
+    let mut ok = check("annealing decisions identical across worker counts", invariant);
+    if !smoke {
+        println!("  parallel vs seed-path speedup at {napps} bundles: {speedup:.2}x");
+        ok &= check("parallel exhaustive >= 3x faster than the seed path", speedup >= 3.0);
+    }
+    if !ok {
+        std::process::exit(1);
+    }
+}

@@ -54,15 +54,32 @@ pub enum OptimizerKind {
         limit: u64,
     },
     /// Simulated annealing over the joint space (the direction the Active
-    /// Harmony project later took).
+    /// Harmony project later took): several independently seeded chains
+    /// walk in parallel and the best chain wins.
     Annealing {
-        /// Number of proposal steps.
+        /// Number of proposal steps per chain.
         steps: u32,
         /// Initial temperature in objective units (seconds).
         initial_temperature: f64,
-        /// RNG seed for reproducibility.
+        /// RNG seed for reproducibility. Each chain derives its own
+        /// start/walk sub-seeds from this, so results are identical
+        /// regardless of how many worker threads run the chains.
         seed: u64,
+        /// Number of independent chains (`0` means the default of 4).
+        #[serde(default)]
+        chains: u32,
     },
+}
+
+impl OptimizerKind {
+    /// Short stable name for metrics and experiment output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            OptimizerKind::Greedy => "greedy",
+            OptimizerKind::Exhaustive { .. } => "exhaustive",
+            OptimizerKind::Annealing { .. } => "annealing",
+        }
+    }
 }
 
 /// How [`Controller::add_bundle`] treats static-analysis findings from
@@ -206,6 +223,12 @@ pub struct Controller {
     /// Cause tag attached to decisions committed while retiring an
     /// instance for a non-`end` reason (lease expiry, disconnect).
     decision_cause: Option<String>,
+    /// Memoized candidate enumeration per `(instance, bundle)`. A bundle's
+    /// candidate set depends only on its spec and the (immutable)
+    /// `elastic_steps` configuration, so it is computed once and shared
+    /// (`Arc`) with every optimizer pass until the bundle is replaced or
+    /// its instance retires.
+    candidate_cache: BTreeMap<(InstanceId, String), std::sync::Arc<Vec<Candidate>>>,
 }
 
 impl Controller {
@@ -226,6 +249,7 @@ impl Controller {
             sessions: BTreeMap::new(),
             retirements: Vec::new(),
             decision_cause: None,
+            candidate_cache: BTreeMap::new(),
         }
     }
 
@@ -291,6 +315,39 @@ impl Controller {
         self.apps.get(id)?.bundle(bundle)?.current.as_ref()
     }
 
+    /// The candidate set of `(id, bundle)`, memoized. The first request
+    /// enumerates (a cache miss); later requests share the same `Arc`
+    /// until [`Controller::add_bundle`] replaces the bundle or the
+    /// instance retires. Cache traffic is visible as the
+    /// `controller.optimizer.cache_hits` / `cache_misses` counters.
+    ///
+    /// Returns `None` when the instance or bundle is unknown.
+    pub fn cached_candidates(
+        &mut self,
+        id: &InstanceId,
+        bundle: &str,
+    ) -> Option<std::sync::Arc<Vec<Candidate>>> {
+        let key = (id.clone(), bundle.to_string());
+        if let Some(cands) = self.candidate_cache.get(&key) {
+            self.metrics.inc_counter("controller.optimizer.cache_hits");
+            return Some(std::sync::Arc::clone(cands));
+        }
+        let cands = {
+            let spec = &self.apps.get(id)?.bundle(bundle)?.spec;
+            std::sync::Arc::new(enumerate(spec, &self.config.elastic_steps))
+        };
+        self.metrics.inc_counter("controller.optimizer.cache_misses");
+        self.candidate_cache.insert(key, std::sync::Arc::clone(&cands));
+        self.metrics
+            .set_gauge("controller.optimizer.cache_size", self.candidate_cache.len() as f64);
+        Some(cands)
+    }
+
+    /// Number of memoized candidate sets currently held.
+    pub fn candidate_cache_len(&self) -> usize {
+        self.candidate_cache.len()
+    }
+
     /// Registers a new application instance with a system-chosen id
     /// (`harmony_startup`).
     pub fn startup(&mut self, app: &str) -> InstanceId {
@@ -327,6 +384,9 @@ impl Controller {
             .ok_or_else(|| CoreError::UnknownInstance { name: id.to_string() })?;
         let bundle_name = spec.name.clone();
         app.bundles.push(BundleState::new(spec));
+        // Invalidate any memoized candidates under this key (a re-added
+        // bundle name must re-enumerate against the new spec).
+        self.candidate_cache.remove(&(id.clone(), bundle_name.clone()));
         let mut records = Vec::new();
 
         let direct = self.optimize_bundle(id.clone(), bundle_name.clone(), true);
@@ -428,6 +488,9 @@ impl Controller {
         self.arrival_order.retain(|x| x != id);
         self.pending_vars.remove(id);
         self.sessions.remove(id);
+        self.candidate_cache.retain(|(i, _), _| i != id);
+        self.metrics
+            .set_gauge("controller.optimizer.cache_size", self.candidate_cache.len() as f64);
         self.namespace.remove_subtree(&instance_path(id));
         self.metrics.remove_prefix(&id.to_string());
         self.metrics.inc_counter("controller.ends");
@@ -856,14 +919,14 @@ impl Controller {
         if !initial && self.config.respect_granularity && bundle.switch_blocked_at(self.now) {
             return Ok(None);
         }
-        let spec = bundle.spec.clone();
         let current = bundle.current.clone();
+        let cands = self.cached_candidates(&id, &bundle_name).expect("bundle validated above");
 
         let before = self.objective_score();
         let mut best: Option<EvaluatedCandidate> = None;
         let mut last_reason = String::from("no candidates");
-        for cand in enumerate(&spec, &self.config.elastic_steps) {
-            match self.evaluate_candidate(&id, &bundle_name, &cand)? {
+        for cand in cands.iter() {
+            match self.evaluate_candidate(&id, &bundle_name, cand)? {
                 Some(eval) => {
                     let better = match &best {
                         None => true,
@@ -937,12 +1000,12 @@ impl Controller {
         // unplaced bundle is an improvement even at equal objective.
         let unplaced_before = (cur_a.is_none() as u32) + (cur_b.is_none() as u32);
 
-        let cands_a = enumerate(&spec_a, &self.config.elastic_steps);
-        let cands_b = enumerate(&spec_b, &self.config.elastic_steps);
+        let cands_a = self.cached_candidates(&a.0, &a.1).expect("pair validated above");
+        let cands_b = self.cached_candidates(&b.0, &b.1).expect("pair validated above");
         let mut best: Option<(f64, Candidate, Allocation, f64, Candidate, Allocation, f64)> = None;
-        for ca in &cands_a {
+        for ca in cands_a.iter() {
             let Some(opt_a) = spec_a.option(&ca.option) else { continue };
-            for cb in &cands_b {
+            for cb in cands_b.iter() {
                 let Some(opt_b) = spec_b.option(&cb.option) else { continue };
                 let mut tentative = self.cluster.clone();
                 if let Some(cur) = &cur_a {

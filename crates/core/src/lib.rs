@@ -41,4 +41,4 @@ pub use events::{EventOutcome, HarmonyEvent};
 pub use feedback::FeedbackConfig;
 pub use objective::Objective;
 pub use session::{LeaseConfig, RetireReason, RetirementRecord, SessionState};
-pub use snapshot::{AppSnapshot, NodeSnapshot, SessionSnapshot, SystemSnapshot};
+pub use snapshot::{AppSnapshot, NodeSnapshot, OptimizerSnapshot, SessionSnapshot, SystemSnapshot};

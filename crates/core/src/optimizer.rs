@@ -2,41 +2,367 @@
 //!
 //! §4.3 concedes that greedy one-bundle-at-a-time optimization "will not
 //! necessarily produce a globally optimal value". [`exhaustive`] searches
-//! the full joint configuration space on small systems so the ablation
-//! bench can measure the gap, and [`annealing`] is the stochastic search
-//! the Active Harmony project later adopted.
+//! the full joint configuration space, and [`annealing`] is the stochastic
+//! search the Active Harmony project later adopted.
+//!
+//! Both are built for scale on top of three pieces:
+//!
+//! * [`EvalCtx`] — a self-contained snapshot of the search problem
+//!   (candidate sets, option specs, the released base cluster, matcher
+//!   strategy and objective) detached from the [`Controller`] so worker
+//!   threads can share it immutably. Candidate sets come from the
+//!   controller's memoized cache ([`Controller::cached_candidates`]), so
+//!   repeated `optimize()` calls stop re-enumerating.
+//! * [`IncrementalEval`] — scores assignments in odometer order reusing
+//!   the shared prefix of already-committed allocations: only pairs from
+//!   the first changed index are re-matched (commits are unwound by
+//!   releasing, never by re-cloning the cluster).
+//! * A deterministic total order on outcomes — epsilon-quantized score,
+//!   then lowest lexicographic assignment — so the parallel partitioned
+//!   search returns *bit-identical* decisions to the serial scan.
+//!
+//! Non-finite objective scores (failed predictions) are treated as
+//! infeasible by every search: a joint assignment that cannot be predicted
+//! is never committed as a "best" outcome.
 
-use harmony_predict::{model_for_option, PredictionContext};
-use harmony_resources::{Allocation, Cluster, Matcher};
+use std::sync::Arc;
+use std::time::Instant;
+
+use harmony_predict::{model_for_option, PredictionContext, Predictor};
+use harmony_resources::{Allocation, Cluster, Matcher, Strategy};
+use harmony_rsl::expr::MapEnv;
+use harmony_rsl::schema::OptionSpec;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::app::InstanceId;
-use crate::candidates::{enumerate, Candidate};
+use crate::candidates::Candidate;
 use crate::controller::{Controller, DecisionRecord, OptimizerKind};
 use crate::error::CoreError;
+use crate::objective::Objective;
 
-/// One optimizable unit: a bundle of an instance and its candidate set.
-#[derive(Debug, Clone)]
-struct Pair {
-    id: InstanceId,
-    bundle: String,
-    candidates: Vec<Candidate>,
+/// Default number of annealing chains when the configuration says `0`.
+pub const DEFAULT_CHAINS: u32 = 4;
+
+/// Worker threads the parallel searches use by default (the `rayon` pool
+/// size; set `RAYON_NUM_THREADS` to pin it).
+pub fn current_workers() -> usize {
+    rayon::current_num_threads()
 }
 
-fn collect_pairs(c: &Controller) -> Vec<Pair> {
-    let mut pairs = Vec::new();
-    for id in c.arrival_order_internal() {
-        let Some(app) = c.app_internal(id) else { continue };
-        for b in &app.bundles {
-            pairs.push(Pair {
-                id: id.clone(),
-                bundle: b.spec.name.clone(),
-                candidates: enumerate(&b.spec, &c.config().elastic_steps),
-            });
+/// Scores within this distance are considered tied (and broken by lowest
+/// lexicographic assignment).
+const SCORE_EPSILON: f64 = 1e-9;
+
+/// One optimizable unit inside an [`EvalCtx`]: an instance's bundle, its
+/// memoized candidate set, and the option spec behind each candidate.
+/// Variable environments and performance models are precomputed once so
+/// the hot evaluation loop never rebuilds them.
+#[derive(Debug)]
+struct PairCtx {
+    id: InstanceId,
+    bundle: String,
+    candidates: Arc<Vec<Candidate>>,
+    options: Vec<OptionSpec>,
+    /// `opt_idx[i]` is the index into `options` of `candidates[i]`'s
+    /// option.
+    opt_idx: Vec<usize>,
+    /// `envs[i]` is `candidates[i].env()`, precomputed.
+    envs: Vec<MapEnv>,
+    /// `models[j]` is the predictor for `options[j]`, precomputed.
+    models: Vec<Box<dyn Predictor>>,
+}
+
+/// The outcome of one feasible joint assignment: objective score,
+/// per-pair allocations, and per-pair predicted response times.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JointOutcome {
+    /// Objective score of the whole system under this assignment.
+    pub score: f64,
+    /// One allocation per pair, in pair order.
+    pub allocs: Vec<Allocation>,
+    /// Predicted response time per pair, in pair order.
+    pub rts: Vec<f64>,
+}
+
+/// A self-contained joint-evaluation context: everything a search worker
+/// needs, detached from the controller so threads can share it immutably.
+#[derive(Debug)]
+pub struct EvalCtx {
+    pairs: Vec<PairCtx>,
+    base: Cluster,
+    strategy: Strategy,
+    objective: Objective,
+}
+
+impl EvalCtx {
+    /// Builds the context for the controller's current system: one pair
+    /// per bundle in arrival order, candidate sets from the memoized
+    /// cache, and the base cluster with every current allocation released.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownBundle`] when a candidate references an option
+    /// missing from its bundle; resource errors from releasing current
+    /// allocations.
+    pub fn build(c: &mut Controller) -> Result<EvalCtx, CoreError> {
+        let order: Vec<InstanceId> = c.arrival_order_internal().to_vec();
+        let mut pairs = Vec::new();
+        for id in &order {
+            let Some(app) = c.app_internal(id) else { continue };
+            let names: Vec<String> = app.bundles.iter().map(|b| b.spec.name.clone()).collect();
+            for bundle in names {
+                let candidates = c
+                    .cached_candidates(id, &bundle)
+                    .ok_or_else(|| CoreError::UnknownBundle { name: bundle.clone() })?;
+                let app = c.app_internal(id).expect("instance validated above");
+                let spec = &app.bundle(&bundle).expect("bundle validated above").spec;
+                let options = spec.options.clone();
+                let opt_idx = candidates
+                    .iter()
+                    .map(|cand| {
+                        options
+                            .iter()
+                            .position(|o| o.name == cand.option)
+                            .ok_or_else(|| CoreError::UnknownBundle { name: cand.option.clone() })
+                    })
+                    .collect::<Result<Vec<usize>, CoreError>>()?;
+                let envs = candidates.iter().map(Candidate::env).collect();
+                let models = options.iter().map(|o| model_for_option(o)).collect();
+                pairs.push(PairCtx {
+                    id: id.clone(),
+                    bundle,
+                    candidates,
+                    options,
+                    opt_idx,
+                    envs,
+                    models,
+                });
+            }
+        }
+        let base = released_cluster(c)?;
+        Ok(EvalCtx {
+            pairs,
+            base,
+            strategy: c.config().matcher.strategy,
+            objective: c.config().objective,
+        })
+    }
+
+    /// Number of pairs (bundles) under joint optimization.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True when there is nothing to optimize.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Candidate count per pair (the odometer radices).
+    pub fn shape(&self) -> Vec<usize> {
+        self.pairs.iter().map(|p| p.candidates.len()).collect()
+    }
+
+    /// Size of the joint space (saturating at `u64::MAX`).
+    pub fn search_space(&self) -> u64 {
+        self.pairs
+            .iter()
+            .map(|p| p.candidates.len() as u64)
+            .try_fold(1u64, u64::checked_mul)
+            .unwrap_or(u64::MAX)
+    }
+
+    /// Matches pair `pi`'s candidate `ci` on `cluster` using the
+    /// precomputed environment. `Ok(None)` when the candidate does not fit.
+    fn match_pair(
+        &self,
+        cluster: &Cluster,
+        pi: usize,
+        ci: usize,
+    ) -> Result<Option<Allocation>, CoreError> {
+        let pair = &self.pairs[pi];
+        let cand = &pair.candidates[ci];
+        let opt = &pair.options[pair.opt_idx[ci]];
+        let matcher = Matcher { strategy: self.strategy, elastic_extra: cand.elastic_extra };
+        match matcher.match_option(cluster, opt, &pair.envs[ci]) {
+            Ok(a) => Ok(Some(a)),
+            Err(harmony_resources::ResourceError::NoMatch { .. }) => Ok(None),
+            Err(e) => Err(e.into()),
         }
     }
-    pairs
+
+    /// Predicts every pair on the final cluster with the precomputed
+    /// models and cached allocation environments, writing response times
+    /// into `rts`, and scores the system. `envs[i]` must be
+    /// `allocs[i].env()` (the [`IncrementalEval`] keeps that stack).
+    fn score_final_into(
+        &self,
+        cluster: &Cluster,
+        assignment: &[usize],
+        allocs: &[Allocation],
+        envs: &[MapEnv],
+        rts: &mut Vec<f64>,
+    ) -> f64 {
+        rts.clear();
+        for (((pair, &ci), alloc), env) in self.pairs.iter().zip(assignment).zip(allocs).zip(envs) {
+            let oi = pair.opt_idx[ci];
+            let ctx = PredictionContext::committed_with_env(cluster, alloc, &pair.options[oi], env);
+            let rt = match pair.models[oi].predict(&ctx) {
+                Ok(p) => p.response_time,
+                Err(_) => f64::INFINITY,
+            };
+            rts.push(rt);
+        }
+        self.objective.score(rts)
+    }
+
+    /// Reference evaluation with the seed implementation's cost profile:
+    /// clones the base cluster, looks each candidate's option up by name,
+    /// rebuilds its environment and performance model, matches every pair
+    /// in order, and predicts on the final cluster. `Ok(None)` when any
+    /// pair fails to place or the resulting score is non-finite (failed
+    /// predictions are infeasible, not attractive).
+    ///
+    /// Kept deliberately un-memoized: it is both the correctness reference
+    /// for [`IncrementalEval`] (the equivalence suite holds them equal)
+    /// and the cost baseline the bench harness measures the rebuilt engine
+    /// against.
+    ///
+    /// # Errors
+    ///
+    /// Resource errors other than a plain no-match.
+    pub fn eval_fresh(&self, assignment: &[usize]) -> Result<Option<JointOutcome>, CoreError> {
+        let mut cluster = self.base.clone();
+        let mut allocs = Vec::with_capacity(self.pairs.len());
+        for (pair, &ci) in self.pairs.iter().zip(assignment) {
+            let cand = &pair.candidates[ci];
+            let opt = pair
+                .options
+                .iter()
+                .find(|o| o.name == cand.option)
+                .ok_or_else(|| CoreError::UnknownBundle { name: cand.option.clone() })?;
+            let matcher = Matcher { strategy: self.strategy, elastic_extra: cand.elastic_extra };
+            let alloc = match matcher.match_option(&cluster, opt, &cand.env()) {
+                Ok(a) => a,
+                Err(harmony_resources::ResourceError::NoMatch { .. }) => return Ok(None),
+                Err(e) => return Err(e.into()),
+            };
+            cluster.commit(&alloc)?;
+            allocs.push(alloc);
+        }
+        let mut rts = Vec::with_capacity(self.pairs.len());
+        for ((pair, &ci), alloc) in self.pairs.iter().zip(assignment).zip(&allocs) {
+            let cand = &pair.candidates[ci];
+            let opt = pair.options.iter().find(|o| o.name == cand.option).expect("checked above");
+            let ctx = PredictionContext::committed(&cluster, alloc, opt);
+            let rt = match model_for_option(opt).predict(&ctx) {
+                Ok(p) => p.response_time,
+                Err(_) => f64::INFINITY,
+            };
+            rts.push(rt);
+        }
+        let score = self.objective.score(&rts);
+        if !score.is_finite() {
+            return Ok(None);
+        }
+        Ok(Some(JointOutcome { score, allocs, rts }))
+    }
+}
+
+/// Incremental joint evaluation: keeps one working cluster and the stack
+/// of committed allocations; consecutive evaluations re-match only from
+/// the first index whose candidate changed, unwinding deeper commits by
+/// releasing them. Equivalent to [`EvalCtx::eval_fresh`] on every input
+/// (the equivalence test suite holds them to that), but far cheaper when
+/// assignments are visited in odometer order.
+#[derive(Debug)]
+pub struct IncrementalEval<'a> {
+    ctx: &'a EvalCtx,
+    cluster: Cluster,
+    allocs: Vec<Allocation>,
+    /// `allocs[i].env()`, computed once per commit and reused by every
+    /// prediction that shares the prefix.
+    envs: Vec<MapEnv>,
+    /// Candidate index per committed depth (`allocs.len()` entries).
+    committed: Vec<usize>,
+    /// Response times of the last successful evaluation (reusable buffer).
+    rts: Vec<f64>,
+}
+
+impl<'a> IncrementalEval<'a> {
+    /// A fresh evaluator positioned at the empty prefix.
+    pub fn new(ctx: &'a EvalCtx) -> Self {
+        IncrementalEval {
+            ctx,
+            cluster: ctx.base.clone(),
+            allocs: Vec::with_capacity(ctx.len()),
+            envs: Vec::with_capacity(ctx.len()),
+            committed: Vec::with_capacity(ctx.len()),
+            rts: Vec::with_capacity(ctx.len()),
+        }
+    }
+
+    /// Scores one full assignment without materializing an outcome,
+    /// reusing the committed prefix shared with the previous call.
+    /// `Ok(None)` exactly when [`EvalCtx::eval_fresh`] returns `Ok(None)`.
+    ///
+    /// # Errors
+    ///
+    /// Resource errors other than a plain no-match.
+    pub fn eval_score(&mut self, assignment: &[usize]) -> Result<Option<f64>, CoreError> {
+        debug_assert_eq!(assignment.len(), self.ctx.len());
+        let mut keep = 0usize;
+        while keep < self.committed.len() && self.committed[keep] == assignment[keep] {
+            keep += 1;
+        }
+        while self.allocs.len() > keep {
+            let alloc = self.allocs.pop().expect("stack non-empty");
+            self.envs.pop();
+            self.committed.pop();
+            self.cluster.release(&alloc)?;
+        }
+        for (pi, &ci) in assignment.iter().enumerate().skip(keep) {
+            match self.ctx.match_pair(&self.cluster, pi, ci)? {
+                Some(a) => {
+                    self.cluster.commit(&a)?;
+                    self.envs.push(a.env());
+                    self.allocs.push(a);
+                    self.committed.push(ci);
+                }
+                // The partial prefix stays committed for the next call.
+                None => return Ok(None),
+            }
+        }
+        let score = self.ctx.score_final_into(
+            &self.cluster,
+            assignment,
+            &self.allocs,
+            &self.envs,
+            &mut self.rts,
+        );
+        if !score.is_finite() {
+            return Ok(None);
+        }
+        Ok(Some(score))
+    }
+
+    /// Materializes the outcome of the assignment just scored by
+    /// [`IncrementalEval::eval_score`] (clones the committed allocations).
+    fn snapshot(&self, score: f64) -> JointOutcome {
+        JointOutcome { score, allocs: self.allocs.clone(), rts: self.rts.clone() }
+    }
+
+    /// Evaluates one full assignment, reusing the committed prefix shared
+    /// with the previous call. Same result contract as
+    /// [`EvalCtx::eval_fresh`].
+    ///
+    /// # Errors
+    ///
+    /// Resource errors other than a plain no-match.
+    pub fn eval(&mut self, assignment: &[usize]) -> Result<Option<JointOutcome>, CoreError> {
+        Ok(self.eval_score(assignment)?.map(|score| self.snapshot(score)))
+    }
 }
 
 /// Base cluster with every current allocation released.
@@ -51,190 +377,449 @@ fn released_cluster(c: &Controller) -> Result<Cluster, CoreError> {
     Ok(cluster)
 }
 
-/// Outcome of a placed joint assignment: objective score, per-bundle
-/// allocations, and per-bundle predicted response times.
-type JointOutcome = (f64, Vec<Allocation>, Vec<f64>);
-
-/// A scored joint assignment: score, candidate index per pair, allocations,
-/// and predicted response times.
-type ScoredAssignment = (f64, Vec<usize>, Vec<Allocation>, Vec<f64>);
-
-/// Evaluates one joint assignment: matches each pair's candidate on an
-/// evolving clone and scores the result. Returns `None` when any candidate
-/// fails to place.
-fn eval_joint(
-    c: &Controller,
-    base: &Cluster,
-    pairs: &[Pair],
-    assignment: &[usize],
-) -> Result<Option<JointOutcome>, CoreError> {
-    let mut cluster = base.clone();
-    let mut allocs = Vec::with_capacity(pairs.len());
-    for (pair, &idx) in pairs.iter().zip(assignment) {
-        let cand = &pair.candidates[idx];
-        let app = c
-            .app_internal(&pair.id)
-            .ok_or_else(|| CoreError::UnknownInstance { name: pair.id.to_string() })?;
-        let bundle = app
-            .bundle(&pair.bundle)
-            .ok_or_else(|| CoreError::UnknownBundle { name: pair.bundle.clone() })?;
-        let opt = bundle
-            .spec
-            .option(&cand.option)
-            .ok_or_else(|| CoreError::UnknownBundle { name: cand.option.clone() })?;
-        let matcher =
-            Matcher { strategy: c.config().matcher.strategy, elastic_extra: cand.elastic_extra };
-        let alloc = match matcher.match_option(&cluster, opt, &cand.env()) {
-            Ok(a) => a,
-            Err(harmony_resources::ResourceError::NoMatch { .. }) => return Ok(None),
-            Err(e) => return Err(e.into()),
-        };
-        cluster.commit(&alloc)?;
-        allocs.push(alloc);
+/// Epsilon-quantized score key: scores are snapped to a [`SCORE_EPSILON`]
+/// grid so that "equal within epsilon" is a transitive, partition-safe
+/// relation. `None` for non-finite (infeasible) scores.
+fn score_key(score: f64) -> Option<i64> {
+    if !score.is_finite() {
+        return None;
     }
-    // Predict every pair on the final cluster.
-    let mut rts = Vec::with_capacity(pairs.len());
-    for ((pair, &idx), alloc) in pairs.iter().zip(assignment).zip(&allocs) {
-        let cand = &pair.candidates[idx];
-        let app = c.app_internal(&pair.id).expect("validated above");
-        let bundle = app.bundle(&pair.bundle).expect("validated above");
-        let opt = bundle.spec.option(&cand.option).expect("validated above");
-        let ctx = PredictionContext::committed(&cluster, alloc, opt);
-        let rt = match model_for_option(opt).predict(&ctx) {
-            Ok(p) => p.response_time,
-            Err(_) => f64::INFINITY,
-        };
-        rts.push(rt);
+    Some((score.clamp(-9.0e9, 9.0e9) / SCORE_EPSILON).round() as i64)
+}
+
+/// A scored joint assignment, ordered by `(key, assignment)`.
+#[derive(Debug, Clone)]
+struct Best {
+    key: i64,
+    assignment: Vec<usize>,
+    outcome: JointOutcome,
+}
+
+/// The deterministic total order: lower quantized score wins; on a tie the
+/// lexicographically lowest assignment wins. This makes the merged result
+/// of any partitioning of the search space identical to a serial scan.
+fn improves(key: i64, assignment: &[usize], incumbent: &Option<Best>) -> bool {
+    match incumbent {
+        None => true,
+        Some(b) => key < b.key || (key == b.key && assignment < b.assignment.as_slice()),
     }
-    let score = c.config().objective.score(&rts);
-    Ok(Some((score, allocs, rts)))
+}
+
+/// Decodes a linear odometer index into an assignment (index 0 is the most
+/// significant digit; the last pair varies fastest).
+fn decode(mut linear: u64, shape: &[usize]) -> Vec<usize> {
+    let mut assignment = vec![0usize; shape.len()];
+    for i in (0..shape.len()).rev() {
+        let radix = shape[i] as u64;
+        assignment[i] = (linear % radix) as usize;
+        linear /= radix;
+    }
+    assignment
+}
+
+/// Advances to the lexicographically next assignment. `false` on wrap.
+fn advance(assignment: &mut [usize], shape: &[usize]) -> bool {
+    for i in (0..assignment.len()).rev() {
+        assignment[i] += 1;
+        if assignment[i] < shape[i] {
+            return true;
+        }
+        assignment[i] = 0;
+    }
+    false
+}
+
+/// Tallies of one worker's scan.
+#[derive(Debug, Default, Clone, Copy)]
+struct ScanStats {
+    evals: u64,
+    infeasible: u64,
+}
+
+/// A worker-filled result slot: one chain's best and its tallies.
+type ChainSlot = Option<Result<(Option<Best>, ScanStats), CoreError>>;
+
+/// Scans the linear range `[start, end)` of the odometer space with an
+/// incremental evaluator, returning the range's best and its tallies.
+fn scan_range(ctx: &EvalCtx, start: u64, end: u64) -> Result<(Option<Best>, ScanStats), CoreError> {
+    let shape = ctx.shape();
+    let mut assignment = decode(start, &shape);
+    let mut eval = IncrementalEval::new(ctx);
+    let mut best: Option<Best> = None;
+    let mut stats = ScanStats::default();
+    for _ in start..end {
+        stats.evals += 1;
+        match eval.eval_score(&assignment)? {
+            Some(score) => {
+                let key = score_key(score).expect("eval returns finite scores");
+                if improves(key, &assignment, &best) {
+                    best = Some(Best {
+                        key,
+                        assignment: assignment.clone(),
+                        outcome: eval.snapshot(score),
+                    });
+                }
+            }
+            None => stats.infeasible += 1,
+        }
+        advance(&mut assignment, &shape);
+    }
+    Ok((best, stats))
 }
 
 fn apply_joint(
     c: &mut Controller,
-    pairs: &[Pair],
-    assignment: &[usize],
-    allocs: Vec<Allocation>,
-    rts: &[f64],
+    ctx: &EvalCtx,
+    best: &Best,
 ) -> Result<Vec<DecisionRecord>, CoreError> {
     let mut records = Vec::new();
-    for (((pair, &idx), alloc), &rt) in pairs.iter().zip(assignment).zip(allocs).zip(rts) {
-        let cand = &pair.candidates[idx];
-        if let Some(r) = c.force_choice(&pair.id, &pair.bundle, cand, alloc, rt)? {
+    for (((pair, &ci), alloc), &rt) in
+        ctx.pairs.iter().zip(&best.assignment).zip(&best.outcome.allocs).zip(&best.outcome.rts)
+    {
+        let cand = &pair.candidates[ci];
+        if let Some(r) = c.force_choice(&pair.id, &pair.bundle, cand, alloc.clone(), rt)? {
             records.push(r);
         }
     }
     Ok(records)
 }
 
-/// Exhaustive search over the joint space.
+fn record_search_metrics(
+    c: &mut Controller,
+    kind: &str,
+    stats: ScanStats,
+    workers: usize,
+    t0: Instant,
+) {
+    c.metrics.inc_counter("controller.optimizer.searches");
+    c.metrics.add_counter("controller.optimizer.evals", stats.evals);
+    c.metrics.add_counter("controller.optimizer.infeasible", stats.infeasible);
+    c.metrics.set_gauge("controller.optimizer.workers", workers as f64);
+    c.metrics.set_gauge("controller.optimizer.last_wall_ms", t0.elapsed().as_secs_f64() * 1e3);
+    c.metrics.set_gauge(
+        &format!("controller.optimizer.{kind}.last_wall_ms"),
+        t0.elapsed().as_secs_f64() * 1e3,
+    );
+}
+
+fn unplaceable(ctx: &EvalCtx, reason: &str) -> CoreError {
+    let bundle = ctx.pairs.first().map(|p| p.bundle.clone()).unwrap_or_default();
+    CoreError::Unplaceable { bundle, reason: reason.into() }
+}
+
+/// Exhaustive search over the joint space, parallelized across
+/// `rayon`-reported worker threads (set `RAYON_NUM_THREADS` to pin the
+/// count). Decisions are bit-identical for every worker count.
 ///
 /// # Errors
 ///
 /// [`CoreError::SearchSpaceTooLarge`] when the product of candidate counts
 /// exceeds `limit`; [`CoreError::Unplaceable`] when no joint assignment
-/// places every bundle.
+/// places every bundle with a finite predicted score.
 pub fn exhaustive(c: &mut Controller, limit: u64) -> Result<Vec<DecisionRecord>, CoreError> {
-    let pairs = collect_pairs(c);
-    if pairs.is_empty() {
-        return Ok(Vec::new());
-    }
-    let size: u64 = pairs
-        .iter()
-        .map(|p| p.candidates.len() as u64)
-        .try_fold(1u64, u64::checked_mul)
-        .unwrap_or(u64::MAX);
-    if size > limit {
-        return Err(CoreError::SearchSpaceTooLarge { size, limit });
-    }
-    let base = released_cluster(c)?;
-    let mut assignment = vec![0usize; pairs.len()];
-    let mut best: Option<ScoredAssignment> = None;
-    loop {
-        if let Some((score, allocs, rts)) = eval_joint(c, &base, &pairs, &assignment)? {
-            let better = best.as_ref().map(|(s, ..)| score < *s - 1e-9).unwrap_or(true);
-            if better {
-                best = Some((score, assignment.clone(), allocs, rts));
-            }
-        }
-        // Odometer increment.
-        let mut i = 0usize;
-        loop {
-            if i == pairs.len() {
-                // Wrapped: enumeration complete.
-                let Some((_, assign, allocs, rts)) = best else {
-                    return Err(CoreError::Unplaceable {
-                        bundle: pairs[0].bundle.clone(),
-                        reason: "no joint assignment fits the cluster".into(),
-                    });
-                };
-                return apply_joint(c, &pairs, &assign, allocs, &rts);
-            }
-            assignment[i] += 1;
-            if assignment[i] < pairs[i].candidates.len() {
-                break;
-            }
-            assignment[i] = 0;
-            i += 1;
-        }
-    }
+    exhaustive_with_workers(c, limit, rayon::current_num_threads())
 }
 
-/// Simulated annealing over the joint space.
+/// [`exhaustive`] with an explicit worker count (1 forces the serial
+/// scan). Exposed so the equivalence suite and the bench harness can pit
+/// serial against parallel runs of the same search.
 ///
 /// # Errors
 ///
-/// [`CoreError::Unplaceable`] when not even a starting assignment places.
+/// Same conditions as [`exhaustive`].
+pub fn exhaustive_with_workers(
+    c: &mut Controller,
+    limit: u64,
+    workers: usize,
+) -> Result<Vec<DecisionRecord>, CoreError> {
+    let t0 = Instant::now();
+    let ctx = EvalCtx::build(c)?;
+    if ctx.is_empty() {
+        return Ok(Vec::new());
+    }
+    let size = ctx.search_space();
+    if size > limit {
+        return Err(CoreError::SearchSpaceTooLarge { size, limit });
+    }
+    if size == 0 {
+        return Err(unplaceable(&ctx, "a bundle enumerates no candidates"));
+    }
+
+    let workers = (workers.max(1) as u64).min(size);
+    let (best, stats) = if workers <= 1 {
+        scan_range(&ctx, 0, size)?
+    } else {
+        let chunk = size.div_ceil(workers);
+        let mut slots: Vec<ChainSlot> = (0..workers).map(|_| None).collect();
+        rayon::scope(|s| {
+            for (w, slot) in slots.iter_mut().enumerate() {
+                let ctx = &ctx;
+                s.spawn(move |_| {
+                    let start = w as u64 * chunk;
+                    let end = (start + chunk).min(size);
+                    *slot = Some(scan_range(ctx, start, end));
+                });
+            }
+        });
+        // Merge partition bests in partition order; the (key, assignment)
+        // total order makes the result identical to one serial scan.
+        let mut best: Option<Best> = None;
+        let mut stats = ScanStats::default();
+        for slot in slots {
+            let (local, local_stats) = slot.expect("worker filled its slot")?;
+            stats.evals += local_stats.evals;
+            stats.infeasible += local_stats.infeasible;
+            if let Some(b) = local {
+                if improves(b.key, &b.assignment, &best) {
+                    best = Some(b);
+                }
+            }
+        }
+        (best, stats)
+    };
+
+    record_search_metrics(c, "exhaustive", stats, workers as usize, t0);
+    let Some(best) = best else {
+        return Err(unplaceable(&ctx, "no joint assignment fits the cluster"));
+    };
+    apply_joint(c, &ctx, &best)
+}
+
+/// The seed implementation's cost profile, retained as the perf baseline:
+/// a serial scan that clones the base cluster and re-matches every pair
+/// for every assignment (no prefix reuse, no parallelism). Returns the
+/// same optimal score as [`exhaustive`]; the bench harness measures the
+/// gap between the two.
+///
+/// # Errors
+///
+/// Same conditions as [`exhaustive`].
+pub fn exhaustive_baseline(
+    c: &mut Controller,
+    limit: u64,
+) -> Result<Vec<DecisionRecord>, CoreError> {
+    let t0 = Instant::now();
+    let ctx = EvalCtx::build(c)?;
+    if ctx.is_empty() {
+        return Ok(Vec::new());
+    }
+    let size = ctx.search_space();
+    if size > limit {
+        return Err(CoreError::SearchSpaceTooLarge { size, limit });
+    }
+    let shape = ctx.shape();
+    let mut assignment = vec![0usize; shape.len()];
+    let mut best: Option<Best> = None;
+    let mut stats = ScanStats::default();
+    for _ in 0..size {
+        stats.evals += 1;
+        match ctx.eval_fresh(&assignment)? {
+            Some(outcome) => {
+                let key = score_key(outcome.score).expect("eval returns finite scores");
+                if improves(key, &assignment, &best) {
+                    best = Some(Best { key, assignment: assignment.clone(), outcome });
+                }
+            }
+            None => stats.infeasible += 1,
+        }
+        advance(&mut assignment, &shape);
+    }
+    record_search_metrics(c, "exhaustive-baseline", stats, 1, t0);
+    let Some(best) = best else {
+        return Err(unplaceable(&ctx, "no joint assignment fits the cluster"));
+    };
+    apply_joint(c, &ctx, &best)
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Domain-separation constants for the two per-chain RNG streams.
+const START_STREAM: u64 = 0x5354_4152_5453_4545; // "STARTSEE"
+const WALK_STREAM: u64 = 0x5741_4c4b_5345_4544; // "WALKSEED"
+
+/// The RNG that picks a chain's feasible starting assignment. Dedicated
+/// sub-seed: however many draws the start search burns, the walk stream is
+/// untouched, so determinism tests can pin the walk independently.
+fn start_rng(seed: u64, chain: u32) -> StdRng {
+    StdRng::seed_from_u64(splitmix64(splitmix64(seed ^ START_STREAM) ^ chain as u64))
+}
+
+/// The RNG that drives a chain's proposal walk.
+fn walk_rng(seed: u64, chain: u32) -> StdRng {
+    StdRng::seed_from_u64(splitmix64(splitmix64(seed ^ WALK_STREAM) ^ chain as u64))
+}
+
+/// One annealing chain: feasible start from the dedicated start stream,
+/// then `steps` proposals from the walk stream. Every step draws exactly
+/// one proposal-index pair and one acceptance uniform, whether or not the
+/// proposal is feasible, so the walk stream position is a pure function of
+/// the step index.
+fn run_chain(
+    ctx: &EvalCtx,
+    chain: u32,
+    steps: u32,
+    initial_temperature: f64,
+    seed: u64,
+) -> Result<(Option<Best>, ScanStats), CoreError> {
+    let shape = ctx.shape();
+    if shape.contains(&0) {
+        return Ok((None, ScanStats::default()));
+    }
+    let mut stats = ScanStats::default();
+    let mut eval = IncrementalEval::new(ctx);
+
+    let mut start = start_rng(seed, chain);
+    let mut found: Option<(f64, Vec<usize>)> = None;
+    for _ in 0..200 {
+        let assignment: Vec<usize> = shape.iter().map(|&n| start.gen_range(0..n)).collect();
+        stats.evals += 1;
+        match eval.eval_score(&assignment)? {
+            Some(score) => {
+                found = Some((score, assignment));
+                break;
+            }
+            None => stats.infeasible += 1,
+        }
+    }
+    let Some((mut cur_score, mut cur_asg)) = found else {
+        return Ok((None, stats));
+    };
+    let mut best_key = score_key(cur_score).expect("eval returns finite scores");
+    let mut best_asg = cur_asg.clone();
+
+    let mut walk = walk_rng(seed, chain);
+    let mut temperature = initial_temperature.max(1e-6);
+    let cooling = 0.98f64;
+    for _ in 0..steps {
+        let which = walk.gen_range(0..shape.len());
+        let idx = walk.gen_range(0..shape[which]);
+        let accept_u: f64 = walk.gen();
+        let prev = cur_asg[which];
+        cur_asg[which] = idx;
+        stats.evals += 1;
+        match eval.eval_score(&cur_asg)? {
+            Some(score) => {
+                let delta = score - cur_score;
+                if delta <= 0.0 || accept_u < (-delta / temperature).exp() {
+                    cur_score = score;
+                    let key = score_key(score).expect("eval returns finite scores");
+                    if key < best_key || (key == best_key && cur_asg < best_asg) {
+                        best_key = key;
+                        best_asg.clone_from(&cur_asg);
+                    }
+                } else {
+                    cur_asg[which] = prev;
+                }
+            }
+            None => {
+                stats.infeasible += 1;
+                cur_asg[which] = prev;
+            }
+        }
+        temperature *= cooling;
+    }
+    let outcome = eval.eval(&best_asg)?.expect("best assignment was feasible when visited");
+    Ok((Some(Best { key: best_key, assignment: best_asg, outcome }), stats))
+}
+
+/// Simulated annealing over the joint space: `chains` independent chains
+/// (each with its own start/walk sub-seeds derived from `seed`) run in
+/// parallel and the best chain result is applied. Results are identical
+/// for any worker-thread count, including `RAYON_NUM_THREADS=1`.
+///
+/// # Errors
+///
+/// [`CoreError::Unplaceable`] when no chain finds a feasible starting
+/// assignment.
 pub fn annealing(
     c: &mut Controller,
     steps: u32,
     initial_temperature: f64,
     seed: u64,
+    chains: u32,
 ) -> Result<Vec<DecisionRecord>, CoreError> {
-    let pairs = collect_pairs(c);
-    if pairs.is_empty() {
+    annealing_with_workers(
+        c,
+        steps,
+        initial_temperature,
+        seed,
+        chains,
+        rayon::current_num_threads(),
+    )
+}
+
+/// [`annealing`] with an explicit worker count. Chains are striped over
+/// workers but keyed by chain index, so the merged result does not depend
+/// on the worker count.
+///
+/// # Errors
+///
+/// Same conditions as [`annealing`].
+pub fn annealing_with_workers(
+    c: &mut Controller,
+    steps: u32,
+    initial_temperature: f64,
+    seed: u64,
+    chains: u32,
+    workers: usize,
+) -> Result<Vec<DecisionRecord>, CoreError> {
+    let t0 = Instant::now();
+    let ctx = EvalCtx::build(c)?;
+    if ctx.is_empty() {
         return Ok(Vec::new());
     }
-    let base = released_cluster(c)?;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let chains = if chains == 0 { DEFAULT_CHAINS } else { chains };
+    let workers = workers.clamp(1, chains as usize);
 
-    // Find a feasible start: random restarts.
-    let mut current: Option<ScoredAssignment> = None;
-    for _ in 0..200 {
-        let cand: Vec<usize> = pairs.iter().map(|p| rng.gen_range(0..p.candidates.len())).collect();
-        if let Some((score, allocs, rts)) = eval_joint(c, &base, &pairs, &cand)? {
-            current = Some((score, cand, allocs, rts));
-            break;
+    let mut slots: Vec<ChainSlot> = (0..chains).map(|_| None).collect();
+    if workers <= 1 {
+        for (chain, slot) in slots.iter_mut().enumerate() {
+            *slot = Some(run_chain(&ctx, chain as u32, steps, initial_temperature, seed));
         }
-    }
-    let Some(mut current) = current else {
-        return Err(CoreError::Unplaceable {
-            bundle: pairs[0].bundle.clone(),
-            reason: "no feasible starting assignment found".into(),
+    } else {
+        // Stripe chains over workers; results are keyed by chain index so
+        // the striping does not affect the merged outcome.
+        let mut stripes: Vec<Vec<(usize, &mut ChainSlot)>> =
+            (0..workers).map(|_| Vec::new()).collect();
+        for (chain, slot) in slots.iter_mut().enumerate() {
+            stripes[chain % workers].push((chain, slot));
+        }
+        rayon::scope(|s| {
+            for stripe in stripes {
+                let ctx = &ctx;
+                s.spawn(move |_| {
+                    for (chain, slot) in stripe {
+                        *slot =
+                            Some(run_chain(ctx, chain as u32, steps, initial_temperature, seed));
+                    }
+                });
+            }
         });
-    };
-    let mut best = current.clone();
+    }
 
-    let mut temperature = initial_temperature.max(1e-6);
-    let cooling = 0.98f64;
-    for _ in 0..steps {
-        let mut proposal = current.1.clone();
-        let which = rng.gen_range(0..pairs.len());
-        proposal[which] = rng.gen_range(0..pairs[which].candidates.len());
-        if let Some((score, allocs, rts)) = eval_joint(c, &base, &pairs, &proposal)? {
-            let delta = score - current.0;
-            let accept = delta <= 0.0 || rng.gen::<f64>() < (-delta / temperature).exp();
-            if accept {
-                current = (score, proposal, allocs, rts);
-                if current.0 < best.0 - 1e-9 {
-                    best = current.clone();
-                }
+    let mut best: Option<Best> = None;
+    let mut stats = ScanStats::default();
+    for slot in slots {
+        let (chain_best, chain_stats) = slot.expect("chain ran")?;
+        stats.evals += chain_stats.evals;
+        stats.infeasible += chain_stats.infeasible;
+        if let Some(b) = chain_best {
+            if improves(b.key, &b.assignment, &best) {
+                best = Some(b);
             }
         }
-        temperature *= cooling;
     }
-    let (_, assign, allocs, rts) = best;
-    apply_joint(c, &pairs, &assign, allocs, &rts)
+
+    record_search_metrics(c, "annealing", stats, workers, t0);
+    let Some(best) = best else {
+        return Err(unplaceable(&ctx, "no feasible starting assignment found"));
+    };
+    apply_joint(c, &ctx, &best)
 }
 
 /// Runs the controller's configured optimizer over the whole system:
@@ -246,10 +831,13 @@ pub fn annealing(
 /// See [`exhaustive`] and [`annealing`].
 pub fn optimize(c: &mut Controller) -> Result<Vec<DecisionRecord>, CoreError> {
     match c.config().optimizer {
-        OptimizerKind::Greedy => c.reevaluate(),
+        OptimizerKind::Greedy => {
+            c.metrics.inc_counter("controller.optimizer.searches");
+            c.reevaluate()
+        }
         OptimizerKind::Exhaustive { limit } => exhaustive(c, limit),
-        OptimizerKind::Annealing { steps, initial_temperature, seed } => {
-            annealing(c, steps, initial_temperature, seed)
+        OptimizerKind::Annealing { steps, initial_temperature, seed, chains } => {
+            annealing(c, steps, initial_temperature, seed, chains)
         }
     }
 }
@@ -257,7 +845,7 @@ pub fn optimize(c: &mut Controller) -> Result<Vec<DecisionRecord>, CoreError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::controller::ControllerConfig;
+    use crate::controller::{ControllerConfig, LintMode};
     use harmony_rsl::listings::{sp2_cluster, FIG2B_BAG};
     use harmony_rsl::schema::parse_bundle_script;
 
@@ -297,7 +885,7 @@ mod tests {
     #[test]
     fn annealing_finds_a_good_point() {
         let mut c = setup(2, 8);
-        annealing(&mut c, 300, 100.0, 42).unwrap();
+        annealing(&mut c, 300, 100.0, 42, 4).unwrap();
         // SA should find the optimum on this tiny space.
         assert_eq!(c.objective_score(), 340.0);
     }
@@ -306,8 +894,9 @@ mod tests {
     fn annealing_is_reproducible_by_seed() {
         let mut a = setup(2, 8);
         let mut b = setup(2, 8);
-        annealing(&mut a, 100, 50.0, 7).unwrap();
-        annealing(&mut b, 100, 50.0, 7).unwrap();
+        let ra = annealing(&mut a, 100, 50.0, 7, 3).unwrap();
+        let rb = annealing(&mut b, 100, 50.0, 7, 3).unwrap();
+        assert_eq!(ra, rb);
         assert_eq!(a.objective_score(), b.objective_score());
     }
 
@@ -336,5 +925,125 @@ mod tests {
         // Equal-ish partitions (2+2+4 or 2+4+2 variants) beat starving one
         // app at 1 worker.
         assert!(workers[0] >= 2, "no app starved: {workers:?}");
+    }
+
+    #[test]
+    fn parallel_exhaustive_matches_serial() {
+        let mut serial = setup(3, 8);
+        let mut parallel = setup(3, 8);
+        let rs = exhaustive_with_workers(&mut serial, 100_000, 1).unwrap();
+        let rp = exhaustive_with_workers(&mut parallel, 100_000, 5).unwrap();
+        assert_eq!(rs, rp);
+        assert_eq!(serial.objective_score(), parallel.objective_score());
+    }
+
+    #[test]
+    fn baseline_agrees_with_exhaustive() {
+        let mut fast = setup(3, 8);
+        let mut slow = setup(3, 8);
+        let rf = exhaustive(&mut fast, 100_000).unwrap();
+        let rb = exhaustive_baseline(&mut slow, 100_000).unwrap();
+        assert_eq!(rf, rb);
+    }
+
+    #[test]
+    fn annealing_identical_across_worker_counts() {
+        let mut one = setup(2, 8);
+        let mut many = setup(2, 8);
+        let r1 = annealing_with_workers(&mut one, 200, 80.0, 11, 4, 1).unwrap();
+        let rn = annealing_with_workers(&mut many, 200, 80.0, 11, 4, 4).unwrap();
+        assert_eq!(r1, rn);
+    }
+
+    #[test]
+    fn incremental_eval_matches_fresh_over_whole_space() {
+        let mut c = setup(2, 4);
+        let ctx = EvalCtx::build(&mut c).unwrap();
+        let shape = ctx.shape();
+        let mut inc = IncrementalEval::new(&ctx);
+        let mut asg = vec![0usize; shape.len()];
+        loop {
+            assert_eq!(inc.eval(&asg).unwrap(), ctx.eval_fresh(&asg).unwrap(), "at {asg:?}");
+            if !advance(&mut asg, &shape) {
+                break;
+            }
+        }
+        // Out-of-order revisits must also agree (prefix unwinding).
+        for asg in [vec![3, 1], vec![0, 3], vec![3, 1], vec![2, 0]] {
+            assert_eq!(inc.eval(&asg).unwrap(), ctx.eval_fresh(&asg).unwrap(), "at {asg:?}");
+        }
+    }
+
+    /// Every candidate of this bundle predicts a negative running time
+    /// (a constant negative performance expression), which
+    /// [`Objective::score`] maps to `INFINITY`: every joint score is
+    /// non-finite while every placement succeeds.
+    const NEGATIVE_BAG: &str = "\
+harmonyBundle negative:1 config {
+  {run
+    {variable workerNodes {1 2}}
+    {node worker {replicate workerNodes} {seconds 100} {memory 32}}
+    {performance {0 - 100}}}
+}
+";
+
+    /// Regression: a joint assignment whose objective is `INFINITY` used to
+    /// be recorded as a viable "best"; non-finite scores are infeasible.
+    #[test]
+    fn non_finite_scores_are_infeasible() {
+        for kind in ["exhaustive", "baseline", "annealing"] {
+            let cluster = Cluster::from_rsl(&sp2_cluster(4)).unwrap();
+            let cfg = ControllerConfig {
+                lint: LintMode::Off,
+                reevaluate_on_arrival: false,
+                ..Default::default()
+            };
+            let mut c = Controller::new(cluster, cfg);
+            // Greedy arrival placement may itself refuse the all-infeasible
+            // bundle; the instance stays registered either way.
+            let _ = c.register(parse_bundle_script(NEGATIVE_BAG).unwrap());
+            let err = match kind {
+                "exhaustive" => exhaustive(&mut c, 1_000).unwrap_err(),
+                "baseline" => exhaustive_baseline(&mut c, 1_000).unwrap_err(),
+                _ => annealing(&mut c, 50, 10.0, 3, 2).unwrap_err(),
+            };
+            assert!(matches!(err, CoreError::Unplaceable { .. }), "{kind}: {err}");
+        }
+    }
+
+    /// Regression: the feasible-start search used to draw from the same
+    /// stream as the walk, so the number of rejected starts shifted every
+    /// later proposal. The two streams are now independently sub-seeded.
+    #[test]
+    fn walk_stream_is_independent_of_start_draws() {
+        let mut pristine = walk_rng(9, 0);
+        let mut start = start_rng(9, 0);
+        // Burn a variable number of start draws, as a rejecting start
+        // search would.
+        for _ in 0..173 {
+            let _: u64 = start.gen();
+        }
+        let mut after = walk_rng(9, 0);
+        let a: Vec<u64> = (0..8).map(|_| pristine.gen()).collect();
+        let b: Vec<u64> = (0..8).map(|_| after.gen()).collect();
+        assert_eq!(a, b);
+        // The two streams themselves must differ.
+        let s: Vec<u64> = (0..8).map(|_| start_rng(9, 0).gen()).collect();
+        assert_ne!(a, s);
+        // And chains must not share streams.
+        let other: Vec<u64> = {
+            let mut r = walk_rng(9, 1);
+            (0..8).map(|_| r.gen()).collect()
+        };
+        assert_ne!(a, other);
+    }
+
+    #[test]
+    fn search_metrics_are_recorded() {
+        let mut c = setup(2, 8);
+        exhaustive(&mut c, 10_000).unwrap();
+        assert!(c.metrics().counter("controller.optimizer.searches") >= 1);
+        assert!(c.metrics().counter("controller.optimizer.evals") > 0);
+        assert!(c.metrics().gauge("controller.optimizer.last_wall_ms").unwrap_or(-1.0) >= 0.0);
     }
 }

@@ -53,6 +53,30 @@ pub struct SessionSnapshot {
     pub renewals: u64,
 }
 
+/// Decision-engine counters, from the `controller.optimizer.*` metrics.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct OptimizerSnapshot {
+    /// The configured optimizer's short name (`greedy`, `exhaustive`,
+    /// `annealing`).
+    pub kind: String,
+    /// Joint searches run so far.
+    pub searches: u64,
+    /// Joint assignments evaluated across all searches.
+    pub evals: u64,
+    /// Evaluations rejected as infeasible (unplaceable or non-finite
+    /// score).
+    pub infeasible: u64,
+    /// Candidate-cache hits.
+    pub cache_hits: u64,
+    /// Candidate-cache misses (fresh enumerations).
+    pub cache_misses: u64,
+    /// Entries currently memoized in the candidate cache.
+    pub cache_size: u64,
+    /// Wall time of the most recent joint search, in milliseconds (0 when
+    /// none has run).
+    pub last_wall_ms: f64,
+}
+
 /// A frozen summary of the whole system.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SystemSnapshot {
@@ -75,6 +99,9 @@ pub struct SystemSnapshot {
     /// first, with reasons.
     #[serde(default)]
     pub retired: Vec<RetirementRecord>,
+    /// Decision-engine counters (searches, evaluations, candidate cache).
+    #[serde(default)]
+    pub optimizer: OptimizerSnapshot,
 }
 
 impl SystemSnapshot {
@@ -137,6 +164,19 @@ impl SystemSnapshot {
             decisions: ctl.decisions().len(),
             sessions,
             retired: ctl.retirements().to_vec(),
+            optimizer: OptimizerSnapshot {
+                kind: ctl.config().optimizer.name().to_string(),
+                searches: ctl.metrics().counter("controller.optimizer.searches"),
+                evals: ctl.metrics().counter("controller.optimizer.evals"),
+                infeasible: ctl.metrics().counter("controller.optimizer.infeasible"),
+                cache_hits: ctl.metrics().counter("controller.optimizer.cache_hits"),
+                cache_misses: ctl.metrics().counter("controller.optimizer.cache_misses"),
+                cache_size: ctl.candidate_cache_len() as u64,
+                last_wall_ms: ctl
+                    .metrics()
+                    .gauge("controller.optimizer.last_wall_ms")
+                    .unwrap_or(0.0),
+            },
         }
     }
 
@@ -226,6 +266,28 @@ mod tests {
         assert_eq!(snap.apps.len(), 1);
         assert_eq!(snap.apps[0].bundles[0].1, "-");
         assert!(snap.apps[0].bundles[0].2.is_infinite());
+    }
+
+    #[test]
+    fn optimizer_counters_appear_in_snapshot() {
+        let mut ctl = controller();
+        crate::optimizer::exhaustive(&mut ctl, 10_000).unwrap();
+        let snap = SystemSnapshot::capture(&ctl);
+        assert_eq!(snap.optimizer.kind, "greedy");
+        assert!(snap.optimizer.searches >= 1);
+        assert!(snap.optimizer.evals > 0);
+        assert!(snap.optimizer.cache_misses >= 1);
+        assert_eq!(snap.optimizer.cache_size, ctl.candidate_cache_len() as u64);
+        assert!(snap.optimizer.last_wall_ms >= 0.0);
+    }
+
+    #[test]
+    fn snapshot_json_without_optimizer_field_still_parses() {
+        // Wire compatibility: a status payload from a build predating the
+        // optimizer counters must deserialize with defaults.
+        let json = r#"{"time":1.0,"objective":230.0,"objective_name":"min-avg-completion","apps":[],"nodes":[],"decisions":0}"#;
+        let snap = SystemSnapshot::from_json(json).unwrap();
+        assert_eq!(snap.optimizer, OptimizerSnapshot::default());
     }
 
     #[test]

@@ -1,0 +1,122 @@
+//! Candidate-cache lifecycle: the controller memoizes per-bundle candidate
+//! enumerations, and every mutation that can change a bundle's candidate
+//! set (adding bundles, ending instances, lease-reaping) must leave the
+//! cache consistent with a fresh `enumerate()`.
+
+use harmony_core::optimizer::optimize;
+use harmony_core::{enumerate_candidates, Controller, ControllerConfig, InstanceId, OptimizerKind};
+use harmony_resources::Cluster;
+use harmony_rsl::listings::{sp2_cluster, FIG2B_BAG};
+use harmony_rsl::schema::parse_bundle_script;
+
+fn controller(nodes: usize, config: ControllerConfig) -> Controller {
+    Controller::new(Cluster::from_rsl(&sp2_cluster(nodes)).unwrap(), config)
+}
+
+/// Asserts that every cached entry for `id`'s bundles matches a fresh
+/// enumeration of the current spec.
+fn assert_cache_fresh(c: &mut Controller, id: &InstanceId) {
+    let names: Vec<String> = {
+        let app = c.app(id).expect("instance exists");
+        app.bundles.iter().map(|b| b.spec.name.clone()).collect()
+    };
+    for name in names {
+        let fresh = {
+            let spec = &c.app(id).unwrap().bundle(&name).unwrap().spec;
+            enumerate_candidates(spec, &c.config().elastic_steps.clone())
+        };
+        let cached = c.cached_candidates(id, &name).expect("cacheable");
+        assert_eq!(*cached, fresh, "cache for {id}/{name} diverged from enumerate()");
+    }
+}
+
+#[test]
+fn registration_populates_and_matches_fresh_enumeration() {
+    let mut c = controller(8, ControllerConfig::default());
+    let (id, _) = c.register(parse_bundle_script(FIG2B_BAG).unwrap()).unwrap();
+    // Greedy arrival placement already enumerated (and memoized) once.
+    assert_eq!(c.candidate_cache_len(), 1);
+    let misses_before = c.metrics().counter("controller.optimizer.cache_misses");
+    assert_cache_fresh(&mut c, &id);
+    // The verification hit the cache, it did not re-enumerate.
+    assert_eq!(c.metrics().counter("controller.optimizer.cache_misses"), misses_before);
+    assert!(c.metrics().counter("controller.optimizer.cache_hits") >= 1);
+}
+
+#[test]
+fn add_bundle_invalidates_the_bundle_key() {
+    let mut c = controller(8, ControllerConfig::default());
+    let id = c.startup("bag");
+    c.add_bundle(&id, parse_bundle_script(FIG2B_BAG).unwrap()).unwrap();
+    let first = c.cached_candidates(&id, "config").unwrap();
+    // Re-adding a bundle under the same name must drop the memoized set so
+    // later lookups re-enumerate against the live spec.
+    let misses_before = c.metrics().counter("controller.optimizer.cache_misses");
+    let _ = c.add_bundle(&id, parse_bundle_script(FIG2B_BAG).unwrap());
+    assert!(
+        c.metrics().counter("controller.optimizer.cache_misses") > misses_before,
+        "add_bundle must invalidate and re-enumerate the bundle's cache key"
+    );
+    let second = c.cached_candidates(&id, "config").unwrap();
+    assert_eq!(*first, *second);
+    assert_cache_fresh(&mut c, &id);
+}
+
+#[test]
+fn end_drops_the_instances_cache_entries() {
+    let mut c = controller(8, ControllerConfig::default());
+    let (a, _) = c.register(parse_bundle_script(FIG2B_BAG).unwrap()).unwrap();
+    let (b, _) = c.register(parse_bundle_script(FIG2B_BAG).unwrap()).unwrap();
+    assert_eq!(c.candidate_cache_len(), 2);
+    c.end(&a).unwrap();
+    assert_eq!(c.candidate_cache_len(), 1, "ended instance's entries must go");
+    assert!(c.cached_candidates(&a, "config").is_none(), "no resurrection for retired ids");
+    assert_cache_fresh(&mut c, &b);
+}
+
+#[test]
+fn reap_driven_retirement_drops_cache_entries() {
+    let mut c = controller(8, ControllerConfig::default());
+    let (id, _) = c.register(parse_bundle_script(FIG2B_BAG).unwrap()).unwrap();
+    assert_eq!(c.candidate_cache_len(), 1);
+    c.mark_disconnected(&id);
+    c.set_time(1_000.0);
+    let records = c.reap_expired(1_000.0).unwrap();
+    assert!(c.app(&id).is_none(), "instance reaped: {records:?}");
+    assert_eq!(c.candidate_cache_len(), 0, "reaped instance's entries must go");
+}
+
+#[test]
+fn churn_keeps_cache_consistent_under_every_optimizer() {
+    let kinds = [
+        OptimizerKind::Greedy,
+        OptimizerKind::Exhaustive { limit: 1_000_000 },
+        OptimizerKind::Annealing { steps: 80, initial_temperature: 40.0, seed: 5, chains: 2 },
+    ];
+    for kind in kinds {
+        let config = ControllerConfig { optimizer: kind, ..Default::default() };
+        let mut c = controller(8, config);
+        let mut live: Vec<InstanceId> = Vec::new();
+        for round in 0..6 {
+            let (id, _) = c.register(parse_bundle_script(FIG2B_BAG).unwrap()).unwrap();
+            live.push(id);
+            optimize(&mut c).unwrap();
+            if round % 2 == 1 {
+                let gone = live.remove(0);
+                c.end(&gone).unwrap();
+                assert!(c.cached_candidates(&gone, "config").is_none());
+                optimize(&mut c).unwrap();
+            }
+            // One cache entry per live bundle, each matching enumerate().
+            assert_eq!(
+                c.candidate_cache_len(),
+                live.len(),
+                "round {round} under {:?}",
+                c.config().optimizer
+            );
+            for id in live.clone() {
+                assert_cache_fresh(&mut c, &id);
+            }
+        }
+    }
+}

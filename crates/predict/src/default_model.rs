@@ -70,7 +70,7 @@ impl DefaultModel {
 
     fn total_comm_megabytes(&self, ctx: &PredictionContext<'_>) -> Result<f64, PredictError> {
         match &ctx.opt.communication {
-            Some(tag) => Ok(tag.amount(&ctx.env)?.max(0.0)),
+            Some(tag) => Ok(tag.amount(ctx.env.as_ref())?.max(0.0)),
             None => Ok(0.0),
         }
     }

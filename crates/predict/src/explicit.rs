@@ -55,7 +55,7 @@ impl ExplicitModel {
 impl Predictor for ExplicitModel {
     fn predict(&self, ctx: &PredictionContext<'_>) -> Result<Prediction, PredictError> {
         let x = ctx.alloc.nodes.len() as f64;
-        let base = self.spec.predict(x, &ctx.env)?;
+        let base = self.spec.predict(x, ctx.env.as_ref())?;
         let factor = self.contention_factor(ctx);
         Ok(Prediction::opaque(base * factor))
     }

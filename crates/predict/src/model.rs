@@ -1,5 +1,7 @@
 //! The [`Predictor`] trait and the prediction context/result types.
 
+use std::borrow::Cow;
+
 use harmony_resources::{Allocation, Cluster};
 use harmony_rsl::expr::MapEnv;
 use harmony_rsl::schema::OptionSpec;
@@ -17,8 +19,10 @@ pub struct PredictionContext<'a> {
     /// The option the allocation instantiates.
     pub opt: &'a OptionSpec,
     /// Evaluation environment: the allocation's bindings plus any extra
-    /// variables the controller supplies.
-    pub env: MapEnv,
+    /// variables the controller supplies. Borrowed when the caller has the
+    /// environment precomputed (the joint optimizer's hot path), owned
+    /// when derived from the allocation on the spot.
+    pub env: Cow<'a, MapEnv>,
     /// True when `alloc` is already committed to the cluster (its tasks are
     /// included in the contention counters); false for hypothetical
     /// allocations, whose own load must be *added* to the counters.
@@ -29,12 +33,25 @@ impl<'a> PredictionContext<'a> {
     /// Builds a context for a hypothetical (not yet committed) allocation,
     /// with the environment derived from the allocation.
     pub fn hypothetical(cluster: &'a Cluster, alloc: &'a Allocation, opt: &'a OptionSpec) -> Self {
-        PredictionContext { cluster, alloc, opt, env: alloc.env(), committed: false }
+        PredictionContext { cluster, alloc, opt, env: Cow::Owned(alloc.env()), committed: false }
     }
 
     /// Builds a context for an allocation already committed to the cluster.
     pub fn committed(cluster: &'a Cluster, alloc: &'a Allocation, opt: &'a OptionSpec) -> Self {
-        PredictionContext { cluster, alloc, opt, env: alloc.env(), committed: true }
+        PredictionContext { cluster, alloc, opt, env: Cow::Owned(alloc.env()), committed: true }
+    }
+
+    /// Like [`PredictionContext::committed`], but borrows a precomputed
+    /// environment instead of rebuilding it from the allocation. `env`
+    /// must equal `alloc.env()`; callers that evaluate the same committed
+    /// allocation many times (the joint search) cache it once.
+    pub fn committed_with_env(
+        cluster: &'a Cluster,
+        alloc: &'a Allocation,
+        opt: &'a OptionSpec,
+        env: &'a MapEnv,
+    ) -> Self {
+        PredictionContext { cluster, alloc, opt, env: Cow::Borrowed(env), committed: true }
     }
 
     /// The number of tasks that would share `node` if this allocation ran:

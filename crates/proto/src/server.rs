@@ -567,6 +567,11 @@ mod tests {
         assert_eq!(snap.apps.len(), 1);
         assert_eq!(snap.apps[0].bundles[0].1, "run[workerNodes=8]");
         assert_eq!(snap.total_tasks(), 8);
+        // Decision-engine counters ride along: registration enumerated (and
+        // memoized) this bundle's candidates.
+        assert_eq!(snap.optimizer.kind, "greedy");
+        assert!(snap.optimizer.cache_misses >= 1, "{:?}", snap.optimizer);
+        assert_eq!(snap.optimizer.cache_size, 1);
     }
 
     #[test]

@@ -1,0 +1,100 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Only the scoped-spawn surface the workspace uses is provided,
+//! implemented over `std::thread::scope`: [`scope`], [`Scope::spawn`],
+//! and [`current_num_threads`]. There is no work-stealing pool — each
+//! `spawn` starts one OS thread for the duration of the scope — so
+//! callers are expected to spawn roughly [`current_num_threads`] workers
+//! and partition work themselves, which is exactly how the optimizer's
+//! parallel searches use it. `RAYON_NUM_THREADS` is honored the same way
+//! the real crate honors it.
+
+use std::num::NonZeroUsize;
+
+/// The number of worker threads parallel callers should target: the
+/// `RAYON_NUM_THREADS` environment variable when set to a positive
+/// integer, otherwise [`std::thread::available_parallelism`] (falling
+/// back to 1 when the parallelism cannot be determined).
+pub fn current_num_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+}
+
+/// A scope in which borrowing spawns are allowed, mirroring
+/// `rayon::Scope`. Spawned closures receive a `&Scope` so they can spawn
+/// nested work, exactly like the real API.
+#[derive(Debug, Clone, Copy)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns `f` on its own thread; the enclosing [`scope`] call joins it
+    /// before returning.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || {
+            let scope = Scope { inner };
+            f(&scope);
+        });
+    }
+}
+
+/// Creates a scope whose spawns may borrow non-`'static` data; all spawned
+/// threads are joined before `scope` returns (panics in workers propagate,
+/// as with `std::thread::scope`).
+pub fn scope<'env, F, R>(op: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::thread::scope(|s| {
+        let scope = Scope { inner: s };
+        op(&scope)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn thread_count_is_positive() {
+        assert!(current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn scoped_spawns_join_and_borrow() {
+        let data = vec![1u64, 2, 3, 4];
+        let mut slots = vec![0u64; data.len()];
+        scope(|s| {
+            for (slot, &v) in slots.iter_mut().zip(&data) {
+                s.spawn(move |_| *slot = v * 10);
+            }
+        });
+        assert_eq!(slots, vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn nested_spawns_run() {
+        let hits = AtomicUsize::new(0);
+        scope(|s| {
+            s.spawn(|s| {
+                hits.fetch_add(1, Ordering::SeqCst);
+                s.spawn(|_| {
+                    hits.fetch_add(1, Ordering::SeqCst);
+                });
+            });
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 2);
+    }
+}
