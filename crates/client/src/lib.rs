@@ -105,10 +105,10 @@ impl<T: Transport> HarmonyClient<T> {
     /// use harmony_core::{Controller, ControllerConfig};
     /// use harmony_proto::LocalTransport;
     /// use harmony_resources::Cluster;
-    /// use parking_lot::Mutex;
+    /// use parking_lot::RwLock;
     ///
     /// let cluster = Cluster::from_rsl(&harmony_rsl::listings::sp2_cluster(4))?;
-    /// let shared = Arc::new(Mutex::new(Controller::new(cluster, ControllerConfig::default())));
+    /// let shared = Arc::new(RwLock::new(Controller::new(cluster, ControllerConfig::default())));
     /// let client = HarmonyClient::startup(
     ///     LocalTransport::new(shared),
     ///     "bag",
@@ -412,10 +412,17 @@ mod tests {
 
     fn local(nodes: usize) -> LocalTransport {
         let cluster = Cluster::from_rsl(&harmony_rsl::listings::sp2_cluster(nodes)).unwrap();
-        LocalTransport::new(StdArc::new(Mutex::new(Controller::new(
+        LocalTransport::new(StdArc::new(parking_lot::RwLock::new(Controller::new(
             cluster,
             ControllerConfig::default(),
         ))))
+    }
+
+    fn local_coalescing(nodes: usize, window: f64) -> LocalTransport {
+        let cluster = Cluster::from_rsl(&harmony_rsl::listings::sp2_cluster(nodes)).unwrap();
+        let mut config = ControllerConfig::default();
+        config.coalesce.window = window;
+        LocalTransport::new(StdArc::new(parking_lot::RwLock::new(Controller::new(cluster, config))))
     }
 
     #[test]
@@ -464,13 +471,47 @@ mod tests {
         assert_eq!(workers.get(), Value::Int(8));
         // A competitor arrives; the controller shrinks us to 4 workers.
         {
-            let mut ctl = ctl.lock();
+            let mut ctl = ctl.write();
             let spec =
                 harmony_rsl::schema::parse_bundle_script(harmony_rsl::listings::FIG2B_BAG).unwrap();
             ctl.register(spec).unwrap();
         }
         assert!(client.wait_for_update(Duration::from_millis(100)).unwrap());
         assert_eq!(workers.get(), Value::Int(4));
+    }
+
+    #[test]
+    fn coalescing_defers_the_shrink_until_the_window_fires() {
+        // With coalescing on, a rival's arrival marks the scheduler dirty
+        // instead of re-evaluating inline: the incumbent keeps its 8
+        // workers until the window fires, then the next poll delivers the
+        // shrink to 4.
+        let t = local_coalescing(8, 0.05);
+        let ctl = t.controller();
+        let mut client = HarmonyClient::startup(t, "bag", UpdateDelivery::Polling).unwrap();
+        let workers = client.add_variable("config.run.workerNodes", Value::Int(0));
+        client.bundle_setup(harmony_rsl::listings::FIG2B_BAG).unwrap();
+        client.poll().unwrap();
+        assert_eq!(workers.get(), Value::Int(8), "direct placement is still synchronous");
+        // Settle the window the setup itself opened, so the rival below is
+        // the only pending arrival.
+        ctl.write().flush_scheduler().unwrap();
+        {
+            let mut ctl = ctl.write();
+            let spec =
+                harmony_rsl::schema::parse_bundle_script(harmony_rsl::listings::FIG2B_BAG).unwrap();
+            ctl.register(spec).unwrap();
+            assert_eq!(ctl.pending_decisions(), 1, "arrival deferred, not applied");
+        }
+        client.poll().unwrap();
+        assert_eq!(workers.get(), Value::Int(8), "no shrink before the window fires");
+        {
+            let mut ctl = ctl.write();
+            let records = ctl.flush_scheduler().unwrap();
+            assert!(!records.is_empty(), "flushing the window settles the burst");
+        }
+        client.poll().unwrap();
+        assert_eq!(workers.get(), Value::Int(4), "deferred shrink arrives on the next poll");
     }
 
     #[test]
@@ -487,7 +528,7 @@ mod tests {
         let ctl = t.controller();
         let mut client = HarmonyClient::startup(t, "db", UpdateDelivery::Polling).unwrap();
         client.report_metric("response_time", 1.0, 9.5).unwrap();
-        let series = ctl.lock().metrics().series("db.1.response_time").unwrap();
+        let series = ctl.read().metrics().series("db.1.response_time").unwrap();
         assert_eq!(series.last().unwrap().value, 9.5);
     }
 
@@ -497,9 +538,9 @@ mod tests {
         let ctl = t.controller();
         let mut client = HarmonyClient::startup(t.clone(), "bag", UpdateDelivery::Polling).unwrap();
         client.bundle_setup(harmony_rsl::listings::FIG2B_BAG).unwrap();
-        assert_eq!(ctl.lock().cluster().total_tasks(), 8);
+        assert_eq!(ctl.read().cluster().total_tasks(), 8);
         client.end().unwrap();
-        assert_eq!(ctl.lock().cluster().total_tasks(), 0);
+        assert_eq!(ctl.read().cluster().total_tasks(), 0);
         // Ending an unknown instance is NotFound.
         let ghost = HarmonyClient::startup(t, "bag", UpdateDelivery::Polling).unwrap();
         let name = ghost.instance_name();

@@ -20,6 +20,7 @@
 //! a newcomer).
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 
 use harmony_metrics::{MetricBus, MetricEvent, MetricRegistry};
 use harmony_ns::{HPath, InstanceRegistry, Namespace};
@@ -27,6 +28,7 @@ use harmony_predict::{model_for_option, PredictionContext};
 use harmony_resources::{Allocation, Cluster, Matcher};
 use harmony_rsl::schema::{BundleSpec, OptionSpec};
 use harmony_rsl::Value;
+use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
 use crate::app::{AppInstance, BundleState, ChosenConfig, InstanceId};
@@ -34,6 +36,7 @@ use crate::candidates::{enumerate, Candidate};
 use crate::error::CoreError;
 use crate::feedback::{calibration_factor, FeedbackConfig};
 use crate::objective::Objective;
+use crate::scheduler::{CoalescePolicy, DecisionScheduler};
 use crate::session::{LeaseConfig, RetireReason, RetirementRecord, SessionState};
 
 /// Which search policy drives option selection.
@@ -138,6 +141,13 @@ pub struct ControllerConfig {
     /// `end`.
     #[serde(default)]
     pub lease: LeaseConfig,
+    /// Decision-coalescing policy: with a positive `window`, arrivals and
+    /// departures only mark the system dirty and one joint optimization
+    /// per window covers them all (see [`CoalescePolicy`]). The default
+    /// (`window: 0`) re-evaluates inline on every event, exactly as
+    /// before.
+    #[serde(default)]
+    pub coalesce: CoalescePolicy,
 }
 
 impl Default for ControllerConfig {
@@ -155,6 +165,7 @@ impl Default for ControllerConfig {
             selfish: false,
             feedback: None,
             lease: LeaseConfig::default(),
+            coalesce: CoalescePolicy::default(),
         }
     }
 }
@@ -215,7 +226,12 @@ pub struct Controller {
     namespace: Namespace<Value>,
     pub(crate) metrics: MetricRegistry,
     bus: std::sync::Arc<MetricBus>,
-    pending_vars: BTreeMap<InstanceId, Vec<(HPath, Value)>>,
+    /// Buffered variable updates per instance. Interior-mutable so the
+    /// polling path ([`Controller::take_pending_vars`]) can drain under a
+    /// shared borrow — the concurrent read path of `harmony-proto` — while
+    /// the map itself is only reshaped under exclusive access
+    /// (startup/retire).
+    pending_vars: BTreeMap<InstanceId, Mutex<Vec<(HPath, Value)>>>,
     now: f64,
     decisions: Vec<DecisionRecord>,
     sessions: BTreeMap<InstanceId, SessionState>,
@@ -229,6 +245,16 @@ pub struct Controller {
     /// (`Arc`) with every optimizer pass until the bundle is replaced or
     /// its instance retires.
     candidate_cache: BTreeMap<(InstanceId, String), std::sync::Arc<Vec<Candidate>>>,
+    /// Dirty-mark bookkeeping for coalesced re-evaluation (only consulted
+    /// when `config.coalesce` is enabled).
+    scheduler: DecisionScheduler,
+    /// Lock-free lease touch-stamps, one per registered instance: the
+    /// concurrent read path renews leases by storing
+    /// `f64::to_bits(touch_time)` with `fetch_max` (valid because the bit
+    /// patterns of non-negative IEEE doubles are order-isomorphic to their
+    /// values; `0` doubles as the "never touched" sentinel). Write-path
+    /// operations fold stamps into [`SessionState::deadline`].
+    touches: BTreeMap<InstanceId, AtomicU64>,
 }
 
 impl Controller {
@@ -250,6 +276,8 @@ impl Controller {
             retirements: Vec::new(),
             decision_cause: None,
             candidate_cache: BTreeMap::new(),
+            scheduler: DecisionScheduler::new(),
+            touches: BTreeMap::new(),
         }
     }
 
@@ -354,8 +382,9 @@ impl Controller {
         let id = InstanceId::new(app, self.registry.allocate(app));
         self.apps.insert(id.clone(), AppInstance::new(id.clone(), self.now));
         self.arrival_order.push(id.clone());
-        self.pending_vars.insert(id.clone(), Vec::new());
+        self.pending_vars.insert(id.clone(), Mutex::new(Vec::new()));
         self.sessions.insert(id.clone(), SessionState::new(self.now + self.config.lease.duration));
+        self.touches.insert(id.clone(), AtomicU64::new(0));
         self.metrics.inc_counter("controller.startups");
         self.metrics.set_gauge("controller.sessions.active", self.sessions.len() as f64);
         id
@@ -402,7 +431,15 @@ impl Controller {
             Err(e) => return Err(e),
         }
 
-        if self.config.coordinated_moves && !self.config.selfish {
+        // Coordinated admission must stay synchronous even when decisions
+        // coalesce: if the bundle could not be placed directly, only a
+        // pairwise shrink of an incumbent can admit it, and deferring that
+        // would turn a placeable arrival into `Unplaceable`. When the
+        // direct placement succeeded and coalescing is on, the pairwise
+        // round is deferred to the coalesced re-evaluation instead.
+        if (self.config.coordinated_moves && !self.config.selfish)
+            && (!self.coalescing() || self.choice(id, &bundle_name).is_none())
+        {
             let others: Vec<(InstanceId, String)> = self.all_pairs_excluding(id, &bundle_name);
             for (oid, obundle) in others {
                 if let Some(rs) =
@@ -420,7 +457,11 @@ impl Controller {
         }
 
         if self.config.reevaluate_on_arrival {
-            records.extend(self.reevaluate_excluding(Some(id))?);
+            if self.coalescing() {
+                self.mark_dirty();
+            } else {
+                records.extend(self.reevaluate_excluding(Some(id))?);
+            }
         }
         Ok(records)
     }
@@ -488,6 +529,7 @@ impl Controller {
         self.arrival_order.retain(|x| x != id);
         self.pending_vars.remove(id);
         self.sessions.remove(id);
+        self.touches.remove(id);
         self.candidate_cache.retain(|(i, _), _| i != id);
         self.metrics
             .set_gauge("controller.optimizer.cache_size", self.candidate_cache.len() as f64);
@@ -499,7 +541,12 @@ impl Controller {
         if reason != RetireReason::Ended {
             self.decision_cause = Some(format!("{reason}: {id}"));
         }
-        let result = self.reevaluate();
+        let result = if self.coalescing() {
+            self.mark_dirty();
+            Ok(Vec::new())
+        } else {
+            self.reevaluate()
+        };
         self.decision_cause = None;
         result
     }
@@ -545,6 +592,10 @@ impl Controller {
     /// client is reaped quickly while a reconnecting one can still
     /// [`reattach`](Controller::reattach) in time.
     pub fn mark_disconnected(&mut self, id: &InstanceId) {
+        // Apply any read-path touch first so activity that happened before
+        // the disconnect extends the lease before the grace cap shortens
+        // it.
+        self.fold_touch(id);
         let grace = self.config.lease.disconnect_grace;
         let now = self.now;
         if let Some(s) = self.sessions.get_mut(id) {
@@ -582,8 +633,8 @@ impl Controller {
                 }
             }
         }
-        if let Some(buf) = self.pending_vars.get_mut(id) {
-            *buf = writes;
+        if let Some(buf) = self.pending_vars.get(id) {
+            *buf.lock() = writes;
         }
         Ok(())
     }
@@ -598,6 +649,7 @@ impl Controller {
     /// Propagates re-evaluation errors from the retirement path.
     pub fn reap_expired(&mut self, now: f64) -> Result<Vec<DecisionRecord>, CoreError> {
         self.set_time(now);
+        self.fold_touches();
         let expired: Vec<(InstanceId, RetireReason)> = self
             .sessions
             .iter()
@@ -632,6 +684,180 @@ impl Controller {
     /// Every retirement so far (explicit `end` and reaped), oldest first.
     pub fn retirements(&self) -> &[RetirementRecord] {
         &self.retirements
+    }
+
+    // ------------------------------------------------------------------
+    // Lock-free lease touches (the concurrent read path).
+    // ------------------------------------------------------------------
+
+    /// Renews an instance's lease from the concurrent read path: stores
+    /// the current controller time into the instance's atomic touch-stamp
+    /// instead of mutating [`SessionState`], so `fetch`/`status`-style
+    /// requests can run under a shared lock. The stamp is folded into the
+    /// real deadline by the next write-path pass ([`Controller::reap_expired`]
+    /// or [`Controller::mark_disconnected`]); until then
+    /// [`Controller::effective_deadline`] reports the extended lease.
+    ///
+    /// Returns `false` when the instance is not registered.
+    pub fn touch(&self, id: &InstanceId) -> bool {
+        match self.touches.get(id) {
+            Some(stamp) => {
+                // `fetch_max` on the bit pattern is a max on the value:
+                // non-negative finite doubles compare identically to their
+                // bits, and the clock never goes backwards or negative.
+                stamp.fetch_max(self.now.to_bits(), AtomicOrdering::AcqRel);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// [`Controller::touch`] keyed by a metric report's
+    /// `<app>.<id>.<metric>` naming convention; non-conforming or unknown
+    /// names are ignored.
+    pub fn touch_for_metric(&self, name: &str) {
+        let mut parts = name.splitn(3, '.');
+        let (Some(app), Some(id), Some(_rest)) = (parts.next(), parts.next(), parts.next()) else {
+            return;
+        };
+        if let Ok(id) = id.parse::<u64>() {
+            self.touch(&InstanceId::new(app, id));
+        }
+    }
+
+    /// The lease deadline of `id` as the reaper will see it: the stored
+    /// [`SessionState::deadline`] extended by any not-yet-folded read-path
+    /// touch.
+    pub fn effective_deadline(&self, id: &InstanceId) -> Option<f64> {
+        let s = self.sessions.get(id)?;
+        let mut deadline = s.deadline;
+        if let Some(stamp) = self.touches.get(id) {
+            let bits = stamp.load(AtomicOrdering::Acquire);
+            if bits != 0 {
+                deadline = deadline.max(f64::from_bits(bits) + self.config.lease.duration);
+            }
+        }
+        Some(deadline)
+    }
+
+    /// Folds one instance's pending touch-stamp into its session state.
+    fn fold_touch(&mut self, id: &InstanceId) {
+        let duration = self.config.lease.duration;
+        let Some(stamp) = self.touches.get(id) else { return };
+        // `swap(0)` claims the stamp atomically; a touch racing in after
+        // the swap is simply preserved for the next fold.
+        let bits = stamp.swap(0, AtomicOrdering::AcqRel);
+        if bits == 0 {
+            return;
+        }
+        if let Some(s) = self.sessions.get_mut(id) {
+            let renewed = f64::from_bits(bits) + duration;
+            if renewed > s.deadline {
+                s.deadline = renewed;
+            }
+            s.disconnected = false;
+            s.renewals += 1;
+            self.metrics.inc_counter("controller.sessions.renewals");
+        }
+    }
+
+    /// Folds every pending touch-stamp (the write-path half of read-path
+    /// lease renewal). A batch of touches between folds counts as one
+    /// renewal, mirroring how the reaper would have observed it.
+    fn fold_touches(&mut self) {
+        let ids: Vec<InstanceId> = self.touches.keys().cloned().collect();
+        for id in ids {
+            self.fold_touch(&id);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Decision coalescing.
+    // ------------------------------------------------------------------
+
+    /// True when decisions are deferred and coalesced (see
+    /// [`CoalescePolicy`]).
+    pub fn coalescing(&self) -> bool {
+        self.config.coalesce.enabled()
+    }
+
+    /// Dirty marks accumulated since the last coalesced re-evaluation.
+    pub fn pending_decisions(&self) -> usize {
+        self.scheduler.pending()
+    }
+
+    /// Records that system state changed and a re-evaluation is owed.
+    fn mark_dirty(&mut self) {
+        self.scheduler.mark(self.now);
+        self.metrics.set_gauge("controller.scheduler.pending", self.scheduler.pending() as f64);
+    }
+
+    /// Advances the clock to `now` and runs the coalesced re-evaluation if
+    /// one is due under the configured [`CoalescePolicy`]. This is the
+    /// scheduler's heartbeat: the embedding calls it from its periodic
+    /// pass or ticker thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates re-evaluation errors.
+    pub fn service_scheduler(&mut self, now: f64) -> Result<Vec<DecisionRecord>, CoreError> {
+        self.set_time(now);
+        if self.scheduler.due(&self.config.coalesce, self.now) {
+            self.fire_scheduler()
+        } else {
+            Ok(Vec::new())
+        }
+    }
+
+    /// Runs the coalesced re-evaluation immediately if any marks are
+    /// pending, regardless of the window (used by the coarse periodic
+    /// pass and at shutdown so no dirty state is left behind).
+    ///
+    /// # Errors
+    ///
+    /// Propagates re-evaluation errors.
+    pub fn flush_scheduler(&mut self) -> Result<Vec<DecisionRecord>, CoreError> {
+        if self.scheduler.pending() > 0 {
+            self.fire_scheduler()
+        } else {
+            Ok(Vec::new())
+        }
+    }
+
+    /// One coalesced re-evaluation covering every pending mark: the single
+    /// joint optimization that replaces N per-event passes.
+    fn fire_scheduler(&mut self) -> Result<Vec<DecisionRecord>, CoreError> {
+        let n = self.scheduler.take();
+        if n == 0 {
+            return Ok(Vec::new());
+        }
+        self.metrics.inc_counter("controller.scheduler.windows_fired");
+        self.metrics.add_counter("controller.scheduler.coalesced_arrivals", n as u64);
+        self.metrics.add_counter("controller.scheduler.decisions_saved", (n - 1) as u64);
+        self.metrics.set_gauge("controller.scheduler.pending", 0.0);
+        let prev_cause = self.decision_cause.take();
+        self.decision_cause = Some(format!("coalesced-arrivals: {n}"));
+        // One window = one *converged* joint optimization. A single greedy
+        // pass from the deferred state can stop at an intermediate local
+        // optimum that the per-arrival path would have walked past, so
+        // iterate to the fixed point. Each productive pass strictly
+        // improves the objective, which bounds the loop; the cap is a
+        // safety net against a (buggy) oscillating objective.
+        self.metrics.inc_counter("controller.reevals");
+        let result = (|| {
+            let mut records = Vec::new();
+            for _ in 0..64 {
+                let rs = self.reevaluate_pass(None)?;
+                let quiet = rs.is_empty();
+                records.extend(rs);
+                if quiet {
+                    break;
+                }
+            }
+            Ok(records)
+        })();
+        self.decision_cause = prev_cause;
+        result
     }
 
     /// Re-evaluates every bundle of every application in arrival order,
@@ -669,6 +895,17 @@ impl Controller {
         skip: Option<&InstanceId>,
     ) -> Result<Vec<DecisionRecord>, CoreError> {
         self.metrics.inc_counter("controller.reevals");
+        self.reevaluate_pass(skip)
+    }
+
+    /// One greedy pass (improving switches, then one pairwise round)
+    /// without touching the `controller.reevals` counter — the building
+    /// block both for a counted [`Controller::reevaluate`] and for the
+    /// converged multi-pass run of a coalesced window.
+    fn reevaluate_pass(
+        &mut self,
+        skip: Option<&InstanceId>,
+    ) -> Result<Vec<DecisionRecord>, CoreError> {
         let mut records = Vec::new();
         let order = self.arrival_order.clone();
         for id in &order {
@@ -729,19 +966,21 @@ impl Controller {
 
     /// Drains the buffered variable updates for one instance (the polling
     /// path of §5: the application asks and receives everything written
-    /// since its last poll).
-    pub fn take_pending_vars(&mut self, id: &InstanceId) -> Vec<(HPath, Value)> {
-        self.pending_vars.get_mut(id).map(std::mem::take).unwrap_or_default()
+    /// since its last poll). Takes `&self` — each instance's buffer is
+    /// behind its own mutex — so polls run on the concurrent read path.
+    pub fn take_pending_vars(&self, id: &InstanceId) -> Vec<(HPath, Value)> {
+        self.pending_vars.get(id).map(|buf| std::mem::take(&mut *buf.lock())).unwrap_or_default()
     }
 
     /// Drains the buffered variable updates (the server side of
     /// `flushPendingVars`): per instance, the namespace paths written since
     /// the last flush with their values.
-    pub fn flush_pending_vars(&mut self) -> Vec<(InstanceId, Vec<(HPath, Value)>)> {
+    pub fn flush_pending_vars(&self) -> Vec<(InstanceId, Vec<(HPath, Value)>)> {
         let mut out = Vec::new();
-        for (id, vars) in self.pending_vars.iter_mut() {
+        for (id, buf) in self.pending_vars.iter() {
+            let mut vars = buf.lock();
             if !vars.is_empty() {
-                out.push((id.clone(), std::mem::take(vars)));
+                out.push((id.clone(), std::mem::take(&mut *vars)));
             }
         }
         out
@@ -1145,8 +1384,8 @@ impl Controller {
         for (p, v) in &writes {
             self.namespace.set(p.clone(), v.clone());
         }
-        if let Some(buf) = self.pending_vars.get_mut(id) {
-            buf.extend(writes);
+        if let Some(buf) = self.pending_vars.get(id) {
+            buf.lock().extend(writes);
         }
 
         let app = self.apps.get_mut(id).expect("caller validated instance");
@@ -1603,5 +1842,158 @@ mod tests {
         // Without coordination, greedy gets stuck stacking both at 8.
         assert_eq!((wa, wb), (8, 8));
         assert!(c.objective_score() > 340.0);
+    }
+
+    fn coalescing_config(window: f64) -> ControllerConfig {
+        ControllerConfig {
+            coalesce: crate::scheduler::CoalescePolicy { window, max_delay: 10.0, max_pending: 0 },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn default_config_leaves_scheduler_idle() {
+        let mut c = Controller::new(sp2(8), ControllerConfig::default());
+        c.register(bag_spec()).unwrap();
+        c.register(bag_spec()).unwrap();
+        assert!(!c.coalescing());
+        assert_eq!(c.pending_decisions(), 0);
+        assert_eq!(c.metrics().counter("controller.scheduler.windows_fired"), 0);
+    }
+
+    #[test]
+    fn coalesced_arrivals_defer_to_one_window() {
+        let mut c = Controller::new(sp2(8), coalescing_config(0.5));
+        let (a, _) = c.register(bag_spec()).unwrap();
+        let (b, _) = c.register(bag_spec()).unwrap();
+        assert_eq!(c.pending_decisions(), 2);
+        // Inside the window nothing fires.
+        assert!(c.service_scheduler(0.3).unwrap().is_empty());
+        // Past the quiet window, one re-evaluation covers both arrivals.
+        let reevals_before = c.metrics().counter("controller.reevals");
+        let records = c.service_scheduler(0.6).unwrap();
+        assert_eq!(c.metrics().counter("controller.reevals"), reevals_before + 1);
+        assert!(!records.is_empty());
+        assert!(records.iter().all(|r| r.cause.as_deref() == Some("coalesced-arrivals: 2")));
+        // Same end state as the synchronous policy: equal partitions.
+        let wa = c.choice(&a, "config").unwrap().vars[0].1;
+        let wb = c.choice(&b, "config").unwrap().vars[0].1;
+        assert_eq!((wa, wb), (4, 4), "got {wa}+{wb}");
+        assert_eq!(c.objective_score(), 340.0);
+        assert_eq!(c.pending_decisions(), 0);
+        assert_eq!(c.metrics().counter("controller.scheduler.windows_fired"), 1);
+        assert_eq!(c.metrics().counter("controller.scheduler.coalesced_arrivals"), 2);
+        assert_eq!(c.metrics().counter("controller.scheduler.decisions_saved"), 1);
+        // The coalesced state is a fixed point: re-evaluating again moves
+        // nothing.
+        assert!(c.reevaluate().unwrap().is_empty());
+    }
+
+    #[test]
+    fn coalesced_admission_still_shrinks_incumbents_synchronously() {
+        // Dedicated workers: the second bag cannot place at all until the
+        // first shrinks, so the pairwise admission must not be deferred.
+        let spec = parse_bundle_script(
+            "harmonyBundle bag:1 config {\n\
+               {run\n\
+                 {variable workerNodes {1 2 4 8}}\n\
+                 {node worker {replicate workerNodes} {dedicated 1} {seconds {1200 / workerNodes}} {memory 32}}\n\
+                 {performance {1 1200} {2 620} {4 340} {8 230}}}\n\
+             }",
+        )
+        .unwrap();
+        let mut c = Controller::new(sp2(8), coalescing_config(0.5));
+        let (a, _) = c.register(spec.clone()).unwrap();
+        assert_eq!(c.choice(&a, "config").unwrap().vars[0].1, 8);
+        let (b, _) = c.register(spec).unwrap();
+        assert!(c.choice(&b, "config").is_some(), "admission happened inline");
+        let wa = c.choice(&a, "config").unwrap().vars[0].1;
+        let wb = c.choice(&b, "config").unwrap().vars[0].1;
+        assert_eq!((wa, wb), (4, 4), "got {wa}+{wb}");
+    }
+
+    #[test]
+    fn coalesced_retire_defers_survivor_reexpansion() {
+        let mut c = Controller::new(sp2(8), coalescing_config(0.5));
+        let (a, _) = c.register(bag_spec()).unwrap();
+        let (b, _) = c.register(bag_spec()).unwrap();
+        c.flush_scheduler().unwrap();
+        assert_eq!(c.choice(&a, "config").unwrap().vars[0].1, 4);
+        // Ending `b` marks dirty instead of re-evaluating inline.
+        let records = c.end(&b).unwrap();
+        assert!(records.is_empty());
+        assert_eq!(c.choice(&a, "config").unwrap().vars[0].1, 4, "not yet re-expanded");
+        assert_eq!(c.pending_decisions(), 1);
+        let records = c.flush_scheduler().unwrap();
+        assert!(records.iter().any(|r| r.instance == a));
+        assert_eq!(c.choice(&a, "config").unwrap().vars[0].1, 8, "re-expanded at the window");
+    }
+
+    #[test]
+    fn max_pending_fires_without_waiting_for_the_window() {
+        let mut c = Controller::new(
+            sp2(8),
+            ControllerConfig {
+                coalesce: crate::scheduler::CoalescePolicy {
+                    window: 100.0,
+                    max_delay: 1000.0,
+                    max_pending: 2,
+                },
+                ..Default::default()
+            },
+        );
+        c.register(bag_spec()).unwrap();
+        c.register(bag_spec()).unwrap();
+        // Two marks hit max_pending: due immediately, no quiet time needed.
+        let records = c.service_scheduler(0.0).unwrap();
+        assert!(!records.is_empty());
+        assert_eq!(c.metrics().counter("controller.scheduler.windows_fired"), 1);
+    }
+
+    #[test]
+    fn touch_extends_lease_via_fold() {
+        let mut c = Controller::new(sp2(8), ControllerConfig::default());
+        let (a, _) = c.register(bag_spec()).unwrap();
+        assert_eq!(c.session(&a).unwrap().deadline, 30.0);
+        c.set_time(20.0);
+        assert!(c.touch(&a));
+        // The stored deadline is untouched until a write-path fold, but
+        // the effective deadline already reflects the renewal.
+        assert_eq!(c.session(&a).unwrap().deadline, 30.0);
+        assert_eq!(c.effective_deadline(&a), Some(50.0));
+        // The reaper folds the touch before judging expiry: at t=40 the
+        // touched lease (deadline 50) survives.
+        c.reap_expired(40.0).unwrap();
+        assert!(c.app(&a).is_some(), "touched instance survives");
+        assert_eq!(c.session(&a).unwrap().deadline, 50.0);
+        assert_eq!(c.session(&a).unwrap().renewals, 1);
+        // An un-renewed instance is unknown to touch.
+        assert!(!c.touch(&InstanceId::new("ghost", 9)));
+    }
+
+    #[test]
+    fn touch_before_disconnect_is_honored() {
+        let mut c = Controller::new(sp2(8), ControllerConfig::default());
+        let (a, _) = c.register(bag_spec()).unwrap();
+        c.set_time(20.0);
+        c.touch(&a);
+        c.mark_disconnected(&a);
+        let s = c.session(&a).unwrap();
+        assert!(s.disconnected);
+        // Folded renewal (deadline 50) first, then capped to now + grace.
+        assert_eq!(s.deadline, 25.0);
+        assert_eq!(s.renewals, 1);
+    }
+
+    #[test]
+    fn touch_for_metric_parses_instance_names() {
+        let mut c = Controller::new(sp2(8), ControllerConfig::default());
+        let (a, _) = c.register(bag_spec()).unwrap();
+        c.set_time(25.0);
+        c.touch_for_metric(&format!("bag.{}.response_time", a.id));
+        assert_eq!(c.effective_deadline(&a), Some(55.0));
+        // Non-conforming names are ignored without panicking.
+        c.touch_for_metric("nodots");
+        c.touch_for_metric("ghost.77.rt");
     }
 }

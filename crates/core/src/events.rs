@@ -115,7 +115,14 @@ impl Controller {
             }
             HarmonyEvent::Periodic => {
                 let mut records = self.reap_expired(self.now())?;
-                records.extend(self.reevaluate()?);
+                if self.coalescing() {
+                    // The periodic pass is the coarse fallback heartbeat:
+                    // flush whatever marks accumulated (reaping above may
+                    // have added some) instead of re-evaluating blindly.
+                    records.extend(self.flush_scheduler()?);
+                } else {
+                    records.extend(self.reevaluate()?);
+                }
                 Ok(EventOutcome::Decisions(records))
             }
             HarmonyEvent::NodeJoined(decl) => {

@@ -28,6 +28,7 @@ mod events;
 pub mod feedback;
 mod objective;
 pub mod optimizer;
+mod scheduler;
 mod session;
 mod snapshot;
 
@@ -40,5 +41,9 @@ pub use error::CoreError;
 pub use events::{EventOutcome, HarmonyEvent};
 pub use feedback::FeedbackConfig;
 pub use objective::Objective;
+pub use scheduler::{CoalescePolicy, DecisionScheduler};
 pub use session::{LeaseConfig, RetireReason, RetirementRecord, SessionState};
-pub use snapshot::{AppSnapshot, NodeSnapshot, OptimizerSnapshot, SessionSnapshot, SystemSnapshot};
+pub use snapshot::{
+    AppSnapshot, NodeSnapshot, OptimizerSnapshot, SchedulerSnapshot, SessionSnapshot,
+    SystemSnapshot,
+};

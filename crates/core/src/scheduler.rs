@@ -1,0 +1,174 @@
+//! Decision coalescing: one joint optimization per burst of arrivals.
+//!
+//! The paper's evaluation is a *burst of client arrivals* flipping the
+//! server bundle (query-shipping → data-shipping, §6), yet a controller
+//! that re-optimizes inline on every `startup`/`add_bundle`/`end` pays one
+//! full joint optimization — and produces one thrashing decision record —
+//! per arrival. The [`DecisionScheduler`] decouples the adaptation loop
+//! from the serving loop: mutating events only *mark the system dirty*,
+//! and a single re-evaluation fires per coalescing window, covering every
+//! event that accumulated in it.
+//!
+//! The policy is a classic debounce with bounds:
+//!
+//! * a window fires once no new mark has arrived for `window` seconds;
+//! * `max_delay` caps the total deferral measured from the *oldest*
+//!   un-serviced mark, so a steady trickle of arrivals cannot starve
+//!   adaptation forever;
+//! * `max_pending` fires the window early once that many marks coalesced.
+//!
+//! `window: 0` (the default) disables the scheduler entirely: every event
+//! re-evaluates inline, preserving the original synchronous semantics
+//! bit-for-bit.
+
+use serde::{Deserialize, Serialize};
+
+/// When a dirty controller re-runs its joint optimization.
+///
+/// All times are controller-clock seconds (see
+/// [`Controller::set_time`](crate::Controller::set_time)).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoalescePolicy {
+    /// Quiet time after the last dirty mark before the window fires.
+    /// `0.0` disables coalescing: every event re-evaluates inline.
+    pub window: f64,
+    /// Upper bound on deferral measured from the oldest un-serviced mark;
+    /// a window fires at `first_mark + max_delay` even while marks keep
+    /// arriving.
+    pub max_delay: f64,
+    /// Fire as soon as this many marks have coalesced, regardless of
+    /// timing. `0` means no count limit.
+    pub max_pending: usize,
+}
+
+impl Default for CoalescePolicy {
+    fn default() -> Self {
+        CoalescePolicy { window: 0.0, max_delay: 1.0, max_pending: 256 }
+    }
+}
+
+impl CoalescePolicy {
+    /// True when decisions are deferred and coalesced (a positive window).
+    pub fn enabled(&self) -> bool {
+        self.window > 0.0
+    }
+}
+
+/// Dirty-mark bookkeeping for the coalescing controller.
+///
+/// The scheduler itself never optimizes; it only answers "is a
+/// re-evaluation due at time `t`?". The controller owns the firing (see
+/// [`Controller::service_scheduler`](crate::Controller::service_scheduler)).
+#[derive(Debug, Clone, Default)]
+pub struct DecisionScheduler {
+    /// Dirty marks since the last fire.
+    pending: usize,
+    /// Time of the oldest un-serviced mark.
+    first_mark: f64,
+    /// Time of the newest mark (the debounce anchor).
+    last_mark: f64,
+}
+
+impl DecisionScheduler {
+    /// A scheduler with no pending work.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one dirty mark at time `now`.
+    pub fn mark(&mut self, now: f64) {
+        if self.pending == 0 {
+            self.first_mark = now;
+        }
+        self.last_mark = self.last_mark.max(now);
+        self.pending += 1;
+    }
+
+    /// Number of marks accumulated since the last fire.
+    pub fn pending(&self) -> usize {
+        self.pending
+    }
+
+    /// True when a re-evaluation is due at time `now` under `policy`.
+    pub fn due(&self, policy: &CoalescePolicy, now: f64) -> bool {
+        if self.pending == 0 {
+            return false;
+        }
+        (policy.max_pending > 0 && self.pending >= policy.max_pending)
+            || now - self.last_mark >= policy.window
+            || now - self.first_mark >= policy.max_delay
+    }
+
+    /// Resets the scheduler, returning how many marks the fired window
+    /// coalesced.
+    pub fn take(&mut self) -> usize {
+        std::mem::take(&mut self.pending)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy(window: f64, max_delay: f64, max_pending: usize) -> CoalescePolicy {
+        CoalescePolicy { window, max_delay, max_pending }
+    }
+
+    #[test]
+    fn default_policy_is_synchronous() {
+        assert!(!CoalescePolicy::default().enabled());
+        assert!(policy(0.5, 2.0, 8).enabled());
+    }
+
+    #[test]
+    fn quiet_scheduler_is_never_due() {
+        let s = DecisionScheduler::new();
+        assert!(!s.due(&policy(0.5, 2.0, 8), 1e9));
+        assert_eq!(s.pending(), 0);
+    }
+
+    #[test]
+    fn debounce_fires_after_quiet_window() {
+        let p = policy(1.0, 10.0, 0);
+        let mut s = DecisionScheduler::new();
+        s.mark(0.0);
+        assert!(!s.due(&p, 0.5));
+        s.mark(0.5); // renews the debounce
+        assert!(!s.due(&p, 1.2));
+        assert!(s.due(&p, 1.5));
+        assert_eq!(s.take(), 2);
+        assert!(!s.due(&p, 100.0), "take() clears the window");
+    }
+
+    #[test]
+    fn max_delay_caps_total_deferral() {
+        let p = policy(1.0, 2.0, 0);
+        let mut s = DecisionScheduler::new();
+        // Marks every 0.6 s keep the debounce alive forever...
+        for i in 0..4 {
+            s.mark(0.6 * i as f64);
+        }
+        // ...but the oldest mark is 2.0 s old at t=2.0.
+        assert!(s.due(&p, 2.0));
+    }
+
+    #[test]
+    fn max_pending_fires_early() {
+        let p = policy(10.0, 100.0, 3);
+        let mut s = DecisionScheduler::new();
+        s.mark(0.0);
+        s.mark(0.0);
+        assert!(!s.due(&p, 0.0));
+        s.mark(0.0);
+        assert!(s.due(&p, 0.0));
+    }
+
+    #[test]
+    fn marks_never_move_the_anchor_backwards() {
+        let mut s = DecisionScheduler::new();
+        s.mark(5.0);
+        s.mark(3.0); // out-of-order mark (clock races) must not rewind
+        assert!(s.due(&policy(1.0, 10.0, 0), 6.0));
+        assert!(!s.due(&policy(3.0, 10.0, 0), 6.0));
+    }
+}

@@ -77,6 +77,21 @@ pub struct OptimizerSnapshot {
     pub last_wall_ms: f64,
 }
 
+/// Decision-coalescing counters, from the `controller.scheduler.*`
+/// metrics. All zero when coalescing is disabled (`window: 0`).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SchedulerSnapshot {
+    /// Dirty marks awaiting the next coalesced re-evaluation.
+    pub pending: u64,
+    /// Coalescing windows fired so far.
+    pub windows_fired: u64,
+    /// Total dirty marks covered by fired windows.
+    pub coalesced_arrivals: u64,
+    /// Per-event re-evaluations avoided by coalescing (marks minus
+    /// windows).
+    pub decisions_saved: u64,
+}
+
 /// A frozen summary of the whole system.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SystemSnapshot {
@@ -102,6 +117,9 @@ pub struct SystemSnapshot {
     /// Decision-engine counters (searches, evaluations, candidate cache).
     #[serde(default)]
     pub optimizer: OptimizerSnapshot,
+    /// Decision-coalescing counters (pending marks, windows fired).
+    #[serde(default)]
+    pub scheduler: SchedulerSnapshot,
 }
 
 impl SystemSnapshot {
@@ -150,7 +168,9 @@ impl SystemSnapshot {
             .iter()
             .map(|(id, s)| SessionSnapshot {
                 instance: id.to_string(),
-                lease_deadline: s.deadline,
+                // The stored deadline extended by any not-yet-folded
+                // read-path touch, i.e. what the reaper will honor.
+                lease_deadline: ctl.effective_deadline(id).unwrap_or(s.deadline),
                 disconnected: s.disconnected,
                 renewals: s.renewals,
             })
@@ -176,6 +196,14 @@ impl SystemSnapshot {
                     .metrics()
                     .gauge("controller.optimizer.last_wall_ms")
                     .unwrap_or(0.0),
+            },
+            scheduler: SchedulerSnapshot {
+                pending: ctl.pending_decisions() as u64,
+                windows_fired: ctl.metrics().counter("controller.scheduler.windows_fired"),
+                coalesced_arrivals: ctl
+                    .metrics()
+                    .counter("controller.scheduler.coalesced_arrivals"),
+                decisions_saved: ctl.metrics().counter("controller.scheduler.decisions_saved"),
             },
         }
     }

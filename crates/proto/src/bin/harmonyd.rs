@@ -4,23 +4,28 @@
 //! harmonyd <cluster.rsl> [addr]         # default addr 127.0.0.1:7077
 //! harmonyd --demo [addr]                # built-in 8-node SP-2 cluster
 //! harmonyd --demo --lease 10 [addr]     # 10-second session leases
+//! harmonyd --demo --coalesce 0.1 [addr] # batch arrival storms per 100ms
 //! ```
 //!
 //! The cluster file contains `harmonyNode`/`harmonyLink` statements.
 //! Applications connect with `harmony-client` (or anything speaking the
 //! frame protocol) and export bundles; decisions stream to stdout. Every
 //! periodic pass also reaps sessions whose lease expired (clients that
-//! crashed without `end`), freeing their allocations.
+//! crashed without `end`), freeing their allocations. With `--coalesce`
+//! the controller defers joint optimization so a burst of arrivals is
+//! settled by one pass instead of one per arrival (see PROTOCOL.md).
 
 use std::sync::Arc;
 
 use harmony_core::{Controller, ControllerConfig, HarmonyEvent};
 use harmony_proto::TcpServer;
 use harmony_resources::Cluster;
-use parking_lot::Mutex;
+use parking_lot::RwLock;
 
 fn usage() -> ! {
-    eprintln!("usage: harmonyd <cluster.rsl>|--demo [--lease <seconds>] [addr]");
+    eprintln!(
+        "usage: harmonyd <cluster.rsl>|--demo [--lease <seconds>] [--coalesce <seconds>] [addr]"
+    );
     std::process::exit(2);
 }
 
@@ -35,6 +40,17 @@ fn main() {
             usage();
         }
         lease = Some(value);
+        args.drain(i..=i + 1);
+    }
+    let mut coalesce: Option<f64> = None;
+    if let Some(i) = args.iter().position(|a| a == "--coalesce") {
+        let Some(value) = args.get(i + 1).and_then(|v| v.parse::<f64>().ok()) else {
+            usage();
+        };
+        if !value.is_finite() || value < 0.0 {
+            usage();
+        }
+        coalesce = Some(value);
         args.drain(i..=i + 1);
     }
     let (source, rsl) = match args.first().map(String::as_str) {
@@ -68,11 +84,20 @@ fn main() {
     if let Some(seconds) = lease {
         config.lease.duration = seconds;
     }
+    if let Some(window) = coalesce {
+        config.coalesce.window = window;
+    }
     println!(
         "harmonyd: session leases: {:.0}s (disconnect grace {:.0}s)",
         config.lease.duration, config.lease.disconnect_grace
     );
-    let controller = Arc::new(Mutex::new(Controller::new(cluster, config)));
+    if config.coalesce.enabled() {
+        println!(
+            "harmonyd: coalescing decisions: {:.3}s window (max delay {:.1}s)",
+            config.coalesce.window, config.coalesce.max_delay
+        );
+    }
+    let controller = Arc::new(RwLock::new(Controller::new(cluster, config)));
     let server = match TcpServer::start(addr, Arc::clone(&controller)) {
         Ok(s) => s,
         Err(e) => {
@@ -90,7 +115,7 @@ fn main() {
     let mut reaped = 0usize;
     loop {
         std::thread::sleep(std::time::Duration::from_secs(2));
-        let mut ctl = controller.lock();
+        let mut ctl = controller.write();
         ctl.set_time(start.elapsed().as_secs_f64());
         if let Err(e) = ctl.handle_event(HarmonyEvent::Periodic) {
             eprintln!("harmonyd: periodic pass error: {e}");

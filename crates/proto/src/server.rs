@@ -10,41 +10,40 @@
 
 use std::collections::HashMap;
 use std::io;
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use harmony_core::{Controller, HarmonyEvent, InstanceId};
-use parking_lot::Mutex;
+use parking_lot::RwLock;
 
 use crate::frame::{read_frame, write_frame};
 use crate::message::{Request, Response, VarUpdate};
 
-/// A shared, thread-safe handle to the controller.
-pub type SharedController = Arc<Mutex<Controller>>;
+/// A shared, thread-safe handle to the controller. Read-only verbs take
+/// the shared side of the lock, so `status`/`fetch`-style traffic from
+/// many clients proceeds concurrently and never queues behind an
+/// in-flight optimization on the write side.
+pub type SharedController = Arc<RwLock<Controller>>;
 
 /// Applies one request to the controller, producing the response. This is
 /// the single point of protocol semantics, shared by every transport.
+///
+/// Lock discipline: `Poll`, `Heartbeat`, `Metric`, and `Status` only read
+/// controller state — lease renewal goes through the atomic touch-stamps
+/// ([`Controller::touch`]) and pending-variable buffers are interior-
+/// mutable, so none of them needs the write lock. `Lint` is pure and
+/// takes no lock at all. Everything else mutates and takes the write
+/// lock.
 pub fn handle_request(ctl: &SharedController, req: &Request) -> Response {
-    let mut ctl = ctl.lock();
     match req {
-        Request::Startup { app } => {
-            let id = ctl.startup(app);
-            Response::Registered { app: id.app.clone(), id: id.id }
-        }
-        Request::Bundle { app, id, script } => {
-            let instance = InstanceId::new(app.clone(), *id);
-            ctl.renew_lease(&instance);
-            match ctl.handle_event(HarmonyEvent::BundleSetup { instance, script: script.clone() }) {
-                Ok(_) => Response::Ok,
-                Err(e) => Response::Error { message: e.to_string() },
-            }
-        }
+        // ---- read path ------------------------------------------------
         Request::Poll { app, id } => {
+            let ctl = ctl.read();
             let instance = InstanceId::new(app.clone(), *id);
-            ctl.renew_lease(&instance);
+            ctl.touch(&instance);
             let updates = ctl
                 .take_pending_vars(&instance)
                 .into_iter()
@@ -53,37 +52,28 @@ pub fn handle_request(ctl: &SharedController, req: &Request) -> Response {
             Response::Update { app: app.clone(), id: *id, updates }
         }
         Request::Heartbeat { app, id } => {
+            let ctl = ctl.read();
             let instance = InstanceId::new(app.clone(), *id);
-            match ctl.handle_event(HarmonyEvent::Heartbeat { instance }) {
-                Ok(_) => Response::Ok,
-                Err(e) => Response::Error { message: e.to_string() },
-            }
-        }
-        Request::Reattach { app, id } => {
-            let instance = InstanceId::new(app.clone(), *id);
-            match ctl.handle_event(HarmonyEvent::Reattach { instance }) {
-                Ok(_) => Response::Registered { app: app.clone(), id: *id },
-                Err(e) => Response::Error { message: e.to_string() },
+            if ctl.touch(&instance) {
+                Response::Ok
+            } else {
+                let e = harmony_core::CoreError::UnknownInstance { name: instance.to_string() };
+                Response::Error { message: e.to_string() }
             }
         }
         Request::Metric { name, time, value } => {
-            match ctl.handle_event(HarmonyEvent::MetricReport {
-                name: name.clone(),
-                time: *time,
-                value: *value,
-            }) {
-                Ok(_) => Response::Ok,
-                Err(e) => Response::Error { message: e.to_string() },
-            }
-        }
-        Request::End { app, id } => {
-            let instance = InstanceId::new(app.clone(), *id);
-            match ctl.end(&instance) {
-                Ok(_) => Response::Ok,
-                Err(e) => Response::Error { message: e.to_string() },
-            }
+            let ctl = ctl.read();
+            ctl.touch_for_metric(name);
+            ctl.metrics().record(name, *time, *value);
+            ctl.metric_bus().publish(harmony_metrics::MetricEvent::new(
+                name.clone(),
+                *time,
+                *value,
+            ));
+            Response::Ok
         }
         Request::Status => {
+            let ctl = ctl.read();
             let snap = harmony_core::SystemSnapshot::capture(&ctl);
             match snap.to_json() {
                 Ok(json) => Response::Status { json },
@@ -94,6 +84,36 @@ pub fn handle_request(ctl: &SharedController, req: &Request) -> Response {
             Ok(diags) => Response::Lint { json: harmony_analyze::to_json(&diags, script) },
             Err(e) => Response::Error { message: e.to_string() },
         },
+        // ---- write path -----------------------------------------------
+        Request::Startup { app } => {
+            let id = ctl.write().startup(app);
+            Response::Registered { app: id.app.clone(), id: id.id }
+        }
+        Request::Bundle { app, id, script } => {
+            let mut ctl = ctl.write();
+            let instance = InstanceId::new(app.clone(), *id);
+            ctl.renew_lease(&instance);
+            match ctl.handle_event(HarmonyEvent::BundleSetup { instance, script: script.clone() }) {
+                Ok(_) => Response::Ok,
+                Err(e) => Response::Error { message: e.to_string() },
+            }
+        }
+        Request::Reattach { app, id } => {
+            let mut ctl = ctl.write();
+            let instance = InstanceId::new(app.clone(), *id);
+            match ctl.handle_event(HarmonyEvent::Reattach { instance }) {
+                Ok(_) => Response::Registered { app: app.clone(), id: *id },
+                Err(e) => Response::Error { message: e.to_string() },
+            }
+        }
+        Request::End { app, id } => {
+            let mut ctl = ctl.write();
+            let instance = InstanceId::new(app.clone(), *id);
+            match ctl.end(&instance) {
+                Ok(_) => Response::Ok,
+                Err(e) => Response::Error { message: e.to_string() },
+            }
+        }
     }
 }
 
@@ -290,13 +310,37 @@ impl Default for ServerConfig {
 
 type ConnectionRegistry = Arc<parking_lot::Mutex<HashMap<u64, TcpStream>>>;
 
+/// Bounded exponential backoff after `consecutive` failed `accept` calls:
+/// 1 ms doubling up to 100 ms. Transient accept errors (EMFILE/ENFILE fd
+/// exhaustion, ECONNABORTED storms) otherwise spin the accept thread at
+/// 100% CPU — exactly when the machine is least able to afford it.
+fn accept_backoff(consecutive: u32) -> Duration {
+    let ms = 1u64 << consecutive.min(8).saturating_sub(1);
+    Duration::from_millis(ms.min(100))
+}
+
+/// Cadence of the scheduler ticker for a coalescing window of `window`
+/// seconds: a few ticks per window, clamped to a sane range.
+fn tick_interval(window: f64) -> Duration {
+    Duration::from_secs_f64((window / 4.0).clamp(0.005, 0.05))
+}
+
 /// The Harmony TCP server: accept loop plus one thread per connection.
+///
+/// When the controller is configured with a coalescing window
+/// ([`harmony_core::CoalescePolicy`]), the server also runs a ticker
+/// thread that maps wall time onto the controller clock and fires the
+/// decision scheduler, so deferred decisions happen on time even with no
+/// periodic pass driving the controller.
 #[derive(Debug)]
 pub struct TcpServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
+    ticker_thread: Option<JoinHandle<()>>,
     connections: ConnectionRegistry,
+    accept_errors: Arc<AtomicU64>,
+    untracked: Arc<AtomicUsize>,
 }
 
 impl TcpServer {
@@ -320,28 +364,90 @@ impl TcpServer {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
-        let stop2 = Arc::clone(&stop);
         let connections: ConnectionRegistry = Arc::new(parking_lot::Mutex::new(HashMap::new()));
+        let accept_errors = Arc::new(AtomicU64::new(0));
+        let untracked = Arc::new(AtomicUsize::new(0));
+
+        // Fire the decision scheduler from a dedicated ticker when the
+        // controller coalesces. Each tick maps the wall clock onto the
+        // controller clock (monotone: `set_time` never goes backwards),
+        // so dirty marks age correctly between requests.
+        let coalesce = ctl.read().config().coalesce;
+        let ticker_thread = if coalesce.enabled() {
+            let ctl = Arc::clone(&ctl);
+            let stop = Arc::clone(&stop);
+            let tick = tick_interval(coalesce.window);
+            let epoch = std::time::Instant::now();
+            Some(std::thread::spawn(move || {
+                while !stop.load(Ordering::SeqCst) {
+                    std::thread::sleep(tick);
+                    let _ = ctl.write().service_scheduler(epoch.elapsed().as_secs_f64());
+                }
+            }))
+        } else {
+            None
+        };
+
+        let stop2 = Arc::clone(&stop);
         let conns2 = Arc::clone(&connections);
+        let errors2 = Arc::clone(&accept_errors);
+        let untracked2 = Arc::clone(&untracked);
         let accept_thread = std::thread::spawn(move || {
             let mut next_token: u64 = 0;
+            let mut consecutive_errors: u32 = 0;
             for conn in listener.incoming() {
                 if stop2.load(Ordering::SeqCst) {
                     break;
                 }
-                let Ok(stream) = conn else { continue };
-                let token = next_token;
-                next_token += 1;
-                if let Ok(clone) = stream.try_clone() {
-                    conns2.lock().insert(token, clone);
-                }
+                let stream = match conn {
+                    Ok(s) => {
+                        consecutive_errors = 0;
+                        s
+                    }
+                    Err(_) => {
+                        // Transient resource exhaustion: back off instead
+                        // of spinning, and count it for operators.
+                        consecutive_errors = consecutive_errors.saturating_add(1);
+                        errors2.fetch_add(1, Ordering::Relaxed);
+                        ctl.read().metrics().inc_counter("server.accept_errors");
+                        std::thread::sleep(accept_backoff(consecutive_errors));
+                        continue;
+                    }
+                };
+                // Track the connection for `disconnect_all`/teardown. If
+                // the tracking clone fails the connection is still served;
+                // it is merely counted as untracked so `connection_count`
+                // stays truthful.
+                let token = match stream.try_clone() {
+                    Ok(clone) => {
+                        let token = next_token;
+                        next_token += 1;
+                        conns2.lock().insert(token, clone);
+                        Some(token)
+                    }
+                    Err(_) => {
+                        untracked2.fetch_add(1, Ordering::SeqCst);
+                        None
+                    }
+                };
                 let ctl = Arc::clone(&ctl);
                 let registry = Arc::clone(&conns2);
+                let untracked = Arc::clone(&untracked2);
                 let config = config.clone();
-                std::thread::spawn(move || serve_connection(stream, ctl, config, registry, token));
+                std::thread::spawn(move || {
+                    serve_connection(stream, ctl, config, registry, untracked, token)
+                });
             }
         });
-        Ok(TcpServer { addr, stop, accept_thread: Some(accept_thread), connections })
+        Ok(TcpServer {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+            ticker_thread,
+            connections,
+            accept_errors,
+            untracked,
+        })
     }
 
     /// The bound address.
@@ -349,17 +455,26 @@ impl TcpServer {
         self.addr
     }
 
-    /// Number of currently registered connections. Entries are removed by
-    /// their serving thread on exit, so this converges to the number of
-    /// live peers (it may briefly include a connection whose thread has
-    /// not yet observed the close).
+    /// Number of currently live connections, including any that could not
+    /// be registered for teardown (a failed tracking clone). Entries are
+    /// removed by their serving thread on exit, so this converges to the
+    /// number of live peers (it may briefly include a connection whose
+    /// thread has not yet observed the close).
     pub fn connection_count(&self) -> usize {
-        self.connections.lock().len()
+        self.connections.lock().len() + self.untracked.load(Ordering::SeqCst)
+    }
+
+    /// Total failed `accept` calls since startup (also visible as the
+    /// controller's `server.accept_errors` metric).
+    pub fn accept_error_count(&self) -> u64 {
+        self.accept_errors.load(Ordering::Relaxed)
     }
 
     /// Forcibly drops every live connection while continuing to listen.
     /// Clients observe an EOF/reset mid-session — the fault-injection
-    /// hook for exercising client reconnect paths.
+    /// hook for exercising client reconnect paths. Untracked connections
+    /// (failed tracking clone) cannot be reached from here; their serving
+    /// threads end when the peer hangs up or the read deadline fires.
     pub fn disconnect_all(&self) {
         for (_, conn) in self.connections.lock().drain() {
             let _ = conn.shutdown(std::net::Shutdown::Both);
@@ -371,9 +486,23 @@ impl TcpServer {
     /// reset rather than a hang.
     pub fn stop(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
-        // Unblock the accept loop with a dummy connection.
-        let _ = TcpStream::connect(self.addr);
+        // Unblock the accept loop with a dummy connection. Dial loopback
+        // when bound to a wildcard address — connecting to 0.0.0.0/[::]
+        // is not routed to the listener on every platform, which would
+        // hang teardown — and bound the dial so an unroutable address
+        // cannot wedge `stop` either.
+        let mut unblock = self.addr;
+        if unblock.ip().is_unspecified() {
+            unblock.set_ip(match unblock.ip() {
+                IpAddr::V4(_) => IpAddr::V4(Ipv4Addr::LOCALHOST),
+                IpAddr::V6(_) => IpAddr::V6(Ipv6Addr::LOCALHOST),
+            });
+        }
+        let _ = TcpStream::connect_timeout(&unblock, Duration::from_millis(250));
         if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.ticker_thread.take() {
             let _ = t.join();
         }
         for (_, conn) in self.connections.lock().drain() {
@@ -394,7 +523,8 @@ fn serve_connection(
     ctl: SharedController,
     config: ServerConfig,
     registry: ConnectionRegistry,
-    token: u64,
+    untracked: Arc<AtomicUsize>,
+    token: Option<u64>,
 ) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(config.read_timeout);
@@ -430,9 +560,16 @@ fn serve_connection(
         }
     }
     let _ = stream.shutdown(std::net::Shutdown::Both);
-    registry.lock().remove(&token);
+    match token {
+        Some(token) => {
+            registry.lock().remove(&token);
+        }
+        None => {
+            untracked.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
     if !owned.is_empty() {
-        let mut ctl = ctl.lock();
+        let mut ctl = ctl.write();
         for id in owned {
             ctl.mark_disconnected(&id);
         }
@@ -465,7 +602,7 @@ mod tests {
 
     fn shared_controller(nodes: usize) -> SharedController {
         let cluster = Cluster::from_rsl(&harmony_rsl::listings::sp2_cluster(nodes)).unwrap();
-        Arc::new(Mutex::new(Controller::new(cluster, ControllerConfig::default())))
+        Arc::new(RwLock::new(Controller::new(cluster, ControllerConfig::default())))
     }
 
     fn full_session<T: Transport>(t: &mut T) {
@@ -505,7 +642,7 @@ mod tests {
         let ctl = shared_controller(8);
         let mut t = LocalTransport::new(Arc::clone(&ctl));
         full_session(&mut t);
-        assert_eq!(ctl.lock().instances().len(), 0);
+        assert_eq!(ctl.read().instances().len(), 0);
     }
 
     #[test]
@@ -534,7 +671,7 @@ mod tests {
         for th in threads {
             assert!(th.join().unwrap());
         }
-        assert_eq!(ctl.lock().instances().len(), 4);
+        assert_eq!(ctl.read().instances().len(), 4);
     }
 
     #[test]
@@ -554,7 +691,7 @@ mod tests {
         // survive TCL-list framing over real TCP.
         let ctl = shared_controller(8);
         {
-            let mut ctl = ctl.lock();
+            let mut ctl = ctl.write();
             let spec =
                 harmony_rsl::schema::parse_bundle_script(harmony_rsl::listings::FIG2B_BAG).unwrap();
             ctl.register(spec).unwrap();
@@ -605,5 +742,80 @@ mod tests {
         };
         let resp = t.call(&Request::Bundle { app, id, script: "not rsl {".into() }).unwrap();
         assert!(matches!(resp, Response::Error { .. }));
+    }
+
+    #[test]
+    fn accept_backoff_is_bounded() {
+        assert_eq!(accept_backoff(1), Duration::from_millis(1));
+        assert_eq!(accept_backoff(2), Duration::from_millis(2));
+        assert_eq!(accept_backoff(5), Duration::from_millis(16));
+        // Saturates at 100 ms no matter how long the outage lasts.
+        assert_eq!(accept_backoff(8), Duration::from_millis(100));
+        assert_eq!(accept_backoff(u32::MAX), Duration::from_millis(100));
+    }
+
+    #[test]
+    fn tick_interval_tracks_the_window() {
+        assert_eq!(tick_interval(0.1), Duration::from_secs_f64(0.025));
+        assert_eq!(tick_interval(0.001), Duration::from_secs_f64(0.005), "floor");
+        assert_eq!(tick_interval(10.0), Duration::from_secs_f64(0.05), "ceiling");
+    }
+
+    #[test]
+    fn stop_returns_promptly_on_wildcard_bind() {
+        // Binding 0.0.0.0 must not hang teardown: the unblock dial goes to
+        // loopback with the bound port.
+        let ctl = shared_controller(2);
+        let mut server = TcpServer::start("0.0.0.0:0", ctl).unwrap();
+        assert!(server.addr().ip().is_unspecified());
+        let begin = std::time::Instant::now();
+        server.stop();
+        assert!(begin.elapsed() < Duration::from_secs(5), "stop took {:?}", begin.elapsed());
+    }
+
+    #[test]
+    fn accept_error_counter_starts_clean() {
+        let ctl = shared_controller(2);
+        let server = TcpServer::start("127.0.0.1:0", Arc::clone(&ctl)).unwrap();
+        // A healthy listener accrues no accept errors while serving.
+        let mut t = TcpTransport::connect(server.addr()).unwrap();
+        let _ = t.call(&Request::Status).unwrap();
+        assert_eq!(server.accept_error_count(), 0);
+        assert_eq!(ctl.read().metrics().counter("server.accept_errors"), 0);
+    }
+
+    #[test]
+    fn heartbeat_touch_is_folded_by_the_reaper() {
+        // A heartbeat runs on the read path (atomic touch-stamp); the
+        // lease it renews must be honored by the next reap.
+        let ctl = shared_controller(8);
+        let mut t = LocalTransport::new(Arc::clone(&ctl));
+        let Response::Registered { app, id } =
+            t.call(&Request::Startup { app: "bag".into() }).unwrap()
+        else {
+            panic!()
+        };
+        ctl.write().set_time(20.0);
+        assert_eq!(t.call(&Request::Heartbeat { app: app.clone(), id }).unwrap(), Response::Ok);
+        let instance = InstanceId::new(app.clone(), id);
+        assert_eq!(ctl.read().effective_deadline(&instance), Some(50.0));
+        ctl.write().reap_expired(40.0).unwrap();
+        assert!(ctl.read().session(&instance).is_some(), "heartbeat kept the lease alive");
+        // Heartbeats for unknown instances still error.
+        let resp = t.call(&Request::Heartbeat { app, id: 999 }).unwrap();
+        assert!(matches!(resp, Response::Error { .. }));
+    }
+
+    #[test]
+    fn read_verbs_share_the_lock() {
+        // `Status` must take only the shared side of the lock: issuing it
+        // while this thread already holds a read guard would deadlock if
+        // the handler asked for write access.
+        let ctl = shared_controller(8);
+        let guard = ctl.read();
+        let mut t = LocalTransport::new(Arc::clone(&ctl));
+        let resp = t.call(&Request::Status).unwrap();
+        assert!(matches!(resp, Response::Status { .. }));
+        drop(guard);
     }
 }

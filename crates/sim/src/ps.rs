@@ -59,37 +59,75 @@ impl PsServer {
         self.jobs.is_empty()
     }
 
-    /// The per-job service rate right now.
+    /// The per-job service rate right now. Jobs that have already drained
+    /// to zero no longer consume capacity.
     pub fn rate(&self) -> f64 {
-        if self.jobs.is_empty() {
+        let active = self.active();
+        if active == 0 {
             self.capacity
         } else {
-            self.capacity / self.jobs.len() as f64
+            self.capacity / active as f64
         }
+    }
+
+    /// Jobs with remaining work (finished-but-not-removed jobs excluded).
+    fn active(&self) -> usize {
+        self.jobs.values().filter(|w| **w > 0.0).count()
     }
 
     /// Drains remaining work up to time `now`. Must be called (implicitly
     /// via add/remove/next_completion) with non-decreasing times.
+    ///
+    /// The drain is piecewise: each time a job's work reaches zero it
+    /// stops consuming capacity, so the survivors speed up mid-interval —
+    /// advancing straight across a completion boundary conserves the same
+    /// total work a sequence of smaller advances would.
     pub fn advance(&mut self, now: f64) {
         if now <= self.last_update {
             return;
         }
-        let dt = now - self.last_update;
-        if !self.jobs.is_empty() {
-            let drain = self.capacity / self.jobs.len() as f64 * dt;
-            for work in self.jobs.values_mut() {
-                *work = (*work - drain).max(0.0);
+        let mut t = self.last_update;
+        loop {
+            let active = self.active();
+            if active == 0 {
+                break;
             }
+            let rate = self.capacity / active as f64;
+            let min_work =
+                self.jobs.values().filter(|w| **w > 0.0).fold(f64::INFINITY, |a, w| a.min(*w));
+            let boundary = t + min_work / rate;
+            if boundary >= now {
+                // No completion before `now`: drain the rest linearly.
+                let drain = rate * (now - t);
+                for work in self.jobs.values_mut() {
+                    if *work > 0.0 {
+                        *work = (*work - drain).max(0.0);
+                    }
+                }
+                break;
+            }
+            // Drain to the completion boundary: the minimum job(s) hit
+            // exactly zero, then the remaining jobs re-divide capacity.
+            for work in self.jobs.values_mut() {
+                if *work > 0.0 {
+                    *work = (*work - min_work).max(0.0);
+                }
+            }
+            t = boundary;
         }
         self.last_update = now;
     }
 
-    /// Adds a job with `work` units at time `now`.
+    /// Adds a job with `work` units at time `now`. Negative work is
+    /// clamped to zero (an already-finished job).
     ///
     /// # Panics
     ///
-    /// Panics if the job id is already active.
+    /// Panics if the job id is already active or `work` is not finite
+    /// (NaN or infinite work would corrupt every later completion
+    /// prediction).
     pub fn add(&mut self, now: f64, id: JobId, work: f64) {
+        assert!(work.is_finite(), "job {id} work must be finite, got {work}");
         self.advance(now);
         let prev = self.jobs.insert(id, work.max(0.0));
         assert!(prev.is_none(), "job {id} already active");
@@ -112,12 +150,13 @@ impl PsServer {
     /// `now` advances the internal clock first.
     pub fn next_completion(&mut self, now: f64) -> Option<(f64, JobId)> {
         self.advance(now);
-        let (id, work) = self
-            .jobs
-            .iter()
-            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
-            .map(|(id, w)| (*id, *w))?;
-        let rate = self.capacity / self.jobs.len() as f64;
+        // `total_cmp` is exact here: `add` rejects non-finite work, so the
+        // map never holds a NaN to paper over.
+        let (id, work) =
+            self.jobs.iter().min_by(|a, b| a.1.total_cmp(b.1)).map(|(id, w)| (*id, *w))?;
+        // A job already at zero is due immediately; otherwise the minimum
+        // job shares capacity with the other still-active jobs.
+        let rate = self.capacity / self.active().max(1) as f64;
         Some((self.last_update + work / rate, id))
     }
 
@@ -203,6 +242,87 @@ mod tests {
         assert_eq!(s.next_completion(0.0), None);
         assert!(s.is_empty());
         assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    fn advancing_across_a_completion_conserves_work() {
+        // Job 1 finishes at t=20 (10 work at 0.5/s); job 2 then speeds up
+        // to the full 1.0/s. A single advance straight to t=30 must drain
+        // the same total work as stepping through the boundary.
+        let mut s = PsServer::new(1.0);
+        s.add(0.0, 1, 10.0);
+        s.add(0.0, 2, 30.0);
+        s.advance(30.0);
+        assert_eq!(s.remaining(1), Some(0.0));
+        assert_eq!(s.remaining(2), Some(10.0), "survivor sped up after the boundary");
+        // And the prediction accounts for the finished-but-present job 1:
+        // 10 work at the full rate → done at t=40 (job 1 is due first,
+        // immediately).
+        assert_eq!(s.next_completion(30.0), Some((30.0, 1)));
+        s.remove(30.0, 1);
+        assert_eq!(s.next_completion(30.0), Some((40.0, 2)));
+    }
+
+    #[test]
+    fn advance_across_multiple_completions() {
+        // Three jobs, three phases: job 1 done at t=15, job 2 at t=25,
+        // job 3 at t=45.
+        let mut s = PsServer::new(1.0);
+        s.add(0.0, 1, 5.0);
+        s.add(0.0, 2, 10.0);
+        s.add(0.0, 3, 30.0);
+        s.advance(25.0);
+        assert_eq!(s.remaining(1), Some(0.0));
+        assert_eq!(s.remaining(2), Some(0.0));
+        assert_eq!(s.remaining(3), Some(20.0));
+        assert_eq!(s.rate(), 1.0, "only job 3 still consumes capacity");
+        s.advance(45.0);
+        assert_eq!(s.remaining(3), Some(0.0));
+        // Advancing an all-idle server is a no-op.
+        s.advance(100.0);
+        assert_eq!(s.remaining(3), Some(0.0));
+    }
+
+    #[test]
+    fn stepped_and_direct_advance_agree() {
+        let mut stepped = PsServer::new(2.0);
+        let mut direct = PsServer::new(2.0);
+        for s in [&mut stepped, &mut direct] {
+            s.add(0.0, 1, 6.0);
+            s.add(0.0, 2, 14.0);
+            s.add(0.0, 3, 50.0);
+        }
+        for t in 1..=40 {
+            stepped.advance(t as f64);
+        }
+        direct.advance(40.0);
+        for id in 1..=3 {
+            let a = stepped.remaining(id).unwrap();
+            let b = direct.remaining(id).unwrap();
+            assert!((a - b).abs() < 1e-9, "job {id}: stepped {a} vs direct {b}");
+        }
+    }
+
+    #[test]
+    fn negative_work_is_clamped_to_zero() {
+        let mut s = PsServer::new(1.0);
+        s.add(0.0, 1, -3.0);
+        assert_eq!(s.remaining(1), Some(0.0));
+        assert_eq!(s.next_completion(0.0), Some((0.0, 1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "work must be finite")]
+    fn nan_work_is_rejected() {
+        let mut s = PsServer::new(1.0);
+        s.add(0.0, 1, f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "work must be finite")]
+    fn infinite_work_is_rejected() {
+        let mut s = PsServer::new(1.0);
+        s.add(0.0, 1, f64::INFINITY);
     }
 
     #[test]

@@ -17,7 +17,7 @@ use harmony::db::{BufferPool, CostModel, QueryEngine, Workload, WorkloadConfig};
 use harmony::proto::LocalTransport;
 use harmony::resources::Cluster;
 use harmony::rsl::{listings, Value};
-use parking_lot::Mutex;
+use parking_lot::RwLock;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The metacomputer: one database server plus three client machines.
@@ -27,7 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         rsl.push_str(&format!("harmonyNode client{i} {{speed 1.0}} {{memory 64}}\n"));
         rsl.push_str(&format!("harmonyLink server client{i} {{bandwidth 320}}\n"));
     }
-    let controller = Arc::new(Mutex::new(Controller::new(
+    let controller = Arc::new(RwLock::new(Controller::new(
         Cluster::from_rsl(&rsl)?,
         ControllerConfig::default(),
     )));
@@ -106,7 +106,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The metric interface accumulated our measurements.
     let series = controller
-        .lock()
+        .read()
         .metrics()
         .series(&format!("{}.response_time", app.instance_name()))
         .expect("metrics recorded");

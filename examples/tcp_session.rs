@@ -15,12 +15,12 @@ use harmony::core::{Controller, ControllerConfig};
 use harmony::proto::{TcpServer, TcpTransport};
 use harmony::resources::Cluster;
 use harmony::rsl::{listings, Value};
-use parking_lot::Mutex;
+use parking_lot::RwLock;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The Harmony process: controller + TCP server on an ephemeral port.
     let cluster = Cluster::from_rsl(&listings::sp2_cluster(8))?;
-    let controller = Arc::new(Mutex::new(Controller::new(cluster, ControllerConfig::default())));
+    let controller = Arc::new(RwLock::new(Controller::new(cluster, ControllerConfig::default())));
     let mut server = TcpServer::start("127.0.0.1:0", Arc::clone(&controller))?;
     println!("harmony server listening on {}", server.addr());
 
@@ -51,8 +51,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // alive so the controller doesn't reap us as a crashed client.
     app.heartbeat()?;
     let id = harmony::core::InstanceId::new(app.app(), app.instance_id());
-    if let Some(s) = controller.lock().session(&id).cloned() {
-        println!("lease renewed: deadline t={:.0}s, {} renewals", s.deadline, s.renewals);
+    {
+        // Heartbeats only stamp an atomic touch; `effective_deadline` folds
+        // the stamp in, so it sees the renewal before the reaper does.
+        let ctl = controller.read();
+        if let (Some(s), Some(deadline)) = (ctl.session(&id), ctl.effective_deadline(&id)) {
+            println!("lease renewed: deadline t={:.0}s, {} renewals", deadline, s.renewals);
+        }
     }
 
     // Report a metric, then shut down cleanly.

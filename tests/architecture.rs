@@ -9,13 +9,13 @@ use harmony::core::{Controller, ControllerConfig, HarmonyEvent};
 use harmony::proto::{LocalTransport, TcpServer, TcpTransport};
 use harmony::resources::Cluster;
 use harmony::rsl::{listings, Value};
-use parking_lot::Mutex;
+use parking_lot::RwLock;
 
-type Shared = Arc<Mutex<Controller>>;
+type Shared = Arc<RwLock<Controller>>;
 
 fn shared(nodes: usize) -> Shared {
     let cluster = Cluster::from_rsl(&listings::sp2_cluster(nodes)).unwrap();
-    Arc::new(Mutex::new(Controller::new(cluster, ControllerConfig::default())))
+    Arc::new(RwLock::new(Controller::new(cluster, ControllerConfig::default())))
 }
 
 #[test]
@@ -53,14 +53,14 @@ fn two_tcp_clients_share_one_cluster() {
 
     // Metrics flow through the metric interface into the registry.
     a.report_metric("response_time", 10.0, 345.0).unwrap();
-    assert!(ctl.lock().metrics().series("bag.1.response_time").is_some());
+    assert!(ctl.read().metrics().series("bag.1.response_time").is_some());
 
     b.end().unwrap();
     assert!(a.wait_for_update(Duration::from_secs(2)).unwrap());
     assert_eq!(wa.get(), Value::Int(8), "re-expanded after departure");
     a.end().unwrap();
     server.stop();
-    assert_eq!(ctl.lock().cluster().total_tasks(), 0);
+    assert_eq!(ctl.read().cluster().total_tasks(), 0);
 }
 
 #[test]
@@ -79,7 +79,7 @@ fn environment_events_retune_running_applications() {
 
     // Four more nodes join the metacomputer (with links into the mesh).
     {
-        let mut ctl = ctl.lock();
+        let mut ctl = ctl.write();
         for i in 4..8 {
             let name = format!("node{i:02}");
             ctl.handle_event(HarmonyEvent::NodeJoined(harmony::rsl::schema::NodeDecl::new(
@@ -102,7 +102,7 @@ fn environment_events_retune_running_applications() {
     assert_eq!(workers.get(), Value::Int(8), "expanded onto new capacity");
 
     // A node leaves; the application is displaced and re-placed.
-    ctl.lock().handle_event(HarmonyEvent::NodeLeft { name: "node00".into() }).unwrap();
+    ctl.write().handle_event(HarmonyEvent::NodeLeft { name: "node00".into() }).unwrap();
     client.poll().unwrap();
     assert_eq!(workers.get(), Value::Int(4), "re-placed after eviction");
     client.end().unwrap();
@@ -128,7 +128,7 @@ fn local_and_tcp_transports_agree() {
         client.poll().unwrap();
         let id = client.instance_id();
         let decisions: Vec<String> = ctl
-            .lock()
+            .read()
             .decisions()
             .iter()
             .map(|d| format!("{} {} -> {}", d.instance, d.bundle, d.to))

@@ -1,0 +1,254 @@
+//! Decision coalescing under arrival storms: N clients landing inside one
+//! window are settled by a single joint optimization, read-only verbs
+//! proceed under the shared lock, and the coalesced outcome is identical
+//! to what per-arrival re-evaluation would have produced.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use harmony::client::{HarmonyClient, UpdateDelivery};
+use harmony::core::{Controller, ControllerConfig};
+use harmony::proto::{LocalTransport, TcpServer, TcpTransport};
+use harmony::resources::Cluster;
+use harmony::rsl::{listings, Value};
+use parking_lot::RwLock;
+
+type Shared = Arc<RwLock<Controller>>;
+
+fn coalescing_config(window: f64) -> ControllerConfig {
+    let mut config = ControllerConfig::default();
+    config.coalesce.window = window;
+    config
+}
+
+fn shared_with(nodes: usize, config: ControllerConfig) -> Shared {
+    let cluster = Cluster::from_rsl(&listings::sp2_cluster(nodes)).unwrap();
+    Arc::new(RwLock::new(Controller::new(cluster, config)))
+}
+
+/// Polls `cond` until it holds or `timeout` elapses.
+fn wait_until(timeout: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + timeout;
+    loop {
+        if cond() {
+            return true;
+        }
+        if Instant::now() >= deadline {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// The headline test: four clients register inside one window; the burst
+/// is settled by ONE joint optimization instead of four, and every client
+/// converges to the same split per-arrival re-evaluation reaches.
+#[test]
+fn burst_in_one_window_settles_in_one_pass() {
+    let ctl = shared_with(8, coalescing_config(0.05));
+    const N: usize = 4;
+
+    let mut clients = Vec::new();
+    let mut vars = Vec::new();
+    for _ in 0..N {
+        let mut c = HarmonyClient::startup(
+            LocalTransport::new(Arc::clone(&ctl)),
+            "bag",
+            UpdateDelivery::Polling,
+        )
+        .unwrap();
+        vars.push(c.add_variable("config.run.workerNodes", Value::Int(0)));
+        c.bundle_setup(listings::FIG2B_BAG).unwrap();
+        clients.push(c);
+    }
+    assert_eq!(ctl.read().pending_decisions(), N, "every arrival deferred");
+    let reevals_before = ctl.read().metrics().counter("controller.reevals");
+
+    let records = ctl.write().flush_scheduler().unwrap();
+    assert!(!records.is_empty(), "the window settles the burst");
+    assert!(
+        records.iter().all(|r| r.cause.as_deref() == Some("coalesced-arrivals: 4")),
+        "coalesced decisions carry the batch size as their cause"
+    );
+
+    let ctl_now = ctl.read();
+    assert_eq!(
+        ctl_now.metrics().counter("controller.reevals") - reevals_before,
+        1,
+        "one joint optimization for the whole burst"
+    );
+    assert_eq!(ctl_now.metrics().counter("controller.scheduler.windows_fired"), 1);
+    assert_eq!(ctl_now.metrics().counter("controller.scheduler.coalesced_arrivals"), N as u64);
+    assert_eq!(ctl_now.metrics().counter("controller.scheduler.decisions_saved"), (N - 1) as u64);
+    assert_eq!(ctl_now.pending_decisions(), 0);
+    drop(ctl_now);
+
+    // The coalesced split equals what per-arrival re-evaluation reaches.
+    let reference = {
+        let cluster = Cluster::from_rsl(&listings::sp2_cluster(8)).unwrap();
+        let mut sync_ctl = Controller::new(cluster, ControllerConfig::default());
+        for _ in 0..N {
+            sync_ctl
+                .register(harmony::rsl::schema::parse_bundle_script(listings::FIG2B_BAG).unwrap())
+                .unwrap();
+        }
+        sync_ctl.reevaluate().unwrap();
+        sync_ctl
+    };
+    for (i, (c, v)) in clients.iter_mut().zip(&vars).enumerate() {
+        c.poll().unwrap();
+        let id = harmony::core::InstanceId::new("bag", (i + 1) as u64);
+        let expected = reference.choice(&id, "config").unwrap().vars[0].1;
+        assert_eq!(v.get(), Value::Int(expected), "{id} matches the synchronous split");
+    }
+    for c in clients {
+        c.end().unwrap();
+    }
+}
+
+/// Decision equivalence: the coalesced controller's final assignment is
+/// identical to a synchronous controller that re-evaluated per arrival.
+#[test]
+fn coalesced_assignment_matches_synchronous_reevaluation() {
+    let spec = || harmony::rsl::schema::parse_bundle_script(listings::FIG2B_BAG).unwrap();
+
+    let cluster = Cluster::from_rsl(&listings::sp2_cluster(8)).unwrap();
+    let mut coalesced = Controller::new(cluster.clone(), coalescing_config(0.05));
+    let mut synchronous = Controller::new(cluster, ControllerConfig::default());
+
+    for _ in 0..3 {
+        coalesced.register(spec()).unwrap();
+        synchronous.register(spec()).unwrap();
+    }
+    coalesced.flush_scheduler().unwrap();
+    // A settled synchronous controller is a fixed point of `reevaluate`.
+    synchronous.reevaluate().unwrap();
+
+    assert_eq!(coalesced.instances(), synchronous.instances());
+    for id in coalesced.instances() {
+        let a = coalesced.choice(&id, "config").expect("coalesced choice");
+        let b = synchronous.choice(&id, "config").expect("synchronous choice");
+        assert_eq!(a.option, b.option, "{id}: same option");
+        assert_eq!(a.vars, b.vars, "{id}: same variable bindings");
+        assert_eq!(a.alloc, b.alloc, "{id}: same allocation");
+    }
+    assert_eq!(coalesced.objective_score(), synchronous.objective_score());
+    // And the coalesced state is itself a fixed point.
+    assert!(coalesced.reevaluate().unwrap().is_empty());
+}
+
+/// `window: 0` (the default) reproduces the synchronous behavior exactly:
+/// same decision stream, no scheduler activity.
+#[test]
+fn zero_window_is_synchronous_bit_for_bit() {
+    let spec = || harmony::rsl::schema::parse_bundle_script(listings::FIG2B_BAG).unwrap();
+    let cluster = Cluster::from_rsl(&listings::sp2_cluster(8)).unwrap();
+
+    let mut explicit_zero = Controller::new(cluster.clone(), coalescing_config(0.0));
+    let mut default = Controller::new(cluster, ControllerConfig::default());
+    assert!(!explicit_zero.coalescing());
+
+    for _ in 0..3 {
+        explicit_zero.register(spec()).unwrap();
+        default.register(spec()).unwrap();
+    }
+    assert_eq!(explicit_zero.decisions(), default.decisions());
+    assert_eq!(explicit_zero.pending_decisions(), 0, "nothing ever deferred");
+    assert_eq!(explicit_zero.metrics().counter("controller.scheduler.windows_fired"), 0);
+    assert_eq!(explicit_zero.objective_score(), default.objective_score());
+}
+
+/// `service_scheduler` respects the window: not due before it elapses,
+/// fires once it has.
+#[test]
+fn service_scheduler_honors_the_window() {
+    let spec = harmony::rsl::schema::parse_bundle_script(listings::FIG2B_BAG).unwrap();
+    let cluster = Cluster::from_rsl(&listings::sp2_cluster(8)).unwrap();
+    let mut ctl = Controller::new(cluster, coalescing_config(1.0));
+    ctl.set_time(10.0);
+    ctl.register(spec).unwrap();
+    assert_eq!(ctl.pending_decisions(), 1);
+
+    assert!(ctl.service_scheduler(10.5).unwrap().is_empty(), "window still open");
+    assert_eq!(ctl.pending_decisions(), 1);
+    ctl.service_scheduler(11.0).unwrap();
+    assert_eq!(ctl.pending_decisions(), 0, "quiet window elapsed: fired");
+    assert_eq!(ctl.metrics().counter("controller.scheduler.windows_fired"), 1);
+}
+
+/// Over TCP with the server's ticker thread: a burst of clients coalesces
+/// without anyone calling the scheduler explicitly.
+#[test]
+fn tcp_burst_is_settled_by_the_ticker() {
+    let ctl = shared_with(8, coalescing_config(0.05));
+    let mut server = TcpServer::start("127.0.0.1:0", Arc::clone(&ctl)).unwrap();
+    const N: usize = 4;
+
+    let mut clients = Vec::new();
+    let mut vars = Vec::new();
+    for _ in 0..N {
+        let mut c = HarmonyClient::startup(
+            TcpTransport::connect(server.addr()).unwrap(),
+            "bag",
+            UpdateDelivery::Polling,
+        )
+        .unwrap();
+        vars.push(c.add_variable("config.run.workerNodes", Value::Int(0)));
+        c.bundle_setup(listings::FIG2B_BAG).unwrap();
+        clients.push(c);
+    }
+
+    assert!(
+        wait_until(Duration::from_secs(5), || ctl.read().pending_decisions() == 0),
+        "ticker drains the pending marks"
+    );
+    let fired = ctl.read().metrics().counter("controller.scheduler.windows_fired");
+    assert!(fired >= 1, "at least one window fired");
+    assert!(fired <= 2, "a 4-client burst needs at most two windows, saw {fired}");
+
+    for (c, v) in clients.iter_mut().zip(&vars) {
+        assert!(c.wait_for_update(Duration::from_secs(2)).unwrap());
+        assert!(matches!(v.get(), Value::Int(n) if n >= 1), "every client holds a placement");
+    }
+    // The settled state is a fixed point: one more pass changes nothing.
+    assert!(ctl.write().reevaluate().unwrap().is_empty());
+    for c in clients {
+        c.end().unwrap();
+    }
+    server.stop();
+}
+
+/// Read-only verbs (status, poll, heartbeat) are served under the shared
+/// read lock: they complete even while another reader holds the lock,
+/// which a write-locking implementation would deadlock on.
+#[test]
+fn status_and_poll_proceed_under_a_concurrent_reader() {
+    let ctl = shared_with(8, ControllerConfig::default());
+    let mut server = TcpServer::start("127.0.0.1:0", Arc::clone(&ctl)).unwrap();
+    let mut client = HarmonyClient::startup(
+        TcpTransport::connect(server.addr()).unwrap(),
+        "bag",
+        UpdateDelivery::Polling,
+    )
+    .unwrap();
+    client.bundle_setup(listings::FIG2B_BAG).unwrap();
+    client.poll().unwrap();
+
+    let guard = ctl.read(); // a long-running reader (e.g. a status dump)
+    let (tx, rx) = std::sync::mpsc::channel();
+    let handle = std::thread::spawn(move || {
+        let snap = client.status().unwrap();
+        let applied = client.poll().unwrap();
+        client.heartbeat().unwrap();
+        tx.send((snap.sessions.len(), applied)).unwrap();
+        client
+    });
+    let (sessions, _applied) = rx
+        .recv_timeout(Duration::from_secs(5))
+        .expect("read verbs must not wait for the read lock to clear");
+    assert_eq!(sessions, 1);
+    drop(guard);
+    let client = handle.join().unwrap();
+    client.end().unwrap();
+    server.stop();
+}

@@ -12,13 +12,13 @@ use harmony::proto::frame::{read_frame, write_frame};
 use harmony::proto::{Request, Response, TcpServer, TcpTransport};
 use harmony::resources::Cluster;
 use harmony::rsl::listings;
-use parking_lot::Mutex;
+use parking_lot::RwLock;
 
-type Shared = Arc<Mutex<Controller>>;
+type Shared = Arc<RwLock<Controller>>;
 
 fn shared(nodes: usize) -> Shared {
     let cluster = Cluster::from_rsl(&listings::sp2_cluster(nodes)).unwrap();
-    Arc::new(Mutex::new(Controller::new(cluster, ControllerConfig::default())))
+    Arc::new(RwLock::new(Controller::new(cluster, ControllerConfig::default())))
 }
 
 #[test]
@@ -78,10 +78,10 @@ fn client_vanishing_mid_session_leaks_only_its_own_allocation() {
     // The controller still holds A's allocation until its lease expires
     // (see tests/session_resilience.rs for the reaper path); an operator
     // can also reap it immediately through the status/end path.
-    assert_eq!(ctl.lock().instances().len(), 1);
-    let id = ctl.lock().instances()[0].clone();
-    ctl.lock().end(&id).unwrap();
-    assert_eq!(ctl.lock().cluster().total_tasks(), 0);
+    assert_eq!(ctl.read().instances().len(), 1);
+    let id = ctl.read().instances()[0].clone();
+    ctl.write().end(&id).unwrap();
+    assert_eq!(ctl.read().cluster().total_tasks(), 0);
 }
 
 #[test]

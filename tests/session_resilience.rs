@@ -17,13 +17,13 @@ use harmony::proto::{LocalTransport, Request, Response, ServerConfig, TcpServer,
 use harmony::resources::Cluster;
 use harmony::rsl::listings;
 use harmony::rsl::Value;
-use parking_lot::Mutex;
+use parking_lot::RwLock;
 
-type Shared = Arc<Mutex<Controller>>;
+type Shared = Arc<RwLock<Controller>>;
 
 fn shared(nodes: usize) -> Shared {
     let cluster = Cluster::from_rsl(&listings::sp2_cluster(nodes)).unwrap();
-    Arc::new(Mutex::new(Controller::new(cluster, ControllerConfig::default())))
+    Arc::new(RwLock::new(Controller::new(cluster, ControllerConfig::default())))
 }
 
 fn tcp_client(server: &TcpServer, app: &str) -> HarmonyClient<TcpTransport> {
@@ -64,7 +64,7 @@ fn reaper_converges_to_survivor_only_state() {
     for c in &mut clients {
         c.bundle_setup(listings::FIG2B_BAG).unwrap();
     }
-    assert_eq!(ctl.lock().instances().len(), N);
+    assert_eq!(ctl.read().instances().len(), N);
 
     let mut survivor = clients.remove(0);
     let survivor_id = InstanceId::new(survivor.app(), survivor.instance_id());
@@ -74,14 +74,14 @@ fn reaper_converges_to_survivor_only_state() {
 
     // Time passes beyond the lease; the survivor heartbeats, the dead do
     // not. (Controller time is logical — no sleeping here.)
-    let lease = ctl.lock().config().lease.duration;
+    let lease = ctl.read().config().lease.duration;
     let later = lease + 1.0;
-    ctl.lock().set_time(later);
+    ctl.write().set_time(later);
     survivor.heartbeat().unwrap();
-    let records = ctl.lock().reap_expired(later).unwrap();
+    let records = ctl.write().reap_expired(later).unwrap();
 
     // Exactly the K dead clients were retired, for cause.
-    let ctl_now = ctl.lock();
+    let ctl_now = ctl.read();
     assert_eq!(ctl_now.instances(), vec![survivor_id.clone()]);
     let reaped: Vec<_> =
         ctl_now.retirements().iter().filter(|r| r.reason == RetireReason::LeaseExpired).collect();
@@ -129,16 +129,16 @@ fn disconnect_is_reaped_within_grace_with_its_own_reason() {
     server.disconnect_all();
     assert!(
         wait_until(Duration::from_secs(5), || {
-            ctl.lock().session(&id).is_some_and(|s| s.disconnected)
+            ctl.read().session(&id).is_some_and(|s| s.disconnected)
         }),
         "serving thread marks the instance disconnected on exit"
     );
 
     // The lease was capped to `now + disconnect_grace`; reaping just past
     // the grace (well before the full lease duration) collects it.
-    let grace = ctl.lock().config().lease.disconnect_grace;
-    ctl.lock().reap_expired(grace + 0.1).unwrap();
-    let ctl_now = ctl.lock();
+    let grace = ctl.read().config().lease.disconnect_grace;
+    ctl.write().reap_expired(grace + 0.1).unwrap();
+    let ctl_now = ctl.read();
     assert!(ctl_now.instances().is_empty());
     assert_eq!(ctl_now.retirements().last().unwrap().reason, RetireReason::Disconnected);
     assert_eq!(ctl_now.cluster().total_tasks(), 0);
@@ -164,7 +164,7 @@ fn reattach_preserves_instance_id_and_replays_chosen_values() {
     server.disconnect_all();
     let id = InstanceId::new(client.app(), id_before);
     assert!(wait_until(Duration::from_secs(5), || {
-        ctl.lock().session(&id).is_some_and(|s| s.disconnected)
+        ctl.read().session(&id).is_some_and(|s| s.disconnected)
     }));
 
     // The next poll reconnects, reattaches, and receives the replayed
@@ -175,7 +175,7 @@ fn reattach_preserves_instance_id_and_replays_chosen_values() {
     assert!(applied >= 1, "replayed {applied} values");
     assert_eq!(client.instance_id(), id_before, "reattach preserves the id");
     assert_eq!(workers.get(), Value::Int(8), "chosen values replayed");
-    let ctl_now = ctl.lock();
+    let ctl_now = ctl.read();
     assert_eq!(ctl_now.metrics().counter("controller.sessions.reattached"), 1);
     assert_eq!(ctl_now.instances().len(), 1, "no duplicate registration");
     drop(ctl_now);
@@ -219,7 +219,7 @@ fn server_restart_falls_back_to_fresh_startup_with_bundle_replay() {
     // the client re-registers from its cached scripts and keeps working.
     client.poll().unwrap();
     assert_eq!(workers.get(), Value::Int(8), "bundle replayed on the new server");
-    let ctl_now = fresh.lock();
+    let ctl_now = fresh.read();
     assert_eq!(ctl_now.instances().len(), 1, "fresh registration on the new controller");
     assert_eq!(ctl_now.cluster().total_tasks(), 8);
     drop(ctl_now);
@@ -250,7 +250,7 @@ fn stalled_peer_is_disconnected_by_the_read_deadline() {
 
     assert!(
         wait_until(Duration::from_secs(5), || {
-            ctl.lock().session(&instance).is_some_and(|st| st.disconnected)
+            ctl.read().session(&instance).is_some_and(|st| st.disconnected)
         }),
         "read deadline fires and the session is marked disconnected"
     );
@@ -298,9 +298,9 @@ fn dropping_a_client_releases_its_allocation() {
     let t = LocalTransport::new(Arc::clone(&ctl));
     let mut client = HarmonyClient::startup(t, "bag", UpdateDelivery::Polling).unwrap();
     client.bundle_setup(listings::FIG2B_BAG).unwrap();
-    assert_eq!(ctl.lock().cluster().total_tasks(), 8);
+    assert_eq!(ctl.read().cluster().total_tasks(), 8);
     drop(client);
-    assert_eq!(ctl.lock().cluster().total_tasks(), 0, "drop sent a best-effort end");
-    assert!(ctl.lock().instances().is_empty());
-    assert_eq!(ctl.lock().retirements().last().unwrap().reason, RetireReason::Ended);
+    assert_eq!(ctl.read().cluster().total_tasks(), 0, "drop sent a best-effort end");
+    assert!(ctl.read().instances().is_empty());
+    assert_eq!(ctl.read().retirements().last().unwrap().reason, RetireReason::Ended);
 }
