@@ -109,6 +109,16 @@ codes! {
     DOMINATED_OPTION = ("HA0140", Warning, "dominated option");
     /// An option's requirements duplicate an earlier option's exactly.
     DUPLICATE_REQS = ("HA0141", Warning, "option duplicates an earlier option's requirements");
+    /// Interval analysis proves the `performance` expression negative for
+    /// every point of the choice domain.
+    NEG_PERF_EXPR = ("HA0201", Warning, "performance expression is provably negative");
+    /// A variable assignment is strictly dominated: another assignment has
+    /// identical resolved resource demands and a strictly better predicted
+    /// time, so the optimizer can never profit from choosing it.
+    DOMINATED_ASSIGNMENT = ("HA0202", Note, "provably dominated variable assignment");
+    /// Interval analysis proves a resource demand negative for every point
+    /// of a choice domain too large for exhaustive checking.
+    PROVEN_NEG_DEMAND = ("HA0203", Warning, "demand provably negative over the whole domain");
 }
 
 /// A span in the analyzed source, with a message describing what the span
@@ -237,7 +247,7 @@ mod tests {
             .with_note("why");
         assert_eq!(d.option, "QS");
         assert!(d.primary_span().unwrap().same_range(&Span::new(3, 7)));
-        assert!(is_clean(&[d.clone()]));
+        assert!(is_clean(std::slice::from_ref(&d)));
         assert!(has_errors(&[d, Diagnostic::new(DUP_OPTION, "x")]));
     }
 

@@ -1,0 +1,356 @@
+//! Provably dominated variable assignments.
+//!
+//! Two assignments of one option are *demand-equivalent* when every
+//! resolved requirement — node counts, every tag value, links,
+//! `communication`, `friction`, `granularity` — is identical. The matcher
+//! is a pure function of the cluster state and the resolved requirements,
+//! so demand-equivalent assignments always produce identical allocations;
+//! if one additionally has a predicted time no worse than the other's, the
+//! other can never win and the optimizer may skip it. A
+//! [`DominanceProof`] records the witness pair.
+//!
+//! Soundness is conservative: any tag that fails to resolve (evaluation
+//! error) forfeits every claim for its assignment, and expressions that
+//! read allocation values are compared as *residuals* — the canonical
+//! expression text plus the bindings of the declared variables it reads —
+//! which is equality of behavior, not merely of syntax.
+
+use std::collections::BTreeMap;
+
+use harmony_rsl::expr::{Env, Expr};
+use harmony_rsl::schema::{OptionSpec, PerfSpec, TagValue};
+use serde::{Deserialize, Serialize};
+
+use crate::passes::reach;
+
+/// One point of an option's choice domain: `(variable, value)` pairs in
+/// declaration order.
+pub type Assignment = Vec<(String, i64)>;
+
+/// A machine-checkable witness that `loser` can never beat `winner`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DominanceProof {
+    /// Option the assignments belong to.
+    pub option: String,
+    /// The assignment that is always at least as good.
+    pub winner: Assignment,
+    /// The assignment that can never win.
+    pub loser: Assignment,
+    /// Winner's predicted time, when the performance model resolves to a
+    /// number under the assignment.
+    pub winner_time: Option<f64>,
+    /// Loser's predicted time, under the same conditions.
+    pub loser_time: Option<f64>,
+    /// True when the winner's time is strictly better (not merely a tie
+    /// broken toward the earlier assignment).
+    pub strict: bool,
+}
+
+/// How an assignment's predicted time resolves.
+enum TimeKey {
+    /// A concrete, finite predicted time.
+    Time(f64),
+    /// The time is a fixed function of the (identical) allocation: equal
+    /// residuals mean equal times.
+    Residual(String),
+    /// Could not be resolved; no claims about this assignment.
+    Unavailable,
+}
+
+/// Resolves one tag value into a signature component, or `None` when it
+/// cannot be resolved soundly.
+fn resolve_tag(
+    tag: &TagValue,
+    env: &harmony_rsl::expr::MapEnv,
+    declared: &[&str],
+) -> Option<String> {
+    match tag {
+        TagValue::Any => Some("*".into()),
+        TagValue::AtLeast(x) => Some(format!(">={x}")),
+        TagValue::AtMost(x) => Some(format!("<={x}")),
+        TagValue::Exact(v) => Some(v.canonical()),
+        TagValue::Expr(e) => resolve_expr(e, env, declared),
+    }
+}
+
+/// Resolves an expression to a value (when decidable from variables alone)
+/// or to a residual: its text plus the variable bindings it reads.
+fn resolve_expr(e: &Expr, env: &harmony_rsl::expr::MapEnv, declared: &[&str]) -> Option<String> {
+    let free = e.free_names();
+    if free.iter().all(|n| declared.contains(&n.as_str())) {
+        match harmony_rsl::expr::eval(e, env) {
+            Ok(v) => Some(v.canonical()),
+            Err(_) => None,
+        }
+    } else {
+        let mut bindings: Vec<String> = free
+            .iter()
+            .filter(|n| declared.contains(&n.as_str()))
+            .map(|n| {
+                env.lookup(n)
+                    .map(|v| format!("{n}={}", v.canonical()))
+                    .unwrap_or_else(|| format!("{n}=?"))
+            })
+            .collect();
+        bindings.sort();
+        Some(format!("{{{e}}}|{}", bindings.join(",")))
+    }
+}
+
+/// The full resolved demand signature of `opt` under `assignment`, or
+/// `None` when any part fails to resolve.
+fn signature(opt: &OptionSpec, assignment: &Assignment, declared: &[&str]) -> Option<String> {
+    let env = reach::env_of(assignment);
+    let mut parts: Vec<String> = Vec::new();
+    for node in &opt.nodes {
+        let count = node.count.resolve(&env).ok()?;
+        let mut piece = format!("node {} x{count}", node.name);
+        for (tag, value) in &node.tags {
+            piece.push_str(&format!(" {tag}={}", resolve_tag(value, &env, declared)?));
+        }
+        parts.push(piece);
+    }
+    for link in &opt.links {
+        parts.push(format!(
+            "link {}-{} bw={}",
+            link.a,
+            link.b,
+            resolve_tag(&link.bandwidth, &env, declared)?
+        ));
+    }
+    if let Some(c) = &opt.communication {
+        parts.push(format!("comm={}", resolve_tag(c, &env, declared)?));
+    }
+    if let Some(f) = &opt.friction {
+        parts.push(format!("friction={}", resolve_tag(f, &env, declared)?));
+    }
+    if let Some(g) = opt.granularity {
+        parts.push(format!("granularity={g}"));
+    }
+    Some(parts.join("; "))
+}
+
+/// The predicted time of `opt` under `assignment`.
+fn time_key(opt: &OptionSpec, assignment: &Assignment, declared: &[&str]) -> TimeKey {
+    let env = reach::env_of(assignment);
+    match &opt.performance {
+        None => {
+            // Default model: time is a function of the allocation, which is
+            // identical for demand-equivalent assignments.
+            TimeKey::Residual("default-model".into())
+        }
+        Some(PerfSpec::Points(points)) => {
+            let mut x = 0u64;
+            for node in &opt.nodes {
+                match node.count.resolve(&env) {
+                    Ok(n) => x += u64::from(n),
+                    Err(_) => return TimeKey::Unavailable,
+                }
+            }
+            if points.is_empty() {
+                return TimeKey::Unavailable;
+            }
+            let t = harmony_rsl::schema::piecewise_linear(points, x as f64);
+            if t.is_finite() {
+                TimeKey::Time(t)
+            } else {
+                TimeKey::Unavailable
+            }
+        }
+        Some(PerfSpec::Expr(e)) => {
+            let free = e.free_names();
+            if free.iter().all(|n| declared.contains(&n.as_str())) {
+                match harmony_rsl::expr::eval(e, &env).and_then(|v| v.as_f64()) {
+                    Ok(t) if t.is_finite() => TimeKey::Time(t),
+                    _ => TimeKey::Unavailable,
+                }
+            } else {
+                match resolve_expr(e, &env, declared) {
+                    Some(r) => TimeKey::Residual(r),
+                    None => TimeKey::Unavailable,
+                }
+            }
+        }
+    }
+}
+
+/// Finds every provably dominated assignment of `opt`.
+///
+/// Empty when the choice domain exceeds the analysis cap or the option has
+/// at most one assignment.
+pub fn dominated_assignments(opt: &OptionSpec) -> Vec<DominanceProof> {
+    let Some(points) = reach::assignments(opt) else {
+        return Vec::new();
+    };
+    if points.len() < 2 {
+        return Vec::new();
+    }
+    let declared: Vec<&str> = opt.variables.iter().map(|v| v.name.as_str()).collect();
+
+    // Group assignments by demand signature (preserving enumeration order,
+    // which is the optimizer's tie-break order).
+    let mut groups: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    for (i, point) in points.iter().enumerate() {
+        if let Some(sig) = signature(opt, point, &declared) {
+            groups.entry(sig).or_default().push(i);
+        }
+    }
+
+    let mut out = Vec::new();
+    for members in groups.values() {
+        if members.len() < 2 {
+            continue;
+        }
+        let keys: Vec<TimeKey> =
+            members.iter().map(|&i| time_key(opt, &points[i], &declared)).collect();
+
+        // Concrete times: earliest-best wins, strictly-worse losers and
+        // equal-time later duplicates are both dominated.
+        let mut best: Option<(usize, f64)> = None;
+        for (k, key) in keys.iter().enumerate() {
+            if let TimeKey::Time(t) = key {
+                let better = match best {
+                    None => true,
+                    Some((_, bt)) => *t < bt,
+                };
+                if better {
+                    best = Some((k, *t));
+                }
+            }
+        }
+        if let Some((bk, bt)) = best {
+            for (k, key) in keys.iter().enumerate() {
+                if k == bk {
+                    continue;
+                }
+                if let TimeKey::Time(t) = key {
+                    // Earlier equal-time assignments win their own ties.
+                    if *t == bt && k < bk {
+                        continue;
+                    }
+                    out.push(DominanceProof {
+                        option: opt.name.clone(),
+                        winner: points[members[bk]].clone(),
+                        loser: points[members[k]].clone(),
+                        winner_time: Some(bt),
+                        loser_time: Some(*t),
+                        strict: *t > bt,
+                    });
+                }
+            }
+        }
+
+        // Residual times: identical residuals mean identical outcomes, so
+        // the earliest assignment of each residual class dominates the rest.
+        let mut first_residual: BTreeMap<&str, usize> = BTreeMap::new();
+        for (k, key) in keys.iter().enumerate() {
+            if let TimeKey::Residual(r) = key {
+                match first_residual.get(r.as_str()) {
+                    None => {
+                        first_residual.insert(r, k);
+                    }
+                    Some(&w) => out.push(DominanceProof {
+                        option: opt.name.clone(),
+                        winner: points[members[w]].clone(),
+                        loser: points[members[k]].clone(),
+                        winner_time: None,
+                        loser_time: None,
+                        strict: false,
+                    }),
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harmony_rsl::schema::parse_bundle_script;
+
+    fn proofs(src: &str) -> Vec<DominanceProof> {
+        let bundle = parse_bundle_script(src).unwrap();
+        dominated_assignments(&bundle.options[0])
+    }
+
+    #[test]
+    fn unused_variable_creates_strict_domination() {
+        // `w` does not change any demand, but the perf expression rises
+        // with it: w = 1 strictly dominates w = 2 and w = 4.
+        let found = proofs(
+            "harmonyBundle a b { {o {variable w {1 2 4}} \
+             {node n {seconds 100}} \
+             {performance {100 * w}}} }",
+        );
+        assert_eq!(found.len(), 2);
+        for p in &found {
+            assert!(p.strict);
+            assert_eq!(p.winner, vec![("w".to_string(), 1)]);
+            assert_eq!(p.winner_time, Some(100.0));
+        }
+        assert!(found.iter().any(|p| p.loser_time == Some(200.0)));
+        assert!(found.iter().any(|p| p.loser_time == Some(400.0)));
+    }
+
+    #[test]
+    fn differing_demands_are_never_compared() {
+        // seconds resolves differently per w: no demand-equivalent pairs.
+        let found = proofs(
+            "harmonyBundle a b { {o {variable w {1 2 4}} \
+             {node n {replicate w} {seconds {1200 / w}}} \
+             {performance {1200 / w}}} }",
+        );
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn fig2b_has_no_dominated_assignments() {
+        let bundle = parse_bundle_script(harmony_rsl::listings::FIG2B_BAG).unwrap();
+        assert!(dominated_assignments(&bundle.options[0]).is_empty());
+    }
+
+    #[test]
+    fn equal_times_tie_break_to_earlier_assignment() {
+        let found = proofs(
+            "harmonyBundle a b { {o {variable w {1 2}} \
+             {node n {seconds 100}} \
+             {performance {500}}} }",
+        );
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].winner, vec![("w".to_string(), 1)]);
+        assert_eq!(found[0].loser, vec![("w".to_string(), 2)]);
+        assert!(!found[0].strict);
+    }
+
+    #[test]
+    fn default_model_duplicates_are_residual_ties() {
+        let found = proofs(
+            "harmonyBundle a b { {o {variable w {1 2}} \
+             {node n {seconds 100}}} }",
+        );
+        assert_eq!(found.len(), 1);
+        assert!(!found[0].strict);
+        assert_eq!(found[0].winner_time, None);
+    }
+
+    #[test]
+    fn allocation_dependent_demands_resolve_as_residuals() {
+        // The memory tag reads an allocation value scaled by w: the two
+        // assignments differ behaviorally, so nothing is dominated...
+        let found = proofs(
+            "harmonyBundle a b { {o {variable w {1 2}} \
+             {node n {seconds 100} {memory {n.memory * w}}} \
+             {performance {100}}} }",
+        );
+        assert!(found.is_empty(), "{found:?}");
+        // ...but when the residual does not read w, the times decide.
+        let found = proofs(
+            "harmonyBundle a b { {o {variable w {1 2}} \
+             {node n {seconds 100} {memory {n.memory * 2}}} \
+             {performance {100 * w}}} }",
+        );
+        assert_eq!(found.len(), 1);
+        assert!(found[0].strict);
+    }
+}

@@ -1,0 +1,627 @@
+//! Interval abstract interpretation over RSL expressions.
+//!
+//! [`aeval`] soundly over-approximates the concrete evaluator in
+//! `harmony_rsl::expr::eval`: for every environment consistent with the
+//! abstract one, every *successful, finite, numeric* concrete result lies
+//! inside the returned interval. Evaluation errors (divide by zero,
+//! unbound names, type errors) and non-finite results carry no claim —
+//! downstream consumers treat those as infeasible anyway, so the
+//! weaker contract is exactly what pruning needs.
+//!
+//! The interpreter mirrors the concrete semantics' sharp edges:
+//!
+//! * integer division truncates toward zero, so an uncertain-type
+//!   quotient is widened to `[floor(lo), ceil(hi)]`, which contains both
+//!   the real and the truncated result;
+//! * a divisor interval containing zero cannot rule the error out, but
+//!   when the divisor is integral the surviving divisors satisfy
+//!   `|b| >= 1`, bounding the quotient by `|a|`;
+//! * bounds whose magnitude exceeds 2^53 are widened to infinity, which
+//!   also covers `i64` wrap-around (wrapping can only occur past that
+//!   guard);
+//! * a claimed interval additionally promises the runtime value is never
+//!   NaN (so interval-decided comparisons stay sound); any operator whose
+//!   bounds admit a NaN-producing operand combination (`inf - inf`,
+//!   `0 * inf`, `inf % b`, `sqrt` of a possibly-negative input) degrades
+//!   to "no claim" instead.
+
+use std::collections::BTreeMap;
+
+use harmony_rsl::expr::{BinOp, Expr, UnOp};
+use harmony_rsl::schema::{OptionSpec, TagValue};
+
+/// Largest bound magnitude the interpreter trusts: beyond 2^53 the f64
+/// bookkeeping is no longer exact for integers (and `i64` wrap-around
+/// becomes reachable), so bounds are widened to infinity.
+const SAFE: f64 = 9.0e15;
+
+/// A closed interval of numeric values, possibly unbounded on either
+/// side. `integral` additionally promises every concrete value is an RSL
+/// `Int` (exact integer arithmetic, truncating division).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    /// Lower bound (may be `-inf`).
+    pub lo: f64,
+    /// Upper bound (may be `+inf`).
+    pub hi: f64,
+    /// True when every value in the interval is an integer-typed value.
+    pub integral: bool,
+}
+
+impl Interval {
+    /// The unbounded interval.
+    pub const TOP: Interval =
+        Interval { lo: f64::NEG_INFINITY, hi: f64::INFINITY, integral: false };
+
+    /// A single integer point.
+    pub fn int(v: i64) -> Interval {
+        Interval { lo: v as f64, hi: v as f64, integral: true }
+    }
+
+    /// A single float point.
+    pub fn float(v: f64) -> Interval {
+        Interval { lo: v, hi: v, integral: false }
+    }
+
+    /// An integral range `[lo, hi]`.
+    pub fn int_range(lo: i64, hi: i64) -> Interval {
+        Interval { lo: lo as f64, hi: hi as f64, integral: true }
+    }
+
+    /// True when `v` lies inside the interval.
+    pub fn contains(&self, v: f64) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    /// Hull of two intervals.
+    pub fn join(&self, other: &Interval) -> Interval {
+        guard(Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+            integral: self.integral && other.integral,
+        })
+    }
+
+    /// True when the interval excludes zero.
+    pub fn excludes_zero(&self) -> bool {
+        self.lo > 0.0 || self.hi < 0.0
+    }
+
+    /// Largest absolute value in the interval.
+    fn mag(&self) -> f64 {
+        self.lo.abs().max(self.hi.abs())
+    }
+}
+
+/// Widens untrustworthy bounds (NaN, or magnitude past [`SAFE`]) to
+/// infinity. Every interval the interpreter returns passes through here.
+fn guard(mut iv: Interval) -> Interval {
+    if iv.lo.is_nan() || iv.lo < -SAFE {
+        iv.lo = f64::NEG_INFINITY;
+    }
+    if iv.hi.is_nan() || iv.hi > SAFE {
+        iv.hi = f64::INFINITY;
+    }
+    if iv.lo > iv.hi {
+        return Interval { integral: iv.integral, ..Interval::TOP };
+    }
+    iv
+}
+
+/// An abstract value: either a numeric interval claim or no claim at all
+/// (the value could be a string, a list, or any number).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Av {
+    /// Every successful result is a non-NaN number inside the interval
+    /// (infinite endpoints mean unbounded on that side).
+    Num(Interval),
+    /// No claim.
+    Any,
+}
+
+impl Av {
+    /// The interval, when one is claimed.
+    pub fn interval(&self) -> Option<Interval> {
+        match self {
+            Av::Num(iv) => Some(*iv),
+            Av::Any => None,
+        }
+    }
+}
+
+/// The abstract environment: declared variables mapped to their choice
+/// intervals (or to a point for a fixed assignment). Unmapped names —
+/// allocation values like `client.memory` — carry no claim.
+#[derive(Debug, Clone, Default)]
+pub struct DomainEnv {
+    map: BTreeMap<String, Interval>,
+}
+
+impl DomainEnv {
+    /// An empty environment (every name unknown).
+    pub fn new() -> DomainEnv {
+        DomainEnv::default()
+    }
+
+    /// Binds every declared variable of `opt` to the hull of its choices.
+    pub fn from_option(opt: &OptionSpec) -> DomainEnv {
+        let mut env = DomainEnv::new();
+        for v in &opt.variables {
+            if let (Some(&lo), Some(&hi)) = (v.choices.iter().min(), v.choices.iter().max()) {
+                env.set(&v.name, Interval::int_range(lo, hi));
+            }
+        }
+        env
+    }
+
+    /// Binds every variable of a concrete assignment to its point value.
+    pub fn from_assignment(assignment: &[(String, i64)]) -> DomainEnv {
+        let mut env = DomainEnv::new();
+        for (name, v) in assignment {
+            env.set(name, Interval::int(*v));
+        }
+        env
+    }
+
+    /// Binds one name.
+    pub fn set(&mut self, name: &str, iv: Interval) {
+        self.map.insert(name.to_owned(), iv);
+    }
+
+    /// The interval bound to `name`, if any.
+    pub fn get(&self, name: &str) -> Option<Interval> {
+        self.map.get(name).copied()
+    }
+}
+
+fn add(a: Interval, b: Interval) -> Av {
+    // inf + -inf is NaN; possible only when the bounds admit opposite
+    // infinities.
+    if (a.hi == f64::INFINITY && b.lo == f64::NEG_INFINITY)
+        || (a.lo == f64::NEG_INFINITY && b.hi == f64::INFINITY)
+    {
+        return Av::Any;
+    }
+    Av::Num(guard(Interval {
+        lo: a.lo + b.lo,
+        hi: a.hi + b.hi,
+        integral: a.integral && b.integral,
+    }))
+}
+
+fn sub(a: Interval, b: Interval) -> Av {
+    if (a.hi == f64::INFINITY && b.hi == f64::INFINITY)
+        || (a.lo == f64::NEG_INFINITY && b.lo == f64::NEG_INFINITY)
+    {
+        return Av::Any;
+    }
+    Av::Num(guard(Interval {
+        lo: a.lo - b.hi,
+        hi: a.hi - b.lo,
+        integral: a.integral && b.integral,
+    }))
+}
+
+fn unbounded(iv: &Interval) -> bool {
+    iv.lo == f64::NEG_INFINITY || iv.hi == f64::INFINITY
+}
+
+fn mul(a: Interval, b: Interval) -> Av {
+    // 0 * inf is NaN.
+    if (unbounded(&a) && b.contains(0.0)) || (unbounded(&b) && a.contains(0.0)) {
+        return Av::Any;
+    }
+    let corners = [a.lo * b.lo, a.lo * b.hi, a.hi * b.lo, a.hi * b.hi];
+    let lo = corners.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = corners.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    Av::Num(guard(Interval { lo, hi, integral: a.integral && b.integral }))
+}
+
+/// Division. Concrete semantics: `Int / Int` truncates toward zero,
+/// anything else divides in `f64`; a zero divisor is an error (vacuous for
+/// the claim).
+fn div(a: Interval, b: Interval) -> Av {
+    // inf / inf is NaN.
+    if unbounded(&a) && unbounded(&b) {
+        return Av::Any;
+    }
+    if !b.excludes_zero() {
+        // Surviving divisors are nonzero. When the divisor is integral
+        // they satisfy |b| >= 1, so |a / b| <= |a|.
+        if b.integral && a.mag().is_finite() {
+            let m = a.mag();
+            return Av::Num(guard(Interval { lo: -m, hi: m, integral: a.integral }));
+        }
+        return Av::Num(Interval { integral: false, ..Interval::TOP });
+    }
+    if a.integral && b.integral && a.mag().is_finite() && b.mag().is_finite() {
+        // Exact truncating division at the corners: the real quotient is
+        // monotone along each axis and truncation preserves that, so the
+        // extremes are corner values.
+        let (alo, ahi) = (a.lo as i128, a.hi as i128);
+        let (blo, bhi) = (b.lo as i128, b.hi as i128);
+        let mut lo = i128::MAX;
+        let mut hi = i128::MIN;
+        for x in [alo, ahi] {
+            for y in [blo, bhi] {
+                let q = x / y;
+                lo = lo.min(q);
+                hi = hi.max(q);
+            }
+        }
+        return Av::Num(guard(Interval { lo: lo as f64, hi: hi as f64, integral: true }));
+    }
+    let corners = [a.lo / b.lo, a.lo / b.hi, a.hi / b.lo, a.hi / b.hi];
+    let lo = corners.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = corners.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    // The runtime may truncate (integer operands we could not type
+    // exactly); [floor(lo), ceil(hi)] contains both outcomes.
+    Av::Num(guard(Interval { lo: lo.floor(), hi: hi.ceil(), integral: false }))
+}
+
+/// Remainder: `|a % b| < |b|` (and `<= |b| - 1` for integers), with the
+/// sign of the dividend.
+fn rem(a: Interval, b: Interval) -> Av {
+    // fmod(inf, b) is NaN.
+    if unbounded(&a) {
+        return Av::Any;
+    }
+    if !b.mag().is_finite() {
+        return Av::Num(Interval { integral: false, ..Interval::TOP });
+    }
+    let mut m = if a.integral && b.integral { (b.mag() - 1.0).max(0.0) } else { b.mag() };
+    m = m.min(a.mag());
+    let lo = if a.lo >= 0.0 { 0.0 } else { -m };
+    let hi = if a.hi <= 0.0 { 0.0 } else { m };
+    Av::Num(guard(Interval { lo, hi, integral: a.integral && b.integral }))
+}
+
+/// The `[0, 1]` integer interval every boolean-producing operator yields.
+fn bool_iv() -> Av {
+    Av::Num(Interval::int_range(0, 1))
+}
+
+fn compare_iv(op: BinOp, a: Av, b: Av) -> Av {
+    // Refine to a certain outcome only when both operands carry numeric
+    // claims (then the runtime comparison is numeric) and the intervals
+    // decide the ordering.
+    if let (Av::Num(x), Av::Num(y)) = (a, b) {
+        let lt = x.hi < y.lo; // certainly <
+        let gt = x.lo > y.hi; // certainly >
+        let eq = x.lo == x.hi && y.lo == y.hi && x.lo == y.lo;
+        let certain = match op {
+            BinOp::Lt => {
+                if lt {
+                    Some(true)
+                } else if gt || eq {
+                    Some(false)
+                } else {
+                    None
+                }
+            }
+            BinOp::Gt => {
+                if gt {
+                    Some(true)
+                } else if lt || eq {
+                    Some(false)
+                } else {
+                    None
+                }
+            }
+            BinOp::Le => {
+                if lt || eq {
+                    Some(true)
+                } else if gt {
+                    Some(false)
+                } else {
+                    None
+                }
+            }
+            BinOp::Ge => {
+                if gt || eq {
+                    Some(true)
+                } else if lt {
+                    Some(false)
+                } else {
+                    None
+                }
+            }
+            BinOp::Eq => {
+                if eq {
+                    Some(true)
+                } else if lt || gt {
+                    Some(false)
+                } else {
+                    None
+                }
+            }
+            BinOp::Ne => {
+                if eq {
+                    Some(false)
+                } else if lt || gt {
+                    Some(true)
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        };
+        if let Some(t) = certain {
+            return Av::Num(Interval::int(t as i64));
+        }
+    }
+    bool_iv()
+}
+
+fn call_iv(name: &str, args: &[Av]) -> Av {
+    let nums: Vec<Interval> = args.iter().filter_map(Av::interval).collect();
+    let all_num = nums.len() == args.len();
+    match name {
+        "min" | "max" if !args.is_empty() => {
+            if all_num {
+                let lo = if name == "min" {
+                    nums.iter().map(|i| i.lo).fold(f64::INFINITY, f64::min)
+                } else {
+                    nums.iter().map(|i| i.lo).fold(f64::NEG_INFINITY, f64::max)
+                };
+                let hi = if name == "min" {
+                    nums.iter().map(|i| i.hi).fold(f64::INFINITY, f64::min)
+                } else {
+                    nums.iter().map(|i| i.hi).fold(f64::NEG_INFINITY, f64::max)
+                };
+                Av::Num(guard(Interval { lo, hi, integral: nums.iter().all(|i| i.integral) }))
+            } else if !nums.is_empty() {
+                // min is bounded above by any known argument, max below.
+                if name == "min" {
+                    let hi = nums.iter().map(|i| i.hi).fold(f64::INFINITY, f64::min);
+                    Av::Num(guard(Interval { lo: f64::NEG_INFINITY, hi, integral: false }))
+                } else {
+                    let lo = nums.iter().map(|i| i.lo).fold(f64::NEG_INFINITY, f64::max);
+                    Av::Num(guard(Interval { lo, hi: f64::INFINITY, integral: false }))
+                }
+            } else {
+                Av::Any
+            }
+        }
+        "abs" if args.len() == 1 => match args[0] {
+            // An integral interval reaching -inf could hold i64::MIN, whose
+            // wrapping_abs stays negative; no sign claim survives there.
+            Av::Num(x) if x.integral && x.lo == f64::NEG_INFINITY => {
+                Av::Num(Interval { integral: true, ..Interval::TOP })
+            }
+            Av::Num(x) => {
+                let lo = if x.contains(0.0) { 0.0 } else { x.lo.abs().min(x.hi.abs()) };
+                Av::Num(guard(Interval { lo, hi: x.mag(), integral: x.integral }))
+            }
+            // abs(NaN) is NaN: no claim for unknown inputs.
+            Av::Any => Av::Any,
+        },
+        "floor" | "ceil" | "round" | "int" if args.len() == 1 => match args[0] {
+            Av::Num(x) => {
+                let (lo, hi) = match name {
+                    "floor" => (x.lo.floor(), x.hi.floor()),
+                    "ceil" => (x.lo.ceil(), x.hi.ceil()),
+                    "round" => (x.lo.round(), x.hi.round()),
+                    // `int` truncates toward zero; truncation is monotone.
+                    _ => (x.lo.trunc(), x.hi.trunc()),
+                };
+                Av::Num(guard(Interval { lo, hi, integral: true }))
+            }
+            Av::Any => Av::Num(Interval { integral: true, ..Interval::TOP }),
+        },
+        "sqrt" if args.len() == 1 => match args[0] {
+            // f64::sqrt is correctly rounded and monotone, so the image of
+            // [lo, hi] is exactly [sqrt(lo), sqrt(hi)]. A possibly-negative
+            // input could yield NaN, so it forfeits the claim.
+            Av::Num(x) if x.lo >= 0.0 => {
+                Av::Num(guard(Interval { lo: x.lo.sqrt(), hi: x.hi.sqrt(), integral: false }))
+            }
+            _ => Av::Any,
+        },
+        "exp" if args.len() == 1 => match args[0] {
+            // exp of a non-NaN input is non-negative and never NaN; libm
+            // monotonicity is not guaranteed, so only the sign is claimed.
+            Av::Num(_) => Av::Num(Interval { lo: 0.0, hi: f64::INFINITY, integral: false }),
+            Av::Any => Av::Any,
+        },
+        "double" if args.len() == 1 => match args[0] {
+            Av::Num(x) => Av::Num(Interval { integral: false, ..x }),
+            Av::Any => Av::Any,
+        },
+        "clamp" if args.len() == 3 => {
+            if let (Av::Num(x), Av::Num(lo_c), Av::Num(hi_c)) = (args[0], args[1], args[2]) {
+                // clamp = min(max(x, lo), hi); both are monotone, so
+                // corner propagation is exact.
+                let lo = x.lo.max(lo_c.lo).min(hi_c.lo);
+                let hi = x.hi.max(lo_c.hi).min(hi_c.hi);
+                Av::Num(guard(Interval { lo, hi, integral: false }))
+            } else {
+                Av::Any
+            }
+        }
+        // log/log2/log10/pow and unknown builtins: no useful claim.
+        _ => Av::Any,
+    }
+}
+
+/// Abstractly evaluates `expr` under `env`.
+///
+/// Soundness contract: for every concrete environment that binds each
+/// `env`-mapped name to a value inside its interval (an `Int` when the
+/// interval is integral), if concrete evaluation succeeds with a finite
+/// numeric value, that value lies inside the returned interval. `Av::Any`
+/// makes no claim.
+pub fn aeval(expr: &Expr, env: &DomainEnv) -> Av {
+    match expr {
+        Expr::Int(i) => Av::Num(Interval::int(*i)),
+        Expr::Float(x) if x.is_finite() => Av::Num(Interval::float(*x)),
+        Expr::Float(_) | Expr::Str(_) => Av::Any,
+        Expr::Name(n) => match env.get(n) {
+            Some(iv) => Av::Num(iv),
+            None => Av::Any,
+        },
+        Expr::Unary(UnOp::Neg, e) => match aeval(e, env) {
+            // An integral interval reaching -inf could hold i64::MIN, whose
+            // wrapping_neg is itself; widen rather than flip.
+            Av::Num(x) if x.integral && x.lo == f64::NEG_INFINITY => {
+                Av::Num(Interval { integral: true, ..Interval::TOP })
+            }
+            Av::Num(x) => Av::Num(guard(Interval { lo: -x.hi, hi: -x.lo, integral: x.integral })),
+            Av::Any => Av::Any,
+        },
+        Expr::Unary(UnOp::Not, _) => bool_iv(),
+        Expr::Binary(BinOp::And | BinOp::Or, _, _) => bool_iv(),
+        Expr::Binary(op, a, b) => {
+            let x = aeval(a, env);
+            let y = aeval(b, env);
+            match op {
+                BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Rem => match (x, y) {
+                    (Av::Num(x), Av::Num(y)) => match op {
+                        BinOp::Add => add(x, y),
+                        BinOp::Sub => sub(x, y),
+                        BinOp::Mul => mul(x, y),
+                        BinOp::Div => div(x, y),
+                        _ => rem(x, y),
+                    },
+                    _ => Av::Any,
+                },
+                _ => compare_iv(*op, x, y),
+            }
+        }
+        Expr::Ternary(c, t, e) => {
+            let cond = aeval(c, env);
+            match cond {
+                Av::Num(iv) if iv.excludes_zero() => aeval(t, env),
+                Av::Num(iv) if iv.lo == 0.0 && iv.hi == 0.0 => aeval(e, env),
+                _ => match (aeval(t, env), aeval(e, env)) {
+                    (Av::Num(a), Av::Num(b)) => Av::Num(a.join(&b)),
+                    _ => Av::Any,
+                },
+            }
+        }
+        Expr::Call(name, args) => {
+            let vals: Vec<Av> = args.iter().map(|a| aeval(a, env)).collect();
+            call_iv(name, &vals)
+        }
+    }
+}
+
+/// Abstract bound for a tag value: the interval its numeric *amount*
+/// (minimum requirement) can take under `env`. `Av::Any` for wildcards,
+/// `<=` constraints, and non-numeric literals.
+pub fn tag_bound(tag: &TagValue, env: &DomainEnv) -> Av {
+    match tag {
+        TagValue::Any | TagValue::AtMost(_) => Av::Any,
+        TagValue::AtLeast(x) => Av::Num(Interval::float(*x)),
+        TagValue::Exact(v) => match v.as_f64() {
+            Ok(x) if x.is_finite() => Av::Num(Interval::float(x)),
+            _ => Av::Any,
+        },
+        TagValue::Expr(e) => aeval(e, env),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harmony_rsl::expr::{eval, parse_expr, MapEnv};
+    use harmony_rsl::Value;
+
+    fn check_contains(src: &str, w: i64) {
+        let e = parse_expr(src).unwrap();
+        let mut env = DomainEnv::new();
+        env.set("w", Interval::int_range(1, 8));
+        let av = aeval(&e, &env);
+        let mut cenv = MapEnv::new();
+        cenv.set("w", Value::Int(w));
+        if let Ok(v) = eval(&e, &cenv) {
+            if let Ok(x) = v.as_f64() {
+                if x.is_finite() {
+                    let iv = av.interval().unwrap_or(Interval::TOP);
+                    assert!(iv.contains(x), "{src} at w={w}: {x} not in {iv:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn containment_over_common_shapes() {
+        for src in [
+            "1200 / w",
+            "0.5 * w * w",
+            "w % 3",
+            "min(100, w * 10)",
+            "max(2, w - 5)",
+            "w > 4 ? 100 : 200",
+            "abs(3 - w)",
+            "(1200 / w) + 0.25 * w",
+            "clamp(w, 2, 6)",
+            "floor(w / 2) + ceil(w / 3)",
+            "sqrt(w) * 4",
+            "-w + 10",
+            "int(w / 2.0)",
+            "w / (w - 4)",
+        ] {
+            for w in 1..=8 {
+                check_contains(src, w);
+            }
+        }
+    }
+
+    #[test]
+    fn truncating_division_is_covered() {
+        // 7 / 2 == 3 in the concrete semantics.
+        let e = parse_expr("7 / 2").unwrap();
+        let av = aeval(&e, &DomainEnv::new());
+        let iv = av.interval().unwrap();
+        assert!(iv.contains(3.0));
+        assert!(iv.integral);
+        assert_eq!((iv.lo, iv.hi), (3.0, 3.0));
+    }
+
+    #[test]
+    fn divisor_spanning_zero_keeps_magnitude_bound() {
+        // w - 4 spans zero on [1, 8]; surviving divisors are nonzero
+        // integers, so the quotient is bounded by |100|.
+        let e = parse_expr("100 / (w - 4)").unwrap();
+        let mut env = DomainEnv::new();
+        env.set("w", Interval::int_range(1, 8));
+        let iv = aeval(&e, &env).interval().unwrap();
+        assert!(iv.contains(100.0) && iv.contains(-100.0));
+        assert!(iv.lo >= -100.0 && iv.hi <= 100.0);
+    }
+
+    #[test]
+    fn certain_comparisons_collapse() {
+        let mut env = DomainEnv::new();
+        env.set("w", Interval::int_range(1, 3));
+        let e = parse_expr("w < 10").unwrap();
+        assert_eq!(aeval(&e, &env).interval().unwrap(), Interval::int(1));
+        let e = parse_expr("w > 10 ? 5 : 7").unwrap();
+        assert_eq!(aeval(&e, &env).interval().unwrap(), Interval::int(7));
+    }
+
+    #[test]
+    fn unknown_names_make_no_claim_but_min_still_bounds() {
+        let e = parse_expr("min(24, client.memory)").unwrap();
+        let iv = aeval(&e, &DomainEnv::new()).interval().unwrap();
+        assert!(iv.hi <= 24.0);
+        assert_eq!(iv.lo, f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn provably_negative_perf_is_detected() {
+        let e = parse_expr("0 - 100").unwrap();
+        let iv = aeval(&e, &DomainEnv::new()).interval().unwrap();
+        assert!(iv.hi < 0.0);
+    }
+
+    #[test]
+    fn huge_bounds_widen_to_infinity() {
+        let e = parse_expr("w * w * w * w * w * w * w * w * w * w").unwrap();
+        let mut env = DomainEnv::new();
+        env.set("w", Interval::int_range(1, 1_000_000));
+        let iv = aeval(&e, &env).interval().unwrap();
+        assert_eq!(iv.hi, f64::INFINITY);
+    }
+}

@@ -1,0 +1,560 @@
+//! The facts engine: machine-checkable properties proven from a bundle's
+//! declaration alone.
+//!
+//! Where the passes in [`crate::passes`] report *problems*, this module
+//! computes *facts* the controller can act on: interval bounds for every
+//! expression site under the declared choice domains
+//! ([`intervals`]), per-variable monotonicity of the predicted time
+//! ([`monotonicity`]), provably dominated assignments with witnesses
+//! ([`dominance`]), and the cross-bundle interference partition
+//! ([`partition`]). `harmony-core` consumes these to prune the joint
+//! optimizer; `harmonyctl facts` renders them for operators.
+//!
+//! Facts that prove a *problem* (a performance expression that is negative
+//! everywhere, an assignment that can never win) surface as `HA02xx`
+//! diagnostics via [`check_bundle`].
+
+pub mod dominance;
+pub mod intervals;
+pub mod monotonicity;
+pub mod partition;
+
+use std::collections::BTreeMap;
+
+use harmony_rsl::schema::{BundleSpec, CountSpec, OptionSpec, PerfSpec, Statement};
+use serde::{Deserialize, Serialize};
+
+use crate::diag::{Diagnostic, DOMINATED_ASSIGNMENT, NEG_PERF_EXPR, PROVEN_NEG_DEMAND};
+use crate::passes::reach;
+use crate::sites::expr_sites;
+pub use dominance::DominanceProof;
+pub use intervals::{aeval, tag_bound, Av, DomainEnv, Interval};
+pub use monotonicity::Mono;
+pub use partition::InterferenceSummary;
+
+/// JSON-safe interval: `null` endpoints are unbounded sides.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Bound {
+    /// Lower bound; `None` is unbounded below.
+    pub lo: Option<f64>,
+    /// Upper bound; `None` is unbounded above.
+    pub hi: Option<f64>,
+    /// True when every value is integer-typed.
+    pub integral: bool,
+}
+
+impl From<Interval> for Bound {
+    fn from(iv: Interval) -> Bound {
+        Bound {
+            lo: iv.lo.is_finite().then_some(iv.lo),
+            hi: iv.hi.is_finite().then_some(iv.hi),
+            integral: iv.integral,
+        }
+    }
+}
+
+/// Interval claim for one expression site of an option.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SiteFact {
+    /// Human-readable site description (`` `seconds` tag of node `worker` ``).
+    pub what: String,
+    /// The proven bound, when the abstract interpreter can claim one.
+    pub bound: Option<Bound>,
+}
+
+/// A property proven true for the entire choice domain.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProvenFact {
+    /// Stable kind: `negative-demand` or `negative-performance`.
+    pub kind: String,
+    /// What the fact is about.
+    pub what: String,
+    /// The proven bound.
+    pub bound: Bound,
+}
+
+/// Everything the facts engine can prove about one option.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OptionFacts {
+    /// Option name.
+    pub option: String,
+    /// Size of the choice-domain product, `None` beyond the analysis cap.
+    pub domain_points: Option<usize>,
+    /// Hull of each declared variable's choices.
+    pub variables: BTreeMap<String, Bound>,
+    /// Interval claims per expression site, in definition order.
+    pub sites: Vec<SiteFact>,
+    /// Bound on the declared performance model's prediction over the whole
+    /// domain (`None` when no model is declared or nothing can be claimed).
+    pub perf_bound: Option<Bound>,
+    /// Direction of the predicted time in each declared variable.
+    pub perf_monotonicity: BTreeMap<String, String>,
+    /// Provably dominated assignments, with witnesses.
+    pub dominated: Vec<DominanceProof>,
+    /// Domain-wide proofs of broken properties.
+    pub proven: Vec<ProvenFact>,
+}
+
+/// Facts for one bundle.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BundleFacts {
+    /// Namespace path (`app.instance.bundle` or `app.bundle`).
+    pub bundle: String,
+    /// Hostnames the bundle is pinned to; `None` when any machine is
+    /// reachable.
+    pub footprint: Option<Vec<String>>,
+    /// Per-option facts, in declaration order.
+    pub options: Vec<OptionFacts>,
+}
+
+/// Facts for a whole script: per-bundle facts plus the interference
+/// partition over all bundles it defines.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScriptFacts {
+    /// Per-bundle facts, in definition order.
+    pub bundles: Vec<BundleFacts>,
+    /// Which bundles must be optimized jointly.
+    pub interference: InterferenceSummary,
+}
+
+/// Total replica count of `opt` as an interval over the domain, `None`
+/// when a count depends on an undeclared name.
+fn count_interval(opt: &OptionSpec, env: &DomainEnv) -> Option<(f64, f64)> {
+    let mut lo = 0.0;
+    let mut hi = 0.0;
+    for node in &opt.nodes {
+        match &node.count {
+            CountSpec::One => {
+                lo += 1.0;
+                hi += 1.0;
+            }
+            CountSpec::Replicate(n) => {
+                lo += f64::from(*n);
+                hi += f64::from(*n);
+            }
+            CountSpec::Param(p) => {
+                let iv = env.get(p)?;
+                lo += iv.lo;
+                hi += iv.hi;
+            }
+        }
+    }
+    Some((lo, hi))
+}
+
+/// Bound on the performance model's prediction over the domain.
+fn perf_bound(opt: &OptionSpec, env: &DomainEnv) -> Option<Interval> {
+    match opt.performance.as_ref()? {
+        PerfSpec::Expr(e) => aeval(e, env).interval(),
+        PerfSpec::Points(points) => {
+            if points.is_empty() {
+                return None;
+            }
+            let (xlo, xhi) = count_interval(opt, env)?;
+            // Piecewise-linear curves attain their extremes at breakpoints
+            // or at the ends of the evaluated range.
+            let mut xs: Vec<f64> = vec![xlo, xhi];
+            xs.extend(points.iter().map(|(x, _)| x.clamp(xlo, xhi)));
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for x in xs {
+                let y = harmony_rsl::schema::piecewise_linear(points, x);
+                lo = lo.min(y);
+                hi = hi.max(y);
+            }
+            Some(Interval { lo, hi, integral: false })
+        }
+    }
+}
+
+/// Computes every fact about one option.
+pub fn option_facts(opt: &OptionSpec) -> OptionFacts {
+    let env = DomainEnv::from_option(opt);
+    let domain_points = reach::assignments(opt).map(|p| p.len());
+    let variables = opt
+        .variables
+        .iter()
+        .filter_map(|v| env.get(&v.name).map(|iv| (v.name.clone(), Bound::from(iv))))
+        .collect();
+    let sites: Vec<SiteFact> = expr_sites(opt)
+        .iter()
+        .map(|site| SiteFact {
+            what: site.what.clone(),
+            bound: tag_bound(site.value, &env).interval().map(Bound::from),
+        })
+        .collect();
+
+    let mut proven = Vec::new();
+    for (site, fact) in expr_sites(opt).iter().zip(&sites) {
+        if site.kind.is_demand() {
+            if let Some(b) = fact.bound {
+                if b.hi.map(|h| h < 0.0).unwrap_or(false) {
+                    proven.push(ProvenFact {
+                        kind: "negative-demand".into(),
+                        what: fact.what.clone(),
+                        bound: b,
+                    });
+                }
+            }
+        }
+    }
+    let pb = perf_bound(opt, &env);
+    if let Some(iv) = pb {
+        if iv.hi < 0.0 {
+            proven.push(ProvenFact {
+                kind: "negative-performance".into(),
+                what: "the `performance` model".into(),
+                bound: iv.into(),
+            });
+        }
+    }
+
+    let perf_monotonicity = opt
+        .variables
+        .iter()
+        .filter_map(|v| {
+            monotonicity::perf_mono(opt, &v.name, &env)
+                .map(|m| (v.name.clone(), m.name().to_string()))
+        })
+        .collect();
+
+    OptionFacts {
+        option: opt.name.clone(),
+        domain_points,
+        variables,
+        sites,
+        perf_bound: pb.map(Bound::from),
+        perf_monotonicity,
+        dominated: dominance::dominated_assignments(opt),
+        proven,
+    }
+}
+
+fn path_of(b: &BundleSpec) -> String {
+    match b.instance {
+        Some(i) => format!("{}.{}.{}", b.app, i, b.name),
+        None => format!("{}.{}", b.app, b.name),
+    }
+}
+
+/// Computes every fact about one bundle.
+pub fn bundle_facts(bundle: &BundleSpec) -> BundleFacts {
+    BundleFacts {
+        bundle: path_of(bundle),
+        footprint: partition::bundle_footprint(bundle).map(|s| s.into_iter().collect()),
+        options: bundle.options.iter().map(option_facts).collect(),
+    }
+}
+
+/// Parses `src` and computes facts for every bundle plus the interference
+/// partition.
+///
+/// # Errors
+///
+/// Only when the script fails to parse.
+pub fn script_facts(src: &str) -> harmony_rsl::Result<ScriptFacts> {
+    let statements = harmony_rsl::schema::parse_statements(src)?;
+    let bundles: Vec<&BundleSpec> = statements
+        .iter()
+        .filter_map(|s| match s {
+            Statement::Bundle(b) => Some(b),
+            _ => None,
+        })
+        .collect();
+    Ok(ScriptFacts {
+        bundles: bundles.iter().map(|b| bundle_facts(b)).collect(),
+        interference: partition::interference(&bundles),
+    })
+}
+
+/// Serializes facts as JSON.
+pub fn facts_to_json(facts: &ScriptFacts) -> String {
+    serde_json::to_string(facts).unwrap_or_else(|_| "{}".to_string())
+}
+
+/// Parses a [`facts_to_json`] payload — the receiving side of
+/// `harmonyctl facts` against a daemon.
+pub fn facts_from_json(json: &str) -> Option<ScriptFacts> {
+    serde_json::from_str(json).ok()
+}
+
+fn render_bound(b: &Bound) -> String {
+    let end = |v: Option<f64>| v.map(|x| format!("{x}")).unwrap_or_else(|| "∞".to_string());
+    format!("[{}, {}]", end(b.lo), end(b.hi))
+}
+
+/// Renders facts for operators — the human side of `harmonyctl facts`.
+pub fn render_facts(facts: &ScriptFacts) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for b in &facts.bundles {
+        match &b.footprint {
+            Some(hosts) => {
+                let _ = writeln!(out, "bundle {} (pinned to {})", b.bundle, hosts.join(", "));
+            }
+            None => {
+                let _ = writeln!(out, "bundle {} (placeable anywhere)", b.bundle);
+            }
+        }
+        for opt in &b.options {
+            let points = opt
+                .domain_points
+                .map(|n| format!("{n} domain point(s)"))
+                .unwrap_or_else(|| "domain beyond analysis cap".to_string());
+            let _ = writeln!(out, "  option {}: {points}", opt.option);
+            for (name, bound) in &opt.variables {
+                let mono = opt
+                    .perf_monotonicity
+                    .get(name)
+                    .map(|m| format!(", predicted time {m} in it"))
+                    .unwrap_or_default();
+                let _ = writeln!(out, "    {name} ∈ {}{mono}", render_bound(bound));
+            }
+            for site in &opt.sites {
+                if let Some(bound) = &site.bound {
+                    let _ = writeln!(out, "    {} ∈ {}", site.what, render_bound(bound));
+                }
+            }
+            if let Some(pb) = &opt.perf_bound {
+                let _ = writeln!(out, "    predicted time ∈ {}", render_bound(pb));
+            }
+            for proof in &opt.dominated {
+                let _ = writeln!(
+                    out,
+                    "    dominated: {} (beaten by {})",
+                    render_assignment(&proof.loser),
+                    render_assignment(&proof.winner)
+                );
+            }
+            for fact in &opt.proven {
+                let _ = writeln!(out, "    proven {}: {} ∈ {}", fact.kind, fact.what, {
+                    render_bound(&fact.bound)
+                });
+            }
+        }
+    }
+    let comps = &facts.interference.components;
+    let _ = writeln!(out, "interference: {} independent component(s)", comps.len());
+    for comp in comps {
+        let _ = writeln!(out, "  {}", comp.join(", "));
+    }
+    if !facts.interference.unpinned.is_empty() {
+        let _ = writeln!(
+            out,
+            "  unpinned (interfere with everything): {}",
+            facts.interference.unpinned.join(", ")
+        );
+    }
+    out
+}
+
+/// Maximum [`DOMINATED_ASSIGNMENT`] notes per option; the full list stays
+/// available through [`option_facts`].
+const MAX_DOMINANCE_NOTES: usize = 3;
+
+fn render_assignment(a: &[(String, i64)]) -> String {
+    if a.is_empty() {
+        return "(no variables)".to_string();
+    }
+    a.iter().map(|(n, v)| format!("{n} = {v}")).collect::<Vec<_>>().join(", ")
+}
+
+/// Emits `HA02xx` diagnostics for facts that prove a problem.
+pub fn check_bundle(bundle: &BundleSpec) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for opt in &bundle.options {
+        let env = DomainEnv::from_option(opt);
+        let large_domain = reach::assignments(opt).is_none();
+
+        // HA0201: the performance expression is negative for every point
+        // of the domain (a points table is covered by HA0031).
+        if let Some(PerfSpec::Expr(e)) = &opt.performance {
+            if let Some(iv) = aeval(e, &env).interval() {
+                if iv.hi < 0.0 {
+                    out.push(
+                        Diagnostic::new(
+                            NEG_PERF_EXPR,
+                            "the `performance` expression is provably negative for every \
+                             variable assignment",
+                        )
+                        .in_option(&opt.name)
+                        .with_label(opt.performance_span, format!("always ≤ {}", iv.hi))
+                        .with_note(
+                            "a negative predicted time makes every candidate infeasible to \
+                             the optimizer",
+                        ),
+                    );
+                }
+            }
+        }
+
+        // HA0203: a demand is provably negative, but the domain is too
+        // large for the exact reachability pass (HA0021 covers the rest).
+        if large_domain {
+            for site in expr_sites(opt) {
+                if !site.kind.is_demand() {
+                    continue;
+                }
+                if let Some(iv) = tag_bound(site.value, &env).interval() {
+                    if iv.hi < 0.0 {
+                        out.push(
+                            Diagnostic::new(
+                                PROVEN_NEG_DEMAND,
+                                format!("{} is provably negative (always ≤ {})", site.what, iv.hi),
+                            )
+                            .in_option(&opt.name)
+                            .with_label(site.span, "this amount can never be non-negative")
+                            .with_note(
+                                "proven by interval analysis; the domain exceeds the \
+                                 exhaustive-check cap",
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+
+        // HA0202: strictly dominated assignments (ties are pruned silently
+        // by the optimizer but are not worth an operator's attention).
+        let mut noted = 0usize;
+        for proof in dominance::dominated_assignments(opt) {
+            if !proof.strict || noted >= MAX_DOMINANCE_NOTES {
+                continue;
+            }
+            noted += 1;
+            let mut d = Diagnostic::new(
+                DOMINATED_ASSIGNMENT,
+                format!(
+                    "assignment ({}) can never win: ({}) has identical resource demands \
+                     and a strictly better predicted time",
+                    render_assignment(&proof.loser),
+                    render_assignment(&proof.winner),
+                ),
+            )
+            .in_option(&opt.name)
+            .with_label(opt.name_span, "");
+            if let (Some(w), Some(l)) = (proof.winner_time, proof.loser_time) {
+                d = d.with_note(format!("predicted times: winner {w}, loser {l}"));
+            }
+            out.push(d);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harmony_rsl::schema::parse_bundle_script;
+
+    #[test]
+    fn fig2b_facts_are_rich_and_clean() {
+        let bundle = parse_bundle_script(harmony_rsl::listings::FIG2B_BAG).unwrap();
+        let facts = bundle_facts(&bundle);
+        assert_eq!(facts.options.len(), 1);
+        let of = &facts.options[0];
+        assert_eq!(of.domain_points, Some(4));
+        let w = &of.variables["workerNodes"];
+        assert_eq!((w.lo, w.hi, w.integral), (Some(1.0), Some(8.0), true));
+        // seconds {1200 / workerNodes} ∈ [150, 1200].
+        let sec = of.sites.iter().find(|s| s.what.contains("seconds")).unwrap();
+        let b = sec.bound.unwrap();
+        assert_eq!(b.lo, Some(150.0));
+        assert_eq!(b.hi, Some(1200.0));
+        // Perf table: time falls with workerNodes, bounded by the knots.
+        assert_eq!(of.perf_monotonicity["workerNodes"], "decreasing");
+        let pb = of.perf_bound.unwrap();
+        assert_eq!(pb.lo, Some(230.0));
+        assert_eq!(pb.hi, Some(1200.0));
+        assert!(of.dominated.is_empty());
+        assert!(of.proven.is_empty());
+        // No HA02xx diagnostics on a paper listing.
+        assert!(check_bundle(&bundle).is_empty());
+    }
+
+    #[test]
+    fn negative_perf_expr_is_ha0201() {
+        let bundle = parse_bundle_script(
+            "harmonyBundle a b { {o {variable w {1 2}} \
+             {node n {replicate w} {seconds 1}} \
+             {performance {0 - 10 * w}}} }",
+        )
+        .unwrap();
+        let diags = check_bundle(&bundle);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, NEG_PERF_EXPR);
+    }
+
+    #[test]
+    fn dominated_assignment_is_ha0202_capped() {
+        let bundle = parse_bundle_script(
+            "harmonyBundle a b { {o {variable w {1 2 3 4 5 6}} \
+             {node n {seconds 100}} \
+             {performance {100 * w}}} }",
+        )
+        .unwrap();
+        let diags = check_bundle(&bundle);
+        let dominated: Vec<_> = diags.iter().filter(|d| d.code == DOMINATED_ASSIGNMENT).collect();
+        assert_eq!(dominated.len(), MAX_DOMINANCE_NOTES);
+        assert!(dominated[0].message.contains("w = 1"));
+    }
+
+    #[test]
+    fn large_domain_negative_demand_is_ha0203() {
+        // 9^5 points > 4096, so reach skips; intervals still prove the
+        // seconds tag negative.
+        let choices = "{1 2 3 4 5 6 7 8 9}";
+        let src = format!(
+            "harmonyBundle a b {{ {{o \
+             {{variable v1 {choices}}} {{variable v2 {choices}}} {{variable v3 {choices}}} \
+             {{variable v4 {choices}}} {{variable v5 {choices}}} \
+             {{node n {{replicate v1}} {{seconds {{0 - v2 - v3 - v4 - v5}}}}}}}} }}"
+        );
+        let bundle = parse_bundle_script(&src).unwrap();
+        let diags = check_bundle(&bundle);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, PROVEN_NEG_DEMAND);
+    }
+
+    #[test]
+    fn small_domain_negative_demand_stays_with_reach() {
+        // Same shape, small domain: HA0021 territory, no HA0203.
+        let bundle = parse_bundle_script(
+            "harmonyBundle a b { {o {variable w {1 2}} \
+             {node n {seconds {0 - w}}}} }",
+        )
+        .unwrap();
+        assert!(check_bundle(&bundle).is_empty());
+    }
+
+    #[test]
+    fn script_facts_round_trip_through_json() {
+        let src = "harmonyBundle a b { {o {variable w {1 2 4}} \
+                   {node n {replicate w} {seconds {1200 / w}} {hostname m1}}} }";
+        let facts = script_facts(src).unwrap();
+        assert_eq!(facts.bundles.len(), 1);
+        assert_eq!(facts.bundles[0].footprint, Some(vec!["m1".to_string()]));
+        assert_eq!(facts.interference.components.len(), 1);
+        let json = facts_to_json(&facts);
+        let back = facts_from_json(&json).unwrap();
+        assert_eq!(back, facts);
+    }
+
+    #[test]
+    fn render_facts_reads_like_a_report() {
+        let facts = script_facts(harmony_rsl::listings::FIG2B_BAG).unwrap();
+        let text = render_facts(&facts);
+        assert!(text.contains("placeable anywhere"), "{text}");
+        assert!(text.contains("4 domain point(s)"), "{text}");
+        assert!(text.contains("workerNodes ∈ [1, 8], predicted time decreasing in it"), "{text}");
+        assert!(text.contains("predicted time ∈ [230, 1200]"), "{text}");
+        assert!(text.contains("interference: 1 independent component(s)"), "{text}");
+    }
+
+    #[test]
+    fn unbounded_sides_serialize_as_null() {
+        let b = Bound::from(Interval { lo: 0.0, hi: f64::INFINITY, integral: false });
+        assert_eq!(b.hi, None);
+        assert!(serde_json::to_string(&b).unwrap().contains("\"hi\":null"));
+    }
+}

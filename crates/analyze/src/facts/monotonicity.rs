@@ -1,0 +1,335 @@
+//! Per-variable monotonicity of RSL expressions and performance tables.
+//!
+//! [`expr_mono`] computes the *weak* direction of an expression in one
+//! variable: `Inc` claims that raising the variable (all other bindings
+//! fixed) never lowers the value, `Dec` the mirror image, `Const` that the
+//! value does not depend on the variable at all. Claims are advisory facts
+//! about the contention-free prediction — they hold over domain points
+//! where evaluation succeeds with non-NaN numeric values — and are
+//! reported to operators; the optimizer's pruning rests on interval
+//! bounds and exact signatures instead, never on these directions.
+//!
+//! The concrete semantics' truncations (`Int / Int`, `floor`, `int`) are
+//! weakly monotone, so directions survive them.
+
+use harmony_rsl::expr::{BinOp, Expr, UnOp};
+use harmony_rsl::schema::{CountSpec, OptionSpec, PerfSpec};
+
+use super::intervals::{aeval, Av, DomainEnv};
+
+/// Weak monotonicity direction of a value in one variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mono {
+    /// Raising the variable never lowers the value.
+    Inc,
+    /// Raising the variable never raises the value.
+    Dec,
+    /// The value does not depend on the variable.
+    Const,
+    /// No direction could be established.
+    Unknown,
+}
+
+impl Mono {
+    /// The opposite direction.
+    pub fn flip(self) -> Mono {
+        match self {
+            Mono::Inc => Mono::Dec,
+            Mono::Dec => Mono::Inc,
+            m => m,
+        }
+    }
+
+    /// Lowercase name for rendering (`increasing`, ...).
+    pub fn name(self) -> &'static str {
+        match self {
+            Mono::Inc => "increasing",
+            Mono::Dec => "decreasing",
+            Mono::Const => "constant",
+            Mono::Unknown => "unknown",
+        }
+    }
+}
+
+/// The least direction both operands share: `Const` is neutral (it is
+/// weakly both increasing and decreasing), agreeing directions survive,
+/// disagreement is `Unknown`.
+fn combine(a: Mono, b: Mono) -> Mono {
+    match (a, b) {
+        (Mono::Unknown, _) | (_, Mono::Unknown) => Mono::Unknown,
+        (Mono::Const, m) | (m, Mono::Const) => m,
+        (x, y) if x == y => x,
+        _ => Mono::Unknown,
+    }
+}
+
+/// Sign of an interval claim: `Some(true)` for provably ≥ 0, `Some(false)`
+/// for provably ≤ 0.
+fn sign(av: Av) -> Option<bool> {
+    let iv = av.interval()?;
+    if iv.lo >= 0.0 {
+        Some(true)
+    } else if iv.hi <= 0.0 {
+        Some(false)
+    } else {
+        None
+    }
+}
+
+fn depends_on(expr: &Expr, var: &str) -> bool {
+    expr.free_names().iter().any(|n| n == var)
+}
+
+/// Direction of `expr` in `var`, with `env` giving interval bounds used to
+/// establish operand signs (e.g. for `c * x` or `S / w`).
+pub fn expr_mono(expr: &Expr, var: &str, env: &DomainEnv) -> Mono {
+    if !depends_on(expr, var) {
+        return Mono::Const;
+    }
+    match expr {
+        Expr::Int(_) | Expr::Float(_) | Expr::Str(_) => Mono::Const,
+        Expr::Name(n) => {
+            if n == var {
+                Mono::Inc
+            } else {
+                Mono::Const
+            }
+        }
+        Expr::Unary(UnOp::Neg, e) => expr_mono(e, var, env).flip(),
+        Expr::Unary(UnOp::Not, _) => Mono::Unknown,
+        Expr::Binary(op, a, b) => {
+            let ma = expr_mono(a, var, env);
+            let mb = expr_mono(b, var, env);
+            match op {
+                BinOp::Add => combine(ma, mb),
+                BinOp::Sub => combine(ma, mb.flip()),
+                BinOp::Mul => {
+                    if !depends_on(b, var) {
+                        match sign(aeval(b, env)) {
+                            Some(true) => ma,
+                            Some(false) => ma.flip(),
+                            None => Mono::Unknown,
+                        }
+                    } else if !depends_on(a, var) {
+                        match sign(aeval(a, env)) {
+                            Some(true) => mb,
+                            Some(false) => mb.flip(),
+                            None => Mono::Unknown,
+                        }
+                    } else if combine(ma, mb) != Mono::Unknown
+                        && sign(aeval(a, env)) == Some(true)
+                        && sign(aeval(b, env)) == Some(true)
+                    {
+                        // Non-negative factors moving the same way: the
+                        // product moves with them (covers `w * w`).
+                        combine(ma, mb)
+                    } else {
+                        Mono::Unknown
+                    }
+                }
+                BinOp::Div => {
+                    let pos =
+                        |e: &Expr| aeval(e, env).interval().map(|iv| iv.lo > 0.0).unwrap_or(false);
+                    if !depends_on(b, var) {
+                        // Fixed divisor of known sign; truncation is
+                        // monotone in the dividend.
+                        match sign(aeval(b, env)) {
+                            Some(true) => ma,
+                            Some(false) => ma.flip(),
+                            None => Mono::Unknown,
+                        }
+                    } else if !depends_on(a, var) && pos(b) {
+                        // Fixed dividend of known sign over a positive,
+                        // directed divisor: the paper's `S / w` shape.
+                        match sign(aeval(a, env)) {
+                            Some(true) => mb.flip(),
+                            Some(false) => mb,
+                            None => Mono::Unknown,
+                        }
+                    } else {
+                        Mono::Unknown
+                    }
+                }
+                _ => Mono::Unknown,
+            }
+        }
+        Expr::Ternary(c, t, e) => {
+            if depends_on(c, var) {
+                Mono::Unknown
+            } else {
+                // The branch taken is fixed while `var` varies, so any
+                // direction both branches share holds.
+                combine(expr_mono(t, var, env), expr_mono(e, var, env))
+            }
+        }
+        Expr::Call(name, args) => match (name.as_str(), args.len()) {
+            ("min" | "max", n) if n > 0 => {
+                // min/max of functions sharing a direction keeps it.
+                args.iter().map(|a| expr_mono(a, var, env)).fold(Mono::Const, combine)
+            }
+            ("floor" | "ceil" | "round" | "int" | "sqrt" | "double" | "exp", 1) => {
+                expr_mono(&args[0], var, env)
+            }
+            ("abs", 1) => match sign(aeval(&args[0], env)) {
+                Some(true) => expr_mono(&args[0], var, env),
+                Some(false) => expr_mono(&args[0], var, env).flip(),
+                None => Mono::Unknown,
+            },
+            ("clamp", 3) => {
+                if depends_on(&args[1], var) || depends_on(&args[2], var) {
+                    Mono::Unknown
+                } else {
+                    expr_mono(&args[0], var, env)
+                }
+            }
+            _ => Mono::Unknown,
+        },
+    }
+}
+
+/// Direction of a sorted performance table's `y` values: the interpolant
+/// is weakly monotone in `x` exactly when the knots are.
+fn table_mono(points: &[(f64, f64)]) -> Mono {
+    let mut pts: Vec<(f64, f64)> = points.to_vec();
+    pts.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    let mut dir = Mono::Const;
+    for w in pts.windows(2) {
+        let step = if w[1].1 > w[0].1 {
+            Mono::Inc
+        } else if w[1].1 < w[0].1 {
+            Mono::Dec
+        } else {
+            Mono::Const
+        };
+        dir = combine(dir, step);
+        if dir == Mono::Unknown {
+            return Mono::Unknown;
+        }
+    }
+    dir
+}
+
+/// Direction of the option's total resolved replica count in `var` (the
+/// `x` fed to a points table).
+fn count_mono(opt: &OptionSpec, var: &str) -> Mono {
+    let mut dir = Mono::Const;
+    for node in &opt.nodes {
+        let step = match &node.count {
+            CountSpec::One | CountSpec::Replicate(_) => Mono::Const,
+            CountSpec::Param(p) => {
+                if p == var {
+                    Mono::Inc
+                } else {
+                    Mono::Const
+                }
+            }
+        };
+        dir = combine(dir, step);
+    }
+    dir
+}
+
+/// Direction of the option's predicted (contention-free) time in `var`.
+///
+/// `None` when the option declares no performance model; the default
+/// model's prediction depends on the allocation, which is outside the
+/// bundle's domain.
+pub fn perf_mono(opt: &OptionSpec, var: &str, env: &DomainEnv) -> Option<Mono> {
+    match opt.performance.as_ref()? {
+        PerfSpec::Expr(e) => Some(expr_mono(e, var, env)),
+        PerfSpec::Points(points) => {
+            let table = table_mono(points);
+            let count = count_mono(opt, var);
+            Some(match (table, count) {
+                (_, Mono::Const) => Mono::Const,
+                (Mono::Const, _) => Mono::Const,
+                (Mono::Inc, c) => c,
+                (Mono::Dec, c) => c.flip(),
+                (Mono::Unknown, _) => Mono::Unknown,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harmony_rsl::expr::parse_expr;
+    use harmony_rsl::schema::parse_bundle_script;
+
+    use crate::facts::intervals::Interval;
+
+    fn mono(src: &str) -> Mono {
+        let e = parse_expr(src).unwrap();
+        let mut env = DomainEnv::new();
+        env.set("w", Interval::int_range(1, 8));
+        env.set("k", Interval::int_range(2, 4));
+        expr_mono(&e, "w", &env)
+    }
+
+    #[test]
+    fn core_shapes() {
+        assert_eq!(mono("1200 / w"), Mono::Dec);
+        assert_eq!(mono("0.5 * w * w"), Mono::Inc);
+        assert_eq!(mono("10 - 2 * w"), Mono::Dec);
+        assert_eq!(mono("k * 100"), Mono::Const);
+        assert_eq!(mono("min(100, w * 10)"), Mono::Inc);
+        assert_eq!(mono("max(2, 9 - w)"), Mono::Dec);
+        assert_eq!(mono("floor(w / 2)"), Mono::Inc);
+        assert_eq!(mono("k > 3 ? w : w + 1"), Mono::Inc);
+        assert_eq!(mono("w > 3 ? 1 : 2"), Mono::Unknown);
+        assert_eq!(mono("w % 3"), Mono::Unknown);
+        assert_eq!(mono("-(1200 / w)"), Mono::Inc);
+        assert_eq!(mono("sqrt(w) * 4"), Mono::Inc);
+        assert_eq!(mono("100 / (w - 9)"), Mono::Unknown);
+    }
+
+    #[test]
+    fn directions_match_concrete_evaluation() {
+        use harmony_rsl::expr::{eval, MapEnv};
+        use harmony_rsl::Value;
+        for src in ["1200 / w", "0.5 * w * w", "min(100, w * 10)", "10 - 2 * w", "abs(0 - w)"] {
+            let e = parse_expr(src).unwrap();
+            let dir = mono(src);
+            assert_ne!(dir, Mono::Unknown, "{src}");
+            let mut prev: Option<f64> = None;
+            for w in 1..=8 {
+                let mut env = MapEnv::new();
+                env.set("w", Value::Int(w));
+                let v = eval(&e, &env).unwrap().as_f64().unwrap();
+                if let Some(p) = prev {
+                    match dir {
+                        Mono::Inc => assert!(v >= p, "{src} at w={w}"),
+                        Mono::Dec => assert!(v <= p, "{src} at w={w}"),
+                        Mono::Const => assert_eq!(v, p, "{src} at w={w}"),
+                        Mono::Unknown => unreachable!(),
+                    }
+                }
+                prev = Some(v);
+            }
+        }
+    }
+
+    #[test]
+    fn fig2b_perf_table_is_decreasing_in_worker_nodes() {
+        let bundle = parse_bundle_script(harmony_rsl::listings::FIG2B_BAG).unwrap();
+        let opt = &bundle.options[0];
+        let env = DomainEnv::from_option(opt);
+        assert_eq!(perf_mono(opt, "workerNodes", &env), Some(Mono::Dec));
+    }
+
+    #[test]
+    fn perf_expr_direction() {
+        let bundle = parse_bundle_script(
+            "harmonyBundle a b { {o {variable w {1 2 4}} \
+             {node n {replicate w} {seconds {1200 / w}}} \
+             {performance {1200 / w + 5 * w}}} }",
+        )
+        .unwrap();
+        let opt = &bundle.options[0];
+        let env = DomainEnv::from_option(opt);
+        // 1200/w falls, 5w rises: no shared direction.
+        assert_eq!(perf_mono(opt, "w", &env), Some(Mono::Unknown));
+        assert_eq!(perf_mono(opt, "missing", &env), Some(Mono::Const));
+    }
+}

@@ -1,0 +1,175 @@
+//! Cross-bundle interference: which bundles can ever contend for the same
+//! machines.
+//!
+//! A bundle's *footprint* is the set of hostnames its allocations can
+//! touch. It is only known statically when **every** node requirement of
+//! every option carries a literal `hostname` pin; a single unpinned
+//! requirement makes the footprint ⊤ (any machine). Two bundles interfere
+//! when their footprints can overlap; connected components of the
+//! interference graph are exactly the sub-problems the optimizer may
+//! solve independently.
+
+use std::collections::BTreeSet;
+
+use harmony_rsl::schema::{BundleSpec, OptionSpec, TagValue};
+use harmony_rsl::Value;
+use serde::{Deserialize, Serialize};
+
+/// The hostnames a set of options can be placed on: `None` is ⊤
+/// (unpinned — any machine is reachable). This is the option-level form
+/// of [`bundle_footprint`], exposed so `harmony-core` can compute
+/// footprints for the option lists its evaluation contexts carry.
+pub fn options_footprint(options: &[OptionSpec]) -> Option<BTreeSet<String>> {
+    let mut hosts = BTreeSet::new();
+    for opt in options {
+        for node in &opt.nodes {
+            match node.hostname() {
+                Some(TagValue::Exact(Value::Str(h))) => {
+                    hosts.insert(h.clone());
+                }
+                // Wildcards, constraints, expressions, numeric literals, or
+                // no hostname at all: the matcher may pick any machine.
+                _ => return None,
+            }
+        }
+    }
+    Some(hosts)
+}
+
+/// The hostnames a bundle can be placed on: `None` is ⊤ (unpinned —
+/// any machine is reachable).
+pub fn bundle_footprint(bundle: &BundleSpec) -> Option<BTreeSet<String>> {
+    options_footprint(&bundle.options)
+}
+
+/// Cross-bundle interference summary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InterferenceSummary {
+    /// Bundle namespace paths grouped into independently optimizable
+    /// components, each sorted, components ordered by first member.
+    pub components: Vec<Vec<String>>,
+    /// Bundles whose footprint is ⊤ (they interfere with everything).
+    pub unpinned: Vec<String>,
+}
+
+fn path_of(b: &BundleSpec) -> String {
+    match b.instance {
+        Some(i) => format!("{}.{}.{}", b.app, i, b.name),
+        None => format!("{}.{}", b.app, b.name),
+    }
+}
+
+/// Computes the interference components of `bundles`.
+///
+/// Bundles with overlapping footprints are merged; an unpinned bundle
+/// overlaps everything, so any unpinned bundle collapses the graph into a
+/// single component.
+pub fn interference(bundles: &[&BundleSpec]) -> InterferenceSummary {
+    let n = bundles.len();
+    let feet: Vec<Option<BTreeSet<String>>> = bundles.iter().map(|b| bundle_footprint(b)).collect();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], i: usize) -> usize {
+        let mut r = i;
+        while parent[r] != r {
+            r = parent[r];
+        }
+        let mut c = i;
+        while parent[c] != r {
+            let next = parent[c];
+            parent[c] = r;
+            c = next;
+        }
+        r
+    }
+    for i in 0..n {
+        for j in i + 1..n {
+            let overlap = match (&feet[i], &feet[j]) {
+                (None, _) | (_, None) => true,
+                (Some(a), Some(b)) => a.intersection(b).next().is_some(),
+            };
+            if overlap {
+                let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                if ri != rj {
+                    parent[ri.max(rj)] = ri.min(rj);
+                }
+            }
+        }
+    }
+    let mut components: Vec<Vec<String>> = Vec::new();
+    let mut root_of: Vec<Option<usize>> = vec![None; n];
+    for (i, b) in bundles.iter().enumerate() {
+        let r = find(&mut parent, i);
+        let slot = match root_of[r] {
+            Some(s) => s,
+            None => {
+                components.push(Vec::new());
+                root_of[r] = Some(components.len() - 1);
+                components.len() - 1
+            }
+        };
+        components[slot].push(path_of(b));
+    }
+    for c in &mut components {
+        c.sort();
+    }
+    let unpinned =
+        bundles.iter().zip(&feet).filter(|(_, f)| f.is_none()).map(|(b, _)| path_of(b)).collect();
+    InterferenceSummary { components, unpinned }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harmony_rsl::schema::parse_bundle_script;
+
+    fn bundle(app: &str, hosts: &[&str]) -> BundleSpec {
+        let nodes: Vec<String> = hosts
+            .iter()
+            .enumerate()
+            .map(|(i, h)| format!("{{node n{i} {{seconds 1}} {{hostname {h}}}}}"))
+            .collect();
+        parse_bundle_script(&format!("harmonyBundle {app} conf {{ {{o {}}} }}", nodes.join(" ")))
+            .unwrap()
+    }
+
+    #[test]
+    fn pinned_footprints_are_exact() {
+        let b = bundle("a", &["m1", "m2"]);
+        let f = bundle_footprint(&b).unwrap();
+        assert_eq!(f.into_iter().collect::<Vec<_>>(), vec!["m1", "m2"]);
+    }
+
+    #[test]
+    fn any_unpinned_node_makes_top() {
+        let b = parse_bundle_script(
+            "harmonyBundle a conf { {o {node x {seconds 1} {hostname m1}} \
+             {node y {seconds 1}}} }",
+        )
+        .unwrap();
+        assert_eq!(bundle_footprint(&b), None);
+    }
+
+    #[test]
+    fn disjoint_pins_split_into_components() {
+        let a = bundle("a", &["m1"]);
+        let b = bundle("b", &["m2"]);
+        let c = bundle("c", &["m2", "m3"]);
+        let summary = interference(&[&a, &b, &c]);
+        assert_eq!(
+            summary.components,
+            vec![vec!["a.conf".to_string()], vec!["b.conf".to_string(), "c.conf".to_string()]]
+        );
+        assert!(summary.unpinned.is_empty());
+    }
+
+    #[test]
+    fn unpinned_bundle_collapses_everything() {
+        let a = bundle("a", &["m1"]);
+        let b = bundle("b", &["m2"]);
+        let c = parse_bundle_script("harmonyBundle c conf { {o {node n {seconds 1}}} }").unwrap();
+        let summary = interference(&[&a, &b, &c]);
+        assert_eq!(summary.components.len(), 1);
+        assert_eq!(summary.components[0].len(), 3);
+        assert_eq!(summary.unpinned, vec!["c.conf".to_string()]);
+    }
+}

@@ -136,7 +136,7 @@ mod tests {
             .in_option("QS")
             .with_label(Span::new(5, 11), "here")
             .with_note("counterexample: w = 0");
-        let parsed = parse_diagnostics(&to_json(&[d.clone()], src)).unwrap();
+        let parsed = parse_diagnostics(&to_json(std::slice::from_ref(&d), src)).unwrap();
         assert_eq!(parsed.len(), 1);
         assert_eq!(parsed[0].code, d.code);
         assert_eq!(parsed[0].severity, d.severity);

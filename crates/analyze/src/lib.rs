@@ -24,13 +24,17 @@
 //! 5. **dominance** — options that can never be profitably selected
 //!    (`HA0140`, `HA0141`);
 //! 6. **namespace** — names must be valid `harmony-ns` path components and
-//!    bundles must not collide in the namespace (`HA0050`–`HA0052`).
+//!    bundles must not collide in the namespace (`HA0050`–`HA0052`);
+//! 7. **facts** — the abstract-interpretation engine ([`facts`]): interval
+//!    bounds, monotonicity, dominance proofs, and interference partitions,
+//!    surfacing provable problems as `HA0201`–`HA0203`.
 //!
 //! Entry points: [`analyze_bundle`] for one parsed bundle,
 //! [`analyze_script`] for RSL source (which also catches cross-bundle
 //! namespace collisions).
 
 pub mod diag;
+pub mod facts;
 pub mod json;
 pub mod passes;
 pub mod render;
@@ -52,6 +56,7 @@ pub fn analyze_bundle(bundle: &BundleSpec) -> Vec<Diagnostic> {
     out.extend(passes::perf::check(bundle));
     out.extend(passes::dominance::check(bundle));
     out.extend(passes::namespace::check_bundle(bundle));
+    out.extend(facts::check_bundle(bundle));
     diag::sort(&mut out);
     out
 }

@@ -1,9 +1,9 @@
 //! Pass 1 — name and link resolution.
 //!
-//! The span-carrying port of the seed linter (`harmony_rsl::schema::lint`):
-//! duplicate options and node requirements, dangling link endpoints,
-//! undeclared/unused variables, dotted references to non-nodes, choice-list
-//! sanity, and empty options.
+//! The span-carrying successor of the seed repo's schema linter (removed
+//! once this crate subsumed it): duplicate options and node requirements,
+//! dangling link endpoints, undeclared/unused variables, dotted references
+//! to non-nodes, choice-list sanity, and empty options.
 
 use harmony_rsl::schema::{BundleSpec, CountSpec, OptionSpec, PerfSpec};
 use harmony_rsl::Span;

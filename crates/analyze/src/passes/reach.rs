@@ -21,15 +21,18 @@ use crate::sites::expr_sites;
 
 /// Upper bound on the size of the choice-domain product that is enumerated
 /// exhaustively; beyond this the pass reports [`DOMAIN_TOO_LARGE`] instead
-/// of silently skipping.
+/// of silently skipping. `harmony-core` reuses this constant as the
+/// default bound of its exhaustive joint optimizer
+/// (`DEFAULT_EXHAUSTIVE_LIMIT`), so "too large to enumerate" means the
+/// same thing to the linter and to the controller.
 pub const DOMAIN_CAP: usize = 4096;
 
 /// One point of the cartesian product: `(name, value)` per variable.
-type Assignment = Vec<(String, i64)>;
+pub(crate) type Assignment = Vec<(String, i64)>;
 
 /// Enumerates the full cartesian product of the option's choice domains.
 /// Returns `None` when the product exceeds [`DOMAIN_CAP`].
-fn assignments(opt: &OptionSpec) -> Option<Vec<Assignment>> {
+pub(crate) fn assignments(opt: &OptionSpec) -> Option<Vec<Assignment>> {
     let mut size = 1usize;
     for v in &opt.variables {
         size = size.checked_mul(v.choices.len().max(1))?;
@@ -52,7 +55,7 @@ fn assignments(opt: &OptionSpec) -> Option<Vec<Assignment>> {
     Some(points)
 }
 
-fn env_of(assignment: &Assignment) -> MapEnv {
+pub(crate) fn env_of(assignment: &Assignment) -> MapEnv {
     let mut env = MapEnv::new();
     for (name, value) in assignment {
         env.set(name, Value::Int(*value));

@@ -1,0 +1,107 @@
+//! Property tests for the facts engine's abstract interpreter.
+//!
+//! The soundness contract of [`harmony_analyze::facts`]: any interval it
+//! claims for an expression site must contain every concrete value the
+//! expression can take over the declared choice domain. These tests build
+//! randomized bundles from a small expression grammar, evaluate every
+//! concrete point, and check containment against the proven bounds.
+
+use harmony_analyze::facts::option_facts;
+use harmony_rsl::expr::MapEnv;
+use harmony_rsl::schema::parse_bundle_script;
+use harmony_rsl::Value;
+use proptest::prelude::*;
+
+/// Margin for float round-off between the abstract and concrete paths
+/// (both compute in f64; the interpreter may widen, never narrow).
+const EPS: f64 = 1e-9;
+
+/// One expression over the variables `w` and `v` from a small grammar.
+fn expr_template(pick: usize, a: i64, b: i64) -> String {
+    match pick % 6 {
+        0 => format!("{a} * w + {b}"),
+        1 => format!("{a} * w - {b} * v"),
+        2 => format!("{a} / w"),
+        3 => format!("(w + v) * {a}"),
+        4 => format!("{a} * w * w - {b}"),
+        _ => format!("{a} + {b} / (w + v)"),
+    }
+}
+
+proptest! {
+    /// Every concrete evaluation of a site lies inside the interval the
+    /// abstract interpreter proves for it.
+    #[test]
+    fn concrete_values_lie_inside_proven_intervals(
+        raw_w in prop::collection::vec(1i64..64, 1..5),
+        raw_v in prop::collection::vec(1i64..64, 1..5),
+        pick in 0usize..6,
+        a in 1i64..1000,
+        b in 0i64..1000,
+    ) {
+        let ws: Vec<i64> =
+            raw_w.iter().copied().collect::<std::collections::BTreeSet<_>>().into_iter().collect();
+        let vs: Vec<i64> =
+            raw_v.iter().copied().collect::<std::collections::BTreeSet<_>>().into_iter().collect();
+        let list = |xs: &[i64]| xs.iter().map(i64::to_string).collect::<Vec<_>>().join(" ");
+        let expr = expr_template(pick, a, b);
+        let src = format!(
+            "harmonyBundle app:1 cfg {{ {{o \
+             {{variable w {{{}}}}} {{variable v {{{}}}}} \
+             {{node n {{seconds {{{expr}}}}} {{memory 16}}}}}} }}",
+            list(&ws),
+            list(&vs)
+        );
+        let spec = parse_bundle_script(&src).expect("generated bundle parses");
+        let facts = option_facts(&spec.options[0]);
+        let site = facts
+            .sites
+            .iter()
+            .find(|s| s.what.contains("seconds"))
+            .expect("seconds site is reported");
+        let bound = site.bound.expect("a pure-variable expression gets a bound");
+        for &w in &ws {
+            for &v in &vs {
+                let mut env = MapEnv::new();
+                env.set("w", Value::Int(w));
+                env.set("v", Value::Int(v));
+                let got = harmony_rsl::expr::eval_str(&expr, &env)
+                    .expect("concrete evaluation succeeds")
+                    .as_f64()
+                    .expect("numeric result");
+                if let Some(lo) = bound.lo {
+                    prop_assert!(
+                        got >= lo - EPS,
+                        "`{expr}` at w={w}, v={v}: {got} < proven lo {lo}"
+                    );
+                }
+                if let Some(hi) = bound.hi {
+                    prop_assert!(
+                        got <= hi + EPS,
+                        "`{expr}` at w={w}, v={v}: {got} > proven hi {hi}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The hull claimed for each variable is exactly its min/max choice.
+    #[test]
+    fn variable_hulls_match_declared_choices(
+        raw in prop::collection::vec(-100i64..100, 1..8),
+    ) {
+        let choices: Vec<i64> =
+            raw.iter().copied().collect::<std::collections::BTreeSet<_>>().into_iter().collect();
+        let list = choices.iter().map(i64::to_string).collect::<Vec<_>>().join(" ");
+        let src = format!(
+            "harmonyBundle app:1 cfg {{ {{o {{variable w {{{list}}}}} \
+             {{node n {{seconds 10}} {{memory 16}}}}}} }}"
+        );
+        let spec = parse_bundle_script(&src).expect("generated bundle parses");
+        let facts = option_facts(&spec.options[0]);
+        let hull = facts.variables["w"];
+        prop_assert_eq!(hull.lo, Some(*choices.first().unwrap() as f64));
+        prop_assert_eq!(hull.hi, Some(*choices.last().unwrap() as f64));
+        prop_assert!(hull.integral);
+    }
+}

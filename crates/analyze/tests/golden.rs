@@ -108,6 +108,18 @@ const CASES: &[(&str, &str)] = &[
         "HA0141",
         "harmonyBundle a b {\n  {fast {node n {seconds 1}}}\n  {slow {node n {seconds 1}}}\n}\n",
     ),
+    (
+        "HA0201",
+        "harmonyBundle a b {\n  {o {variable w {1 2}} {node n {replicate w} {seconds 1}} {performance {0 - 10 * w}}}\n}\n",
+    ),
+    (
+        "HA0202",
+        "harmonyBundle a b {\n  {o {variable w {1 2}} {node n {seconds 100}} {performance {100 * w}}}\n}\n",
+    ),
+    (
+        "HA0203",
+        "harmonyBundle a b {\n  {o\n    {variable v1 {1 2 3 4 5 6 7 8 9}} {variable v2 {1 2 3 4 5 6 7 8 9}}\n    {variable v3 {1 2 3 4 5 6 7 8 9}} {variable v4 {1 2 3 4 5 6 7 8 9}}\n    {variable v5 {1 2 3 4 5 6 7 8 9}}\n    {node n {replicate v1} {seconds {0 - v2 - v3 - v4 - v5}}}}\n}\n",
+    ),
 ];
 
 fn golden_path(code: &str) -> std::path::PathBuf {

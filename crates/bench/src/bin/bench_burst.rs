@@ -24,6 +24,9 @@ use serde::Serialize;
 const NODES: usize = 8;
 const WINDOW: f64 = 0.05;
 
+/// One instance's final placement: (instance, option, variable bindings).
+type Assignment = (InstanceId, String, Vec<(String, i64)>);
+
 #[derive(Debug, Serialize)]
 struct BenchRow {
     mode: String,
@@ -111,14 +114,14 @@ struct BurstOutcome {
     wall_s: f64,
     reevals: u64,
     windows_fired: u64,
-    assignment: Vec<(InstanceId, String, Vec<(String, i64)>)>,
+    assignment: Vec<Assignment>,
     /// Kept alive so drop-time best-effort `end`s don't retire the burst
     /// while a caller is still inspecting the end state.
     clients: Vec<HarmonyClient<LocalTransport>>,
 }
 
 /// The final per-instance assignment: (option, vars, node allocation).
-fn assignment(ctl: &Controller) -> Vec<(InstanceId, String, Vec<(String, i64)>)> {
+fn assignment(ctl: &Controller) -> Vec<Assignment> {
     ctl.instances()
         .into_iter()
         .map(|id| {
@@ -128,11 +131,7 @@ fn assignment(ctl: &Controller) -> Vec<(InstanceId, String, Vec<(String, i64)>)>
         .collect()
 }
 
-fn measure(
-    window: f64,
-    n: usize,
-    reps: u32,
-) -> (f64, u64, u64, Vec<(InstanceId, String, Vec<(String, i64)>)>) {
+fn measure(window: f64, n: usize, reps: u32) -> (f64, u64, u64, Vec<Assignment>) {
     let mut total_s = 0.0;
     let mut reevals = 0;
     let mut fired = 0;

@@ -12,12 +12,20 @@
 use std::time::Instant;
 
 use harmony_bench::{check, write_artifact, Table};
-use harmony_core::{optimizer, Controller, ControllerConfig};
+use harmony_core::{optimizer, Controller, ControllerConfig, PruningMode};
 use harmony_resources::Cluster;
 use harmony_rsl::schema::parse_bundle_script;
 use serde::Serialize;
 
 const NODES: usize = 8;
+
+/// A search variant to time: runs one optimization pass on the controller.
+type Variant = Box<dyn Fn(&mut Controller)>;
+
+/// Bundles in the hostname-pinned pruning profile (each pinned to its own
+/// pair of nodes, so the facts engine splits the joint search into
+/// independent components).
+const PINNED_BUNDLES: usize = 4;
 
 #[derive(Debug, Serialize)]
 struct BenchRow {
@@ -42,6 +50,12 @@ struct BenchReport {
     /// Wall-time ratio `exhaustive-baseline / exhaustive-parallel` at the
     /// largest swept bundle count.
     speedup_parallel_vs_baseline: f64,
+    /// Wall-time ratio `exhaustive-serial / exhaustive-pruned` on the
+    /// hostname-pinned 4-bundles×8-nodes profile.
+    speedup_pruned_vs_unpruned: f64,
+    /// The pruned search reached the same objective as the unpruned scan
+    /// on the pinned profile.
+    pruning_objective_identical: bool,
     /// Annealing produced identical decisions with 1 worker and the
     /// default worker pool.
     annealing_thread_invariant: bool,
@@ -56,14 +70,44 @@ fn setup(napps: usize) -> Controller {
     ctl
 }
 
+/// One bundle of the pinned profile: a one-node fallback plus a variable
+/// fan-out across the bundle's own pair of hosts. The dominated `t`
+/// choices (same demands, strictly worse predicted time) and the per-pair
+/// hostname pins give the facts engine real work on every pruning axis.
+fn pinned_bag(i: usize) -> String {
+    let h0 = format!("node{:02}.sp2", 2 * i);
+    let h1 = format!("node{:02}.sp2", 2 * i + 1);
+    format!(
+        "harmonyBundle app{i}:1 config {{ \
+         {{small {{node a {{seconds 900}} {{memory 32}} {{hostname {h0}}}}}}} \
+         {{wide {{variable t {{1 2 3 4}}}} \
+          {{node a {{seconds {{600 / t}}}} {{memory 32}} {{hostname {h0}}}}} \
+          {{node b {{seconds {{600 / t}}}} {{memory 32}} {{hostname {h1}}}}} \
+          {{performance {{600 / t}}}}}} }}"
+    )
+}
+
+fn setup_pinned() -> Controller {
+    let cluster = Cluster::from_rsl(&harmony_rsl::listings::sp2_cluster(NODES)).unwrap();
+    let mut ctl = Controller::new(cluster, ControllerConfig::default());
+    for i in 0..PINNED_BUNDLES {
+        ctl.register(parse_bundle_script(&pinned_bag(i)).unwrap()).unwrap();
+    }
+    ctl
+}
+
 /// Times `reps` runs of `run` (fresh controller each), returning the mean
 /// wall ms, evaluated assignments per second, and the final objective.
-fn measure(napps: usize, reps: u32, run: impl Fn(&mut Controller)) -> (f64, f64, f64) {
+fn measure_on(
+    mk: impl Fn() -> Controller,
+    reps: u32,
+    run: impl Fn(&mut Controller),
+) -> (f64, f64, f64) {
     let mut total_s = 0.0f64;
     let mut total_evals = 0u64;
     let mut objective = f64::INFINITY;
     for _ in 0..reps {
-        let mut c = setup(napps);
+        let mut c = mk();
         let before = c.metrics().counter("controller.optimizer.evals");
         let t0 = Instant::now();
         run(&mut c);
@@ -74,6 +118,10 @@ fn measure(napps: usize, reps: u32, run: impl Fn(&mut Controller)) -> (f64, f64,
     let wall_ms = total_s * 1e3 / reps as f64;
     let aps = if total_s > 0.0 { total_evals as f64 / total_s } else { 0.0 };
     (wall_ms, aps, objective)
+}
+
+fn measure(napps: usize, reps: u32, run: impl Fn(&mut Controller)) -> (f64, f64, f64) {
+    measure_on(|| setup(napps), reps, run)
 }
 
 fn main() {
@@ -92,7 +140,7 @@ fn main() {
 
     for &napps in sizes {
         let workers = optimizer::current_workers();
-        let variants: Vec<(String, usize, Box<dyn Fn(&mut Controller)>)> = vec![
+        let variants: Vec<(String, usize, Variant)> = vec![
             (
                 "greedy".into(),
                 1,
@@ -158,6 +206,51 @@ fn main() {
             });
         }
     }
+    // Facts-pruning profile: bundles pinned to disjoint node pairs, with
+    // dominated variable choices — the static facts engine can split the
+    // joint search into independent components and drop candidates.
+    let pinned_reps = reps * 2;
+    let mut pruned_walls = [f64::NAN; 2];
+    let mut pruned_objectives = [f64::NAN; 2];
+    let variants: Vec<(&str, Variant)> = vec![
+        (
+            "pinned-exhaustive",
+            Box::new(|c: &mut Controller| {
+                optimizer::exhaustive_with_workers(c, 1_000_000, 1).unwrap();
+            }),
+        ),
+        (
+            "pinned-pruned",
+            Box::new(|c: &mut Controller| {
+                optimizer::exhaustive_pruned(c, 1_000_000, PruningMode::On).unwrap();
+            }),
+        ),
+    ];
+    for (slot, (name, run)) in variants.into_iter().enumerate() {
+        let (wall_ms, aps, objective) = measure_on(setup_pinned, pinned_reps, run);
+        pruned_walls[slot] = wall_ms;
+        pruned_objectives[slot] = objective;
+        table.row(vec![
+            PINNED_BUNDLES.to_string(),
+            name.to_string(),
+            "1".to_string(),
+            format!("{wall_ms:.3}"),
+            format!("{aps:.0}"),
+            format!("{objective:.1}"),
+        ]);
+        rows.push(BenchRow {
+            bundles: PINNED_BUNDLES,
+            nodes: NODES,
+            optimizer: name.to_string(),
+            workers: 1,
+            reps: pinned_reps,
+            wall_ms,
+            assignments_per_sec: aps,
+            objective,
+        });
+    }
+    let speedup_pruned = pruned_walls[0] / pruned_walls[1];
+    let objective_identical = pruned_objectives[0] == pruned_objectives[1];
     println!("{}", table.render());
 
     // Determinism spot-check: annealing with one worker and a full pool
@@ -183,6 +276,8 @@ fn main() {
         smoke,
         rows,
         speedup_parallel_vs_baseline: speedup,
+        speedup_pruned_vs_unpruned: speedup_pruned,
+        pruning_objective_identical: objective_identical,
         annealing_thread_invariant: invariant,
     };
     let path =
@@ -191,9 +286,14 @@ fn main() {
 
     println!("\nShape checks");
     let mut ok = check("annealing decisions identical across worker counts", invariant);
+    ok &= check("pruned and unpruned objectives identical on the pinned profile", {
+        objective_identical
+    });
     if !smoke {
         println!("  parallel vs seed-path speedup at {napps} bundles: {speedup:.2}x");
         ok &= check("parallel exhaustive >= 3x faster than the seed path", speedup >= 3.0);
+        println!("  pruned vs unpruned speedup on the pinned profile: {speedup_pruned:.2}x");
+        ok &= check("facts pruning >= 1.5x faster than the full scan", speedup_pruned >= 1.5);
     }
     if !ok {
         std::process::exit(1);

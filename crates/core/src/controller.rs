@@ -36,8 +36,15 @@ use crate::candidates::{enumerate, Candidate};
 use crate::error::CoreError;
 use crate::feedback::{calibration_factor, FeedbackConfig};
 use crate::objective::Objective;
+use crate::pruning::PruningMode;
 use crate::scheduler::{CoalescePolicy, DecisionScheduler};
 use crate::session::{LeaseConfig, RetireReason, RetirementRecord, SessionState};
+
+/// Default bound on the exhaustive optimizer's joint search space: the
+/// same cap the analyzer's reachability pass uses for HA0106
+/// ([`harmony_analyze::passes::reach::DOMAIN_CAP`]), so "domain too large
+/// to enumerate" means the same thing to the linter and to the optimizer.
+pub const DEFAULT_EXHAUSTIVE_LIMIT: u64 = harmony_analyze::passes::reach::DOMAIN_CAP as u64;
 
 /// Which search policy drives option selection.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
@@ -54,6 +61,8 @@ pub enum OptimizerKind {
     /// systems.
     Exhaustive {
         /// Maximum number of joint configurations to evaluate.
+        /// [`OptimizerKind::exhaustive`] fills in
+        /// [`DEFAULT_EXHAUSTIVE_LIMIT`], the analyzer's HA0106 domain cap.
         limit: u64,
     },
     /// Simulated annealing over the joint space (the direction the Active
@@ -75,6 +84,14 @@ pub enum OptimizerKind {
 }
 
 impl OptimizerKind {
+    /// The exhaustive optimizer at its default bound,
+    /// [`DEFAULT_EXHAUSTIVE_LIMIT`] — the same cap the analyzer's HA0106
+    /// pass warns at, so a bundle bag the linter accepts as enumerable is
+    /// exactly one the optimizer agrees to scan.
+    pub fn exhaustive() -> Self {
+        OptimizerKind::Exhaustive { limit: DEFAULT_EXHAUSTIVE_LIMIT }
+    }
+
     /// Short stable name for metrics and experiment output.
     pub fn name(&self) -> &'static str {
         match self {
@@ -148,6 +165,12 @@ pub struct ControllerConfig {
     /// before.
     #[serde(default)]
     pub coalesce: CoalescePolicy,
+    /// How the exhaustive optimizer uses the facts engine's static proofs
+    /// (see [`crate::pruning::PruningMode`]): `off` (default) is the seed
+    /// scan, `verify` cross-checks pruned against unpruned decisions, `on`
+    /// trusts the proofs.
+    #[serde(default)]
+    pub pruning: PruningMode,
 }
 
 impl Default for ControllerConfig {
@@ -166,6 +189,7 @@ impl Default for ControllerConfig {
             feedback: None,
             lease: LeaseConfig::default(),
             coalesce: CoalescePolicy::default(),
+            pruning: PruningMode::default(),
         }
     }
 }
@@ -1995,5 +2019,22 @@ mod tests {
         // Non-conforming names are ignored without panicking.
         c.touch_for_metric("nodots");
         c.touch_for_metric("ghost.77.rt");
+    }
+}
+
+#[cfg(test)]
+mod exhaustive_limit_tests {
+    use super::*;
+
+    /// Satellite of the facts engine: the optimizer's default exhaustive
+    /// bound and the analyzer's HA0106 enumerability cap are one constant.
+    #[test]
+    fn exhaustive_limit_is_the_analyzer_domain_cap() {
+        assert_eq!(
+            OptimizerKind::exhaustive(),
+            OptimizerKind::Exhaustive { limit: DEFAULT_EXHAUSTIVE_LIMIT }
+        );
+        assert_eq!(DEFAULT_EXHAUSTIVE_LIMIT, harmony_analyze::passes::reach::DOMAIN_CAP as u64);
+        assert_eq!(DEFAULT_EXHAUSTIVE_LIMIT, 4096);
     }
 }

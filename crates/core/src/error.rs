@@ -37,6 +37,13 @@ pub enum CoreError {
         /// One line per error diagnostic (`code: message`).
         errors: Vec<String>,
     },
+    /// Verify-mode pruning found a divergence between the pruned and the
+    /// unpruned search — a soundness bug in the facts engine or its
+    /// wiring, never an application error.
+    PruningMismatch {
+        /// Human-readable description of the diverging results.
+        detail: String,
+    },
     /// The exhaustive optimizer's search space exceeded its bound.
     SearchSpaceTooLarge {
         /// Number of joint configurations that would need evaluation.
@@ -61,6 +68,9 @@ impl fmt::Display for CoreError {
             }
             CoreError::LintRejected { bundle, errors } => {
                 write!(f, "bundle `{bundle}` rejected by static analysis: {}", errors.join("; "))
+            }
+            CoreError::PruningMismatch { detail } => {
+                write!(f, "pruned search diverged from unpruned search: {detail}")
             }
             CoreError::SearchSpaceTooLarge { size, limit } => {
                 write!(f, "search space of {size} joint configurations exceeds limit {limit}")
@@ -106,6 +116,7 @@ mod tests {
                 bundle: "where".into(),
                 errors: vec!["HA0004: undeclared variable".into()],
             },
+            CoreError::PruningMismatch { detail: "keys differ".into() },
             CoreError::SearchSpaceTooLarge { size: 1000, limit: 100 },
         ];
         for e in cases {

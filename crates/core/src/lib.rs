@@ -28,6 +28,7 @@ mod events;
 pub mod feedback;
 mod objective;
 pub mod optimizer;
+pub mod pruning;
 mod scheduler;
 mod session;
 mod snapshot;
@@ -36,11 +37,14 @@ pub use app::{AppInstance, BundleState, ChosenConfig, InstanceId};
 pub use candidates::{
     enumerate as enumerate_candidates, has_elastic_memory, variable_assignments, Candidate,
 };
-pub use controller::{Controller, ControllerConfig, DecisionRecord, LintMode, OptimizerKind};
+pub use controller::{
+    Controller, ControllerConfig, DecisionRecord, LintMode, OptimizerKind, DEFAULT_EXHAUSTIVE_LIMIT,
+};
 pub use error::CoreError;
 pub use events::{EventOutcome, HarmonyEvent};
 pub use feedback::FeedbackConfig;
 pub use objective::Objective;
+pub use pruning::{PruningMode, PruningPlan};
 pub use scheduler::{CoalescePolicy, DecisionScheduler};
 pub use session::{LeaseConfig, RetireReason, RetirementRecord, SessionState};
 pub use snapshot::{

@@ -40,6 +40,7 @@ use crate::candidates::Candidate;
 use crate::controller::{Controller, DecisionRecord, OptimizerKind};
 use crate::error::CoreError;
 use crate::objective::Objective;
+use crate::pruning::{PruningMode, PruningPlan};
 
 /// Default number of annealing chains when the configuration says `0`.
 pub const DEFAULT_CHAINS: u32 = 4;
@@ -59,16 +60,16 @@ const SCORE_EPSILON: f64 = 1e-9;
 /// Variable environments and performance models are precomputed once so
 /// the hot evaluation loop never rebuilds them.
 #[derive(Debug)]
-struct PairCtx {
+pub(crate) struct PairCtx {
     id: InstanceId,
     bundle: String,
-    candidates: Arc<Vec<Candidate>>,
-    options: Vec<OptionSpec>,
+    pub(crate) candidates: Arc<Vec<Candidate>>,
+    pub(crate) options: Vec<OptionSpec>,
     /// `opt_idx[i]` is the index into `options` of `candidates[i]`'s
     /// option.
-    opt_idx: Vec<usize>,
+    pub(crate) opt_idx: Vec<usize>,
     /// `envs[i]` is `candidates[i].env()`, precomputed.
-    envs: Vec<MapEnv>,
+    pub(crate) envs: Vec<MapEnv>,
     /// `models[j]` is the predictor for `options[j]`, precomputed.
     models: Vec<Box<dyn Predictor>>,
 }
@@ -89,8 +90,8 @@ pub struct JointOutcome {
 /// needs, detached from the controller so threads can share it immutably.
 #[derive(Debug)]
 pub struct EvalCtx {
-    pairs: Vec<PairCtx>,
-    base: Cluster,
+    pub(crate) pairs: Vec<PairCtx>,
+    pub(crate) base: Cluster,
     strategy: Strategy,
     objective: Objective,
 }
@@ -380,7 +381,7 @@ fn released_cluster(c: &Controller) -> Result<Cluster, CoreError> {
 /// Epsilon-quantized score key: scores are snapped to a [`SCORE_EPSILON`]
 /// grid so that "equal within epsilon" is a transitive, partition-safe
 /// relation. `None` for non-finite (infeasible) scores.
-fn score_key(score: f64) -> Option<i64> {
+pub(crate) fn score_key(score: f64) -> Option<i64> {
     if !score.is_finite() {
         return None;
     }
@@ -507,6 +508,48 @@ fn unplaceable(ctx: &EvalCtx, reason: &str) -> CoreError {
     CoreError::Unplaceable { bundle, reason: reason.into() }
 }
 
+/// Full (unpruned) scan of the whole odometer space, split over up to
+/// `workers` threads and merged in partition order (bit-identical to a
+/// serial scan). Returns the best, the tallies, and the worker count
+/// actually used.
+fn joint_scan(
+    ctx: &EvalCtx,
+    size: u64,
+    workers: usize,
+) -> Result<(Option<Best>, ScanStats, usize), CoreError> {
+    let workers = (workers.max(1) as u64).min(size);
+    if workers <= 1 {
+        let (best, stats) = scan_range(ctx, 0, size)?;
+        return Ok((best, stats, 1));
+    }
+    let chunk = size.div_ceil(workers);
+    let mut slots: Vec<ChainSlot> = (0..workers).map(|_| None).collect();
+    rayon::scope(|s| {
+        for (w, slot) in slots.iter_mut().enumerate() {
+            s.spawn(move |_| {
+                let start = w as u64 * chunk;
+                let end = (start + chunk).min(size);
+                *slot = Some(scan_range(ctx, start, end));
+            });
+        }
+    });
+    // Merge partition bests in partition order; the (key, assignment)
+    // total order makes the result identical to one serial scan.
+    let mut best: Option<Best> = None;
+    let mut stats = ScanStats::default();
+    for slot in slots {
+        let (local, local_stats) = slot.expect("worker filled its slot")?;
+        stats.evals += local_stats.evals;
+        stats.infeasible += local_stats.infeasible;
+        if let Some(b) = local {
+            if improves(b.key, &b.assignment, &best) {
+                best = Some(b);
+            }
+        }
+    }
+    Ok((best, stats, workers as usize))
+}
+
 /// Exhaustive search over the joint space, parallelized across
 /// `rayon`-reported worker threads (set `RAYON_NUM_THREADS` to pin the
 /// count). Decisions are bit-identical for every worker count.
@@ -545,44 +588,498 @@ pub fn exhaustive_with_workers(
         return Err(unplaceable(&ctx, "a bundle enumerates no candidates"));
     }
 
-    let workers = (workers.max(1) as u64).min(size);
-    let (best, stats) = if workers <= 1 {
-        scan_range(&ctx, 0, size)?
-    } else {
-        let chunk = size.div_ceil(workers);
-        let mut slots: Vec<ChainSlot> = (0..workers).map(|_| None).collect();
-        rayon::scope(|s| {
-            for (w, slot) in slots.iter_mut().enumerate() {
-                let ctx = &ctx;
-                s.spawn(move |_| {
-                    let start = w as u64 * chunk;
-                    let end = (start + chunk).min(size);
-                    *slot = Some(scan_range(ctx, start, end));
-                });
-            }
-        });
-        // Merge partition bests in partition order; the (key, assignment)
-        // total order makes the result identical to one serial scan.
-        let mut best: Option<Best> = None;
-        let mut stats = ScanStats::default();
-        for slot in slots {
-            let (local, local_stats) = slot.expect("worker filled its slot")?;
-            stats.evals += local_stats.evals;
-            stats.infeasible += local_stats.infeasible;
-            if let Some(b) = local {
-                if improves(b.key, &b.assignment, &best) {
-                    best = Some(b);
-                }
-            }
-        }
-        (best, stats)
-    };
+    let (best, stats, workers) = joint_scan(&ctx, size, workers)?;
 
-    record_search_metrics(c, "exhaustive", stats, workers as usize, t0);
+    record_search_metrics(c, "exhaustive", stats, workers, t0);
     let Some(best) = best else {
         return Err(unplaceable(&ctx, "no joint assignment fits the cluster"));
     };
     apply_joint(c, &ctx, &best)
+}
+
+/// Tallies of a pruned search: the usual scan stats plus the number of
+/// joint assignments skipped by proof rather than evaluation.
+#[derive(Debug, Default, Clone, Copy)]
+struct PruneStats {
+    scan: ScanStats,
+    nodes_pruned: u64,
+}
+
+/// Quantized key of the objective over `prefix ++ mid ++ tail`, assembled
+/// in `buf`.
+fn bound_key(
+    objective: &Objective,
+    buf: &mut Vec<f64>,
+    prefix: &[f64],
+    mid: Option<f64>,
+    tail: &[f64],
+) -> Option<i64> {
+    buf.clear();
+    buf.extend_from_slice(prefix);
+    if let Some(m) = mid {
+        buf.push(m);
+    }
+    buf.extend_from_slice(tail);
+    score_key(objective.score(buf))
+}
+
+/// Branch-and-bound depth-first scan of the whole pair set, visiting kept
+/// candidates in lexicographic order.
+///
+/// The bound below a search node is the objective over: the committed
+/// prefix's partial response times (each a lower bound on its final time —
+/// later commits only *add* contention, and both prediction models are
+/// monotone in it), the current candidate's static lower bound, and the
+/// per-pair minimum static bounds of the remaining suffix. Every objective
+/// is monotone nondecreasing per coordinate, and the epsilon quantization
+/// is monotone, so a bound key no better than the incumbent's (`>=`)
+/// proves the subtree cannot improve: DFS order makes every assignment in
+/// it lexicographically greater than the incumbent, so quantized ties lose
+/// the tie-break too.
+struct BbScan<'a> {
+    ctx: &'a EvalCtx,
+    plan: &'a PruningPlan,
+    /// `suffix[d]` = number of assignments below depth `d` (kept space).
+    suffix: Vec<u64>,
+    cluster: Cluster,
+    allocs: Vec<Allocation>,
+    envs: Vec<MapEnv>,
+    /// Response time of each committed pair on the prefix cluster.
+    partial_rts: Vec<f64>,
+    assignment: Vec<usize>,
+    best: Option<Best>,
+    stats: PruneStats,
+    /// Scratch for bound vectors.
+    bound: Vec<f64>,
+    /// Scratch for leaf response times.
+    rts: Vec<f64>,
+}
+
+impl BbScan<'_> {
+    fn bounded_out(&self, key: Option<i64>) -> bool {
+        match (key, &self.best) {
+            (Some(k), Some(b)) => k >= b.key,
+            // Bounds are assembled from finite non-negative parts, so a
+            // `None` (non-finite) key cannot occur; keep the subtree if it
+            // somehow does.
+            _ => false,
+        }
+    }
+
+    fn dfs(&mut self, d: usize) -> Result<(), CoreError> {
+        let ctx = self.ctx;
+        let plan = self.plan;
+        let n = ctx.pairs.len();
+        if d == n {
+            self.stats.scan.evals += 1;
+            let mut rts = std::mem::take(&mut self.rts);
+            let score = ctx.score_final_into(
+                &self.cluster,
+                &self.assignment,
+                &self.allocs,
+                &self.envs,
+                &mut rts,
+            );
+            if score.is_finite() {
+                let key = score_key(score).expect("finite score has a key");
+                if improves(key, &self.assignment, &self.best) {
+                    self.best = Some(Best {
+                        key,
+                        assignment: self.assignment.clone(),
+                        outcome: JointOutcome {
+                            score,
+                            allocs: self.allocs.clone(),
+                            rts: rts.clone(),
+                        },
+                    });
+                }
+            } else {
+                self.stats.scan.infeasible += 1;
+            }
+            self.rts = rts;
+            return Ok(());
+        }
+        let pair = &ctx.pairs[d];
+        for (slot, &ci) in plan.kept[d].iter().enumerate() {
+            if self.best.is_some() {
+                let key = bound_key(
+                    &ctx.objective,
+                    &mut self.bound,
+                    &self.partial_rts,
+                    Some(plan.lbs[d][slot]),
+                    &plan.min_lb[d + 1..],
+                );
+                if self.bounded_out(key) {
+                    self.stats.nodes_pruned += self.suffix[d + 1];
+                    continue;
+                }
+            }
+            let Some(a) = ctx.match_pair(&self.cluster, d, ci)? else {
+                self.stats.scan.infeasible += self.suffix[d + 1];
+                continue;
+            };
+            self.cluster.commit(&a)?;
+            let oi = pair.opt_idx[ci];
+            let env = a.env();
+            let pctx =
+                PredictionContext::committed_with_env(&self.cluster, &a, &pair.options[oi], &env);
+            let rt = match pair.models[oi].predict(&pctx) {
+                Ok(p) => p.response_time,
+                Err(_) => f64::INFINITY,
+            };
+            // Prediction errors are deterministic in the allocation and
+            // its environment, and times only grow with later commits: a
+            // failed, non-finite, or negative partial time is still one at
+            // the leaf, where the objective maps it to infinity.
+            if !(rt.is_finite() && rt >= 0.0) {
+                self.stats.scan.infeasible += self.suffix[d + 1];
+                self.cluster.release(&a)?;
+                continue;
+            }
+            self.partial_rts.push(rt);
+            self.envs.push(env);
+            self.allocs.push(a);
+            self.assignment.push(ci);
+            // Sharper re-bound now that the pair's real partial time is in.
+            let mut cut = false;
+            if self.best.is_some() && d + 1 < n {
+                let key = bound_key(
+                    &ctx.objective,
+                    &mut self.bound,
+                    &self.partial_rts,
+                    None,
+                    &plan.min_lb[d + 1..],
+                );
+                cut = self.bounded_out(key);
+            }
+            if cut {
+                self.stats.nodes_pruned += self.suffix[d + 1];
+            } else {
+                self.dfs(d + 1)?;
+            }
+            self.assignment.pop();
+            let a = self.allocs.pop().expect("stack non-empty");
+            self.envs.pop();
+            self.partial_rts.pop();
+            self.cluster.release(&a)?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs the branch-and-bound scan over the plan's kept candidates.
+fn bb_scan(ctx: &EvalCtx, plan: &PruningPlan) -> Result<(Option<Best>, PruneStats), CoreError> {
+    let n = ctx.pairs.len();
+    if plan.kept.iter().any(|k| k.is_empty()) {
+        return Ok((None, PruneStats::default()));
+    }
+    let mut suffix = vec![1u64; n + 1];
+    for d in (0..n).rev() {
+        suffix[d] = suffix[d + 1].saturating_mul(plan.kept[d].len() as u64);
+    }
+    let mut st = BbScan {
+        ctx,
+        plan,
+        suffix,
+        cluster: ctx.base.clone(),
+        allocs: Vec::with_capacity(n),
+        envs: Vec::with_capacity(n),
+        partial_rts: Vec::with_capacity(n),
+        assignment: Vec::with_capacity(n),
+        best: None,
+        stats: PruneStats::default(),
+        bound: Vec::with_capacity(n),
+        rts: Vec::with_capacity(n),
+    };
+    st.dfs(0)?;
+    Ok((st.best, st.stats))
+}
+
+/// Enumerates the feasible sub-assignments of one interference component:
+/// every combination of kept candidates for the component's pairs that
+/// places (matched in ascending pair order) with all-finite non-negative
+/// predicted times, on a cluster carrying *only* this component's commits.
+///
+/// By footprint locality — disjoint hostname pins mean disjoint node sets,
+/// and the matcher and both predictors read only a pair's own nodes and
+/// links — the allocations and times computed here are bit-identical to
+/// the ones the full scan computes at any global assignment extending the
+/// sub-assignment, and the all-finite filter coincides exactly with the
+/// objective's infeasibility rule.
+struct CompEnum<'a> {
+    ctx: &'a EvalCtx,
+    plan: &'a PruningPlan,
+    comp: &'a [usize],
+    cluster: Cluster,
+    allocs: Vec<Allocation>,
+    envs: Vec<MapEnv>,
+    chosen: Vec<usize>,
+    /// Feasible `(sub-assignment, response times)` rows, in sub-odometer
+    /// order.
+    out: Vec<(Vec<usize>, Vec<f64>)>,
+    stats: ScanStats,
+}
+
+impl CompEnum<'_> {
+    fn dfs(&mut self, k: usize) -> Result<(), CoreError> {
+        let ctx = self.ctx;
+        let comp = self.comp;
+        if k == comp.len() {
+            self.stats.evals += 1;
+            let mut rts = Vec::with_capacity(comp.len());
+            for (j, &pi) in comp.iter().enumerate() {
+                let pair = &ctx.pairs[pi];
+                let oi = pair.opt_idx[self.chosen[j]];
+                let pctx = PredictionContext::committed_with_env(
+                    &self.cluster,
+                    &self.allocs[j],
+                    &pair.options[oi],
+                    &self.envs[j],
+                );
+                let rt = match pair.models[oi].predict(&pctx) {
+                    Ok(p) => p.response_time,
+                    Err(_) => f64::INFINITY,
+                };
+                if !(rt.is_finite() && rt >= 0.0) {
+                    self.stats.infeasible += 1;
+                    return Ok(());
+                }
+                rts.push(rt);
+            }
+            self.out.push((self.chosen.clone(), rts));
+            return Ok(());
+        }
+        let pi = comp[k];
+        for &ci in &self.plan.kept[pi] {
+            let Some(a) = ctx.match_pair(&self.cluster, pi, ci)? else {
+                self.stats.infeasible += 1;
+                continue;
+            };
+            self.cluster.commit(&a)?;
+            self.envs.push(a.env());
+            self.allocs.push(a);
+            self.chosen.push(ci);
+            self.dfs(k + 1)?;
+            self.chosen.pop();
+            let a = self.allocs.pop().expect("stack non-empty");
+            self.envs.pop();
+            self.cluster.release(&a)?;
+        }
+        Ok(())
+    }
+}
+
+/// Joint search by exact component recombination: each interference
+/// component is enumerated independently ([`CompEnum`]), then the
+/// cross-product of feasible sub-assignments is scored by composing the
+/// per-component response times into full vectors — the same `f64` values
+/// the full scan feeds the objective, so scores (and the quantized total
+/// order) are bit-identical. The winner is materialized through the
+/// canonical incremental evaluator.
+fn component_scan(
+    ctx: &EvalCtx,
+    plan: &PruningPlan,
+) -> Result<(Option<Best>, PruneStats), CoreError> {
+    let n = ctx.pairs.len();
+    let mut stats = PruneStats::default();
+    if plan.kept.iter().any(|k| k.is_empty()) {
+        return Ok((None, stats));
+    }
+    let mut lists: Vec<Vec<(Vec<usize>, Vec<f64>)>> = Vec::with_capacity(plan.components.len());
+    for comp in &plan.components {
+        let mut e = CompEnum {
+            ctx,
+            plan,
+            comp,
+            cluster: ctx.base.clone(),
+            allocs: Vec::with_capacity(comp.len()),
+            envs: Vec::with_capacity(comp.len()),
+            chosen: Vec::with_capacity(comp.len()),
+            out: Vec::new(),
+            stats: ScanStats::default(),
+        };
+        e.dfs(0)?;
+        stats.scan.evals += e.stats.evals;
+        stats.scan.infeasible += e.stats.infeasible;
+        if e.out.is_empty() {
+            // No feasible sub-assignment for this component means no
+            // feasible joint assignment at all.
+            return Ok((None, stats));
+        }
+        lists.push(e.out);
+    }
+    let combos: u64 =
+        lists.iter().map(|l| l.len() as u64).try_fold(1u64, u64::checked_mul).unwrap_or(u64::MAX);
+    stats.nodes_pruned += plan.search_space().saturating_sub(combos);
+
+    let mut idx = vec![0usize; lists.len()];
+    let mut g_asg = vec![0usize; n];
+    let mut g_rts = vec![0f64; n];
+    let mut pick: Option<(i64, Vec<usize>)> = None;
+    loop {
+        for ((comp, list), &i) in plan.components.iter().zip(&lists).zip(&idx) {
+            let (asg, rts) = &list[i];
+            for (slot, &pi) in comp.iter().enumerate() {
+                g_asg[pi] = asg[slot];
+                g_rts[pi] = rts[slot];
+            }
+        }
+        stats.scan.evals += 1;
+        match score_key(ctx.objective.score(&g_rts)) {
+            Some(key) => {
+                let better = match &pick {
+                    None => true,
+                    Some((bk, ba)) => key < *bk || (key == *bk && g_asg < *ba),
+                };
+                if better {
+                    pick = Some((key, g_asg.clone()));
+                }
+            }
+            None => stats.scan.infeasible += 1,
+        }
+        let mut advanced = false;
+        for i in (0..idx.len()).rev() {
+            idx[i] += 1;
+            if idx[i] < lists[i].len() {
+                advanced = true;
+                break;
+            }
+            idx[i] = 0;
+        }
+        if !advanced {
+            break;
+        }
+    }
+    let Some((_, asg)) = pick else {
+        return Ok((None, stats));
+    };
+    let mut eval = IncrementalEval::new(ctx);
+    match eval.eval(&asg)? {
+        Some(outcome) => {
+            let key = score_key(outcome.score).expect("eval returns finite scores");
+            Ok((Some(Best { key, assignment: asg, outcome }), stats))
+        }
+        None => Ok((None, stats)),
+    }
+}
+
+/// Dispatches the pruned search: two or more interference components
+/// recombine exactly; a single component runs branch-and-bound.
+fn pruned_search(
+    ctx: &EvalCtx,
+    plan: &PruningPlan,
+) -> Result<(Option<Best>, PruneStats), CoreError> {
+    if plan.components.len() >= 2 {
+        component_scan(ctx, plan)
+    } else {
+        bb_scan(ctx, plan)
+    }
+}
+
+/// `None` when the two results agree bit for bit, otherwise a description
+/// of the divergence.
+fn describe_divergence(unpruned: Option<&Best>, pruned: Option<&Best>) -> Option<String> {
+    match (unpruned, pruned) {
+        (None, None) => None,
+        (Some(u), Some(p)) => {
+            if u.key == p.key && u.assignment == p.assignment && u.outcome == p.outcome {
+                None
+            } else {
+                Some(format!(
+                    "unpruned chose {:?} (key {}, score {}), pruned chose {:?} (key {}, score {})",
+                    u.assignment, u.key, u.outcome.score, p.assignment, p.key, p.outcome.score
+                ))
+            }
+        }
+        (Some(u), None) => {
+            Some(format!("pruned search lost the winner {:?} (key {})", u.assignment, u.key))
+        }
+        (None, Some(p)) => {
+            Some(format!("pruned search invented a winner {:?} (key {})", p.assignment, p.key))
+        }
+    }
+}
+
+/// Facts-pruned exhaustive search. `Verify` runs the pruned and unpruned
+/// searches side by side, demands bit-identical results, and applies the
+/// unpruned one; `On` trusts the pruned search, falling back to the full
+/// scan when it proves the system unplaceable (so the reported error is
+/// the seed's, word for word).
+///
+/// # Errors
+///
+/// The conditions of [`exhaustive`], plus [`CoreError::PruningMismatch`]
+/// in `Verify` mode when the searches diverge.
+pub fn exhaustive_pruned(
+    c: &mut Controller,
+    limit: u64,
+    mode: PruningMode,
+) -> Result<Vec<DecisionRecord>, CoreError> {
+    if !mode.is_enabled() {
+        return exhaustive(c, limit);
+    }
+    let t0 = Instant::now();
+    let ctx = EvalCtx::build(c)?;
+    if ctx.is_empty() {
+        return Ok(Vec::new());
+    }
+    let size = ctx.search_space();
+    if size > limit {
+        return Err(CoreError::SearchSpaceTooLarge { size, limit });
+    }
+    if size == 0 {
+        return Err(unplaceable(&ctx, "a bundle enumerates no candidates"));
+    }
+    let plan = PruningPlan::build(&ctx);
+    c.metrics.add_counter("controller.pruning.dominated_dropped", plan.dominated_dropped);
+    c.metrics.add_counter("controller.pruning.infeasible_dropped", plan.infeasible_dropped);
+    c.metrics.set_gauge("controller.pruning.components", plan.components.len() as f64);
+
+    if mode == PruningMode::Verify {
+        // The unpruned search runs first; its errors are the seed behavior
+        // and propagate untouched.
+        let (unpruned, mut stats, workers) = joint_scan(&ctx, size, rayon::current_num_threads())?;
+        c.metrics.inc_counter("controller.pruning.verified");
+        let pruned = pruned_search(&ctx, &plan);
+        let divergence = match &pruned {
+            Err(e) => Some(format!("pruned search failed: {e}")),
+            Ok((p, _)) => describe_divergence(unpruned.as_ref(), p.as_ref()),
+        };
+        if let Ok((_, pstats)) = &pruned {
+            stats.evals += pstats.scan.evals;
+            stats.infeasible += pstats.scan.infeasible;
+            c.metrics.add_counter("controller.pruning.nodes_pruned", pstats.nodes_pruned);
+        }
+        record_search_metrics(c, "exhaustive-verify", stats, workers, t0);
+        if let Some(detail) = divergence {
+            c.metrics.inc_counter("controller.pruning.mismatches");
+            return Err(CoreError::PruningMismatch { detail });
+        }
+        let Some(best) = unpruned else {
+            return Err(unplaceable(&ctx, "no joint assignment fits the cluster"));
+        };
+        return apply_joint(c, &ctx, &best);
+    }
+
+    match pruned_search(&ctx, &plan)? {
+        (Some(best), pstats) => {
+            c.metrics.add_counter("controller.pruning.nodes_pruned", pstats.nodes_pruned);
+            record_search_metrics(c, "exhaustive-pruned", pstats.scan, 1, t0);
+            apply_joint(c, &ctx, &best)
+        }
+        (None, pstats) => {
+            // Nothing survived the pruned search. The proofs say the full
+            // scan will find nothing either — but the *error* it reports
+            // is part of the contract, so let it produce it.
+            c.metrics.add_counter("controller.pruning.nodes_pruned", pstats.nodes_pruned);
+            let (best, stats, workers) = joint_scan(&ctx, size, rayon::current_num_threads())?;
+            record_search_metrics(c, "exhaustive-pruned", stats, workers, t0);
+            let Some(best) = best else {
+                return Err(unplaceable(&ctx, "no joint assignment fits the cluster"));
+            };
+            apply_joint(c, &ctx, &best)
+        }
+    }
 }
 
 /// The seed implementation's cost profile, retained as the perf baseline:
@@ -835,7 +1332,10 @@ pub fn optimize(c: &mut Controller) -> Result<Vec<DecisionRecord>, CoreError> {
             c.metrics.inc_counter("controller.optimizer.searches");
             c.reevaluate()
         }
-        OptimizerKind::Exhaustive { limit } => exhaustive(c, limit),
+        OptimizerKind::Exhaustive { limit } => match c.config().pruning {
+            PruningMode::Off => exhaustive(c, limit),
+            mode => exhaustive_pruned(c, limit, mode),
+        },
         OptimizerKind::Annealing { steps, initial_temperature, seed, chains } => {
             annealing(c, steps, initial_temperature, seed, chains)
         }
@@ -1036,6 +1536,123 @@ harmonyBundle negative:1 config {
             (0..8).map(|_| r.gen()).collect()
         };
         assert_ne!(a, other);
+    }
+
+    /// Every `exhaustive_pruned` mode must reproduce `exhaustive`'s
+    /// decisions exactly on the shared setup profiles.
+    #[test]
+    fn pruned_search_matches_unpruned_decisions() {
+        for napps in 1..=3 {
+            for mode in [PruningMode::Verify, PruningMode::On] {
+                let mut plain = setup(napps, 8);
+                let mut pruned = setup(napps, 8);
+                let rp = exhaustive(&mut plain, 100_000).unwrap();
+                let rq = exhaustive_pruned(&mut pruned, 100_000, mode).unwrap();
+                assert_eq!(rp, rq, "napps={napps} mode={}", mode.name());
+                assert_eq!(plain.objective_score(), pruned.objective_score());
+            }
+        }
+    }
+
+    /// A bundle with a dominated worker count: pruning drops it and the
+    /// decision still matches the full scan bit for bit.
+    #[test]
+    fn pruned_search_agrees_with_dominated_candidates_dropped() {
+        const DOMINATED: &str = "\
+harmonyBundle dom:1 config {
+  {run
+    {variable w {1 2 4}}
+    {node worker {seconds 100} {memory 32}}
+    {performance {100 * w}}}
+}
+";
+        for mode in [PruningMode::Verify, PruningMode::On] {
+            let mut plain = setup(1, 8);
+            let mut pruned = setup(1, 8);
+            plain.register(parse_bundle_script(DOMINATED).unwrap()).unwrap();
+            pruned.register(parse_bundle_script(DOMINATED).unwrap()).unwrap();
+            let rp = exhaustive(&mut plain, 100_000).unwrap();
+            let rq = exhaustive_pruned(&mut pruned, 100_000, mode).unwrap();
+            assert_eq!(rp, rq, "mode={}", mode.name());
+            if mode == PruningMode::On {
+                assert!(pruned.metrics().counter("controller.pruning.dominated_dropped") >= 2);
+            }
+        }
+    }
+
+    /// Hostname-pinned bundles split into components; the recombined
+    /// result matches the full scan.
+    #[test]
+    fn pruned_search_agrees_across_components() {
+        fn pinned(app: &str, hosts: &[&str]) -> String {
+            let nodes: Vec<String> = hosts
+                .iter()
+                .enumerate()
+                .map(|(i, h)| {
+                    format!("{{node w{i} {{seconds 300}} {{memory 32}} {{hostname {h}}}}}")
+                })
+                .collect();
+            format!(
+                "harmonyBundle {app}:1 config {{ {{one {first}}} {{two {both}}} }}",
+                first = nodes[0],
+                both = nodes.join(" ")
+            )
+        }
+        let a = pinned("appa", &["node00.sp2", "node01.sp2"]);
+        let b = pinned("appb", &["node02.sp2", "node03.sp2"]);
+        for mode in [PruningMode::Verify, PruningMode::On] {
+            let mut plain = setup(0, 8);
+            let mut pruned = setup(0, 8);
+            for c in [&mut plain, &mut pruned] {
+                c.register(parse_bundle_script(&a).unwrap()).unwrap();
+                c.register(parse_bundle_script(&b).unwrap()).unwrap();
+            }
+            let rp = exhaustive(&mut plain, 100_000).unwrap();
+            let rq = exhaustive_pruned(&mut pruned, 100_000, mode).unwrap();
+            assert_eq!(rp, rq, "mode={}", mode.name());
+            if mode == PruningMode::On {
+                assert_eq!(pruned.metrics().gauge("controller.pruning.components"), Some(2.0));
+            }
+        }
+    }
+
+    /// All-infeasible systems produce the seed's `Unplaceable` error in
+    /// every mode (the `On` fallback reruns the full scan for it).
+    #[test]
+    fn pruned_search_reports_seed_errors() {
+        for mode in [PruningMode::Verify, PruningMode::On] {
+            let cluster = Cluster::from_rsl(&sp2_cluster(4)).unwrap();
+            let cfg = ControllerConfig {
+                lint: LintMode::Off,
+                reevaluate_on_arrival: false,
+                ..Default::default()
+            };
+            let mut c = Controller::new(cluster, cfg);
+            let _ = c.register(parse_bundle_script(NEGATIVE_BAG).unwrap());
+            let err = exhaustive_pruned(&mut c, 1_000, mode).unwrap_err();
+            assert!(matches!(err, CoreError::Unplaceable { .. }), "{}: {err}", mode.name());
+        }
+        // And the size limit still applies.
+        let mut c = setup(3, 8);
+        let err = exhaustive_pruned(&mut c, 10, PruningMode::On).unwrap_err();
+        assert!(matches!(err, CoreError::SearchSpaceTooLarge { size: 64, limit: 10 }));
+    }
+
+    #[test]
+    fn optimize_dispatches_pruning_mode() {
+        let cluster = Cluster::from_rsl(&sp2_cluster(8)).unwrap();
+        let cfg = ControllerConfig {
+            optimizer: OptimizerKind::Exhaustive { limit: 10_000 },
+            pruning: PruningMode::Verify,
+            ..Default::default()
+        };
+        let mut c = Controller::new(cluster, cfg);
+        c.register(parse_bundle_script(FIG2B_BAG).unwrap()).unwrap();
+        c.register(parse_bundle_script(FIG2B_BAG).unwrap()).unwrap();
+        optimize(&mut c).unwrap();
+        assert_eq!(c.objective_score(), 340.0);
+        assert_eq!(c.metrics().counter("controller.pruning.verified"), 1);
+        assert_eq!(c.metrics().counter("controller.pruning.mismatches"), 0);
     }
 
     #[test]

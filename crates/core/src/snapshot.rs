@@ -75,6 +75,27 @@ pub struct OptimizerSnapshot {
     /// Wall time of the most recent joint search, in milliseconds (0 when
     /// none has run).
     pub last_wall_ms: f64,
+    /// Facts-pruning: the configured [`crate::PruningMode`]'s short name
+    /// (`off`, `verify`, `on`).
+    #[serde(default)]
+    pub pruning_mode: String,
+    /// Facts-pruning: candidates dropped by dominance proofs.
+    #[serde(default)]
+    pub pruning_dominated: u64,
+    /// Facts-pruning: candidates dropped by capacity certificates.
+    #[serde(default)]
+    pub pruning_infeasible: u64,
+    /// Facts-pruning: joint assignments skipped by bounds or component
+    /// recombination instead of being evaluated.
+    #[serde(default)]
+    pub pruning_nodes_pruned: u64,
+    /// Verify-mode runs completed.
+    #[serde(default)]
+    pub pruning_verified: u64,
+    /// Verify-mode divergences detected (always 0 unless the facts engine
+    /// is unsound).
+    #[serde(default)]
+    pub pruning_mismatches: u64,
 }
 
 /// Decision-coalescing counters, from the `controller.scheduler.*`
@@ -196,6 +217,12 @@ impl SystemSnapshot {
                     .metrics()
                     .gauge("controller.optimizer.last_wall_ms")
                     .unwrap_or(0.0),
+                pruning_mode: ctl.config().pruning.name().to_string(),
+                pruning_dominated: ctl.metrics().counter("controller.pruning.dominated_dropped"),
+                pruning_infeasible: ctl.metrics().counter("controller.pruning.infeasible_dropped"),
+                pruning_nodes_pruned: ctl.metrics().counter("controller.pruning.nodes_pruned"),
+                pruning_verified: ctl.metrics().counter("controller.pruning.verified"),
+                pruning_mismatches: ctl.metrics().counter("controller.pruning.mismatches"),
             },
             scheduler: SchedulerSnapshot {
                 pending: ctl.pending_decisions() as u64,
@@ -307,6 +334,16 @@ mod tests {
         assert!(snap.optimizer.cache_misses >= 1);
         assert_eq!(snap.optimizer.cache_size, ctl.candidate_cache_len() as u64);
         assert!(snap.optimizer.last_wall_ms >= 0.0);
+        assert_eq!(snap.optimizer.pruning_mode, "off");
+    }
+
+    #[test]
+    fn pruning_counters_appear_in_snapshot() {
+        let mut ctl = controller();
+        crate::optimizer::exhaustive_pruned(&mut ctl, 10_000, crate::PruningMode::Verify).unwrap();
+        let snap = SystemSnapshot::capture(&ctl);
+        assert_eq!(snap.optimizer.pruning_verified, 1);
+        assert_eq!(snap.optimizer.pruning_mismatches, 0);
     }
 
     #[test]

@@ -13,9 +13,10 @@
 //! sizes, matcher strategies, objectives), >= 100 cases each.
 
 use harmony_core::optimizer::{
-    annealing_with_workers, exhaustive_baseline, exhaustive_with_workers, EvalCtx, IncrementalEval,
+    annealing_with_workers, exhaustive_baseline, exhaustive_pruned, exhaustive_with_workers,
+    EvalCtx, IncrementalEval,
 };
-use harmony_core::{Controller, ControllerConfig, Objective, OptimizerKind};
+use harmony_core::{Controller, ControllerConfig, Objective, OptimizerKind, PruningMode};
 use harmony_resources::{Cluster, Strategy};
 use harmony_rsl::listings::sp2_cluster;
 use harmony_rsl::schema::parse_bundle_script;
@@ -79,6 +80,75 @@ fn build_controller(config: &ControllerConfig, nodes: usize, scripts: &[String])
         let _ = c.register(parse_bundle_script(s).unwrap());
     }
     c
+}
+
+/// A randomized system that also exercises the pruning axes: sometimes a
+/// pair of bundles pinned to disjoint hosts (components), sometimes a
+/// bundle with provably dominated variable choices.
+fn random_pruning_system(rng: &mut StdRng) -> (ControllerConfig, usize, Vec<String>) {
+    let (config, nodes, mut scripts) = random_system(rng);
+    if rng.gen_bool(0.5) && nodes >= 4 {
+        // Two bundles pinned to disjoint node pairs: the interference
+        // partition should split them into independent components.
+        for (b, lo) in [(0usize, 0usize), (1, 2)] {
+            let h0 = format!("node{lo:02}.sp2");
+            let h1 = format!("node{:02}.sp2", lo + 1);
+            let secs = rng.gen_range(100..=900u32);
+            scripts.push(format!(
+                "harmonyBundle pin{b}:1 config {{ \
+                 {{one {{node a {{seconds {secs}}} {{memory 16}} {{hostname {h0}}}}}}} \
+                 {{two {{node a {{seconds {secs}}} {{memory 16}} {{hostname {h0}}}}} \
+                      {{node b {{seconds {secs}}} {{memory 16}} {{hostname {h1}}}}}}} }}"
+            ));
+        }
+    }
+    if rng.gen_bool(0.5) {
+        // Monotone performance over equal demands: every t but one is
+        // provably dominated.
+        let base = rng.gen_range(50..=500u32);
+        scripts.push(format!(
+            "harmonyBundle dom:1 config {{ {{run {{variable t {{1 2 4}}}} \
+             {{node n {{seconds 60}} {{memory 16}}}} \
+             {{performance {{{base} * t}}}}}} }}"
+        ));
+    }
+    (config, nodes, scripts)
+}
+
+#[test]
+fn pruned_search_is_bit_identical_on_random_systems() {
+    // ISSUE acceptance: Verify mode bit-identical across >= 300 randomized
+    // cases. Each case compares the plain scan, the Verify-mode run (which
+    // internally asserts agreement and errors on divergence), and the
+    // On-mode run.
+    let mut failures = Vec::new();
+    for case in 0..300u64 {
+        let mut rng = StdRng::seed_from_u64(0xFAC7_0000 + case);
+        let (config, nodes, scripts) = random_pruning_system(&mut rng);
+        let mut plain = build_controller(&config, nodes, &scripts);
+        let mut verify = build_controller(&config, nodes, &scripts);
+        let mut on = build_controller(&config, nodes, &scripts);
+        let rp = exhaustive_with_workers(&mut plain, 1_000_000, 1);
+        let rv = exhaustive_pruned(&mut verify, 1_000_000, PruningMode::Verify);
+        let ro = exhaustive_pruned(&mut on, 1_000_000, PruningMode::On);
+        for (mode, r) in [("verify", &rv), ("on", &ro)] {
+            let same = match (&rp, r) {
+                (Ok(a), Ok(b)) => a == b,
+                (Err(a), Err(b)) => a.to_string() == b.to_string(),
+                _ => false,
+            };
+            if !same {
+                failures.push(format!("case {case} ({mode}): {rp:?} vs {r:?}"));
+            }
+        }
+        if verify.metrics().counter("controller.pruning.mismatches") != 0 {
+            failures.push(format!("case {case}: verify recorded a mismatch"));
+        }
+        if plain.objective_score() != on.objective_score() {
+            failures.push(format!("case {case}: objective diverged under pruning"));
+        }
+    }
+    assert!(failures.is_empty(), "{}", failures.join("\n"));
 }
 
 #[test]

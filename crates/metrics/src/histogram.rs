@@ -152,7 +152,7 @@ mod tests {
         let p50 = h.quantile_bound(0.5).unwrap();
         let p95 = h.quantile_bound(0.95).unwrap();
         assert!((0.5..=1.024).contains(&p50), "p50 bound {p50}");
-        assert!(p95 >= 0.95 && p95 <= 2.048, "p95 bound {p95}");
+        assert!((0.95..=2.048).contains(&p95), "p95 bound {p95}");
         assert!(p50 <= p95);
         assert_eq!(Histogram::for_response_times().quantile_bound(0.5), None);
     }

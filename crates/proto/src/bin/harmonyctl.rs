@@ -4,18 +4,28 @@
 //! harmonyctl [addr] status              # system snapshot (default command)
 //! harmonyctl [addr] end <app.id>
 //! harmonyctl [addr] lint <file.rsl> [--json]
+//! harmonyctl [addr] facts <file.rsl> [--json]
 //! ```
 //!
 //! `lint` analyzes an RSL script with `harmony-analyze`. It asks the daemon
 //! when one is reachable (so the verdict matches what the daemon would
 //! accept) and falls back to analyzing locally when none is running. Exit
 //! status: 0 clean, 1 error diagnostics present, 2 usage/IO errors.
+//!
+//! `facts` reports what the abstract interpreter can prove about the
+//! script's bundles — interval bounds, monotonicity, dominated
+//! assignments, and the interference partition — with the same
+//! daemon-or-local fallback. Exit status: 0 on success, 1 on analysis
+//! errors, 2 on usage/IO errors.
 
 use harmony_core::SystemSnapshot;
 use harmony_proto::{Request, Response, TcpTransport, Transport};
 
 fn usage() -> ! {
-    eprintln!("usage: harmonyctl [addr] [status | end <app.id> | lint <file.rsl> [--json]]");
+    eprintln!(
+        "usage: harmonyctl [addr] [status | end <app.id> | lint <file.rsl> [--json] | \
+         facts <file.rsl> [--json]]"
+    );
     std::process::exit(2);
 }
 
@@ -62,6 +72,49 @@ fn lint(transport: Option<&mut TcpTransport>, file: &str, json_out: bool) -> i32
     i32::from(harmony_analyze::has_errors(&diags))
 }
 
+/// Runs the `facts` subcommand; returns the process exit code.
+fn facts(transport: Option<&mut TcpTransport>, file: &str, json_out: bool) -> i32 {
+    let src = match std::fs::read_to_string(file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("harmonyctl: cannot read {file}: {e}");
+            return 2;
+        }
+    };
+
+    let facts = match transport.and_then(|t| t.call(&Request::Facts { script: src.clone() }).ok()) {
+        Some(Response::Facts { json }) => match harmony_analyze::facts::facts_from_json(&json) {
+            Some(f) => f,
+            None => {
+                eprintln!("harmonyctl: daemon sent unparseable facts payload");
+                return 1;
+            }
+        },
+        Some(Response::Error { message }) => {
+            eprintln!("harmonyctl: {message}");
+            return 1;
+        }
+        Some(other) => {
+            eprintln!("harmonyctl: unexpected response: {other:?}");
+            return 1;
+        }
+        None => match harmony_analyze::facts::script_facts(&src) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("harmonyctl: {file}: {e}");
+                return 1;
+            }
+        },
+    };
+
+    if json_out {
+        println!("{}", harmony_analyze::facts::facts_to_json(&facts));
+    } else {
+        print!("{}", harmony_analyze::facts::render_facts(&facts));
+    }
+    0
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let addr = if args.first().map(|a| a.contains(':')).unwrap_or(false) {
@@ -74,13 +127,18 @@ fn main() {
         Err(_) => usage(),
     };
 
-    // `lint` works without a daemon: connect best-effort.
-    if args.first().map(String::as_str) == Some("lint") {
+    // `lint` and `facts` work without a daemon: connect best-effort.
+    if let Some(cmd @ ("lint" | "facts")) = args.first().map(String::as_str) {
+        let cmd = cmd.to_string();
         // `--json` may come before or after the file name.
         let Some(file) = args[1..].iter().find(|a| *a != "--json").cloned() else { usage() };
         let json_out = args.iter().any(|a| a == "--json");
         let mut transport = TcpTransport::connect(addr).ok();
-        std::process::exit(lint(transport.as_mut(), &file, json_out));
+        let code = match cmd.as_str() {
+            "lint" => lint(transport.as_mut(), &file, json_out),
+            _ => facts(transport.as_mut(), &file, json_out),
+        };
+        std::process::exit(code);
     }
 
     let mut transport = match TcpTransport::connect(addr) {

@@ -121,6 +121,13 @@ pub enum Request {
         /// The RSL script to analyze.
         script: String,
     },
+    /// Compute the abstract-interpretation facts for an RSL script without
+    /// registering anything (`harmonyctl facts`). The response is
+    /// [`Response::Facts`] with the facts report as JSON.
+    Facts {
+        /// The RSL script to analyze.
+        script: String,
+    },
 }
 
 impl Request {
@@ -140,6 +147,7 @@ impl Request {
             Request::End { app, id } => format!("end {app}.{id}"),
             Request::Status => "status".to_string(),
             Request::Lint { script } => format!("lint {{{script}}}"),
+            Request::Facts { script } => format!("facts {{{script}}}"),
         }
     }
 
@@ -185,6 +193,7 @@ impl Request {
             }
             ["status"] => Ok(Request::Status),
             ["lint", script] => Ok(Request::Lint { script: (*script).to_owned() }),
+            ["facts", script] => Ok(Request::Facts { script: (*script).to_owned() }),
             [] => Err(ParseMessageError::new("empty request")),
             [verb, ..] => Err(ParseMessageError::new(format!("unknown verb `{verb}`"))),
         }
@@ -238,6 +247,13 @@ pub enum Response {
         /// The JSON payload: an array of diagnostic objects.
         json: String,
     },
+    /// Abstract-interpretation facts, JSON-encoded (response to
+    /// [`Request::Facts`]; parse with
+    /// `harmony_analyze::facts::facts_from_json`).
+    Facts {
+        /// The JSON payload: the per-option facts report.
+        json: String,
+    },
 }
 
 impl Response {
@@ -256,6 +272,7 @@ impl Response {
             Response::Error { message } => format!("error {{{message}}}"),
             Response::Status { json } => format!("status {{{json}}}"),
             Response::Lint { json } => format!("lint {{{json}}}"),
+            Response::Facts { json } => format!("facts {{{json}}}"),
         }
     }
 
@@ -276,6 +293,7 @@ impl Response {
             ["error", message] => Ok(Response::Error { message: (*message).to_owned() }),
             ["status", json] => Ok(Response::Status { json: (*json).to_owned() }),
             ["lint", json] => Ok(Response::Lint { json: (*json).to_owned() }),
+            ["facts", json] => Ok(Response::Facts { json: (*json).to_owned() }),
             ["update", instance, rest @ ..] => {
                 let (app, id) = parse_instance(instance)?;
                 let mut updates = Vec::with_capacity(rest.len());
@@ -322,6 +340,7 @@ mod tests {
             Request::End { app: "bag".into(), id: 7 },
             Request::Status,
             Request::Lint { script: "harmonyBundle a b { {o {node n {seconds 1}}} }".into() },
+            Request::Facts { script: "harmonyBundle a b { {o {node n {seconds 1}}} }".into() },
         ];
         for req in cases {
             let text = req.to_text();
@@ -336,6 +355,7 @@ mod tests {
             Response::Registered { app: "DBclient".into(), id: 66 },
             Response::Error { message: "bundle `where` cannot be placed".into() },
             Response::Lint { json: "[{\"code\":\"HA0020\",\"severity\":\"error\"}]".into() },
+            Response::Facts { json: "{\"options\":[]}".into() },
             Response::Update {
                 app: "DBclient".into(),
                 id: 66,

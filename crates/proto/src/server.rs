@@ -34,9 +34,9 @@ pub type SharedController = Arc<RwLock<Controller>>;
 /// Lock discipline: `Poll`, `Heartbeat`, `Metric`, and `Status` only read
 /// controller state — lease renewal goes through the atomic touch-stamps
 /// ([`Controller::touch`]) and pending-variable buffers are interior-
-/// mutable, so none of them needs the write lock. `Lint` is pure and
-/// takes no lock at all. Everything else mutates and takes the write
-/// lock.
+/// mutable, so none of them needs the write lock. `Lint` and `Facts` are
+/// pure and take no lock at all. Everything else mutates and takes the
+/// write lock.
 pub fn handle_request(ctl: &SharedController, req: &Request) -> Response {
     match req {
         // ---- read path ------------------------------------------------
@@ -82,6 +82,10 @@ pub fn handle_request(ctl: &SharedController, req: &Request) -> Response {
         }
         Request::Lint { script } => match harmony_analyze::analyze_script(script) {
             Ok(diags) => Response::Lint { json: harmony_analyze::to_json(&diags, script) },
+            Err(e) => Response::Error { message: e.to_string() },
+        },
+        Request::Facts { script } => match harmony_analyze::facts::script_facts(script) {
+            Ok(facts) => Response::Facts { json: harmony_analyze::facts::facts_to_json(&facts) },
             Err(e) => Response::Error { message: e.to_string() },
         },
         // ---- write path -----------------------------------------------
@@ -728,6 +732,20 @@ mod tests {
         assert!(json.contains("HA0020"), "{json}");
         // An unparseable script is a protocol-level error.
         let resp = t.call(&Request::Lint { script: "not rsl {".into() }).unwrap();
+        assert!(matches!(resp, Response::Error { .. }));
+    }
+
+    #[test]
+    fn facts_request_returns_facts_json() {
+        let ctl = shared_controller(2);
+        let mut t = LocalTransport::new(ctl);
+        let resp =
+            t.call(&Request::Facts { script: harmony_rsl::listings::FIG2B_BAG.into() }).unwrap();
+        let Response::Facts { json } = resp else { panic!("{resp:?}") };
+        let facts = harmony_analyze::facts::facts_from_json(&json).unwrap();
+        assert_eq!(facts.bundles.len(), 1);
+        // An unparseable script is a protocol-level error.
+        let resp = t.call(&Request::Facts { script: "not rsl {".into() }).unwrap();
         assert!(matches!(resp, Response::Error { .. }));
     }
 

@@ -487,16 +487,13 @@ mod tests {
         let mut allocs = Vec::new();
         // Commit matches until the matcher refuses; free memory must stay
         // non-negative throughout.
-        loop {
-            match Matcher::default().match_option(&cluster, &bundle.options[0], &MapEnv::new()) {
-                Ok(a) => {
-                    cluster.commit(&a).unwrap();
-                    allocs.push(a);
-                    for n in cluster.nodes() {
-                        assert!(n.free_memory >= 0.0);
-                    }
-                }
-                Err(_) => break,
+        while let Ok(a) =
+            Matcher::default().match_option(&cluster, &bundle.options[0], &MapEnv::new())
+        {
+            cluster.commit(&a).unwrap();
+            allocs.push(a);
+            for n in cluster.nodes() {
+                assert!(n.free_memory >= 0.0);
             }
             assert!(allocs.len() <= 64, "matcher should eventually refuse");
         }

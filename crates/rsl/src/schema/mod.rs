@@ -3,7 +3,6 @@
 
 mod bundle;
 mod decl;
-mod lint;
 mod parser;
 mod tagvalue;
 
@@ -11,7 +10,5 @@ pub use bundle::{
     piecewise_linear, BundleSpec, CountSpec, LinkReq, NodeReq, OptionSpec, PerfSpec, VariableSpec,
 };
 pub use decl::{LinkDecl, NodeDecl, REFERENCE_MACHINE};
-#[allow(deprecated)]
-pub use lint::{is_clean, lint_bundle, Lint, Severity};
 pub use parser::{parse_bundle_script, parse_statements, Statement};
 pub use tagvalue::{node_to_value, TagValue};
