@@ -347,6 +347,45 @@ impl<T: Transport> HarmonyClient<T> {
         }
     }
 
+    /// Tails the server's event journal from `cursor`: up to `max`
+    /// entries, oldest first, plus the cursor to continue from (see
+    /// [`harmony_core::JournalTail`]). Operators use this to trace why a
+    /// decision happened (`harmonyctl trace`).
+    ///
+    /// # Errors
+    ///
+    /// Transport errors; `InvalidData` when the server's JSON payload does
+    /// not parse.
+    pub fn journal(&mut self, cursor: u64, max: u64) -> io::Result<harmony_core::JournalTail> {
+        let resp = self.call_resilient(&Request::Journal { cursor, max })?;
+        match resp {
+            Response::Journal { json } => harmony_core::JournalTail::from_json(&json)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string())),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected journal response: {other:?}"),
+            )),
+        }
+    }
+
+    /// Fetches the server's one-shot metrics exposition: one
+    /// `counter|gauge|histogram <name> ...` line per metric
+    /// (`harmonyctl export`).
+    ///
+    /// # Errors
+    ///
+    /// Transport errors; `InvalidData` on an unexpected response.
+    pub fn expo(&mut self) -> io::Result<String> {
+        let resp = self.call_resilient(&Request::Expo)?;
+        match resp {
+            Response::Expo { text } => Ok(text),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected expo response: {other:?}"),
+            )),
+        }
+    }
+
     /// `harmony_end`: tells Harmony the application is terminating so its
     /// resources can be re-evaluated, and consumes the client.
     ///
@@ -568,6 +607,33 @@ mod tests {
         assert_eq!(snap.nodes.len(), 8);
         assert_eq!(snap.total_tasks(), 8);
         assert_eq!(snap.objective, 230.0);
+    }
+
+    #[test]
+    fn journal_and_expo_surface_observability() {
+        let t = local(8);
+        let mut client = HarmonyClient::startup(t, "bag", UpdateDelivery::Polling).unwrap();
+        client.bundle_setup(harmony_rsl::listings::FIG2B_BAG).unwrap();
+        client.report_metric("response_time", 1.0, 9.5).unwrap();
+        let tail = client.journal(0, 1000).unwrap();
+        assert!(!tail.entries.is_empty());
+        assert!(tail.entries.iter().any(|e| e.detail.starts_with("bundle-setup bag.1")));
+        // Paging picks up where the first tail stopped.
+        let rest = client.journal(tail.next_cursor, 1000).unwrap();
+        assert!(rest.entries.is_empty(), "quiet system: nothing after the tail");
+        let expo = client.expo().unwrap();
+        assert!(expo.contains("histogram bag.1.response_time"), "got {expo}");
+        assert!(expo.contains("counter controller.reevals"), "got {expo}");
+    }
+
+    #[test]
+    fn non_finite_metric_report_is_an_error() {
+        let t = local(2);
+        let ctl = t.controller();
+        let mut client = HarmonyClient::startup(t, "db", UpdateDelivery::Polling).unwrap();
+        let err = client.report_metric("response_time", 1.0, f64::NAN).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(ctl.read().metrics().series("db.1.response_time").is_none(), "never recorded");
     }
 
     #[test]

@@ -21,6 +21,7 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+use std::time::Instant;
 
 use harmony_metrics::{MetricBus, MetricEvent, MetricRegistry};
 use harmony_ns::{HPath, InstanceRegistry, Namespace};
@@ -35,6 +36,7 @@ use crate::app::{AppInstance, BundleState, ChosenConfig, InstanceId};
 use crate::candidates::{enumerate, Candidate};
 use crate::error::CoreError;
 use crate::feedback::{calibration_factor, FeedbackConfig};
+use crate::journal::{EventJournal, JournalKind, JournalTail, PhaseTimings};
 use crate::objective::Objective;
 use crate::pruning::PruningMode;
 use crate::scheduler::{CoalescePolicy, DecisionScheduler};
@@ -195,7 +197,12 @@ impl Default for ControllerConfig {
 }
 
 /// A record of one applied reconfiguration decision.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Equality ignores [`DecisionRecord::phases`]: wall-clock timings are
+/// measurement metadata, and two semantically identical decisions (same
+/// switch, same objective, same provenance) compare equal even though no
+/// two passes take exactly the same microseconds.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct DecisionRecord {
     /// Controller-clock time of the decision.
     pub time: f64,
@@ -217,6 +224,29 @@ pub struct DecisionRecord {
     /// while reaping a dead client.
     #[serde(default)]
     pub cause: Option<String>,
+    /// Journal seqs of the triggering events this decision settles: one
+    /// seq for a synchronous trigger, the whole batch for a coalesced
+    /// window. Empty only for decisions forced outside the event paths
+    /// (e.g. a joint-optimizer replay).
+    #[serde(default)]
+    pub provenance: Vec<u64>,
+    /// Per-phase wall timings of the pass that produced this decision.
+    #[serde(default)]
+    pub phases: PhaseTimings,
+}
+
+impl PartialEq for DecisionRecord {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time
+            && self.instance == other.instance
+            && self.bundle == other.bundle
+            && self.from == other.from
+            && self.to == other.to
+            && self.objective_before == other.objective_before
+            && self.objective_after == other.objective_after
+            && self.cause == other.cause
+            && self.provenance == other.provenance
+    }
 }
 
 /// A hypothetical substitution of one bundle's configuration during
@@ -279,6 +309,18 @@ pub struct Controller {
     /// values; `0` doubles as the "never touched" sentinel). Write-path
     /// operations fold stamps into [`SessionState::deadline`].
     touches: BTreeMap<InstanceId, AtomicU64>,
+    /// The bounded provenance journal. Behind its own mutex (not the
+    /// controller lock) so the concurrent read path — metric reports,
+    /// heartbeats, journal tailing — can append and read under a shared
+    /// controller borrow.
+    journal: Mutex<EventJournal>,
+    /// Journal seqs of the event(s) the in-flight optimization pass is
+    /// settling; copied into every [`DecisionRecord`] it commits (the
+    /// provenance analogue of `decision_cause`).
+    decision_provenance: Vec<u64>,
+    /// Per-phase timings staged by the pass about to commit a decision;
+    /// consumed (taken) by `commit_choice`.
+    phase_timings: Option<PhaseTimings>,
 }
 
 impl Controller {
@@ -302,6 +344,9 @@ impl Controller {
             candidate_cache: BTreeMap::new(),
             scheduler: DecisionScheduler::new(),
             touches: BTreeMap::new(),
+            journal: Mutex::new(EventJournal::default()),
+            decision_provenance: Vec::new(),
+            phase_timings: None,
         }
     }
 
@@ -345,6 +390,53 @@ impl Controller {
     /// The configuration.
     pub fn config(&self) -> &ControllerConfig {
         &self.config
+    }
+
+    // ------------------------------------------------------------------
+    // The provenance journal.
+    // ------------------------------------------------------------------
+
+    /// Appends one entry to the provenance journal from any path (the
+    /// journal sits behind its own mutex, so `&self` suffices — metric
+    /// reports and heartbeats journal from the concurrent read path).
+    /// Returns the entry's sequence number.
+    pub fn journal_append(&self, kind: JournalKind, detail: String) -> u64 {
+        self.journal.lock().push(self.now, kind, detail)
+    }
+
+    /// Journals a decision-triggering event and stages its seq as the
+    /// provenance of whatever decisions the current pass commits.
+    fn journal_trigger(&mut self, kind: JournalKind, detail: String) -> u64 {
+        let seq = self.journal_append(kind, detail);
+        self.decision_provenance = vec![seq];
+        seq
+    }
+
+    /// Tails the journal: up to `max` entries with `seq >= cursor`,
+    /// oldest first (see [`JournalTail`]). Pure read path.
+    pub fn journal_tail(&self, cursor: u64, max: usize) -> JournalTail {
+        self.journal.lock().tail(cursor, max)
+    }
+
+    /// Number of journal entries ever appended (retained or evicted).
+    pub fn journal_seq(&self) -> u64 {
+        self.journal.lock().next_seq()
+    }
+
+    /// Records a client metric report: journals it, stores the sample in
+    /// the registry, and — for `response_time` metrics — feeds the
+    /// per-instance response-time histogram. Returns `false` when the
+    /// sample is non-finite and was rejected.
+    pub fn record_metric(&self, name: &str, time: f64, value: f64) -> bool {
+        if !self.metrics.record(name, time, value) {
+            self.journal_append(JournalKind::Event, format!("metric-rejected {name}"));
+            return false;
+        }
+        if name.ends_with(".response_time") {
+            self.metrics.observe(name, value);
+        }
+        self.journal_append(JournalKind::Event, format!("metric {name} {value}"));
+        true
     }
 
     /// All decisions applied so far, oldest first.
@@ -411,6 +503,7 @@ impl Controller {
         self.touches.insert(id.clone(), AtomicU64::new(0));
         self.metrics.inc_counter("controller.startups");
         self.metrics.set_gauge("controller.sessions.active", self.sessions.len() as f64);
+        self.journal_append(JournalKind::Event, format!("startup {id}"));
         id
     }
 
@@ -440,6 +533,7 @@ impl Controller {
         // Invalidate any memoized candidates under this key (a re-added
         // bundle name must re-enumerate against the new spec).
         self.candidate_cache.remove(&(id.clone(), bundle_name.clone()));
+        self.journal_trigger(JournalKind::Event, format!("bundle-setup {id} {bundle_name}"));
         let mut records = Vec::new();
 
         let direct = self.optimize_bundle(id.clone(), bundle_name.clone(), true);
@@ -487,6 +581,7 @@ impl Controller {
                 records.extend(self.reevaluate_excluding(Some(id))?);
             }
         }
+        self.decision_provenance.clear();
         Ok(records)
     }
 
@@ -562,6 +657,7 @@ impl Controller {
         self.metrics.inc_counter("controller.ends");
         self.metrics.set_gauge("controller.sessions.active", self.sessions.len() as f64);
         self.retirements.push(RetirementRecord { time: self.now, instance: id.clone(), reason });
+        self.journal_trigger(JournalKind::Retirement, format!("{reason}: {id}"));
         if reason != RetireReason::Ended {
             self.decision_cause = Some(format!("{reason}: {id}"));
         }
@@ -569,9 +665,10 @@ impl Controller {
             self.mark_dirty();
             Ok(Vec::new())
         } else {
-            self.reevaluate()
+            self.reevaluate_excluding(None)
         };
         self.decision_cause = None;
+        self.decision_provenance.clear();
         result
     }
 
@@ -810,9 +907,12 @@ impl Controller {
         self.scheduler.pending()
     }
 
-    /// Records that system state changed and a re-evaluation is owed.
+    /// Records that system state changed and a re-evaluation is owed. The
+    /// currently staged provenance seqs move into the scheduler: the
+    /// deferred window's decisions will carry them.
     fn mark_dirty(&mut self) {
-        self.scheduler.mark(self.now);
+        let seqs = std::mem::take(&mut self.decision_provenance);
+        self.scheduler.mark(self.now, &seqs);
         self.metrics.set_gauge("controller.scheduler.pending", self.scheduler.pending() as f64);
     }
 
@@ -851,15 +951,17 @@ impl Controller {
     /// One coalesced re-evaluation covering every pending mark: the single
     /// joint optimization that replaces N per-event passes.
     fn fire_scheduler(&mut self) -> Result<Vec<DecisionRecord>, CoreError> {
-        let n = self.scheduler.take();
+        let (n, seqs) = self.scheduler.take();
         if n == 0 {
             return Ok(Vec::new());
         }
+        self.journal_append(JournalKind::SchedulerFire, format!("coalesced-arrivals: {n}"));
         self.metrics.inc_counter("controller.scheduler.windows_fired");
         self.metrics.add_counter("controller.scheduler.coalesced_arrivals", n as u64);
         self.metrics.add_counter("controller.scheduler.decisions_saved", (n - 1) as u64);
         self.metrics.set_gauge("controller.scheduler.pending", 0.0);
         let prev_cause = self.decision_cause.take();
+        let prev_provenance = std::mem::replace(&mut self.decision_provenance, seqs);
         self.decision_cause = Some(format!("coalesced-arrivals: {n}"));
         // One window = one *converged* joint optimization. A single greedy
         // pass from the deferred state can stop at an intermediate local
@@ -881,6 +983,7 @@ impl Controller {
             Ok(records)
         })();
         self.decision_cause = prev_cause;
+        self.decision_provenance = prev_provenance;
         result
     }
 
@@ -893,7 +996,21 @@ impl Controller {
     /// Propagates evaluation errors; placement failures of *candidates*
     /// are not errors (the candidate is skipped).
     pub fn reevaluate(&mut self) -> Result<Vec<DecisionRecord>, CoreError> {
-        self.reevaluate_excluding(None)
+        self.reevaluate_triggered(JournalKind::Event, "reevaluate".to_string())
+    }
+
+    /// A full re-evaluation whose decisions carry `detail` as provenance —
+    /// used by event arms (node joins, departures) that want the *event*,
+    /// not the generic "reevaluate", on the record.
+    pub(crate) fn reevaluate_triggered(
+        &mut self,
+        kind: JournalKind,
+        detail: String,
+    ) -> Result<Vec<DecisionRecord>, CoreError> {
+        self.journal_trigger(kind, detail);
+        let result = self.reevaluate_excluding(None);
+        self.decision_provenance.clear();
+        result
     }
 
     fn all_pairs_excluding(
@@ -1051,7 +1168,15 @@ impl Controller {
             .iter()
             .filter_map(|b| b.current.as_ref().map(|c| c.predicted))
             .fold(0.0f64, f64::max);
-        calibration_factor(&self.metrics, id, predicted, cfg)
+        // Calibrate against the current configuration regime only: samples
+        // measured before the app's latest switch describe a different
+        // configuration and must not bleed into this one's factor.
+        let since = app
+            .bundles
+            .iter()
+            .filter_map(|b| b.current.as_ref().map(|c| c.chosen_at))
+            .fold(f64::NEG_INFINITY, f64::max);
+        calibration_factor(&self.metrics, id, predicted, since, cfg)
     }
 
     /// Response time of app `id` on `cluster`, with `replaces` overriding
@@ -1183,13 +1308,20 @@ impl Controller {
             return Ok(None);
         }
         let current = bundle.current.clone();
+        let t_cands = Instant::now();
         let cands = self.cached_candidates(&id, &bundle_name).expect("bundle validated above");
+        let candidates_ms = elapsed_ms(t_cands);
 
         let before = self.objective_score();
+        let t_search = Instant::now();
+        let mut prediction_ms = 0.0;
         let mut best: Option<EvaluatedCandidate> = None;
         let mut last_reason = String::from("no candidates");
         for cand in cands.iter() {
-            match self.evaluate_candidate(&id, &bundle_name, cand)? {
+            let t_eval = Instant::now();
+            let evaluated = self.evaluate_candidate(&id, &bundle_name, cand);
+            prediction_ms += elapsed_ms(t_eval);
+            match evaluated? {
                 Some(eval) => {
                     let better = match &best {
                         None => true,
@@ -1204,6 +1336,7 @@ impl Controller {
                 }
             }
         }
+        let optimization_ms = (elapsed_ms(t_search) - prediction_ms).max(0.0);
 
         let Some(best) = best else {
             if initial && current.is_none() {
@@ -1223,6 +1356,12 @@ impl Controller {
             }
         }
 
+        self.phase_timings = Some(PhaseTimings {
+            candidates_ms,
+            prediction_ms,
+            optimization_ms,
+            ..Default::default()
+        });
         Ok(Some(self.commit_choice(
             &id,
             &bundle_name,
@@ -1263,8 +1402,11 @@ impl Controller {
         // unplaced bundle is an improvement even at equal objective.
         let unplaced_before = (cur_a.is_none() as u32) + (cur_b.is_none() as u32);
 
+        let t_cands = Instant::now();
         let cands_a = self.cached_candidates(&a.0, &a.1).expect("pair validated above");
         let cands_b = self.cached_candidates(&b.0, &b.1).expect("pair validated above");
+        let candidates_ms = elapsed_ms(t_cands);
+        let t_joint = Instant::now();
         let mut best: Option<(f64, Candidate, Allocation, f64, Candidate, Allocation, f64)> = None;
         for ca in cands_a.iter() {
             let Some(opt_a) = spec_a.option(&ca.option) else { continue };
@@ -1321,6 +1463,9 @@ impl Controller {
             }
         }
 
+        // The joint scan interleaves env construction, prediction, and
+        // comparison too tightly to split; report it all as optimization.
+        let optimization_ms = elapsed_ms(t_joint);
         let Some((score, ca, alloc_a, rt_a, cb, alloc_b, rt_b)) = best else {
             return Ok(None);
         };
@@ -1338,11 +1483,14 @@ impl Controller {
             return Ok(None);
         }
 
+        let timings = PhaseTimings { candidates_ms, optimization_ms, ..Default::default() };
         let mut records = Vec::new();
         if !same_a {
+            self.phase_timings = Some(timings);
             records.push(self.commit_choice(&a.0, &a.1, &ca, alloc_a, rt_a, before)?);
         }
         if !same_b {
+            self.phase_timings = Some(timings);
             records.push(self.commit_choice(&b.0, &b.1, &cb, alloc_b, rt_b, before)?);
         }
         Ok(Some(records))
@@ -1359,6 +1507,8 @@ impl Controller {
         predicted: f64,
         objective_before: f64,
     ) -> Result<DecisionRecord, CoreError> {
+        let mut phases = self.phase_timings.take().unwrap_or_default();
+        let t_commit = Instant::now();
         let current =
             self.apps.get(id).and_then(|a| a.bundle(bundle_name)).and_then(|b| b.current.clone());
         if let Some(cur) = &current {
@@ -1382,9 +1532,26 @@ impl Controller {
             objective_before,
             objective_after: 0.0,
             cause: self.decision_cause.clone(),
+            provenance: self.decision_provenance.clone(),
+            phases: PhaseTimings::default(),
         };
         self.apply_choice(id, bundle_name, cfg, current.is_some());
         record.objective_after = self.objective_score();
+        phases.commit_ms = elapsed_ms(t_commit);
+        record.phases = phases;
+        for (name, ms) in [
+            ("controller.phase.candidates", phases.candidates_ms),
+            ("controller.phase.prediction", phases.prediction_ms),
+            ("controller.phase.optimization", phases.optimization_ms),
+            ("controller.phase.pruning", phases.pruning_ms),
+            ("controller.phase.commit", phases.commit_ms),
+        ] {
+            self.metrics.observe(name, ms / 1e3);
+        }
+        self.journal_append(
+            JournalKind::Decision,
+            format!("decision {}.{} -> {}", record.instance, record.bundle, record.to),
+        );
         self.metrics.inc_counter("controller.decisions");
         self.bus.publish(MetricEvent::new(
             format!("controller.decision.{}.{}", record.instance, record.bundle),
@@ -1453,6 +1620,11 @@ impl Controller {
         let before = self.objective_score();
         Ok(Some(self.commit_choice(id, bundle_name, cand, alloc, predicted, before)?))
     }
+}
+
+/// Milliseconds elapsed since `t0`.
+fn elapsed_ms(t0: Instant) -> f64 {
+    t0.elapsed().as_secs_f64() * 1e3
 }
 
 fn same_point(cur: &ChosenConfig, cand: &Candidate) -> bool {

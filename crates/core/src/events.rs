@@ -11,6 +11,7 @@ use serde::{Deserialize, Serialize};
 use crate::app::InstanceId;
 use crate::controller::{Controller, DecisionRecord};
 use crate::error::CoreError;
+use crate::journal::JournalKind;
 
 /// An event delivered to the Harmony process.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -98,12 +99,17 @@ impl Controller {
             }
             HarmonyEvent::MetricReport { name, time, value } => {
                 self.renew_lease_for_metric(&name);
-                self.metrics.record(&name, time, value);
-                self.metric_bus().publish(harmony_metrics::MetricEvent::new(name, time, value));
+                // Journals, rejects non-finite samples, and feeds the
+                // per-instance response-time histogram. Rejected samples
+                // stay off the bus so subscribers never see NaN/inf.
+                if self.record_metric(&name, time, value) {
+                    self.metric_bus().publish(harmony_metrics::MetricEvent::new(name, time, value));
+                }
                 Ok(EventOutcome::Quiet)
             }
             HarmonyEvent::Heartbeat { instance } => {
                 if self.renew_lease(&instance) {
+                    self.journal_append(JournalKind::Event, format!("heartbeat {instance}"));
                     Ok(EventOutcome::Quiet)
                 } else {
                     Err(CoreError::UnknownInstance { name: instance.to_string() })
@@ -111,6 +117,7 @@ impl Controller {
             }
             HarmonyEvent::Reattach { instance } => {
                 self.reattach(&instance)?;
+                self.journal_append(JournalKind::Event, format!("reattach {instance}"));
                 Ok(EventOutcome::Quiet)
             }
             HarmonyEvent::Periodic => {
@@ -121,17 +128,23 @@ impl Controller {
                     // have added some) instead of re-evaluating blindly.
                     records.extend(self.flush_scheduler()?);
                 } else {
-                    records.extend(self.reevaluate()?);
+                    records.extend(
+                        self.reevaluate_triggered(JournalKind::Event, "periodic".to_string())?,
+                    );
                 }
                 Ok(EventOutcome::Decisions(records))
             }
             HarmonyEvent::NodeJoined(decl) => {
+                let name = decl.name.clone();
                 self.cluster.add_node(decl)?;
-                Ok(EventOutcome::Decisions(self.reevaluate()?))
+                let records =
+                    self.reevaluate_triggered(JournalKind::Event, format!("node-joined {name}"))?;
+                Ok(EventOutcome::Decisions(records))
             }
             HarmonyEvent::LinkJoined(decl) => {
+                let detail = format!("link-joined {} {}", decl.a, decl.b);
                 self.cluster.add_link(decl)?;
-                Ok(EventOutcome::Decisions(self.reevaluate()?))
+                Ok(EventOutcome::Decisions(self.reevaluate_triggered(JournalKind::Event, detail)?))
             }
             HarmonyEvent::NodeLeft { name } => Ok(EventOutcome::Decisions(self.evict_node(&name)?)),
         }
@@ -180,8 +193,8 @@ impl Controller {
         self.cluster.remove_node(name);
         self.metrics.inc_counter("controller.evictions");
         // Re-place everything (displaced bundles have no incumbent, so any
-        // feasible candidate wins).
-        self.reevaluate()
+        // feasible candidate wins); the departure is the provenance.
+        self.reevaluate_triggered(JournalKind::Event, format!("node-left {name}"))
     }
 }
 

@@ -38,10 +38,19 @@ impl Default for FeedbackConfig {
 /// Computes the calibration factor for one instance: smoothed measured
 /// response time divided by `predicted`, clamped; `1.0` when there is not
 /// enough data or no meaningful prediction.
+///
+/// Only samples with `time >= since` participate. The caller passes the
+/// instance's last configuration-switch time: response times measured
+/// under a *previous* configuration say nothing about how far the model is
+/// off for the *current* one, and letting them decay through the EWMA
+/// instead of excluding them outright mis-calibrates every prediction for
+/// many reports after a switch (pass `f64::NEG_INFINITY` for the old
+/// whole-series behavior).
 pub fn calibration_factor(
     metrics: &MetricRegistry,
     id: &InstanceId,
     predicted: f64,
+    since: f64,
     config: &FeedbackConfig,
 ) -> f64 {
     if !(predicted.is_finite()) || predicted <= 0.0 {
@@ -49,10 +58,10 @@ pub fn calibration_factor(
     }
     let name = format!("{id}.{RESPONSE_TIME_METRIC}");
     let Some(series) = metrics.series(&name) else { return 1.0 };
-    if series.len() < config.min_samples {
+    if series.count_since(since) < config.min_samples {
         return 1.0;
     }
-    let Some(measured) = series.ewma(config.alpha) else { return 1.0 };
+    let Some(measured) = series.ewma_since(config.alpha, since) else { return 1.0 };
     if measured <= 0.0 {
         return 1.0;
     }
@@ -79,27 +88,35 @@ mod tests {
     #[test]
     fn no_data_means_no_correction() {
         let reg = MetricRegistry::new();
-        assert_eq!(calibration_factor(&reg, &id(), 10.0, &FeedbackConfig::default()), 1.0);
+        assert_eq!(
+            calibration_factor(&reg, &id(), 10.0, f64::NEG_INFINITY, &FeedbackConfig::default()),
+            1.0
+        );
     }
 
     #[test]
     fn too_few_samples_means_no_correction() {
         let reg = registry_with(&[20.0, 20.0]);
-        assert_eq!(calibration_factor(&reg, &id(), 10.0, &FeedbackConfig::default()), 1.0);
+        assert_eq!(
+            calibration_factor(&reg, &id(), 10.0, f64::NEG_INFINITY, &FeedbackConfig::default()),
+            1.0
+        );
     }
 
     #[test]
     fn underestimating_model_gets_scaled_up() {
         // The model says 10 s; reality is consistently ~20 s.
         let reg = registry_with(&[20.0, 20.0, 20.0, 20.0]);
-        let f = calibration_factor(&reg, &id(), 10.0, &FeedbackConfig::default());
+        let f =
+            calibration_factor(&reg, &id(), 10.0, f64::NEG_INFINITY, &FeedbackConfig::default());
         assert!((f - 2.0).abs() < 1e-9, "factor {f}");
     }
 
     #[test]
     fn overestimating_model_gets_scaled_down() {
         let reg = registry_with(&[5.0, 5.0, 5.0, 5.0]);
-        let f = calibration_factor(&reg, &id(), 10.0, &FeedbackConfig::default());
+        let f =
+            calibration_factor(&reg, &id(), 10.0, f64::NEG_INFINITY, &FeedbackConfig::default());
         assert!((f - 0.5).abs() < 1e-9, "factor {f}");
     }
 
@@ -107,9 +124,9 @@ mod tests {
     fn factor_is_clamped() {
         let reg = registry_with(&[1e6, 1e6, 1e6, 1e6]);
         let cfg = FeedbackConfig::default();
-        assert_eq!(calibration_factor(&reg, &id(), 0.001, &cfg), cfg.limit);
+        assert_eq!(calibration_factor(&reg, &id(), 0.001, f64::NEG_INFINITY, &cfg), cfg.limit);
         let reg = registry_with(&[1e-9, 1e-9, 1e-9, 1e-9]);
-        assert_eq!(calibration_factor(&reg, &id(), 1e9, &cfg), 1.0 / cfg.limit);
+        assert_eq!(calibration_factor(&reg, &id(), 1e9, f64::NEG_INFINITY, &cfg), 1.0 / cfg.limit);
     }
 
     #[test]
@@ -118,16 +135,45 @@ mod tests {
         let mut samples = vec![10.0; 10];
         samples.extend(vec![40.0; 10]);
         let reg = registry_with(&samples);
-        let f = calibration_factor(&reg, &id(), 10.0, &FeedbackConfig::default());
+        let f =
+            calibration_factor(&reg, &id(), 10.0, f64::NEG_INFINITY, &FeedbackConfig::default());
         assert!(f > 3.0, "factor {f} should lean toward the recent regime");
+    }
+
+    #[test]
+    fn calibration_segments_at_the_configuration_switch() {
+        // Regression: a query-shipping regime measured ~80 s, then the
+        // controller switched the instance to data-shipping (predicted
+        // 10 s, measured ~10 s). The factor for the *current* configuration
+        // must come from post-switch samples only — under the old
+        // whole-series EWMA the stale 80 s samples bled through the decay
+        // and reported the well-calibrated model as badly off.
+        let reg = MetricRegistry::new();
+        for t in 0..10 {
+            reg.record("DBclient.1.response_time", t as f64, 80.0); // QS regime
+        }
+        let switch_time = 10.0;
+        for t in 10..14 {
+            reg.record("DBclient.1.response_time", t as f64, 10.0); // DS regime
+        }
+        let cfg = FeedbackConfig::default();
+        let f = calibration_factor(&reg, &id(), 10.0, switch_time, &cfg);
+        assert!((f - 1.0).abs() < 1e-9, "post-switch factor {f} must be clean");
+        // Unsegmented, the pre-switch regime still poisons the factor.
+        let stale = calibration_factor(&reg, &id(), 10.0, f64::NEG_INFINITY, &cfg);
+        assert!(stale > 1.5, "whole-series factor {stale} shows the bug being fixed");
+        // Too few post-switch samples: fall back to no correction rather
+        // than trusting the stale regime.
+        let f = calibration_factor(&reg, &id(), 10.0, 12.0, &cfg);
+        assert_eq!(f, 1.0, "min_samples applies to the segment, not the series");
     }
 
     #[test]
     fn degenerate_predictions_are_ignored() {
         let reg = registry_with(&[10.0; 5]);
         let cfg = FeedbackConfig::default();
-        assert_eq!(calibration_factor(&reg, &id(), 0.0, &cfg), 1.0);
-        assert_eq!(calibration_factor(&reg, &id(), f64::INFINITY, &cfg), 1.0);
-        assert_eq!(calibration_factor(&reg, &id(), -5.0, &cfg), 1.0);
+        assert_eq!(calibration_factor(&reg, &id(), 0.0, f64::NEG_INFINITY, &cfg), 1.0);
+        assert_eq!(calibration_factor(&reg, &id(), f64::INFINITY, f64::NEG_INFINITY, &cfg), 1.0);
+        assert_eq!(calibration_factor(&reg, &id(), -5.0, f64::NEG_INFINITY, &cfg), 1.0);
     }
 }

@@ -26,6 +26,7 @@ mod controller;
 mod error;
 mod events;
 pub mod feedback;
+pub mod journal;
 mod objective;
 pub mod optimizer;
 pub mod pruning;
@@ -43,11 +44,12 @@ pub use controller::{
 pub use error::CoreError;
 pub use events::{EventOutcome, HarmonyEvent};
 pub use feedback::FeedbackConfig;
+pub use journal::{EventJournal, JournalEntry, JournalKind, JournalTail, PhaseTimings};
 pub use objective::Objective;
 pub use pruning::{PruningMode, PruningPlan};
 pub use scheduler::{CoalescePolicy, DecisionScheduler};
 pub use session::{LeaseConfig, RetireReason, RetirementRecord, SessionState};
 pub use snapshot::{
-    AppSnapshot, NodeSnapshot, OptimizerSnapshot, SchedulerSnapshot, SessionSnapshot,
-    SystemSnapshot,
+    AppSnapshot, HistogramSnapshot, NodeSnapshot, OptimizerSnapshot, SchedulerSnapshot,
+    SessionSnapshot, SystemSnapshot,
 };

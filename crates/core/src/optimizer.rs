@@ -496,11 +496,10 @@ fn record_search_metrics(
     c.metrics.add_counter("controller.optimizer.evals", stats.evals);
     c.metrics.add_counter("controller.optimizer.infeasible", stats.infeasible);
     c.metrics.set_gauge("controller.optimizer.workers", workers as f64);
-    c.metrics.set_gauge("controller.optimizer.last_wall_ms", t0.elapsed().as_secs_f64() * 1e3);
-    c.metrics.set_gauge(
-        &format!("controller.optimizer.{kind}.last_wall_ms"),
-        t0.elapsed().as_secs_f64() * 1e3,
-    );
+    let wall = t0.elapsed().as_secs_f64();
+    c.metrics.set_gauge("controller.optimizer.last_wall_ms", wall * 1e3);
+    c.metrics.set_gauge(&format!("controller.optimizer.{kind}.last_wall_ms"), wall * 1e3);
+    c.metrics.observe("controller.optimizer.wall", wall);
 }
 
 fn unplaceable(ctx: &EvalCtx, reason: &str) -> CoreError {
@@ -1030,7 +1029,9 @@ pub fn exhaustive_pruned(
     if size == 0 {
         return Err(unplaceable(&ctx, "a bundle enumerates no candidates"));
     }
+    let t_prune = Instant::now();
     let plan = PruningPlan::build(&ctx);
+    c.metrics.observe("controller.phase.pruning", t_prune.elapsed().as_secs_f64());
     c.metrics.add_counter("controller.pruning.dominated_dropped", plan.dominated_dropped);
     c.metrics.add_counter("controller.pruning.infeasible_dropped", plan.infeasible_dropped);
     c.metrics.set_gauge("controller.pruning.components", plan.components.len() as f64);

@@ -67,7 +67,15 @@ pub struct DecisionScheduler {
     first_mark: f64,
     /// Time of the newest mark (the debounce anchor).
     last_mark: f64,
+    /// Journal seqs of the events behind the pending marks — the
+    /// provenance the fired window's decisions will carry. Bounded by
+    /// [`MAX_PROVENANCE`] so a mark storm cannot grow it without limit.
+    seqs: Vec<u64>,
 }
+
+/// Upper bound on provenance seqs retained per window. Marks beyond it
+/// still count toward `pending`; only their seq is dropped.
+const MAX_PROVENANCE: usize = 1024;
 
 impl DecisionScheduler {
     /// A scheduler with no pending work.
@@ -75,13 +83,16 @@ impl DecisionScheduler {
         Self::default()
     }
 
-    /// Records one dirty mark at time `now`.
-    pub fn mark(&mut self, now: f64) {
+    /// Records one dirty mark at time `now`, remembering the journal seqs
+    /// of the events that caused it.
+    pub fn mark(&mut self, now: f64, seqs: &[u64]) {
         if self.pending == 0 {
             self.first_mark = now;
         }
         self.last_mark = self.last_mark.max(now);
         self.pending += 1;
+        let room = MAX_PROVENANCE.saturating_sub(self.seqs.len());
+        self.seqs.extend(seqs.iter().take(room));
     }
 
     /// Number of marks accumulated since the last fire.
@@ -100,9 +111,9 @@ impl DecisionScheduler {
     }
 
     /// Resets the scheduler, returning how many marks the fired window
-    /// coalesced.
-    pub fn take(&mut self) -> usize {
-        std::mem::take(&mut self.pending)
+    /// coalesced and the journal seqs of the events behind them.
+    pub fn take(&mut self) -> (usize, Vec<u64>) {
+        (std::mem::take(&mut self.pending), std::mem::take(&mut self.seqs))
     }
 }
 
@@ -131,13 +142,14 @@ mod tests {
     fn debounce_fires_after_quiet_window() {
         let p = policy(1.0, 10.0, 0);
         let mut s = DecisionScheduler::new();
-        s.mark(0.0);
+        s.mark(0.0, &[10]);
         assert!(!s.due(&p, 0.5));
-        s.mark(0.5); // renews the debounce
+        s.mark(0.5, &[11]); // renews the debounce
         assert!(!s.due(&p, 1.2));
         assert!(s.due(&p, 1.5));
-        assert_eq!(s.take(), 2);
+        assert_eq!(s.take(), (2, vec![10, 11]));
         assert!(!s.due(&p, 100.0), "take() clears the window");
+        assert_eq!(s.take(), (0, Vec::new()), "provenance does not leak across windows");
     }
 
     #[test]
@@ -146,7 +158,7 @@ mod tests {
         let mut s = DecisionScheduler::new();
         // Marks every 0.6 s keep the debounce alive forever...
         for i in 0..4 {
-            s.mark(0.6 * i as f64);
+            s.mark(0.6 * i as f64, &[i]);
         }
         // ...but the oldest mark is 2.0 s old at t=2.0.
         assert!(s.due(&p, 2.0));
@@ -156,19 +168,31 @@ mod tests {
     fn max_pending_fires_early() {
         let p = policy(10.0, 100.0, 3);
         let mut s = DecisionScheduler::new();
-        s.mark(0.0);
-        s.mark(0.0);
+        s.mark(0.0, &[]);
+        s.mark(0.0, &[]);
         assert!(!s.due(&p, 0.0));
-        s.mark(0.0);
+        s.mark(0.0, &[]);
         assert!(s.due(&p, 0.0));
     }
 
     #[test]
     fn marks_never_move_the_anchor_backwards() {
         let mut s = DecisionScheduler::new();
-        s.mark(5.0);
-        s.mark(3.0); // out-of-order mark (clock races) must not rewind
+        s.mark(5.0, &[]);
+        s.mark(3.0, &[]); // out-of-order mark (clock races) must not rewind
         assert!(s.due(&policy(1.0, 10.0, 0), 6.0));
         assert!(!s.due(&policy(3.0, 10.0, 0), 6.0));
+    }
+
+    #[test]
+    fn provenance_is_bounded() {
+        let mut s = DecisionScheduler::new();
+        for i in 0..(super::MAX_PROVENANCE as u64 + 50) {
+            s.mark(0.0, &[i]);
+        }
+        let (n, seqs) = s.take();
+        assert_eq!(n, super::MAX_PROVENANCE + 50, "every mark still counts");
+        assert_eq!(seqs.len(), super::MAX_PROVENANCE, "seqs capped");
+        assert_eq!(seqs[0], 0);
     }
 }

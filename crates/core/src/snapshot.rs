@@ -98,6 +98,24 @@ pub struct OptimizerSnapshot {
     pub pruning_mismatches: u64,
 }
 
+/// One histogram's summary, from the registry's latency histograms
+/// (`controller.phase.*`, `server.verb.*`, per-instance response times).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Histogram name.
+    pub name: String,
+    /// Total observations.
+    pub count: u64,
+    /// Mean observed value (seconds).
+    pub mean: f64,
+    /// Maximum observed value (seconds).
+    pub max: f64,
+    /// Upper bound on the median (bucket upper edge).
+    pub p50: f64,
+    /// Upper bound on the 95th percentile.
+    pub p95: f64,
+}
+
 /// Decision-coalescing counters, from the `controller.scheduler.*`
 /// metrics. All zero when coalescing is disabled (`window: 0`).
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
@@ -141,6 +159,13 @@ pub struct SystemSnapshot {
     /// Decision-coalescing counters (pending marks, windows fired).
     #[serde(default)]
     pub scheduler: SchedulerSnapshot,
+    /// Latency-histogram summaries in name order (controller phases,
+    /// per-verb service times, per-instance response times).
+    #[serde(default)]
+    pub histograms: Vec<HistogramSnapshot>,
+    /// Journal entries ever appended (the next tail cursor's upper bound).
+    #[serde(default)]
+    pub journal_seq: u64,
 }
 
 impl SystemSnapshot {
@@ -232,6 +257,26 @@ impl SystemSnapshot {
                     .counter("controller.scheduler.coalesced_arrivals"),
                 decisions_saved: ctl.metrics().counter("controller.scheduler.decisions_saved"),
             },
+            histograms: ctl
+                .metrics()
+                .histogram_names()
+                .into_iter()
+                .filter_map(|name| {
+                    let h = ctl.metrics().histogram(&name)?;
+                    if h.is_empty() {
+                        return None;
+                    }
+                    Some(HistogramSnapshot {
+                        name,
+                        count: h.len(),
+                        mean: h.mean().unwrap_or(0.0),
+                        max: h.max().unwrap_or(0.0),
+                        p50: h.quantile_bound(0.5).unwrap_or(0.0),
+                        p95: h.quantile_bound(0.95).unwrap_or(0.0),
+                    })
+                })
+                .collect(),
+            journal_seq: ctl.journal_seq(),
         }
     }
 
@@ -344,6 +389,22 @@ mod tests {
         let snap = SystemSnapshot::capture(&ctl);
         assert_eq!(snap.optimizer.pruning_verified, 1);
         assert_eq!(snap.optimizer.pruning_mismatches, 0);
+    }
+
+    #[test]
+    fn histograms_and_journal_appear_in_snapshot() {
+        let ctl = controller();
+        // A decision already happened in controller(); phase histograms and
+        // journal entries must be visible in the capture.
+        ctl.record_metric("bag.1.response_time", 13.0, 42.0);
+        let snap = SystemSnapshot::capture(&ctl);
+        assert!(snap.journal_seq > 0, "registration journaled");
+        let names: Vec<&str> = snap.histograms.iter().map(|h| h.name.as_str()).collect();
+        assert!(names.contains(&"controller.phase.commit"), "got {names:?}");
+        assert!(names.contains(&"bag.1.response_time"), "got {names:?}");
+        let rt = snap.histograms.iter().find(|h| h.name == "bag.1.response_time").unwrap();
+        assert_eq!(rt.count, 1);
+        assert!(rt.p50 >= 42.0 && rt.max >= 42.0);
     }
 
     #[test]

@@ -85,6 +85,59 @@ fn accurate_measurements_leave_decisions_unchanged() {
 }
 
 #[test]
+fn calibration_resets_after_a_reconfiguration() {
+    // Regression: samples measured under a *previous* configuration must
+    // not calibrate predictions for the current one. An app starts on
+    // alpha (measured 3× slower than modeled), then alpha leaves and the
+    // app is re-placed on beta. The stale alpha-era samples said nothing
+    // about beta; until enough post-switch samples arrive the factor must
+    // fall back to 1.0 — before the fix the whole-series EWMA kept scaling
+    // beta's prediction by ~3×.
+    let config =
+        ControllerConfig { feedback: Some(FeedbackConfig::default()), ..Default::default() };
+    let mut ctl = Controller::new(two_node_cluster(), config);
+    let script = "harmonyBundle mover:1 b {\n\
+           {onAlpha {node w {hostname alpha} {seconds 10} {memory 8}}}\n\
+           {onBeta {node w {hostname beta} {seconds 12} {memory 8}}}\n\
+         }";
+    let (id, _) = ctl.register(parse_bundle_script(script).unwrap()).unwrap();
+    assert_eq!(ctl.choice(&id, "b").unwrap().option, "onAlpha");
+    for i in 0..5 {
+        ctl.handle_event(HarmonyEvent::MetricReport {
+            name: format!("{id}.response_time"),
+            time: i as f64,
+            value: 30.0, // 3× the modeled 10 s
+        })
+        .unwrap();
+    }
+    assert!((ctl.predicted_response_times()[0].1 - 30.0).abs() < 1e-9, "factor active on alpha");
+
+    // alpha departs; the app is re-placed on beta at t=10.
+    ctl.set_time(10.0);
+    ctl.handle_event(HarmonyEvent::NodeLeft { name: "alpha".into() }).unwrap();
+    let choice = ctl.choice(&id, "b").unwrap();
+    assert_eq!(choice.option, "onBeta");
+    assert_eq!(choice.chosen_at, 10.0);
+
+    // No post-switch samples yet: the prediction must be the clean model
+    // value, not the stale-regime-scaled one.
+    let predicted = ctl.predicted_response_times()[0].1;
+    assert!((predicted - 12.0).abs() < 1e-9, "stale regime leaked: predicted {predicted}");
+
+    // Post-switch samples re-calibrate against the new regime only.
+    for i in 0..5 {
+        ctl.handle_event(HarmonyEvent::MetricReport {
+            name: format!("{id}.response_time"),
+            time: 10.0 + i as f64,
+            value: 18.0, // 1.5× the modeled 12 s
+        })
+        .unwrap();
+    }
+    let predicted = ctl.predicted_response_times()[0].1;
+    assert!((predicted - 18.0).abs() < 1e-9, "new regime calibrates: predicted {predicted}");
+}
+
+#[test]
 fn predicted_response_times_reflect_measured_reality() {
     let config =
         ControllerConfig { feedback: Some(FeedbackConfig::default()), ..Default::default() };

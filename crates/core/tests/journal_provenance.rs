@@ -1,0 +1,123 @@
+//! Decision provenance: every applied decision names the journal entries
+//! of the events that caused it, synchronously and across coalesced
+//! windows.
+
+use harmony_core::{CoalescePolicy, Controller, ControllerConfig, HarmonyEvent, JournalKind};
+use harmony_resources::Cluster;
+use harmony_rsl::listings::{sp2_cluster, FIG2B_BAG};
+use harmony_rsl::schema::parse_bundle_script;
+
+fn controller(nodes: usize) -> Controller {
+    Controller::new(Cluster::from_rsl(&sp2_cluster(nodes)).unwrap(), ControllerConfig::default())
+}
+
+fn coalescing_controller(nodes: usize, window: f64) -> Controller {
+    let config = ControllerConfig {
+        coalesce: CoalescePolicy { window, max_delay: 10.0, max_pending: 64 },
+        ..Default::default()
+    };
+    Controller::new(Cluster::from_rsl(&sp2_cluster(nodes)).unwrap(), config)
+}
+
+#[test]
+fn synchronous_decisions_carry_the_triggering_event() {
+    let mut ctl = controller(8);
+    let (_, records) = ctl.register(parse_bundle_script(FIG2B_BAG).unwrap()).unwrap();
+    assert_eq!(records.len(), 1);
+    let record = &records[0];
+    assert_eq!(record.provenance.len(), 1, "one synchronous trigger");
+    let tail = ctl.journal_tail(0, 1000);
+    let trigger = tail.entries.iter().find(|e| e.seq == record.provenance[0]).unwrap();
+    assert_eq!(trigger.kind, JournalKind::Event);
+    assert!(trigger.detail.starts_with("bundle-setup bag.1"), "got {:?}", trigger.detail);
+}
+
+#[test]
+fn decisions_append_journal_entries() {
+    let mut ctl = controller(8);
+    ctl.register(parse_bundle_script(FIG2B_BAG).unwrap()).unwrap();
+    let tail = ctl.journal_tail(0, 1000);
+    let kinds: Vec<JournalKind> = tail.entries.iter().map(|e| e.kind).collect();
+    assert!(kinds.contains(&JournalKind::Decision), "got {kinds:?}");
+    let decision = tail.entries.iter().find(|e| e.kind == JournalKind::Decision).unwrap();
+    assert!(decision.detail.starts_with("decision bag.1.config ->"), "{:?}", decision.detail);
+}
+
+#[test]
+fn coalesced_window_decisions_carry_the_whole_batch() {
+    let mut ctl = coalescing_controller(8, 0.5);
+    let spec = parse_bundle_script(FIG2B_BAG).unwrap();
+    // A burst of four arrivals inside one window.
+    for _ in 0..4 {
+        ctl.register(spec.clone()).unwrap();
+    }
+    assert_eq!(ctl.pending_decisions(), 4);
+    ctl.set_time(1.0);
+    let records = ctl.service_scheduler(1.0).unwrap();
+    assert!(!records.is_empty());
+    let tail = ctl.journal_tail(0, 1000);
+    for record in &records {
+        assert_eq!(record.cause.as_deref(), Some("coalesced-arrivals: 4"));
+        assert_eq!(record.provenance.len(), 4, "all four triggers on the record");
+        for &seq in &record.provenance {
+            let entry = tail.entries.iter().find(|e| e.seq == seq).unwrap();
+            assert!(entry.detail.starts_with("bundle-setup"), "got {:?}", entry.detail);
+        }
+    }
+    // The fire itself is journaled too.
+    assert!(tail
+        .entries
+        .iter()
+        .any(|e| e.kind == JournalKind::SchedulerFire && e.detail == "coalesced-arrivals: 4"));
+}
+
+#[test]
+fn retirement_decisions_carry_the_departure() {
+    let mut ctl = controller(8);
+    let (id, _) = ctl.register(parse_bundle_script(FIG2B_BAG).unwrap()).unwrap();
+    let (id2, _) = ctl.register(parse_bundle_script(FIG2B_BAG).unwrap()).unwrap();
+    let records = ctl.end(&id).unwrap();
+    assert!(!records.is_empty(), "{id2} expands after {id} departs");
+    let tail = ctl.journal_tail(0, 1000);
+    for record in &records {
+        assert_eq!(record.provenance.len(), 1);
+        let entry = tail.entries.iter().find(|e| e.seq == record.provenance[0]).unwrap();
+        assert_eq!(entry.kind, JournalKind::Retirement);
+        assert!(entry.detail.contains(&id.to_string()), "got {:?}", entry.detail);
+    }
+}
+
+#[test]
+fn metric_reports_are_journaled_and_non_finite_rejected() {
+    let mut ctl = controller(2);
+    assert!(ctl.record_metric("x.1.response_time", 1.0, 5.0));
+    assert!(!ctl.record_metric("x.1.response_time", 2.0, f64::NAN));
+    assert!(!ctl.record_metric("x.1.response_time", f64::INFINITY, 5.0));
+    let tail = ctl.journal_tail(0, 1000);
+    let details: Vec<&str> = tail.entries.iter().map(|e| e.detail.as_str()).collect();
+    assert!(details.contains(&"metric x.1.response_time 5"), "got {details:?}");
+    assert_eq!(details.iter().filter(|d| **d == "metric-rejected x.1.response_time").count(), 2);
+    // The rejected samples never reached the series or the histogram.
+    assert_eq!(ctl.metrics().series("x.1.response_time").unwrap().len(), 1);
+    assert_eq!(ctl.metrics().histogram("x.1.response_time").unwrap().len(), 1);
+    // And heartbeats journal from the event path.
+    let _ = ctl.handle_event(HarmonyEvent::MetricReport {
+        name: "x.1.response_time".into(),
+        time: 3.0,
+        value: f64::NEG_INFINITY,
+    });
+    assert_eq!(ctl.metrics().series("x.1.response_time").unwrap().len(), 1, "still rejected");
+}
+
+#[test]
+fn journal_cursor_pages_across_activity() {
+    let mut ctl = controller(8);
+    ctl.register(parse_bundle_script(FIG2B_BAG).unwrap()).unwrap();
+    let first = ctl.journal_tail(0, 2);
+    assert_eq!(first.entries.len(), 2);
+    let rest = ctl.journal_tail(first.next_cursor, 1000);
+    assert!(!rest.truncated);
+    let total = ctl.journal_tail(0, 1000).entries.len();
+    assert_eq!(first.entries.len() + rest.entries.len(), total);
+    assert_eq!(ctl.journal_seq(), total as u64);
+}

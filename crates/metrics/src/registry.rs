@@ -6,10 +6,12 @@
 //! names (`DBclient.66.response_time`); consumers read snapshots.
 
 use std::collections::BTreeMap;
+use std::fmt::Write as _;
 use std::sync::Arc;
 
 use parking_lot::RwLock;
 
+use crate::histogram::Histogram;
 use crate::series::TimeSeries;
 
 /// A shared, thread-safe registry of metrics.
@@ -38,6 +40,7 @@ struct Inner {
     series: BTreeMap<String, TimeSeries>,
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
 }
 
 impl MetricRegistry {
@@ -48,9 +51,18 @@ impl MetricRegistry {
 
     /// Records a timestamped sample under `name`, creating the series on
     /// first use.
-    pub fn record(&self, name: &str, time: f64, value: f64) {
+    ///
+    /// Non-finite times and values (`NaN`, `±inf`) are rejected and the
+    /// series is left untouched: `TimeSeries` sorting and EWMA both
+    /// propagate NaN, so one bad sample would poison every aggregate
+    /// derived from the series. Returns whether the sample was accepted.
+    pub fn record(&self, name: &str, time: f64, value: f64) -> bool {
+        if !time.is_finite() || !value.is_finite() {
+            return false;
+        }
         let mut inner = self.inner.write();
         inner.series.entry(name.to_owned()).or_default().record(time, value);
+        true
     }
 
     /// Returns a snapshot (clone) of the series under `name`.
@@ -91,6 +103,65 @@ impl MetricRegistry {
         self.inner.read().gauges.get(name).copied()
     }
 
+    /// Records one observation into the histogram under `name`, creating
+    /// it (with the response-time bucket layout) on first use.
+    ///
+    /// Non-finite observations are rejected, mirroring [`record`]; the
+    /// return value reports whether the observation was accepted.
+    ///
+    /// [`record`]: MetricRegistry::record
+    pub fn observe(&self, name: &str, value: f64) -> bool {
+        if !value.is_finite() {
+            return false;
+        }
+        let mut inner = self.inner.write();
+        inner
+            .histograms
+            .entry(name.to_owned())
+            .or_insert_with(Histogram::for_response_times)
+            .record(value);
+        true
+    }
+
+    /// Returns a snapshot (clone) of the histogram under `name`.
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        self.inner.read().histograms.get(name).cloned()
+    }
+
+    /// Names of all histograms, in order.
+    pub fn histogram_names(&self) -> Vec<String> {
+        self.inner.read().histograms.keys().cloned().collect()
+    }
+
+    /// Renders every counter, gauge, and histogram as a plain-text
+    /// exposition: one `name value` line per counter/gauge, and per
+    /// histogram a `count`/`mean`/`max` line plus `p50`/`p95` bucket
+    /// bounds. The format is line-oriented and stable, meant for
+    /// `harmonyctl export` and CI assertions rather than humans.
+    pub fn expose(&self) -> String {
+        let inner = self.inner.read();
+        let mut out = String::new();
+        for (name, c) in &inner.counters {
+            let _ = writeln!(out, "counter {name} {c}");
+        }
+        for (name, g) in &inner.gauges {
+            let _ = writeln!(out, "gauge {name} {g}");
+        }
+        for (name, h) in &inner.histograms {
+            let _ = writeln!(out, "histogram {name} count {}", h.len());
+            if let (Some(mean), Some(max)) = (h.mean(), h.max()) {
+                let _ = writeln!(out, "histogram {name} mean {mean}");
+                let _ = writeln!(out, "histogram {name} max {max}");
+            }
+            for (q, label) in [(0.5, "p50"), (0.95, "p95")] {
+                if let Some(bound) = h.quantile_bound(q) {
+                    let _ = writeln!(out, "histogram {name} {label} {bound}");
+                }
+            }
+        }
+        out
+    }
+
     /// Removes every metric whose name starts with `prefix` (used when an
     /// application instance departs).
     pub fn remove_prefix(&self, prefix: &str) {
@@ -98,12 +169,14 @@ impl MetricRegistry {
         inner.series.retain(|k, _| !k.starts_with(prefix));
         inner.counters.retain(|k, _| !k.starts_with(prefix));
         inner.gauges.retain(|k, _| !k.starts_with(prefix));
+        inner.histograms.retain(|k, _| !k.starts_with(prefix));
     }
 
-    /// Number of distinct metric names (series + counters + gauges).
+    /// Number of distinct metric names (series + counters + gauges +
+    /// histograms).
     pub fn len(&self) -> usize {
         let inner = self.inner.read();
-        inner.series.len() + inner.counters.len() + inner.gauges.len()
+        inner.series.len() + inner.counters.len() + inner.gauges.len() + inner.histograms.len()
     }
 
     /// True when nothing has been recorded.
@@ -152,12 +225,68 @@ mod tests {
         reg.record("DBclient.1.rt", 0.0, 1.0);
         reg.inc_counter("DBclient.1.queries");
         reg.set_gauge("DBclient.1.load", 0.5);
+        reg.observe("DBclient.1.verb", 0.01);
         reg.record("DBclient.2.rt", 0.0, 1.0);
         reg.remove_prefix("DBclient.1");
         assert!(reg.series("DBclient.1.rt").is_none());
         assert_eq!(reg.counter("DBclient.1.queries"), 0);
         assert_eq!(reg.gauge("DBclient.1.load"), None);
+        assert!(reg.histogram("DBclient.1.verb").is_none());
         assert!(reg.series("DBclient.2.rt").is_some());
+    }
+
+    #[test]
+    fn non_finite_samples_are_rejected() {
+        let reg = MetricRegistry::new();
+        assert!(!reg.record("rt", 0.0, f64::NAN));
+        assert!(!reg.record("rt", 0.0, f64::INFINITY));
+        assert!(!reg.record("rt", 0.0, f64::NEG_INFINITY));
+        assert!(!reg.record("rt", f64::NAN, 1.0));
+        assert!(reg.series("rt").is_none(), "rejected samples leave no series behind");
+
+        assert!(reg.record("rt", 0.0, 1.0));
+        assert!(!reg.record("rt", 1.0, f64::NAN));
+        let series = reg.series("rt").unwrap();
+        assert_eq!(series.len(), 1, "rejected sample not appended");
+        assert_eq!(series.mean(), Some(1.0), "aggregates stay finite");
+
+        assert!(!reg.observe("lat", f64::NAN));
+        assert!(reg.histogram("lat").is_none());
+    }
+
+    #[test]
+    fn histograms_accumulate_and_snapshot() {
+        let reg = MetricRegistry::new();
+        assert!(reg.histogram("lat").is_none());
+        for v in [0.01, 0.02, 0.04, 10.0] {
+            assert!(reg.observe("lat", v));
+        }
+        let h = reg.histogram("lat").unwrap();
+        assert_eq!(h.len(), 4);
+        assert_eq!(h.max(), Some(10.0));
+        assert_eq!(reg.histogram_names(), vec!["lat"]);
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn exposition_lists_every_kind() {
+        let reg = MetricRegistry::new();
+        reg.inc_counter("c.decisions");
+        reg.set_gauge("g.load", 0.5);
+        reg.observe("h.lat", 0.01);
+        reg.observe("h.lat", 0.02);
+        let text = reg.expose();
+        assert!(text.contains("counter c.decisions 1"), "{text}");
+        assert!(text.contains("gauge g.load 0.5"), "{text}");
+        assert!(text.contains("histogram h.lat count 2"), "{text}");
+        assert!(text.contains("histogram h.lat p50 "), "{text}");
+        assert!(text.contains("histogram h.lat p95 "), "{text}");
+        // Every line parses as `kind name field(s)...`.
+        for line in text.lines() {
+            let words: Vec<&str> = line.split_whitespace().collect();
+            assert!(words.len() >= 3, "short line: {line}");
+            assert!(matches!(words[0], "counter" | "gauge" | "histogram"), "{line}");
+        }
     }
 
     #[test]

@@ -148,15 +148,27 @@ impl TimeSeries {
     /// smoothing factor `alpha` in `(0, 1]` (higher = more weight on recent
     /// samples).
     pub fn ewma(&self, alpha: f64) -> Option<f64> {
+        self.ewma_since(alpha, f64::NEG_INFINITY)
+    }
+
+    /// EWMA restricted to samples with `time >= since` — the series as
+    /// seen from inside one regime (e.g. since a configuration switch),
+    /// with older history excluded entirely rather than merely decayed.
+    pub fn ewma_since(&self, alpha: f64, since: f64) -> Option<f64> {
         let alpha = alpha.clamp(f64::EPSILON, 1.0);
         let mut acc: Option<f64> = None;
-        for s in &self.samples {
+        for s in self.samples.iter().filter(|s| s.time >= since) {
             acc = Some(match acc {
                 None => s.value,
                 Some(prev) => alpha * s.value + (1.0 - alpha) * prev,
             });
         }
         acc
+    }
+
+    /// Number of retained samples with `time >= since`.
+    pub fn count_since(&self, since: f64) -> usize {
+        self.samples.iter().filter(|s| s.time >= since).count()
     }
 }
 
@@ -232,6 +244,25 @@ mod tests {
         let e = s.ewma(0.5).unwrap();
         assert!(e > 19.0, "ewma {e} should be close to the recent level");
         assert_eq!(TimeSeries::new().ewma(0.5), None);
+    }
+
+    #[test]
+    fn ewma_since_excludes_older_regimes() {
+        let mut s = TimeSeries::new();
+        for t in 0..10 {
+            s.record(t as f64, 100.0); // old regime
+        }
+        for t in 10..14 {
+            s.record(t as f64, 10.0); // current regime
+        }
+        // Unsegmented, the old level still bleeds through the decay...
+        assert!(s.ewma(0.3).unwrap() > 10.0 + 1e-6);
+        // ...segmented, only the current regime's samples count.
+        let seg = s.ewma_since(0.3, 10.0).unwrap();
+        assert!((seg - 10.0).abs() < 1e-9, "segmented ewma {seg}");
+        assert_eq!(s.count_since(10.0), 4);
+        assert_eq!(s.ewma_since(0.3, 100.0), None);
+        assert_eq!(s.count_since(100.0), 0);
     }
 
     #[test]

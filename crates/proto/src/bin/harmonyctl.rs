@@ -5,6 +5,9 @@
 //! harmonyctl [addr] end <app.id>
 //! harmonyctl [addr] lint <file.rsl> [--json]
 //! harmonyctl [addr] facts <file.rsl> [--json]
+//! harmonyctl [addr] trace [seq | --follow]   # tail the event journal
+//! harmonyctl [addr] top [--once]             # live system table
+//! harmonyctl [addr] export                   # metrics exposition dump
 //! ```
 //!
 //! `lint` analyzes an RSL script with `harmony-analyze`. It asks the daemon
@@ -17,14 +20,22 @@
 //! assignments, and the interference partition — with the same
 //! daemon-or-local fallback. Exit status: 0 on success, 1 on analysis
 //! errors, 2 on usage/IO errors.
+//!
+//! `trace` tails the daemon's bounded event journal: every event,
+//! retirement, scheduler fire, and decision in arrival order. With a
+//! sequence number it starts there; with `--follow` it keeps polling the
+//! cursor like `tail -f`. `top` redraws a compact system table (objective,
+//! per-instance predictions, per-phase latency histograms) once a second;
+//! `--once` prints a single frame. `export` dumps the full metrics
+//! exposition (one `counter|gauge|histogram` line per metric).
 
-use harmony_core::SystemSnapshot;
+use harmony_core::{JournalEntry, JournalTail, SystemSnapshot};
 use harmony_proto::{Request, Response, TcpTransport, Transport};
 
 fn usage() -> ! {
     eprintln!(
         "usage: harmonyctl [addr] [status | end <app.id> | lint <file.rsl> [--json] | \
-         facts <file.rsl> [--json]]"
+         facts <file.rsl> [--json] | trace [seq | --follow] | top [--once] | export]"
     );
     std::process::exit(2);
 }
@@ -115,6 +126,97 @@ fn facts(transport: Option<&mut TcpTransport>, file: &str, json_out: bool) -> i3
     0
 }
 
+/// Fetches one journal page; exits the process on protocol errors.
+fn journal_page(transport: &mut TcpTransport, cursor: u64, max: u64) -> JournalTail {
+    let resp = transport.call(&Request::Journal { cursor, max }).expect("journal call");
+    let Response::Journal { json } = resp else {
+        eprintln!("harmonyctl: unexpected response: {resp:?}");
+        std::process::exit(1);
+    };
+    JournalTail::from_json(&json).expect("journal json")
+}
+
+fn print_entry(e: &JournalEntry) {
+    println!("{:>8}  t={:<10.3} {:<14} {}", e.seq, e.time, e.kind.to_string(), e.detail);
+}
+
+/// Runs the `trace` subcommand: dump the retained journal from `seq`
+/// (default: everything retained), or follow the cursor forever.
+fn trace(transport: &mut TcpTransport, from: u64, follow: bool) {
+    let mut cursor = from;
+    let mut first_page = true;
+    loop {
+        let tail = journal_page(transport, cursor, 512);
+        if first_page && tail.truncated {
+            eprintln!("harmonyctl: entries before seq {} were evicted", tail.entries[0].seq);
+        }
+        first_page = false;
+        for e in &tail.entries {
+            print_entry(e);
+        }
+        cursor = tail.next_cursor;
+        if !follow && tail.entries.is_empty() {
+            return;
+        }
+        if follow && tail.entries.is_empty() {
+            std::thread::sleep(std::time::Duration::from_millis(500));
+        }
+    }
+}
+
+/// Renders one `top` frame from a snapshot.
+fn render_top(snap: &SystemSnapshot) {
+    println!(
+        "t={:.0}s  objective({}) = {:.1}  decisions = {}  journal seq = {}  memory {:.0}% used",
+        snap.time,
+        snap.objective_name,
+        snap.objective,
+        snap.decisions,
+        snap.journal_seq,
+        snap.memory_utilization() * 100.0
+    );
+    println!("{:<16} {:<10} {:>12} {:>10}", "INSTANCE", "BUNDLE", "PREDICTED", "RECONFIGS");
+    for app in &snap.apps {
+        for (bundle, label, predicted, reconfigs) in &app.bundles {
+            println!(
+                "{:<16} {:<10} {:>11.1}s {:>10}  {}",
+                app.instance, bundle, predicted, reconfigs, label
+            );
+        }
+    }
+    if !snap.histograms.is_empty() {
+        println!("{:<34} {:>8} {:>10} {:>10} {:>10}", "HISTOGRAM", "COUNT", "MEAN", "P50", "P95");
+        for h in &snap.histograms {
+            println!(
+                "{:<34} {:>8} {:>10.4} {:>10.4} {:>10.4}",
+                h.name, h.count, h.mean, h.p50, h.p95
+            );
+        }
+    }
+}
+
+/// Runs the `top` subcommand: redraw the table every second, or print a
+/// single frame with `--once`.
+fn top(transport: &mut TcpTransport, once: bool) {
+    loop {
+        let resp = transport.call(&Request::Status).expect("status call");
+        let Response::Status { json } = resp else {
+            eprintln!("harmonyctl: unexpected response: {resp:?}");
+            std::process::exit(1);
+        };
+        let snap = SystemSnapshot::from_json(&json).expect("snapshot json");
+        if !once {
+            // Clear the screen and home the cursor between frames.
+            print!("\x1b[2J\x1b[H");
+        }
+        render_top(&snap);
+        if once {
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_secs(1));
+    }
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let addr = if args.first().map(|a| a.contains(':')).unwrap_or(false) {
@@ -186,6 +288,30 @@ fn main() {
                     if n.exclusive > 0 { " [dedicated]" } else { "" }
                 );
             }
+        }
+        "trace" => {
+            let arg = args.get(1).map(String::as_str);
+            let follow = arg == Some("--follow");
+            let from = match arg {
+                Some("--follow") | None => 0,
+                Some(seq) => match seq.parse() {
+                    Ok(n) => n,
+                    Err(_) => usage(),
+                },
+            };
+            trace(&mut transport, from, follow);
+        }
+        "top" => {
+            let once = args.get(1).map(String::as_str) == Some("--once");
+            top(&mut transport, once);
+        }
+        "export" => {
+            let resp = transport.call(&Request::Expo).expect("expo call");
+            let Response::Expo { text } = resp else {
+                eprintln!("harmonyctl: unexpected response: {resp:?}");
+                std::process::exit(1);
+            };
+            print!("{text}");
         }
         "end" => {
             let Some(instance) = args.get(1) else { usage() };

@@ -126,8 +126,15 @@ fn main() {
         reaped = ctl.retirements().len();
         let decisions = ctl.decisions();
         for d in &decisions[seen..] {
+            let provenance = if d.provenance.is_empty() {
+                String::new()
+            } else {
+                let seqs: Vec<String> = d.provenance.iter().map(u64::to_string).collect();
+                format!(" journal[{}]", seqs.join(","))
+            };
             println!(
-                "harmonyd: t={:.0}s {} {}: {} -> {} (objective {:.1} -> {:.1}){}",
+                "harmonyd: t={:.0}s {} {}: {} -> {} (objective {:.1} -> {:.1}){}{} \
+                 (search {:.2}ms, commit {:.2}ms)",
                 d.time,
                 d.instance,
                 d.bundle,
@@ -135,7 +142,13 @@ fn main() {
                 d.to,
                 d.objective_before,
                 d.objective_after,
-                d.cause.as_deref().map(|c| format!(" [{c}]")).unwrap_or_default()
+                d.cause.as_deref().map(|c| format!(" [{c}]")).unwrap_or_default(),
+                provenance,
+                d.phases.candidates_ms
+                    + d.phases.prediction_ms
+                    + d.phases.optimization_ms
+                    + d.phases.pruning_ms,
+                d.phases.commit_ms
             );
         }
         seen = decisions.len();

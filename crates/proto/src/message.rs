@@ -128,6 +128,18 @@ pub enum Request {
         /// The RSL script to analyze.
         script: String,
     },
+    /// Tail the controller's event journal from a cursor (`harmonyctl
+    /// trace`). The response is [`Response::Journal`] with a
+    /// `harmony_core::JournalTail` as JSON.
+    Journal {
+        /// First sequence number wanted (`0` for the oldest retained).
+        cursor: u64,
+        /// Maximum entries to return.
+        max: u64,
+    },
+    /// One-shot text exposition of every counter, gauge, and histogram
+    /// (`harmonyctl export`). The response is [`Response::Expo`].
+    Expo,
 }
 
 impl Request {
@@ -148,6 +160,8 @@ impl Request {
             Request::Status => "status".to_string(),
             Request::Lint { script } => format!("lint {{{script}}}"),
             Request::Facts { script } => format!("facts {{{script}}}"),
+            Request::Journal { cursor, max } => format!("journal {cursor} {max}"),
+            Request::Expo => "expo".to_string(),
         }
     }
 
@@ -194,6 +208,13 @@ impl Request {
             ["status"] => Ok(Request::Status),
             ["lint", script] => Ok(Request::Lint { script: (*script).to_owned() }),
             ["facts", script] => Ok(Request::Facts { script: (*script).to_owned() }),
+            ["journal", cursor, max] => Ok(Request::Journal {
+                cursor: cursor
+                    .parse()
+                    .map_err(|_| ParseMessageError::new("journal cursor not a number"))?,
+                max: max.parse().map_err(|_| ParseMessageError::new("journal max not a number"))?,
+            }),
+            ["expo"] => Ok(Request::Expo),
             [] => Err(ParseMessageError::new("empty request")),
             [verb, ..] => Err(ParseMessageError::new(format!("unknown verb `{verb}`"))),
         }
@@ -254,6 +275,18 @@ pub enum Response {
         /// The JSON payload: the per-option facts report.
         json: String,
     },
+    /// A journal tail, JSON-encoded (response to [`Request::Journal`];
+    /// parse with `harmony_core::JournalTail::from_json`).
+    Journal {
+        /// The JSON payload: entries, next cursor, truncation flag.
+        json: String,
+    },
+    /// A metrics exposition dump (response to [`Request::Expo`]): one
+    /// `counter|gauge|histogram <name> ...` line per metric.
+    Expo {
+        /// The exposition text.
+        text: String,
+    },
 }
 
 impl Response {
@@ -273,6 +306,8 @@ impl Response {
             Response::Status { json } => format!("status {{{json}}}"),
             Response::Lint { json } => format!("lint {{{json}}}"),
             Response::Facts { json } => format!("facts {{{json}}}"),
+            Response::Journal { json } => format!("journal {{{json}}}"),
+            Response::Expo { text } => format!("expo {{{text}}}"),
         }
     }
 
@@ -294,6 +329,8 @@ impl Response {
             ["status", json] => Ok(Response::Status { json: (*json).to_owned() }),
             ["lint", json] => Ok(Response::Lint { json: (*json).to_owned() }),
             ["facts", json] => Ok(Response::Facts { json: (*json).to_owned() }),
+            ["journal", json] => Ok(Response::Journal { json: (*json).to_owned() }),
+            ["expo", text] => Ok(Response::Expo { text: (*text).to_owned() }),
             ["update", instance, rest @ ..] => {
                 let (app, id) = parse_instance(instance)?;
                 let mut updates = Vec::with_capacity(rest.len());
@@ -341,6 +378,9 @@ mod tests {
             Request::Status,
             Request::Lint { script: "harmonyBundle a b { {o {node n {seconds 1}}} }".into() },
             Request::Facts { script: "harmonyBundle a b { {o {node n {seconds 1}}} }".into() },
+            Request::Journal { cursor: 0, max: 100 },
+            Request::Journal { cursor: 18_446_744_073_709_551_615, max: 1 },
+            Request::Expo,
         ];
         for req in cases {
             let text = req.to_text();
@@ -356,6 +396,10 @@ mod tests {
             Response::Error { message: "bundle `where` cannot be placed".into() },
             Response::Lint { json: "[{\"code\":\"HA0020\",\"severity\":\"error\"}]".into() },
             Response::Facts { json: "{\"options\":[]}".into() },
+            Response::Journal {
+                json: "{\"entries\":[],\"next_cursor\":4,\"truncated\":false}".into(),
+            },
+            Response::Expo { text: "counter controller.reevals 3\ngauge x 1.5".into() },
             Response::Update {
                 app: "DBclient".into(),
                 id: 66,
@@ -401,6 +445,10 @@ mod tests {
             "end .5",
             "heartbeat nodot",
             "reattach app.x",
+            "journal abc 10",
+            "journal 0 xyz",
+            "journal 0",
+            "expo extra",
         ] {
             assert!(Request::parse(bad).is_err(), "should reject `{bad}`");
         }

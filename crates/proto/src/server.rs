@@ -31,13 +31,45 @@ pub type SharedController = Arc<RwLock<Controller>>;
 /// Applies one request to the controller, producing the response. This is
 /// the single point of protocol semantics, shared by every transport.
 ///
-/// Lock discipline: `Poll`, `Heartbeat`, `Metric`, and `Status` only read
-/// controller state — lease renewal goes through the atomic touch-stamps
-/// ([`Controller::touch`]) and pending-variable buffers are interior-
-/// mutable, so none of them needs the write lock. `Lint` and `Facts` are
-/// pure and take no lock at all. Everything else mutates and takes the
-/// write lock.
+/// Lock discipline: `Poll`, `Heartbeat`, `Metric`, `Status`, `Journal`,
+/// and `Expo` only read controller state — lease renewal goes through the
+/// atomic touch-stamps ([`Controller::touch`]) and pending-variable
+/// buffers are interior-mutable, so none of them needs the write lock.
+/// `Lint` and `Facts` are pure and take no lock at all. Everything else
+/// mutates and takes the write lock.
+///
+/// Every request's service latency is observed into the per-verb
+/// `server.verb.<verb>` histogram (visible via `Expo` and in
+/// [`harmony_core::SystemSnapshot::histograms`]).
 pub fn handle_request(ctl: &SharedController, req: &Request) -> Response {
+    let t0 = std::time::Instant::now();
+    // Registry clones share state and the observe happens outside any
+    // controller lock, so timing covers exactly the dispatch.
+    let metrics = ctl.read().metrics().clone();
+    let response = dispatch_request(ctl, req);
+    metrics.observe(&format!("server.verb.{}", verb_name(req)), t0.elapsed().as_secs_f64());
+    response
+}
+
+/// The wire verb of a request, for per-verb metrics.
+fn verb_name(req: &Request) -> &'static str {
+    match req {
+        Request::Startup { .. } => "startup",
+        Request::Bundle { .. } => "bundle",
+        Request::Poll { .. } => "poll",
+        Request::Metric { .. } => "metric",
+        Request::Heartbeat { .. } => "heartbeat",
+        Request::Reattach { .. } => "reattach",
+        Request::End { .. } => "end",
+        Request::Status => "status",
+        Request::Lint { .. } => "lint",
+        Request::Facts { .. } => "facts",
+        Request::Journal { .. } => "journal",
+        Request::Expo => "expo",
+    }
+}
+
+fn dispatch_request(ctl: &SharedController, req: &Request) -> Response {
     match req {
         // ---- read path ------------------------------------------------
         Request::Poll { app, id } => {
@@ -64,13 +96,30 @@ pub fn handle_request(ctl: &SharedController, req: &Request) -> Response {
         Request::Metric { name, time, value } => {
             let ctl = ctl.read();
             ctl.touch_for_metric(name);
-            ctl.metrics().record(name, *time, *value);
+            // Non-finite samples are rejected in-band rather than silently
+            // dropped: one NaN would otherwise poison every aggregate
+            // derived from the series, and the client deserves to know its
+            // clock or measurement went bad. The sample stays off the bus.
+            if !ctl.record_metric(name, *time, *value) {
+                return Response::Error {
+                    message: format!("non-finite metric sample rejected: {name} {time} {value}"),
+                };
+            }
             ctl.metric_bus().publish(harmony_metrics::MetricEvent::new(
                 name.clone(),
                 *time,
                 *value,
             ));
             Response::Ok
+        }
+        Request::Journal { cursor, max } => {
+            let ctl = ctl.read();
+            let max = usize::try_from(*max).unwrap_or(usize::MAX);
+            Response::Journal { json: ctl.journal_tail(*cursor, max).to_json() }
+        }
+        Request::Expo => {
+            let ctl = ctl.read();
+            Response::Expo { text: ctl.metrics().expose() }
         }
         Request::Status => {
             let ctl = ctl.read();
@@ -373,19 +422,28 @@ impl TcpServer {
         let untracked = Arc::new(AtomicUsize::new(0));
 
         // Fire the decision scheduler from a dedicated ticker when the
-        // controller coalesces. Each tick maps the wall clock onto the
-        // controller clock (monotone: `set_time` never goes backwards),
-        // so dirty marks age correctly between requests.
+        // controller coalesces. Each tick advances a high-water mark of
+        // the *controller* clock by the elapsed wall delta. Anchoring at
+        // the controller's own time matters: clients (simulations,
+        // experiment drivers) may have pushed the clock far ahead with
+        // `set_time`, and a ticker submitting its private epoch-relative
+        // time would be discarded by the monotone clock guard on every
+        // tick — freezing the scheduler and stranding deferred decisions.
         let coalesce = ctl.read().config().coalesce;
         let ticker_thread = if coalesce.enabled() {
             let ctl = Arc::clone(&ctl);
             let stop = Arc::clone(&stop);
             let tick = tick_interval(coalesce.window);
-            let epoch = std::time::Instant::now();
             Some(std::thread::spawn(move || {
+                let mut clock: f64 = 0.0;
+                let mut last = std::time::Instant::now();
                 while !stop.load(Ordering::SeqCst) {
                     std::thread::sleep(tick);
-                    let _ = ctl.write().service_scheduler(epoch.elapsed().as_secs_f64());
+                    let delta = last.elapsed().as_secs_f64();
+                    last = std::time::Instant::now();
+                    let mut guard = ctl.write();
+                    clock = guard.now().max(clock) + delta;
+                    let _ = guard.service_scheduler(clock);
                 }
             }))
         } else {
@@ -747,6 +805,110 @@ mod tests {
         // An unparseable script is a protocol-level error.
         let resp = t.call(&Request::Facts { script: "not rsl {".into() }).unwrap();
         assert!(matches!(resp, Response::Error { .. }));
+    }
+
+    #[test]
+    fn non_finite_metric_is_rejected_in_band() {
+        let ctl = shared_controller(2);
+        let mut t = LocalTransport::new(Arc::clone(&ctl));
+        for (time, value) in [(1.0, f64::NAN), (f64::INFINITY, 2.0), (1.0, f64::NEG_INFINITY)] {
+            let resp = t.call(&Request::Metric { name: "x.1.rt".into(), time, value }).unwrap();
+            let Response::Error { message } = resp else { panic!("accepted bad sample: {resp:?}") };
+            assert!(message.contains("non-finite"), "{message}");
+        }
+        // Nothing was recorded; a clean sample still works.
+        assert!(ctl.read().metrics().series("x.1.rt").is_none());
+        let resp =
+            t.call(&Request::Metric { name: "x.1.rt".into(), time: 1.0, value: 2.0 }).unwrap();
+        assert_eq!(resp, Response::Ok);
+        assert_eq!(ctl.read().metrics().series("x.1.rt").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn journal_verb_tails_with_a_cursor() {
+        let ctl = shared_controller(8);
+        let mut t = LocalTransport::new(Arc::clone(&ctl));
+        let Response::Registered { app, id } =
+            t.call(&Request::Startup { app: "bag".into() }).unwrap()
+        else {
+            panic!()
+        };
+        let resp = t
+            .call(&Request::Bundle { app, id, script: harmony_rsl::listings::FIG2B_BAG.into() })
+            .unwrap();
+        assert_eq!(resp, Response::Ok);
+        let resp = t.call(&Request::Journal { cursor: 0, max: 1000 }).unwrap();
+        let Response::Journal { json } = resp else { panic!("{resp:?}") };
+        let tail = harmony_core::JournalTail::from_json(&json).unwrap();
+        assert!(!tail.truncated);
+        assert!(tail.entries.iter().any(|e| e.detail.starts_with("startup bag")), "{tail:?}");
+        assert!(tail.entries.iter().any(|e| e.detail.starts_with("decision bag.1")), "{tail:?}");
+        // The cursor resumes where the first tail stopped.
+        let resp = t.call(&Request::Journal { cursor: tail.next_cursor, max: 1000 }).unwrap();
+        let Response::Journal { json } = resp else { panic!("{resp:?}") };
+        let rest = harmony_core::JournalTail::from_json(&json).unwrap();
+        assert!(rest.entries.is_empty());
+        assert_eq!(rest.next_cursor, tail.next_cursor);
+    }
+
+    #[test]
+    fn expo_verb_dumps_metrics_and_verb_latencies() {
+        let ctl = shared_controller(8);
+        let mut t = LocalTransport::new(Arc::clone(&ctl));
+        let Response::Registered { app, id } =
+            t.call(&Request::Startup { app: "bag".into() }).unwrap()
+        else {
+            panic!()
+        };
+        t.call(&Request::Bundle { app, id, script: harmony_rsl::listings::FIG2B_BAG.into() })
+            .unwrap();
+        let resp = t.call(&Request::Expo).unwrap();
+        let Response::Expo { text } = resp else { panic!("{resp:?}") };
+        assert!(text.contains("counter controller.reevals"), "{text}");
+        assert!(text.contains("histogram controller.phase.commit"), "{text}");
+        assert!(text.contains("histogram server.verb.bundle"), "{text}");
+    }
+
+    #[test]
+    fn journal_and_expo_proceed_under_a_concurrent_reader() {
+        // Both verbs are pure read-path: they must be answerable while
+        // this thread already holds a read guard (a write-path handler
+        // would deadlock here, like `read_verbs_share_the_lock`).
+        let ctl = shared_controller(8);
+        let guard = ctl.read();
+        let mut t = LocalTransport::new(Arc::clone(&ctl));
+        assert!(matches!(
+            t.call(&Request::Journal { cursor: 0, max: 10 }).unwrap(),
+            Response::Journal { .. }
+        ));
+        assert!(matches!(t.call(&Request::Expo).unwrap(), Response::Expo { .. }));
+        drop(guard);
+    }
+
+    #[test]
+    fn decisions_over_tcp_carry_provenance_and_timings() {
+        let ctl = shared_controller(8);
+        let server = TcpServer::start("127.0.0.1:0", Arc::clone(&ctl)).unwrap();
+        let mut t = TcpTransport::connect(server.addr()).unwrap();
+        let Response::Registered { app, id } =
+            t.call(&Request::Startup { app: "bag".into() }).unwrap()
+        else {
+            panic!()
+        };
+        t.call(&Request::Bundle { app, id, script: harmony_rsl::listings::FIG2B_BAG.into() })
+            .unwrap();
+        let ctl = ctl.read();
+        let decisions = ctl.decisions();
+        assert!(!decisions.is_empty());
+        for d in decisions {
+            assert!(!d.provenance.is_empty(), "decision without provenance: {d:?}");
+            assert!(d.phases.commit_ms > 0.0, "decision without timings: {d:?}");
+        }
+        // The provenance resolves to the journaled bundle-setup trigger.
+        let tail = ctl.journal_tail(0, 1000);
+        let seq = decisions[0].provenance[0];
+        let entry = tail.entries.iter().find(|e| e.seq == seq).unwrap();
+        assert!(entry.detail.starts_with("bundle-setup bag.1"), "{entry:?}");
     }
 
     #[test]

@@ -65,6 +65,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     rival.end()?;
     app.wait_for_update(Duration::from_secs(2))?;
     println!("after rival departed: workerNodes = {}", workers.get());
+
+    // The observability surface: tail the event journal (every decision's
+    // provenance points back into it) and dump the metrics exposition.
+    let tail = app.journal(0, 64)?;
+    println!("journal ({} entries):", tail.entries.len());
+    for e in &tail.entries {
+        println!("  {:>4}  t={:<6.1} {:<14} {}", e.seq, e.time, e.kind.to_string(), e.detail);
+    }
+    print!("exposition:\n{}", app.expo()?);
+
     app.end()?;
     server.stop();
     println!("session complete");

@@ -218,6 +218,45 @@ fn tcp_burst_is_settled_by_the_ticker() {
     server.stop();
 }
 
+/// Regression: the ticker must keep servicing the scheduler after the
+/// controller clock is driven forward by a simulation (`set_time`). The
+/// old ticker computed its tick times from its own start epoch, so after
+/// `set_time(1000.0)` every tick landed behind the controller clock and
+/// the monotone guard discarded it — pending windows froze forever. The
+/// fixed ticker anchors each tick at the controller's own clock.
+#[test]
+fn ticker_survives_a_simulated_clock_jump() {
+    let ctl = shared_with(8, coalescing_config(0.05));
+    let mut server = TcpServer::start("127.0.0.1:0", Arc::clone(&ctl)).unwrap();
+    // The simulation jumps the controller clock far past wall time.
+    ctl.write().set_time(1000.0);
+
+    const N: usize = 3;
+    let mut clients = Vec::new();
+    for _ in 0..N {
+        let mut c = HarmonyClient::startup(
+            TcpTransport::connect(server.addr()).unwrap(),
+            "bag",
+            UpdateDelivery::Polling,
+        )
+        .unwrap();
+        c.bundle_setup(listings::FIG2B_BAG).unwrap();
+        clients.push(c);
+    }
+
+    assert!(
+        wait_until(Duration::from_secs(5), || ctl.read().pending_decisions() == 0),
+        "ticker still drains windows after a clock jump"
+    );
+    assert!(ctl.read().metrics().counter("controller.scheduler.windows_fired") >= 1);
+    // The ticker never rewinds the clock below the simulated time.
+    assert!(ctl.read().now() >= 1000.0);
+    for c in clients {
+        c.end().unwrap();
+    }
+    server.stop();
+}
+
 /// Read-only verbs (status, poll, heartbeat) are served under the shared
 /// read lock: they complete even while another reader holds the lock,
 /// which a write-locking implementation would deadlock on.
@@ -240,6 +279,9 @@ fn status_and_poll_proceed_under_a_concurrent_reader() {
         let snap = client.status().unwrap();
         let applied = client.poll().unwrap();
         client.heartbeat().unwrap();
+        let tail = client.journal(0, 100).unwrap();
+        assert!(!tail.entries.is_empty(), "journal tails under the shared lock");
+        assert!(client.expo().unwrap().contains("counter"), "expo dumps under the shared lock");
         tx.send((snap.sessions.len(), applied)).unwrap();
         client
     });
