@@ -193,6 +193,15 @@ impl<T: Transport> HarmonyClient<T> {
         Ok(())
     }
 
+    /// Mutable access to the underlying transport. Exists for fault
+    /// injection: the deterministic harness wraps its in-process
+    /// transport in `harmony_proto::ChaosTransport` and needs to queue
+    /// faults (or kill the connection) between calls. Production code has
+    /// no reason to reach through this.
+    pub fn transport_mut(&mut self) -> &mut T {
+        &mut self.transport
+    }
+
     /// The application name this client registered under.
     pub fn app(&self) -> &str {
         &self.app

@@ -321,6 +321,12 @@ pub struct Controller {
     /// Per-phase timings staged by the pass about to commit a decision;
     /// consumed (taken) by `commit_choice`.
     phase_timings: Option<PhaseTimings>,
+    /// Chaos hook for the deterministic whole-stack harness
+    /// (`harmony-harness`): when set, [`Controller::reap_expired`] skips
+    /// folding read-path touch-stamps, re-creating the "reaper forgets
+    /// concurrent renewals" bug class so the harness can prove its lease
+    /// oracle catches it. Never set outside tests.
+    chaos_skip_touch_fold: bool,
 }
 
 impl Controller {
@@ -347,7 +353,17 @@ impl Controller {
             journal: Mutex::new(EventJournal::default()),
             decision_provenance: Vec::new(),
             phase_timings: None,
+            chaos_skip_touch_fold: false,
         }
+    }
+
+    /// Plants the "reaper skips touch folding" mutation (see the
+    /// `chaos_skip_touch_fold` field). Exposed — hidden — for
+    /// `harmony-harness`, whose planted-bug acceptance test proves the
+    /// schedule explorer detects exactly this class of lease bug.
+    #[doc(hidden)]
+    pub fn chaos_set_skip_touch_fold(&mut self, enabled: bool) {
+        self.chaos_skip_touch_fold = enabled;
     }
 
     /// The controller clock (seconds). The embedding (simulation or wall
@@ -770,7 +786,9 @@ impl Controller {
     /// Propagates re-evaluation errors from the retirement path.
     pub fn reap_expired(&mut self, now: f64) -> Result<Vec<DecisionRecord>, CoreError> {
         self.set_time(now);
-        self.fold_touches();
+        if !self.chaos_skip_touch_fold {
+            self.fold_touches();
+        }
         let expired: Vec<(InstanceId, RetireReason)> = self
             .sessions
             .iter()

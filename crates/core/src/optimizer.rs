@@ -33,7 +33,7 @@ use harmony_resources::{Allocation, Cluster, Matcher, Strategy};
 use harmony_rsl::expr::MapEnv;
 use harmony_rsl::schema::OptionSpec;
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 
 use crate::app::InstanceId;
 use crate::candidates::Candidate;
@@ -1129,27 +1129,22 @@ pub fn exhaustive_baseline(
     apply_joint(c, &ctx, &best)
 }
 
-fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    x ^ (x >> 31)
-}
-
 /// Domain-separation constants for the two per-chain RNG streams.
 const START_STREAM: u64 = 0x5354_4152_5453_4545; // "STARTSEE"
 const WALK_STREAM: u64 = 0x5741_4c4b_5345_4544; // "WALKSEED"
 
 /// The RNG that picks a chain's feasible starting assignment. Dedicated
-/// sub-seed: however many draws the start search burns, the walk stream is
-/// untouched, so determinism tests can pin the walk independently.
+/// sub-seed (`harmony_rng::sub_seed`, the shared splitmix64 composition —
+/// bit-identical to the private copy that used to live here): however
+/// many draws the start search burns, the walk stream is untouched, so
+/// determinism tests can pin the walk independently.
 fn start_rng(seed: u64, chain: u32) -> StdRng {
-    StdRng::seed_from_u64(splitmix64(splitmix64(seed ^ START_STREAM) ^ chain as u64))
+    harmony_rng::stream_rng(seed, START_STREAM, chain as u64)
 }
 
 /// The RNG that drives a chain's proposal walk.
 fn walk_rng(seed: u64, chain: u32) -> StdRng {
-    StdRng::seed_from_u64(splitmix64(splitmix64(seed ^ WALK_STREAM) ^ chain as u64))
+    harmony_rng::stream_rng(seed, WALK_STREAM, chain as u64)
 }
 
 /// One annealing chain: feasible start from the dedicated start stream,

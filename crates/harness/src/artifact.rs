@@ -1,0 +1,66 @@
+//! Replayable failure artifacts.
+//!
+//! A failing (ideally shrunk) schedule serializes to a small JSON file —
+//! conventionally under `results/` — that `harness replay` re-executes
+//! exactly: the artifact carries the seed (which also derives the
+//! controller configuration), the ops, the planted bug, and the
+//! violation and fingerprint the run is expected to reproduce.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use crate::oracle::Violation;
+use crate::schedule::Schedule;
+use crate::PlantedBug;
+
+/// Everything needed to reproduce one failing run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Artifact {
+    /// The failing (usually shrunk) schedule.
+    pub schedule: Schedule,
+    /// The planted bug the run executed with (`none` for real failures).
+    pub planted: PlantedBug,
+    /// The violation the schedule reproduces.
+    pub violation: Violation,
+    /// Hex FNV-1a fingerprint of the failing run, for replay comparison.
+    pub fingerprint: String,
+}
+
+/// Saves an artifact as `harness-seed-<seed>.json` under `dir`
+/// (creating the directory), returning the path written.
+pub fn save(dir: &Path, artifact: &Artifact) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join(format!("harness-seed-{}.json", artifact.schedule.seed));
+    let json = serde_json::to_string_pretty(artifact).map_err(io::Error::other)?;
+    fs::write(&path, json)?;
+    Ok(path)
+}
+
+/// Loads an artifact from a path written by [`save`].
+pub fn load(path: &Path) -> io::Result<Artifact> {
+    let json = fs::read_to_string(path)?;
+    serde_json::from_str(&json).map_err(io::Error::other)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::generate;
+
+    #[test]
+    fn artifacts_round_trip() {
+        let dir = std::env::temp_dir().join("harness-artifact-test");
+        let artifact = Artifact {
+            schedule: generate(3),
+            planted: PlantedBug::ReaperSkipsTouchFold,
+            violation: Violation { op_index: 7, oracle: "lease".into(), detail: "example".into() },
+            fingerprint: "00ff00ff00ff00ff".into(),
+        };
+        let path = save(&dir, &artifact).unwrap();
+        assert_eq!(load(&path).unwrap(), artifact);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

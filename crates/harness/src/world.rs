@@ -1,0 +1,701 @@
+//! The simulated world: the whole stack wired together on a virtual
+//! clock, plus the shadow lease model the lease oracle compares against.
+//!
+//! A [`World`] owns a real [`Controller`] behind the same
+//! [`SharedController`] handle production uses, and drives real
+//! [`HarmonyClient`]s over fault-injectable in-process transports
+//! ([`ChaosTransport`] around [`LocalTransport`]). No thread ever sleeps
+//! and no wall clock is read: every op carries its own virtual timestamp,
+//! so a schedule replays bit-for-bit.
+//!
+//! ## The shadow lease model
+//!
+//! Lease state is the invariant hardest to eyeball: renewals arrive on
+//! two paths (write-path verbs renew [`SessionState::deadline`] directly;
+//! read-path verbs stamp an atomic that a later write-path pass folds in)
+//! and recovery traffic (reattach, fresh-startup fallback) renews as a
+//! side effect. The world therefore re-implements the *correct* lease
+//! semantics over the ground truth of delivered messages — each
+//! [`ChaosTransport`]'s call log says exactly which requests the server
+//! observed, fault-confusion included — and the lease oracle demands the
+//! controller agree with the shadow after every op, exactly.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use harmony_client::{HarmonyClient, UpdateDelivery};
+use harmony_core::{
+    Controller, ControllerConfig, DecisionRecord, HarmonyEvent, InstanceId, JournalEntry,
+    LeaseConfig, RetireReason,
+};
+use harmony_proto::{
+    CallRecord, ChaosTransport, LocalTransport, Request, Response, SharedController,
+};
+use harmony_resources::Cluster;
+use harmony_rsl::listings;
+use harmony_rsl::schema::{LinkDecl, NodeDecl};
+use parking_lot::RwLock;
+
+use crate::oracle::{self, Violation};
+use crate::schedule::{Op, OpKind, Schedule, CLIENT_SLOTS, NODE_COUNT};
+use crate::{PlantedBug, RunReport};
+
+/// The `(app, bundle script)` palette a client slot is pinned to.
+fn palette(slot: usize) -> (&'static str, &'static str) {
+    if slot.is_multiple_of(2) {
+        ("bag", listings::FIG2B_BAG)
+    } else {
+        ("simple", listings::FIG2A_SIMPLE)
+    }
+}
+
+/// FNV-1a 64, folded incrementally over the observable decision/journal
+/// sequence. Chosen over a cryptographic hash because the fingerprint is
+/// a determinism check, not a security boundary, and FNV keeps the fold
+/// allocation-free.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fold_bytes(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= u64::from(b);
+        *h = h.wrapping_mul(FNV_PRIME);
+    }
+}
+
+fn fold_u64(h: &mut u64, x: u64) {
+    fold_bytes(h, &x.to_le_bytes());
+}
+
+fn fold_f64(h: &mut u64, x: f64) {
+    fold_u64(h, x.to_bits());
+}
+
+fn fold_str(h: &mut u64, s: &str) {
+    fold_bytes(h, s.as_bytes());
+    fold_bytes(h, &[0xff]); // separator so "ab"+"c" != "a"+"bc"
+}
+
+fn fold_entry(h: &mut u64, e: &JournalEntry) {
+    fold_u64(h, e.seq);
+    fold_f64(h, e.time);
+    fold_str(h, &e.kind.to_string());
+    fold_str(h, &e.detail);
+}
+
+fn fold_decision(h: &mut u64, d: &DecisionRecord) {
+    fold_f64(h, d.time);
+    fold_str(h, &d.instance.to_string());
+    fold_str(h, &d.bundle);
+    fold_str(h, d.from.as_deref().unwrap_or("-"));
+    fold_str(h, &d.to);
+    fold_f64(h, d.objective_before);
+    fold_f64(h, d.objective_after);
+    fold_str(h, d.cause.as_deref().unwrap_or("-"));
+    for &seq in &d.provenance {
+        fold_u64(h, seq);
+    }
+    fold_bytes(h, &[0xfe]);
+}
+
+/// Shadow lease state of one instance, mirroring the controller's
+/// two-level scheme: `deadline` is what write-path renewals maintain,
+/// `stamp` is the newest unfolded read-path touch (`0.0` = none).
+#[derive(Debug, Clone, PartialEq)]
+struct ShadowSession {
+    deadline: f64,
+    stamp: f64,
+    disconnected: bool,
+}
+
+impl ShadowSession {
+    /// The deadline as the (correct) reaper will see it after folding.
+    fn effective(&self, duration: f64) -> f64 {
+        if self.stamp == 0.0 {
+            self.deadline
+        } else {
+            self.deadline.max(self.stamp + duration)
+        }
+    }
+}
+
+/// One client slot: a real client over a chaos transport, plus the
+/// bookkeeping the generator's no-op rules rely on.
+struct Slot {
+    app: &'static str,
+    script: &'static str,
+    client: Option<HarmonyClient<ChaosTransport<LocalTransport>>>,
+    log: Option<harmony_proto::CallLog>,
+    /// The bundle was successfully registered for the current client.
+    bundled: bool,
+    /// Last instance id the server registered for this slot (survives a
+    /// crash, so `MarkDisconnected` can name the session the server still
+    /// holds).
+    instance: Option<InstanceId>,
+}
+
+/// The whole simulated stack plus oracles' bookkeeping.
+pub struct World {
+    ctl: SharedController,
+    config: ControllerConfig,
+    lease: LeaseConfig,
+    planted: PlantedBug,
+    slots: Vec<Slot>,
+    shadow: BTreeMap<InstanceId, ShadowSession>,
+    /// Departed nodes and their original declarations, for rejoins.
+    evicted: BTreeMap<String, NodeDecl>,
+    time_ms: u64,
+    cursor: u64,
+    decisions_seen: usize,
+    fingerprint: u64,
+    journal_appended: u64,
+    decisions_total: usize,
+}
+
+impl std::fmt::Debug for World {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("World")
+            .field("time_ms", &self.time_ms)
+            .field("shadow", &self.shadow.len())
+            .field("fingerprint", &format_args!("{:016x}", self.fingerprint))
+            .finish()
+    }
+}
+
+impl World {
+    /// Builds the stack for one run: a fresh controller over an
+    /// `NODE_COUNT`-node cluster and `CLIENT_SLOTS` empty client slots.
+    pub fn new(config: ControllerConfig, planted: PlantedBug) -> Self {
+        let lease = config.lease;
+        let ctl = Arc::new(RwLock::new(Self::fresh_controller(&config, planted)));
+        let slots = (0..CLIENT_SLOTS as usize)
+            .map(|i| {
+                let (app, script) = palette(i);
+                Slot { app, script, client: None, log: None, bundled: false, instance: None }
+            })
+            .collect();
+        World {
+            ctl,
+            config,
+            lease,
+            planted,
+            slots,
+            shadow: BTreeMap::new(),
+            evicted: BTreeMap::new(),
+            time_ms: 0,
+            cursor: 0,
+            decisions_seen: 0,
+            fingerprint: FNV_OFFSET,
+            journal_appended: 0,
+            decisions_total: 0,
+        }
+    }
+
+    fn fresh_controller(config: &ControllerConfig, planted: PlantedBug) -> Controller {
+        let cluster = Cluster::from_rsl(&listings::sp2_cluster(NODE_COUNT as usize))
+            .expect("sp2 cluster parses");
+        let mut ctl = Controller::new(cluster, config.clone());
+        if planted == PlantedBug::ReaperSkipsTouchFold {
+            ctl.chaos_set_skip_touch_fold(true);
+        }
+        ctl
+    }
+
+    /// The virtual clock in controller seconds.
+    fn now(&self) -> f64 {
+        self.time_ms as f64 / 1000.0
+    }
+
+    /// Runs a whole schedule: every op, the end-of-run convergence sweep,
+    /// and the oracles after each step.
+    pub fn run(schedule: &Schedule, planted: PlantedBug) -> RunReport {
+        let mut world = World::new(crate::config_for_seed(schedule.seed), planted);
+        let mut violation = None;
+        let mut executed = 0;
+        for (i, op) in schedule.ops.iter().enumerate() {
+            if let Err(v) = world.step(i, op) {
+                violation = Some(v);
+                break;
+            }
+            executed = i + 1;
+        }
+        if violation.is_none() {
+            if let Err(v) = world.finish(schedule.ops.len()) {
+                violation = Some(v);
+            }
+        }
+        RunReport {
+            seed: schedule.seed,
+            planted,
+            fingerprint: world.fingerprint,
+            ops_executed: executed,
+            ops_total: schedule.ops.len(),
+            journal_appended: world.journal_appended,
+            decisions: world.decisions_total,
+            violation,
+        }
+    }
+
+    /// Executes one op and re-checks every oracle.
+    fn step(&mut self, i: usize, op: &Op) -> Result<(), Violation> {
+        self.time_ms = self.time_ms.max(op.at_ms);
+        self.ctl.write().set_time(self.now());
+        self.exec(i, &op.kind)?;
+        self.post_op(i, op.kind.client())
+    }
+
+    /// The end-of-run convergence sweep: long after the last op, one reap
+    /// must retire every remaining session and return the cluster to
+    /// completely free.
+    fn finish(&mut self, n_ops: usize) -> Result<(), Violation> {
+        self.time_ms += (self.lease.duration * 1000.0) as u64 * 2 + 1000;
+        self.ctl.write().set_time(self.now());
+        self.exec_reap(n_ops)?;
+        self.post_op(n_ops, None)?;
+        let ctl = self.ctl.read();
+        if !ctl.instances().is_empty() {
+            return Err(Violation::new(
+                n_ops,
+                "convergence",
+                format!("instances survive the final reap: {:?}", ctl.instances()),
+            ));
+        }
+        if ctl.cluster().total_tasks() != 0 {
+            return Err(Violation::new(
+                n_ops,
+                "convergence",
+                format!(
+                    "{} tasks still allocated after every session retired",
+                    ctl.cluster().total_tasks()
+                ),
+            ));
+        }
+        let free = ctl.cluster().total_free_memory();
+        let total = ctl.cluster().total_memory();
+        if (free - total).abs() > 1e-6 {
+            return Err(Violation::new(
+                n_ops,
+                "convergence",
+                format!("memory not fully released: {free} of {total} MB free"),
+            ));
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Op execution.
+    // ------------------------------------------------------------------
+
+    fn exec(&mut self, i: usize, kind: &OpKind) -> Result<(), Violation> {
+        match kind {
+            OpKind::Start { client } => self.exec_start(*client as usize),
+            OpKind::AddBundle { client } => {
+                let slot = &mut self.slots[*client as usize];
+                if !slot.bundled {
+                    if let Some(cl) = slot.client.as_mut() {
+                        if cl.bundle_setup(slot.script).is_ok() {
+                            slot.bundled = true;
+                        }
+                    }
+                }
+                Ok(())
+            }
+            OpKind::Poll { client } => {
+                if let Some(cl) = self.slots[*client as usize].client.as_mut() {
+                    let _ = cl.poll();
+                }
+                Ok(())
+            }
+            OpKind::Heartbeat { client } => {
+                if let Some(cl) = self.slots[*client as usize].client.as_mut() {
+                    let _ = cl.heartbeat();
+                }
+                Ok(())
+            }
+            OpKind::Metric { client, millis } => {
+                let now = self.now();
+                if let Some(cl) = self.slots[*client as usize].client.as_mut() {
+                    let _ = cl.report_metric("response_time", now, f64::from(*millis) / 1000.0);
+                }
+                Ok(())
+            }
+            OpKind::FaultedPoll { client, fault } => {
+                if let Some(cl) = self.slots[*client as usize].client.as_mut() {
+                    cl.transport_mut().inject((*fault).into());
+                    let _ = cl.poll();
+                }
+                Ok(())
+            }
+            OpKind::End { client } => {
+                let slot = &mut self.slots[*client as usize];
+                if let Some(cl) = slot.client.take() {
+                    let _ = cl.end();
+                    slot.bundled = false;
+                }
+                Ok(())
+            }
+            OpKind::Crash { client } => {
+                let slot = &mut self.slots[*client as usize];
+                if let Some(mut cl) = slot.client.take() {
+                    // Kill the transport first so not even the drop-time
+                    // best-effort `end` escapes — a SIGKILL, not a close.
+                    cl.transport_mut().kill();
+                    drop(cl);
+                    slot.bundled = false;
+                }
+                Ok(())
+            }
+            OpKind::MarkDisconnected { client } => {
+                if let Some(id) = self.slots[*client as usize].instance.clone() {
+                    self.ctl.write().mark_disconnected(&id);
+                    self.shadow_mark_disconnected(&id);
+                }
+                Ok(())
+            }
+            OpKind::Reap => self.exec_reap(i),
+            OpKind::Tick => {
+                let now = self.now();
+                self.ctl
+                    .write()
+                    .service_scheduler(now)
+                    .map(|_| ())
+                    .map_err(|e| Violation::new(i, "controller-error", e.to_string()))
+            }
+            OpKind::Flush => self
+                .ctl
+                .write()
+                .flush_scheduler()
+                .map(|_| ())
+                .map_err(|e| Violation::new(i, "controller-error", e.to_string())),
+            OpKind::Restart => self.exec_restart(),
+            OpKind::NodeLeft { node } => self.exec_node_left(i, *node),
+            OpKind::NodeRejoin { node } => self.exec_node_rejoin(i, *node),
+        }
+    }
+
+    fn exec_start(&mut self, idx: usize) -> Result<(), Violation> {
+        let slot = &mut self.slots[idx];
+        if slot.client.is_some() {
+            return Ok(());
+        }
+        let transport = ChaosTransport::new(LocalTransport::new(Arc::clone(&self.ctl)));
+        let log = transport.log();
+        slot.log = Some(log);
+        if let Ok(cl) = HarmonyClient::startup(transport, slot.app, UpdateDelivery::Polling) {
+            slot.client = Some(cl);
+        }
+        slot.bundled = false;
+        Ok(())
+    }
+
+    fn exec_restart(&mut self) -> Result<(), Violation> {
+        // Break every live connection the way a dying server would; the
+        // clients' next calls walk the reconnect → reattach → fresh
+        // startup recovery path against the new controller.
+        for slot in &mut self.slots {
+            if let Some(cl) = slot.client.as_mut() {
+                cl.transport_mut().break_connection();
+            }
+        }
+        let fresh = Self::fresh_controller(&self.config, self.planted);
+        *self.ctl.write() = fresh;
+        self.ctl.write().set_time(self.now());
+        // All server-side state is gone: shadow sessions, journal cursor,
+        // decision bookkeeping, and cluster membership all start over.
+        self.shadow.clear();
+        self.evicted.clear();
+        self.cursor = 0;
+        self.decisions_seen = 0;
+        fold_str(&mut self.fingerprint, "server-restart");
+        Ok(())
+    }
+
+    fn exec_node_left(&mut self, i: usize, node: u8) -> Result<(), Violation> {
+        let name = format!("node{node:02}");
+        let decl = {
+            let ctl = self.ctl.read();
+            // Keep at least four nodes so the fixed replicate-4 bundle in
+            // the palette stays placeable somewhere.
+            if ctl.cluster().len() <= 4 {
+                return Ok(());
+            }
+            match ctl.cluster().node(&name) {
+                Some(state) => state.decl.clone(),
+                None => return Ok(()),
+            }
+        };
+        self.ctl
+            .write()
+            .handle_event(HarmonyEvent::NodeLeft { name: name.clone() })
+            .map_err(|e| Violation::new(i, "controller-error", e.to_string()))?;
+        self.evicted.insert(name, decl);
+        Ok(())
+    }
+
+    fn exec_node_rejoin(&mut self, i: usize, node: u8) -> Result<(), Violation> {
+        let name = format!("node{node:02}");
+        let Some(decl) = self.evicted.remove(&name) else { return Ok(()) };
+        self.ctl
+            .write()
+            .handle_event(HarmonyEvent::NodeJoined(decl))
+            .map_err(|e| Violation::new(i, "controller-error", e.to_string()))?;
+        // Restore the switch mesh: one link to every live peer (departure
+        // removed them). Duplicate/unknown-endpoint errors are impossible
+        // here, but stay tolerant — link wiring is not what this op tests.
+        let peers: Vec<String> = self
+            .ctl
+            .read()
+            .cluster()
+            .nodes()
+            .map(|n| n.decl.name.clone())
+            .filter(|n| *n != name)
+            .collect();
+        for peer in peers {
+            let _ = self.ctl.write().handle_event(HarmonyEvent::LinkJoined(LinkDecl::new(
+                peer,
+                name.clone(),
+                320.0,
+            )));
+        }
+        Ok(())
+    }
+
+    fn exec_reap(&mut self, i: usize) -> Result<(), Violation> {
+        let now = self.now();
+        let retire_before = self.ctl.read().retirements().len();
+        self.ctl
+            .write()
+            .reap_expired(now)
+            .map_err(|e| Violation::new(i, "controller-error", e.to_string()))?;
+        // Shadow model of a *correct* reap: fold all read-path touches,
+        // then retire every session whose deadline has passed.
+        let duration = self.lease.duration;
+        for s in self.shadow.values_mut() {
+            Self::fold_shadow(s, duration);
+        }
+        let mut expected: BTreeMap<InstanceId, RetireReason> = BTreeMap::new();
+        for (id, s) in &self.shadow {
+            if s.deadline <= now {
+                let reason = if s.disconnected {
+                    RetireReason::Disconnected
+                } else {
+                    RetireReason::LeaseExpired
+                };
+                expected.insert(id.clone(), reason);
+            }
+        }
+        for id in expected.keys() {
+            self.shadow.remove(id);
+        }
+        let ctl = self.ctl.read();
+        let actual: BTreeMap<InstanceId, RetireReason> = ctl.retirements()[retire_before..]
+            .iter()
+            .map(|r| (r.instance.clone(), r.reason))
+            .collect();
+        if actual != expected {
+            return Err(Violation::new(
+                i,
+                "lease",
+                format!("reap at t={now} retired {actual:?}, shadow model expected {expected:?}"),
+            ));
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Shadow transitions (driven by the ground-truth call logs).
+    // ------------------------------------------------------------------
+
+    fn fold_shadow(s: &mut ShadowSession, duration: f64) {
+        if s.stamp != 0.0 {
+            let renewed = s.stamp + duration;
+            if renewed > s.deadline {
+                s.deadline = renewed;
+            }
+            s.disconnected = false;
+            s.stamp = 0.0;
+        }
+    }
+
+    fn shadow_renew(&mut self, id: &InstanceId) {
+        let now = self.now();
+        if let Some(s) = self.shadow.get_mut(id) {
+            s.deadline = now + self.lease.duration;
+            s.disconnected = false;
+        }
+    }
+
+    fn shadow_touch(&mut self, id: &InstanceId) {
+        let now = self.now();
+        if let Some(s) = self.shadow.get_mut(id) {
+            if now > s.stamp {
+                s.stamp = now;
+            }
+        }
+    }
+
+    fn shadow_mark_disconnected(&mut self, id: &InstanceId) {
+        let duration = self.lease.duration;
+        let grace = self.lease.disconnect_grace;
+        let now = self.now();
+        if let Some(s) = self.shadow.get_mut(id) {
+            Self::fold_shadow(s, duration);
+            if !s.disconnected {
+                s.disconnected = true;
+                s.deadline = s.deadline.min(now + grace);
+            }
+        }
+    }
+
+    /// Applies one delivered request's lease effect, mirroring the
+    /// server's dispatch exactly (renewal ordering included: `bundle`
+    /// renews before the bundle is even parsed, `metric` touches before
+    /// the finite-sample check).
+    fn apply_record(&mut self, slot_idx: usize, rec: &CallRecord) {
+        if !rec.delivered {
+            return; // the server never saw it
+        }
+        match (&rec.request, &rec.response) {
+            (Request::Startup { .. }, Some(Response::Registered { app, id })) => {
+                let id = InstanceId::new(app.clone(), *id);
+                self.shadow.insert(
+                    id.clone(),
+                    ShadowSession {
+                        deadline: self.now() + self.lease.duration,
+                        stamp: 0.0,
+                        disconnected: false,
+                    },
+                );
+                self.slots[slot_idx].instance = Some(id);
+            }
+            (Request::Reattach { app, id }, Some(Response::Registered { .. })) => {
+                let id = InstanceId::new(app.clone(), *id);
+                self.shadow_renew(&id);
+                self.slots[slot_idx].instance = Some(id);
+            }
+            (Request::Bundle { app, id, .. }, Some(_)) => {
+                // Renewed whether or not the bundle was accepted.
+                self.shadow_renew(&InstanceId::new(app.clone(), *id));
+            }
+            (Request::Poll { app, id }, _) | (Request::Heartbeat { app, id }, _) => {
+                self.shadow_touch(&InstanceId::new(app.clone(), *id));
+            }
+            (Request::Metric { name, .. }, _) => {
+                let mut parts = name.splitn(3, '.');
+                if let (Some(app), Some(id), Some(_)) = (parts.next(), parts.next(), parts.next()) {
+                    if let Ok(id) = id.parse::<u64>() {
+                        self.shadow_touch(&InstanceId::new(app, id));
+                    }
+                }
+            }
+            (Request::End { app, id }, Some(Response::Ok)) => {
+                self.shadow.remove(&InstanceId::new(app.clone(), *id));
+            }
+            _ => {}
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Per-op bookkeeping and oracles.
+    // ------------------------------------------------------------------
+
+    fn post_op(&mut self, i: usize, client: Option<u8>) -> Result<(), Violation> {
+        // Ground truth first: fold the op's delivered traffic into the
+        // shadow model before comparing anything.
+        if let Some(c) = client {
+            let records: Vec<CallRecord> = match &self.slots[c as usize].log {
+                Some(log) => log.lock().drain(..).collect(),
+                None => Vec::new(),
+            };
+            for rec in &records {
+                self.apply_record(c as usize, rec);
+            }
+        }
+
+        // Journal: contract check, then fold the new entries.
+        let (tail, appended) = {
+            let ctl = self.ctl.read();
+            (ctl.journal_tail(self.cursor, usize::MAX), ctl.journal_seq())
+        };
+        oracle::check_journal_tail(&tail, self.cursor, appended, i)?;
+        for e in &tail.entries {
+            fold_entry(&mut self.fingerprint, e);
+        }
+        self.cursor = tail.next_cursor;
+        self.journal_appended = self.journal_appended.max(appended);
+
+        // Decisions: provenance check, then fold.
+        {
+            let ctl = self.ctl.read();
+            let new = &ctl.decisions()[self.decisions_seen.min(ctl.decisions().len())..];
+            oracle::check_provenance(new, appended, i)?;
+            for d in new {
+                fold_decision(&mut self.fingerprint, d);
+            }
+            self.decisions_total += new.len();
+            self.decisions_seen = ctl.decisions().len();
+        }
+
+        // Structural invariants.
+        {
+            let ctl = self.ctl.read();
+            oracle::check_capacity(&ctl, i)?;
+            oracle::check_sessions(&ctl, i)?;
+        }
+        self.check_lease_agreement(i)
+    }
+
+    /// The continuous lease oracle: the controller's session table must
+    /// equal the shadow model exactly — same instances, bit-identical
+    /// stored deadlines, same disconnect marks, and the same effective
+    /// deadline once pending read-path touches are accounted for.
+    fn check_lease_agreement(&self, i: usize) -> Result<(), Violation> {
+        let ctl = self.ctl.read();
+        let sessions = ctl.sessions();
+        if sessions.len() != self.shadow.len() || !sessions.keys().eq(self.shadow.keys()) {
+            let actual: Vec<String> = sessions.keys().map(ToString::to_string).collect();
+            let expected: Vec<String> = self.shadow.keys().map(ToString::to_string).collect();
+            return Err(Violation::new(
+                i,
+                "lease",
+                format!("sessions {actual:?}, shadow model expected {expected:?}"),
+            ));
+        }
+        let duration = self.lease.duration;
+        for (id, actual) in sessions {
+            let expected = &self.shadow[id];
+            if actual.deadline != expected.deadline {
+                return Err(Violation::new(
+                    i,
+                    "lease",
+                    format!(
+                        "{id}: stored deadline {} != shadow {}",
+                        actual.deadline, expected.deadline
+                    ),
+                ));
+            }
+            if actual.disconnected != expected.disconnected {
+                return Err(Violation::new(
+                    i,
+                    "lease",
+                    format!(
+                        "{id}: disconnected={} != shadow {}",
+                        actual.disconnected, expected.disconnected
+                    ),
+                ));
+            }
+            let effective = ctl.effective_deadline(id).unwrap_or(f64::NAN);
+            if effective != expected.effective(duration) {
+                return Err(Violation::new(
+                    i,
+                    "lease",
+                    format!(
+                        "{id}: effective deadline {effective} != shadow {}",
+                        expected.effective(duration)
+                    ),
+                ));
+            }
+        }
+        Ok(())
+    }
+}

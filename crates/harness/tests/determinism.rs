@@ -1,0 +1,60 @@
+//! The determinism oracle: a seed fully determines the run.
+//!
+//! The in-process checks rerun schedules and compare fingerprints; the
+//! binary test spawns the `harness` CLI under different
+//! `RAYON_NUM_THREADS` settings, which exercises the annealing
+//! optimizer's thread-count-invariant merge through a real process
+//! boundary.
+
+use std::process::Command;
+
+use harmony_harness::{generate, run_schedule, run_seed, PlantedBug};
+
+#[test]
+fn same_seed_same_fingerprint() {
+    for seed in 0..6 {
+        let a = run_seed(seed, PlantedBug::None);
+        let b = run_seed(seed, PlantedBug::None);
+        assert_eq!(a, b, "seed {seed} diverged between runs");
+        assert!(a.violation.is_none(), "seed {seed}: {:?}", a.violation);
+    }
+}
+
+#[test]
+fn different_seeds_different_fingerprints() {
+    // Not a guarantee in principle, but a collision across neighboring
+    // seeds would mean the fingerprint is not actually folding the run.
+    let a = run_seed(1, PlantedBug::None);
+    let b = run_seed(2, PlantedBug::None);
+    assert_ne!(a.fingerprint, b.fingerprint);
+}
+
+#[test]
+fn subsequences_still_run_clean() {
+    // The shrinker's soundness precondition: dropping ops from a passing
+    // schedule must leave a passing schedule.
+    let schedule = generate(3);
+    let mut thinned = schedule.clone();
+    thinned.ops = thinned.ops.into_iter().step_by(3).collect();
+    let report = run_schedule(&thinned, PlantedBug::None);
+    assert!(report.violation.is_none(), "{:?}", report.violation);
+}
+
+#[test]
+fn fingerprint_is_thread_count_invariant() {
+    // Seed 5 selects the annealing optimizer (seed % 3 == 2), the only
+    // parallel code path, and runs clean.
+    let run = |threads: &str| {
+        let out = Command::new(env!("CARGO_BIN_EXE_harness"))
+            .args(["replay", "--seed", "5"])
+            .env("RAYON_NUM_THREADS", threads)
+            .output()
+            .expect("spawn harness binary");
+        assert!(out.status.success(), "replay failed: {}", String::from_utf8_lossy(&out.stderr));
+        String::from_utf8(out.stdout).expect("utf8 stdout")
+    };
+    let single = run("1");
+    let multi = run("4");
+    assert!(single.contains("fp "), "unexpected output: {single}");
+    assert_eq!(single, multi, "thread count changed the decision sequence");
+}

@@ -29,6 +29,8 @@
 //! `--once` prints a single frame. `export` dumps the full metrics
 //! exposition (one `counter|gauge|histogram` line per metric).
 
+use std::net::SocketAddr;
+
 use harmony_core::{JournalEntry, JournalTail, SystemSnapshot};
 use harmony_proto::{Request, Response, TcpTransport, Transport};
 
@@ -38,6 +40,82 @@ fn usage() -> ! {
          facts <file.rsl> [--json] | trace [seq | --follow] | top [--once] | export]"
     );
     std::process::exit(2);
+}
+
+/// A fully parsed invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Cli {
+    addr: SocketAddr,
+    cmd: Command,
+}
+
+/// One subcommand with its arguments resolved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Command {
+    Status,
+    End { app: String, id: u64 },
+    Lint { file: String, json: bool },
+    Facts { file: String, json: bool },
+    Trace { from: u64, follow: bool },
+    Top { once: bool },
+    Export,
+}
+
+const DEFAULT_ADDR: &str = "127.0.0.1:7077";
+
+/// Parses an argument vector (without the program name). Pure, so the
+/// whole grammar is unit-testable; `main` maps `Err` to the usage
+/// message and exit status 2.
+fn parse(mut args: Vec<String>) -> Result<Cli, String> {
+    let addr_text = if args.first().map(|a| a.contains(':')).unwrap_or(false) {
+        args.remove(0)
+    } else {
+        DEFAULT_ADDR.to_string()
+    };
+    let addr: SocketAddr = addr_text.parse().map_err(|_| format!("bad address `{addr_text}`"))?;
+
+    let cmd = match args.first().map(String::as_str).unwrap_or("status") {
+        "status" => Command::Status,
+        "export" => Command::Export,
+        "top" => match args.get(1).map(String::as_str) {
+            None => Command::Top { once: false },
+            Some("--once") => Command::Top { once: true },
+            Some(other) => return Err(format!("top: unexpected argument `{other}`")),
+        },
+        "trace" => match args.get(1).map(String::as_str) {
+            None => Command::Trace { from: 0, follow: false },
+            Some("--follow") => Command::Trace { from: 0, follow: true },
+            Some(seq) => {
+                let from =
+                    seq.parse().map_err(|_| format!("trace: `{seq}` is not a sequence number"))?;
+                Command::Trace { from, follow: false }
+            }
+        },
+        "end" => {
+            let instance = args.get(1).ok_or("end: missing <app.id>")?;
+            let (app, id) = instance
+                .rsplit_once('.')
+                .ok_or_else(|| format!("end: `{instance}` is not <app.id>"))?;
+            let id = id.parse().map_err(|_| format!("end: `{id}` is not an instance id"))?;
+            Command::End { app: app.to_string(), id }
+        }
+        cmd @ ("lint" | "facts") => {
+            // `--json` may come before or after the file name.
+            let file = args[1..]
+                .iter()
+                .find(|a| *a != "--json")
+                .cloned()
+                .ok_or_else(|| format!("{cmd}: missing <file.rsl>"))?;
+            let json = args[1..].iter().any(|a| a == "--json");
+            if cmd == "lint" {
+                Command::Lint { file, json }
+            } else {
+                Command::Facts { file, json }
+            }
+        }
+        other => return Err(format!("unknown command `{other}`")),
+    };
+    Ok(Cli { addr, cmd })
 }
 
 /// Runs the `lint` subcommand; returns the process exit code.
@@ -218,27 +296,21 @@ fn top(transport: &mut TcpTransport, once: bool) {
 }
 
 fn main() {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let addr = if args.first().map(|a| a.contains(':')).unwrap_or(false) {
-        args.remove(0)
-    } else {
-        "127.0.0.1:7077".to_string()
-    };
-    let addr = match addr.parse() {
-        Ok(a) => a,
-        Err(_) => usage(),
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Cli { addr, cmd } = match parse(args) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("harmonyctl: {e}");
+            usage();
+        }
     };
 
     // `lint` and `facts` work without a daemon: connect best-effort.
-    if let Some(cmd @ ("lint" | "facts")) = args.first().map(String::as_str) {
-        let cmd = cmd.to_string();
-        // `--json` may come before or after the file name.
-        let Some(file) = args[1..].iter().find(|a| *a != "--json").cloned() else { usage() };
-        let json_out = args.iter().any(|a| a == "--json");
+    if let Command::Lint { file, json } | Command::Facts { file, json } = &cmd {
         let mut transport = TcpTransport::connect(addr).ok();
-        let code = match cmd.as_str() {
-            "lint" => lint(transport.as_mut(), &file, json_out),
-            _ => facts(transport.as_mut(), &file, json_out),
+        let code = match cmd {
+            Command::Lint { .. } => lint(transport.as_mut(), file, *json),
+            _ => facts(transport.as_mut(), file, *json),
         };
         std::process::exit(code);
     }
@@ -251,8 +323,9 @@ fn main() {
         }
     };
 
-    match args.first().map(String::as_str).unwrap_or("status") {
-        "status" => {
+    match cmd {
+        Command::Lint { .. } | Command::Facts { .. } => unreachable!("handled above"),
+        Command::Status => {
             let resp = transport.call(&Request::Status).expect("status call");
             let Response::Status { json } = resp else {
                 eprintln!("harmonyctl: unexpected response: {resp:?}");
@@ -289,23 +362,13 @@ fn main() {
                 );
             }
         }
-        "trace" => {
-            let arg = args.get(1).map(String::as_str);
-            let follow = arg == Some("--follow");
-            let from = match arg {
-                Some("--follow") | None => 0,
-                Some(seq) => match seq.parse() {
-                    Ok(n) => n,
-                    Err(_) => usage(),
-                },
-            };
+        Command::Trace { from, follow } => {
             trace(&mut transport, from, follow);
         }
-        "top" => {
-            let once = args.get(1).map(String::as_str) == Some("--once");
+        Command::Top { once } => {
             top(&mut transport, once);
         }
-        "export" => {
+        Command::Export => {
             let resp = transport.call(&Request::Expo).expect("expo call");
             let Response::Expo { text } = resp else {
                 eprintln!("harmonyctl: unexpected response: {resp:?}");
@@ -313,14 +376,10 @@ fn main() {
             };
             print!("{text}");
         }
-        "end" => {
-            let Some(instance) = args.get(1) else { usage() };
-            let Some((app, id)) = instance.rsplit_once('.') else { usage() };
-            let Ok(id) = id.parse() else { usage() };
-            let resp =
-                transport.call(&Request::End { app: app.to_string(), id }).expect("end call");
+        Command::End { app, id } => {
+            let resp = transport.call(&Request::End { app: app.clone(), id }).expect("end call");
             match resp {
-                Response::Ok => println!("harmonyctl: ended {instance}"),
+                Response::Ok => println!("harmonyctl: ended {app}.{id}"),
                 Response::Error { message } => {
                     eprintln!("harmonyctl: {message}");
                     std::process::exit(1);
@@ -331,6 +390,91 @@ fn main() {
                 }
             }
         }
-        _ => usage(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(ToString::to_string).collect()
+    }
+
+    fn cmd(list: &[&str]) -> Command {
+        parse(args(list)).expect("parses").cmd
+    }
+
+    #[test]
+    fn no_arguments_means_status_at_the_default_address() {
+        let cli = parse(Vec::new()).unwrap();
+        assert_eq!(cli.addr, DEFAULT_ADDR.parse().unwrap());
+        assert_eq!(cli.cmd, Command::Status);
+    }
+
+    #[test]
+    fn leading_address_is_peeled_off_any_command() {
+        let cli = parse(args(&["10.1.2.3:9000", "export"])).unwrap();
+        assert_eq!(cli.addr, "10.1.2.3:9000".parse().unwrap());
+        assert_eq!(cli.cmd, Command::Export);
+    }
+
+    #[test]
+    fn malformed_address_is_rejected() {
+        assert!(parse(args(&["not-an:addr", "status"])).is_err());
+    }
+
+    #[test]
+    fn trace_defaults_then_seq_then_follow() {
+        assert_eq!(cmd(&["trace"]), Command::Trace { from: 0, follow: false });
+        assert_eq!(cmd(&["trace", "1234"]), Command::Trace { from: 1234, follow: false });
+        assert_eq!(cmd(&["trace", "--follow"]), Command::Trace { from: 0, follow: true });
+    }
+
+    #[test]
+    fn trace_with_a_non_numeric_cursor_is_an_error() {
+        let err = parse(args(&["trace", "twelve"])).unwrap_err();
+        assert!(err.contains("sequence number"), "{err}");
+    }
+
+    #[test]
+    fn top_once_flag() {
+        assert_eq!(cmd(&["top"]), Command::Top { once: false });
+        assert_eq!(cmd(&["top", "--once"]), Command::Top { once: true });
+        assert!(parse(args(&["top", "--typo"])).is_err());
+    }
+
+    #[test]
+    fn end_parses_the_instance_id_after_the_last_dot() {
+        assert_eq!(cmd(&["end", "bag.7"]), Command::End { app: "bag".into(), id: 7 });
+        // Dotted application names bind the id to the final segment.
+        assert_eq!(cmd(&["end", "a.b.3"]), Command::End { app: "a.b".into(), id: 3 });
+    }
+
+    #[test]
+    fn end_error_paths() {
+        assert!(parse(args(&["end"])).is_err(), "missing instance");
+        assert!(parse(args(&["end", "no-dot"])).is_err(), "no separator");
+        assert!(parse(args(&["end", "bag.seven"])).is_err(), "non-numeric id");
+    }
+
+    #[test]
+    fn lint_and_facts_take_json_on_either_side_of_the_file() {
+        assert_eq!(cmd(&["lint", "a.rsl"]), Command::Lint { file: "a.rsl".into(), json: false });
+        assert_eq!(
+            cmd(&["lint", "--json", "a.rsl"]),
+            Command::Lint { file: "a.rsl".into(), json: true }
+        );
+        assert_eq!(
+            cmd(&["facts", "a.rsl", "--json"]),
+            Command::Facts { file: "a.rsl".into(), json: true }
+        );
+        assert!(parse(args(&["lint", "--json"])).is_err(), "flag alone is not a file");
+        assert!(parse(args(&["facts"])).is_err(), "missing file");
+    }
+
+    #[test]
+    fn unknown_commands_are_rejected() {
+        assert!(parse(args(&["restart"])).is_err());
     }
 }

@@ -10,15 +10,20 @@
 //!   lists, so bundle scripts embed as braced groups);
 //! * [`TcpServer`] / [`TcpTransport`] — the prototype's TCP architecture;
 //! * [`LocalTransport`] — the same semantics in-process, for deterministic
-//!   tests and single-process experiments.
+//!   tests and single-process experiments;
+//! * [`ChaosTransport`] — a fault-injecting wrapper over any transport
+//!   (scripted drops, duplication, breaks, death) with a ground-truth
+//!   [`CallLog`], for the deterministic whole-stack harness.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod chaos;
 pub mod frame;
 mod message;
 mod server;
 
+pub use chaos::{CallLog, CallRecord, ChaosTransport, Fault};
 pub use message::{ParseMessageError, Request, Response, VarUpdate};
 pub use server::{
     handle_request, LocalTransport, ReconnectPolicy, ServerConfig, SharedController, TcpServer,

@@ -1,0 +1,330 @@
+//! # Harmony rng
+//!
+//! The one place seeded randomness is constructed. Two independent copies
+//! of the same machinery used to live in the tree — the optimizer's
+//! private `splitmix64` sub-seeding and the simulator's `SimRng`
+//! distributions — and keeping them separate invited exactly the bug
+//! class determinism tests exist to catch: two "identical" streams
+//! drifting apart after an edit to one of them. Both now build on this
+//! crate, and the original streams are pinned by unit tests against
+//! inline copies of the old code.
+//!
+//! * [`splitmix64`] — the finalizer from Steele et al.'s SplitMix,
+//!   used to decorrelate related seeds;
+//! * [`sub_seed`] / [`stream_rng`] — domain-separated sub-streams: a
+//!   `(seed, domain, index)` triple gives an independent stream however
+//!   many draws its siblings burn;
+//! * [`SeededRng`] — the workload distributions (uniform, exponential,
+//!   perturbation, Bernoulli, shuffle) over a seeded PRNG.
+//!
+//! # Examples
+//!
+//! ```
+//! use harmony_rng::{stream_rng, SeededRng};
+//! use rand::Rng;
+//!
+//! // Equal triples give equal streams; any component change decorrelates.
+//! let a: u64 = stream_rng(7, 0x1234, 0).gen();
+//! let b: u64 = stream_rng(7, 0x1234, 0).gen();
+//! let c: u64 = stream_rng(7, 0x1234, 1).gen();
+//! assert_eq!(a, b);
+//! assert_ne!(a, c);
+//!
+//! let mut r = SeededRng::seed(42);
+//! let x = r.uniform(0.0, 1.0);
+//! assert!((0.0..1.0).contains(&x));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The SplitMix64 finalizer: a bijective avalanche over `u64`. Nearby
+/// inputs (`seed`, `seed ^ 1`, …) map to statistically unrelated outputs,
+/// which is what makes the [`sub_seed`] composition safe.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Derives the seed of the `(domain, index)` sub-stream of `seed`.
+///
+/// `domain` separates *kinds* of randomness (an optimizer's start picks
+/// vs its proposal walk; a schedule generator's op kinds vs its arrival
+/// times); `index` separates *instances* within a kind (annealing chains,
+/// client slots). Two applications of [`splitmix64`] keep the stream
+/// independent of how the caller numbers domains and indexes.
+pub fn sub_seed(seed: u64, domain: u64, index: u64) -> u64 {
+    splitmix64(splitmix64(seed ^ domain) ^ index)
+}
+
+/// A `StdRng` positioned at the start of the `(domain, index)` sub-stream
+/// of `seed`. However many draws one sub-stream burns, every other
+/// sub-stream is untouched — determinism tests can pin each independently.
+pub fn stream_rng(seed: u64, domain: u64, index: u64) -> StdRng {
+    StdRng::seed_from_u64(sub_seed(seed, domain, index))
+}
+
+/// A seeded random source with the distributions workloads use.
+///
+/// This is the implementation behind `harmony_sim::SimRng` (re-exported
+/// there under its historical name); equal seeds give equal streams, and
+/// the streams are pinned to the pre-extraction `SimRng` by tests below.
+#[derive(Debug, Clone)]
+pub struct SeededRng {
+    rng: StdRng,
+}
+
+impl SeededRng {
+    /// Creates a source from a seed; equal seeds give equal streams.
+    pub fn seed(seed: u64) -> Self {
+        SeededRng { rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Creates a source on the `(domain, index)` sub-stream of `seed`
+    /// (see [`sub_seed`]).
+    pub fn stream(seed: u64, domain: u64, index: u64) -> Self {
+        SeededRng { rng: stream_rng(seed, domain, index) }
+    }
+
+    /// A raw 64-bit draw (weighted-choice helpers and hand-rolled
+    /// distributions build on this).
+    pub fn bits(&mut self) -> u64 {
+        self.rng.gen()
+    }
+
+    /// Uniform in `[lo, hi)`.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        if hi <= lo {
+            return lo;
+        }
+        self.rng.gen_range(lo..hi)
+    }
+
+    /// Uniform integer in `[lo, hi]`.
+    pub fn uniform_int(&mut self, lo: i64, hi: i64) -> i64 {
+        if hi <= lo {
+            return lo;
+        }
+        self.rng.gen_range(lo..=hi)
+    }
+
+    /// Exponential with the given mean (inter-arrival times).
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        -mean * u.ln()
+    }
+
+    /// Multiplicative perturbation: `base * uniform(1-frac, 1+frac)` —
+    /// the "similar, but randomly perturbed" query pattern of §6.
+    pub fn perturb(&mut self, base: f64, frac: f64) -> f64 {
+        base * self.uniform(1.0 - frac, 1.0 + frac)
+    }
+
+    /// Bernoulli trial.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.rng.gen::<f64>() < p.clamp(0.0, 1.0)
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.rng.gen_range(0..=i);
+            items.swap(i, j);
+        }
+    }
+
+    /// Picks an index with probability proportional to its weight. Zero
+    /// total weight picks index 0.
+    pub fn weighted(&mut self, weights: &[u32]) -> usize {
+        let total: u64 = weights.iter().map(|&w| u64::from(w)).sum();
+        if total == 0 {
+            return 0;
+        }
+        let mut draw = self.bits() % total;
+        for (i, &w) in weights.iter().enumerate() {
+            let w = u64::from(w);
+            if draw < w {
+                return i;
+            }
+            draw -= w;
+        }
+        weights.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The optimizer's original private splitmix64, verbatim, so the
+    /// shared function is provably the same stream the annealing chains
+    /// were seeded from before the extraction.
+    fn old_splitmix64(mut x: u64) -> u64 {
+        x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^ (x >> 31)
+    }
+
+    #[test]
+    fn splitmix64_matches_the_old_optimizer_copy() {
+        for x in [0u64, 1, 42, u64::MAX, 0x5354_4152_5453_4545, 0x5741_4c4b_5345_4544, 0xdead_beef]
+        {
+            assert_eq!(splitmix64(x), old_splitmix64(x), "x={x:#x}");
+        }
+        // And a dense sweep for avalanche-path coverage.
+        for x in 0..10_000u64 {
+            let y = x.wrapping_mul(0x9e37_79b9);
+            assert_eq!(splitmix64(y), old_splitmix64(y), "y={y:#x}");
+        }
+    }
+
+    #[test]
+    fn sub_seed_matches_the_old_stream_composition() {
+        // The optimizer derived chain streams as
+        // `splitmix64(splitmix64(seed ^ STREAM) ^ chain)`.
+        const START_STREAM: u64 = 0x5354_4152_5453_4545;
+        for seed in [0u64, 9, 123_456_789] {
+            for chain in 0..8u64 {
+                let old = old_splitmix64(old_splitmix64(seed ^ START_STREAM) ^ chain);
+                assert_eq!(sub_seed(seed, START_STREAM, chain), old);
+            }
+        }
+    }
+
+    #[test]
+    fn stream_rng_equals_manual_construction() {
+        let mut a = stream_rng(7, 0xabcd, 3);
+        let mut b = StdRng::seed_from_u64(sub_seed(7, 0xabcd, 3));
+        for _ in 0..32 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn streams_are_mutually_independent() {
+        let base: Vec<u64> = {
+            let mut r = stream_rng(5, 1, 0);
+            (0..8).map(|_| r.gen()).collect()
+        };
+        // Burning draws on one stream leaves a sibling untouched.
+        let mut sibling = stream_rng(5, 2, 0);
+        for _ in 0..977 {
+            let _: u64 = sibling.gen();
+        }
+        let again: Vec<u64> = {
+            let mut r = stream_rng(5, 1, 0);
+            (0..8).map(|_| r.gen()).collect()
+        };
+        assert_eq!(base, again);
+        // Different domain or index: different stream.
+        let other_domain: Vec<u64> = {
+            let mut r = stream_rng(5, 2, 0);
+            (0..8).map(|_| r.gen()).collect()
+        };
+        let other_index: Vec<u64> = {
+            let mut r = stream_rng(5, 1, 1);
+            (0..8).map(|_| r.gen()).collect()
+        };
+        assert_ne!(base, other_domain);
+        assert_ne!(base, other_index);
+    }
+
+    /// The pre-extraction `SimRng`, verbatim, for stream-identity proofs.
+    mod old_sim_rng {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        pub struct OldSimRng {
+            rng: StdRng,
+        }
+
+        impl OldSimRng {
+            pub fn seed(seed: u64) -> Self {
+                OldSimRng { rng: StdRng::seed_from_u64(seed) }
+            }
+
+            pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+                if hi <= lo {
+                    return lo;
+                }
+                self.rng.gen_range(lo..hi)
+            }
+
+            pub fn uniform_int(&mut self, lo: i64, hi: i64) -> i64 {
+                if hi <= lo {
+                    return lo;
+                }
+                self.rng.gen_range(lo..=hi)
+            }
+
+            pub fn exponential(&mut self, mean: f64) -> f64 {
+                let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+                -mean * u.ln()
+            }
+
+            pub fn perturb(&mut self, base: f64, frac: f64) -> f64 {
+                base * self.uniform(1.0 - frac, 1.0 + frac)
+            }
+
+            pub fn chance(&mut self, p: f64) -> bool {
+                self.rng.gen::<f64>() < p.clamp(0.0, 1.0)
+            }
+
+            pub fn shuffle<T>(&mut self, items: &mut [T]) {
+                for i in (1..items.len()).rev() {
+                    let j = self.rng.gen_range(0..=i);
+                    items.swap(i, j);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn seeded_rng_streams_are_identical_to_the_old_sim_rng() {
+        for seed in [0u64, 1, 42, 0xfeed_f00d] {
+            let mut new = SeededRng::seed(seed);
+            let mut old = old_sim_rng::OldSimRng::seed(seed);
+            for round in 0..200 {
+                assert_eq!(new.uniform(0.0, 10.0), old.uniform(0.0, 10.0), "round {round}");
+                assert_eq!(new.uniform_int(-5, 17), old.uniform_int(-5, 17), "round {round}");
+                assert_eq!(new.exponential(3.0), old.exponential(3.0), "round {round}");
+                assert_eq!(new.perturb(100.0, 0.2), old.perturb(100.0, 0.2), "round {round}");
+                assert_eq!(new.chance(0.3), old.chance(0.3), "round {round}");
+                let mut a: Vec<u32> = (0..16).collect();
+                let mut b = a.clone();
+                new.shuffle(&mut a);
+                old.shuffle(&mut b);
+                assert_eq!(a, b, "round {round}");
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_covers_every_index_and_respects_zeros() {
+        let mut r = SeededRng::seed(9);
+        let weights = [3u32, 0, 5, 1];
+        let mut hits = [0usize; 4];
+        for _ in 0..2000 {
+            hits[r.weighted(&weights)] += 1;
+        }
+        assert!(hits[0] > 0 && hits[2] > 0 && hits[3] > 0, "{hits:?}");
+        assert_eq!(hits[1], 0, "zero-weight index must never be picked");
+        assert_eq!(r.weighted(&[0, 0]), 0, "zero total weight falls back to 0");
+        assert_eq!(r.weighted(&[7]), 0);
+    }
+
+    #[test]
+    fn bits_and_stream_constructor_round_trip() {
+        let mut a = SeededRng::stream(11, 0x77, 2);
+        let mut b = SeededRng::stream(11, 0x77, 2);
+        for _ in 0..16 {
+            assert_eq!(a.bits(), b.bits());
+        }
+    }
+}
