@@ -38,6 +38,7 @@ use crate::error::CoreError;
 use crate::feedback::{calibration_factor, FeedbackConfig};
 use crate::journal::{EventJournal, JournalKind, JournalTail, PhaseTimings};
 use crate::objective::Objective;
+use crate::persist::{PersistedState, RecoveryInfo, WalEvent, PERSIST_VERSION};
 use crate::pruning::PruningMode;
 use crate::scheduler::{CoalescePolicy, DecisionScheduler};
 use crate::session::{LeaseConfig, RetireReason, RetirementRecord, SessionState};
@@ -327,6 +328,16 @@ pub struct Controller {
     /// concurrent renewals" bug class so the harness can prove its lease
     /// oracle catches it. Never set outside tests.
     chaos_skip_touch_fold: bool,
+    /// The attached write-ahead log, when this controller is persistent
+    /// (opened through [`crate::persist::StateStore`]). `Arc` + interior
+    /// buffering in the writer let the concurrent read path (touches,
+    /// polls, metric reports) append under a shared borrow. `None` (the
+    /// default, and always during WAL replay) makes every logging hook a
+    /// no-op — behavior is bit-for-bit the non-persistent controller.
+    wal: Option<std::sync::Arc<harmony_wal::WalWriter>>,
+    /// How this controller came to be, when recovered from a state
+    /// directory (surfaced in [`crate::SystemSnapshot`]).
+    recovery: Option<RecoveryInfo>,
 }
 
 impl Controller {
@@ -354,6 +365,8 @@ impl Controller {
             decision_provenance: Vec::new(),
             phase_timings: None,
             chaos_skip_touch_fold: false,
+            wal: None,
+            recovery: None,
         }
     }
 
@@ -373,9 +386,11 @@ impl Controller {
     }
 
     /// Advances the controller clock. Time never moves backwards; earlier
-    /// values are ignored.
+    /// values are ignored, and so are non-finite ones — a `+inf` clock
+    /// would freeze every later comparison (nothing exceeds it) and poison
+    /// lease deadlines, and `NaN` compares false everywhere.
     pub fn set_time(&mut self, now: f64) {
-        if now > self.now {
+        if now.is_finite() && now > self.now {
             self.now = now;
         }
     }
@@ -444,6 +459,15 @@ impl Controller {
     /// per-instance response-time histogram. Returns `false` when the
     /// sample is non-finite and was rejected.
     pub fn record_metric(&self, name: &str, time: f64, value: f64) -> bool {
+        // Logged even when the sample will be rejected: the rejection
+        // leaves a `metric-rejected` journal entry that replay must
+        // reproduce for journal-sequence parity.
+        self.wal_log(&WalEvent::Metric { now: self.now, name: name.to_string(), time, value });
+        self.record_metric_inner(name, time, value)
+    }
+
+    /// [`Controller::record_metric`] without the WAL hook.
+    pub(crate) fn record_metric_inner(&self, name: &str, time: f64, value: f64) -> bool {
         if !self.metrics.record(name, time, value) {
             self.journal_append(JournalKind::Event, format!("metric-rejected {name}"));
             return false;
@@ -511,6 +535,13 @@ impl Controller {
     /// Registers a new application instance with a system-chosen id
     /// (`harmony_startup`).
     pub fn startup(&mut self, app: &str) -> InstanceId {
+        self.wal_log(&WalEvent::Startup { now: self.now, app: app.to_string() });
+        self.startup_inner(app)
+    }
+
+    /// [`Controller::startup`] without the WAL hook, for callers that
+    /// already logged the triggering event (the `handle_event` arms).
+    pub(crate) fn startup_inner(&mut self, app: &str) -> InstanceId {
         let id = InstanceId::new(app, self.registry.allocate(app));
         self.apps.insert(id.clone(), AppInstance::new(id.clone(), self.now));
         self.arrival_order.push(id.clone());
@@ -535,6 +566,16 @@ impl Controller {
     /// [`CoreError::Unplaceable`] when no candidate fits even after
     /// coordinated admission.
     pub fn add_bundle(
+        &mut self,
+        id: &InstanceId,
+        spec: BundleSpec,
+    ) -> Result<Vec<DecisionRecord>, CoreError> {
+        self.wal_log(&WalEvent::Bundle { now: self.now, id: id.clone(), spec: spec.clone() });
+        self.add_bundle_inner(id, spec)
+    }
+
+    /// [`Controller::add_bundle`] without the WAL hook.
+    pub(crate) fn add_bundle_inner(
         &mut self,
         id: &InstanceId,
         spec: BundleSpec,
@@ -640,6 +681,12 @@ impl Controller {
     ///
     /// [`CoreError::UnknownInstance`] for unregistered ids.
     pub fn end(&mut self, id: &InstanceId) -> Result<Vec<DecisionRecord>, CoreError> {
+        self.wal_log(&WalEvent::End { now: self.now, id: id.clone() });
+        self.end_inner(id)
+    }
+
+    /// [`Controller::end`] without the WAL hook.
+    pub(crate) fn end_inner(&mut self, id: &InstanceId) -> Result<Vec<DecisionRecord>, CoreError> {
         self.retire(id, RetireReason::Ended)
     }
 
@@ -697,6 +744,12 @@ impl Controller {
     /// verb). Returns `false` when the instance is not registered — the
     /// caller should tell the client to start over.
     pub fn renew_lease(&mut self, id: &InstanceId) -> bool {
+        self.wal_log(&WalEvent::Renew { now: self.now, id: id.clone() });
+        self.renew_lease_inner(id)
+    }
+
+    /// [`Controller::renew_lease`] without the WAL hook.
+    pub(crate) fn renew_lease_inner(&mut self, id: &InstanceId) -> bool {
         let duration = self.config.lease.duration;
         let now = self.now;
         match self.sessions.get_mut(id) {
@@ -715,12 +768,15 @@ impl Controller {
     /// the `<app>.<id>.<metric>` naming convention. Reports that do not
     /// follow the convention (or name an unknown instance) are ignored.
     pub fn renew_lease_for_metric(&mut self, name: &str) {
-        let mut parts = name.splitn(3, '.');
-        let (Some(app), Some(id), Some(_rest)) = (parts.next(), parts.next(), parts.next()) else {
-            return;
-        };
-        if let Ok(id) = id.parse::<u64>() {
-            self.renew_lease(&InstanceId::new(app, id));
+        if let Some(id) = metric_instance(name) {
+            self.renew_lease(&id);
+        }
+    }
+
+    /// [`Controller::renew_lease_for_metric`] without the WAL hook.
+    pub(crate) fn renew_lease_for_metric_inner(&mut self, name: &str) {
+        if let Some(id) = metric_instance(name) {
+            self.renew_lease_inner(&id);
         }
     }
 
@@ -729,6 +785,7 @@ impl Controller {
     /// client is reaped quickly while a reconnecting one can still
     /// [`reattach`](Controller::reattach) in time.
     pub fn mark_disconnected(&mut self, id: &InstanceId) {
+        self.wal_log(&WalEvent::Disconnect { now: self.now, id: id.clone() });
         // Apply any read-path touch first so activity that happened before
         // the disconnect extends the lease before the grace cap shortens
         // it.
@@ -755,10 +812,16 @@ impl Controller {
     /// (expired and reaped, or never known) — the client should fall back
     /// to a fresh `startup` plus bundle re-registration.
     pub fn reattach(&mut self, id: &InstanceId) -> Result<(), CoreError> {
+        self.wal_log(&WalEvent::Reattach { now: self.now, id: id.clone() });
+        self.reattach_inner(id)
+    }
+
+    /// [`Controller::reattach`] without the WAL hook.
+    pub(crate) fn reattach_inner(&mut self, id: &InstanceId) -> Result<(), CoreError> {
         if !self.apps.contains_key(id) {
             return Err(CoreError::UnknownInstance { name: id.to_string() });
         }
-        self.renew_lease(id);
+        self.renew_lease_inner(id);
         self.metrics.inc_counter("controller.sessions.reattached");
         // Replay the full current state (idempotent: updates are keyed by
         // path), replacing whatever was buffered before the disconnect.
@@ -785,6 +848,15 @@ impl Controller {
     ///
     /// Propagates re-evaluation errors from the retirement path.
     pub fn reap_expired(&mut self, now: f64) -> Result<Vec<DecisionRecord>, CoreError> {
+        self.wal_log(&WalEvent::Reap { now });
+        self.reap_expired_inner(now)
+    }
+
+    /// [`Controller::reap_expired`] without the WAL hook.
+    pub(crate) fn reap_expired_inner(
+        &mut self,
+        now: f64,
+    ) -> Result<Vec<DecisionRecord>, CoreError> {
         self.set_time(now);
         if !self.chaos_skip_touch_fold {
             self.fold_touches();
@@ -841,10 +913,19 @@ impl Controller {
     pub fn touch(&self, id: &InstanceId) -> bool {
         match self.touches.get(id) {
             Some(stamp) => {
-                // `fetch_max` on the bit pattern is a max on the value:
-                // non-negative finite doubles compare identically to their
-                // bits, and the clock never goes backwards or negative.
-                stamp.fetch_max(self.now.to_bits(), AtomicOrdering::AcqRel);
+                // `fetch_max` on the bit pattern is a max on the value
+                // ONLY for non-negative finite doubles: the sign bit puts
+                // every negative value's bits above every positive one's,
+                // and NaN's all-ones exponent would poison the max
+                // forever. [`Controller::set_time`] already refuses
+                // non-finite clocks, but clamp here too so a bad stamp can
+                // never reach the atomic regardless of how `now` was
+                // produced. A rejected stamp still reports the instance as
+                // registered — the touch is dropped, not the session.
+                if self.now.is_finite() && self.now >= 0.0 {
+                    self.wal_log(&WalEvent::Touch { now: self.now, id: id.clone() });
+                    stamp.fetch_max(self.now.to_bits(), AtomicOrdering::AcqRel);
+                }
                 true
             }
             None => false,
@@ -855,12 +936,8 @@ impl Controller {
     /// `<app>.<id>.<metric>` naming convention; non-conforming or unknown
     /// names are ignored.
     pub fn touch_for_metric(&self, name: &str) {
-        let mut parts = name.splitn(3, '.');
-        let (Some(app), Some(id), Some(_rest)) = (parts.next(), parts.next(), parts.next()) else {
-            return;
-        };
-        if let Ok(id) = id.parse::<u64>() {
-            self.touch(&InstanceId::new(app, id));
+        if let Some(id) = metric_instance(name) {
+            self.touch(&id);
         }
     }
 
@@ -945,6 +1022,10 @@ impl Controller {
     pub fn service_scheduler(&mut self, now: f64) -> Result<Vec<DecisionRecord>, CoreError> {
         self.set_time(now);
         if self.scheduler.due(&self.config.coalesce, self.now) {
+            // Only *firing* ticks are WAL-logged: a quiet tick merely
+            // advances the clock, which the next logged event's `now`
+            // reproduces on replay.
+            self.wal_log(&WalEvent::Tick { now: self.now });
             self.fire_scheduler()
         } else {
             Ok(Vec::new())
@@ -959,6 +1040,14 @@ impl Controller {
     ///
     /// Propagates re-evaluation errors.
     pub fn flush_scheduler(&mut self) -> Result<Vec<DecisionRecord>, CoreError> {
+        if self.scheduler.pending() > 0 {
+            self.wal_log(&WalEvent::Flush { now: self.now });
+        }
+        self.flush_scheduler_inner()
+    }
+
+    /// [`Controller::flush_scheduler`] without the WAL hook.
+    pub(crate) fn flush_scheduler_inner(&mut self) -> Result<Vec<DecisionRecord>, CoreError> {
         if self.scheduler.pending() > 0 {
             self.fire_scheduler()
         } else {
@@ -1014,6 +1103,7 @@ impl Controller {
     /// Propagates evaluation errors; placement failures of *candidates*
     /// are not errors (the candidate is skipped).
     pub fn reevaluate(&mut self) -> Result<Vec<DecisionRecord>, CoreError> {
+        self.wal_log(&WalEvent::Reevaluate { now: self.now });
         self.reevaluate_triggered(JournalKind::Event, "reevaluate".to_string())
     }
 
@@ -1128,18 +1218,30 @@ impl Controller {
     /// since its last poll). Takes `&self` — each instance's buffer is
     /// behind its own mutex — so polls run on the concurrent read path.
     pub fn take_pending_vars(&self, id: &InstanceId) -> Vec<(HPath, Value)> {
-        self.pending_vars.get(id).map(|buf| std::mem::take(&mut *buf.lock())).unwrap_or_default()
+        let drained = self
+            .pending_vars
+            .get(id)
+            .map(|buf| std::mem::take(&mut *buf.lock()))
+            .unwrap_or_default();
+        // Only non-empty drains change state; logging empty polls would
+        // bloat the WAL with every idle fetch.
+        if !drained.is_empty() {
+            self.wal_log(&WalEvent::Poll { now: self.now, id: id.clone() });
+        }
+        drained
     }
 
     /// Drains the buffered variable updates (the server side of
     /// `flushPendingVars`): per instance, the namespace paths written since
-    /// the last flush with their values.
+    /// the last flush with their values. Rides [`Controller::take_pending_vars`]
+    /// so each non-empty drain is WAL-logged individually.
     pub fn flush_pending_vars(&self) -> Vec<(InstanceId, Vec<(HPath, Value)>)> {
+        let ids: Vec<InstanceId> = self.pending_vars.keys().cloned().collect();
         let mut out = Vec::new();
-        for (id, buf) in self.pending_vars.iter() {
-            let mut vars = buf.lock();
+        for id in ids {
+            let vars = self.take_pending_vars(&id);
             if !vars.is_empty() {
-                out.push((id.clone(), std::mem::take(&mut *vars)));
+                out.push((id, vars));
             }
         }
         out
@@ -1638,6 +1740,234 @@ impl Controller {
         let before = self.objective_score();
         Ok(Some(self.commit_choice(id, bundle_name, cand, alloc, predicted, before)?))
     }
+
+    // ------------------------------------------------------------------
+    // Crash-consistent persistence (see `crate::persist`).
+    // ------------------------------------------------------------------
+
+    /// Appends one event to the attached WAL; a no-op without one. Errors
+    /// are counted (`controller.persistence.append_errors`), never
+    /// propagated — a failing disk must not take the serving path down
+    /// with it.
+    fn wal_log(&self, ev: &WalEvent) {
+        let Some(wal) = &self.wal else { return };
+        let payload = serde_json::to_string(ev).expect("wal events serialize");
+        if wal.append(payload.as_bytes()).is_ok() {
+            self.metrics.inc_counter("controller.persistence.appends");
+        } else {
+            self.metrics.inc_counter("controller.persistence.append_errors");
+        }
+    }
+
+    /// Logs an incoming [`HarmonyEvent`] wholesale (the replay-safe form:
+    /// `BundleSetup` scripts re-parse identically, `Periodic` re-reaps at
+    /// the same clock).
+    pub(crate) fn wal_log_event(&self, event: &crate::events::HarmonyEvent) {
+        if self.wal.is_some() {
+            self.wal_log(&WalEvent::Event { now: self.now, event: event.clone() });
+        }
+    }
+
+    /// Attaches a write-ahead log: every state-changing verb from here on
+    /// is logged. Called by [`crate::persist::StateStore::open`] *after*
+    /// replay, so replayed verbs are never re-logged.
+    pub fn attach_wal(&mut self, wal: std::sync::Arc<harmony_wal::WalWriter>) {
+        self.wal = Some(wal);
+    }
+
+    /// True when a WAL is attached (persistence on).
+    pub fn wal_attached(&self) -> bool {
+        self.wal.is_some()
+    }
+
+    /// The attached WAL writer, if any (the embedding uses it for
+    /// shutdown flushes).
+    pub fn wal_handle(&self) -> Option<std::sync::Arc<harmony_wal::WalWriter>> {
+        self.wal.clone()
+    }
+
+    /// Records how this controller was recovered (set by
+    /// [`crate::persist::StateStore::open`]).
+    pub fn set_recovery_info(&mut self, info: RecoveryInfo) {
+        self.recovery = Some(info);
+    }
+
+    /// How this controller came to be, when recovered from a state
+    /// directory.
+    pub fn recovery_info(&self) -> Option<RecoveryInfo> {
+        self.recovery
+    }
+
+    /// Captures the complete control-plane state for a snapshot. Lossless
+    /// for everything decisions depend on: sessions keep their ids and
+    /// deadlines, the journal keeps its sequence numbers, the namespace
+    /// keeps its revision counter. Optimizer caches and metric
+    /// counters/histograms are deliberately excluded (rebuilt cold).
+    pub fn persisted_state(&self) -> PersistedState {
+        let journal = self.journal.lock();
+        let metric_series = self
+            .metrics
+            .series_names()
+            .into_iter()
+            .filter_map(|name| {
+                let series = self.metrics.series(&name)?;
+                let samples: Vec<(f64, f64)> = series.iter().map(|s| (s.time, s.value)).collect();
+                Some((name, samples))
+            })
+            .collect();
+        PersistedState {
+            version: PERSIST_VERSION,
+            now: self.now,
+            config: self.config.clone(),
+            cluster: self.cluster.clone(),
+            registry: self.registry.clone(),
+            apps: self.apps.iter().map(|(k, v)| (k.clone(), v.clone())).collect(),
+            arrival_order: self.arrival_order.clone(),
+            namespace: self.namespace.clone(),
+            pending_vars: self
+                .pending_vars
+                .iter()
+                .map(|(id, buf)| (id.clone(), buf.lock().clone()))
+                .collect(),
+            sessions: self.sessions.iter().map(|(k, v)| (k.clone(), v.clone())).collect(),
+            touches: self
+                .touches
+                .iter()
+                .filter_map(|(id, stamp)| {
+                    let bits = stamp.load(AtomicOrdering::Acquire);
+                    (bits != 0).then(|| (id.clone(), bits))
+                })
+                .collect(),
+            decisions: self.decisions.clone(),
+            retirements: self.retirements.clone(),
+            journal_entries: journal.entries().cloned().collect(),
+            journal_next_seq: journal.next_seq(),
+            journal_capacity: journal.capacity(),
+            scheduler: self.scheduler.dump(),
+            metric_series,
+        }
+    }
+
+    /// Rebuilds a controller from a persisted snapshot. The result has no
+    /// WAL attached yet (replay runs first) and cold caches.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Persistence`] on a version mismatch or internally
+    /// inconsistent state (an instance in `arrival_order` or `sessions`
+    /// that `apps` does not know) — the caller falls back to an older
+    /// generation.
+    pub fn from_persisted(state: PersistedState) -> Result<Controller, CoreError> {
+        if state.version != PERSIST_VERSION {
+            return Err(CoreError::Persistence {
+                detail: format!(
+                    "snapshot version {} does not match this build's {PERSIST_VERSION}",
+                    state.version
+                ),
+            });
+        }
+        let apps: BTreeMap<InstanceId, AppInstance> = state.apps.into_iter().collect();
+        for id in &state.arrival_order {
+            if !apps.contains_key(id) {
+                return Err(CoreError::Persistence {
+                    detail: format!("arrival_order names unknown instance `{id}`"),
+                });
+            }
+        }
+        let sessions: BTreeMap<InstanceId, SessionState> = state.sessions.into_iter().collect();
+        for id in sessions.keys() {
+            if !apps.contains_key(id) {
+                return Err(CoreError::Persistence {
+                    detail: format!("sessions name unknown instance `{id}`"),
+                });
+            }
+        }
+
+        let mut ctl = Controller::new(state.cluster, state.config);
+        ctl.now = state.now;
+        ctl.registry = state.registry;
+        ctl.namespace = state.namespace;
+        ctl.arrival_order = state.arrival_order;
+        ctl.pending_vars =
+            state.pending_vars.into_iter().map(|(id, vars)| (id, Mutex::new(vars))).collect();
+        // Touch stamps exist for every session; restore the unfolded bits.
+        let stamps: BTreeMap<InstanceId, u64> = state.touches.into_iter().collect();
+        ctl.touches = apps
+            .keys()
+            .map(|id| (id.clone(), AtomicU64::new(stamps.get(id).copied().unwrap_or(0))))
+            .collect();
+        ctl.apps = apps;
+        ctl.sessions = sessions;
+        ctl.decisions = state.decisions;
+        ctl.retirements = state.retirements;
+        ctl.journal = Mutex::new(EventJournal::restore(
+            state.journal_entries,
+            state.journal_next_seq,
+            state.journal_capacity,
+        ));
+        ctl.scheduler = DecisionScheduler::restore(state.scheduler);
+        for (name, samples) in state.metric_series {
+            for (time, value) in samples {
+                ctl.metrics.record(&name, time, value);
+            }
+        }
+        ctl.metrics.set_gauge("controller.sessions.active", ctl.sessions.len() as f64);
+        Ok(ctl)
+    }
+
+    /// Re-applies one WAL event during recovery. The clock is restored
+    /// first (each event carries the time it originally executed at), then
+    /// the event replays through the *public* verb — the WAL is not
+    /// attached yet, so the logging hooks are no-ops and nothing is
+    /// re-logged. Errors are discarded: an operation that failed live
+    /// fails identically on replay (the controller is deterministic), and
+    /// that failure may still have mutated state that must be reproduced.
+    pub fn apply_wal_event(&mut self, ev: WalEvent) {
+        debug_assert!(self.wal.is_none(), "replaying into a WAL-attached controller re-logs");
+        self.set_time(ev.now());
+        match ev {
+            WalEvent::Event { event, .. } => {
+                let _ = self.handle_event(event);
+            }
+            WalEvent::Startup { app, .. } => {
+                let _ = self.startup(&app);
+            }
+            WalEvent::Bundle { id, spec, .. } => {
+                let _ = self.add_bundle(&id, spec);
+            }
+            WalEvent::End { id, .. } => {
+                let _ = self.end(&id);
+            }
+            WalEvent::Renew { id, .. } => {
+                let _ = self.renew_lease(&id);
+            }
+            WalEvent::Reattach { id, .. } => {
+                let _ = self.reattach(&id);
+            }
+            WalEvent::Disconnect { id, .. } => self.mark_disconnected(&id),
+            WalEvent::Touch { id, .. } => {
+                let _ = self.touch(&id);
+            }
+            WalEvent::Poll { id, .. } => {
+                let _ = self.take_pending_vars(&id);
+            }
+            WalEvent::Metric { name, time, value, .. } => {
+                let _ = self.record_metric(&name, time, value);
+            }
+            WalEvent::Reap { now } => {
+                let _ = self.reap_expired(now);
+            }
+            WalEvent::Tick { now } => {
+                let _ = self.service_scheduler(now);
+            }
+            WalEvent::Flush { .. } => {
+                let _ = self.flush_scheduler();
+            }
+            WalEvent::Reevaluate { .. } => {
+                let _ = self.reevaluate();
+            }
+        }
+    }
 }
 
 /// Milliseconds elapsed since `t0`.
@@ -1696,6 +2026,14 @@ fn config_writes(id: &InstanceId, bundle_name: &str, cfg: &ChosenConfig) -> Vec<
         }
     }
     writes
+}
+
+/// The instance a metric report belongs to, per the `<app>.<id>.<metric>`
+/// naming convention; `None` for non-conforming names.
+fn metric_instance(name: &str) -> Option<InstanceId> {
+    let mut parts = name.splitn(3, '.');
+    let (app, id, _rest) = (parts.next()?, parts.next()?, parts.next()?);
+    id.parse::<u64>().ok().map(|id| InstanceId::new(app, id))
 }
 
 /// Namespace path of an instance: `app.id`.
@@ -2209,6 +2547,61 @@ mod tests {
         // Non-conforming names are ignored without panicking.
         c.touch_for_metric("nodots");
         c.touch_for_metric("ghost.77.rt");
+    }
+
+    #[test]
+    fn set_time_rejects_non_finite_and_backward_clocks() {
+        let mut c = Controller::new(sp2(2), ControllerConfig::default());
+        c.set_time(7.0);
+        c.set_time(f64::NAN);
+        c.set_time(f64::INFINITY);
+        c.set_time(f64::NEG_INFINITY);
+        c.set_time(3.0);
+        assert_eq!(c.now(), 7.0, "bad clocks are ignored, not applied");
+    }
+
+    /// `fetch_max` on raw f64 bits is only a max for non-negative finite
+    /// values: a NaN stamp (all-ones exponent) would win every later
+    /// comparison and freeze the lease forever, and a negative stamp's
+    /// sign bit ranks it above every legitimate timestamp. The touch site
+    /// must clamp even if an adversarial clock sneaks past `set_time`.
+    #[test]
+    fn touch_never_stores_a_poisonous_stamp() {
+        let mut c = Controller::new(sp2(8), ControllerConfig::default());
+        let (a, _) = c.register(bag_spec()).unwrap();
+        let lease = c.config().lease.duration;
+
+        // Adversarial clocks (written directly: set_time refuses them).
+        for bad in [f64::NAN, f64::INFINITY, -4.0] {
+            c.now = bad;
+            assert!(c.touch(&a), "a rejected stamp drops the touch, not the session");
+            assert_eq!(
+                c.touches[&a].load(AtomicOrdering::Acquire),
+                0,
+                "no stamp may be stored for now = {bad}"
+            );
+        }
+
+        // A sane clock touches normally...
+        c.now = 10.0;
+        assert!(c.touch(&a));
+        assert_eq!(c.effective_deadline(&a), Some(10.0 + lease));
+        // ...and later poison attempts cannot regress or corrupt it.
+        c.now = f64::NAN;
+        c.touch(&a);
+        c.now = -1.0e300;
+        c.touch(&a);
+        assert_eq!(c.effective_deadline(&a), Some(10.0 + lease), "stamp survived the attack");
+        // An earlier (but valid) clock loses fetch_max without wedging.
+        c.now = 5.0;
+        c.touch(&a);
+        assert_eq!(c.effective_deadline(&a), Some(10.0 + lease));
+        // Folding the stamp yields a finite deadline.
+        c.now = 10.5;
+        let _ = c.reap_expired(10.5).unwrap();
+        let s = c.session(&a).unwrap();
+        assert!(s.deadline.is_finite());
+        assert_eq!(s.deadline, 10.0 + lease);
     }
 }
 

@@ -44,6 +44,13 @@ pub enum CoreError {
         /// Human-readable description of the diverging results.
         detail: String,
     },
+    /// A persistence-layer failure: an unreadable state directory, a
+    /// snapshot that fails validation, or a corrupted (not merely torn)
+    /// WAL record.
+    Persistence {
+        /// Human-readable description of the failure.
+        detail: String,
+    },
     /// The exhaustive optimizer's search space exceeded its bound.
     SearchSpaceTooLarge {
         /// Number of joint configurations that would need evaluation.
@@ -72,6 +79,7 @@ impl fmt::Display for CoreError {
             CoreError::PruningMismatch { detail } => {
                 write!(f, "pruned search diverged from unpruned search: {detail}")
             }
+            CoreError::Persistence { detail } => write!(f, "persistence error: {detail}"),
             CoreError::SearchSpaceTooLarge { size, limit } => {
                 write!(f, "search space of {size} joint configurations exceeds limit {limit}")
             }
@@ -117,6 +125,7 @@ mod tests {
                 errors: vec!["HA0004: undeclared variable".into()],
             },
             CoreError::PruningMismatch { detail: "keys differ".into() },
+            CoreError::Persistence { detail: "corrupted record".into() },
             CoreError::SearchSpaceTooLarge { size: 1000, limit: 100 },
         ];
         for e in cases {

@@ -88,27 +88,37 @@ impl Controller {
     /// Propagates RSL parse errors from `BundleSetup` scripts and
     /// controller errors from registration/placement.
     pub fn handle_event(&mut self, event: HarmonyEvent) -> Result<EventOutcome, CoreError> {
+        self.wal_log_event(&event);
+        self.handle_event_inner(event)
+    }
+
+    /// [`Controller::handle_event`] minus the WAL hook; the event was
+    /// already logged (or arrived from replay).
+    pub(crate) fn handle_event_inner(
+        &mut self,
+        event: HarmonyEvent,
+    ) -> Result<EventOutcome, CoreError> {
         match event {
-            HarmonyEvent::Startup { app } => Ok(EventOutcome::Registered(self.startup(&app))),
+            HarmonyEvent::Startup { app } => Ok(EventOutcome::Registered(self.startup_inner(&app))),
             HarmonyEvent::BundleSetup { instance, script } => {
                 let spec = parse_bundle_script(&script)?;
-                Ok(EventOutcome::Decisions(self.add_bundle(&instance, spec)?))
+                Ok(EventOutcome::Decisions(self.add_bundle_inner(&instance, spec)?))
             }
             HarmonyEvent::AppEnded { instance } => {
-                Ok(EventOutcome::Decisions(self.end(&instance)?))
+                Ok(EventOutcome::Decisions(self.end_inner(&instance)?))
             }
             HarmonyEvent::MetricReport { name, time, value } => {
-                self.renew_lease_for_metric(&name);
+                self.renew_lease_for_metric_inner(&name);
                 // Journals, rejects non-finite samples, and feeds the
                 // per-instance response-time histogram. Rejected samples
                 // stay off the bus so subscribers never see NaN/inf.
-                if self.record_metric(&name, time, value) {
+                if self.record_metric_inner(&name, time, value) {
                     self.metric_bus().publish(harmony_metrics::MetricEvent::new(name, time, value));
                 }
                 Ok(EventOutcome::Quiet)
             }
             HarmonyEvent::Heartbeat { instance } => {
-                if self.renew_lease(&instance) {
+                if self.renew_lease_inner(&instance) {
                     self.journal_append(JournalKind::Event, format!("heartbeat {instance}"));
                     Ok(EventOutcome::Quiet)
                 } else {
@@ -116,17 +126,17 @@ impl Controller {
                 }
             }
             HarmonyEvent::Reattach { instance } => {
-                self.reattach(&instance)?;
+                self.reattach_inner(&instance)?;
                 self.journal_append(JournalKind::Event, format!("reattach {instance}"));
                 Ok(EventOutcome::Quiet)
             }
             HarmonyEvent::Periodic => {
-                let mut records = self.reap_expired(self.now())?;
+                let mut records = self.reap_expired_inner(self.now())?;
                 if self.coalescing() {
                     // The periodic pass is the coarse fallback heartbeat:
                     // flush whatever marks accumulated (reaping above may
                     // have added some) instead of re-evaluating blindly.
-                    records.extend(self.flush_scheduler()?);
+                    records.extend(self.flush_scheduler_inner()?);
                 } else {
                     records.extend(
                         self.reevaluate_triggered(JournalKind::Event, "periodic".to_string())?,
@@ -146,7 +156,9 @@ impl Controller {
                 self.cluster.add_link(decl)?;
                 Ok(EventOutcome::Decisions(self.reevaluate_triggered(JournalKind::Event, detail)?))
             }
-            HarmonyEvent::NodeLeft { name } => Ok(EventOutcome::Decisions(self.evict_node(&name)?)),
+            HarmonyEvent::NodeLeft { name } => {
+                Ok(EventOutcome::Decisions(self.evict_node_inner(&name)?))
+            }
         }
     }
 
@@ -159,6 +171,15 @@ impl Controller {
     /// fits anywhere is left unconfigured (not an error — it may fit after
     /// other departures).
     pub fn evict_node(&mut self, name: &str) -> Result<Vec<DecisionRecord>, CoreError> {
+        self.wal_log_event(&HarmonyEvent::NodeLeft { name: name.to_string() });
+        self.evict_node_inner(name)
+    }
+
+    /// [`Controller::evict_node`] minus the WAL hook.
+    pub(crate) fn evict_node_inner(
+        &mut self,
+        name: &str,
+    ) -> Result<Vec<DecisionRecord>, CoreError> {
         // Find affected (instance, bundle) pairs and release their
         // allocations *before* removing the node so capacity is restored
         // exactly.

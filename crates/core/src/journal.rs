@@ -153,6 +153,32 @@ impl EventJournal {
         seq
     }
 
+    /// Rebuilds a journal from persisted state: the retained entries (in
+    /// seq order) and the next sequence number, so a recovered controller
+    /// continues numbering exactly where the crashed one stopped.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero.
+    pub fn restore(entries: Vec<JournalEntry>, next_seq: u64, capacity: usize) -> Self {
+        assert!(capacity > 0, "journal capacity must be positive");
+        let mut entries: VecDeque<JournalEntry> = entries.into();
+        while entries.len() > capacity {
+            entries.pop_front();
+        }
+        EventJournal { entries, capacity, next_seq }
+    }
+
+    /// The retained entries, oldest first (for snapshotting).
+    pub fn entries(&self) -> impl Iterator<Item = &JournalEntry> {
+        self.entries.iter()
+    }
+
+    /// The ring's capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// Number of retained entries.
     pub fn len(&self) -> usize {
         self.entries.len()

@@ -29,6 +29,7 @@ pub mod feedback;
 pub mod journal;
 mod objective;
 pub mod optimizer;
+pub mod persist;
 pub mod pruning;
 mod scheduler;
 mod session;
@@ -46,10 +47,11 @@ pub use events::{EventOutcome, HarmonyEvent};
 pub use feedback::FeedbackConfig;
 pub use journal::{EventJournal, JournalEntry, JournalKind, JournalTail, PhaseTimings};
 pub use objective::Objective;
+pub use persist::{PersistedState, RecoveryInfo, StateStore, WalEvent};
 pub use pruning::{PruningMode, PruningPlan};
-pub use scheduler::{CoalescePolicy, DecisionScheduler};
+pub use scheduler::{CoalescePolicy, DecisionScheduler, SchedulerState};
 pub use session::{LeaseConfig, RetireReason, RetirementRecord, SessionState};
 pub use snapshot::{
-    AppSnapshot, HistogramSnapshot, NodeSnapshot, OptimizerSnapshot, SchedulerSnapshot,
-    SessionSnapshot, SystemSnapshot,
+    AppSnapshot, HistogramSnapshot, NodeSnapshot, OptimizerSnapshot, PersistenceSnapshot,
+    SchedulerSnapshot, SessionSnapshot, SystemSnapshot,
 };

@@ -1,0 +1,460 @@
+//! Crash-consistent controller persistence: WAL events, lossless state
+//! snapshots, and the [`StateStore`] that ties them to a state directory.
+//!
+//! ## What gets logged
+//!
+//! The WAL records *external inputs*, not derived state: every
+//! state-changing verb the embedding can invoke (startup, bundle setup,
+//! end, lease renewals and touches, disconnects, polls, metric reports,
+//! reaps, scheduler ticks, node membership events) is logged as one
+//! [`WalEvent`] carrying the controller-clock time it executed at.
+//! Decisions, retirements, and journal entries are deliberately *not*
+//! logged — the optimizer is deterministic (bit-identical across thread
+//! counts), so replaying the inputs re-derives them exactly.
+//!
+//! ## Recovery sequence
+//!
+//! [`StateStore::open`] scans the directory for `harmony-<gen>.snap` /
+//! `harmony-<gen>.wal` pairs, loads the newest snapshot that parses and
+//! validates (falling back to older generations on damage), replays the
+//! matching WAL tail — tolerating a torn final record, refusing a
+//! corrupted middle one — then starts a fresh generation: the recovered
+//! state is snapshotted, a new WAL is attached, and older generations
+//! beyond the previous pair are purged.
+//!
+//! ## Durability window
+//!
+//! Appends ride `harmony-wal`'s group commit: the hot decision path never
+//! blocks on fsync, at the cost of up to one flush interval (~5 ms) of
+//! acknowledged events being lost to a crash. [`StateStore::sync`] forces
+//! a flush for embeddings that want a hard barrier (shutdown, tests).
+//!
+//! ## What is rebuilt cold
+//!
+//! Optimizer candidate caches, metric counters, gauges, and histograms
+//! restart empty after recovery — they are measurement state, not control
+//! state. Metric *series* are persisted (feedback calibration reads them,
+//! and predictions must not jump across a restart).
+
+use std::path::Path;
+use std::sync::Arc;
+
+use harmony_ns::{HPath, InstanceRegistry, Namespace};
+use harmony_resources::Cluster;
+use harmony_rsl::schema::BundleSpec;
+use harmony_rsl::Value;
+use harmony_wal::{read_wal, StateDir, WalConfig, WalTail, WalWriter};
+use serde::{Deserialize, Serialize};
+
+use crate::app::{AppInstance, InstanceId};
+use crate::controller::{Controller, ControllerConfig, DecisionRecord};
+use crate::error::CoreError;
+use crate::events::HarmonyEvent;
+use crate::journal::JournalEntry;
+use crate::scheduler::SchedulerState;
+use crate::session::{RetirementRecord, SessionState};
+
+/// Version stamp of [`PersistedState`]; a mismatch refuses recovery
+/// rather than misinterpreting fields.
+pub const PERSIST_VERSION: u32 = 1;
+
+/// Default number of WAL appends between automatic compacting snapshots
+/// (see [`StateStore::maybe_checkpoint`]).
+pub const DEFAULT_SNAPSHOT_EVERY: u64 = 4096;
+
+/// One state-changing input, as serialized into the WAL.
+///
+/// Every variant carries `now`, the controller clock at the moment the
+/// verb ran: replay restores the clock before re-applying the verb, so
+/// clock advances that produced no event of their own (quiet scheduler
+/// ticks) are reproduced lazily by the next logged event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WalEvent {
+    /// A [`HarmonyEvent`] delivered through
+    /// [`Controller::handle_event`] — the whole event, so bundle scripts
+    /// and node declarations replay verbatim.
+    Event {
+        /// Controller clock at execution.
+        now: f64,
+        /// The delivered event.
+        event: HarmonyEvent,
+    },
+    /// A direct [`Controller::startup`] call.
+    Startup {
+        /// Controller clock at execution.
+        now: f64,
+        /// Application name.
+        app: String,
+    },
+    /// A direct [`Controller::add_bundle`] call (already-parsed spec).
+    Bundle {
+        /// Controller clock at execution.
+        now: f64,
+        /// The receiving instance.
+        id: InstanceId,
+        /// The bundle specification.
+        spec: BundleSpec,
+    },
+    /// A direct [`Controller::end`] call.
+    End {
+        /// Controller clock at execution.
+        now: f64,
+        /// The departing instance.
+        id: InstanceId,
+    },
+    /// A write-path lease renewal ([`Controller::renew_lease`]).
+    Renew {
+        /// Controller clock at execution.
+        now: f64,
+        /// The renewing instance.
+        id: InstanceId,
+    },
+    /// A session reattach ([`Controller::reattach`]).
+    Reattach {
+        /// Controller clock at execution.
+        now: f64,
+        /// The reattaching instance.
+        id: InstanceId,
+    },
+    /// A connection-drop mark ([`Controller::mark_disconnected`]).
+    Disconnect {
+        /// Controller clock at execution.
+        now: f64,
+        /// The disconnected instance.
+        id: InstanceId,
+    },
+    /// A read-path lease touch ([`Controller::touch`]).
+    Touch {
+        /// Controller clock at execution.
+        now: f64,
+        /// The touched instance.
+        id: InstanceId,
+    },
+    /// A non-empty pending-variable drain
+    /// ([`Controller::take_pending_vars`]); empty drains are no-ops and
+    /// are not logged.
+    Poll {
+        /// Controller clock at execution.
+        now: f64,
+        /// The polling instance.
+        id: InstanceId,
+    },
+    /// A read-path metric report ([`Controller::record_metric`]). Logged
+    /// even when the sample is non-finite and rejected, so the
+    /// `metric-rejected` journal entry replays too.
+    Metric {
+        /// Controller clock at execution.
+        now: f64,
+        /// Dotted metric name.
+        name: String,
+        /// Sample timestamp.
+        time: f64,
+        /// Sample value.
+        value: f64,
+    },
+    /// A lease sweep ([`Controller::reap_expired`]).
+    Reap {
+        /// The sweep time (also advances the clock).
+        now: f64,
+    },
+    /// A scheduler tick that fired a coalescing window
+    /// ([`Controller::service_scheduler`]); non-firing ticks only advance
+    /// the clock and are not logged.
+    Tick {
+        /// The tick time (also advances the clock).
+        now: f64,
+    },
+    /// A forced window flush ([`Controller::flush_scheduler`]) with marks
+    /// pending; no-op flushes are not logged.
+    Flush {
+        /// Controller clock at execution.
+        now: f64,
+    },
+    /// A full re-evaluation ([`Controller::reevaluate`]).
+    Reevaluate {
+        /// Controller clock at execution.
+        now: f64,
+    },
+}
+
+impl WalEvent {
+    /// The controller clock at the moment the logged verb executed.
+    pub fn now(&self) -> f64 {
+        match self {
+            WalEvent::Event { now, .. }
+            | WalEvent::Startup { now, .. }
+            | WalEvent::Bundle { now, .. }
+            | WalEvent::End { now, .. }
+            | WalEvent::Renew { now, .. }
+            | WalEvent::Reattach { now, .. }
+            | WalEvent::Disconnect { now, .. }
+            | WalEvent::Touch { now, .. }
+            | WalEvent::Poll { now, .. }
+            | WalEvent::Metric { now, .. }
+            | WalEvent::Reap { now }
+            | WalEvent::Tick { now }
+            | WalEvent::Flush { now }
+            | WalEvent::Reevaluate { now } => *now,
+        }
+    }
+}
+
+/// The controller's complete control-plane state, as written into a
+/// snapshot file. Lossless for everything decisions depend on; optimizer
+/// caches and metric counters/histograms are rebuilt cold.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PersistedState {
+    /// Format version ([`PERSIST_VERSION`]).
+    pub version: u32,
+    /// Controller clock.
+    pub now: f64,
+    /// Full configuration (optimizer, lease, coalescing, pruning...).
+    pub config: ControllerConfig,
+    /// Cluster state including live allocations.
+    pub cluster: Cluster,
+    /// Instance-id allocator (so recovered ids never collide).
+    pub registry: InstanceRegistry,
+    /// Registered applications with their bundles and applied configs.
+    pub apps: Vec<(InstanceId, AppInstance)>,
+    /// Arrival order (drives re-evaluation order).
+    pub arrival_order: Vec<InstanceId>,
+    /// The shared namespace, sequence counter included.
+    pub namespace: Namespace<Value>,
+    /// Buffered variable updates awaiting each instance's next poll.
+    pub pending_vars: Vec<(InstanceId, Vec<(HPath, Value)>)>,
+    /// Session lease state per instance.
+    pub sessions: Vec<(InstanceId, SessionState)>,
+    /// Unfolded read-path touch stamps (raw non-zero `f64::to_bits`).
+    pub touches: Vec<(InstanceId, u64)>,
+    /// Every decision applied so far.
+    pub decisions: Vec<DecisionRecord>,
+    /// Every retirement so far.
+    pub retirements: Vec<RetirementRecord>,
+    /// Retained journal entries, oldest first.
+    pub journal_entries: Vec<JournalEntry>,
+    /// The journal's next sequence number (clients' cursors stay valid).
+    pub journal_next_seq: u64,
+    /// The journal ring's capacity.
+    pub journal_capacity: usize,
+    /// The coalescing scheduler's pending window.
+    pub scheduler: SchedulerState,
+    /// Metric time series (`name -> [(time, value)]`) — feedback
+    /// calibration reads these, so they must survive restarts.
+    pub metric_series: Vec<(String, Vec<(f64, f64)>)>,
+}
+
+/// How a recovered controller came to be. Surfaced in
+/// [`SystemSnapshot`](crate::SystemSnapshot) so `harmonyctl status` shows
+/// operators that (and from what) the daemon recovered.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryInfo {
+    /// The generation this run writes to.
+    pub generation: u64,
+    /// The generation whose snapshot seeded recovery (`None` on a fresh
+    /// start with no prior state).
+    pub snapshot_loaded: Option<u64>,
+    /// WAL records replayed on top of the snapshot.
+    pub replayed: u64,
+    /// True when the replayed WAL ended in a torn record (crash
+    /// mid-write; the tail was discarded).
+    pub torn_tail: bool,
+}
+
+/// A controller's durable home: a directory of generation-numbered
+/// snapshot + WAL pairs, the attached group-commit writer, and the
+/// checkpoint policy.
+#[derive(Debug)]
+pub struct StateStore {
+    dir: StateDir,
+    generation: u64,
+    writer: Arc<WalWriter>,
+    snapshot_every: u64,
+}
+
+fn persistence_err(context: &str, e: impl std::fmt::Display) -> CoreError {
+    CoreError::Persistence { detail: format!("{context}: {e}") }
+}
+
+impl StateStore {
+    /// Opens (or creates) the state directory at `path`, recovering the
+    /// controller it holds — or building a fresh one with `fresh` when the
+    /// directory has no prior state. The returned controller has the WAL
+    /// attached and its [`Controller::recovery_info`] set.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Persistence`] when the directory is unreadable, no
+    /// present generation yields a valid snapshot (prior state exists but
+    /// cannot be trusted — never silently discarded), a WAL record
+    /// *before* the tail is corrupted, or a CRC-valid record fails to
+    /// parse (format/version mismatch).
+    pub fn open(
+        path: &Path,
+        fresh: impl FnOnce() -> Controller,
+    ) -> Result<(Controller, StateStore), CoreError> {
+        let dir = StateDir::open(path).map_err(|e| persistence_err("open state dir", e))?;
+        let gens = dir.generations().map_err(|e| persistence_err("list state dir", e))?;
+
+        let (mut ctl, base_gen) = if gens.is_empty() {
+            (fresh(), None)
+        } else {
+            let mut recovered = None;
+            let mut last_err = String::from("no snapshot found");
+            for &gen in gens.iter().rev() {
+                match Self::load_snapshot(&dir, gen) {
+                    Ok(c) => {
+                        recovered = Some((c, gen));
+                        break;
+                    }
+                    Err(e) => last_err = e.to_string(),
+                }
+            }
+            let Some((c, gen)) = recovered else {
+                return Err(CoreError::Persistence {
+                    detail: format!(
+                        "state dir {} has {} generation(s) but no loadable snapshot \
+                         (refusing to discard prior state): {last_err}",
+                        path.display(),
+                        gens.len()
+                    ),
+                });
+            };
+            (c, Some(gen))
+        };
+
+        // Replay the recovered generation's WAL tail.
+        let mut replayed = 0u64;
+        let mut torn_tail = false;
+        if let Some(gen) = base_gen {
+            let wal_path = dir.wal_path(gen);
+            if wal_path.exists() {
+                let read = read_wal(&wal_path).map_err(|e| persistence_err("read wal", e))?;
+                match read.tail {
+                    WalTail::Clean => {}
+                    WalTail::Torn { .. } => torn_tail = true,
+                    WalTail::Corrupted { record, offset } => {
+                        return Err(CoreError::Persistence {
+                            detail: format!(
+                                "wal {} is corrupted at record {record} (offset {offset}) \
+                                 with valid data after it — not a torn write; refusing replay",
+                                wal_path.display()
+                            ),
+                        });
+                    }
+                }
+                for payload in &read.records {
+                    let text = std::str::from_utf8(payload)
+                        .map_err(|e| persistence_err("wal record utf8", e))?;
+                    let event: WalEvent = serde_json::from_str(text)
+                        .map_err(|e| persistence_err("parse wal record", e))?;
+                    ctl.apply_wal_event(event);
+                    replayed += 1;
+                }
+            }
+        }
+
+        // Start a fresh generation: snapshot the recovered state, attach a
+        // new WAL, keep only the previous pair as a fallback.
+        let new_gen = gens.last().copied().unwrap_or(0) + 1;
+        let state = ctl.persisted_state();
+        let bytes =
+            serde_json::to_string(&state).map_err(|e| persistence_err("serialize snapshot", e))?;
+        dir.write_snapshot(new_gen, bytes.as_bytes())
+            .map_err(|e| persistence_err("write snapshot", e))?;
+        let writer = Arc::new(
+            WalWriter::create(&dir.wal_path(new_gen), WalConfig::default())
+                .map_err(|e| persistence_err("create wal", e))?,
+        );
+        if let Some(gen) = base_gen {
+            let _ = dir.purge_below(gen);
+        }
+        ctl.attach_wal(Arc::clone(&writer));
+        ctl.set_recovery_info(RecoveryInfo {
+            generation: new_gen,
+            snapshot_loaded: base_gen,
+            replayed,
+            torn_tail,
+        });
+
+        let store =
+            StateStore { dir, generation: new_gen, writer, snapshot_every: DEFAULT_SNAPSHOT_EVERY };
+        Ok((ctl, store))
+    }
+
+    fn load_snapshot(dir: &StateDir, gen: u64) -> Result<Controller, CoreError> {
+        let bytes = dir.read_snapshot(gen).map_err(|e| persistence_err("read snapshot", e))?;
+        let text = String::from_utf8(bytes).map_err(|e| persistence_err("snapshot utf8", e))?;
+        let state: PersistedState =
+            serde_json::from_str(&text).map_err(|e| persistence_err("parse snapshot", e))?;
+        Controller::from_persisted(state)
+    }
+
+    /// The generation this store is currently writing to.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The state directory path.
+    pub fn path(&self) -> &Path {
+        self.dir.path()
+    }
+
+    /// Sets how many WAL appends accumulate before
+    /// [`StateStore::maybe_checkpoint`] compacts (`0` disables automatic
+    /// checkpoints).
+    pub fn set_snapshot_every(&mut self, every: u64) {
+        self.snapshot_every = every;
+    }
+
+    /// Forces the group-commit buffer to disk — a hard durability barrier
+    /// for shutdown paths and tests.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Persistence`] on flush failure.
+    pub fn sync(&self) -> Result<(), CoreError> {
+        self.writer.sync().map_err(|e| persistence_err("sync wal", e))
+    }
+
+    /// Writes a compacting snapshot of the controller's current state and
+    /// rotates the WAL to a fresh generation. The caller must hold the
+    /// controller exclusively (`&mut`), which quiesces concurrent
+    /// read-path appends for the duration.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Persistence`] on serialization or I/O failure; the
+    /// store keeps writing to the old generation on error.
+    pub fn checkpoint(&mut self, ctl: &mut Controller) -> Result<(), CoreError> {
+        let state = ctl.persisted_state();
+        let bytes =
+            serde_json::to_string(&state).map_err(|e| persistence_err("serialize snapshot", e))?;
+        let old = self.generation;
+        let new = old + 1;
+        self.dir
+            .write_snapshot(new, bytes.as_bytes())
+            .map_err(|e| persistence_err("write snapshot", e))?;
+        self.writer
+            .rotate(&self.dir.wal_path(new))
+            .map_err(|e| persistence_err("rotate wal", e))?;
+        self.generation = new;
+        let _ = self.dir.purge_below(old);
+        ctl.metrics().inc_counter("controller.persistence.checkpoints");
+        Ok(())
+    }
+
+    /// Checkpoints when enough WAL appends accumulated since the last
+    /// rotation (the periodic compaction driver). Returns whether a
+    /// checkpoint ran.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`StateStore::checkpoint`].
+    pub fn maybe_checkpoint(&mut self, ctl: &mut Controller) -> Result<bool, CoreError> {
+        if self.snapshot_every > 0 && self.writer.appended_since_rotate() >= self.snapshot_every {
+            self.checkpoint(ctl)?;
+            return Ok(true);
+        }
+        Ok(false)
+    }
+}

@@ -77,6 +77,21 @@ pub struct DecisionScheduler {
 /// still count toward `pending`; only their seq is dropped.
 const MAX_PROVENANCE: usize = 1024;
 
+/// The scheduler's persisted image: a recovered controller resumes with
+/// the same pending window it crashed with, so a coalescing window in
+/// flight at the crash still fires after recovery.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SchedulerState {
+    /// Dirty marks since the last fire.
+    pub pending: usize,
+    /// Time of the oldest un-serviced mark.
+    pub first_mark: f64,
+    /// Time of the newest mark.
+    pub last_mark: f64,
+    /// Journal seqs of the events behind the pending marks.
+    pub seqs: Vec<u64>,
+}
+
 impl DecisionScheduler {
     /// A scheduler with no pending work.
     pub fn new() -> Self {
@@ -114,6 +129,23 @@ impl DecisionScheduler {
     /// coalesced and the journal seqs of the events behind them.
     pub fn take(&mut self) -> (usize, Vec<u64>) {
         (std::mem::take(&mut self.pending), std::mem::take(&mut self.seqs))
+    }
+
+    /// The scheduler's persisted image.
+    pub fn dump(&self) -> SchedulerState {
+        SchedulerState {
+            pending: self.pending,
+            first_mark: self.first_mark,
+            last_mark: self.last_mark,
+            seqs: self.seqs.clone(),
+        }
+    }
+
+    /// Rebuilds the scheduler from a persisted image.
+    pub fn restore(state: SchedulerState) -> Self {
+        let SchedulerState { pending, first_mark, last_mark, mut seqs } = state;
+        seqs.truncate(MAX_PROVENANCE);
+        DecisionScheduler { pending, first_mark, last_mark, seqs }
     }
 }
 
@@ -182,6 +214,18 @@ mod tests {
         s.mark(3.0, &[]); // out-of-order mark (clock races) must not rewind
         assert!(s.due(&policy(1.0, 10.0, 0), 6.0));
         assert!(!s.due(&policy(3.0, 10.0, 0), 6.0));
+    }
+
+    #[test]
+    fn dump_restore_round_trips() {
+        let mut s = DecisionScheduler::new();
+        s.mark(1.0, &[3, 4]);
+        s.mark(2.5, &[9]);
+        let dumped = s.dump();
+        let mut back = DecisionScheduler::restore(dumped.clone());
+        assert_eq!(back.dump(), dumped);
+        assert!(back.due(&policy(1.0, 10.0, 0), 4.0));
+        assert_eq!(back.take(), (2, vec![3, 4, 9]));
     }
 
     #[test]

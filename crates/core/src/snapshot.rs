@@ -8,6 +8,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::controller::Controller;
+use crate::persist::RecoveryInfo;
 use crate::session::RetirementRecord;
 
 /// One application's summary.
@@ -131,6 +132,22 @@ pub struct SchedulerSnapshot {
     pub decisions_saved: u64,
 }
 
+/// Persistence state: whether a WAL is attached, how the controller was
+/// recovered, and the durability counters.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct PersistenceSnapshot {
+    /// How this controller was recovered (`None` when it never went
+    /// through a state store).
+    pub recovery: Option<RecoveryInfo>,
+    /// WAL appends since startup.
+    pub appends: u64,
+    /// WAL appends that failed (a failing disk; the controller keeps
+    /// serving).
+    pub append_errors: u64,
+    /// Compacting checkpoints taken since startup.
+    pub checkpoints: u64,
+}
+
 /// A frozen summary of the whole system.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SystemSnapshot {
@@ -166,6 +183,11 @@ pub struct SystemSnapshot {
     /// Journal entries ever appended (the next tail cursor's upper bound).
     #[serde(default)]
     pub journal_seq: u64,
+    /// Persistence state: `None` when the daemon runs without a state
+    /// directory, `Some` with recovery provenance and durability counters
+    /// when it does.
+    #[serde(default)]
+    pub persistence: Option<PersistenceSnapshot>,
 }
 
 impl SystemSnapshot {
@@ -277,6 +299,12 @@ impl SystemSnapshot {
                 })
                 .collect(),
             journal_seq: ctl.journal_seq(),
+            persistence: ctl.wal_attached().then(|| PersistenceSnapshot {
+                recovery: ctl.recovery_info(),
+                appends: ctl.metrics().counter("controller.persistence.appends"),
+                append_errors: ctl.metrics().counter("controller.persistence.append_errors"),
+                checkpoints: ctl.metrics().counter("controller.persistence.checkpoints"),
+            }),
         }
     }
 

@@ -1,0 +1,315 @@
+//! Crash-consistent persistence: WAL replay and snapshot+tail recovery
+//! must reproduce the crashed controller's control-plane state exactly —
+//! same session ids, same lease deadlines, same journal sequence numbers,
+//! same decisions — and persistence-off behavior must be bit-for-bit
+//! identical to the seed.
+
+use std::path::PathBuf;
+
+use harmony_core::persist::DEFAULT_SNAPSHOT_EVERY;
+use harmony_core::{
+    CoalescePolicy, Controller, ControllerConfig, CoreError, HarmonyEvent, PersistedState,
+    StateStore,
+};
+use harmony_resources::Cluster;
+use harmony_rsl::listings::{sp2_cluster, FIG2B_BAG};
+use harmony_rsl::schema::parse_bundle_script;
+
+/// A unique scratch directory under the OS temp dir (no tempfile crate in
+/// the workspace). Cleaned up on a best-effort basis at the start of each
+/// run so repeated test invocations stay independent.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("harmony-persist-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn fresh_controller() -> Controller {
+    Controller::new(Cluster::from_rsl(&sp2_cluster(8)).unwrap(), ControllerConfig::default())
+}
+
+fn coalescing_controller() -> Controller {
+    let mut config = ControllerConfig::default();
+    config.coalesce = CoalescePolicy { window: 0.5, max_delay: 5.0, max_pending: 64 };
+    Controller::new(Cluster::from_rsl(&sp2_cluster(8)).unwrap(), config)
+}
+
+/// Drives a representative mix of state-changing verbs: registrations,
+/// bundle setup, metric traffic, heartbeats, a disconnect + reattach, an
+/// explicit end, and a lease sweep.
+fn drive(c: &mut Controller) {
+    c.set_time(1.0);
+    let (a, _) = c.register(parse_bundle_script(FIG2B_BAG).unwrap()).unwrap();
+    c.set_time(2.0);
+    let b = c.startup("bag");
+    c.handle_event(HarmonyEvent::BundleSetup { instance: b.clone(), script: FIG2B_BAG.into() })
+        .unwrap();
+    c.set_time(3.0);
+    for i in 0..4 {
+        c.record_metric(&format!("{a}.response_time"), 3.0 + i as f64 * 0.1, 12.0 + i as f64);
+    }
+    c.handle_event(HarmonyEvent::Heartbeat { instance: a.clone() }).unwrap();
+    c.set_time(4.0);
+    c.mark_disconnected(&b);
+    c.reattach(&b).unwrap();
+    let _ = c.take_pending_vars(&b);
+    c.set_time(5.0);
+    c.touch(&a);
+    c.end(&b).unwrap();
+    c.handle_event(HarmonyEvent::Periodic).unwrap();
+}
+
+/// The state fingerprint used for replay-equivalence assertions: the full
+/// persisted image with per-decision wall timings zeroed (two runs of the
+/// same deterministic pass never take the same microseconds).
+fn fingerprint(mut state: PersistedState) -> String {
+    for d in &mut state.decisions {
+        d.phases = Default::default();
+    }
+    serde_json::to_string(&state).unwrap()
+}
+
+#[test]
+fn fresh_start_attaches_wal_and_reports_recovery() {
+    let dir = scratch("fresh");
+    let (ctl, store) = StateStore::open(&dir, fresh_controller).unwrap();
+    assert!(ctl.wal_attached());
+    let info = ctl.recovery_info().unwrap();
+    assert_eq!(info.generation, 1);
+    assert_eq!(info.snapshot_loaded, None);
+    assert_eq!(info.replayed, 0);
+    assert!(!info.torn_tail);
+    assert_eq!(store.generation(), 1);
+    assert!(dir.join("harmony-00000001.snap").exists());
+    assert!(dir.join("harmony-00000001.wal").exists());
+}
+
+#[test]
+fn wal_replay_reproduces_crashed_state() {
+    let dir = scratch("replay");
+    let (mut ctl, store) = StateStore::open(&dir, fresh_controller).unwrap();
+    drive(&mut ctl);
+    let before = fingerprint(ctl.persisted_state());
+    let appends = ctl.metrics().counter("controller.persistence.appends");
+    assert!(appends > 0, "driving must log WAL events");
+    assert_eq!(
+        ctl.metrics().counter("controller.persistence.append_errors"),
+        0,
+        "no append may fail"
+    );
+    store.sync().unwrap();
+    drop((ctl, store));
+
+    let (recovered, _store) =
+        StateStore::open(&dir, || panic!("prior state exists; fresh() must not run")).unwrap();
+    let info = recovered.recovery_info().unwrap();
+    assert_eq!(info.snapshot_loaded, Some(1));
+    assert_eq!(info.replayed, appends, "every logged event replays");
+    assert!(!info.torn_tail);
+    assert_eq!(fingerprint(recovered.persisted_state()), before);
+}
+
+#[test]
+fn sessions_journal_and_registry_survive_recovery() {
+    let dir = scratch("sessions");
+    let (mut ctl, store) = StateStore::open(&dir, fresh_controller).unwrap();
+    drive(&mut ctl);
+    let sessions: Vec<_> = ctl.sessions().iter().map(|(id, s)| (id.clone(), s.clone())).collect();
+    let next_seq = ctl.journal_seq();
+    assert!(!sessions.is_empty());
+    store.sync().unwrap();
+    drop((ctl, store));
+
+    let (mut recovered, _store) = StateStore::open(&dir, fresh_controller).unwrap();
+    let got: Vec<_> = recovered.sessions().iter().map(|(id, s)| (id.clone(), s.clone())).collect();
+    assert_eq!(got, sessions, "session ids, deadlines, and renewal counts survive");
+    assert_eq!(recovered.journal_seq(), next_seq, "journal numbering continues, not restarts");
+    // The id allocator recovered too: a new registration must not collide
+    // with `bag.1` / `bag.2` from before the crash.
+    let fresh_id = recovered.startup("bag");
+    assert_eq!(fresh_id.to_string(), "bag.3");
+}
+
+#[test]
+fn snapshot_plus_tail_replay_is_lossless() {
+    let dir = scratch("snaptail");
+    let (mut ctl, mut store) = StateStore::open(&dir, fresh_controller).unwrap();
+    drive(&mut ctl);
+    store.checkpoint(&mut ctl).unwrap();
+    assert_eq!(store.generation(), 2);
+    // Post-checkpoint traffic lands in the new generation's WAL tail.
+    ctl.set_time(6.0);
+    let (c, _) = ctl.register(parse_bundle_script(FIG2B_BAG).unwrap()).unwrap();
+    ctl.record_metric(&format!("{c}.response_time"), 6.5, 9.0);
+    ctl.handle_event(HarmonyEvent::Heartbeat { instance: c }).unwrap();
+    let before = fingerprint(ctl.persisted_state());
+    store.sync().unwrap();
+    drop((ctl, store));
+
+    let (recovered, _store) = StateStore::open(&dir, fresh_controller).unwrap();
+    let info = recovered.recovery_info().unwrap();
+    assert_eq!(info.snapshot_loaded, Some(2), "recovery starts from the checkpoint");
+    assert!(info.replayed >= 3, "the tail after the checkpoint replays");
+    assert_eq!(fingerprint(recovered.persisted_state()), before);
+}
+
+#[test]
+fn torn_final_record_is_tolerated() {
+    let dir = scratch("torn");
+    let (mut ctl, store) = StateStore::open(&dir, fresh_controller).unwrap();
+    drive(&mut ctl);
+    let before = fingerprint(ctl.persisted_state());
+    store.sync().unwrap();
+    drop((ctl, store));
+
+    // Simulate a crash mid-append: a partial record (header promising more
+    // bytes than exist) at the end of the live WAL.
+    let wal = dir.join("harmony-00000001.wal");
+    let mut bytes = std::fs::read(&wal).unwrap();
+    bytes.extend_from_slice(&64u32.to_le_bytes()); // len: 64 payload bytes...
+    bytes.extend_from_slice(&0u32.to_le_bytes()); // bogus crc
+    bytes.extend_from_slice(b"partial"); // ...but only 7 present
+    std::fs::write(&wal, bytes).unwrap();
+
+    let (recovered, _store) = StateStore::open(&dir, fresh_controller).unwrap();
+    let info = recovered.recovery_info().unwrap();
+    assert!(info.torn_tail, "the discarded tail is reported");
+    assert_eq!(fingerprint(recovered.persisted_state()), before, "complete records all replay");
+}
+
+#[test]
+fn corrupt_middle_record_refuses_recovery() {
+    let dir = scratch("corrupt");
+    let (mut ctl, store) = StateStore::open(&dir, fresh_controller).unwrap();
+    drive(&mut ctl);
+    store.sync().unwrap();
+    drop((ctl, store));
+
+    // Flip a payload byte of the FIRST record: valid records follow, so
+    // this is silent corruption, not a torn write — recovery must refuse
+    // rather than replay a prefix and silently lose the suffix.
+    let wal = dir.join("harmony-00000001.wal");
+    let mut bytes = std::fs::read(&wal).unwrap();
+    bytes[8] ^= 0xff;
+    std::fs::write(&wal, bytes).unwrap();
+
+    let err = StateStore::open(&dir, fresh_controller).unwrap_err();
+    match err {
+        CoreError::Persistence { detail } => {
+            assert!(detail.contains("corrupted"), "unexpected detail: {detail}");
+        }
+        other => panic!("expected Persistence error, got {other:?}"),
+    }
+}
+
+#[test]
+fn unreadable_snapshot_falls_back_to_previous_generation() {
+    let dir = scratch("fallback");
+    let (mut ctl, mut store) = StateStore::open(&dir, fresh_controller).unwrap();
+    drive(&mut ctl);
+    store.checkpoint(&mut ctl).unwrap();
+    let before = fingerprint(ctl.persisted_state());
+    store.sync().unwrap();
+    drop((ctl, store));
+
+    // Generation 2's snapshot is damaged; generation 1's snapshot + WAL
+    // still reconstruct the same state (the checkpoint was lossless, so
+    // both roads lead to the same place).
+    std::fs::write(dir.join("harmony-00000002.snap"), b"{ not json").unwrap();
+    let (recovered, _store) = StateStore::open(&dir, fresh_controller).unwrap();
+    let info = recovered.recovery_info().unwrap();
+    assert_eq!(info.snapshot_loaded, Some(1), "fell back past the damaged snapshot");
+    assert_eq!(fingerprint(recovered.persisted_state()), before);
+}
+
+#[test]
+fn all_snapshots_damaged_refuses_fresh_start() {
+    let dir = scratch("refuse");
+    let (mut ctl, store) = StateStore::open(&dir, fresh_controller).unwrap();
+    drive(&mut ctl);
+    store.sync().unwrap();
+    drop((ctl, store));
+
+    std::fs::write(dir.join("harmony-00000001.snap"), b"{ not json").unwrap();
+    let err = StateStore::open(&dir, fresh_controller).unwrap_err();
+    match err {
+        CoreError::Persistence { detail } => {
+            assert!(detail.contains("refusing to discard prior state"), "got: {detail}");
+        }
+        other => panic!("expected Persistence error, got {other:?}"),
+    }
+}
+
+#[test]
+fn automatic_checkpoints_rotate_and_purge() {
+    let dir = scratch("rotate");
+    let (mut ctl, mut store) = StateStore::open(&dir, fresh_controller).unwrap();
+    store.set_snapshot_every(5);
+    drive(&mut ctl); // well over 5 appends
+    assert!(store.maybe_checkpoint(&mut ctl).unwrap());
+    assert_eq!(store.generation(), 2);
+    // The previous pair is kept as a fallback; nothing older exists yet.
+    assert!(dir.join("harmony-00000001.snap").exists());
+    assert!(dir.join("harmony-00000002.snap").exists());
+    // Below the threshold nothing rotates.
+    assert!(!store.maybe_checkpoint(&mut ctl).unwrap());
+    // Another busy window rotates again and generation 1 ages out.
+    drive_more(&mut ctl);
+    assert!(store.maybe_checkpoint(&mut ctl).unwrap());
+    assert_eq!(store.generation(), 3);
+    assert!(!dir.join("harmony-00000001.snap").exists(), "two-generation retention");
+    assert!(dir.join("harmony-00000002.snap").exists());
+    store.sync().unwrap();
+    drop((ctl, store));
+    StateStore::open(&dir, fresh_controller).unwrap();
+}
+
+fn drive_more(c: &mut Controller) {
+    c.set_time(c.now() + 1.0);
+    let (id, _) = c.register(parse_bundle_script(FIG2B_BAG).unwrap()).unwrap();
+    for i in 0..6 {
+        c.record_metric(&format!("{id}.response_time"), c.now() + i as f64 * 0.1, 10.0);
+    }
+}
+
+#[test]
+fn persistence_off_is_bit_identical() {
+    // The same verb sequence through a WAL-attached controller and a plain
+    // one must produce identical control-plane state: the hooks only
+    // observe, never steer.
+    let dir = scratch("identical");
+    let (mut with_wal, _store) = StateStore::open(&dir, fresh_controller).unwrap();
+    let mut plain = fresh_controller();
+    drive(&mut with_wal);
+    drive(&mut plain);
+    assert_eq!(fingerprint(with_wal.persisted_state()), fingerprint(plain.persisted_state()));
+}
+
+#[test]
+fn pending_coalescing_window_survives_a_crash() {
+    let dir = scratch("window");
+    let (mut ctl, store) = StateStore::open(&dir, coalescing_controller).unwrap();
+    ctl.set_time(1.0);
+    // A burst of arrivals inside one coalescing window: marks accumulate,
+    // no decision fires yet.
+    let (a, _) = ctl.register(parse_bundle_script(FIG2B_BAG).unwrap()).unwrap();
+    ctl.handle_event(HarmonyEvent::Startup { app: "bag".into() }).unwrap();
+    assert!(ctl.pending_decisions() > 0, "window still open");
+    assert!(a.to_string().starts_with("bag."));
+    store.sync().unwrap();
+    drop((ctl, store));
+
+    // kill -9 mid-window: the recovered controller still owes the flush.
+    let (mut recovered, _store) = StateStore::open(&dir, coalescing_controller).unwrap();
+    assert!(recovered.pending_decisions() > 0, "pending window survives recovery");
+    let seq_before = recovered.journal_seq();
+    recovered.service_scheduler(100.0).unwrap();
+    assert_eq!(recovered.pending_decisions(), 0, "the recovered window fired");
+    assert_eq!(recovered.metrics().counter("controller.scheduler.windows_fired"), 1);
+    assert!(recovered.journal_seq() > seq_before, "the fire was journaled");
+}
+
+#[test]
+fn default_snapshot_cadence_is_sane() {
+    assert!(DEFAULT_SNAPSHOT_EVERY >= 1024, "checkpoints must not thrash the hot path");
+}

@@ -5,12 +5,20 @@
 //! harness replay <artifact.json>
 //! harness replay --seed S [--planted ...]
 //! harness shrink <seed> [--planted ...] [--out DIR]
+//! harness recover --seed S [--crash-at N] [--dir DIR]
 //! ```
 //!
 //! `sweep` runs every seed **twice** and compares fingerprints, so the
 //! determinism oracle rides along for free; any failure is shrunk and
 //! saved as a replayable artifact. Exit status is non-zero when anything
 //! failed.
+//!
+//! `recover` runs the seed's schedule against a durable controller,
+//! crashes it mid-burst, recovers from the state directory, and compares
+//! persisted-image fingerprints (see `harmony_harness::recovery`). The
+//! printed line is byte-stable across `RAYON_NUM_THREADS` settings, which
+//! is how the determinism tests check snapshot-plus-tail replay through a
+//! real process boundary.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -23,6 +31,7 @@ fn usage() -> ExitCode {
          \x20      harness replay <artifact.json>\n\
          \x20      harness replay --seed S [--planted BUG]\n\
          \x20      harness shrink <seed> [--planted BUG] [--out DIR]\n\
+         \x20      harness recover --seed S [--crash-at N] [--dir DIR]\n\
          BUG: reaper-skips-touch-fold"
     );
     ExitCode::from(2)
@@ -40,6 +49,8 @@ struct Flags {
     seeds: u64,
     start: u64,
     seed: Option<u64>,
+    crash_at: Option<usize>,
+    dir: Option<PathBuf>,
     planted: PlantedBug,
     out: PathBuf,
     positional: Vec<String>,
@@ -50,6 +61,8 @@ fn parse_flags(args: &[String]) -> Option<Flags> {
         seeds: 100,
         start: 0,
         seed: None,
+        crash_at: None,
+        dir: None,
         planted: PlantedBug::None,
         out: PathBuf::from("results"),
         positional: Vec::new(),
@@ -60,6 +73,8 @@ fn parse_flags(args: &[String]) -> Option<Flags> {
             "--seeds" => flags.seeds = it.next()?.parse().ok()?,
             "--start" => flags.start = it.next()?.parse().ok()?,
             "--seed" => flags.seed = Some(it.next()?.parse().ok()?),
+            "--crash-at" => flags.crash_at = Some(it.next()?.parse().ok()?),
+            "--dir" => flags.dir = Some(PathBuf::from(it.next()?)),
             "--planted" => flags.planted = parse_planted(it.next()?)?,
             "--out" => flags.out = PathBuf::from(it.next()?),
             _ if arg.starts_with("--") => return None,
@@ -189,6 +204,46 @@ fn cmd_shrink(flags: &Flags) -> ExitCode {
     }
 }
 
+fn cmd_recover(flags: &Flags) -> ExitCode {
+    let Some(seed) = flags.seed else { return usage() };
+    let dir = flags.dir.clone().unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("harness-recover-{}-{seed}", std::process::id()))
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+    // snapshot_every 32: low enough that a half-schedule run rotates a
+    // few generations, so recovery is snapshot + WAL tail, not pure
+    // replay.
+    let crashed = harmony_harness::crash_run(seed, flags.crash_at, 32, &dir);
+    let recovered = match harmony_harness::recover(&dir) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("recovery failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Everything printed here must be byte-stable across thread counts;
+    // the determinism tests diff this output verbatim.
+    println!(
+        "seed {:>6}  crash {:>3}/{:<3}  pre {:016x}  post {:016x}  \
+         snapshot {:?}  replayed {}  sessions {}  pending {}",
+        crashed.seed,
+        crashed.crash_at,
+        crashed.ops_total,
+        crashed.fingerprint,
+        recovered.fingerprint,
+        recovered.info.snapshot_loaded,
+        recovered.info.replayed,
+        recovered.live_sessions,
+        recovered.pending_decisions,
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    if recovered.fingerprint != crashed.fingerprint {
+        println!("FAIL: recovered state diverges from the pre-crash state");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else { return usage() };
@@ -197,6 +252,7 @@ fn main() -> ExitCode {
         "sweep" => cmd_sweep(&flags),
         "replay" => cmd_replay(&flags),
         "shrink" => cmd_shrink(&flags),
+        "recover" => cmd_recover(&flags),
         _ => usage(),
     }
 }

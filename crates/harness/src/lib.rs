@@ -29,6 +29,7 @@
 
 pub mod artifact;
 pub mod oracle;
+pub mod recovery;
 pub mod schedule;
 pub mod shrink;
 pub mod world;
@@ -38,6 +39,7 @@ use harmony_core::{ControllerConfig, OptimizerKind, DEFAULT_EXHAUSTIVE_LIMIT};
 use serde::{Deserialize, Serialize};
 
 pub use oracle::Violation;
+pub use recovery::{crash_run, recover, CrashedRun, RecoveredRun};
 pub use schedule::{generate, Op, OpKind, Schedule};
 pub use world::World;
 

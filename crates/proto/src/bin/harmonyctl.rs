@@ -218,21 +218,45 @@ fn print_entry(e: &JournalEntry) {
     println!("{:>8}  t={:<10.3} {:<14} {}", e.seq, e.time, e.kind.to_string(), e.detail);
 }
 
+/// One `trace` paging step: the gap marker to print when eviction outran
+/// the reader (with the seq the page resynced to), and the cursor to
+/// continue from. Pure, so follow-mode resync is unit-testable without a
+/// daemon.
+///
+/// The journal reports `truncated` only on the first page after a gap
+/// opens (the returned cursor is past the eviction horizon), so the
+/// marker prints exactly once per gap — including gaps that open
+/// mid-follow when the daemon evicts faster than the reader polls.
+fn follow_step(tail: &JournalTail, cursor: u64) -> (Option<String>, u64) {
+    let gap = if tail.truncated {
+        // Resync to the first retained entry; an empty truncated page
+        // (everything between the cursor and the head evicted) resyncs to
+        // the journal head without panicking.
+        let resync = tail.entries.first().map_or(tail.next_cursor, |e| e.seq);
+        Some(format!(
+            "harmonyctl: journal evicted entries {cursor}..{resync} before they were read; \
+             resuming at {resync}"
+        ))
+    } else {
+        None
+    };
+    (gap, tail.next_cursor)
+}
+
 /// Runs the `trace` subcommand: dump the retained journal from `seq`
 /// (default: everything retained), or follow the cursor forever.
 fn trace(transport: &mut TcpTransport, from: u64, follow: bool) {
     let mut cursor = from;
-    let mut first_page = true;
     loop {
         let tail = journal_page(transport, cursor, 512);
-        if first_page && tail.truncated {
-            eprintln!("harmonyctl: entries before seq {} were evicted", tail.entries[0].seq);
+        let (gap, next) = follow_step(&tail, cursor);
+        if let Some(gap) = gap {
+            eprintln!("{gap}");
         }
-        first_page = false;
         for e in &tail.entries {
             print_entry(e);
         }
-        cursor = tail.next_cursor;
+        cursor = next;
         if !follow && tail.entries.is_empty() {
             return;
         }
@@ -476,5 +500,58 @@ mod tests {
     #[test]
     fn unknown_commands_are_rejected() {
         assert!(parse(args(&["restart"])).is_err());
+    }
+
+    #[test]
+    fn follow_step_passes_clean_pages_through() {
+        let tail = JournalTail {
+            entries: vec![JournalEntry {
+                seq: 5,
+                time: 1.0,
+                kind: harmony_core::JournalKind::Event,
+                detail: "e5".into(),
+            }],
+            next_cursor: 6,
+            truncated: false,
+        };
+        assert_eq!(follow_step(&tail, 5), (None, 6));
+    }
+
+    #[test]
+    fn follow_step_resyncs_and_marks_a_gap_once() {
+        // A slow follower against a small journal: capacity 4, ten events
+        // pushed, reader parked at 0 — entries 0..6 are gone.
+        let mut j = harmony_core::EventJournal::new(4);
+        for i in 0..10 {
+            j.push(i as f64, harmony_core::JournalKind::Event, format!("e{i}"));
+        }
+        let tail = j.tail(0, 100);
+        assert!(tail.truncated);
+        let (gap, cursor) = follow_step(&tail, 0);
+        let gap = gap.expect("gap marker");
+        assert!(gap.contains("evicted entries 0..6"), "{gap}");
+        assert!(gap.contains("resuming at 6"), "{gap}");
+        assert_eq!(cursor, 10);
+        // The next page continues cleanly: one marker per gap, not one
+        // per poll.
+        let tail = j.tail(cursor, 100);
+        assert_eq!(follow_step(&tail, cursor), (None, 10));
+        // A new gap opening mid-follow gets its own marker.
+        for i in 10..20 {
+            j.push(i as f64, harmony_core::JournalKind::Event, format!("e{i}"));
+        }
+        let tail = j.tail(cursor, 100);
+        let (gap, cursor) = follow_step(&tail, cursor);
+        assert!(gap.expect("second gap").contains("evicted entries 10..16"));
+        assert_eq!(cursor, 20);
+    }
+
+    #[test]
+    fn follow_step_survives_an_empty_truncated_page() {
+        // Regression: `tail.entries[0]` on an empty page used to panic.
+        let tail = JournalTail { entries: Vec::new(), next_cursor: 42, truncated: true };
+        let (gap, cursor) = follow_step(&tail, 7);
+        assert!(gap.expect("gap marker").contains("resuming at 42"));
+        assert_eq!(cursor, 42);
     }
 }

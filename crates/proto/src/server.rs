@@ -954,6 +954,24 @@ mod tests {
     }
 
     #[test]
+    fn stop_returns_promptly_on_ipv6_wildcard() {
+        // Binding [::] must not hang teardown either: the unblock dial
+        // must go to [::1], not to the unspecified address — dialing [::]
+        // is not routed to the listener on every platform. Skip (rather
+        // than fail) on hosts without IPv6 support.
+        let ctl = shared_controller(2);
+        let mut server = match TcpServer::start("[::]:0", ctl) {
+            Ok(s) => s,
+            Err(_) => return, // no IPv6 on this host
+        };
+        assert!(server.addr().is_ipv6());
+        assert!(server.addr().ip().is_unspecified());
+        let begin = std::time::Instant::now();
+        server.stop();
+        assert!(begin.elapsed() < Duration::from_secs(5), "stop took {:?}", begin.elapsed());
+    }
+
+    #[test]
     fn accept_error_counter_starts_clean() {
         let ctl = shared_controller(2);
         let server = TcpServer::start("127.0.0.1:0", Arc::clone(&ctl)).unwrap();

@@ -1,0 +1,664 @@
+//! Crash-consistent persistence primitives: a length-prefixed,
+//! CRC-checked write-ahead log with bounded group commit, and a
+//! generation-numbered state directory pairing each WAL with a compacting
+//! snapshot.
+//!
+//! The crate is payload-agnostic: records are byte strings (the
+//! controller serializes its events to JSON before appending), so the
+//! durability layer has no dependency on — and no opinion about — the
+//! schema it carries.
+//!
+//! ## Record format
+//!
+//! ```text
+//! [ len: u32 LE ][ crc32(payload): u32 LE ][ payload: len bytes ] ...
+//! ```
+//!
+//! A reader walks records until the file ends cleanly, the final record
+//! is torn (short header, short payload, or a CRC mismatch at exactly the
+//! end of the file — the signature of a crash mid-write), or a record
+//! *before* the end fails its CRC (real corruption, never produced by a
+//! torn write; see [`WalTail`]).
+//!
+//! ## Group commit
+//!
+//! [`WalWriter::append`] copies the encoded record into an in-memory
+//! buffer and returns; a background flusher thread writes and fsyncs the
+//! buffer every [`WalConfig::flush_interval`]. The hot path therefore
+//! never blocks on fsync — the cost is a bounded durability window (at
+//! most one flush interval of acknowledged records can be lost to a
+//! crash). The buffer is bounded: an appender that finds it past
+//! [`WalConfig::max_buffer`] flushes inline, so memory cannot grow
+//! without limit under a stalled disk.
+
+#![warn(missing_docs)]
+
+use std::fs::{self, File, OpenOptions};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Records longer than this are never produced by a healthy writer; a
+/// longer length prefix is treated as damage.
+pub const MAX_RECORD: u32 = 64 << 20;
+
+const HEADER: usize = 8;
+
+// ----------------------------------------------------------------------
+// CRC32 (IEEE 802.3 polynomial, reflected).
+// ----------------------------------------------------------------------
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xedb8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+const CRC_TABLE: [u32; 256] = crc_table();
+
+/// CRC-32 (IEEE) of `data` — the checksum guarding each WAL record.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xffff_ffffu32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ u32::from(b)) & 0xff) as usize] ^ (c >> 8);
+    }
+    c ^ 0xffff_ffff
+}
+
+// ----------------------------------------------------------------------
+// Record codec.
+// ----------------------------------------------------------------------
+
+/// Encodes one record (`[len][crc][payload]`) into `out`.
+pub fn encode_record(payload: &[u8], out: &mut Vec<u8>) {
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// How a WAL file ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalTail {
+    /// The file ends exactly at a record boundary.
+    Clean,
+    /// The final record is incomplete or fails its CRC with nothing after
+    /// it — the expected shape of a crash mid-write. The valid prefix is
+    /// returned; the tail is discarded.
+    Torn {
+        /// Byte offset of the torn record's header.
+        offset: u64,
+    },
+    /// A record *before* the end of the file fails its CRC. Torn writes
+    /// cannot produce this; the file is damaged and should not be
+    /// replayed past the valid prefix.
+    Corrupted {
+        /// Index of the damaged record.
+        record: usize,
+        /// Byte offset of the damaged record's header.
+        offset: u64,
+    },
+}
+
+/// The decoded contents of a WAL file: the valid record prefix plus how
+/// the file ended.
+#[derive(Debug)]
+pub struct WalRead {
+    /// Payloads of every record up to the first damage, in append order.
+    pub records: Vec<Vec<u8>>,
+    /// How the file ended.
+    pub tail: WalTail,
+}
+
+/// Decodes a WAL byte image (see the module docs for torn/corrupt
+/// semantics).
+pub fn decode_records(data: &[u8]) -> WalRead {
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    loop {
+        let rem = data.len() - pos;
+        if rem == 0 {
+            return WalRead { records, tail: WalTail::Clean };
+        }
+        if rem < HEADER {
+            return WalRead { records, tail: WalTail::Torn { offset: pos as u64 } };
+        }
+        let len = u32::from_le_bytes(data[pos..pos + 4].try_into().unwrap());
+        let crc = u32::from_le_bytes(data[pos + 4..pos + 8].try_into().unwrap());
+        if len > MAX_RECORD || (rem - HEADER) < len as usize {
+            // A length that overruns the file: either a torn header or a
+            // damaged one — indistinguishable, and either way nothing
+            // after it can be trusted as a record boundary.
+            return WalRead { records, tail: WalTail::Torn { offset: pos as u64 } };
+        }
+        let payload = &data[pos + HEADER..pos + HEADER + len as usize];
+        if crc32(payload) != crc {
+            let tail = if pos + HEADER + len as usize == data.len() {
+                WalTail::Torn { offset: pos as u64 }
+            } else {
+                WalTail::Corrupted { record: records.len(), offset: pos as u64 }
+            };
+            return WalRead { records, tail };
+        }
+        records.push(payload.to_vec());
+        pos += HEADER + len as usize;
+    }
+}
+
+/// Reads and decodes a WAL file.
+///
+/// # Errors
+///
+/// I/O errors reading the file. Damage inside the file is not an error —
+/// it is reported through [`WalRead::tail`].
+pub fn read_wal(path: &Path) -> std::io::Result<WalRead> {
+    Ok(decode_records(&fs::read(path)?))
+}
+
+// ----------------------------------------------------------------------
+// The group-commit writer.
+// ----------------------------------------------------------------------
+
+/// Tuning knobs for [`WalWriter`].
+#[derive(Debug, Clone, Copy)]
+pub struct WalConfig {
+    /// How often the background flusher writes and fsyncs the buffer —
+    /// the durability window of group commit.
+    pub flush_interval: Duration,
+    /// Buffer high-water mark: an append that finds the buffer past this
+    /// size flushes inline (backpressure) instead of growing it further.
+    pub max_buffer: usize,
+}
+
+impl Default for WalConfig {
+    fn default() -> Self {
+        WalConfig { flush_interval: Duration::from_millis(5), max_buffer: 1 << 20 }
+    }
+}
+
+struct WriterState {
+    file: File,
+    buf: Vec<u8>,
+    stop: bool,
+    last_error: Option<String>,
+}
+
+struct Shared {
+    state: Mutex<WriterState>,
+    wake: Condvar,
+    cfg: WalConfig,
+    appended: AtomicU64,
+    since_rotate: AtomicU64,
+}
+
+/// An append-only record log with background group commit.
+///
+/// `append` is `&self` and thread-safe, so the controller's concurrent
+/// read path (touches, metric reports) can log under a shared borrow.
+/// Dropping the writer stops the flusher and flushes the remaining
+/// buffer.
+pub struct WalWriter {
+    shared: Arc<Shared>,
+    flusher: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WalWriter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WalWriter").field("appended", &self.appended()).finish()
+    }
+}
+
+fn lock_state(shared: &Shared) -> MutexGuard<'_, WriterState> {
+    shared.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn flush_locked(state: &mut WriterState) -> std::io::Result<()> {
+    if state.buf.is_empty() {
+        return Ok(());
+    }
+    let result = state.file.write_all(&state.buf).and_then(|()| state.file.sync_data());
+    // Clear even on error: retrying a partial write would interleave
+    // duplicate bytes mid-file, which is worse than a (reader-tolerated)
+    // torn tail.
+    state.buf.clear();
+    if let Err(e) = &result {
+        state.last_error = Some(e.to_string());
+    }
+    result
+}
+
+impl WalWriter {
+    /// Creates a fresh WAL at `path` (truncating any existing file) and
+    /// starts the background flusher.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors creating the file.
+    pub fn create(path: &Path, cfg: WalConfig) -> std::io::Result<Self> {
+        let file = OpenOptions::new().write(true).create(true).truncate(true).open(path)?;
+        let shared = Arc::new(Shared {
+            state: Mutex::new(WriterState { file, buf: Vec::new(), stop: false, last_error: None }),
+            wake: Condvar::new(),
+            cfg,
+            appended: AtomicU64::new(0),
+            since_rotate: AtomicU64::new(0),
+        });
+        let flusher = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("harmony-wal-flush".into())
+                .spawn(move || Self::run_flusher(&shared))
+                .expect("spawn WAL flusher")
+        };
+        Ok(WalWriter { shared, flusher: Some(flusher) })
+    }
+
+    fn run_flusher(shared: &Shared) {
+        let mut guard = lock_state(shared);
+        loop {
+            if guard.stop {
+                let _ = flush_locked(&mut guard);
+                return;
+            }
+            let (g, _) = shared
+                .wake
+                .wait_timeout(guard, shared.cfg.flush_interval)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            guard = g;
+            let _ = flush_locked(&mut guard);
+        }
+    }
+
+    /// Appends one record (buffered; durable within one flush interval).
+    /// Flushes inline when the buffer is past its high-water mark.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from an inline (backpressure) flush, or a previously
+    /// recorded flush failure.
+    pub fn append(&self, payload: &[u8]) -> std::io::Result<()> {
+        let mut state = lock_state(&self.shared);
+        if let Some(e) = state.last_error.clone() {
+            return Err(std::io::Error::other(e));
+        }
+        encode_record(payload, &mut state.buf);
+        self.shared.appended.fetch_add(1, Ordering::Relaxed);
+        self.shared.since_rotate.fetch_add(1, Ordering::Relaxed);
+        if state.buf.len() >= self.shared.cfg.max_buffer {
+            flush_locked(&mut state)?;
+        }
+        Ok(())
+    }
+
+    /// Flushes and fsyncs everything appended so far.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the flush.
+    pub fn sync(&self) -> std::io::Result<()> {
+        flush_locked(&mut lock_state(&self.shared))
+    }
+
+    /// Flushes the current file, then atomically switches appends to a
+    /// fresh file at `path` (used when a compacting snapshot starts a new
+    /// generation).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors flushing the old file or creating the new one.
+    pub fn rotate(&self, path: &Path) -> std::io::Result<()> {
+        let mut state = lock_state(&self.shared);
+        flush_locked(&mut state)?;
+        state.file = OpenOptions::new().write(true).create(true).truncate(true).open(path)?;
+        state.last_error = None;
+        self.shared.since_rotate.store(0, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Records appended over the writer's lifetime.
+    pub fn appended(&self) -> u64 {
+        self.shared.appended.load(Ordering::Relaxed)
+    }
+
+    /// Records appended since the last [`WalWriter::rotate`].
+    pub fn appended_since_rotate(&self) -> u64 {
+        self.shared.since_rotate.load(Ordering::Relaxed)
+    }
+
+    /// The most recent flush error, if any (appends fail fast once set).
+    pub fn last_error(&self) -> Option<String> {
+        lock_state(&self.shared).last_error.clone()
+    }
+}
+
+impl Drop for WalWriter {
+    fn drop(&mut self) {
+        lock_state(&self.shared).stop = true;
+        self.shared.wake.notify_all();
+        if let Some(h) = self.flusher.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// The generation-numbered state directory.
+// ----------------------------------------------------------------------
+
+/// A state directory holding `harmony-<gen>.snap` / `harmony-<gen>.wal`
+/// pairs: snapshot `N` is the state at the moment WAL `N` started, so
+/// recovery is "latest valid snapshot plus its WAL tail".
+#[derive(Debug, Clone)]
+pub struct StateDir {
+    dir: PathBuf,
+}
+
+fn parse_generation(name: &str) -> Option<u64> {
+    let rest = name.strip_prefix("harmony-")?;
+    let gen = rest.strip_suffix(".snap").or_else(|| rest.strip_suffix(".wal"))?;
+    gen.parse().ok()
+}
+
+impl StateDir {
+    /// Opens (creating if needed) the state directory.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors creating the directory.
+    pub fn open(dir: &Path) -> std::io::Result<Self> {
+        fs::create_dir_all(dir)?;
+        Ok(StateDir { dir: dir.to_path_buf() })
+    }
+
+    /// The directory path.
+    pub fn path(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Every generation number present (from either file of the pair),
+    /// ascending.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors listing the directory.
+    pub fn generations(&self) -> std::io::Result<Vec<u64>> {
+        let mut gens: Vec<u64> = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            if let Some(gen) = entry.file_name().to_str().and_then(parse_generation) {
+                if !gens.contains(&gen) {
+                    gens.push(gen);
+                }
+            }
+        }
+        gens.sort_unstable();
+        Ok(gens)
+    }
+
+    /// Path of generation `gen`'s snapshot.
+    pub fn snapshot_path(&self, gen: u64) -> PathBuf {
+        self.dir.join(format!("harmony-{gen:08}.snap"))
+    }
+
+    /// Path of generation `gen`'s WAL.
+    pub fn wal_path(&self, gen: u64) -> PathBuf {
+        self.dir.join(format!("harmony-{gen:08}.wal"))
+    }
+
+    /// Durably writes generation `gen`'s snapshot: temp file, fsync,
+    /// atomic rename, directory fsync. A crash at any point leaves either
+    /// the old state or the complete new snapshot, never a partial one.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors at any step.
+    pub fn write_snapshot(&self, gen: u64, bytes: &[u8]) -> std::io::Result<()> {
+        let target = self.snapshot_path(gen);
+        let tmp = self.dir.join(format!("harmony-{gen:08}.snap.tmp"));
+        {
+            let mut f = OpenOptions::new().write(true).create(true).truncate(true).open(&tmp)?;
+            f.write_all(bytes)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, &target)?;
+        // Persist the rename itself.
+        if let Ok(d) = File::open(&self.dir) {
+            let _ = d.sync_all();
+        }
+        Ok(())
+    }
+
+    /// Reads generation `gen`'s snapshot bytes.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors (including the file not existing).
+    pub fn read_snapshot(&self, gen: u64) -> std::io::Result<Vec<u8>> {
+        fs::read(self.snapshot_path(gen))
+    }
+
+    /// Deletes every snapshot/WAL pair with generation below `keep`.
+    /// Returns how many files were removed.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors listing the directory (individual remove failures are
+    /// ignored — a leftover old generation is harmless).
+    pub fn purge_below(&self, keep: u64) -> std::io::Result<usize> {
+        let mut removed = 0;
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            if let Some(gen) = entry.file_name().to_str().and_then(parse_generation) {
+                if gen < keep && fs::remove_file(entry.path()).is_ok() {
+                    removed += 1;
+                }
+            }
+        }
+        Ok(removed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "harmony-wal-test-{}-{}-{tag}",
+            std::process::id(),
+            std::thread::current().name().unwrap_or("t").replace("::", "-")
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE CRC-32 check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+    }
+
+    #[test]
+    fn records_round_trip() {
+        let dir = temp_dir("roundtrip");
+        let path = dir.join("a.wal");
+        let w = WalWriter::create(&path, WalConfig::default()).unwrap();
+        for i in 0..100 {
+            w.append(format!("record-{i}").as_bytes()).unwrap();
+        }
+        w.sync().unwrap();
+        assert_eq!(w.appended(), 100);
+        let read = read_wal(&path).unwrap();
+        assert_eq!(read.tail, WalTail::Clean);
+        assert_eq!(read.records.len(), 100);
+        assert_eq!(read.records[42], b"record-42");
+        drop(w);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn drop_flushes_the_buffer() {
+        let dir = temp_dir("dropflush");
+        let path = dir.join("a.wal");
+        {
+            let w = WalWriter::create(
+                &path,
+                WalConfig { flush_interval: Duration::from_secs(3600), max_buffer: 1 << 20 },
+            )
+            .unwrap();
+            w.append(b"buffered").unwrap();
+        } // drop: flusher never ticked, the drop path must flush
+        let read = read_wal(&path).unwrap();
+        assert_eq!(read.records, vec![b"buffered".to_vec()]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_final_record_is_tolerated() {
+        let dir = temp_dir("torn");
+        let path = dir.join("a.wal");
+        let w = WalWriter::create(&path, WalConfig::default()).unwrap();
+        w.append(b"first").unwrap();
+        w.append(b"second").unwrap();
+        w.sync().unwrap();
+        drop(w);
+        // Chop the file mid-way through the last record.
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        let read = read_wal(&path).unwrap();
+        assert_eq!(read.records, vec![b"first".to_vec()]);
+        assert!(matches!(read.tail, WalTail::Torn { .. }), "got {:?}", read.tail);
+        // Chop into the header of the second record.
+        fs::write(&path, &bytes[..bytes.len() - b"second".len() - 2]).unwrap();
+        let read = read_wal(&path).unwrap();
+        assert_eq!(read.records, vec![b"first".to_vec()]);
+        assert!(matches!(read.tail, WalTail::Torn { .. }));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_final_record_reads_as_torn() {
+        // A crash can also overwrite the tail with garbage of the right
+        // length; CRC failure at exactly EOF is still a torn write.
+        let dir = temp_dir("corrupt-tail");
+        let path = dir.join("a.wal");
+        let w = WalWriter::create(&path, WalConfig::default()).unwrap();
+        w.append(b"first").unwrap();
+        w.append(b"second").unwrap();
+        w.sync().unwrap();
+        drop(w);
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        fs::write(&path, &bytes).unwrap();
+        let read = read_wal(&path).unwrap();
+        assert_eq!(read.records, vec![b"first".to_vec()]);
+        assert!(matches!(read.tail, WalTail::Torn { .. }));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_middle_record_is_reported() {
+        let dir = temp_dir("corrupt-mid");
+        let path = dir.join("a.wal");
+        let w = WalWriter::create(&path, WalConfig::default()).unwrap();
+        w.append(b"first").unwrap();
+        w.append(b"second").unwrap();
+        w.append(b"third").unwrap();
+        w.sync().unwrap();
+        drop(w);
+        let mut bytes = fs::read(&path).unwrap();
+        // Flip a payload byte of the middle record ("second" starts after
+        // first's header+payload plus second's header).
+        let offset = HEADER + b"first".len() + HEADER;
+        bytes[offset] ^= 0xff;
+        fs::write(&path, &bytes).unwrap();
+        let read = read_wal(&path).unwrap();
+        assert_eq!(read.records, vec![b"first".to_vec()]);
+        assert_eq!(
+            read.tail,
+            WalTail::Corrupted { record: 1, offset: (HEADER + b"first".len()) as u64 }
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_damage() {
+        let mut data = Vec::new();
+        encode_record(b"ok", &mut data);
+        data.extend_from_slice(&(MAX_RECORD + 1).to_le_bytes());
+        data.extend_from_slice(&[0u8; 40]);
+        let read = decode_records(&data);
+        assert_eq!(read.records, vec![b"ok".to_vec()]);
+        assert!(matches!(read.tail, WalTail::Torn { .. }));
+    }
+
+    #[test]
+    fn backpressure_flushes_inline() {
+        let dir = temp_dir("backpressure");
+        let path = dir.join("a.wal");
+        let w = WalWriter::create(
+            &path,
+            WalConfig { flush_interval: Duration::from_secs(3600), max_buffer: 64 },
+        )
+        .unwrap();
+        for _ in 0..8 {
+            w.append(&[7u8; 32]).unwrap(); // 40 bytes each: crosses 64 every other append
+        }
+        // The flusher never ran (1h interval), yet the file already holds
+        // most of the data because appends flushed inline.
+        let read = read_wal(&path).unwrap();
+        assert!(read.records.len() >= 6, "only {} records on disk", read.records.len());
+        drop(w);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rotate_switches_files_cleanly() {
+        let dir = temp_dir("rotate");
+        let a = dir.join("a.wal");
+        let b = dir.join("b.wal");
+        let w = WalWriter::create(&a, WalConfig::default()).unwrap();
+        w.append(b"one").unwrap();
+        w.rotate(&b).unwrap();
+        assert_eq!(w.appended_since_rotate(), 0);
+        w.append(b"two").unwrap();
+        w.sync().unwrap();
+        assert_eq!(read_wal(&a).unwrap().records, vec![b"one".to_vec()]);
+        assert_eq!(read_wal(&b).unwrap().records, vec![b"two".to_vec()]);
+        assert_eq!(w.appended(), 2);
+        drop(w);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn state_dir_generations_and_purge() {
+        let dir = temp_dir("statedir");
+        let sd = StateDir::open(&dir).unwrap();
+        assert!(sd.generations().unwrap().is_empty());
+        sd.write_snapshot(1, b"{\"v\":1}").unwrap();
+        sd.write_snapshot(3, b"{\"v\":3}").unwrap();
+        fs::write(sd.wal_path(3), b"").unwrap();
+        fs::write(dir.join("unrelated.txt"), b"x").unwrap();
+        assert_eq!(sd.generations().unwrap(), vec![1, 3]);
+        assert_eq!(sd.read_snapshot(3).unwrap(), b"{\"v\":3}");
+        let removed = sd.purge_below(3).unwrap();
+        assert_eq!(removed, 1);
+        assert_eq!(sd.generations().unwrap(), vec![3]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -21,7 +21,8 @@
 //! * [`client`] — the Figure 5 application API;
 //! * [`sim`] — the discrete-event cluster simulator;
 //! * [`apps`] — the Figure 2 applications and the Figure 4 experiment;
-//! * [`db`] — the Tornadito stand-in and the Figure 7 experiment.
+//! * [`db`] — the Tornadito stand-in and the Figure 7 experiment;
+//! * [`wal`] — the crash-consistent write-ahead log and snapshot store.
 //!
 //! ## Quickstart
 //!
@@ -60,3 +61,4 @@ pub use harmony_proto as proto;
 pub use harmony_resources as resources;
 pub use harmony_rsl as rsl;
 pub use harmony_sim as sim;
+pub use harmony_wal as wal;
