@@ -328,6 +328,13 @@ pub struct Controller {
     /// concurrent renewals" bug class so the harness can prove its lease
     /// oracle catches it. Never set outside tests.
     chaos_skip_touch_fold: bool,
+    /// Chaos hook for crash-point enumeration (`harmony-mc`): when set,
+    /// [`Controller::renew_lease`] still applies the renewal but skips
+    /// logging it — re-creating the "verb mutates state without a
+    /// log-before-apply event" bug class, which only WAL-replay
+    /// equivalence checking can catch (the live state stays correct; the
+    /// recovered state diverges). Never set outside tests.
+    chaos_skip_wal_renew: bool,
     /// The attached write-ahead log, when this controller is persistent
     /// (opened through [`crate::persist::StateStore`]). `Arc` + interior
     /// buffering in the writer let the concurrent read path (touches,
@@ -365,6 +372,7 @@ impl Controller {
             decision_provenance: Vec::new(),
             phase_timings: None,
             chaos_skip_touch_fold: false,
+            chaos_skip_wal_renew: false,
             wal: None,
             recovery: None,
         }
@@ -377,6 +385,16 @@ impl Controller {
     #[doc(hidden)]
     pub fn chaos_set_skip_touch_fold(&mut self, enabled: bool) {
         self.chaos_skip_touch_fold = enabled;
+    }
+
+    /// Plants the "renewal applied but never logged" mutation (see the
+    /// `chaos_skip_wal_renew` field). Exposed — hidden — for
+    /// `harmony-mc`, whose crash-point enumeration proves WAL-replay
+    /// equivalence checking detects exactly this class of persistence
+    /// bug.
+    #[doc(hidden)]
+    pub fn chaos_set_skip_wal_renew(&mut self, enabled: bool) {
+        self.chaos_skip_wal_renew = enabled;
     }
 
     /// The controller clock (seconds). The embedding (simulation or wall
@@ -744,7 +762,9 @@ impl Controller {
     /// verb). Returns `false` when the instance is not registered — the
     /// caller should tell the client to start over.
     pub fn renew_lease(&mut self, id: &InstanceId) -> bool {
-        self.wal_log(&WalEvent::Renew { now: self.now, id: id.clone() });
+        if !self.chaos_skip_wal_renew {
+            self.wal_log(&WalEvent::Renew { now: self.now, id: id.clone() });
+        }
         self.renew_lease_inner(id)
     }
 

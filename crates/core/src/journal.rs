@@ -214,6 +214,13 @@ impl EventJournal {
     /// with the cursor to continue from and whether eviction skipped
     /// entries the reader never saw.
     pub fn tail(&self, cursor: u64, max: usize) -> JournalTail {
+        // A zero-size page is a pure no-op probe: it must not advance the
+        // cursor past entries the reader never received, and an empty page
+        // cannot meaningfully claim truncation (the reader learns about
+        // eviction on the first page that actually skips entries).
+        if max == 0 {
+            return JournalTail { entries: Vec::new(), next_cursor: cursor, truncated: false };
+        }
         let first = self.first_seq();
         let truncated = cursor < first;
         let start = cursor.max(first);
@@ -280,6 +287,50 @@ mod tests {
         let t = j.tail(7, 100);
         assert!(!t.truncated);
         assert_eq!(t.entries.len(), 3);
+    }
+
+    #[test]
+    fn zero_size_page_is_a_no_op_probe() {
+        let mut j = EventJournal::new(4);
+        for i in 0..10 {
+            j.push(i as f64, JournalKind::Event, format!("e{i}"));
+        }
+        // Entries 0..6 are evicted. A max=0 probe from a stale cursor must
+        // neither skip the unread entries (next_cursor jumps) nor claim
+        // truncation on a page that delivered nothing.
+        for cursor in [0u64, 3, 6, 9, 10, 25] {
+            let t = j.tail(cursor, 0);
+            assert!(t.entries.is_empty(), "cursor {cursor}");
+            assert_eq!(t.next_cursor, cursor, "max=0 must not advance the cursor");
+            assert!(!t.truncated, "empty page from cursor {cursor} claims truncation");
+        }
+        // The very next real page still reports the loss and delivers the
+        // retained suffix — the probe lost no information.
+        let t = j.tail(0, 100);
+        assert!(t.truncated);
+        assert_eq!(t.entries.first().unwrap().seq, 6);
+    }
+
+    #[test]
+    fn cursor_at_the_eviction_horizon_reports_truncation_consistently() {
+        let mut j = EventJournal::new(4);
+        for i in 0..10 {
+            j.push(i as f64, JournalKind::Event, format!("e{i}"));
+        }
+        // Retained: 6..=9. A cursor exactly at the oldest *evicted* seq
+        // (5) lost entry 5 and must say so; a cursor exactly at the
+        // oldest *retained* seq (6) lost nothing.
+        let at_newest_evicted = j.tail(5, 100);
+        assert!(at_newest_evicted.truncated, "cursor 5 never saw entry 5");
+        assert_eq!(at_newest_evicted.entries.first().unwrap().seq, 6);
+        let at_oldest_evicted = j.tail(0, 100);
+        assert!(at_oldest_evicted.truncated);
+        let at_first_retained = j.tail(6, 100);
+        assert!(!at_first_retained.truncated, "cursor 6 missed nothing");
+        assert_eq!(at_first_retained.entries.len(), 4);
+        // The same cursors through a bounded page agree on the flag.
+        assert!(j.tail(5, 1).truncated);
+        assert!(!j.tail(6, 1).truncated);
     }
 
     #[test]

@@ -178,6 +178,51 @@ pub enum WalEvent {
 }
 
 impl WalEvent {
+    /// Every variant name, in declaration order. The WAL-coverage guard
+    /// test diffs this against the variants a full-verb run actually
+    /// produces and replays, so a new verb cannot silently skip
+    /// persistence. Keep in sync with [`WalEvent::variant`] (the compiler
+    /// enforces the match there is exhaustive; the guard test enforces
+    /// this list matches it).
+    pub const VARIANTS: [&'static str; 14] = [
+        "event",
+        "startup",
+        "bundle",
+        "end",
+        "renew",
+        "reattach",
+        "disconnect",
+        "touch",
+        "poll",
+        "metric",
+        "reap",
+        "tick",
+        "flush",
+        "reevaluate",
+    ];
+
+    /// The variant's name (see [`WalEvent::VARIANTS`]). The match is
+    /// deliberately exhaustive — adding a variant without extending
+    /// `VARIANTS` fails to compile here or fails the coverage guard.
+    pub fn variant(&self) -> &'static str {
+        match self {
+            WalEvent::Event { .. } => "event",
+            WalEvent::Startup { .. } => "startup",
+            WalEvent::Bundle { .. } => "bundle",
+            WalEvent::End { .. } => "end",
+            WalEvent::Renew { .. } => "renew",
+            WalEvent::Reattach { .. } => "reattach",
+            WalEvent::Disconnect { .. } => "disconnect",
+            WalEvent::Touch { .. } => "touch",
+            WalEvent::Poll { .. } => "poll",
+            WalEvent::Metric { .. } => "metric",
+            WalEvent::Reap { .. } => "reap",
+            WalEvent::Tick { .. } => "tick",
+            WalEvent::Flush { .. } => "flush",
+            WalEvent::Reevaluate { .. } => "reevaluate",
+        }
+    }
+
     /// The controller clock at the moment the logged verb executed.
     pub fn now(&self) -> f64 {
         match self {
@@ -241,6 +286,53 @@ pub struct PersistedState {
     /// Metric time series (`name -> [(time, value)]`) — feedback
     /// calibration reads these, so they must survive restarts.
     pub metric_series: Vec<(String, Vec<(f64, f64)>)>,
+}
+
+impl PersistedState {
+    /// Zeroes the per-decision optimizer phase timings — wall-clock
+    /// measurements no two runs share. Everything else in a decision
+    /// (choice, objectives, provenance) is deterministic and stays.
+    pub fn normalize_measurements(&mut self) {
+        for d in &mut self.decisions {
+            d.phases = Default::default();
+        }
+    }
+
+    /// Zeroes the controller clock. `set_time` is deliberately not
+    /// WAL-logged (every event carries its own timestamp and a restarted
+    /// daemon re-anchors to wall time), so a clock advance followed by no
+    /// loggable event is legitimately lost to a crash — crash-equivalence
+    /// comparisons must not see it.
+    pub fn normalize_clock(&mut self) {
+        self.now = 0.0;
+    }
+
+    /// The canonical JSON image fingerprints are computed over. One
+    /// serialization, shared by the harness's recovery oracle and the
+    /// model checker's visited set, so their fingerprints stay comparable.
+    pub fn canonical_json(&self) -> String {
+        serde_json::to_string(self).expect("persisted state serializes")
+    }
+
+    /// FNV-1a 64 over the canonical JSON with measurements normalized
+    /// out but the clock kept — the model checker's exploration
+    /// fingerprint, where two states differing only in the clock are
+    /// genuinely different (a later reap behaves differently).
+    pub fn canonical_fingerprint(&self) -> u64 {
+        let mut state = self.clone();
+        state.normalize_measurements();
+        harmony_rng::fnv::fnv1a_64(state.canonical_json().as_bytes())
+    }
+
+    /// FNV-1a 64 with measurements *and* the clock normalized out — the
+    /// crash-equivalence fingerprint the recovery oracles compare, where
+    /// an unlogged `set_time` must not distinguish states.
+    pub fn recovery_fingerprint(&self) -> u64 {
+        let mut state = self.clone();
+        state.normalize_measurements();
+        state.normalize_clock();
+        harmony_rng::fnv::fnv1a_64(state.canonical_json().as_bytes())
+    }
 }
 
 /// How a recovered controller came to be. Surfaced in

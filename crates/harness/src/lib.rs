@@ -31,6 +31,7 @@ pub mod artifact;
 pub mod oracle;
 pub mod recovery;
 pub mod schedule;
+pub mod shadow;
 pub mod shrink;
 pub mod world;
 
@@ -41,7 +42,8 @@ use serde::{Deserialize, Serialize};
 pub use oracle::Violation;
 pub use recovery::{crash_run, recover, CrashedRun, RecoveredRun};
 pub use schedule::{generate, Op, OpKind, Schedule};
-pub use world::World;
+pub use shadow::{ShadowLeases, ShadowSession};
+pub use world::{palette, World};
 
 /// A deliberately planted controller bug, for validating that the
 /// oracles actually catch regressions (and that the shrinker reduces

@@ -6,7 +6,11 @@
 
 use std::collections::BTreeMap;
 
-use harmony_core::{Controller, DecisionRecord, JournalTail};
+use harmony_core::{
+    Controller, DecisionRecord, InstanceId, JournalTail, RetireReason, RetirementRecord,
+};
+
+use crate::shadow::ShadowLeases;
 
 /// Tolerance for recomputed floating-point resource sums (memory,
 /// seconds). Lease deadlines are compared exactly: the shadow model
@@ -26,7 +30,9 @@ pub struct Violation {
 }
 
 impl Violation {
-    pub(crate) fn new(op_index: usize, oracle: &str, detail: String) -> Self {
+    /// Builds a violation (public so `harmony-mc` reports through the
+    /// same type its artifacts serialize).
+    pub fn new(op_index: usize, oracle: &str, detail: String) -> Self {
         Violation { op_index, oracle: oracle.to_string(), detail }
     }
 }
@@ -153,6 +159,85 @@ pub fn check_sessions(ctl: &Controller, op_index: usize) -> Result<(), Violation
             op_index,
             "sessions",
             format!("instances {instances:?} != lease sessions {sessions:?}"),
+        ));
+    }
+    Ok(())
+}
+
+/// The continuous lease oracle: the controller's session table must
+/// equal the shadow model exactly — same instances, bit-identical stored
+/// deadlines, same disconnect marks, and the same effective deadline once
+/// pending read-path touches are accounted for.
+pub fn check_lease_agreement(
+    ctl: &Controller,
+    shadow: &ShadowLeases,
+    op_index: usize,
+) -> Result<(), Violation> {
+    let sessions = ctl.sessions();
+    let model = shadow.sessions();
+    if sessions.len() != model.len() || !sessions.keys().eq(model.keys()) {
+        let actual: Vec<String> = sessions.keys().map(ToString::to_string).collect();
+        let expected: Vec<String> = model.keys().map(ToString::to_string).collect();
+        return Err(Violation::new(
+            op_index,
+            "lease",
+            format!("sessions {actual:?}, shadow model expected {expected:?}"),
+        ));
+    }
+    let duration = shadow.lease().duration;
+    for (id, actual) in sessions {
+        let expected = &model[id];
+        if actual.deadline != expected.deadline {
+            return Err(Violation::new(
+                op_index,
+                "lease",
+                format!(
+                    "{id}: stored deadline {} != shadow {}",
+                    actual.deadline, expected.deadline
+                ),
+            ));
+        }
+        if actual.disconnected != expected.disconnected {
+            return Err(Violation::new(
+                op_index,
+                "lease",
+                format!(
+                    "{id}: disconnected={} != shadow {}",
+                    actual.disconnected, expected.disconnected
+                ),
+            ));
+        }
+        let effective = ctl.effective_deadline(id).unwrap_or(f64::NAN);
+        if effective != expected.effective(duration) {
+            return Err(Violation::new(
+                op_index,
+                "lease",
+                format!(
+                    "{id}: effective deadline {effective} != shadow {}",
+                    expected.effective(duration)
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// The reap oracle: the retirements a reap appended must equal — as a
+/// set with reasons — what the shadow model of a correct reap expected
+/// (see [`ShadowLeases::expected_reap`]).
+pub fn check_reap(
+    appended: &[RetirementRecord],
+    expected: &BTreeMap<InstanceId, RetireReason>,
+    now: f64,
+    op_index: usize,
+) -> Result<(), Violation> {
+    let actual: BTreeMap<InstanceId, RetireReason> =
+        appended.iter().map(|r| (r.instance.clone(), r.reason)).collect();
+    if actual != *expected {
+        return Err(Violation::new(
+            op_index,
+            "lease",
+            format!("reap at t={now} retired {actual:?}, shadow model expected {expected:?}"),
         ));
     }
     Ok(())

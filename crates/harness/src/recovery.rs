@@ -31,18 +31,12 @@ use crate::schedule::{generate, OpKind, CLIENT_SLOTS};
 /// not WAL-logged — every event carries its own timestamp and a restarted
 /// daemon re-anchors to wall time — so a `set_time` followed by no
 /// loggable event is legitimately lost to a crash).
-pub fn state_fingerprint(mut state: PersistedState) -> u64 {
-    for d in &mut state.decisions {
-        d.phases = Default::default();
-    }
-    state.now = 0.0;
-    let json = serde_json::to_string(&state).expect("persisted state serializes");
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in json.bytes() {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
+///
+/// This is [`PersistedState::recovery_fingerprint`] — the normalization
+/// and fold now live in `harmony-core`/`harmony-rng` so `harmony-mc`'s
+/// crash-point enumeration compares the identical fingerprint.
+pub fn state_fingerprint(state: PersistedState) -> u64 {
+    state.recovery_fingerprint()
 }
 
 /// What the crashed run looked like the instant before it died.

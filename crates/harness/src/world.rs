@@ -26,22 +26,26 @@ use std::sync::Arc;
 use harmony_client::{HarmonyClient, UpdateDelivery};
 use harmony_core::{
     Controller, ControllerConfig, DecisionRecord, HarmonyEvent, InstanceId, JournalEntry,
-    LeaseConfig, RetireReason,
+    LeaseConfig,
 };
 use harmony_proto::{
     CallRecord, ChaosTransport, LocalTransport, Request, Response, SharedController,
 };
 use harmony_resources::Cluster;
+use harmony_rng::fnv::{Fnv64, FNV_OFFSET};
 use harmony_rsl::listings;
 use harmony_rsl::schema::{LinkDecl, NodeDecl};
 use parking_lot::RwLock;
 
 use crate::oracle::{self, Violation};
 use crate::schedule::{Op, OpKind, Schedule, CLIENT_SLOTS, NODE_COUNT};
+use crate::shadow::ShadowLeases;
 use crate::{PlantedBug, RunReport};
 
-/// The `(app, bundle script)` palette a client slot is pinned to.
-fn palette(slot: usize) -> (&'static str, &'static str) {
+/// The `(app, bundle script)` palette a client slot is pinned to. Public
+/// so `harmony-mc` drives the exact sessions a replayed counterexample
+/// schedule will re-create.
+pub fn palette(slot: usize) -> (&'static str, &'static str) {
     if slot.is_multiple_of(2) {
         ("bag", listings::FIG2B_BAG)
     } else {
@@ -49,74 +53,40 @@ fn palette(slot: usize) -> (&'static str, &'static str) {
     }
 }
 
-/// FNV-1a 64, folded incrementally over the observable decision/journal
-/// sequence. Chosen over a cryptographic hash because the fingerprint is
-/// a determinism check, not a security boundary, and FNV keeps the fold
-/// allocation-free.
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
-
-fn fold_bytes(h: &mut u64, bytes: &[u8]) {
-    for &b in bytes {
-        *h ^= u64::from(b);
-        *h = h.wrapping_mul(FNV_PRIME);
-    }
-}
-
-fn fold_u64(h: &mut u64, x: u64) {
-    fold_bytes(h, &x.to_le_bytes());
-}
-
-fn fold_f64(h: &mut u64, x: f64) {
-    fold_u64(h, x.to_bits());
-}
+// The observable-sequence fingerprint folds with `harmony_rng::fnv` (the
+// field conventions — LE integers, bit-pattern floats, 0xff string
+// terminator — originated here and are pinned by that module's tests).
 
 fn fold_str(h: &mut u64, s: &str) {
-    fold_bytes(h, s.as_bytes());
-    fold_bytes(h, &[0xff]); // separator so "ab"+"c" != "a"+"bc"
+    let mut f = Fnv64::resume(*h);
+    f.write_str(s);
+    *h = f.finish();
 }
 
 fn fold_entry(h: &mut u64, e: &JournalEntry) {
-    fold_u64(h, e.seq);
-    fold_f64(h, e.time);
-    fold_str(h, &e.kind.to_string());
-    fold_str(h, &e.detail);
+    let mut f = Fnv64::resume(*h);
+    f.write_u64(e.seq);
+    f.write_f64(e.time);
+    f.write_str(&e.kind.to_string());
+    f.write_str(&e.detail);
+    *h = f.finish();
 }
 
 fn fold_decision(h: &mut u64, d: &DecisionRecord) {
-    fold_f64(h, d.time);
-    fold_str(h, &d.instance.to_string());
-    fold_str(h, &d.bundle);
-    fold_str(h, d.from.as_deref().unwrap_or("-"));
-    fold_str(h, &d.to);
-    fold_f64(h, d.objective_before);
-    fold_f64(h, d.objective_after);
-    fold_str(h, d.cause.as_deref().unwrap_or("-"));
+    let mut f = Fnv64::resume(*h);
+    f.write_f64(d.time);
+    f.write_str(&d.instance.to_string());
+    f.write_str(&d.bundle);
+    f.write_str(d.from.as_deref().unwrap_or("-"));
+    f.write_str(&d.to);
+    f.write_f64(d.objective_before);
+    f.write_f64(d.objective_after);
+    f.write_str(d.cause.as_deref().unwrap_or("-"));
     for &seq in &d.provenance {
-        fold_u64(h, seq);
+        f.write_u64(seq);
     }
-    fold_bytes(h, &[0xfe]);
-}
-
-/// Shadow lease state of one instance, mirroring the controller's
-/// two-level scheme: `deadline` is what write-path renewals maintain,
-/// `stamp` is the newest unfolded read-path touch (`0.0` = none).
-#[derive(Debug, Clone, PartialEq)]
-struct ShadowSession {
-    deadline: f64,
-    stamp: f64,
-    disconnected: bool,
-}
-
-impl ShadowSession {
-    /// The deadline as the (correct) reaper will see it after folding.
-    fn effective(&self, duration: f64) -> f64 {
-        if self.stamp == 0.0 {
-            self.deadline
-        } else {
-            self.deadline.max(self.stamp + duration)
-        }
-    }
+    f.write_bytes(&[0xfe]);
+    *h = f.finish();
 }
 
 /// One client slot: a real client over a chaos transport, plus the
@@ -141,7 +111,7 @@ pub struct World {
     lease: LeaseConfig,
     planted: PlantedBug,
     slots: Vec<Slot>,
-    shadow: BTreeMap<InstanceId, ShadowSession>,
+    shadow: ShadowLeases,
     /// Departed nodes and their original declarations, for rejoins.
     evicted: BTreeMap<String, NodeDecl>,
     time_ms: u64,
@@ -180,7 +150,7 @@ impl World {
             lease,
             planted,
             slots,
-            shadow: BTreeMap::new(),
+            shadow: ShadowLeases::new(lease),
             evicted: BTreeMap::new(),
             time_ms: 0,
             cursor: 0,
@@ -348,7 +318,8 @@ impl World {
             OpKind::MarkDisconnected { client } => {
                 if let Some(id) = self.slots[*client as usize].instance.clone() {
                     self.ctl.write().mark_disconnected(&id);
-                    self.shadow_mark_disconnected(&id);
+                    let now = self.now();
+                    self.shadow.mark_disconnected(&id, now);
                 }
                 Ok(())
             }
@@ -467,85 +438,14 @@ impl World {
             .write()
             .reap_expired(now)
             .map_err(|e| Violation::new(i, "controller-error", e.to_string()))?;
-        // Shadow model of a *correct* reap: fold all read-path touches,
-        // then retire every session whose deadline has passed.
-        let duration = self.lease.duration;
-        for s in self.shadow.values_mut() {
-            Self::fold_shadow(s, duration);
-        }
-        let mut expected: BTreeMap<InstanceId, RetireReason> = BTreeMap::new();
-        for (id, s) in &self.shadow {
-            if s.deadline <= now {
-                let reason = if s.disconnected {
-                    RetireReason::Disconnected
-                } else {
-                    RetireReason::LeaseExpired
-                };
-                expected.insert(id.clone(), reason);
-            }
-        }
-        for id in expected.keys() {
-            self.shadow.remove(id);
-        }
+        let expected = self.shadow.expected_reap(now);
         let ctl = self.ctl.read();
-        let actual: BTreeMap<InstanceId, RetireReason> = ctl.retirements()[retire_before..]
-            .iter()
-            .map(|r| (r.instance.clone(), r.reason))
-            .collect();
-        if actual != expected {
-            return Err(Violation::new(
-                i,
-                "lease",
-                format!("reap at t={now} retired {actual:?}, shadow model expected {expected:?}"),
-            ));
-        }
-        Ok(())
+        oracle::check_reap(&ctl.retirements()[retire_before..], &expected, now, i)
     }
 
     // ------------------------------------------------------------------
     // Shadow transitions (driven by the ground-truth call logs).
     // ------------------------------------------------------------------
-
-    fn fold_shadow(s: &mut ShadowSession, duration: f64) {
-        if s.stamp != 0.0 {
-            let renewed = s.stamp + duration;
-            if renewed > s.deadline {
-                s.deadline = renewed;
-            }
-            s.disconnected = false;
-            s.stamp = 0.0;
-        }
-    }
-
-    fn shadow_renew(&mut self, id: &InstanceId) {
-        let now = self.now();
-        if let Some(s) = self.shadow.get_mut(id) {
-            s.deadline = now + self.lease.duration;
-            s.disconnected = false;
-        }
-    }
-
-    fn shadow_touch(&mut self, id: &InstanceId) {
-        let now = self.now();
-        if let Some(s) = self.shadow.get_mut(id) {
-            if now > s.stamp {
-                s.stamp = now;
-            }
-        }
-    }
-
-    fn shadow_mark_disconnected(&mut self, id: &InstanceId) {
-        let duration = self.lease.duration;
-        let grace = self.lease.disconnect_grace;
-        let now = self.now();
-        if let Some(s) = self.shadow.get_mut(id) {
-            Self::fold_shadow(s, duration);
-            if !s.disconnected {
-                s.disconnected = true;
-                s.deadline = s.deadline.min(now + grace);
-            }
-        }
-    }
 
     /// Applies one delivered request's lease effect, mirroring the
     /// server's dispatch exactly (renewal ordering included: `bundle`
@@ -555,36 +455,30 @@ impl World {
         if !rec.delivered {
             return; // the server never saw it
         }
+        let now = self.now();
         match (&rec.request, &rec.response) {
             (Request::Startup { .. }, Some(Response::Registered { app, id })) => {
                 let id = InstanceId::new(app.clone(), *id);
-                self.shadow.insert(
-                    id.clone(),
-                    ShadowSession {
-                        deadline: self.now() + self.lease.duration,
-                        stamp: 0.0,
-                        disconnected: false,
-                    },
-                );
+                self.shadow.insert_startup(id.clone(), now);
                 self.slots[slot_idx].instance = Some(id);
             }
             (Request::Reattach { app, id }, Some(Response::Registered { .. })) => {
                 let id = InstanceId::new(app.clone(), *id);
-                self.shadow_renew(&id);
+                self.shadow.renew(&id, now);
                 self.slots[slot_idx].instance = Some(id);
             }
             (Request::Bundle { app, id, .. }, Some(_)) => {
                 // Renewed whether or not the bundle was accepted.
-                self.shadow_renew(&InstanceId::new(app.clone(), *id));
+                self.shadow.renew(&InstanceId::new(app.clone(), *id), now);
             }
             (Request::Poll { app, id }, _) | (Request::Heartbeat { app, id }, _) => {
-                self.shadow_touch(&InstanceId::new(app.clone(), *id));
+                self.shadow.touch(&InstanceId::new(app.clone(), *id), now);
             }
             (Request::Metric { name, .. }, _) => {
                 let mut parts = name.splitn(3, '.');
                 if let (Some(app), Some(id), Some(_)) = (parts.next(), parts.next(), parts.next()) {
                     if let Ok(id) = id.parse::<u64>() {
-                        self.shadow_touch(&InstanceId::new(app, id));
+                        self.shadow.touch(&InstanceId::new(app, id), now);
                     }
                 }
             }
@@ -642,60 +536,6 @@ impl World {
             oracle::check_capacity(&ctl, i)?;
             oracle::check_sessions(&ctl, i)?;
         }
-        self.check_lease_agreement(i)
-    }
-
-    /// The continuous lease oracle: the controller's session table must
-    /// equal the shadow model exactly — same instances, bit-identical
-    /// stored deadlines, same disconnect marks, and the same effective
-    /// deadline once pending read-path touches are accounted for.
-    fn check_lease_agreement(&self, i: usize) -> Result<(), Violation> {
-        let ctl = self.ctl.read();
-        let sessions = ctl.sessions();
-        if sessions.len() != self.shadow.len() || !sessions.keys().eq(self.shadow.keys()) {
-            let actual: Vec<String> = sessions.keys().map(ToString::to_string).collect();
-            let expected: Vec<String> = self.shadow.keys().map(ToString::to_string).collect();
-            return Err(Violation::new(
-                i,
-                "lease",
-                format!("sessions {actual:?}, shadow model expected {expected:?}"),
-            ));
-        }
-        let duration = self.lease.duration;
-        for (id, actual) in sessions {
-            let expected = &self.shadow[id];
-            if actual.deadline != expected.deadline {
-                return Err(Violation::new(
-                    i,
-                    "lease",
-                    format!(
-                        "{id}: stored deadline {} != shadow {}",
-                        actual.deadline, expected.deadline
-                    ),
-                ));
-            }
-            if actual.disconnected != expected.disconnected {
-                return Err(Violation::new(
-                    i,
-                    "lease",
-                    format!(
-                        "{id}: disconnected={} != shadow {}",
-                        actual.disconnected, expected.disconnected
-                    ),
-                ));
-            }
-            let effective = ctl.effective_deadline(id).unwrap_or(f64::NAN);
-            if effective != expected.effective(duration) {
-                return Err(Violation::new(
-                    i,
-                    "lease",
-                    format!(
-                        "{id}: effective deadline {effective} != shadow {}",
-                        expected.effective(duration)
-                    ),
-                ));
-            }
-        }
-        Ok(())
+        oracle::check_lease_agreement(&self.ctl.read(), &self.shadow, i)
     }
 }

@@ -1,0 +1,554 @@
+//! The transition engine: executes one verb against a real controller
+//! rebuilt from a canonical state, runs the shared oracles, and (with
+//! crashes enabled) enumerates crash points over the path's WAL stream.
+//!
+//! Every transition is hermetic: the parent's [`PersistedState`] is
+//! rehydrated through [`Controller::from_persisted`] — the same code
+//! path crash recovery uses — the verb executes exactly as the wire
+//! server would dispatch it, and the child is canonicalized back out.
+//! The controller never survives between transitions, so exploration
+//! order cannot leak state.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use harmony_core::{
+    Controller, ControllerConfig, HarmonyEvent, InstanceId, PersistedState, WalEvent,
+};
+use harmony_harness::{config_for_seed, oracle, palette, Op, OpKind, PlantedBug};
+use harmony_harness::{ShadowLeases, Violation};
+use harmony_resources::Cluster;
+use harmony_rsl::schema::NodeDecl;
+use harmony_wal::{decode_records, record_boundaries, WalConfig, WalTail, WalWriter};
+
+use crate::{Scope, Verb, JUMP_MS, LEAVE_NODE, METRIC_MS, STEP_MS};
+
+/// One client slot's view: the registered instance (if live) and whether
+/// its bundle is up.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Slot {
+    /// The live registration, if any.
+    pub instance: Option<InstanceId>,
+    /// Whether the palette bundle was accepted.
+    pub bundled: bool,
+}
+
+/// One canonical node of the state graph: the controller image plus the
+/// path bookkeeping the oracles need. Everything here is a function of
+/// the controller state (slot liveness and bundles are recoverable from
+/// the session table and app registry; the cursor equals the drained
+/// journal seq), so deduplicating on [`Node::fingerprint`] is sound.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// The canonical controller image.
+    pub state: PersistedState,
+    /// The shadow lease model, advanced verb-for-verb.
+    pub shadow: ShadowLeases,
+    /// Client slots (length = [`Scope::clients`]).
+    pub slots: Vec<Slot>,
+    /// Virtual clock, milliseconds.
+    pub at_ms: u64,
+    /// `Jump` verbs spent on this path.
+    pub jumps: u8,
+    /// Journal tail cursor (the oracle drains after every verb).
+    pub cursor: u64,
+    /// [`PersistedState::canonical_fingerprint`] of `state` — the
+    /// visited-set key.
+    pub fingerprint: u64,
+}
+
+/// The accumulated WAL byte stream of the current path, plus the
+/// recovery fingerprint after each verb prefix (`prefix_fps[d]` = state
+/// after `d` verbs). The explorer truncates both when backtracking.
+#[derive(Debug, Default)]
+pub struct CrashCtx {
+    /// Concatenated WAL records of every verb on the current path.
+    pub bytes: Vec<u8>,
+    /// [`PersistedState::recovery_fingerprint`] after each verb prefix.
+    pub prefix_fps: Vec<u64>,
+    /// Crash cuts checked so far (for stats).
+    pub cuts: u64,
+}
+
+impl CrashCtx {
+    /// A savepoint to [`CrashCtx::rewind`] to when backtracking.
+    pub fn mark(&self) -> (usize, usize) {
+        (self.bytes.len(), self.prefix_fps.len())
+    }
+
+    /// Rewinds to a savepoint (cut counts are cumulative and stay).
+    pub fn rewind(&mut self, mark: (usize, usize)) {
+        self.bytes.truncate(mark.0);
+        self.prefix_fps.truncate(mark.1);
+    }
+}
+
+/// The outcome of replaying a fixed op sequence through the engine (used
+/// by `harmony-mc replay` and the MC-local ddmin).
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// The first violation, if any.
+    pub violation: Option<Violation>,
+    /// Canonical fingerprint of the final state reached.
+    pub final_fingerprint: u64,
+    /// Ops executed (stops at the violation).
+    pub executed: usize,
+}
+
+static WAL_SCRATCH: AtomicU64 = AtomicU64::new(0);
+
+struct WalCapture {
+    writer: Arc<WalWriter>,
+    path: PathBuf,
+    dir: PathBuf,
+}
+
+/// The transition engine for one [`Scope`].
+pub struct Engine {
+    scope: Scope,
+    config: ControllerConfig,
+    cluster: Cluster,
+    leave_decl: NodeDecl,
+    leave_name: String,
+    wal: Option<WalCapture>,
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        if let Some(w) = &self.wal {
+            let _ = std::fs::remove_dir_all(&w.dir);
+        }
+    }
+}
+
+impl Engine {
+    /// Builds the engine: parses the genesis cluster, derives the
+    /// configuration from the scope's seed, and (with crashes on) opens
+    /// the scratch WAL the transitions log through.
+    pub fn new(scope: Scope) -> Engine {
+        let cluster = Cluster::from_rsl(&harmony_rsl::listings::sp2_cluster(usize::from(
+            harmony_harness::schedule::NODE_COUNT,
+        )))
+        .expect("sp2 cluster parses");
+        let leave_name = format!("node{LEAVE_NODE:02}");
+        let leave_decl = cluster
+            .node(&leave_name)
+            .map(|state| state.decl.clone())
+            .expect("leave node exists in the genesis cluster");
+        let config = config_for_seed(scope.seed);
+        let wal = scope.crashes.then(|| {
+            let dir = std::env::temp_dir().join(format!(
+                "harmony-mc-{}-{}",
+                std::process::id(),
+                WAL_SCRATCH.fetch_add(1, Ordering::Relaxed)
+            ));
+            std::fs::create_dir_all(&dir).expect("create mc wal scratch dir");
+            let path = dir.join("mc.wal");
+            let writer = Arc::new(
+                WalWriter::create(&path, WalConfig::default()).expect("create mc scratch wal"),
+            );
+            WalCapture { writer, path, dir }
+        });
+        Engine { scope, config, cluster, leave_decl, leave_name, wal }
+    }
+
+    /// The scope this engine checks.
+    pub fn scope(&self) -> &Scope {
+        &self.scope
+    }
+
+    /// Whether the configuration coalesces re-evaluations (gates the
+    /// `Tick` verb: without coalescing a tick never fires).
+    pub fn tick_enabled(&self) -> bool {
+        self.config.coalesce.window > 0.0
+    }
+
+    fn apply_chaos(&self, ctl: &mut Controller) {
+        if self.scope.planted == PlantedBug::ReaperSkipsTouchFold {
+            ctl.chaos_set_skip_touch_fold(true);
+        }
+        if self.scope.skip_wal_renew {
+            ctl.chaos_set_skip_wal_renew(true);
+        }
+    }
+
+    /// A fresh genesis controller (chaos hooks applied, no WAL).
+    pub fn genesis_controller(&self) -> Controller {
+        let mut ctl = Controller::new(self.cluster.clone(), self.config.clone());
+        self.apply_chaos(&mut ctl);
+        ctl
+    }
+
+    /// The root node, and (if a crash context is given) its baseline
+    /// recovery fingerprint.
+    pub fn genesis(&self, ctx: Option<&mut CrashCtx>) -> Node {
+        let ctl = self.genesis_controller();
+        let state = ctl.persisted_state();
+        let fingerprint = state.canonical_fingerprint();
+        if let Some(ctx) = ctx {
+            ctx.prefix_fps.push(state.recovery_fingerprint());
+        }
+        Node {
+            state,
+            shadow: ShadowLeases::new(self.config.lease),
+            slots: vec![Slot::default(); usize::from(self.scope.clients)],
+            at_ms: 0,
+            jumps: 0,
+            cursor: 0,
+            fingerprint,
+        }
+    }
+
+    /// The virtual time (ms) and jump count after `verb` fires from
+    /// `parent`.
+    pub fn verb_time(parent: &Node, verb: Verb) -> (u64, u8) {
+        match verb {
+            Verb::Advance => (parent.at_ms + STEP_MS, parent.jumps),
+            Verb::Jump => (parent.at_ms + JUMP_MS, parent.jumps + 1),
+            _ => (parent.at_ms, parent.jumps),
+        }
+    }
+
+    /// The harness op a verb maps to (`None` for the clock verbs, which
+    /// exist only to place later ops in time).
+    pub fn op_for(verb: Verb, at_ms: u64) -> Option<Op> {
+        let kind = match verb {
+            Verb::Advance | Verb::Jump => return None,
+            Verb::Start(c) => OpKind::Start { client: c },
+            Verb::AddBundle(c) => OpKind::AddBundle { client: c },
+            Verb::Poll(c) => OpKind::Poll { client: c },
+            Verb::Heartbeat(c) => OpKind::Heartbeat { client: c },
+            Verb::Metric(c) => OpKind::Metric { client: c, millis: METRIC_MS },
+            Verb::End(c) => OpKind::End { client: c },
+            Verb::Reap => OpKind::Reap,
+            Verb::Tick => OpKind::Tick,
+            Verb::NodeLeft => OpKind::NodeLeft { node: LEAVE_NODE },
+            Verb::NodeRejoin => OpKind::NodeRejoin { node: LEAVE_NODE },
+        };
+        Some(Op { at_ms, kind })
+    }
+
+    /// Executes one verb: rebuild the controller from the parent image,
+    /// dispatch the verb exactly as the wire server would, advance the
+    /// shadow model, run every oracle, and canonicalize the child. With
+    /// a crash context, the verb's WAL records are captured and every
+    /// crash cut through them is checked.
+    ///
+    /// # Errors
+    ///
+    /// The first [`Violation`] any oracle (or crash cut) reports.
+    pub fn step(
+        &self,
+        parent: &Node,
+        verb: Verb,
+        at_ms: u64,
+        step_index: usize,
+        crash: Option<&mut CrashCtx>,
+    ) -> Result<Node, Violation> {
+        let mut ctl = Controller::from_persisted(parent.state.clone())
+            .map_err(|e| Violation::new(step_index, "rehydrate", e.to_string()))?;
+        self.apply_chaos(&mut ctl);
+        if let Some(w) = &self.wal {
+            w.writer.rotate(&w.path).expect("rotate mc scratch wal");
+            ctl.attach_wal(Arc::clone(&w.writer));
+        }
+
+        let now = at_ms as f64 / 1000.0;
+        ctl.set_time(now);
+        let mut shadow = parent.shadow.clone();
+        let mut slots = parent.slots.clone();
+        let decisions_before = ctl.decisions().len();
+        let retire_before = ctl.retirements().len();
+
+        // Dispatch. Verbs addressing a slot in the wrong liveness state
+        // are no-ops, exactly like the harness's ops — the property that
+        // keeps every subsequence of a counterexample replayable.
+        match verb {
+            Verb::Advance | Verb::Jump => {}
+            Verb::Start(c) => {
+                let slot = &mut slots[usize::from(c)];
+                if slot.instance.is_none() {
+                    let (app, _) = palette(usize::from(c));
+                    let id = ctl.startup(app);
+                    shadow.insert_startup(id.clone(), now);
+                    slot.instance = Some(id);
+                    slot.bundled = false;
+                }
+            }
+            Verb::AddBundle(c) => {
+                let slot = &mut slots[usize::from(c)];
+                if let Some(id) = slot.instance.clone() {
+                    if !slot.bundled {
+                        // The server renews before it even parses the
+                        // bundle, accepted or not.
+                        ctl.renew_lease(&id);
+                        shadow.renew(&id, now);
+                        let (_, script) = palette(usize::from(c));
+                        let ok = ctl
+                            .handle_event(HarmonyEvent::BundleSetup {
+                                instance: id,
+                                script: script.to_string(),
+                            })
+                            .is_ok();
+                        slot.bundled = ok;
+                    }
+                }
+            }
+            Verb::Poll(c) => {
+                if let Some(id) = slots[usize::from(c)].instance.clone() {
+                    if ctl.touch(&id) {
+                        shadow.touch(&id, now);
+                    }
+                    let _ = ctl.take_pending_vars(&id);
+                }
+            }
+            Verb::Heartbeat(c) => {
+                if let Some(id) = slots[usize::from(c)].instance.clone() {
+                    if ctl.touch(&id) {
+                        shadow.touch(&id, now);
+                    }
+                }
+            }
+            Verb::Metric(c) => {
+                if let Some(id) = slots[usize::from(c)].instance.clone() {
+                    let name = format!("{id}.response_time");
+                    ctl.touch_for_metric(&name);
+                    shadow.touch(&id, now);
+                    let _ = ctl.record_metric(&name, now, f64::from(METRIC_MS) / 1000.0);
+                }
+            }
+            Verb::End(c) => {
+                let slot = &mut slots[usize::from(c)];
+                if let Some(id) = slot.instance.take() {
+                    if ctl.end(&id).is_ok() {
+                        shadow.remove(&id);
+                    }
+                    slot.bundled = false;
+                }
+            }
+            Verb::Reap => {
+                let _ = ctl.reap_expired(now);
+                let expected = shadow.expected_reap(now);
+                oracle::check_reap(
+                    &ctl.retirements()[retire_before..],
+                    &expected,
+                    now,
+                    step_index,
+                )?;
+            }
+            Verb::Tick => {
+                let _ = ctl.service_scheduler(now);
+            }
+            Verb::NodeLeft => {
+                let present = ctl.cluster().node(&self.leave_name).is_some();
+                if present && ctl.cluster().len() > 4 {
+                    let _ =
+                        ctl.handle_event(HarmonyEvent::NodeLeft { name: self.leave_name.clone() });
+                }
+            }
+            Verb::NodeRejoin => {
+                if ctl.cluster().node(&self.leave_name).is_none() {
+                    let _ = ctl.handle_event(HarmonyEvent::NodeJoined(self.leave_decl.clone()));
+                }
+            }
+        }
+
+        // The shared oracles, identical to the harness's per-op pass.
+        let tail = ctl.journal_tail(parent.cursor, usize::MAX);
+        oracle::check_journal_tail(&tail, parent.cursor, ctl.journal_seq(), step_index)?;
+        let cursor = tail.next_cursor;
+        oracle::check_provenance(
+            &ctl.decisions()[decisions_before..],
+            ctl.journal_seq(),
+            step_index,
+        )?;
+        oracle::check_capacity(&ctl, step_index)?;
+        oracle::check_sessions(&ctl, step_index)?;
+        oracle::check_lease_agreement(&ctl, &shadow, step_index)?;
+
+        let state = ctl.persisted_state();
+        let fingerprint = state.canonical_fingerprint();
+        let (_, jumps) = Self::verb_time(parent, verb);
+        let node = Node { state, shadow, slots, at_ms, jumps, cursor, fingerprint };
+
+        if let Some(ctx) = crash {
+            let w = self.wal.as_ref().expect("crash context requires a crash-enabled engine");
+            drop(ctl); // release the writer before reading the chunk
+            w.writer.sync().expect("sync mc scratch wal");
+            let chunk = std::fs::read(&w.path).expect("read mc scratch wal");
+            self.crash_check(ctx, &chunk, &node, step_index)?;
+        }
+        Ok(node)
+    }
+
+    /// Checks every crash cut the verb introduced. The path stream grows
+    /// by `chunk`; for the prefix ending at each *new* record boundary,
+    /// the truncated stream must decode clean and replay (through
+    /// [`Controller::apply_wal_event`], the recovery path) to a state
+    /// that is internally consistent; the full stream must replay to
+    /// exactly the in-memory state (`recovery_fingerprint` equality —
+    /// this is what catches a verb mutating state it never logged); and
+    /// a torn cut through the last record must be classified torn and
+    /// recover exactly the last complete record's state.
+    fn crash_check(
+        &self,
+        ctx: &mut CrashCtx,
+        chunk: &[u8],
+        child: &Node,
+        step_index: usize,
+    ) -> Result<(), Violation> {
+        let crash = |detail: String| Violation::new(step_index, "crash", detail);
+        let prev_len = ctx.bytes.len();
+        ctx.bytes.extend_from_slice(chunk);
+        let prev_fp = *ctx.prefix_fps.last().expect("crash context is seeded at genesis");
+        let child_fp = child.state.recovery_fingerprint();
+
+        if chunk.is_empty() {
+            // Nothing was logged, so recovery lands on the previous
+            // prefix state: the verb must not have changed durable state.
+            if child_fp != prev_fp {
+                return Err(crash(format!(
+                    "verb logged nothing but changed durable state \
+                     (recovered {prev_fp:016x} != live {child_fp:016x})"
+                )));
+            }
+            ctx.prefix_fps.push(child_fp);
+            return Ok(());
+        }
+
+        let bounds = record_boundaries(chunk);
+        if *bounds.last().expect("boundaries start at 0") != chunk.len() as u64 {
+            return Err(crash(format!(
+                "writer emitted a damaged chunk: valid boundaries end at {} of {} bytes",
+                bounds.last().expect("nonempty"),
+                chunk.len()
+            )));
+        }
+
+        // Every new record boundary is a crash point.
+        let mut bound_fps = vec![prev_fp];
+        for &b in &bounds[1..] {
+            let cut = prev_len + b as usize;
+            ctx.cuts += 1;
+            let (ctl, tail) = self.replay(&ctx.bytes[..cut], step_index)?;
+            if tail != WalTail::Clean {
+                return Err(crash(format!(
+                    "cut at record boundary {cut} decoded as {tail:?}, not clean"
+                )));
+            }
+            let fp = ctl.persisted_state().recovery_fingerprint();
+            if cut == ctx.bytes.len() {
+                if fp != child_fp {
+                    return Err(crash(format!(
+                        "full-stream recovery diverges from the live state \
+                         (recovered {fp:016x} != live {child_fp:016x}) — \
+                         some applied mutation was never logged"
+                    )));
+                }
+            } else {
+                // A mid-verb cut recovers a state between sub-verbs; it
+                // must still be internally consistent.
+                oracle::check_capacity(&ctl, step_index)
+                    .map_err(|v| crash(format!("recovered state at cut {cut}: {v}")))?;
+                oracle::check_sessions(&ctl, step_index)
+                    .map_err(|v| crash(format!("recovered state at cut {cut}: {v}")))?;
+            }
+            bound_fps.push(fp);
+        }
+
+        // One torn cut through the final record: recovery must classify
+        // the tail as torn and land exactly on the last boundary state.
+        let final_start = prev_len + bounds[bounds.len() - 2] as usize;
+        let mid = final_start + (ctx.bytes.len() - final_start) / 2;
+        ctx.cuts += 1;
+        let (ctl, tail) = self.replay(&ctx.bytes[..mid], step_index)?;
+        match tail {
+            WalTail::Torn { offset } if offset as usize == final_start => {}
+            other => {
+                return Err(crash(format!(
+                    "torn cut at {mid} classified as {other:?}, expected torn at {final_start}"
+                )));
+            }
+        }
+        let fp = ctl.persisted_state().recovery_fingerprint();
+        let expect = bound_fps[bound_fps.len() - 2];
+        if fp != expect {
+            return Err(crash(format!(
+                "torn-tail recovery at {mid} reached {fp:016x}, expected the \
+                 last complete record's state {expect:016x}"
+            )));
+        }
+
+        ctx.prefix_fps.push(child_fp);
+        Ok(())
+    }
+
+    /// Decodes a truncated WAL image and replays it onto a genesis
+    /// controller — the recovery path, minus the snapshot (the MC never
+    /// checkpoints, so recovery is pure replay).
+    fn replay(&self, bytes: &[u8], step_index: usize) -> Result<(Controller, WalTail), Violation> {
+        let read = decode_records(bytes);
+        if let WalTail::Corrupted { record, offset } = read.tail {
+            return Err(Violation::new(
+                step_index,
+                "crash",
+                format!("truncated stream decodes as corrupted (record {record} at {offset})"),
+            ));
+        }
+        let mut ctl = self.genesis_controller();
+        for r in &read.records {
+            let text = std::str::from_utf8(r).map_err(|e| {
+                Violation::new(step_index, "crash", format!("non-utf8 wal record: {e}"))
+            })?;
+            let ev: WalEvent = serde_json::from_str(text).map_err(|e| {
+                Violation::new(step_index, "crash", format!("unparseable wal record: {e}"))
+            })?;
+            ctl.apply_wal_event(ev);
+        }
+        Ok((ctl, read.tail))
+    }
+
+    /// Replays a fixed op sequence (a counterexample or a ddmin
+    /// candidate) from genesis, with the same per-step oracles and crash
+    /// cuts exploration uses. Op kinds the MC never emits (transport
+    /// faults, restarts) are skipped.
+    pub fn run_ops(&self, ops: &[Op]) -> RunOutcome {
+        let mut ctx = self.scope.crashes.then(CrashCtx::default);
+        let mut node = self.genesis(ctx.as_mut());
+        let mut executed = 0;
+        for (i, op) in ops.iter().enumerate() {
+            let Some(verb) = verb_for(&op.kind) else { continue };
+            match self.step(&node, verb, op.at_ms, i, ctx.as_mut()) {
+                Ok(next) => node = next,
+                Err(v) => {
+                    return RunOutcome {
+                        violation: Some(v),
+                        final_fingerprint: node.fingerprint,
+                        executed,
+                    };
+                }
+            }
+            executed += 1;
+        }
+        RunOutcome { violation: None, final_fingerprint: node.fingerprint, executed }
+    }
+}
+
+/// The MC verb a harness op corresponds to (`None` for op kinds outside
+/// the MC's scope, which [`Engine::run_ops`] skips).
+pub fn verb_for(kind: &OpKind) -> Option<Verb> {
+    match kind {
+        OpKind::Start { client } => Some(Verb::Start(*client)),
+        OpKind::AddBundle { client } => Some(Verb::AddBundle(*client)),
+        OpKind::Poll { client } => Some(Verb::Poll(*client)),
+        OpKind::Heartbeat { client } => Some(Verb::Heartbeat(*client)),
+        OpKind::Metric { client, .. } => Some(Verb::Metric(*client)),
+        OpKind::End { client } => Some(Verb::End(*client)),
+        OpKind::Reap => Some(Verb::Reap),
+        OpKind::Tick => Some(Verb::Tick),
+        OpKind::NodeLeft { node } if *node == LEAVE_NODE => Some(Verb::NodeLeft),
+        OpKind::NodeRejoin { node } if *node == LEAVE_NODE => Some(Verb::NodeRejoin),
+        _ => None,
+    }
+}

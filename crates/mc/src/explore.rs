@@ -1,0 +1,213 @@
+//! Depth-bounded DFS over the canonical state graph, with sleep-set
+//! partial-order reduction for read-only verbs.
+//!
+//! States dedup on [`Node::fingerprint`]; a fingerprint revisited at a
+//! strictly shallower depth is re-expanded (the shallower visit has more
+//! remaining budget, so deeper successors may exist), which keeps the
+//! bounded search exhaustive. The reduction is the classic sleep-set
+//! rule restricted to verbs that provably commute here: because the
+//! clock only moves on explicit verbs, a heartbeat and an empty poll at
+//! the same state execute at the same timestamp, so either order
+//! produces the bit-identical state — exploring one order suffices.
+
+use std::collections::HashMap;
+
+use harmony_harness::{Op, Violation};
+
+use crate::engine::{CrashCtx, Engine, Node};
+use crate::{Scope, Verb};
+
+/// Exploration counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Distinct canonical states discovered (including genesis).
+    pub distinct_states: usize,
+    /// Transitions executed (each runs the full oracle battery).
+    pub transitions: u64,
+    /// Transitions skipped by the sleep-set rule.
+    pub por_skips: u64,
+    /// Transitions that landed on an already-known fingerprint.
+    pub revisits: u64,
+    /// States first discovered at each depth (`per_depth[0]` = genesis).
+    pub per_depth: Vec<usize>,
+    /// Crash cuts checked (boundary and torn).
+    pub crash_cuts: u64,
+}
+
+/// A violating verb path, in both vocabularies: the raw verbs (for MC
+/// diagnostics) and the harness ops they map to (for replay/shrinking).
+#[derive(Debug, Clone)]
+pub struct Counterexample {
+    /// The violation the path triggers.
+    pub violation: Violation,
+    /// The path as harness ops (clock verbs folded into `at_ms`).
+    pub ops: Vec<Op>,
+    /// The raw verb path, clock verbs included.
+    pub verbs: Vec<Verb>,
+}
+
+/// What an exploration found.
+#[derive(Debug)]
+pub struct Exploration {
+    /// The counters.
+    pub stats: Stats,
+    /// The first violating path, if any (exploration stops at it).
+    pub counterexample: Option<Counterexample>,
+}
+
+/// Exhaustively explores the scope to its depth bound.
+pub fn explore(scope: &Scope) -> Exploration {
+    let engine = Engine::new(*scope);
+    let mut ex = Explorer {
+        engine,
+        scope: *scope,
+        visited: HashMap::new(),
+        stats: Stats { per_depth: vec![0; scope.depth + 1], ..Stats::default() },
+        path_ops: Vec::new(),
+        path_verbs: Vec::new(),
+        ctx: scope.crashes.then(CrashCtx::default),
+    };
+    let genesis = ex.engine.genesis(ex.ctx.as_mut());
+    ex.visited.insert(genesis.fingerprint, 0);
+    ex.stats.distinct_states = 1;
+    ex.stats.per_depth[0] = 1;
+    let counterexample = ex.dfs(&genesis, 0, None).err().map(|b| *b);
+    if let Some(ctx) = &ex.ctx {
+        ex.stats.crash_cuts = ctx.cuts;
+    }
+    Exploration { stats: ex.stats, counterexample }
+}
+
+struct Explorer {
+    engine: Engine,
+    scope: Scope,
+    /// fingerprint -> shallowest depth seen.
+    visited: HashMap<u64, usize>,
+    stats: Stats,
+    path_ops: Vec<Op>,
+    path_verbs: Vec<Verb>,
+    ctx: Option<CrashCtx>,
+}
+
+impl Explorer {
+    fn dfs(
+        &mut self,
+        node: &Node,
+        depth: usize,
+        incoming: Option<(u32, bool)>,
+    ) -> Result<(), Box<Counterexample>> {
+        if depth >= self.scope.depth {
+            return Ok(());
+        }
+        for verb in enabled_verbs(node, &self.scope, self.engine.tick_enabled()) {
+            let read_only = is_read_only(verb, node);
+            if let Some((in_ord, in_ro)) = incoming {
+                // Sleep set: the incoming read-only verb u commutes with
+                // every read-only verb v < u, and the v-then-u order was
+                // (or will be) explored from the shared parent.
+                if in_ro && read_only && verb.ord() < in_ord {
+                    self.stats.por_skips += 1;
+                    continue;
+                }
+            }
+            self.stats.transitions += 1;
+            let (at_ms, _) = Engine::verb_time(node, verb);
+            let step_index = self.path_ops.len();
+            let mark = self.ctx.as_ref().map(CrashCtx::mark);
+            self.path_verbs.push(verb);
+            if let Some(op) = Engine::op_for(verb, at_ms) {
+                self.path_ops.push(op);
+            }
+            let child = match self.engine.step(node, verb, at_ms, step_index, self.ctx.as_mut()) {
+                Ok(child) => child,
+                Err(violation) => {
+                    return Err(Box::new(Counterexample {
+                        violation,
+                        ops: self.path_ops.clone(),
+                        verbs: self.path_verbs.clone(),
+                    }));
+                }
+            };
+            let child_depth = depth + 1;
+            let expand = match self.visited.get(&child.fingerprint) {
+                None => {
+                    self.visited.insert(child.fingerprint, child_depth);
+                    self.stats.distinct_states += 1;
+                    self.stats.per_depth[child_depth] += 1;
+                    true
+                }
+                Some(&seen) => {
+                    self.stats.revisits += 1;
+                    if child_depth < seen {
+                        self.visited.insert(child.fingerprint, child_depth);
+                        true
+                    } else {
+                        false
+                    }
+                }
+            };
+            if expand {
+                self.dfs(&child, child_depth, Some((verb.ord(), read_only)))?;
+            }
+            self.path_verbs.pop();
+            if Engine::op_for(verb, at_ms).is_some() {
+                self.path_ops.pop();
+            }
+            if let (Some(ctx), Some(mark)) = (self.ctx.as_mut(), mark) {
+                ctx.rewind(mark);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The verbs enabled at a node, in a fixed deterministic order. Only
+/// verbs that can do something are generated (a `Start` on a live slot
+/// would be a no-op transition straight back to the same fingerprint).
+fn enabled_verbs(node: &Node, scope: &Scope, tick: bool) -> Vec<Verb> {
+    let mut verbs = vec![Verb::Advance];
+    if node.jumps < scope.max_jumps {
+        verbs.push(Verb::Jump);
+    }
+    for c in 0..scope.clients {
+        let slot = &node.slots[usize::from(c)];
+        if slot.instance.is_none() {
+            verbs.push(Verb::Start(c));
+        } else {
+            if !slot.bundled {
+                verbs.push(Verb::AddBundle(c));
+            }
+            verbs.push(Verb::Poll(c));
+            verbs.push(Verb::Heartbeat(c));
+            verbs.push(Verb::Metric(c));
+            verbs.push(Verb::End(c));
+        }
+    }
+    verbs.push(Verb::Reap);
+    if tick {
+        verbs.push(Verb::Tick);
+    }
+    if node.state.cluster.node(&format!("node{:02}", crate::LEAVE_NODE)).is_some() {
+        verbs.push(Verb::NodeLeft);
+    } else {
+        verbs.push(Verb::NodeRejoin);
+    }
+    verbs
+}
+
+/// Whether a verb is read-only at this node: it commutes bit-for-bit
+/// with every other read-only verb executed at the same clock. True for
+/// heartbeats (an idempotent `fetch_max` touch) and for polls whose
+/// instance has nothing pending (same touch, empty drain).
+fn is_read_only(verb: Verb, node: &Node) -> bool {
+    match verb {
+        Verb::Heartbeat(_) => true,
+        Verb::Poll(c) => match &node.slots[usize::from(c)].instance {
+            Some(id) => {
+                !node.state.pending_vars.iter().any(|(pid, vars)| pid == id && !vars.is_empty())
+            }
+            None => true,
+        },
+        _ => false,
+    }
+}

@@ -157,6 +157,169 @@ impl SeededRng {
     }
 }
 
+pub mod fnv {
+    //! Shared FNV-1a 64 fingerprinting.
+    //!
+    //! Two copies of this fold used to live in `harmony-harness` (the
+    //! world's observable-sequence fingerprint and the recovery suite's
+    //! persisted-state fingerprint); both now build on this module, and
+    //! `harmony-mc` fingerprints canonical states with the same
+    //! primitives, so artifacts stay comparable across crates. FNV-1a is
+    //! chosen over a cryptographic hash because these fingerprints are
+    //! determinism checks, not security boundaries, and FNV keeps the
+    //! fold allocation-free.
+
+    /// The FNV-1a 64 offset basis (the hash of the empty input).
+    pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    /// The FNV-1a 64 prime.
+    pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// One-shot FNV-1a 64 over a byte slice.
+    pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+        let mut h = Fnv64::new();
+        h.write_bytes(bytes);
+        h.finish()
+    }
+
+    /// An incremental FNV-1a 64 fold with the field conventions the
+    /// harness established: integers and floats fold as their 8
+    /// little-endian bytes, strings fold with a `0xff` terminator so
+    /// `"ab"+"c"` and `"a"+"bc"` hash differently.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Fnv64 {
+        state: u64,
+    }
+
+    impl Default for Fnv64 {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl Fnv64 {
+        /// Starts a fold at the offset basis.
+        pub fn new() -> Self {
+            Fnv64 { state: FNV_OFFSET }
+        }
+
+        /// Resumes a fold from a previously finished state (the harness
+        /// threads one fingerprint through an entire run).
+        pub fn resume(state: u64) -> Self {
+            Fnv64 { state }
+        }
+
+        /// Folds raw bytes.
+        pub fn write_bytes(&mut self, bytes: &[u8]) {
+            for &b in bytes {
+                self.state ^= u64::from(b);
+                self.state = self.state.wrapping_mul(FNV_PRIME);
+            }
+        }
+
+        /// Folds a `u64` as 8 little-endian bytes.
+        pub fn write_u64(&mut self, x: u64) {
+            self.write_bytes(&x.to_le_bytes());
+        }
+
+        /// Folds an `f64` by its bit pattern (so `-0.0 != 0.0` and NaNs
+        /// are distinguishable — fingerprints must not normalize floats).
+        pub fn write_f64(&mut self, x: f64) {
+            self.write_u64(x.to_bits());
+        }
+
+        /// Folds a string plus the `0xff` separator.
+        pub fn write_str(&mut self, s: &str) {
+            self.write_bytes(s.as_bytes());
+            self.write_bytes(&[0xff]);
+        }
+
+        /// The current hash value. The fold can continue afterwards.
+        pub fn finish(&self) -> u64 {
+            self.state
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        /// The harness's original private fold, verbatim, so the shared
+        /// module provably computes the same hashes the pre-extraction
+        /// artifacts recorded.
+        fn old_fold_bytes(h: &mut u64, bytes: &[u8]) {
+            for &b in bytes {
+                *h ^= u64::from(b);
+                *h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+
+        #[test]
+        fn empty_input_hashes_to_the_offset_basis() {
+            assert_eq!(fnv1a_64(b""), FNV_OFFSET);
+            assert_eq!(Fnv64::new().finish(), FNV_OFFSET);
+        }
+
+        #[test]
+        fn known_vectors_pin_the_parameters() {
+            // Standard FNV-1a 64 test vectors (draft-eastlake-fnv).
+            assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+            assert_eq!(fnv1a_64(b"foobar"), 0x8594_4171_f739_67e8);
+            assert_eq!(fnv1a_64(b"chongo was here!\n"), 0x4681_0940_eff5_f915);
+        }
+
+        #[test]
+        fn incremental_fold_matches_the_old_harness_copy() {
+            let samples: &[&[u8]] = &[b"", b"x", b"startup bag.1", b"decision", &[0u8, 255, 7]];
+            for chunks in samples.windows(3) {
+                let mut old = 0xcbf2_9ce4_8422_2325u64;
+                let mut new = Fnv64::new();
+                for c in chunks {
+                    old_fold_bytes(&mut old, c);
+                    new.write_bytes(c);
+                }
+                assert_eq!(new.finish(), old);
+            }
+        }
+
+        #[test]
+        fn field_helpers_match_their_byte_expansions() {
+            let mut a = Fnv64::new();
+            a.write_u64(0x0123_4567_89ab_cdef);
+            a.write_f64(2.5);
+            a.write_str("bag.1");
+            let mut b = Fnv64::new();
+            b.write_bytes(&0x0123_4567_89ab_cdefu64.to_le_bytes());
+            b.write_bytes(&2.5f64.to_bits().to_le_bytes());
+            b.write_bytes(b"bag.1");
+            b.write_bytes(&[0xff]);
+            assert_eq!(a.finish(), b.finish());
+        }
+
+        #[test]
+        fn string_separator_prevents_concatenation_collisions() {
+            let mut a = Fnv64::new();
+            a.write_str("ab");
+            a.write_str("c");
+            let mut b = Fnv64::new();
+            b.write_str("a");
+            b.write_str("bc");
+            assert_ne!(a.finish(), b.finish());
+        }
+
+        #[test]
+        fn resume_continues_a_finished_fold() {
+            let mut whole = Fnv64::new();
+            whole.write_str("first");
+            whole.write_str("second");
+            let mut first = Fnv64::new();
+            first.write_str("first");
+            let mut resumed = Fnv64::resume(first.finish());
+            resumed.write_str("second");
+            assert_eq!(resumed.finish(), whole.finish());
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -45,7 +45,11 @@ use std::time::Duration;
 /// longer length prefix is treated as damage.
 pub const MAX_RECORD: u32 = 64 << 20;
 
-const HEADER: usize = 8;
+/// Bytes of framing (`len: u32` + `crc: u32`) before each record's
+/// payload.
+pub const RECORD_HEADER: usize = 8;
+
+const HEADER: usize = RECORD_HEADER;
 
 // ----------------------------------------------------------------------
 // CRC32 (IEEE 802.3 polynomial, reflected).
@@ -165,6 +169,37 @@ pub fn decode_records(data: &[u8]) -> WalRead {
 /// it is reported through [`WalRead::tail`].
 pub fn read_wal(path: &Path) -> std::io::Result<WalRead> {
     Ok(decode_records(&fs::read(path)?))
+}
+
+/// The byte offsets of the valid record boundaries in a WAL image:
+/// element `k` is the offset just after the first `k` records, so element
+/// 0 is always 0 and every element is a point at which a crash could have
+/// cut the file leaving a [`WalTail::Clean`] prefix of exactly `k`
+/// records. Crash-point enumeration truncates at each of these (and once
+/// mid-record for the torn-tail case) and replays the prefix.
+///
+/// The walk stops at the first torn or corrupt record — bytes past the
+/// damage hold no trustworthy boundaries.
+pub fn record_boundaries(data: &[u8]) -> Vec<u64> {
+    let mut bounds = vec![0u64];
+    let mut pos = 0usize;
+    loop {
+        let rem = data.len() - pos;
+        if rem < HEADER {
+            return bounds;
+        }
+        let len = u32::from_le_bytes(data[pos..pos + 4].try_into().unwrap());
+        let crc = u32::from_le_bytes(data[pos + 4..pos + 8].try_into().unwrap());
+        if len > MAX_RECORD || (rem - HEADER) < len as usize {
+            return bounds;
+        }
+        let payload = &data[pos + HEADER..pos + HEADER + len as usize];
+        if crc32(payload) != crc {
+            return bounds;
+        }
+        pos += HEADER + len as usize;
+        bounds.push(pos as u64);
+    }
 }
 
 // ----------------------------------------------------------------------
@@ -594,6 +629,46 @@ mod tests {
             WalTail::Corrupted { record: 1, offset: (HEADER + b"first".len()) as u64 }
         );
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn record_boundaries_enumerate_every_clean_cut() {
+        let mut data = Vec::new();
+        let payloads: [&[u8]; 3] = [b"one", b"second-record", b""];
+        for p in payloads {
+            encode_record(p, &mut data);
+        }
+        let bounds = record_boundaries(&data);
+        assert_eq!(bounds.len(), payloads.len() + 1);
+        assert_eq!(bounds[0], 0);
+        assert_eq!(*bounds.last().unwrap(), data.len() as u64);
+        // Cutting at each boundary leaves a clean prefix of exactly k
+        // records; cutting anywhere strictly between two boundaries
+        // leaves the same records plus a torn tail.
+        for (k, &b) in bounds.iter().enumerate() {
+            let read = decode_records(&data[..b as usize]);
+            assert_eq!(read.tail, WalTail::Clean, "cut at {b}");
+            assert_eq!(read.records.len(), k, "cut at {b}");
+        }
+        for w in bounds.windows(2) {
+            let mid = (w[0] + 1 + (w[1] - w[0]) / 2) as usize;
+            let read = decode_records(&data[..mid]);
+            assert!(matches!(read.tail, WalTail::Torn { .. }), "cut at {mid}");
+        }
+    }
+
+    #[test]
+    fn record_boundaries_stop_at_damage() {
+        let mut data = Vec::new();
+        encode_record(b"good", &mut data);
+        encode_record(b"bad", &mut data);
+        encode_record(b"after", &mut data);
+        let full = record_boundaries(&data);
+        assert_eq!(full.len(), 4);
+        data[(full[1] as usize) + HEADER] ^= 0xff; // corrupt "bad"'s payload
+        let bounds = record_boundaries(&data);
+        assert_eq!(bounds, full[..2], "no boundary may be reported past the damage");
+        assert_eq!(record_boundaries(b""), vec![0]);
     }
 
     #[test]
